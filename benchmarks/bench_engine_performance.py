@@ -1,0 +1,51 @@
+"""Experiment E11 — simulator performance (vectorised vs reference engine).
+
+Not a paper artefact, but the property that makes the scaling experiments
+feasible: the vectorised engine advances a whole round with a handful of
+array operations.  The benchmark times both engines on the same workload and
+a larger workload only the vectorised engine can handle comfortably, so
+regressions in the hot path are caught.
+"""
+
+import pytest
+
+from repro.beeping.engine import VectorizedEngine
+from repro.beeping.simulator import Simulator
+from repro.core.bfw import BFWProtocol
+from repro.graphs.generators import cycle_graph, random_geometric_graph
+
+
+@pytest.mark.experiment("E11")
+def test_vectorized_engine_medium_cycle(benchmark):
+    topology = cycle_graph(200)
+    protocol = BFWProtocol()
+
+    def run():
+        return VectorizedEngine(topology, protocol).run(rng=1, max_rounds=400_000)
+
+    result = benchmark(run)
+    assert result.converged
+
+
+@pytest.mark.experiment("E11")
+def test_reference_simulator_small_cycle(benchmark):
+    topology = cycle_graph(24)
+    protocol = BFWProtocol()
+
+    def run():
+        return Simulator(topology, protocol).run(rng=1, max_rounds=100_000)
+
+    result = benchmark(run)
+    assert result.converged
+
+
+@pytest.mark.experiment("E11")
+def test_vectorized_engine_geometric_colony(benchmark):
+    topology = random_geometric_graph(400, rng=3)
+    protocol = BFWProtocol()
+
+    def run():
+        return VectorizedEngine(topology, protocol).run(rng=2, max_rounds=400_000)
+
+    result = benchmark(run)
+    assert result.converged

@@ -1,0 +1,35 @@
+"""Experiment E4 — the Section 5 lower-bound conjecture.
+
+Two leaders are planted at the ends of a path of length ``D``.  The paper
+conjectures that the meeting point of their beep waves behaves like a simple
+random walk, so the time until one leader is eliminated should be ``Θ(D²)``.
+The benchmark measures elimination times across diameters and checks that the
+fitted exponent is close to 2 and that the ``time / D²`` ratio stays within a
+constant band.
+"""
+
+import pytest
+
+from repro.experiments.figures import lower_bound_experiment
+
+DIAMETERS = (8, 16, 32, 48)
+
+
+@pytest.mark.experiment("E4")
+def test_two_diametral_leaders_take_quadratic_time(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: lower_bound_experiment(
+            diameters=DIAMETERS, num_seeds=12, master_seed=5
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("Experiment E4 — Section 5 lower-bound conjecture", result.render())
+
+    # The elimination time normalised by D^2 stays within a constant band
+    # (no drift towards 0 or infinity across a 6x range of diameters).
+    ratios = [point.normalised_by_d2 for point in result.points]
+    assert max(ratios) / min(ratios) < 5.0
+
+    # The fitted exponent is consistent with the conjectured Theta(D^2).
+    assert 1.5 < result.power_law.exponent < 2.6

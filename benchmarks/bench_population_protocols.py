@@ -1,0 +1,77 @@
+"""Experiment E10 — the population-protocols row of the related work.
+
+Constant-state leader election in the classical population-protocols model
+needs ``Ω(n²)`` expected pairwise interactions on the clique [10]; the
+folklore pairwise-elimination protocol matches that bound.  The benchmark
+measures its convergence interactions across population sizes, checks the
+quadratic shape, and reports the broadcast (epidemic) time for context, since
+graph-general population leader election is governed by it [2].
+"""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import clique_graph
+from repro.population.protocols import (
+    INFECTED,
+    SUSCEPTIBLE,
+    EpidemicBroadcast,
+    PairwiseElimination,
+)
+from repro.population.scheduler import PopulationScheduler
+from repro.viz.table_format import render_table
+
+SIZES = (16, 32, 64)
+SEEDS = tuple(range(5))
+
+
+def _run_all():
+    election_rows = []
+    for n in SIZES:
+        interactions = []
+        for seed in SEEDS:
+            scheduler = PopulationScheduler(clique_graph(n), PairwiseElimination())
+            result = scheduler.run(max_interactions=400 * n * n, rng=seed)
+            assert result.converged
+            interactions.append(result.convergence_interactions)
+        election_rows.append(
+            (n, float(np.mean(interactions)), float(np.mean(interactions)) / (n * n))
+        )
+    # Epidemic broadcast time for context (parallel time ~ log n on a clique).
+    broadcast_rows = []
+    for n in SIZES:
+        times = []
+        for seed in SEEDS:
+            scheduler = PopulationScheduler(clique_graph(n), EpidemicBroadcast())
+            states = [SUSCEPTIBLE] * n
+            states[0] = INFECTED
+            result = scheduler.run(
+                max_interactions=200 * n * int(np.log2(n) + 2),
+                rng=seed,
+                initial_states=states,
+                stop_at_single_leader=False,
+            )
+            times.append(result.parallel_time)
+        broadcast_rows.append((n, float(np.mean(times))))
+    return election_rows, broadcast_rows
+
+
+@pytest.mark.experiment("E10")
+def test_population_protocol_leader_election_quadratic(benchmark, report):
+    election_rows, broadcast_rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
+    table = render_table(
+        ["n", "mean interactions to 1 leader", "interactions / n^2"], election_rows
+    )
+    broadcast_table = render_table(
+        ["n", "epidemic parallel time (upper bound run)"], broadcast_rows
+    )
+    report(
+        "Experiment E10 — population protocols (related work)",
+        table + "\n\n" + broadcast_table,
+    )
+    # Quadratic shape: interactions / n^2 stays within a constant band.
+    ratios = [row[2] for row in election_rows]
+    assert max(ratios) / min(ratios) < 5.0
+    # And interactions grow by roughly 4x per doubling of n.
+    assert 2.0 < election_rows[1][1] / election_rows[0][1] < 8.0
+    assert 2.0 < election_rows[2][1] / election_rows[1][1] < 8.0

@@ -1,0 +1,44 @@
+"""Experiment E2 — Theorem 2: uniform BFW converges in O(D² log n) rounds.
+
+We sweep path graphs of increasing diameter with the uniform protocol
+(``p = 1/2``) and fit the measured mean convergence times.  The paper's claim
+is an upper bound of ``O(D² log n)`` (and the Section 5 discussion argues the
+``D²`` factor is necessary), so the expected shape is a power-law exponent
+close to 2 in ``D`` and a best-fitting model of ``D²``-type rather than
+``D``-type.
+"""
+
+import pytest
+
+from repro.experiments.figures import scaling_experiment
+
+DIAMETERS = (8, 16, 32, 48)
+
+
+@pytest.mark.experiment("E2")
+def test_theorem2_uniform_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: scaling_experiment(
+            mode="uniform",
+            family="path",
+            diameters=DIAMETERS,
+            num_seeds=6,
+            master_seed=2,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("Experiment E2 — Theorem 2 scaling (uniform p = 1/2)", result.render())
+
+    # Every diameter converged within the budget for every seed.
+    assert all(point.convergence_rate == 1.0 for point in result.points)
+
+    # Convergence time is clearly super-linear in D: exponent well above 1.4
+    # and the best model is one of the D^2 variants, not a D-linear one.
+    assert result.power_law.exponent > 1.4
+    assert result.power_law.r_squared > 0.9
+    assert result.model_comparison.best_model in ("D^2 log n", "D^2")
+
+    # Monotonicity: larger diameters take longer on average.
+    means = [point.rounds.mean for point in result.points]
+    assert all(earlier < later for earlier, later in zip(means, means[1:]))

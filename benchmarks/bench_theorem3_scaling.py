@@ -1,0 +1,59 @@
+"""Experiment E3 — Theorem 3: BFW with p = 1/(D+1) converges in O(D log n).
+
+Same sweep as E2 but with the non-uniform parameter.  Expected shape: the
+fitted exponent drops towards 1 (the ``log n`` factor on paths adds a small
+bias above 1), the best-fitting model is ``D log n`` / ``D``, and the
+speed-up over the uniform protocol grows with the diameter — the gap the
+paper describes between Theorems 2 and 3.
+"""
+
+import pytest
+
+from repro.experiments.figures import crossover_experiment, scaling_experiment
+
+DIAMETERS = (8, 16, 32, 48)
+
+
+@pytest.mark.experiment("E3")
+def test_theorem3_nonuniform_scaling(benchmark, report):
+    result = benchmark.pedantic(
+        lambda: scaling_experiment(
+            mode="nonuniform",
+            family="path",
+            diameters=DIAMETERS,
+            num_seeds=8,
+            master_seed=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report("Experiment E3 — Theorem 3 scaling (p = 1/(D+1))", result.render())
+
+    assert all(point.convergence_rate == 1.0 for point in result.points)
+    # Clearly sub-quadratic, and clearly cheaper than the uniform protocol.
+    assert result.power_law.exponent < 1.8
+    assert result.power_law.exponent > 0.4
+    # Convergence time grows overall with the diameter (individual adjacent
+    # pairs may invert due to noise at these modest seed counts).
+    means = [point.rounds.mean for point in result.points]
+    assert means[-1] > means[0]
+
+
+@pytest.mark.experiment("E3")
+def test_theorem2_vs_theorem3_speedup(benchmark, report):
+    crossover = benchmark.pedantic(
+        lambda: crossover_experiment(
+            family="path", diameters=(8, 16, 32), num_seeds=6, master_seed=4
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        "Experiment E3 — speed-up of the non-uniform protocol",
+        crossover.render(),
+    )
+    speedups = dict(crossover.speedups)
+    # The non-uniform protocol wins at every diameter, and its advantage grows
+    # with D (the ~D-factor gap between the two theorems).
+    assert all(value > 1.0 for value in speedups.values())
+    assert speedups[32] > speedups[8]

@@ -1,0 +1,36 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's artefacts (a table, a scaling
+figure, or a claim-shaped experiment) and prints the regenerated rows so that
+``pytest benchmarks/ --benchmark-only -s`` doubles as the reproduction report.
+Workload sizes are kept modest so the whole harness completes in minutes; the
+CLI (``python -m repro.cli ...``) exposes the same experiments at larger
+scales.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    # Benchmarks print their regenerated tables; make sure the output is
+    # visible even without -s by reporting through the terminalreporter at
+    # the end would be more invasive, so we simply register a marker here.
+    config.addinivalue_line(
+        "markers", "experiment(id): marks a benchmark with its DESIGN.md experiment id"
+    )
+
+
+@pytest.fixture
+def report():
+    """Print a rendered experiment report, clearly delimited."""
+
+    def _print(title: str, body: str) -> None:
+        print()
+        print("=" * 78)
+        print(title)
+        print("=" * 78)
+        print(body)
+
+    return _print

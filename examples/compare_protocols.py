@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Compare BFW against the Table-1 baselines on a few topologies.
+
+This example runs the implemented protocols — BFW (uniform and non-uniform),
+the ID-broadcast election, the pipelined O(D + log n) election, the
+diameter-aware epoch protocol, and the clique-only constant-state knockout —
+on a path, a random graph and a clique, and prints a small comparison table
+along with each protocol's resource requirements (the qualitative columns of
+Table 1).
+
+Run it with::
+
+    python examples/compare_protocols.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments import instantiate_protocol, run_protocol_on
+from repro.experiments.tables import TABLE1_INFO
+from repro.graphs import clique_graph, erdos_renyi_graph, path_graph
+from repro.viz import render_table
+
+PROTOCOLS = (
+    "bfw",
+    "bfw-nonuniform",
+    "id-broadcast",
+    "pipelined-ids",
+    "emek-keren",
+    "gilbert-newport",
+)
+
+GRAPHS = (
+    path_graph(33),
+    erdos_renyi_graph(64, rng=1),
+    clique_graph(64),
+)
+
+NUM_SEEDS = 5
+
+
+def mean_rounds(protocol_name: str, topology) -> float:
+    """Mean convergence round of a protocol over a few seeds."""
+    rounds = []
+    for seed in range(NUM_SEEDS):
+        protocol = instantiate_protocol(protocol_name, topology)
+        result = run_protocol_on(topology, protocol, rng=seed)
+        rounds.append(
+            result.convergence_round
+            if result.convergence_round is not None
+            else result.rounds_executed
+        )
+    return float(np.mean(rounds))
+
+
+def main() -> None:
+    rows = []
+    for name in PROTOCOLS:
+        info = TABLE1_INFO[name]
+        cells = [name, info.round_complexity, info.knowledge, info.states]
+        for topology in GRAPHS:
+            if name == "gilbert-newport" and not topology.name.startswith("clique"):
+                cells.append("-")  # correct only on single-hop networks
+                continue
+            cells.append(f"{mean_rounds(name, topology):.0f}")
+        rows.append(tuple(cells))
+
+    headers = ["protocol", "complexity", "knowledge", "states"] + [
+        f"rounds {topology.name}" for topology in GRAPHS
+    ]
+    print(render_table(headers, rows, title="Protocol comparison (Table 1, measured)"))
+
+    print(
+        "\nReading guide: BFW needs no identifiers, no knowledge and only six\n"
+        "states, and pays for it with an extra ~D factor on high-diameter\n"
+        "graphs; telling it the diameter (bfw-nonuniform) recovers most of\n"
+        "the gap, which is exactly the trade-off the paper's Table 1 states."
+    )
+
+
+if __name__ == "__main__":
+    main()

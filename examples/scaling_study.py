@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Reproduce the paper's scaling claims (Theorems 2 and 3) as an ASCII figure.
+
+The experiment sweeps path graphs of increasing diameter, measures the mean
+convergence time of uniform BFW (p = 1/2) and of the non-uniform variant
+(p = 1/(D+1)), fits scaling models to both, and renders a log–log ASCII plot
+— the closest thing this terminal-only reproduction has to the "figure" a
+systems paper would show.
+
+Expected outcome (the theorems' shape):
+
+* uniform BFW grows roughly like D² (times a slowly varying log factor),
+* non-uniform BFW grows roughly like D,
+* the gap between them widens linearly in D.
+
+Run it with::
+
+    python examples/scaling_study.py          # quick version
+    python examples/scaling_study.py --full   # larger diameters (slower)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import scaling_experiment
+from repro.viz import ascii_plot
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="use larger diameters")
+    parser.add_argument("--seeds", type=int, default=8)
+    args = parser.parse_args()
+
+    diameters = (8, 16, 32, 64, 96) if args.full else (8, 16, 32, 48)
+
+    uniform = scaling_experiment(
+        mode="uniform", diameters=diameters, num_seeds=args.seeds, master_seed=1
+    )
+    nonuniform = scaling_experiment(
+        mode="nonuniform", diameters=diameters, num_seeds=args.seeds, master_seed=2
+    )
+
+    print(uniform.render())
+    print()
+    print(nonuniform.render())
+    print()
+
+    series = {
+        "uniform p=1/2 (Thm 2)": [
+            (point.diameter, point.rounds.mean) for point in uniform.points
+        ],
+        "p = 1/(D+1) (Thm 3)": [
+            (point.diameter, point.rounds.mean) for point in nonuniform.points
+        ],
+    }
+    print(
+        ascii_plot(
+            series,
+            logx=True,
+            logy=True,
+            width=64,
+            height=18,
+            title="Convergence time vs diameter (log-log)",
+            xlabel="diameter D",
+            ylabel="rounds",
+        )
+    )
+
+    print(
+        f"\nfitted exponents: uniform ~ D^{uniform.power_law.exponent:.2f}, "
+        f"non-uniform ~ D^{nonuniform.power_law.exponent:.2f}"
+    )
+    print(
+        "speed-up at the largest diameter: "
+        f"{uniform.points[-1].rounds.mean / nonuniform.points[-1].rounds.mean:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""repro — reproduction of "Minimalist Leader Election Under Weak Communication".
+
+The package implements the BFW leader-election protocol for the beeping
+model, the simulators it runs on (beeping model, stone-age model), the
+analysis machinery of the paper (flow, Ohm's law, invariants), baseline
+protocols for the Table-1 comparison, and the experiment harness that
+regenerates the paper's tables and figures.
+
+Quickstart
+----------
+>>> from repro import BFWProtocol, run_bfw
+>>> from repro.graphs import cycle_graph
+>>> result = run_bfw(cycle_graph(32), BFWProtocol(beep_probability=0.5), rng=0)
+>>> result.converged, result.final_leader_count
+(True, 1)
+"""
+
+from repro._version import __version__
+from repro.beeping import (
+    ExecutionTrace,
+    MemorySimulator,
+    SimulationResult,
+    Simulator,
+    VectorizedEngine,
+    run_bfw,
+)
+from repro.core import (
+    BFWProtocol,
+    BeepingProtocol,
+    MemoryProtocol,
+    NonUniformBFWProtocol,
+    State,
+    available_protocols,
+    create_protocol,
+)
+from repro.graphs import Topology, make_graph
+
+__all__ = [
+    "BFWProtocol",
+    "BeepingProtocol",
+    "ExecutionTrace",
+    "MemoryProtocol",
+    "MemorySimulator",
+    "NonUniformBFWProtocol",
+    "SimulationResult",
+    "Simulator",
+    "State",
+    "Topology",
+    "VectorizedEngine",
+    "__version__",
+    "available_protocols",
+    "create_protocol",
+    "make_graph",
+    "run_bfw",
+]

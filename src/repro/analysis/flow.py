@@ -1,0 +1,160 @@
+"""The flow quantity of Definition 5 and its conservation law (Lemma 7).
+
+The *flow* along an oriented edge ``e = (u, v)`` in round ``t`` is
+
+* ``+1`` if ``u`` beeps and ``v`` waits,
+* ``-1`` if ``u`` waits and ``v`` beeps,
+* ``0`` otherwise,
+
+and the flow along a path is the sum of the flows of its edges.  The paper's
+analysis rests on two deterministic facts that this module makes checkable on
+any recorded execution:
+
+* **Conservation (Lemma 7)** — from one round to the next, the flow along a
+  path changes only according to whether its endpoints beep:
+  ``ν_t(ω) = ν_{t-1}(ω) + 1{v_1 ∈ B_t} − 1{v_k ∈ B_t}``.
+* **Ohm's law (Corollary 8)** — the flow along a path equals the difference
+  of the cumulative beep counts of its endpoints (see :mod:`repro.analysis.ohm`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.beeping.trace import ExecutionTrace
+from repro.core.states import State
+from repro.errors import InvariantViolation, TraceError
+from repro.graphs.topology import Topology
+
+#: A path given by its vertex sequence (vertices may repeat, per Definition 4).
+VertexPath = Sequence[int]
+
+
+def edge_flow(trace: ExecutionTrace, u: int, v: int, round_index: int) -> int:
+    """The flow ``ν_t((u, v))`` along the oriented edge ``(u, v)`` in ``round_index``.
+
+    The definition only involves the states of the two endpoints, so the
+    function does not need the topology; callers are responsible for passing
+    actual edges when they want graph-meaningful flows.
+    """
+    state_u = State(trace.state_of(u, round_index))
+    state_v = State(trace.state_of(v, round_index))
+    if state_u.is_beeping and state_v.is_waiting:
+        return 1
+    if state_u.is_waiting and state_v.is_beeping:
+        return -1
+    return 0
+
+
+def path_flow(trace: ExecutionTrace, path: VertexPath, round_index: int) -> int:
+    """The flow ``ν_t(ω)`` along a path given by its vertex sequence."""
+    if len(path) < 2:
+        return 0
+    total = 0
+    for u, v in zip(path, path[1:]):
+        total += edge_flow(trace, u, v, round_index)
+    return total
+
+
+def validate_path(topology: Topology, path: VertexPath) -> None:
+    """Check that consecutive vertices of ``path`` are adjacent in ``topology``.
+
+    Raises
+    ------
+    TraceError
+        If the vertex sequence does not describe a path of the graph.
+    """
+    if len(path) < 2:
+        return
+    for u, v in zip(path, path[1:]):
+        if not topology.has_edge(u, v):
+            raise TraceError(
+                f"vertices {u} and {v} are consecutive in the path but not "
+                "adjacent in the graph"
+            )
+
+
+def flow_history(
+    trace: ExecutionTrace, path: VertexPath
+) -> Tuple[int, ...]:
+    """The flow along ``path`` for every recorded round."""
+    return tuple(
+        path_flow(trace, path, round_index) for round_index in trace.rounds()
+    )
+
+
+@dataclass(frozen=True)
+class ConservationViolation:
+    """A single violation of Lemma 7 found on a trace (should never happen)."""
+
+    round_index: int
+    path: Tuple[int, ...]
+    observed_flow: int
+    expected_flow: int
+
+    def message(self) -> str:
+        """A human-readable description of the violation."""
+        return (
+            f"flow conservation violated in round {self.round_index} on path "
+            f"{self.path}: observed {self.observed_flow}, expected "
+            f"{self.expected_flow}"
+        )
+
+
+def check_flow_conservation(
+    trace: ExecutionTrace,
+    path: VertexPath,
+    raise_on_violation: bool = True,
+) -> List[ConservationViolation]:
+    """Verify Lemma 7 along ``path`` for every consecutive round pair.
+
+    Parameters
+    ----------
+    trace:
+        A recorded execution of a protocol in the BFW family.
+    path:
+        Vertex sequence of the path to check.
+    raise_on_violation:
+        If ``True`` (default), raise :class:`InvariantViolation` at the first
+        violation; otherwise collect and return all violations.
+
+    Returns
+    -------
+    list of ConservationViolation
+        Empty when the lemma holds on the whole trace (always, for a correct
+        implementation run from a valid initial configuration).
+    """
+    violations: List[ConservationViolation] = []
+    if len(path) < 2:
+        return violations
+    start, end = path[0], path[-1]
+    previous = path_flow(trace, path, 0)
+    for round_index in range(1, trace.num_rounds + 1):
+        current = path_flow(trace, path, round_index)
+        start_beeps = int(
+            State(trace.state_of(start, round_index)).is_beeping
+        )
+        end_beeps = int(State(trace.state_of(end, round_index)).is_beeping)
+        expected = previous + start_beeps - end_beeps
+        if current != expected:
+            violation = ConservationViolation(
+                round_index=round_index,
+                path=tuple(path),
+                observed_flow=current,
+                expected_flow=expected,
+            )
+            if raise_on_violation:
+                raise InvariantViolation(violation.message())
+            violations.append(violation)
+        previous = current
+    return violations
+
+
+def max_flow_bound_holds(trace: ExecutionTrace, path: VertexPath) -> bool:
+    """Check Eq. (1): ``|ν_t(ω)| ≤ k`` where ``k`` is the number of edges."""
+    k = max(0, len(path) - 1)
+    return all(
+        abs(path_flow(trace, path, round_index)) <= k
+        for round_index in trace.rounds()
+    )

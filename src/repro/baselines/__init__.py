@@ -1,0 +1,27 @@
+"""Baseline leader-election algorithms for the Table-1 comparison."""
+
+from repro.baselines.base import (
+    BaselineInfo,
+    FloodingState,
+    PhaseClock,
+    phase_length_for_diameter,
+)
+from repro.baselines.emek_keren import EmekKerenStyleElection
+from repro.baselines.gilbert_newport import GilbertNewportKnockout
+from repro.baselines.id_broadcast import IDBroadcastElection
+from repro.baselines.pipelined_ids import (
+    PipelinedElectionOutcome,
+    PipelinedIDElection,
+)
+
+__all__ = [
+    "BaselineInfo",
+    "EmekKerenStyleElection",
+    "FloodingState",
+    "GilbertNewportKnockout",
+    "IDBroadcastElection",
+    "PhaseClock",
+    "PipelinedElectionOutcome",
+    "PipelinedIDElection",
+    "phase_length_for_diameter",
+]

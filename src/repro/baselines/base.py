@@ -1,0 +1,167 @@
+"""Shared infrastructure for the Table-1 baseline protocols.
+
+Each baseline is annotated with a :class:`BaselineInfo` record mirroring the
+columns of the paper's Table 1 (round complexity, unique identifiers,
+knowledge, safety, number of states, termination detection), so that the
+table generator can print the qualitative columns next to the measured
+round counts.
+
+The baselines that broadcast information by beep waves share the same
+phase/flooding skeleton, provided here as :class:`PhaseClock` and
+:class:`FloodingState`: a phase lasts a fixed number of rounds (derived from
+the known diameter), a wave is initiated in the first round of a phase, and
+every node relays the first beep it hears within the phase exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BaselineInfo:
+    """Qualitative properties of a protocol, as listed in Table 1.
+
+    Attributes
+    ----------
+    reference:
+        Bibliographic reference the baseline is modelled after (e.g. "[14]").
+    round_complexity:
+        The asymptotic round complexity claimed by the reference.
+    unique_ids:
+        Whether unique identifiers are required.
+    knowledge:
+        Global knowledge required: subset of ``{"n", "D"}`` as a display
+        string (``"none"`` when empty).
+    safety:
+        How the "never more than one leader" condition is guaranteed
+        (``"det."``, ``"w.h.p."`` or ``"eventual"`` for protocols that only
+        solve eventual leader election).
+    states:
+        Asymptotic number of memory states per node.
+    termination_detection:
+        Whether nodes detect that the election has terminated.
+    """
+
+    reference: str
+    round_complexity: str
+    unique_ids: bool
+    knowledge: str
+    safety: str
+    states: str
+    termination_detection: bool
+
+    def as_row(self) -> Tuple[str, str, str, str, str, str]:
+        """The Table-1 row (without the protocol name and measurements)."""
+        return (
+            self.round_complexity,
+            "yes" if self.unique_ids else "no",
+            self.knowledge,
+            self.safety,
+            self.states,
+            "yes" if self.termination_detection else "no",
+        )
+
+
+@dataclass
+class PhaseClock:
+    """Bookkeeping for protocols organised in fixed-length phases.
+
+    Parameters
+    ----------
+    phase_length:
+        Number of rounds per phase; must be at least ``D + 2`` for a wave
+        initiated in the first round of the phase to reach every node and for
+        eliminations to be evaluated in the last round.
+    num_phases:
+        Total number of phases the protocol runs for (``None`` for unbounded).
+    """
+
+    phase_length: int
+    num_phases: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.phase_length < 2:
+            raise ConfigurationError(
+                f"phase length must be at least 2; got {self.phase_length}"
+            )
+        if self.num_phases is not None and self.num_phases < 1:
+            raise ConfigurationError(
+                f"number of phases must be >= 1; got {self.num_phases}"
+            )
+
+    def phase_of(self, round_index: int) -> int:
+        """The phase index containing ``round_index``."""
+        return round_index // self.phase_length
+
+    def round_in_phase(self, round_index: int) -> int:
+        """The offset of ``round_index`` within its phase."""
+        return round_index % self.phase_length
+
+    def is_phase_start(self, round_index: int) -> bool:
+        """Whether ``round_index`` is the first round of a phase."""
+        return self.round_in_phase(round_index) == 0
+
+    def is_phase_end(self, round_index: int) -> bool:
+        """Whether ``round_index`` is the last round of a phase."""
+        return self.round_in_phase(round_index) == self.phase_length - 1
+
+    def is_finished(self, round_index: int) -> bool:
+        """Whether all phases have completed by ``round_index`` (inclusive)."""
+        if self.num_phases is None:
+            return False
+        return round_index >= self.phase_length * self.num_phases - 1
+
+    @property
+    def total_rounds(self) -> Optional[int]:
+        """Total number of rounds across all phases (``None`` if unbounded)."""
+        if self.num_phases is None:
+            return None
+        return self.phase_length * self.num_phases
+
+
+@dataclass
+class FloodingState:
+    """Per-node wave-relaying bookkeeping within one phase.
+
+    A node relays the first beep it hears in a phase exactly once, one round
+    after hearing it; this makes a wave initiated in the first round of a
+    phase reach every node within ``D`` rounds and then die out.
+    """
+
+    relay_pending: bool = False
+    relayed_this_phase: bool = False
+    heard_this_phase: bool = False
+
+    def reset_for_new_phase(self) -> None:
+        """Clear the per-phase flags at a phase boundary."""
+        self.relay_pending = False
+        self.relayed_this_phase = False
+        self.heard_this_phase = False
+
+    def observe(self, heard_beep: bool) -> None:
+        """Record what the node heard this round and schedule a relay if needed."""
+        if heard_beep:
+            self.heard_this_phase = True
+            if not self.relayed_this_phase:
+                self.relay_pending = True
+
+    def pop_relay(self) -> bool:
+        """Whether the node should beep now to relay; clears the pending flag."""
+        if self.relay_pending and not self.relayed_this_phase:
+            self.relay_pending = False
+            self.relayed_this_phase = True
+            return True
+        return False
+
+
+def phase_length_for_diameter(diameter: int, slack: int = 2) -> int:
+    """The phase length used by the wave-based baselines: ``D + slack``."""
+    if diameter < 1:
+        raise ConfigurationError(f"diameter must be >= 1; got {diameter}")
+    if slack < 2:
+        raise ConfigurationError(f"slack must be >= 2; got {slack}")
+    return diameter + slack

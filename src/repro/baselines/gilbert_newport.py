@@ -1,0 +1,112 @@
+"""A constant-state knockout election for single-hop networks, after Gilbert
+and Newport [17].
+
+[17] studies what constant-state, identifier-free protocols can compute in
+the single-hop (clique) beeping model, and leader election is solved there by
+repeated randomised knockout: in every round each remaining candidate beeps
+with probability 1/2, and a candidate that *listened* while some other node
+beeped withdraws.  Two facts make this work on a clique:
+
+* at least one candidate always survives (the beeping candidates never
+  withdraw in that round), and
+* whenever at least two candidates remain, the number of candidates strictly
+  decreases in a round with constant probability, so a single candidate
+  remains after ``O(log n)`` rounds in expectation and
+  ``O(log n + log(1/ε))`` rounds with probability ``1 − ε``.
+
+The protocol is uniform, uses a constant number of states and no
+identifiers; unlike [17] we do not implement the termination-detection
+add-on (which is where the ``log(1/ε)`` state blow-up of the original paper
+comes from), so the variant here solves *eventual* leader election —
+matching the row of Table 1 it represents and making it directly comparable
+with BFW on cliques.
+
+On graphs that are not cliques the knockout only acts within
+neighbourhoods: two non-adjacent candidates can never eliminate each other,
+so the protocol converges to a maximal independent set of candidates rather
+than a single leader.  The Table-1 experiment therefore only runs it on
+cliques, and the test suite checks the multi-leader outcome on a path as a
+negative control.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.baselines.base import BaselineInfo
+from repro.core.protocol import MemoryProtocol
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class _KnockoutMemory:
+    """Per-node memory: candidacy plus the pre-drawn coin for the next round."""
+
+    candidate: bool
+    beep_now: bool
+
+
+class GilbertNewportKnockout(MemoryProtocol):
+    """Randomised knockout election for cliques with constant state.
+
+    Parameters
+    ----------
+    beep_probability:
+        Probability with which a remaining candidate beeps each round
+        (1/2 in [17]).
+    """
+
+    name = "gilbert-newport-knockout"
+    requires_unique_ids = False
+    required_knowledge = ()
+
+    info = BaselineInfo(
+        reference="[17]-style (clique only)",
+        round_complexity="O(log n)  (single-hop)",
+        unique_ids=False,
+        knowledge="none",
+        safety="w.h.p.",
+        states="O(1)",
+        termination_detection=False,
+    )
+
+    def __init__(self, beep_probability: float = 0.5) -> None:
+        if not 0.0 < beep_probability < 1.0:
+            raise ConfigurationError(
+                f"beep probability must lie strictly in (0, 1); got {beep_probability}"
+            )
+        self._p = beep_probability
+
+    @property
+    def beep_probability(self) -> float:
+        """Per-round beeping probability of a candidate."""
+        return self._p
+
+    def create_memory(
+        self, node: int, n: int, rng: np.random.Generator
+    ) -> _KnockoutMemory:
+        return _KnockoutMemory(
+            candidate=True, beep_now=bool(rng.random() < self._p)
+        )
+
+    def wants_to_beep(self, memory: _KnockoutMemory, round_index: int) -> bool:
+        return memory.candidate and memory.beep_now
+
+    def update(
+        self,
+        memory: _KnockoutMemory,
+        heard_beep: bool,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> _KnockoutMemory:
+        candidate = memory.candidate
+        if candidate and not memory.beep_now and heard_beep:
+            # Listened while somebody beeped: withdraw.
+            candidate = False
+        beep_now = bool(candidate and rng.random() < self._p)
+        return replace(memory, candidate=candidate, beep_now=beep_now)
+
+    def is_leader(self, memory: _KnockoutMemory) -> bool:
+        return memory.candidate

@@ -1,0 +1,231 @@
+"""Bit-by-bit ID broadcast election — the classical O(D log n) baseline.
+
+This baseline captures the algorithmic shape shared by the deterministic
+protocol of Förster, Seidel and Wattenhofer [14] and the candidate-broadcast
+phases of Ghaffari and Haeupler [15]: every node holds an identifier of
+``Θ(log n)`` bits, and the maximum identifier is elected by broadcasting it
+bit by bit with beep waves, one bit per phase of ``Θ(D)`` rounds.
+
+Concretely, with identifiers of ``L`` bits (most significant bit first):
+
+* In the first round of phase ``i``, every remaining candidate whose ``i``-th
+  bit is 1 beeps, initiating a wave.
+* During the phase, every node relays the first beep it hears exactly once
+  (one round after hearing it), so the wave floods the graph in ``≤ D``
+  rounds and then dies out.
+* In the last round of the phase, a candidate whose ``i``-th bit is 0 and
+  that heard a beep during the phase withdraws: some other candidate has a
+  larger identifier.
+
+After all ``L`` phases only the candidates holding the maximum identifier
+remain — exactly one when identifiers are unique (the ``unique`` mode), or
+exactly one with high probability when identifiers are drawn at random from
+a polynomially large range (the ``random`` mode, which matches the
+"no unique IDs but knows n" row of Table 1).
+
+The protocol needs to know (an upper bound on) the diameter ``D`` to size its
+phases and (an upper bound on) ``n`` to size identifiers, uses ``Θ(log n)``
+bits of memory per node, and detects termination after the last phase — all
+properties reported in Table 1 for this family of algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.baselines.base import BaselineInfo, PhaseClock, phase_length_for_diameter
+from repro.core.protocol import MemoryProtocol
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class _NodeMemory:
+    """Immutable per-node memory of the ID-broadcast protocol."""
+
+    node: int
+    id_bits: Tuple[bool, ...]
+    candidate: bool
+    relay_next: bool = False
+    relayed: bool = False
+    heard_in_phase: bool = False
+    terminated: bool = False
+
+
+class IDBroadcastElection(MemoryProtocol):
+    """Leader election by bit-by-bit broadcast of the maximum identifier.
+
+    Parameters
+    ----------
+    diameter:
+        The (known) diameter of the communication graph, or an upper bound.
+    n:
+        The (known) number of nodes, or an upper bound; used to size the
+        identifier space.
+    id_mode:
+        ``"unique"`` — node ``u`` uses identifier ``u + 1`` (the
+        "Unique IDs: yes" rows of Table 1); ``"random"`` — each node draws a
+        uniform identifier from ``[1, n³]``, unique w.h.p. (the
+        "Unique IDs: no, knows n" row).
+    id_bit_length:
+        Override the identifier length in bits (defaults to ``⌈log₂(n+1)⌉``
+        for unique mode and ``⌈3 log₂(n+1)⌉`` for random mode).
+    """
+
+    name = "id-broadcast"
+    requires_unique_ids = True
+    required_knowledge = ("n", "D")
+
+    info = BaselineInfo(
+        reference="[14]/[15]-style",
+        round_complexity="O(D log n)",
+        unique_ids=True,
+        knowledge="n, D",
+        safety="det.",
+        states="Omega(n)",
+        termination_detection=True,
+    )
+
+    def __init__(
+        self,
+        diameter: int,
+        n: int,
+        id_mode: str = "unique",
+        id_bit_length: Optional[int] = None,
+    ) -> None:
+        if diameter < 1:
+            raise ConfigurationError(f"diameter must be >= 1; got {diameter}")
+        if n < 1:
+            raise ConfigurationError(f"n must be >= 1; got {n}")
+        if id_mode not in ("unique", "random"):
+            raise ConfigurationError(
+                f"id_mode must be 'unique' or 'random'; got {id_mode!r}"
+            )
+        self._diameter = diameter
+        self._n = n
+        self._id_mode = id_mode
+        if id_bit_length is None:
+            base_bits = max(1, math.ceil(math.log2(n + 1)))
+            id_bit_length = base_bits if id_mode == "unique" else 3 * base_bits
+        if id_bit_length < 1:
+            raise ConfigurationError(
+                f"id_bit_length must be >= 1; got {id_bit_length}"
+            )
+        self._bits = id_bit_length
+        self._clock = PhaseClock(
+            phase_length=phase_length_for_diameter(diameter),
+            num_phases=id_bit_length,
+        )
+        if id_mode == "unique":
+            self.requires_unique_ids = True
+            self.name = "id-broadcast-unique"
+        else:
+            self.requires_unique_ids = False
+            self.name = "id-broadcast-random"
+            self.info = replace(
+                self.info,
+                reference="[11]-style (randomised IDs)",
+                unique_ids=False,
+                knowledge="n, D",
+                safety="w.h.p.",
+            )
+
+    @property
+    def clock(self) -> PhaseClock:
+        """The phase clock (exposed for tests and the experiment harness)."""
+        return self._clock
+
+    @property
+    def total_rounds(self) -> int:
+        """Worst-case number of rounds before termination is declared."""
+        total = self._clock.total_rounds
+        assert total is not None
+        return total
+
+    # ------------------------------------------------------------------ #
+    # MemoryProtocol interface
+    # ------------------------------------------------------------------ #
+
+    def create_memory(self, node: int, n: int, rng: np.random.Generator) -> _NodeMemory:
+        if self._id_mode == "unique":
+            identifier = node + 1
+        else:
+            identifier = int(rng.integers(1, max(2, self._n**3)))
+        bits = _to_bits(identifier, self._bits)
+        return _NodeMemory(node=node, id_bits=bits, candidate=True)
+
+    def wants_to_beep(self, memory: _NodeMemory, round_index: int) -> bool:
+        if memory.terminated or self._clock.is_finished(round_index - 1):
+            return False
+        if self._clock.is_phase_start(round_index):
+            phase = self._clock.phase_of(round_index)
+            return memory.candidate and memory.id_bits[phase]
+        return memory.relay_next
+
+    def update(
+        self,
+        memory: _NodeMemory,
+        heard_beep: bool,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> _NodeMemory:
+        if memory.terminated:
+            return memory
+        phase = self._clock.phase_of(round_index)
+        offset = self._clock.round_in_phase(round_index)
+
+        candidate = memory.candidate
+        relay_next = memory.relay_next
+        relayed = memory.relayed
+        heard_in_phase = memory.heard_in_phase
+
+        if offset == 0:
+            # The first round of a phase was just played: reset per-phase
+            # flags; an initiating candidate counts as having relayed.
+            initiated = candidate and memory.id_bits[phase]
+            relayed = initiated
+            relay_next = False
+            heard_in_phase = False
+        elif relay_next:
+            # The relay scheduled last round was just emitted.
+            relay_next = False
+            relayed = True
+
+        if heard_beep:
+            heard_in_phase = True
+            if not relayed and not relay_next and not self._clock.is_phase_end(
+                round_index
+            ):
+                relay_next = True
+
+        terminated = memory.terminated
+        if self._clock.is_phase_end(round_index):
+            if candidate and not memory.id_bits[phase] and heard_in_phase:
+                candidate = False
+            if phase == self._bits - 1:
+                terminated = True
+
+        return replace(
+            memory,
+            candidate=candidate,
+            relay_next=relay_next,
+            relayed=relayed,
+            heard_in_phase=heard_in_phase,
+            terminated=terminated,
+        )
+
+    def is_leader(self, memory: _NodeMemory) -> bool:
+        return memory.candidate
+
+    def has_terminated(self, memory: _NodeMemory) -> bool:
+        return memory.terminated
+
+
+def _to_bits(value: int, length: int) -> Tuple[bool, ...]:
+    """Big-endian bit representation of ``value`` on ``length`` bits."""
+    if value < 0:
+        raise ConfigurationError(f"identifier must be non-negative; got {value}")
+    return tuple(bool((value >> (length - 1 - i)) & 1) for i in range(length))

@@ -1,0 +1,200 @@
+"""An O(D + log n)-shaped election, modelled after Dufoulon, Burman and
+Beauquier [11].
+
+The time-optimal beeping algorithms first shrink the candidate set locally
+(so that surviving candidates are sparse) in ``O(log n)`` rounds, and then
+let the surviving candidates compete globally by *pipelining* the broadcast
+of their identifiers, overlapping the ``Θ(log n)`` bits with the ``Θ(D)``
+propagation so that the total cost is ``O(D + log n)`` instead of
+``O(D · log n)``.
+
+Reproducing the exact bit-level pipelining machinery of [11] (interval
+encodings, collision-resolution gadgets) is outside the scope of a
+shape-faithful baseline.  Instead, this module implements the two stages at
+the information level:
+
+1. **Local knockout** (beeping-faithful): for ``2⌈log₂ n⌉`` rounds every
+   remaining candidate beeps with probability 1/2 and withdraws if it
+   listened while hearing a beep.  This is exactly the coin-flipping
+   knockout used by the preamble of [11] (and by [17] on cliques), and it is
+   implementable with beeps and constant per-round state.
+2. **Pipelined maximum-identifier dissemination** (information-level
+   idealisation): every node repeatedly forwards the largest identifier it
+   has seen; after ``ecc ≤ D`` rounds every node knows the global maximum,
+   and the unique candidate holding it remains leader.  In the real
+   algorithm this information travels as pipelined beep waves at the same
+   asymptotic cost (``D + O(log n)`` rounds); we charge the idealised stage
+   ``D + ⌈log₂ n⌉`` rounds so that the *reported round count* matches the
+   reference's complexity shape.
+
+The substitution is documented in DESIGN.md/EXPERIMENTS.md: Table 1 compares
+round complexities and knowledge assumptions, and both are preserved.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.baselines.base import BaselineInfo
+from repro.beeping.simulator import SimulationResult
+from repro.errors import ConfigurationError
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class PipelinedElectionOutcome:
+    """Detailed outcome of a pipelined-ID election run."""
+
+    winner: int
+    knockout_rounds: int
+    dissemination_rounds: int
+    candidates_after_knockout: int
+
+    @property
+    def total_rounds(self) -> int:
+        """Total charged round count (knockout + pipelined dissemination)."""
+        return self.knockout_rounds + self.dissemination_rounds
+
+
+class PipelinedIDElection:
+    """Standalone runner for the O(D + log n)-shaped election.
+
+    Unlike the other baselines this class is not a
+    :class:`~repro.core.protocol.MemoryProtocol`: its second stage is an
+    information-level idealisation that needs neighbour-to-neighbour value
+    exchange, so it drives the topology directly and reports a
+    :class:`~repro.beeping.simulator.SimulationResult` with the charged round
+    count.
+
+    Parameters
+    ----------
+    knockout_factor:
+        The local-knockout stage runs for ``knockout_factor · ⌈log₂ n⌉``
+        rounds (default 2).
+    """
+
+    name = "pipelined-ids"
+    requires_unique_ids = False
+    required_knowledge = ("n",)
+
+    info = BaselineInfo(
+        reference="[11]-style (pipelined)",
+        round_complexity="O(D + log n)",
+        unique_ids=False,
+        knowledge="n",
+        safety="w.h.p.",
+        states="Omega(n)",
+        termination_detection=True,
+    )
+
+    def __init__(self, knockout_factor: int = 2) -> None:
+        if knockout_factor < 1:
+            raise ConfigurationError(
+                f"knockout_factor must be >= 1; got {knockout_factor}"
+            )
+        self._knockout_factor = knockout_factor
+
+    def run(
+        self,
+        topology: Topology,
+        rng: RngLike = None,
+        max_rounds: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run the election and return a standard :class:`SimulationResult`.
+
+        ``max_rounds`` is accepted for interface compatibility; the algorithm
+        always terminates after its fixed schedule, and the result's
+        ``rounds_executed`` is the charged round count.
+        """
+        outcome = self.run_detailed(topology, rng=rng)
+        seed_value = rng if isinstance(rng, int) else None
+        total = outcome.total_rounds
+        if max_rounds is not None and total > max_rounds:
+            # The schedule exceeded the caller's budget: report non-convergence.
+            return SimulationResult(
+                converged=False,
+                convergence_round=None,
+                rounds_executed=max_rounds,
+                final_leader_count=outcome.candidates_after_knockout,
+                protocol_name=self.name,
+                topology_name=topology.name,
+                seed=seed_value,
+            )
+        return SimulationResult(
+            converged=True,
+            convergence_round=total,
+            rounds_executed=total,
+            final_leader_count=1,
+            leader_counts=(),
+            protocol_name=self.name,
+            topology_name=topology.name,
+            seed=seed_value,
+        )
+
+    def run_detailed(
+        self, topology: Topology, rng: RngLike = None
+    ) -> PipelinedElectionOutcome:
+        """Run the election and return the per-stage details."""
+        generator = _as_rng(rng)
+        n = topology.n
+        log_n = max(1, math.ceil(math.log2(max(2, n))))
+
+        # Stage 1 — local coin-flipping knockout (beeping-faithful).
+        candidate = np.ones(n, dtype=bool)
+        adjacency = topology.sparse_adjacency()
+        knockout_rounds = self._knockout_factor * log_n
+        for _ in range(knockout_rounds):
+            if candidate.sum() <= 1:
+                break
+            beeps = candidate & (generator.random(n) < 0.5)
+            heard = adjacency.dot(beeps.astype(np.int32)) > 0
+            # A candidate that listened while a neighbour beeped withdraws.
+            candidate &= beeps | ~heard
+
+        # Stage 2 — pipelined dissemination of the maximum identifier
+        # (information-level idealisation of the beep-wave pipelining).
+        identifiers = generator.integers(1, max(2, n**3), size=n)
+        best = np.where(candidate, identifiers, 0).astype(np.int64)
+        dissemination_steps = 0
+        while True:
+            neighbour_best = _neighbourhood_max(topology, best)
+            updated = np.maximum(best, neighbour_best)
+            dissemination_steps += 1
+            if np.array_equal(updated, best):
+                break
+            best = updated
+        winner_id = int(best.max())
+        winners = np.flatnonzero(candidate & (identifiers == winner_id))
+        # Random identifiers collide only with polynomially small probability;
+        # break a residual tie by smallest node index, as [11] does with IDs.
+        winner = int(winners.min()) if len(winners) > 0 else int(np.argmax(best))
+
+        dissemination_rounds = dissemination_steps + log_n
+        return PipelinedElectionOutcome(
+            winner=winner,
+            knockout_rounds=knockout_rounds,
+            dissemination_rounds=dissemination_rounds,
+            candidates_after_knockout=int(candidate.sum()),
+        )
+
+
+def _neighbourhood_max(topology: Topology, values: np.ndarray) -> np.ndarray:
+    """For each node, the maximum of ``values`` over its neighbours."""
+    result = np.zeros_like(values)
+    for node in topology.nodes():
+        neighbours = topology.neighbors(node)
+        if neighbours:
+            result[node] = max(values[neighbour] for neighbour in neighbours)
+    return result

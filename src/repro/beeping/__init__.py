@@ -1,0 +1,70 @@
+"""Beeping-model simulators: reference simulator, vectorised engine, traces."""
+
+from repro.beeping.adversary import (
+    all_leaders_initial_states,
+    leaderless_wave_on_cycle_states,
+    planted_leaders_initial_states,
+    random_unrestricted_states,
+    random_valid_initial_states,
+    satisfies_initial_condition,
+    two_leaders_at_diameter_states,
+)
+from repro.beeping.engine import (
+    CompiledProtocol,
+    VectorizedEngine,
+    compile_protocol,
+    run_bfw,
+)
+from repro.beeping.network import (
+    Configuration,
+    all_waiting_leaders,
+    single_leader_configuration,
+)
+from repro.beeping.observers import (
+    BeepCountTracker,
+    CallbackObserver,
+    LeaderCountTracker,
+    Observer,
+    RoundSnapshot,
+    SingleLeaderStopper,
+    StateHistogramTracker,
+    TraceRecorder,
+)
+from repro.beeping.simulator import (
+    MemorySimulator,
+    SimulationResult,
+    Simulator,
+    default_round_budget,
+)
+from repro.beeping.trace import ExecutionTrace, TraceBuilder
+
+__all__ = [
+    "BeepCountTracker",
+    "CallbackObserver",
+    "CompiledProtocol",
+    "Configuration",
+    "ExecutionTrace",
+    "LeaderCountTracker",
+    "MemorySimulator",
+    "Observer",
+    "RoundSnapshot",
+    "SimulationResult",
+    "Simulator",
+    "SingleLeaderStopper",
+    "StateHistogramTracker",
+    "TraceBuilder",
+    "TraceRecorder",
+    "VectorizedEngine",
+    "all_leaders_initial_states",
+    "all_waiting_leaders",
+    "compile_protocol",
+    "default_round_budget",
+    "leaderless_wave_on_cycle_states",
+    "planted_leaders_initial_states",
+    "random_unrestricted_states",
+    "random_valid_initial_states",
+    "run_bfw",
+    "satisfies_initial_condition",
+    "single_leader_configuration",
+    "two_leaders_at_diameter_states",
+]

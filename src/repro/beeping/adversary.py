@@ -1,0 +1,163 @@
+"""Adversarial and planted initial configurations.
+
+The paper's guarantees assume the initial condition Eq. (2): every node is in
+a Waiting state and at least one node is a leader.  The Discussion (Section 5)
+explains why fully arbitrary initial configurations break the protocol — a
+cycle can carry a persistent deterministic beep wave with no leader present.
+
+This module builds the initial configurations the experiments need:
+
+* the paper's default (all nodes ``W•``),
+* *planted* configurations with a chosen set of leaders (e.g. exactly two
+  leaders at the ends of a path, used by the lower-bound experiment E4),
+* *adversarial* configurations violating Eq. (2) (leaderless beep waves on a
+  cycle), used to demonstrate the limits discussed in Section 5,
+* random valid configurations for property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.states import State
+from repro.errors import ConfigurationError
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def all_leaders_initial_states(topology: Topology) -> np.ndarray:
+    """The paper's initial configuration: every node in ``W•``."""
+    return np.full(topology.n, int(State.W_LEADER), dtype=np.int8)
+
+
+def planted_leaders_initial_states(
+    topology: Topology, leaders: Iterable[int]
+) -> np.ndarray:
+    """A configuration where exactly the given nodes start as (waiting) leaders.
+
+    All other nodes start in ``W◦``.  This satisfies Eq. (2) as long as the
+    leader set is non-empty.
+
+    Raises
+    ------
+    ConfigurationError
+        If the leader set is empty or references nodes outside the graph.
+    """
+    leader_list = sorted(set(int(node) for node in leaders))
+    if not leader_list:
+        raise ConfigurationError("at least one leader must be planted (Eq. (2))")
+    states = np.full(topology.n, int(State.W_FOLLOWER), dtype=np.int8)
+    for node in leader_list:
+        if not 0 <= node < topology.n:
+            raise ConfigurationError(
+                f"leader {node} outside node range 0..{topology.n - 1}"
+            )
+        states[node] = int(State.W_LEADER)
+    return states
+
+
+def two_leaders_at_diameter_states(topology: Topology) -> np.ndarray:
+    """Exactly two leaders placed at (approximately) diametral nodes.
+
+    This is the configuration of the paper's Section 5 lower-bound
+    discussion: two leaders at the ends of a path of length ``D``, whose
+    waves meet in the middle and whose meeting point performs a random walk.
+    """
+    from repro.graphs.properties import peripheral_pair
+
+    first, second = peripheral_pair(topology)
+    if first == second:
+        raise ConfigurationError(
+            "graph has a single node; cannot plant two distinct leaders"
+        )
+    return planted_leaders_initial_states(topology, (first, second))
+
+
+def random_valid_initial_states(
+    topology: Topology,
+    rng: RngLike = None,
+    leader_probability: float = 0.5,
+) -> np.ndarray:
+    """A random configuration satisfying Eq. (2).
+
+    Every node is Waiting; each node is independently a leader with
+    probability ``leader_probability``, and one uniformly random node is
+    forced to be a leader so that the configuration is never leaderless.
+    """
+    if not 0.0 <= leader_probability <= 1.0:
+        raise ConfigurationError(
+            f"leader probability must lie in [0, 1]; got {leader_probability}"
+        )
+    generator = _as_rng(rng)
+    is_leader = generator.random(topology.n) < leader_probability
+    is_leader[int(generator.integers(0, topology.n))] = True
+    states = np.where(
+        is_leader, int(State.W_LEADER), int(State.W_FOLLOWER)
+    ).astype(np.int8)
+    return states
+
+
+def leaderless_wave_on_cycle_states(topology: Topology) -> np.ndarray:
+    """An adversarial, leaderless configuration carrying a persistent wave.
+
+    Section 5 observes that if arbitrary initial configurations were allowed,
+    a cycle could contain a beep wave travelling forever with no leader in
+    the network.  On a cycle ``v_0, v_1, ..., v_{n-1}`` the configuration
+
+    * ``v_0`` in ``B◦`` (beeping), ``v_1`` in ``W◦``, ``v_{n-1}`` in ``F◦``
+      (just beeped), all other nodes in ``W◦``
+
+    produces a wave that rotates around the cycle indefinitely under the BFW
+    transition rules.  The experiment harness uses it to demonstrate the
+    necessity of the initial condition.
+
+    The function assumes the topology is a cycle with consecutive labels
+    (as produced by :func:`repro.graphs.generators.cycle_graph`); it raises
+    :class:`ConfigurationError` otherwise.
+    """
+    n = topology.n
+    if n < 3:
+        raise ConfigurationError("a leaderless wave needs a cycle of length >= 3")
+    expected_edges = {(i, (i + 1) % n) for i in range(n)}
+    normalised = {(min(u, v), max(u, v)) for u, v in expected_edges}
+    if set(topology.edges) != normalised:
+        raise ConfigurationError(
+            "leaderless_wave_on_cycle_states requires a consecutively-labelled cycle"
+        )
+    states = np.full(n, int(State.W_FOLLOWER), dtype=np.int8)
+    states[0] = int(State.B_FOLLOWER)
+    states[n - 1] = int(State.F_FOLLOWER)
+    return states
+
+
+def random_unrestricted_states(
+    topology: Topology, rng: RngLike = None
+) -> np.ndarray:
+    """A uniformly random assignment over all six states (may violate Eq. (2)).
+
+    Used by robustness experiments that probe the protocol's behaviour outside
+    its guaranteed operating envelope.
+    """
+    generator = _as_rng(rng)
+    return generator.integers(0, len(State), size=topology.n).astype(np.int8)
+
+
+def satisfies_initial_condition(states: Sequence[int]) -> bool:
+    """Whether a state vector satisfies the paper's Eq. (2).
+
+    Eq. (2) requires every node to be Waiting and at least one node to be a
+    (waiting) leader.
+    """
+    values = [State(int(v)) for v in states]
+    all_waiting = all(value.is_waiting for value in values)
+    has_leader = any(value.is_leader for value in values)
+    return all_waiting and has_leader

@@ -1,0 +1,329 @@
+"""A vectorised engine for constant-state beeping protocols.
+
+The reference :class:`~repro.beeping.simulator.Simulator` applies transition
+kernels node by node in Python, which is convenient for auditing but too slow
+for the scaling experiments (paths with hundreds of nodes simulated for tens
+of thousands of rounds, dozens of seeds).  This engine compiles a protocol's
+transition table into dense numpy lookup arrays and advances all nodes of a
+round with a handful of array operations:
+
+* the beeping mask is a vectorised membership test on the state vector;
+* "who hears a beep" is one sparse matrix–vector product with the adjacency
+  matrix;
+* the transition is a gather from the compiled lookup tables, with a single
+  vector of uniform random numbers resolving every probabilistic transition
+  of the round.
+
+The engine supports any protocol whose states are integer-valued and whose
+transition rows have at most two outcomes — which covers BFW, its ablation
+variants, and any similar coin-toss protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.beeping.simulator import SimulationResult, default_round_budget
+from repro.beeping.trace import ExecutionTrace
+from repro.core.protocol import BeepingProtocol
+from repro.errors import ConfigurationError, ProtocolError, SimulationError
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class CompiledProtocol:
+    """Dense lookup-table representation of a two-outcome beeping protocol.
+
+    Attributes
+    ----------
+    num_states:
+        Number of compiled state slots (``max state value + 1``).
+    initial_state:
+        Integer value of the initial state.
+    is_beeping:
+        Boolean array indexed by state value.
+    is_leader:
+        Boolean array indexed by state value.
+    succ_primary, succ_secondary, primary_probability:
+        Arrays of shape ``(num_states, 2)``; the second axis is indexed by the
+        "heard a beep" flag (0 = silent / ``δ⊥``, 1 = heard / ``δ⊤``).  A
+        transition goes to ``succ_primary`` with ``primary_probability`` and
+        to ``succ_secondary`` otherwise.
+    """
+
+    num_states: int
+    initial_state: int
+    is_beeping: np.ndarray
+    is_leader: np.ndarray
+    succ_primary: np.ndarray
+    succ_secondary: np.ndarray
+    primary_probability: np.ndarray
+    protocol_name: str = ""
+
+    @property
+    def beeping_values(self) -> Tuple[int, ...]:
+        """Integer state values classified as beeping."""
+        return tuple(int(v) for v in np.flatnonzero(self.is_beeping))
+
+    @property
+    def leader_values(self) -> Tuple[int, ...]:
+        """Integer state values classified as leader states."""
+        return tuple(int(v) for v in np.flatnonzero(self.is_leader))
+
+
+def compile_protocol(protocol: BeepingProtocol) -> CompiledProtocol:
+    """Compile ``protocol`` into dense lookup tables.
+
+    Raises
+    ------
+    ProtocolError
+        If the protocol's states are not integer-valued, or if some transition
+        row has more than two outcomes (such protocols must use the reference
+        simulator instead).
+    """
+    protocol.validate()
+    states = list(protocol.states())
+    try:
+        values = [int(s) for s in states]
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"protocol {protocol.name!r} has non-integer states and cannot be "
+            "compiled for the vectorised engine"
+        ) from None
+    if any(v < 0 for v in values):
+        raise ProtocolError("state values must be non-negative for compilation")
+
+    num_states = max(values) + 1
+    is_beeping = np.zeros(num_states, dtype=bool)
+    is_leader = np.zeros(num_states, dtype=bool)
+    for state, value in zip(states, values):
+        is_beeping[value] = protocol.is_beeping(state)
+        is_leader[value] = protocol.is_leader(state)
+
+    succ_primary = np.zeros((num_states, 2), dtype=np.int8)
+    succ_secondary = np.zeros((num_states, 2), dtype=np.int8)
+    primary_probability = np.ones((num_states, 2), dtype=float)
+    # Unused slots self-loop, so a stray state value cannot escape its slot.
+    for value in range(num_states):
+        succ_primary[value, :] = value
+        succ_secondary[value, :] = value
+
+    table = protocol.transition_table()
+    for heard_index, kernel in ((0, table.silent), (1, table.heard)):
+        for state, distribution in kernel.items():
+            value = int(state)
+            outcomes = sorted(distribution.items(), key=lambda kv: -kv[1])
+            if len(outcomes) > 2:
+                raise ProtocolError(
+                    f"state {state!r} of protocol {protocol.name!r} has "
+                    f"{len(outcomes)} outcomes; the vectorised engine supports "
+                    "at most two"
+                )
+            primary_state, primary_prob = outcomes[0]
+            secondary_state = outcomes[1][0] if len(outcomes) == 2 else primary_state
+            succ_primary[value, heard_index] = int(primary_state)
+            succ_secondary[value, heard_index] = int(secondary_state)
+            primary_probability[value, heard_index] = float(primary_prob)
+
+    return CompiledProtocol(
+        num_states=num_states,
+        initial_state=int(protocol.initial_state),
+        is_beeping=is_beeping,
+        is_leader=is_leader,
+        succ_primary=succ_primary,
+        succ_secondary=succ_secondary,
+        primary_probability=primary_probability,
+        protocol_name=protocol.name,
+    )
+
+
+class VectorizedEngine:
+    """Fast simulator for compiled constant-state protocols.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    protocol:
+        The protocol to execute; compiled once at construction time.
+    """
+
+    def __init__(self, topology: Topology, protocol: BeepingProtocol) -> None:
+        self._topology = topology
+        self._protocol = protocol
+        self._compiled = compile_protocol(protocol)
+        self._adjacency = topology.sparse_adjacency()
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> BeepingProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The compiled lookup tables."""
+        return self._compiled
+
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        rng: RngLike = None,
+        initial_states: Optional[Sequence[int]] = None,
+        record_trace: bool = False,
+        record_beep_counts: bool = False,
+        stop_at_single_leader: bool = True,
+    ) -> SimulationResult:
+        """Execute the protocol and return a :class:`SimulationResult`.
+
+        Parameters
+        ----------
+        max_rounds:
+            Round budget; defaults to :func:`default_round_budget`.
+        rng:
+            Seed or generator driving all probabilistic transitions.
+        initial_states:
+            Integer state values per node; defaults to every node in the
+            protocol's initial state.
+        record_trace:
+            Whether to store and return the full state history.
+        record_beep_counts:
+            Whether to accumulate ``N^beep`` per node (available through
+            :attr:`last_beep_counts` after the run).
+        stop_at_single_leader:
+            Stop as soon as the leader count reaches one.
+        """
+        seed_value = rng if isinstance(rng, int) else None
+        generator = _as_rng(rng)
+        if max_rounds is None:
+            max_rounds = default_round_budget(self._topology)
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0; got {max_rounds}")
+
+        n = self._topology.n
+        compiled = self._compiled
+        if initial_states is None:
+            states = np.full(n, compiled.initial_state, dtype=np.int8)
+        else:
+            states = np.asarray(initial_states, dtype=np.int8).copy()
+            if states.shape != (n,):
+                raise SimulationError(
+                    f"initial_states has shape {states.shape}; expected ({n},)"
+                )
+            if (states < 0).any() or (states >= compiled.num_states).any():
+                raise SimulationError("initial_states contains invalid state values")
+
+        history: List[np.ndarray] = []
+        beep_counts = np.zeros(n, dtype=np.int64) if record_beep_counts else None
+        leader_counts: List[int] = []
+
+        leaders = compiled.is_leader[states]
+        leader_count = int(leaders.sum())
+        leader_counts.append(leader_count)
+        if record_trace:
+            history.append(states.copy())
+        if beep_counts is not None:
+            beep_counts += compiled.is_beeping[states]
+
+        convergence_round: Optional[int] = 0 if leader_count == 1 else None
+        rounds_executed = 0
+
+        while rounds_executed < max_rounds:
+            if stop_at_single_leader and leader_count == 1:
+                break
+            beeping = compiled.is_beeping[states]
+            if beeping.any():
+                heard = beeping | (
+                    self._adjacency.dot(beeping.astype(np.int32)) > 0
+                )
+            else:
+                heard = beeping
+            heard_index = heard.astype(np.int8)
+
+            primary = compiled.succ_primary[states, heard_index]
+            secondary = compiled.succ_secondary[states, heard_index]
+            probability = compiled.primary_probability[states, heard_index]
+            uniforms = generator.random(n)
+            states = np.where(uniforms < probability, primary, secondary).astype(
+                np.int8
+            )
+            rounds_executed += 1
+
+            leader_count = int(compiled.is_leader[states].sum())
+            leader_counts.append(leader_count)
+            if record_trace:
+                history.append(states.copy())
+            if beep_counts is not None:
+                beep_counts += compiled.is_beeping[states]
+            if leader_count == 1 and convergence_round is None:
+                convergence_round = rounds_executed
+            elif leader_count != 1:
+                convergence_round = None
+
+        self.last_states = states.copy()
+        self.last_beep_counts = (
+            beep_counts.copy() if beep_counts is not None else None
+        )
+
+        trace: Optional[ExecutionTrace] = None
+        if record_trace:
+            trace = ExecutionTrace(
+                states=np.vstack(history),
+                beeping_values=compiled.beeping_values,
+                leader_values=compiled.leader_values,
+                protocol_name=compiled.protocol_name,
+                topology_name=self._topology.name,
+                seed=seed_value,
+            )
+
+        converged = convergence_round is not None and leader_counts[-1] == 1
+        return SimulationResult(
+            converged=converged,
+            convergence_round=convergence_round if converged else None,
+            rounds_executed=rounds_executed,
+            final_leader_count=leader_counts[-1],
+            leader_counts=tuple(leader_counts),
+            protocol_name=compiled.protocol_name,
+            topology_name=self._topology.name,
+            seed=seed_value,
+            trace=trace,
+        )
+
+
+def run_bfw(
+    topology: Topology,
+    protocol: Optional[BeepingProtocol] = None,
+    max_rounds: Optional[int] = None,
+    rng: RngLike = None,
+    record_trace: bool = False,
+) -> SimulationResult:
+    """Convenience wrapper: run BFW (or a given protocol) with the fast engine.
+
+    Examples
+    --------
+    >>> from repro.graphs import path_graph
+    >>> result = run_bfw(path_graph(16), rng=7)
+    >>> result.converged
+    True
+    >>> result.final_leader_count
+    1
+    """
+    from repro.core.bfw import BFWProtocol
+
+    engine = VectorizedEngine(topology, protocol or BFWProtocol())
+    return engine.run(max_rounds=max_rounds, rng=rng, record_trace=record_trace)

@@ -1,0 +1,190 @@
+"""Network configurations: the state of every node at one instant.
+
+A :class:`Configuration` couples a topology with the per-node protocol states
+of a single round.  It provides the queries the simulator and the analysis
+layer need each round — who is beeping, who is a leader, and who hears a
+beep — in both scalar and vectorised form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.protocol import BeepingProtocol
+from repro.core.states import State
+from repro.errors import SimulationError
+from repro.graphs.topology import Topology
+
+
+class Configuration:
+    """The per-node states of one round of a finite-state beeping protocol.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    protocol:
+        The protocol whose states the configuration holds; used to classify
+        states into beeping / leader sets.
+    states:
+        Either a mapping from node to state, or a sequence of states indexed
+        by node.  Defaults to every node being in the protocol's initial
+        state, which is the paper's initial condition (Eq. (2)).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: BeepingProtocol,
+        states: Optional[Sequence[Hashable]] = None,
+    ) -> None:
+        self._topology = topology
+        self._protocol = protocol
+        if states is None:
+            self._states: List[Hashable] = [protocol.initial_state] * topology.n
+        else:
+            if isinstance(states, Mapping):
+                self._states = [
+                    states.get(node, protocol.initial_state)
+                    for node in topology.nodes()
+                ]
+            else:
+                self._states = list(states)
+            if len(self._states) != topology.n:
+                raise SimulationError(
+                    f"configuration has {len(self._states)} states for a graph of "
+                    f"{topology.n} nodes"
+                )
+        valid = set(protocol.states())
+        for node, state in enumerate(self._states):
+            if state not in valid:
+                raise SimulationError(
+                    f"node {node} is in state {state!r}, which does not belong to "
+                    f"protocol {protocol.name!r}"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> BeepingProtocol:
+        """The protocol whose states this configuration holds."""
+        return self._protocol
+
+    def state_of(self, node: int) -> Hashable:
+        """The state of ``node``."""
+        return self._states[node]
+
+    def states(self) -> Tuple[Hashable, ...]:
+        """All node states, indexed by node."""
+        return tuple(self._states)
+
+    def state_values(self) -> np.ndarray:
+        """Integer values of all states (requires integer-valued states)."""
+        return np.array([int(s) for s in self._states], dtype=np.int8)
+
+    # ------------------------------------------------------------------ #
+    # Round semantics
+    # ------------------------------------------------------------------ #
+
+    def is_beeping(self, node: int) -> bool:
+        """Whether ``node`` beeps in this round."""
+        return self._protocol.is_beeping(self._states[node])
+
+    def is_leader(self, node: int) -> bool:
+        """Whether ``node`` is in a leader state in this round."""
+        return self._protocol.is_leader(self._states[node])
+
+    def beeping_nodes(self) -> Tuple[int, ...]:
+        """The set ``B_t`` of beeping nodes."""
+        return tuple(
+            node for node in self._topology.nodes() if self.is_beeping(node)
+        )
+
+    def leaders(self) -> Tuple[int, ...]:
+        """The nodes currently in a leader state."""
+        return tuple(node for node in self._topology.nodes() if self.is_leader(node))
+
+    def leader_count(self) -> int:
+        """Number of leaders in this configuration."""
+        return sum(1 for node in self._topology.nodes() if self.is_leader(node))
+
+    def hears_beep(self, node: int) -> bool:
+        """Whether ``node`` triggers the ``δ⊤`` kernel this round.
+
+        Per the paper's semantics, a node hears a beep if it beeps itself or
+        if at least one of its neighbours beeps.
+        """
+        if self.is_beeping(node):
+            return True
+        return any(
+            self.is_beeping(neighbour)
+            for neighbour in self._topology.neighbors(node)
+        )
+
+    def heard_vector(self) -> np.ndarray:
+        """Boolean vector: ``heard[u]`` is ``True`` iff ``u`` triggers ``δ⊤``."""
+        beeping = np.array(
+            [self.is_beeping(node) for node in self._topology.nodes()], dtype=bool
+        )
+        if not beeping.any():
+            return beeping
+        adjacency = self._topology.sparse_adjacency()
+        neighbour_beeps = adjacency.dot(beeping.astype(np.int32)) > 0
+        return beeping | neighbour_beeps
+
+    # ------------------------------------------------------------------ #
+    # Derived configurations
+    # ------------------------------------------------------------------ #
+
+    def replace(self, changes: Mapping[int, Hashable]) -> "Configuration":
+        """A copy of this configuration with some node states replaced."""
+        states = list(self._states)
+        for node, state in changes.items():
+            states[node] = state
+        return Configuration(self._topology, self._protocol, states)
+
+    def counts_by_state(self) -> Dict[Hashable, int]:
+        """How many nodes are in each state."""
+        counts: Dict[Hashable, int] = {}
+        for state in self._states:
+            counts[state] = counts.get(state, 0) + 1
+        return counts
+
+    def __repr__(self) -> str:
+        counts = self.counts_by_state()
+        summary = ", ".join(
+            f"{getattr(state, 'short_name', state)}: {count}"
+            for state, count in sorted(counts.items(), key=lambda kv: str(kv[0]))
+        )
+        return (
+            f"Configuration(n={self._topology.n}, leaders={self.leader_count()}, "
+            f"states={{{summary}}})"
+        )
+
+
+def all_waiting_leaders(topology: Topology, protocol: BeepingProtocol) -> Configuration:
+    """The paper's initial configuration: every node in the initial state ``W•``."""
+    return Configuration(topology, protocol)
+
+
+def single_leader_configuration(
+    topology: Topology, protocol: BeepingProtocol, leader: int
+) -> Configuration:
+    """A configuration where only ``leader`` starts as a leader.
+
+    All other nodes start in the non-leader waiting state.  Requires the
+    protocol's states to be :class:`~repro.core.states.State` members (true
+    for the BFW family).
+    """
+    states = [State.W_FOLLOWER] * topology.n
+    states[leader] = State.W_LEADER
+    return Configuration(topology, protocol, states)

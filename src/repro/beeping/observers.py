@@ -1,0 +1,224 @@
+"""Observers: pluggable per-round hooks for the reference simulator.
+
+Observers let callers record traces, check invariants on-line, collect
+statistics or stop the simulation early without modifying the simulator
+itself.  They receive immutable snapshots each round, so a misbehaving
+observer cannot corrupt an execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.beeping.trace import ExecutionTrace, TraceBuilder
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class RoundSnapshot:
+    """What an observer sees at the end of a round.
+
+    Attributes
+    ----------
+    round_index:
+        Index of the configuration being reported; index 0 is the initial
+        configuration, reported before any transition happens.
+    state_values:
+        Integer state values of every node in that round.
+    beeping:
+        Boolean mask of beeping nodes in that round.
+    leaders:
+        Boolean mask of nodes in a leader state in that round.
+    heard:
+        Boolean mask of nodes that triggered ``δ⊤`` in that round (i.e. beeped
+        or heard a beep); what the *next* transition of each node will use.
+    """
+
+    round_index: int
+    state_values: np.ndarray
+    beeping: np.ndarray
+    leaders: np.ndarray
+    heard: np.ndarray
+
+    @property
+    def leader_count(self) -> int:
+        """Number of leaders in this round."""
+        return int(self.leaders.sum())
+
+    @property
+    def beep_count(self) -> int:
+        """Number of beeping nodes in this round."""
+        return int(self.beeping.sum())
+
+
+class Observer:
+    """Base class for simulation observers; every hook is optional."""
+
+    def on_start(self, n: int, protocol_name: str, topology_name: str) -> None:
+        """Called once before the first round."""
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        """Called for round 0 (initial configuration) and after every transition."""
+
+    def on_finish(self, final_snapshot: RoundSnapshot) -> None:
+        """Called once after the last round."""
+
+    def should_stop(self, snapshot: RoundSnapshot) -> bool:
+        """Return ``True`` to stop the simulation after this round."""
+        return False
+
+
+class TraceRecorder(Observer):
+    """Record the full execution trace.
+
+    Parameters
+    ----------
+    beeping_values, leader_values:
+        The state values classified as beeping / leader, used to interpret
+        the stored integer states later.
+    """
+
+    def __init__(
+        self,
+        beeping_values: Sequence[int],
+        leader_values: Sequence[int],
+        seed: Optional[int] = None,
+    ) -> None:
+        self._beeping_values = tuple(beeping_values)
+        self._leader_values = tuple(leader_values)
+        self._seed = seed
+        self._builder: Optional[TraceBuilder] = None
+        self._protocol_name = ""
+        self._topology_name = ""
+
+    def on_start(self, n: int, protocol_name: str, topology_name: str) -> None:
+        self._protocol_name = protocol_name
+        self._topology_name = topology_name
+        self._builder = TraceBuilder(
+            beeping_values=self._beeping_values,
+            leader_values=self._leader_values,
+            protocol_name=protocol_name,
+            topology_name=topology_name,
+            seed=self._seed,
+        )
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        if self._builder is None:
+            raise SimulationError("TraceRecorder.on_round called before on_start")
+        self._builder.record(snapshot.state_values)
+
+    def trace(self) -> ExecutionTrace:
+        """The recorded trace; only valid after the simulation has run."""
+        if self._builder is None or len(self._builder) == 0:
+            raise SimulationError("no trace has been recorded yet")
+        return self._builder.build()
+
+
+class LeaderCountTracker(Observer):
+    """Track the number of leaders over time and the convergence round."""
+
+    def __init__(self) -> None:
+        self.counts: List[int] = []
+        self._first_single: Optional[int] = None
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        count = snapshot.leader_count
+        self.counts.append(count)
+        if count == 1 and self._first_single is None:
+            self._first_single = snapshot.round_index
+        elif count != 1:
+            self._first_single = None
+
+    @property
+    def convergence_round(self) -> Optional[int]:
+        """First round from which the configuration has had exactly one leader."""
+        return self._first_single
+
+    @property
+    def final_count(self) -> Optional[int]:
+        """The leader count in the last observed round."""
+        return self.counts[-1] if self.counts else None
+
+
+class SingleLeaderStopper(Observer):
+    """Stop the simulation once a single-leader configuration persists.
+
+    For BFW the leader count is non-increasing, so ``patience=0`` (stop as
+    soon as one leader remains) is exact.  Baselines whose candidate sets can
+    fluctuate should use a positive patience window.
+    """
+
+    def __init__(self, patience: int = 0) -> None:
+        if patience < 0:
+            raise SimulationError(f"patience must be non-negative; got {patience}")
+        self._patience = patience
+        self._consecutive = 0
+
+    def should_stop(self, snapshot: RoundSnapshot) -> bool:
+        if snapshot.leader_count == 1:
+            self._consecutive += 1
+        else:
+            self._consecutive = 0
+        return self._consecutive > self._patience
+
+
+class BeepCountTracker(Observer):
+    """Track ``N^beep_t(u)`` for every node, on-line."""
+
+    def __init__(self) -> None:
+        self._counts: Optional[np.ndarray] = None
+        self.history: List[np.ndarray] = []
+
+    def on_start(self, n: int, protocol_name: str, topology_name: str) -> None:
+        self._counts = np.zeros(n, dtype=np.int64)
+        self.history = []
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        if self._counts is None:
+            raise SimulationError("BeepCountTracker.on_round called before on_start")
+        self._counts += snapshot.beeping.astype(np.int64)
+        self.history.append(self._counts.copy())
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Current ``N^beep`` vector."""
+        if self._counts is None:
+            raise SimulationError("no rounds observed yet")
+        return self._counts.copy()
+
+
+class CallbackObserver(Observer):
+    """Adapter turning a plain callable into an observer."""
+
+    def __init__(
+        self,
+        on_round: Optional[Callable[[RoundSnapshot], None]] = None,
+        should_stop: Optional[Callable[[RoundSnapshot], bool]] = None,
+    ) -> None:
+        self._on_round = on_round
+        self._should_stop = should_stop
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        if self._on_round is not None:
+            self._on_round(snapshot)
+
+    def should_stop(self, snapshot: RoundSnapshot) -> bool:
+        if self._should_stop is not None:
+            return bool(self._should_stop(snapshot))
+        return False
+
+
+class StateHistogramTracker(Observer):
+    """Track how many nodes are in each state value, per round."""
+
+    def __init__(self) -> None:
+        self.histograms: List[Dict[int, int]] = []
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        values, counts = np.unique(snapshot.state_values, return_counts=True)
+        self.histograms.append(
+            {int(v): int(c) for v, c in zip(values, counts)}
+        )

@@ -1,0 +1,393 @@
+"""The reference simulator for the synchronous beeping model.
+
+Two simulators are provided:
+
+* :class:`Simulator` runs constant-state protocols
+  (:class:`~repro.core.protocol.BeepingProtocol`, e.g. BFW) by literally
+  applying the probabilistic transition kernels node by node.  It is the
+  easy-to-audit reference implementation that the test suite checks the
+  vectorised engine against.
+* :class:`MemorySimulator` runs baseline algorithms with unbounded per-node
+  memory (:class:`~repro.core.protocol.MemoryProtocol`).
+
+Both enforce the paper's communication semantics: in each round every node
+either beeps or listens, and a listening node hears a beep if and only if at
+least one of its neighbours beeps (a beeping node is also treated as hearing
+a beep, which is how the paper applies ``δ⊤`` to beeping states).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.beeping.network import Configuration
+from repro.beeping.observers import (
+    LeaderCountTracker,
+    Observer,
+    RoundSnapshot,
+    SingleLeaderStopper,
+    TraceRecorder,
+)
+from repro.beeping.trace import ExecutionTrace
+from repro.core.protocol import BeepingProtocol, MemoryProtocol
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def default_round_budget(topology: Topology, safety_factor: float = 64.0) -> int:
+    """A generous default round budget of order ``D² log n``.
+
+    Theorem 2 guarantees convergence within ``O(D² log n)`` rounds w.h.p.;
+    the default budget multiplies that by a safety factor so that the budget
+    is effectively never the binding constraint in experiments.
+    """
+    n = max(2, topology.n)
+    diameter = max(1, topology.diameter())
+    budget = safety_factor * diameter * diameter * (math.log2(n) + 1.0)
+    return int(budget) + 256
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a single simulated execution.
+
+    Attributes
+    ----------
+    converged:
+        Whether the execution reached a single-leader configuration within
+        the round budget.
+    convergence_round:
+        First round from which exactly one leader remained, or ``None``.
+    rounds_executed:
+        Number of transition rounds that were simulated.
+    final_leader_count:
+        Number of leaders in the last simulated round.
+    leader_counts:
+        Leader count per recorded round (round 0 included).
+    protocol_name, topology_name, seed:
+        Provenance metadata.
+    trace:
+        Full execution trace, present only when trace recording was enabled.
+    """
+
+    converged: bool
+    convergence_round: Optional[int]
+    rounds_executed: int
+    final_leader_count: int
+    leader_counts: Tuple[int, ...] = ()
+    protocol_name: str = ""
+    topology_name: str = ""
+    seed: Optional[int] = None
+    trace: Optional[ExecutionTrace] = None
+
+    def as_dict(self) -> dict:
+        """Plain-dictionary view (without the trace) for serialisation."""
+        return {
+            "converged": self.converged,
+            "convergence_round": self.convergence_round,
+            "rounds_executed": self.rounds_executed,
+            "final_leader_count": self.final_leader_count,
+            "protocol_name": self.protocol_name,
+            "topology_name": self.topology_name,
+            "seed": self.seed,
+        }
+
+
+class Simulator:
+    """Reference simulator for constant-state beeping protocols.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    protocol:
+        The protocol to execute.
+    """
+
+    def __init__(self, topology: Topology, protocol: BeepingProtocol) -> None:
+        protocol.validate()
+        self._topology = topology
+        self._protocol = protocol
+        self._beeping_values = tuple(
+            int(s) for s in protocol.states() if protocol.is_beeping(s)
+        )
+        self._leader_values = tuple(
+            int(s) for s in protocol.states() if protocol.is_leader(s)
+        )
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> BeepingProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        rng: RngLike = None,
+        initial_configuration: Optional[Configuration] = None,
+        observers: Sequence[Observer] = (),
+        record_trace: bool = False,
+        stop_at_single_leader: bool = True,
+    ) -> SimulationResult:
+        """Execute the protocol and return a :class:`SimulationResult`.
+
+        Parameters
+        ----------
+        max_rounds:
+            Round budget; defaults to :func:`default_round_budget`.
+        rng:
+            Seed or generator driving all probabilistic transitions.
+        initial_configuration:
+            Starting configuration; defaults to every node in the protocol's
+            initial state (the paper's Eq. (2)).
+        observers:
+            Additional observers to attach.
+        record_trace:
+            Whether to record (and return) the full execution trace.
+        stop_at_single_leader:
+            Whether to stop as soon as a single leader remains.  For BFW this
+            is sound because the leader count never increases.
+        """
+        seed_value = rng if isinstance(rng, int) else None
+        generator = _as_rng(rng)
+        if max_rounds is None:
+            max_rounds = default_round_budget(self._topology)
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0; got {max_rounds}")
+
+        configuration = initial_configuration or Configuration(
+            self._topology, self._protocol
+        )
+        if configuration.topology is not self._topology:
+            raise SimulationError(
+                "initial configuration was built for a different topology"
+            )
+
+        tracker = LeaderCountTracker()
+        all_observers: List[Observer] = [tracker]
+        recorder: Optional[TraceRecorder] = None
+        if record_trace:
+            recorder = TraceRecorder(
+                beeping_values=self._beeping_values,
+                leader_values=self._leader_values,
+                seed=seed_value,
+            )
+            all_observers.append(recorder)
+        if stop_at_single_leader:
+            all_observers.append(SingleLeaderStopper())
+        all_observers.extend(observers)
+
+        for observer in all_observers:
+            observer.on_start(
+                self._topology.n, self._protocol.name, self._topology.name
+            )
+
+        states = list(configuration.states())
+        rounds_executed = 0
+        snapshot = self._snapshot(0, states)
+        stop = self._notify(all_observers, snapshot)
+
+        while not stop and rounds_executed < max_rounds:
+            states = self._step(states, snapshot.heard, generator)
+            rounds_executed += 1
+            snapshot = self._snapshot(rounds_executed, states)
+            stop = self._notify(all_observers, snapshot)
+
+        for observer in all_observers:
+            observer.on_finish(snapshot)
+
+        convergence_round = tracker.convergence_round
+        return SimulationResult(
+            converged=convergence_round is not None,
+            convergence_round=convergence_round,
+            rounds_executed=rounds_executed,
+            final_leader_count=snapshot.leader_count,
+            leader_counts=tuple(tracker.counts),
+            protocol_name=self._protocol.name,
+            topology_name=self._topology.name,
+            seed=seed_value,
+            trace=recorder.trace() if recorder is not None else None,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _step(
+        self,
+        states: List[Hashable],
+        heard: np.ndarray,
+        rng: np.random.Generator,
+    ) -> List[Hashable]:
+        """Apply one synchronous transition to every node."""
+        return [
+            self._protocol.transition(state, bool(heard[node]), rng)
+            for node, state in enumerate(states)
+        ]
+
+    def _snapshot(self, round_index: int, states: Sequence[Hashable]) -> RoundSnapshot:
+        values = np.array([int(s) for s in states], dtype=np.int8)
+        beeping = np.isin(values, self._beeping_values)
+        leaders = np.isin(values, self._leader_values)
+        if beeping.any():
+            adjacency = self._topology.sparse_adjacency()
+            heard = beeping | (adjacency.dot(beeping.astype(np.int32)) > 0)
+        else:
+            heard = beeping.copy()
+        return RoundSnapshot(
+            round_index=round_index,
+            state_values=values,
+            beeping=beeping,
+            leaders=leaders,
+            heard=heard,
+        )
+
+    @staticmethod
+    def _notify(observers: Sequence[Observer], snapshot: RoundSnapshot) -> bool:
+        stop = False
+        for observer in observers:
+            observer.on_round(snapshot)
+            if observer.should_stop(snapshot):
+                stop = True
+        return stop
+
+
+class MemorySimulator:
+    """Simulator for beeping algorithms with unbounded per-node memory.
+
+    The round structure is identical to :class:`Simulator`; only the state
+    representation differs.  The result's "leader count" is the number of
+    nodes whose memory currently marks them as (candidate) leader.
+    """
+
+    def __init__(self, topology: Topology, protocol: MemoryProtocol) -> None:
+        self._topology = topology
+        self._protocol = protocol
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> MemoryProtocol:
+        """The algorithm being simulated."""
+        return self._protocol
+
+    def run(
+        self,
+        max_rounds: Optional[int] = None,
+        rng: RngLike = None,
+        stop_at_single_leader: bool = True,
+        stability_window: int = 2,
+    ) -> SimulationResult:
+        """Execute the algorithm and return a :class:`SimulationResult`.
+
+        Parameters
+        ----------
+        max_rounds:
+            Round budget; defaults to :func:`default_round_budget`.
+        rng:
+            Seed or generator for the algorithm's random choices.
+        stop_at_single_leader:
+            Stop once a single candidate leader has persisted for
+            ``stability_window`` consecutive rounds, or as soon as every node
+            reports termination.
+        stability_window:
+            Number of consecutive single-leader rounds required before
+            stopping (baselines may transiently drop to one candidate).
+        """
+        seed_value = rng if isinstance(rng, int) else None
+        generator = _as_rng(rng)
+        if max_rounds is None:
+            max_rounds = default_round_budget(self._topology)
+
+        n = self._topology.n
+        adjacency = self._topology.sparse_adjacency()
+        memories = [
+            self._protocol.create_memory(node, n, generator) for node in range(n)
+        ]
+
+        leader_counts: List[int] = []
+        convergence_round: Optional[int] = None
+        consecutive_single = 0
+        rounds_executed = 0
+
+        def leader_count() -> int:
+            return sum(1 for memory in memories if self._protocol.is_leader(memory))
+
+        count = leader_count()
+        leader_counts.append(count)
+        if count == 1:
+            convergence_round = 0
+            consecutive_single = 1
+
+        for round_index in range(max_rounds):
+            beeping = np.array(
+                [
+                    self._protocol.wants_to_beep(memory, round_index)
+                    for memory in memories
+                ],
+                dtype=bool,
+            )
+            if beeping.any():
+                heard = beeping | (adjacency.dot(beeping.astype(np.int32)) > 0)
+            else:
+                heard = beeping
+            memories = [
+                self._protocol.update(
+                    memory, bool(heard[node]), round_index, generator
+                )
+                for node, memory in enumerate(memories)
+            ]
+            rounds_executed += 1
+
+            count = leader_count()
+            leader_counts.append(count)
+            if count == 1:
+                if convergence_round is None:
+                    convergence_round = rounds_executed
+                consecutive_single += 1
+            else:
+                convergence_round = None
+                consecutive_single = 0
+
+            everyone_terminated = all(
+                self._protocol.has_terminated(memory) for memory in memories
+            )
+            if everyone_terminated:
+                break
+            if (
+                stop_at_single_leader
+                and consecutive_single >= max(1, stability_window)
+            ):
+                break
+
+        converged = convergence_round is not None and leader_counts[-1] == 1
+        return SimulationResult(
+            converged=converged,
+            convergence_round=convergence_round if converged else None,
+            rounds_executed=rounds_executed,
+            final_leader_count=leader_counts[-1],
+            leader_counts=tuple(leader_counts),
+            protocol_name=self._protocol.name,
+            topology_name=self._topology.name,
+            seed=seed_value,
+        )

@@ -1,0 +1,256 @@
+"""Execution traces: the full per-round history of a simulation.
+
+A trace records, for every executed round, the state of every node and the
+set of nodes that beeped.  Traces are what the analysis layer consumes to
+verify the deterministic properties of Section 3 (flow conservation, Ohm's
+law, Claim 6) and to extract beep waves for visualisation.
+
+For the constant-state protocols the states are stored as a compact
+``(rounds + 1) × n`` integer array; row ``t`` is the configuration *in round
+t*, with row ``0`` being the initial configuration.  The convention matches
+the paper: a node "beeps in round t" if its state in round ``t`` belongs to
+``Qb``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.states import State
+from repro.errors import TraceError
+
+
+@dataclass
+class ExecutionTrace:
+    """Complete state history of a finite-state-protocol execution.
+
+    Attributes
+    ----------
+    states:
+        Integer array of shape ``(rounds + 1, n)``; ``states[t, u]`` is the
+        state value of node ``u`` in round ``t``.
+    beeping_values:
+        The set of state values that count as beeping for the protocol that
+        produced the trace.
+    leader_values:
+        The set of state values that count as being a leader.
+    protocol_name, topology_name:
+        Provenance metadata.
+    seed:
+        The seed used to drive the execution, if known.
+    """
+
+    states: np.ndarray
+    beeping_values: Tuple[int, ...]
+    leader_values: Tuple[int, ...]
+    protocol_name: str = ""
+    topology_name: str = ""
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.states = np.asarray(self.states, dtype=np.int8)
+        if self.states.ndim != 2:
+            raise TraceError(
+                f"trace states must be a 2-D array; got shape {self.states.shape}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Shape
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of executed rounds (the trace also stores round 0)."""
+        return self.states.shape[0] - 1
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.states.shape[1]
+
+    def rounds(self) -> range:
+        """The recorded round indices ``0 .. num_rounds``."""
+        return range(self.states.shape[0])
+
+    # ------------------------------------------------------------------ #
+    # Per-round queries
+    # ------------------------------------------------------------------ #
+
+    def state_of(self, node: int, round_index: int) -> int:
+        """The raw state value of ``node`` in ``round_index``."""
+        self._check_round(round_index)
+        return int(self.states[round_index, node])
+
+    def bfw_state_of(self, node: int, round_index: int) -> State:
+        """The state of ``node`` as a :class:`~repro.core.states.State` member."""
+        return State(self.state_of(node, round_index))
+
+    def beeping_mask(self, round_index: int) -> np.ndarray:
+        """Boolean mask of the nodes beeping in ``round_index`` (the set ``B_t``)."""
+        self._check_round(round_index)
+        row = self.states[round_index]
+        mask = np.zeros(self.n, dtype=bool)
+        for value in self.beeping_values:
+            mask |= row == value
+        return mask
+
+    def leader_mask(self, round_index: int) -> np.ndarray:
+        """Boolean mask of the nodes in a leader state in ``round_index``."""
+        self._check_round(round_index)
+        row = self.states[round_index]
+        mask = np.zeros(self.n, dtype=bool)
+        for value in self.leader_values:
+            mask |= row == value
+        return mask
+
+    def beeping_nodes(self, round_index: int) -> Tuple[int, ...]:
+        """The nodes beeping in ``round_index``, sorted."""
+        return tuple(int(i) for i in np.flatnonzero(self.beeping_mask(round_index)))
+
+    def leaders(self, round_index: int) -> Tuple[int, ...]:
+        """The nodes in a leader state in ``round_index``, sorted."""
+        return tuple(int(i) for i in np.flatnonzero(self.leader_mask(round_index)))
+
+    def leader_count(self, round_index: int) -> int:
+        """Number of leaders in ``round_index``."""
+        return int(self.leader_mask(round_index).sum())
+
+    def leader_counts(self) -> np.ndarray:
+        """Leader count for every recorded round, as an integer array."""
+        counts = np.zeros(self.states.shape[0], dtype=int)
+        for round_index in self.rounds():
+            counts[round_index] = self.leader_count(round_index)
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # Cumulative quantities
+    # ------------------------------------------------------------------ #
+
+    def beep_counts(self, round_index: Optional[int] = None) -> np.ndarray:
+        """``N^beep_t(u)`` for every node ``u``: beeps emitted up to round ``t`` included.
+
+        The paper counts rounds ``s ≤ t``; round 0 never contains beeps under
+        the paper's initial condition Eq. (2), but adversarial initial
+        configurations may beep in round 0 and those beeps are counted too.
+        """
+        if round_index is None:
+            round_index = self.num_rounds
+        self._check_round(round_index)
+        counts = np.zeros(self.n, dtype=int)
+        for t in range(round_index + 1):
+            counts += self.beeping_mask(t)
+        return counts
+
+    def beep_count_of(self, node: int, round_index: int) -> int:
+        """``N^beep_t(node)`` for a single node."""
+        self._check_round(round_index)
+        count = 0
+        for t in range(round_index + 1):
+            if self.states[t, node] in self.beeping_values:
+                count += 1
+        return count
+
+    def convergence_round(self) -> Optional[int]:
+        """First recorded round from which exactly one leader remains.
+
+        Returns ``None`` if the trace never reaches (or does not end in) a
+        single-leader configuration.  Because leader states can only be left
+        and never re-entered under BFW, reaching a single leader is stable;
+        for arbitrary traces we additionally require that every later
+        recorded round also has exactly one leader.
+        """
+        counts = self.leader_counts()
+        if counts[-1] != 1:
+            return None
+        single = counts == 1
+        # Last index where the configuration was NOT single-leader.
+        not_single = np.flatnonzero(~single)
+        if len(not_single) == 0:
+            return 0
+        first_stable = int(not_single[-1]) + 1
+        return first_stable if first_stable <= self.num_rounds else None
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view suitable for JSON serialisation."""
+        return {
+            "states": self.states.tolist(),
+            "beeping_values": list(self.beeping_values),
+            "leader_values": list(self.leader_values),
+            "protocol_name": self.protocol_name,
+            "topology_name": self.topology_name,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "ExecutionTrace":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            states=np.asarray(payload["states"], dtype=np.int8),
+            beeping_values=tuple(payload["beeping_values"]),
+            leader_values=tuple(payload["leader_values"]),
+            protocol_name=str(payload.get("protocol_name", "")),
+            topology_name=str(payload.get("topology_name", "")),
+            seed=payload.get("seed"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _check_round(self, round_index: int) -> None:
+        if not 0 <= round_index < self.states.shape[0]:
+            raise TraceError(
+                f"round {round_index} outside recorded range 0..{self.num_rounds}"
+            )
+
+
+class TraceBuilder:
+    """Incrementally build an :class:`ExecutionTrace` during a simulation."""
+
+    def __init__(
+        self,
+        beeping_values: Iterable[int],
+        leader_values: Iterable[int],
+        protocol_name: str = "",
+        topology_name: str = "",
+        seed: Optional[int] = None,
+    ) -> None:
+        self._rows: List[np.ndarray] = []
+        self._beeping_values = tuple(int(v) for v in beeping_values)
+        self._leader_values = tuple(int(v) for v in leader_values)
+        self._protocol_name = protocol_name
+        self._topology_name = topology_name
+        self._seed = seed
+
+    def record(self, states: Sequence[int]) -> None:
+        """Append the configuration of one round."""
+        self._rows.append(np.asarray(states, dtype=np.int8).copy())
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def build(self) -> ExecutionTrace:
+        """Finalise the trace.
+
+        Raises
+        ------
+        TraceError
+            If no round was recorded.
+        """
+        if not self._rows:
+            raise TraceError("cannot build a trace with no recorded rounds")
+        return ExecutionTrace(
+            states=np.vstack(self._rows),
+            beeping_values=self._beeping_values,
+            leader_values=self._leader_values,
+            protocol_name=self._protocol_name,
+            topology_name=self._topology_name,
+            seed=self._seed,
+        )

@@ -1,0 +1,261 @@
+"""Command-line interface for the reproduction.
+
+Every experiment in DESIGN.md can be regenerated from the command line:
+
+.. code-block:: console
+
+    repro list-protocols
+    repro run --protocol bfw --graph path --n 64 --seed 1
+    repro table1 --seeds 10
+    repro scaling --mode uniform --diameters 8 16 32 64
+    repro scaling --mode nonuniform --diameters 8 16 32 64
+    repro lower-bound --diameters 8 16 32 64
+    repro ablation
+    repro wave-demo --n 40
+
+The CLI is intentionally thin: each sub-command parses arguments, calls the
+corresponding function in :mod:`repro.experiments`, and prints the rendered
+report to stdout (optionally saving raw records as JSON/CSV).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro._version import __version__
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Minimalist Leader Election Under Weak Communication' "
+            "(BFW protocol, beeping model)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    subparsers = parser.add_subparsers(dest="command")
+
+    subparsers.add_parser(
+        "list-protocols", help="List available protocols and baselines."
+    )
+
+    run_parser = subparsers.add_parser(
+        "run", help="Run one protocol on one graph and print the outcome."
+    )
+    run_parser.add_argument("--protocol", default="bfw")
+    run_parser.add_argument("--graph", default="path")
+    run_parser.add_argument("--n", type=int, default=32)
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--max-rounds", type=int, default=None)
+    run_parser.add_argument(
+        "--beep-probability", type=float, default=None,
+        help="Override p for BFW-family protocols.",
+    )
+
+    table1_parser = subparsers.add_parser(
+        "table1", help="Regenerate Table 1 (protocol comparison)."
+    )
+    table1_parser.add_argument("--seeds", type=int, default=10)
+    table1_parser.add_argument("--master-seed", type=int, default=1)
+    table1_parser.add_argument("--save-json", default=None)
+    table1_parser.add_argument("--save-csv", default=None)
+
+    scaling_parser = subparsers.add_parser(
+        "scaling", help="Convergence-time scaling (Theorems 2 and 3)."
+    )
+    scaling_parser.add_argument(
+        "--mode", choices=("uniform", "nonuniform"), default="uniform"
+    )
+    scaling_parser.add_argument("--family", choices=("path", "cycle"), default="path")
+    scaling_parser.add_argument(
+        "--diameters", type=int, nargs="+", default=[8, 16, 32, 64]
+    )
+    scaling_parser.add_argument("--seeds", type=int, default=10)
+    scaling_parser.add_argument("--master-seed", type=int, default=2)
+
+    crossover_parser = subparsers.add_parser(
+        "crossover", help="Uniform vs non-uniform BFW speed-up factors."
+    )
+    crossover_parser.add_argument(
+        "--diameters", type=int, nargs="+", default=[8, 16, 32]
+    )
+    crossover_parser.add_argument("--seeds", type=int, default=10)
+
+    lower_parser = subparsers.add_parser(
+        "lower-bound", help="Section 5 lower-bound conjecture experiment."
+    )
+    lower_parser.add_argument(
+        "--diameters", type=int, nargs="+", default=[8, 16, 32, 64]
+    )
+    lower_parser.add_argument("--seeds", type=int, default=20)
+
+    ablation_parser = subparsers.add_parser(
+        "ablation", help="Parameter sweep over p and structural ablations."
+    )
+    ablation_parser.add_argument("--diameter", type=int, default=24)
+    ablation_parser.add_argument("--seeds", type=int, default=10)
+
+    wave_parser = subparsers.add_parser(
+        "wave-demo", help="Print a space-time diagram of beep waves on a path."
+    )
+    wave_parser.add_argument("--n", type=int, default=40)
+    wave_parser.add_argument("--seed", type=int, default=0)
+    wave_parser.add_argument("--max-rounds", type=int, default=200)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command is None:
+        parser.print_help()
+        return 1
+    handler = {
+        "list-protocols": _cmd_list_protocols,
+        "run": _cmd_run,
+        "table1": _cmd_table1,
+        "scaling": _cmd_scaling,
+        "crossover": _cmd_crossover,
+        "lower-bound": _cmd_lower_bound,
+        "ablation": _cmd_ablation,
+        "wave-demo": _cmd_wave_demo,
+    }[args.command]
+    return handler(args)
+
+
+# --------------------------------------------------------------------------- #
+# Sub-command handlers
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_list_protocols(args: argparse.Namespace) -> int:
+    from repro.core.registry import available_protocols, get_protocol_spec
+    from repro.experiments.runner import BASELINE_NAMES
+
+    print("BFW-family protocols (constant-state):")
+    for name in available_protocols():
+        spec = get_protocol_spec(name)
+        print(f"  {name:<24} {spec.description}")
+    print("\nBaselines (Table 1):")
+    for name in BASELINE_NAMES:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.experiments.runner import instantiate_protocol, run_protocol_on
+    from repro.experiments.seeds import rng_from
+    from repro.graphs.generators import make_graph
+
+    graph_rng = rng_from(args.seed, "cli-graph", args.graph, args.n)
+    topology = make_graph(args.graph, args.n, rng=graph_rng)
+    params = {}
+    if args.beep_probability is not None:
+        params["beep_probability"] = args.beep_probability
+    protocol = instantiate_protocol(args.protocol, topology, params)
+    result = run_protocol_on(
+        topology, protocol, rng=args.seed, max_rounds=args.max_rounds
+    )
+    print(f"protocol:          {result.protocol_name}")
+    print(f"graph:             {topology.name} (n={topology.n}, D={topology.diameter()})")
+    print(f"converged:         {result.converged}")
+    print(f"convergence round: {result.convergence_round}")
+    print(f"rounds executed:   {result.rounds_executed}")
+    print(f"final leaders:     {result.final_leader_count}")
+    return 0 if result.converged else 2
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.experiments.io import save_records_csv, save_records_json
+    from repro.experiments.tables import generate_table1
+
+    result = generate_table1(
+        num_seeds=args.seeds,
+        master_seed=args.master_seed,
+        progress=lambda line: print("  " + line, file=sys.stderr),
+    )
+    print(result.render())
+    if args.save_json:
+        save_records_json(result.records, args.save_json)
+        print(f"\nraw records written to {args.save_json}")
+    if args.save_csv:
+        save_records_csv(result.records, args.save_csv)
+        print(f"raw records written to {args.save_csv}")
+    return 0
+
+
+def _cmd_scaling(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import scaling_experiment
+
+    result = scaling_experiment(
+        mode=args.mode,
+        family=args.family,
+        diameters=args.diameters,
+        num_seeds=args.seeds,
+        master_seed=args.master_seed,
+    )
+    print(result.render())
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import crossover_experiment
+
+    result = crossover_experiment(diameters=args.diameters, num_seeds=args.seeds)
+    print(result.uniform.render())
+    print()
+    print(result.nonuniform.render())
+    print()
+    print(result.render())
+    return 0
+
+
+def _cmd_lower_bound(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import lower_bound_experiment
+
+    result = lower_bound_experiment(diameters=args.diameters, num_seeds=args.seeds)
+    print(result.render())
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import ablation_experiment
+
+    result = ablation_experiment(diameter=args.diameter, num_seeds=args.seeds)
+    print(result.render())
+    return 0
+
+
+def _cmd_wave_demo(args: argparse.Namespace) -> int:
+    from repro.beeping.engine import run_bfw
+    from repro.graphs.generators import path_graph
+    from repro.viz.spacetime import leader_count_timeline, spacetime_diagram
+
+    topology = path_graph(args.n)
+    result = run_bfw(
+        topology, rng=args.seed, max_rounds=args.max_rounds, record_trace=True
+    )
+    assert result.trace is not None
+    print(spacetime_diagram(result.trace, max_rounds=args.max_rounds))
+    print()
+    print(leader_count_timeline(result.trace))
+    if result.converged:
+        print(f"\nconverged in round {result.convergence_round}")
+    else:
+        print(
+            f"\nnot converged within {result.rounds_executed} rounds "
+            f"({result.final_leader_count} leaders remain) — increase --max-rounds"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

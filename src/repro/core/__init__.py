@@ -1,0 +1,69 @@
+"""Core protocol definitions: the paper's contribution (BFW) and variants."""
+
+from repro.core.bfw import (
+    DEFAULT_BEEP_PROBABILITY,
+    BFWProtocol,
+    NonUniformBFWProtocol,
+)
+from repro.core.protocol import (
+    BeepingProtocol,
+    MemoryProtocol,
+    TransitionTable,
+    bernoulli,
+    deterministic,
+    enumerate_reachable_states,
+)
+from repro.core.registry import (
+    ProtocolSpec,
+    available_protocols,
+    create_protocol,
+    get_protocol_spec,
+    register_protocol,
+)
+from repro.core.states import (
+    BEEPING_STATES,
+    FOLLOWER_STATES,
+    FROZEN_STATES,
+    LEADER_STATES,
+    LISTENING_STATES,
+    NUM_STATES,
+    WAITING_STATES,
+    Behaviour,
+    State,
+    state_from_short_name,
+)
+from repro.core.variants import (
+    EagerEliminationBFWProtocol,
+    NoFreezeBFWProtocol,
+    NoRelayBFWProtocol,
+)
+
+__all__ = [
+    "BEEPING_STATES",
+    "BFWProtocol",
+    "BeepingProtocol",
+    "Behaviour",
+    "DEFAULT_BEEP_PROBABILITY",
+    "EagerEliminationBFWProtocol",
+    "FOLLOWER_STATES",
+    "FROZEN_STATES",
+    "LEADER_STATES",
+    "LISTENING_STATES",
+    "MemoryProtocol",
+    "NUM_STATES",
+    "NoFreezeBFWProtocol",
+    "NoRelayBFWProtocol",
+    "NonUniformBFWProtocol",
+    "ProtocolSpec",
+    "State",
+    "TransitionTable",
+    "WAITING_STATES",
+    "available_protocols",
+    "bernoulli",
+    "create_protocol",
+    "deterministic",
+    "enumerate_reachable_states",
+    "get_protocol_spec",
+    "register_protocol",
+    "state_from_short_name",
+]

@@ -1,0 +1,173 @@
+"""The BFW protocol of the paper (Figure 1).
+
+BFW ("Beep–Frozen–Waiting") is a six-state uniform protocol that solves
+eventual leader election in the beeping model on any connected graph:
+
+* Every node starts as a leader, in state ``W•``.
+* A leader in ``W•`` that hears nothing beeps in the next round with
+  probability ``p`` (transitioning to ``B•``); otherwise it stays in ``W•``.
+* A leader in ``W•`` that hears a beep is *eliminated*: it transitions to
+  ``B◦`` (it relays the beep in the next round as a non-leader).
+* A non-leader in ``W◦`` relays any beep it hears (``W◦ → B◦``) and otherwise
+  stays silent.
+* After beeping, any node becomes Frozen for exactly one round
+  (``B → F → W``), during which it neither beeps nor reacts to beeps.
+
+Theorem 2 of the paper shows that for any constant ``p ∈ (0, 1)`` the system
+converges to a unique leader almost surely, and within ``O(D² log n)`` rounds
+with high probability.  Theorem 3 shows that choosing ``p = 1/(D + 1)``
+(which requires knowing the diameter ``D``) improves this to ``O(D log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.protocol import (
+    BeepingProtocol,
+    TransitionTable,
+    bernoulli,
+    deterministic,
+)
+from repro.core.states import State
+from repro.errors import ProtocolError
+
+#: Default beeping probability suggested by the paper ("say 1/2").
+DEFAULT_BEEP_PROBABILITY = 0.5
+
+
+class BFWProtocol(BeepingProtocol[State]):
+    """The six-state BFW protocol with a constant beep probability ``p``.
+
+    Parameters
+    ----------
+    beep_probability:
+        The probability ``p`` with which a waiting leader that hears nothing
+        beeps in the next round.  The paper requires ``p ∈ (0, 1)`` and fixed
+        with respect to ``n`` for the uniform guarantee of Theorem 2.
+
+    Examples
+    --------
+    >>> protocol = BFWProtocol()
+    >>> protocol.initial_state
+    <State.W_LEADER: 0>
+    >>> protocol.num_states()
+    6
+    """
+
+    name = "bfw"
+
+    def __init__(self, beep_probability: float = DEFAULT_BEEP_PROBABILITY) -> None:
+        if not 0.0 < beep_probability < 1.0:
+            raise ProtocolError(
+                f"beep probability must lie strictly in (0, 1); got {beep_probability}"
+            )
+        self._p = float(beep_probability)
+
+    @property
+    def beep_probability(self) -> float:
+        """The parameter ``p`` of the protocol."""
+        return self._p
+
+    @property
+    def initial_state(self) -> State:
+        return State.W_LEADER
+
+    def states(self) -> Sequence[State]:
+        return tuple(State)
+
+    def is_beeping(self, state: State) -> bool:
+        return state.is_beeping
+
+    def is_leader(self, state: State) -> bool:
+        return state.is_leader
+
+    def transition_table(self) -> TransitionTable[State]:
+        """The kernels of Figure 1.
+
+        ``δ⊥`` (silent) is only defined for listening states: beeping states
+        always hear their own beep, so ``δ⊤`` systematically applies to them.
+        For completeness (and so that the generic simulator never hits a
+        missing entry), we also include the ``B`` rows in the silent kernel;
+        they can never be used because a beeping node always triggers ``δ⊤``.
+        """
+        p = self._p
+        silent: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: bernoulli(State.B_LEADER, State.W_LEADER, p),
+            State.F_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.W_FOLLOWER),
+            State.F_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        heard: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: deterministic(State.B_FOLLOWER),
+            State.B_LEADER: deterministic(State.F_LEADER),
+            State.F_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.B_FOLLOWER),
+            State.B_FOLLOWER: deterministic(State.F_FOLLOWER),
+            State.F_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        return TransitionTable(silent=silent, heard=heard)
+
+    def __repr__(self) -> str:
+        return f"BFWProtocol(beep_probability={self._p!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BFWProtocol):
+            return NotImplemented
+        return type(self) is type(other) and self._p == other._p
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._p))
+
+
+class NonUniformBFWProtocol(BFWProtocol):
+    """BFW with ``p = 1/(D + 1)`` as in Theorem 3.
+
+    This variant is *non-uniform*: it requires (an approximation of) the
+    network diameter ``D`` at construction time, in exchange for an improved
+    ``O(D log n)`` convergence bound.
+
+    Parameters
+    ----------
+    diameter:
+        The diameter ``D`` of the communication graph (or a constant-factor
+        approximation of it; the paper notes the proof generalises).
+    scale:
+        Optional multiplicative factor applied to the diameter before
+        computing ``p = 1 / (scale * D + 1)``.  ``scale = 1`` reproduces the
+        exact value used in Theorem 3.
+    """
+
+    name = "bfw-nonuniform"
+
+    def __init__(self, diameter: int, scale: float = 1.0) -> None:
+        if diameter < 1:
+            raise ProtocolError(f"diameter must be at least 1; got {diameter}")
+        if scale <= 0:
+            raise ProtocolError(f"scale must be positive; got {scale}")
+        self._diameter = int(diameter)
+        self._scale = float(scale)
+        super().__init__(beep_probability=1.0 / (self._scale * self._diameter + 1.0))
+
+    @property
+    def diameter(self) -> int:
+        """The diameter value supplied to the protocol."""
+        return self._diameter
+
+    @property
+    def scale(self) -> float:
+        """The approximation factor applied to the diameter."""
+        return self._scale
+
+    def __repr__(self) -> str:
+        return (
+            f"NonUniformBFWProtocol(diameter={self._diameter!r}, scale={self._scale!r})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, NonUniformBFWProtocol):
+            return NotImplemented
+        return self._diameter == other._diameter and self._scale == other._scale
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._diameter, self._scale))

@@ -1,0 +1,307 @@
+"""Protocol abstractions for weak communication models.
+
+The paper defines a protocol as a probabilistic state machine
+``M = (Qℓ, Qb, qs, δ⊥, δ⊤)`` where ``Qℓ`` and ``Qb`` are the listening and
+beeping states, ``qs`` is the initial state, and ``δ⊥`` / ``δ⊤`` are the
+transition kernels applied when a node hears silence / a beep (a node also
+"hears" its own beep).
+
+Two interfaces are provided:
+
+* :class:`BeepingProtocol` — the constant-state probabilistic FSM of
+  Section 1.1.  This is the interface implemented by BFW and its variants.
+  States are hashable objects (typically members of an :class:`enum.IntEnum`),
+  and the transition kernels are explicit, which lets tooling enumerate the
+  state machine, verify it, and compile it into the vectorised engine.
+* :class:`MemoryProtocol` — a more permissive interface for baseline
+  algorithms that keep unbounded per-node memory (identifiers, counters,
+  phase indices).  Such protocols still communicate only by beeps, but their
+  per-node state is an arbitrary Python object and they may receive global
+  knowledge (``n``, ``D``) at construction time, mirroring the "Knowledge"
+  column of Table 1.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Generic, Hashable, Iterable, Mapping, Sequence, Tuple, TypeVar
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+StateT = TypeVar("StateT", bound=Hashable)
+
+#: A transition distribution: mapping from successor state to probability.
+Distribution = Mapping[StateT, float]
+
+
+@dataclass(frozen=True)
+class TransitionTable(Generic[StateT]):
+    """Explicit representation of the two transition kernels of a protocol.
+
+    Attributes
+    ----------
+    silent:
+        ``δ⊥`` — for each state, the distribution over successor states used
+        when neither the node nor any neighbour beeped.
+    heard:
+        ``δ⊤`` — for each state, the distribution over successor states used
+        when the node beeped or heard a beep.
+    """
+
+    silent: Mapping[StateT, Dict[StateT, float]]
+    heard: Mapping[StateT, Dict[StateT, float]]
+
+    def states(self) -> Tuple[StateT, ...]:
+        """All states mentioned in either kernel, in deterministic order."""
+        seen = []
+        for kernel in (self.silent, self.heard):
+            for state, dist in kernel.items():
+                if state not in seen:
+                    seen.append(state)
+                for succ in dist:
+                    if succ not in seen:
+                        seen.append(succ)
+        return tuple(seen)
+
+    def validate(self) -> None:
+        """Check that every row of both kernels is a probability distribution.
+
+        Raises
+        ------
+        ProtocolError
+            If any row has negative probabilities or does not sum to one
+            (within a small numerical tolerance).
+        """
+        for label, kernel in (("silent", self.silent), ("heard", self.heard)):
+            for state, dist in kernel.items():
+                total = 0.0
+                for succ, prob in dist.items():
+                    if prob < 0.0:
+                        raise ProtocolError(
+                            f"negative probability {prob} for transition "
+                            f"{state!r} -> {succ!r} in the {label} kernel"
+                        )
+                    total += prob
+                if abs(total - 1.0) > 1e-9:
+                    raise ProtocolError(
+                        f"transition probabilities from state {state!r} in the "
+                        f"{label} kernel sum to {total}, expected 1"
+                    )
+
+
+class BeepingProtocol(abc.ABC, Generic[StateT]):
+    """A constant-state protocol for the beeping model (Section 1.1).
+
+    Subclasses must provide the initial state, the classification of states
+    into beeping / leader sets, and the probabilistic transition function.
+    The :meth:`transition_table` method exposes the kernels explicitly so
+    that the protocol can be model-checked and compiled into the vectorised
+    engine.
+    """
+
+    #: Human-readable protocol name used by the registry and reports.
+    name: str = "beeping-protocol"
+
+    @property
+    @abc.abstractmethod
+    def initial_state(self) -> StateT:
+        """The state ``qs`` in which every node starts."""
+
+    @abc.abstractmethod
+    def states(self) -> Sequence[StateT]:
+        """All states of the protocol, in a deterministic order."""
+
+    @abc.abstractmethod
+    def is_beeping(self, state: StateT) -> bool:
+        """Whether a node in ``state`` emits a beep this round."""
+
+    @abc.abstractmethod
+    def is_leader(self, state: StateT) -> bool:
+        """Whether ``state`` belongs to the leader set ``L`` of Definition 1."""
+
+    @abc.abstractmethod
+    def transition_table(self) -> TransitionTable[StateT]:
+        """The explicit kernels ``δ⊥`` and ``δ⊤``."""
+
+    def transition(
+        self, state: StateT, heard_beep: bool, rng: np.random.Generator
+    ) -> StateT:
+        """Sample the successor of ``state``.
+
+        Parameters
+        ----------
+        state:
+            The node's current state.
+        heard_beep:
+            ``True`` if the node beeped this round or at least one neighbour
+            did (the ``δ⊤`` case), ``False`` otherwise (the ``δ⊥`` case).
+        rng:
+            Source of randomness for the probabilistic transitions.
+        """
+        table = self.transition_table()
+        kernel = table.heard if heard_beep else table.silent
+        try:
+            dist = kernel[state]
+        except KeyError:
+            raise ProtocolError(
+                f"protocol {self.name!r} has no "
+                f"{'heard' if heard_beep else 'silent'} transition from {state!r}"
+            ) from None
+        return _sample(dist, rng)
+
+    def num_states(self) -> int:
+        """Number of memory states used by the protocol."""
+        return len(self.states())
+
+    def validate(self) -> None:
+        """Check internal consistency of the protocol definition.
+
+        Verifies that the kernels are stochastic, that every state has a
+        ``δ⊤`` transition, that every listening state has a ``δ⊥`` transition,
+        and that the initial state is a declared state.
+        """
+        table = self.transition_table()
+        table.validate()
+        states = list(self.states())
+        if self.initial_state not in states:
+            raise ProtocolError(
+                f"initial state {self.initial_state!r} is not a declared state"
+            )
+        for state in states:
+            if state not in table.heard:
+                raise ProtocolError(f"state {state!r} has no δ⊤ transition")
+            if not self.is_beeping(state) and state not in table.silent:
+                raise ProtocolError(
+                    f"listening state {state!r} has no δ⊥ transition"
+                )
+
+    def leader_states(self) -> Tuple[StateT, ...]:
+        """The subset ``L`` of states interpreted as "being a leader"."""
+        return tuple(s for s in self.states() if self.is_leader(s))
+
+    def beeping_states(self) -> Tuple[StateT, ...]:
+        """The subset ``Qb`` of beeping states."""
+        return tuple(s for s in self.states() if self.is_beeping(s))
+
+    def describe(self) -> str:
+        """A multi-line human-readable description of the state machine."""
+        table = self.transition_table()
+        lines = [f"Protocol {self.name!r} with {self.num_states()} states"]
+        lines.append(f"  initial state: {self.initial_state!r}")
+        lines.append(f"  beeping states: {list(self.beeping_states())!r}")
+        lines.append(f"  leader states: {list(self.leader_states())!r}")
+        for label, kernel in (("δ⊥ (silent)", table.silent), ("δ⊤ (heard)", table.heard)):
+            lines.append(f"  {label}:")
+            for state, dist in kernel.items():
+                entries = ", ".join(f"{succ!r}: {p:g}" for succ, p in dist.items())
+                lines.append(f"    {state!r} -> {{{entries}}}")
+        return "\n".join(lines)
+
+
+class MemoryProtocol(abc.ABC):
+    """A beeping-model algorithm with unbounded per-node memory.
+
+    Baseline algorithms from Table 1 (ID broadcast, pipelined elections,
+    D-aware epoch protocols) keep counters and identifiers that grow with
+    ``n`` or ``D``.  They therefore do not fit the constant-state FSM
+    interface; instead, each node carries an arbitrary Python object as its
+    memory and the protocol mutates it round by round.
+
+    The simulator treats such protocols uniformly: each round it collects the
+    set of beeping nodes from :meth:`wants_to_beep`, computes who heard a
+    beep, and calls :meth:`update` for every node.
+    """
+
+    #: Human-readable protocol name used by the registry and reports.
+    name: str = "memory-protocol"
+
+    #: Whether the algorithm requires unique node identifiers (Table 1 column).
+    requires_unique_ids: bool = False
+
+    #: Knowledge required by the algorithm: subset of {"n", "D"} (Table 1).
+    required_knowledge: Tuple[str, ...] = ()
+
+    @abc.abstractmethod
+    def create_memory(self, node: int, n: int, rng: np.random.Generator) -> object:
+        """Create the initial memory object for ``node`` in a graph of ``n`` nodes."""
+
+    @abc.abstractmethod
+    def wants_to_beep(self, memory: object, round_index: int) -> bool:
+        """Whether the node beeps in ``round_index`` given its current memory."""
+
+    @abc.abstractmethod
+    def update(
+        self,
+        memory: object,
+        heard_beep: bool,
+        round_index: int,
+        rng: np.random.Generator,
+    ) -> object:
+        """Return the node's memory for the next round."""
+
+    @abc.abstractmethod
+    def is_leader(self, memory: object) -> bool:
+        """Whether the node currently considers itself (a candidate) leader."""
+
+    def has_terminated(self, memory: object) -> bool:
+        """Whether the node has irrevocably committed to its final role.
+
+        Protocols without termination detection (such as BFW) never return
+        ``True``; Table-1 baselines with termination detection override this.
+        """
+        return False
+
+
+def _sample(distribution: Distribution, rng: np.random.Generator) -> StateT:
+    """Sample a successor state from ``distribution`` using ``rng``."""
+    items = list(distribution.items())
+    if len(items) == 1:
+        return items[0][0]
+    probabilities = np.array([p for _, p in items], dtype=float)
+    index = rng.choice(len(items), p=probabilities / probabilities.sum())
+    return items[index][0]
+
+
+def deterministic(successor: StateT) -> Dict[StateT, float]:
+    """Build a point-mass distribution on ``successor`` (helper for tables)."""
+    return {successor: 1.0}
+
+
+def bernoulli(
+    on_success: StateT, on_failure: StateT, probability: float
+) -> Dict[StateT, float]:
+    """Build a two-outcome distribution used for coin-toss transitions."""
+    if not 0.0 <= probability <= 1.0:
+        raise ProtocolError(f"probability {probability} outside [0, 1]")
+    if probability == 1.0:
+        return {on_success: 1.0}
+    if probability == 0.0:
+        return {on_failure: 1.0}
+    return {on_success: probability, on_failure: 1.0 - probability}
+
+
+def enumerate_reachable_states(
+    protocol: BeepingProtocol[StateT],
+) -> Tuple[StateT, ...]:
+    """Return all states reachable from the initial state under either kernel.
+
+    Useful to check that a protocol does not declare unreachable states and
+    that its reachable state count matches the paper's headline constant.
+    """
+    table = protocol.transition_table()
+    frontier = [protocol.initial_state]
+    reachable = []
+    while frontier:
+        state = frontier.pop()
+        if state in reachable:
+            continue
+        reachable.append(state)
+        for kernel in (table.silent, table.heard):
+            for succ in kernel.get(state, {}):
+                if succ not in reachable:
+                    frontier.append(succ)
+    order = {s: i for i, s in enumerate(protocol.states())}
+    return tuple(sorted(reachable, key=lambda s: order.get(s, len(order))))

@@ -1,0 +1,178 @@
+"""A small registry mapping protocol names to factories.
+
+The registry is what the CLI and the experiment harness use to instantiate
+protocols from configuration dictionaries: each entry exposes the
+construction parameters it accepts, whether it is uniform (independent of the
+graph), and how to build it given the graph's ``n`` and ``D`` when needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Optional, Tuple
+
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.core.variants import (
+    EagerEliminationBFWProtocol,
+    NoFreezeBFWProtocol,
+    NoRelayBFWProtocol,
+)
+from repro.errors import ConfigurationError
+
+#: A factory receives keyword parameters (already merged with graph knowledge
+#: such as ``diameter`` when the protocol requires it) and returns a protocol.
+ProtocolFactory = Callable[..., object]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Metadata describing a registered protocol.
+
+    Attributes
+    ----------
+    name:
+        Registry key.
+    factory:
+        Callable constructing the protocol instance.
+    uniform:
+        Whether the protocol is uniform in the paper's sense (independent of
+        ``n``, ``D`` and the topology).
+    needs_diameter:
+        Whether the factory expects a ``diameter`` keyword argument.
+    needs_size:
+        Whether the factory expects an ``n`` keyword argument.
+    description:
+        One-line human-readable summary used by ``repro list-protocols``.
+    defaults:
+        Default keyword arguments applied when the caller does not override
+        them.
+    """
+
+    name: str
+    factory: ProtocolFactory
+    uniform: bool
+    needs_diameter: bool = False
+    needs_size: bool = False
+    description: str = ""
+    defaults: Mapping[str, object] = field(default_factory=dict)
+
+
+_REGISTRY: Dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> None:
+    """Add ``spec`` to the registry, replacing any same-named entry."""
+    _REGISTRY[spec.name] = spec
+
+
+def get_protocol_spec(name: str) -> ProtocolSpec:
+    """Look up a protocol spec by name.
+
+    Raises
+    ------
+    ConfigurationError
+        If no protocol with that name is registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ConfigurationError(
+            f"unknown protocol {name!r}; known protocols: {known}"
+        ) from None
+
+
+def available_protocols() -> Tuple[str, ...]:
+    """Names of all registered protocols, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_protocol(
+    name: str,
+    *,
+    diameter: Optional[int] = None,
+    n: Optional[int] = None,
+    **params: object,
+) -> object:
+    """Instantiate a registered protocol.
+
+    Parameters
+    ----------
+    name:
+        Registry key of the protocol.
+    diameter, n:
+        Graph knowledge, forwarded to the factory only when the spec declares
+        it is needed.  Passing knowledge that the protocol does not need is
+        harmless (it is ignored), which keeps experiment code simple.
+    **params:
+        Additional construction parameters (for example
+        ``beep_probability=0.25``); they override the spec defaults.
+    """
+    spec = get_protocol_spec(name)
+    kwargs: Dict[str, object] = dict(spec.defaults)
+    kwargs.update(params)
+    if spec.needs_diameter:
+        if diameter is None:
+            raise ConfigurationError(
+                f"protocol {name!r} requires the graph diameter, but none was given"
+            )
+        kwargs["diameter"] = diameter
+    if spec.needs_size:
+        if n is None:
+            raise ConfigurationError(
+                f"protocol {name!r} requires the graph size n, but none was given"
+            )
+        kwargs["n"] = n
+    return spec.factory(**kwargs)
+
+
+def _register_builtin_protocols() -> None:
+    """Register the protocols shipped with the library."""
+    register_protocol(
+        ProtocolSpec(
+            name="bfw",
+            factory=BFWProtocol,
+            uniform=True,
+            description="Six-state uniform BFW protocol (Theorem 2), p constant.",
+            defaults={"beep_probability": 0.5},
+        )
+    )
+    register_protocol(
+        ProtocolSpec(
+            name="bfw-nonuniform",
+            factory=NonUniformBFWProtocol,
+            uniform=False,
+            needs_diameter=True,
+            description="BFW with p = 1/(D+1) (Theorem 3); requires the diameter.",
+        )
+    )
+    register_protocol(
+        ProtocolSpec(
+            name="bfw-no-freeze",
+            factory=NoFreezeBFWProtocol,
+            uniform=True,
+            description="Ablation: BFW without the Frozen state.",
+            defaults={"beep_probability": 0.5},
+        )
+    )
+    register_protocol(
+        ProtocolSpec(
+            name="bfw-no-relay",
+            factory=NoRelayBFWProtocol,
+            uniform=True,
+            description="Ablation: BFW without beep-wave relaying.",
+            defaults={"beep_probability": 0.5},
+        )
+    )
+    register_protocol(
+        ProtocolSpec(
+            name="bfw-eager-elimination",
+            factory=EagerEliminationBFWProtocol,
+            uniform=True,
+            description="Ablation: eliminated leaders do not relay the wave.",
+            defaults={"beep_probability": 0.5},
+        )
+    )
+
+
+_register_builtin_protocols()

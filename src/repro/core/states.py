@@ -1,0 +1,142 @@
+"""State definitions for the BFW protocol (Figure 1 of the paper).
+
+The protocol operates on exactly six states.  Three of them are *leader*
+states and three are *non-leader* states; within each role the node is either
+Waiting (listening and reacting to beeps), Beeping (emitting a beep this
+round) or Frozen (listening but ignoring its environment for one round).
+
+The integer values are chosen so that vectorised code can test role and
+behaviour with cheap comparisons:
+
+* values ``0..2`` are leader states, ``3..5`` are non-leader states;
+* ``value % 3`` gives the behaviour: ``0`` = Waiting, ``1`` = Beeping,
+  ``2`` = Frozen.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet
+
+
+class State(enum.IntEnum):
+    """The six states of the BFW protocol.
+
+    Names follow the paper: ``W``/``B``/``F`` for Waiting / Beeping / Frozen,
+    with the ``_LEADER`` suffix standing for the filled-bullet states
+    (``W•``, ``B•``, ``F•``) and the plain names for the non-leader states
+    (``W◦``, ``B◦``, ``F◦``).
+    """
+
+    W_LEADER = 0
+    B_LEADER = 1
+    F_LEADER = 2
+    W_FOLLOWER = 3
+    B_FOLLOWER = 4
+    F_FOLLOWER = 5
+
+    @property
+    def is_leader(self) -> bool:
+        """Whether this state belongs to the leader set ``{W•, B•, F•}``."""
+        return self.value < 3
+
+    @property
+    def is_beeping(self) -> bool:
+        """Whether a node in this state emits a beep (``Qb = {B•, B◦}``)."""
+        return self.value % 3 == 1
+
+    @property
+    def is_listening(self) -> bool:
+        """Whether this state belongs to ``Qℓ`` (the complement of ``Qb``)."""
+        return not self.is_beeping
+
+    @property
+    def is_waiting(self) -> bool:
+        """Whether this is a Waiting state (``W•`` or ``W◦``)."""
+        return self.value % 3 == 0
+
+    @property
+    def is_frozen(self) -> bool:
+        """Whether this is a Frozen state (``F•`` or ``F◦``)."""
+        return self.value % 3 == 2
+
+    @property
+    def behaviour(self) -> "Behaviour":
+        """The behaviour component (Waiting / Beeping / Frozen) of the state."""
+        return Behaviour(self.value % 3)
+
+    @property
+    def short_name(self) -> str:
+        """Compact display name matching the paper's notation (ASCII)."""
+        letter = "WBF"[self.value % 3]
+        marker = "*" if self.is_leader else "o"
+        return f"{letter}{marker}"
+
+    def with_role(self, leader: bool) -> "State":
+        """Return the state with the same behaviour but the given role."""
+        return State(self.value % 3 + (0 if leader else 3))
+
+
+class Behaviour(enum.IntEnum):
+    """The behaviour component of a BFW state, independent of the role."""
+
+    WAITING = 0
+    BEEPING = 1
+    FROZEN = 2
+
+
+#: The set of leader states ``{W•, B•, F•}`` (the set ``L`` of Definition 1).
+LEADER_STATES: FrozenSet[State] = frozenset(
+    {State.W_LEADER, State.B_LEADER, State.F_LEADER}
+)
+
+#: The set of non-leader states ``{W◦, B◦, F◦}``.
+FOLLOWER_STATES: FrozenSet[State] = frozenset(
+    {State.W_FOLLOWER, State.B_FOLLOWER, State.F_FOLLOWER}
+)
+
+#: The set of beeping states ``Qb = {B•, B◦}``.
+BEEPING_STATES: FrozenSet[State] = frozenset({State.B_LEADER, State.B_FOLLOWER})
+
+#: The set of listening states ``Qℓ``.
+LISTENING_STATES: FrozenSet[State] = frozenset(set(State) - BEEPING_STATES)
+
+#: The set of waiting states ``{W•, W◦}``.
+WAITING_STATES: FrozenSet[State] = frozenset({State.W_LEADER, State.W_FOLLOWER})
+
+#: The set of frozen states ``{F•, F◦}``.
+FROZEN_STATES: FrozenSet[State] = frozenset({State.F_LEADER, State.F_FOLLOWER})
+
+#: Number of states used by the protocol; the paper's headline constant.
+NUM_STATES: int = len(State)
+
+
+def state_from_short_name(name: str) -> State:
+    """Parse a compact state name such as ``"W*"`` or ``"Bo"``.
+
+    Parameters
+    ----------
+    name:
+        Two-character string: a letter in ``{W, B, F}`` followed by ``*``
+        (leader) or ``o`` (non-leader).  Case-insensitive.
+
+    Raises
+    ------
+    ValueError
+        If the string does not denote a valid state.
+    """
+    text = name.strip()
+    if len(text) != 2:
+        raise ValueError(f"invalid state name: {name!r}")
+    letter, marker = text[0].upper(), text[1]
+    try:
+        behaviour = "WBF".index(letter)
+    except ValueError:
+        raise ValueError(f"invalid state letter in {name!r}") from None
+    if marker == "*":
+        offset = 0
+    elif marker in ("o", "O", "°"):
+        offset = 3
+    else:
+        raise ValueError(f"invalid role marker in {name!r}")
+    return State(behaviour + offset)

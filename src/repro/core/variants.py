@@ -1,0 +1,216 @@
+"""Ablation variants of the BFW protocol.
+
+The paper motivates each ingredient of BFW implicitly through its analysis:
+
+* the **Frozen** state is what prevents a beep wave from bouncing back and
+  forth between two adjacent nodes forever and, more importantly, it is what
+  makes the flow argument (Section 3) work so that a leader can never be
+  eliminated by its own wave;
+* the **relaying** rule (``W◦ → B◦`` on hearing a beep) is what turns a
+  single beep into a wave that travels across the graph and eliminates
+  remote leaders.
+
+The ablation variants below remove one ingredient at a time.  They are used
+by the ablation benchmark (experiment E8 in DESIGN.md) to demonstrate
+empirically that the full six-state design is necessary: the ablated
+protocols either deadlock into multi-leader configurations, eliminate every
+leader, or fail to make progress on simple graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.core.protocol import (
+    BeepingProtocol,
+    TransitionTable,
+    bernoulli,
+    deterministic,
+)
+from repro.core.states import State
+from repro.errors import ProtocolError
+
+
+class NoFreezeBFWProtocol(BeepingProtocol[State]):
+    """BFW without the Frozen state (four effective states).
+
+    After beeping, a node returns directly to Waiting instead of spending one
+    round Frozen.  Without the refractory round, two adjacent beeping nodes
+    re-trigger each other indefinitely and, crucially, a wave can travel back
+    towards its originating leader and eliminate it — the property that
+    Lemma 9 rules out for the real protocol no longer holds.  The state
+    machine still uses the :class:`~repro.core.states.State` enumeration for
+    compatibility with the rest of the library, but the two Frozen states are
+    unreachable.
+    """
+
+    name = "bfw-no-freeze"
+
+    def __init__(self, beep_probability: float = 0.5) -> None:
+        if not 0.0 < beep_probability < 1.0:
+            raise ProtocolError(
+                f"beep probability must lie strictly in (0, 1); got {beep_probability}"
+            )
+        self._p = float(beep_probability)
+
+    @property
+    def beep_probability(self) -> float:
+        """The probability with which a silent waiting leader beeps."""
+        return self._p
+
+    @property
+    def initial_state(self) -> State:
+        return State.W_LEADER
+
+    def states(self) -> Sequence[State]:
+        return (
+            State.W_LEADER,
+            State.B_LEADER,
+            State.W_FOLLOWER,
+            State.B_FOLLOWER,
+        )
+
+    def is_beeping(self, state: State) -> bool:
+        return state.is_beeping
+
+    def is_leader(self, state: State) -> bool:
+        return state.is_leader
+
+    def transition_table(self) -> TransitionTable[State]:
+        p = self._p
+        silent: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: bernoulli(State.B_LEADER, State.W_LEADER, p),
+            State.W_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        heard: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: deterministic(State.B_FOLLOWER),
+            State.B_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.B_FOLLOWER),
+            State.B_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        return TransitionTable(silent=silent, heard=heard)
+
+    def __repr__(self) -> str:
+        return f"NoFreezeBFWProtocol(beep_probability={self._p!r})"
+
+
+class NoRelayBFWProtocol(BeepingProtocol[State]):
+    """BFW without the wave-relaying rule.
+
+    Non-leader nodes never beep: a leader's beep only reaches its direct
+    neighbours.  On graphs of diameter larger than two, distant leaders can
+    never eliminate each other, so the protocol stalls in a multi-leader
+    configuration — demonstrating that beep waves are what give BFW its
+    global reach.
+    """
+
+    name = "bfw-no-relay"
+
+    def __init__(self, beep_probability: float = 0.5) -> None:
+        if not 0.0 < beep_probability < 1.0:
+            raise ProtocolError(
+                f"beep probability must lie strictly in (0, 1); got {beep_probability}"
+            )
+        self._p = float(beep_probability)
+
+    @property
+    def beep_probability(self) -> float:
+        """The probability with which a silent waiting leader beeps."""
+        return self._p
+
+    @property
+    def initial_state(self) -> State:
+        return State.W_LEADER
+
+    def states(self) -> Sequence[State]:
+        return (
+            State.W_LEADER,
+            State.B_LEADER,
+            State.F_LEADER,
+            State.W_FOLLOWER,
+        )
+
+    def is_beeping(self, state: State) -> bool:
+        return state.is_beeping
+
+    def is_leader(self, state: State) -> bool:
+        return state.is_leader
+
+    def transition_table(self) -> TransitionTable[State]:
+        p = self._p
+        silent: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: bernoulli(State.B_LEADER, State.W_LEADER, p),
+            State.F_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        heard: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: deterministic(State.W_FOLLOWER),
+            State.B_LEADER: deterministic(State.F_LEADER),
+            State.F_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        return TransitionTable(silent=silent, heard=heard)
+
+    def __repr__(self) -> str:
+        return f"NoRelayBFWProtocol(beep_probability={self._p!r})"
+
+
+class EagerEliminationBFWProtocol(BeepingProtocol[State]):
+    """BFW where eliminated leaders stop relaying the eliminating wave.
+
+    Instead of transitioning to ``B◦`` when eliminated (and therefore
+    re-emitting the beep), a waiting leader that hears a beep transitions
+    directly to ``W◦``.  The wave dies at the first leader it reaches, which
+    slows elimination down considerably on long paths; the ablation benchmark
+    quantifies the slowdown.  All deterministic flow properties of Section 3
+    continue to hold for this variant, which makes it a useful negative
+    control for the flow test-suite as well.
+    """
+
+    name = "bfw-eager-elimination"
+
+    def __init__(self, beep_probability: float = 0.5) -> None:
+        if not 0.0 < beep_probability < 1.0:
+            raise ProtocolError(
+                f"beep probability must lie strictly in (0, 1); got {beep_probability}"
+            )
+        self._p = float(beep_probability)
+
+    @property
+    def beep_probability(self) -> float:
+        """The probability with which a silent waiting leader beeps."""
+        return self._p
+
+    @property
+    def initial_state(self) -> State:
+        return State.W_LEADER
+
+    def states(self) -> Sequence[State]:
+        return tuple(State)
+
+    def is_beeping(self, state: State) -> bool:
+        return state.is_beeping
+
+    def is_leader(self, state: State) -> bool:
+        return state.is_leader
+
+    def transition_table(self) -> TransitionTable[State]:
+        p = self._p
+        silent: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: bernoulli(State.B_LEADER, State.W_LEADER, p),
+            State.F_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.W_FOLLOWER),
+            State.F_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        heard: Dict[State, Dict[State, float]] = {
+            State.W_LEADER: deterministic(State.W_FOLLOWER),
+            State.B_LEADER: deterministic(State.F_LEADER),
+            State.F_LEADER: deterministic(State.W_LEADER),
+            State.W_FOLLOWER: deterministic(State.B_FOLLOWER),
+            State.B_FOLLOWER: deterministic(State.F_FOLLOWER),
+            State.F_FOLLOWER: deterministic(State.W_FOLLOWER),
+        }
+        return TransitionTable(silent=silent, heard=heard)
+
+    def __repr__(self) -> str:
+        return f"EagerEliminationBFWProtocol(beep_probability={self._p!r})"

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so that
+callers can catch library-specific failures without accidentally swallowing
+programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ProtocolError(ReproError):
+    """A protocol definition is inconsistent (e.g. missing transitions)."""
+
+
+class SimulationError(ReproError):
+    """The simulator was driven into an invalid configuration."""
+
+
+class TopologyError(ReproError):
+    """A graph is invalid for the requested operation (e.g. disconnected)."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment or simulator configuration is invalid."""
+
+
+class InvariantViolation(ReproError):
+    """A deterministic property proved in the paper failed to hold.
+
+    Raising this exception signals a bug in the implementation (or an
+    intentionally adversarial initial configuration that violates Eq. (2) of
+    the paper), never expected statistical noise.
+    """
+
+
+class ConvergenceError(ReproError):
+    """An execution did not converge within the allowed number of rounds."""
+
+
+class TraceError(ReproError):
+    """An execution trace is malformed or does not contain requested data."""

@@ -1,0 +1,87 @@
+"""Experiment harness: configs, runners, Table-1 and figure regeneration."""
+
+from repro.experiments.config import (
+    GraphSpec,
+    ProtocolSpecConfig,
+    SweepConfig,
+    TrialConfig,
+)
+from repro.experiments.figures import (
+    AblationResult,
+    CrossoverResult,
+    LowerBoundResult,
+    ScalingResult,
+    ablation_experiment,
+    crossover_experiment,
+    lower_bound_experiment,
+    scaling_experiment,
+)
+from repro.experiments.io import (
+    load_records_json,
+    save_records_csv,
+    save_records_json,
+    save_summaries_csv,
+)
+from repro.experiments.results import (
+    CellSummary,
+    TrialRecord,
+    aggregate_records,
+    records_to_arrays,
+)
+from repro.experiments.runner import (
+    BASELINE_NAMES,
+    instantiate_protocol,
+    run_protocol_on,
+    run_sweep,
+    run_trial,
+)
+from repro.experiments.seeds import (
+    DEFAULT_MASTER_SEED,
+    rng_from,
+    spawn_seeds,
+    trial_seeds,
+)
+from repro.experiments.tables import (
+    DEFAULT_TABLE1_GRAPHS,
+    DEFAULT_TABLE1_PROTOCOLS,
+    Table1Result,
+    Table1Row,
+    generate_table1,
+)
+
+__all__ = [
+    "AblationResult",
+    "BASELINE_NAMES",
+    "CellSummary",
+    "CrossoverResult",
+    "DEFAULT_MASTER_SEED",
+    "DEFAULT_TABLE1_GRAPHS",
+    "DEFAULT_TABLE1_PROTOCOLS",
+    "GraphSpec",
+    "LowerBoundResult",
+    "ProtocolSpecConfig",
+    "ScalingResult",
+    "SweepConfig",
+    "Table1Result",
+    "Table1Row",
+    "TrialConfig",
+    "TrialRecord",
+    "ablation_experiment",
+    "aggregate_records",
+    "crossover_experiment",
+    "generate_table1",
+    "instantiate_protocol",
+    "load_records_json",
+    "lower_bound_experiment",
+    "records_to_arrays",
+    "rng_from",
+    "run_protocol_on",
+    "run_sweep",
+    "run_trial",
+    "save_records_csv",
+    "save_records_json",
+    "save_summaries_csv",
+    "scaling_experiment",
+    "spawn_seeds",
+    "trial_seeds",
+]

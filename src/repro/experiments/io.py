@@ -1,0 +1,91 @@
+"""Saving and loading experiment results (JSON and CSV)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from repro.errors import ConfigurationError
+from repro.experiments.results import CellSummary, TrialRecord
+
+PathLike = Union[str, Path]
+
+
+def save_records_json(records: Sequence[TrialRecord], path: PathLike) -> None:
+    """Write trial records to a JSON file (one object per record)."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    payload = [record.as_dict() for record in records]
+    destination.write_text(json.dumps(payload, indent=2), encoding="utf-8")
+
+
+def load_records_json(path: PathLike) -> List[TrialRecord]:
+    """Read trial records previously written by :func:`save_records_json`."""
+    source = Path(path)
+    payload = json.loads(source.read_text(encoding="utf-8"))
+    if not isinstance(payload, list):
+        raise ConfigurationError(f"{source} does not contain a list of records")
+    records: List[TrialRecord] = []
+    for item in payload:
+        known = {
+            "protocol",
+            "graph",
+            "n",
+            "diameter",
+            "seed",
+            "converged",
+            "convergence_round",
+            "rounds_executed",
+        }
+        extra = {key: value for key, value in item.items() if key not in known}
+        records.append(
+            TrialRecord(
+                protocol=item["protocol"],
+                graph=item["graph"],
+                n=int(item["n"]),
+                diameter=int(item["diameter"]),
+                seed=int(item["seed"]),
+                converged=bool(item["converged"]),
+                convergence_round=(
+                    None
+                    if item["convergence_round"] is None
+                    else int(item["convergence_round"])
+                ),
+                rounds_executed=int(item["rounds_executed"]),
+                extra=extra,
+            )
+        )
+    return records
+
+
+def save_records_csv(records: Sequence[TrialRecord], path: PathLike) -> None:
+    """Write trial records to a CSV file (flat columns, extras included)."""
+    if not records:
+        raise ConfigurationError("no records to save")
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    rows = [record.as_dict() for record in records]
+    fieldnames: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    with destination.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        writer.writerows(rows)
+
+
+def save_summaries_csv(summaries: Iterable[CellSummary], path: PathLike) -> None:
+    """Write aggregated cell summaries to a CSV file."""
+    rows = [summary.as_dict() for summary in summaries]
+    if not rows:
+        raise ConfigurationError("no summaries to save")
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)

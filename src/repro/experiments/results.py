@@ -1,0 +1,150 @@
+"""Result records and aggregation for experiment sweeps."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.stats.summary import Summary, summarize_sample
+
+
+@dataclass(frozen=True)
+class TrialRecord:
+    """Outcome of a single trial, flattened for serialisation.
+
+    Attributes
+    ----------
+    protocol:
+        Display label of the protocol.
+    graph:
+        Display label of the graph.
+    n, diameter:
+        Size and diameter of the graph instance actually used.
+    seed:
+        Trial seed.
+    converged:
+        Whether a single leader remained within the budget.
+    convergence_round:
+        Convergence round (``None`` when not converged).
+    rounds_executed:
+        Number of simulated rounds.
+    extra:
+        Free-form additional measurements (e.g. per-stage counts).
+    """
+
+    protocol: str
+    graph: str
+    n: int
+    diameter: int
+    seed: int
+    converged: bool
+    convergence_round: Optional[int]
+    rounds_executed: int
+    extra: Mapping[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for JSON/CSV output."""
+        record: Dict[str, object] = {
+            "protocol": self.protocol,
+            "graph": self.graph,
+            "n": self.n,
+            "diameter": self.diameter,
+            "seed": self.seed,
+            "converged": self.converged,
+            "convergence_round": self.convergence_round,
+            "rounds_executed": self.rounds_executed,
+        }
+        record.update(dict(self.extra))
+        return record
+
+
+@dataclass(frozen=True)
+class CellSummary:
+    """Aggregated results of all trials of one (protocol, graph) cell."""
+
+    protocol: str
+    graph: str
+    n: int
+    diameter: int
+    num_trials: int
+    num_converged: int
+    rounds: Summary
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of trials that converged within their budget."""
+        return self.num_converged / self.num_trials if self.num_trials else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """Plain-dictionary view for JSON/CSV output."""
+        record: Dict[str, object] = {
+            "protocol": self.protocol,
+            "graph": self.graph,
+            "n": self.n,
+            "diameter": self.diameter,
+            "num_trials": self.num_trials,
+            "num_converged": self.num_converged,
+            "convergence_rate": round(self.convergence_rate, 4),
+        }
+        record.update({f"rounds_{k}": v for k, v in self.rounds.as_dict().items()})
+        return record
+
+
+def aggregate_records(records: Iterable[TrialRecord]) -> Tuple[CellSummary, ...]:
+    """Group trial records by (protocol, graph) and summarise each group.
+
+    Non-converged trials contribute their executed-round count to the sample
+    (a conservative lower bound on the true convergence time); cells whose
+    convergence rate is below one should be interpreted accordingly, and the
+    Table-1 generator flags them.
+    """
+    groups: Dict[Tuple[str, str], List[TrialRecord]] = {}
+    for record in records:
+        groups.setdefault((record.protocol, record.graph), []).append(record)
+    summaries: List[CellSummary] = []
+    for (protocol, graph), group in sorted(groups.items()):
+        rounds = [
+            float(
+                record.convergence_round
+                if record.convergence_round is not None
+                else record.rounds_executed
+            )
+            for record in group
+        ]
+        summaries.append(
+            CellSummary(
+                protocol=protocol,
+                graph=graph,
+                n=group[0].n,
+                diameter=group[0].diameter,
+                num_trials=len(group),
+                num_converged=sum(1 for record in group if record.converged),
+                rounds=summarize_sample(rounds),
+            )
+        )
+    return tuple(summaries)
+
+
+def records_to_arrays(
+    records: Sequence[TrialRecord],
+) -> Dict[str, np.ndarray]:
+    """Column-oriented view of trial records (for fitting and plotting)."""
+    if not records:
+        raise ConfigurationError("no records to convert")
+    return {
+        "n": np.array([record.n for record in records], dtype=float),
+        "diameter": np.array([record.diameter for record in records], dtype=float),
+        "convergence_round": np.array(
+            [
+                record.convergence_round
+                if record.convergence_round is not None
+                else np.nan
+                for record in records
+            ],
+            dtype=float,
+        ),
+        "converged": np.array([record.converged for record in records], dtype=bool),
+    }

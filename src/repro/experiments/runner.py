@@ -1,0 +1,185 @@
+"""Trial and sweep runners: dispatching protocols onto the right simulator.
+
+Three kinds of protocol objects appear in the experiments:
+
+* constant-state beeping protocols (BFW and its variants) — executed with
+  the vectorised engine;
+* memory protocols (ID broadcast, knockout, epoch baselines) — executed with
+  the :class:`~repro.beeping.simulator.MemorySimulator`;
+* standalone runners (the pipelined O(D + log n) baseline) — executed through
+  their own ``run(topology, rng, max_rounds)`` method.
+
+:func:`run_protocol_on` hides that dispatch so that the sweep code, the
+Table-1 generator, and the CLI all share one entry point.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.baselines import (
+    EmekKerenStyleElection,
+    GilbertNewportKnockout,
+    IDBroadcastElection,
+    PipelinedIDElection,
+)
+from repro.beeping.engine import VectorizedEngine
+from repro.beeping.simulator import MemorySimulator, SimulationResult
+from repro.core.protocol import BeepingProtocol, MemoryProtocol
+from repro.core.registry import available_protocols, create_protocol
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    GraphSpec,
+    ProtocolSpecConfig,
+    SweepConfig,
+    TrialConfig,
+)
+from repro.experiments.results import TrialRecord
+from repro.experiments.seeds import rng_from, trial_seeds
+from repro.graphs.generators import make_graph
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+#: Names understood by :func:`instantiate_protocol` in addition to the BFW
+#: registry: baseline identifiers mapped to factories that may need graph
+#: knowledge.
+BASELINE_NAMES: Tuple[str, ...] = (
+    "id-broadcast",
+    "id-broadcast-random",
+    "pipelined-ids",
+    "gilbert-newport",
+    "emek-keren",
+)
+
+
+def instantiate_protocol(
+    name: str,
+    topology: Topology,
+    params: Optional[Dict[str, object]] = None,
+) -> object:
+    """Build a protocol (BFW-family or baseline) for a given topology.
+
+    Graph knowledge (``n``, ``D``) is injected automatically for protocols
+    that require it, mirroring the "Knowledge" column of Table 1.
+    """
+    params = dict(params or {})
+    diameter = max(1, topology.diameter())
+    if name in available_protocols():
+        return create_protocol(name, diameter=diameter, n=topology.n, **params)
+    if name == "id-broadcast":
+        params.setdefault("id_mode", "unique")
+        return IDBroadcastElection(diameter=diameter, n=topology.n, **params)
+    if name == "id-broadcast-random":
+        params.pop("id_mode", None)
+        return IDBroadcastElection(
+            diameter=diameter, n=topology.n, id_mode="random", **params
+        )
+    if name == "pipelined-ids":
+        return PipelinedIDElection(**params)
+    if name == "gilbert-newport":
+        return GilbertNewportKnockout(**params)
+    if name == "emek-keren":
+        return EmekKerenStyleElection(diameter=diameter, **params)
+    raise ConfigurationError(
+        f"unknown protocol {name!r}; BFW-family protocols: "
+        f"{', '.join(available_protocols())}; baselines: {', '.join(BASELINE_NAMES)}"
+    )
+
+
+def run_protocol_on(
+    topology: Topology,
+    protocol: object,
+    rng: RngLike = None,
+    max_rounds: Optional[int] = None,
+) -> SimulationResult:
+    """Run any supported protocol object on ``topology`` and return the result."""
+    if isinstance(protocol, BeepingProtocol):
+        engine = VectorizedEngine(topology, protocol)
+        return engine.run(max_rounds=max_rounds, rng=rng)
+    if isinstance(protocol, MemoryProtocol):
+        simulator = MemorySimulator(topology, protocol)
+        return simulator.run(max_rounds=max_rounds, rng=rng)
+    run = getattr(protocol, "run", None)
+    if callable(run):
+        return run(topology, rng=rng, max_rounds=max_rounds)
+    raise ConfigurationError(
+        f"object {protocol!r} is not a runnable protocol (expected a "
+        "BeepingProtocol, a MemoryProtocol, or an object with a run() method)"
+    )
+
+
+def run_trial(trial: TrialConfig) -> TrialRecord:
+    """Execute one trial described by a :class:`TrialConfig`."""
+    graph_rng = rng_from(trial.graph.seed, "graph", trial.graph.family, trial.graph.n)
+    topology = make_graph(trial.graph.family, trial.graph.n, rng=graph_rng)
+    protocol = instantiate_protocol(
+        trial.protocol.name, topology, dict(trial.protocol.params)
+    )
+    result = run_protocol_on(
+        topology, protocol, rng=trial.seed, max_rounds=trial.max_rounds
+    )
+    return TrialRecord(
+        protocol=trial.protocol.label,
+        graph=trial.graph.label,
+        n=topology.n,
+        diameter=topology.diameter(),
+        seed=trial.seed,
+        converged=result.converged,
+        convergence_round=result.convergence_round,
+        rounds_executed=result.rounds_executed,
+    )
+
+
+def run_sweep(
+    sweep: SweepConfig,
+    progress: Optional[Callable[[str], None]] = None,
+) -> Tuple[TrialRecord, ...]:
+    """Run every (protocol, graph, seed) combination of a sweep.
+
+    Parameters
+    ----------
+    sweep:
+        The sweep description.
+    progress:
+        Optional callback invoked with a human-readable line after each cell
+        (used by the CLI to report progress).
+    """
+    records = []
+    for protocol_spec, graph_spec in sweep.cells():
+        seeds = trial_seeds(
+            sweep.master_seed,
+            f"{sweep.name}/{protocol_spec.label}/{graph_spec.label}",
+            sweep.num_seeds,
+        )
+        for seed in seeds:
+            trial = TrialConfig(
+                protocol=protocol_spec,
+                graph=graph_spec,
+                seed=seed,
+                max_rounds=sweep.max_rounds,
+            )
+            records.append(run_trial(trial))
+        if progress is not None:
+            cell_records = [
+                r
+                for r in records
+                if r.protocol == protocol_spec.label and r.graph == graph_spec.label
+            ]
+            mean_rounds = float(
+                np.mean(
+                    [
+                        r.convergence_round
+                        if r.convergence_round is not None
+                        else r.rounds_executed
+                        for r in cell_records
+                    ]
+                )
+            )
+            progress(
+                f"{protocol_spec.label:<28} {graph_spec.label:<18} "
+                f"mean rounds: {mean_rounds:10.1f}"
+            )
+    return tuple(records)

@@ -1,0 +1,367 @@
+"""Graph generators used by the examples, tests and benchmarks.
+
+Every generator returns a :class:`~repro.graphs.topology.Topology` with a
+descriptive name.  The families mirror those commonly used to evaluate
+beeping-model algorithms:
+
+* worst-case-diameter families: paths, cycles, caterpillars, barbells,
+  lollipops;
+* low-diameter families: cliques, stars, hypercubes;
+* "physical deployment" families: grids, tori, random geometric graphs;
+* random families: connected Erdős–Rényi graphs, random trees,
+  random regular graphs.
+
+Randomised generators take a ``numpy`` :class:`~numpy.random.Generator` (or a
+seed) so that every experiment is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple, Union
+
+import networkx as nx
+import numpy as np
+
+from repro.errors import TopologyError
+from repro.graphs.topology import Edge, Topology, topology_from_networkx
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    """Normalise a seed / generator / None into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+# --------------------------------------------------------------------------- #
+# Deterministic families
+# --------------------------------------------------------------------------- #
+
+
+def path_graph(n: int) -> Topology:
+    """A path on ``n`` nodes: the worst case for the diameter (``D = n - 1``)."""
+    if n < 1:
+        raise TopologyError(f"path graph needs n >= 1; got {n}")
+    edges = [(i, i + 1) for i in range(n - 1)]
+    return Topology(n, edges, name=f"path({n})")
+
+
+def cycle_graph(n: int) -> Topology:
+    """A cycle on ``n`` nodes (``D = floor(n / 2)``)."""
+    if n < 3:
+        raise TopologyError(f"cycle graph needs n >= 3; got {n}")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return Topology(n, edges, name=f"cycle({n})")
+
+
+def clique_graph(n: int) -> Topology:
+    """The complete graph on ``n`` nodes (``D = 1``), the single-hop setting of [17]."""
+    if n < 1:
+        raise TopologyError(f"clique needs n >= 1; got {n}")
+    edges = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    return Topology(n, edges, name=f"clique({n})")
+
+
+def star_graph(n: int) -> Topology:
+    """A star with one hub and ``n - 1`` leaves (``D = 2``)."""
+    if n < 2:
+        raise TopologyError(f"star graph needs n >= 2; got {n}")
+    edges = [(0, i) for i in range(1, n)]
+    return Topology(n, edges, name=f"star({n})")
+
+
+def grid_graph(rows: int, cols: int) -> Topology:
+    """A ``rows × cols`` grid (``D = rows + cols - 2``)."""
+    if rows < 1 or cols < 1:
+        raise TopologyError(f"grid needs positive dimensions; got {rows}x{cols}")
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Topology(rows * cols, edges, name=f"grid({rows}x{cols})")
+
+
+def torus_graph(rows: int, cols: int) -> Topology:
+    """A ``rows × cols`` torus (grid with wrap-around edges)."""
+    if rows < 3 or cols < 3:
+        raise TopologyError(f"torus needs both dimensions >= 3; got {rows}x{cols}")
+    edges: List[Edge] = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            right = r * cols + (c + 1) % cols
+            down = ((r + 1) % rows) * cols + c
+            edges.append((node, right))
+            edges.append((node, down))
+    return Topology(rows * cols, edges, name=f"torus({rows}x{cols})")
+
+
+def binary_tree_graph(depth: int) -> Topology:
+    """A complete binary tree of the given depth (``n = 2^(depth+1) - 1``)."""
+    if depth < 0:
+        raise TopologyError(f"tree depth must be non-negative; got {depth}")
+    n = 2 ** (depth + 1) - 1
+    edges = [((i - 1) // 2, i) for i in range(1, n)]
+    return Topology(n, edges, name=f"binary-tree(depth={depth})")
+
+
+def hypercube_graph(dimension: int) -> Topology:
+    """The ``dimension``-dimensional hypercube (``n = 2^dimension``, ``D = dimension``)."""
+    if dimension < 1:
+        raise TopologyError(f"hypercube dimension must be >= 1; got {dimension}")
+    n = 2**dimension
+    edges: List[Edge] = []
+    for node in range(n):
+        for bit in range(dimension):
+            neighbour = node ^ (1 << bit)
+            if neighbour > node:
+                edges.append((node, neighbour))
+    return Topology(n, edges, name=f"hypercube({dimension})")
+
+
+def barbell_graph(clique_size: int, path_length: int) -> Topology:
+    """Two cliques of ``clique_size`` nodes joined by a path of ``path_length`` edges.
+
+    A classical high-diameter, high-degree stress test: waves must traverse
+    the thin bridge to eliminate leaders in the opposite clique.
+    """
+    if clique_size < 2:
+        raise TopologyError(f"barbell cliques need >= 2 nodes; got {clique_size}")
+    if path_length < 1:
+        raise TopologyError(f"barbell path needs >= 1 edge; got {path_length}")
+    n = 2 * clique_size + max(0, path_length - 1)
+    edges: List[Edge] = []
+    # First clique: nodes 0 .. clique_size - 1.
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            edges.append((i, j))
+    # Second clique occupies the last clique_size labels.
+    offset = n - clique_size
+    for i in range(clique_size):
+        for j in range(i + 1, clique_size):
+            edges.append((offset + i, offset + j))
+    # Path bridging node clique_size - 1 to node offset.
+    bridge = [clique_size - 1]
+    bridge.extend(range(clique_size, offset))
+    bridge.append(offset)
+    for u, v in zip(bridge, bridge[1:]):
+        edges.append((u, v))
+    return Topology(n, edges, name=f"barbell({clique_size},{path_length})")
+
+
+def lollipop_graph(clique_size: int, path_length: int) -> Topology:
+    """A clique with a path attached (the ``networkx`` lollipop graph)."""
+    if clique_size < 2 or path_length < 1:
+        raise TopologyError(
+            f"lollipop needs clique >= 2 and path >= 1; got {clique_size}, {path_length}"
+        )
+    graph = nx.lollipop_graph(clique_size, path_length)
+    return topology_from_networkx(
+        graph, name=f"lollipop({clique_size},{path_length})"
+    )
+
+
+def caterpillar_graph(spine_length: int, legs_per_node: int) -> Topology:
+    """A path ("spine") where every spine node has ``legs_per_node`` pendant leaves."""
+    if spine_length < 1 or legs_per_node < 0:
+        raise TopologyError(
+            "caterpillar needs spine_length >= 1 and legs_per_node >= 0; "
+            f"got {spine_length}, {legs_per_node}"
+        )
+    edges: List[Edge] = [(i, i + 1) for i in range(spine_length - 1)]
+    next_label = spine_length
+    for spine_node in range(spine_length):
+        for _ in range(legs_per_node):
+            edges.append((spine_node, next_label))
+            next_label += 1
+    return Topology(
+        next_label, edges, name=f"caterpillar({spine_length},{legs_per_node})"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Random families
+# --------------------------------------------------------------------------- #
+
+
+def erdos_renyi_graph(
+    n: int, probability: Optional[float] = None, rng: RngLike = None
+) -> Topology:
+    """A connected Erdős–Rényi graph ``G(n, p)``.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes.
+    probability:
+        Edge probability.  Defaults to ``2 ln(n) / n``, comfortably above the
+        connectivity threshold so that only a few retries are needed.
+    rng:
+        Seed or generator for reproducibility.
+    """
+    if n < 2:
+        raise TopologyError(f"Erdős–Rényi graph needs n >= 2; got {n}")
+    generator = _as_rng(rng)
+    if probability is None:
+        probability = min(1.0, 2.0 * math.log(n) / n)
+    for _ in range(100):
+        seed = int(generator.integers(0, 2**31 - 1))
+        graph = nx.gnp_random_graph(n, probability, seed=seed)
+        if nx.is_connected(graph):
+            return topology_from_networkx(
+                graph, name=f"erdos-renyi({n},{probability:.3f})"
+            )
+    raise TopologyError(
+        f"failed to sample a connected G({n}, {probability}) graph in 100 attempts"
+    )
+
+
+def random_geometric_graph(
+    n: int, radius: Optional[float] = None, rng: RngLike = None
+) -> Topology:
+    """A connected random geometric graph in the unit square.
+
+    Nodes are placed uniformly at random in ``[0, 1]²`` and joined when their
+    Euclidean distance is at most ``radius``.  This is the canonical model of
+    a colony of simple agents (or cheap radio devices) scattered in space,
+    matching the biological deployments the paper's introduction motivates.
+    """
+    if n < 2:
+        raise TopologyError(f"random geometric graph needs n >= 2; got {n}")
+    generator = _as_rng(rng)
+    if radius is None:
+        radius = min(1.0, 1.5 * math.sqrt(math.log(n) / (math.pi * n)))
+    for _ in range(100):
+        seed = int(generator.integers(0, 2**31 - 1))
+        graph = nx.random_geometric_graph(n, radius, seed=seed)
+        if nx.is_connected(graph):
+            return topology_from_networkx(
+                graph, name=f"geometric({n},{radius:.3f})"
+            )
+        radius *= 1.1
+    raise TopologyError(
+        f"failed to sample a connected geometric graph on {n} nodes in 100 attempts"
+    )
+
+
+def random_tree_graph(n: int, rng: RngLike = None) -> Topology:
+    """A uniformly random labelled tree on ``n`` nodes (via a Prüfer sequence)."""
+    if n < 1:
+        raise TopologyError(f"random tree needs n >= 1; got {n}")
+    if n <= 2:
+        edges = [(0, 1)] if n == 2 else []
+        return Topology(n, edges, name=f"random-tree({n})")
+    generator = _as_rng(rng)
+    prufer = [int(generator.integers(0, n)) for _ in range(n - 2)]
+    degree = [1] * n
+    for node in prufer:
+        degree[node] += 1
+    edges: List[Edge] = []
+    leaves = sorted(i for i in range(n) if degree[i] == 1)
+    for node in prufer:
+        leaf = leaves.pop(0)
+        edges.append((leaf, node))
+        degree[node] -= 1
+        if degree[node] == 1:
+            # Insert while keeping the list sorted for determinism.
+            lo, hi = 0, len(leaves)
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if leaves[mid] < node:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            leaves.insert(lo, node)
+    edges.append((leaves[0], leaves[1]))
+    return Topology(n, edges, name=f"random-tree({n})")
+
+
+def random_regular_graph(n: int, degree: int, rng: RngLike = None) -> Topology:
+    """A connected random ``degree``-regular graph on ``n`` nodes."""
+    if degree < 2 or n <= degree or (n * degree) % 2 != 0:
+        raise TopologyError(
+            f"invalid random regular graph parameters: n={n}, degree={degree}"
+        )
+    generator = _as_rng(rng)
+    for _ in range(100):
+        seed = int(generator.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(degree, n, seed=seed)
+        if nx.is_connected(graph):
+            return topology_from_networkx(
+                graph, name=f"random-regular({n},{degree})"
+            )
+    raise TopologyError(
+        f"failed to sample a connected {degree}-regular graph on {n} nodes"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Named factory
+# --------------------------------------------------------------------------- #
+
+#: Names accepted by :func:`make_graph`, mapping to generator callables that
+#: take ``(n, rng)`` and return a topology of (approximately) ``n`` nodes.
+GRAPH_FAMILIES: Tuple[str, ...] = (
+    "path",
+    "cycle",
+    "clique",
+    "star",
+    "grid",
+    "torus",
+    "binary-tree",
+    "hypercube",
+    "erdos-renyi",
+    "geometric",
+    "random-tree",
+    "barbell",
+)
+
+
+def make_graph(family: str, n: int, rng: RngLike = None) -> Topology:
+    """Build a graph of (approximately) ``n`` nodes from a named family.
+
+    Families whose natural parameters are not a node count (grids, trees,
+    hypercubes, barbells) round ``n`` to the nearest admissible size; the
+    returned topology's :attr:`~repro.graphs.topology.Topology.n` reports the
+    actual size.
+    """
+    if family == "path":
+        return path_graph(n)
+    if family == "cycle":
+        return cycle_graph(max(3, n))
+    if family == "clique":
+        return clique_graph(n)
+    if family == "star":
+        return star_graph(max(2, n))
+    if family == "grid":
+        side = max(2, int(round(math.sqrt(n))))
+        return grid_graph(side, side)
+    if family == "torus":
+        side = max(3, int(round(math.sqrt(n))))
+        return torus_graph(side, side)
+    if family == "binary-tree":
+        depth = max(1, int(round(math.log2(n + 1))) - 1)
+        return binary_tree_graph(depth)
+    if family == "hypercube":
+        dimension = max(1, int(round(math.log2(n))))
+        return hypercube_graph(dimension)
+    if family == "erdos-renyi":
+        return erdos_renyi_graph(n, rng=rng)
+    if family == "geometric":
+        return random_geometric_graph(n, rng=rng)
+    if family == "random-tree":
+        return random_tree_graph(n, rng=rng)
+    if family == "barbell":
+        clique_size = max(2, n // 4)
+        path_length = max(1, n - 2 * clique_size + 1)
+        return barbell_graph(clique_size, path_length)
+    raise TopologyError(
+        f"unknown graph family {family!r}; known families: {', '.join(GRAPH_FAMILIES)}"
+    )

@@ -1,0 +1,71 @@
+"""Reading and writing topologies as plain-text edge lists.
+
+The format is intentionally minimal so that graphs can be exchanged with
+other tools and checked into test fixtures:
+
+* lines starting with ``#`` are comments;
+* the first non-comment line is ``n <number of nodes>``;
+* every following non-comment line is an edge ``u v``.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from repro.errors import TopologyError
+from repro.graphs.topology import Topology
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(topology: Topology, path: PathLike) -> None:
+    """Write ``topology`` to ``path`` in the edge-list format."""
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", encoding="utf-8") as handle:
+        handle.write(dumps_edge_list(topology))
+
+
+def read_edge_list(path: PathLike, name: str = "") -> Topology:
+    """Read a topology from an edge-list file."""
+    source = Path(path)
+    with source.open("r", encoding="utf-8") as handle:
+        return loads_edge_list(handle.read(), name=name or source.stem)
+
+
+def dumps_edge_list(topology: Topology) -> str:
+    """Serialise ``topology`` to an edge-list string."""
+    buffer = io.StringIO()
+    buffer.write(f"# topology: {topology.name}\n")
+    buffer.write(f"n {topology.n}\n")
+    for u, v in topology.edges:
+        buffer.write(f"{u} {v}\n")
+    return buffer.getvalue()
+
+
+def loads_edge_list(text: str, name: str = "") -> Topology:
+    """Parse a topology from an edge-list string."""
+    n = None
+    edges: List[Tuple[int, int]] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if n is None:
+            if len(parts) != 2 or parts[0] != "n":
+                raise TopologyError(
+                    f"line {line_number}: expected header 'n <count>', got {raw_line!r}"
+                )
+            n = int(parts[1])
+            continue
+        if len(parts) != 2:
+            raise TopologyError(
+                f"line {line_number}: expected edge 'u v', got {raw_line!r}"
+            )
+        edges.append((int(parts[0]), int(parts[1])))
+    if n is None:
+        raise TopologyError("edge-list text contains no header line")
+    return Topology(n, edges, name=name or f"edge-list({n})")

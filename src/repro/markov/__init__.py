@@ -1,0 +1,49 @@
+"""Markov-chain substrate for the probabilistic analysis of Section 4."""
+
+from repro.markov.bfw_chain import (
+    STATE_B,
+    STATE_F,
+    STATE_NAMES,
+    STATE_W,
+    beeps_from_return_times,
+    bfw_leader_chain,
+    expected_beeps,
+    sample_return_times,
+    stationary_distribution,
+    transition_matrix,
+    variance_lower_bound,
+)
+from repro.markov.chain import FiniteMarkovChain
+from repro.markov.coupling import (
+    CouplingOutcome,
+    empirical_meeting_time_distribution,
+    simulate_coupling,
+)
+from repro.markov.visits import (
+    AntiConcentrationEstimate,
+    estimate_anti_concentration,
+    estimate_separation_time,
+    simulate_visit_counts,
+)
+
+__all__ = [
+    "AntiConcentrationEstimate",
+    "CouplingOutcome",
+    "FiniteMarkovChain",
+    "STATE_B",
+    "STATE_F",
+    "STATE_NAMES",
+    "STATE_W",
+    "beeps_from_return_times",
+    "bfw_leader_chain",
+    "empirical_meeting_time_distribution",
+    "estimate_anti_concentration",
+    "estimate_separation_time",
+    "expected_beeps",
+    "sample_return_times",
+    "simulate_coupling",
+    "simulate_visit_counts",
+    "stationary_distribution",
+    "transition_matrix",
+    "variance_lower_bound",
+]

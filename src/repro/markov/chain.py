@@ -1,0 +1,221 @@
+"""Generic finite Markov chains.
+
+The probabilistic analysis of the paper (Section 4) works with the
+three-state chain ``W → B → F`` that describes a leader's behaviour while it
+is not disturbed by other nodes.  The machinery here is deliberately more
+general — arbitrary finite chains with dense transition matrices — because
+the anti-concentration experiment (E7) and several tests also exercise it on
+other small chains, and because the stationary-distribution and mixing
+utilities are reusable substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class FiniteMarkovChain:
+    """A finite Markov chain given by its transition matrix.
+
+    Attributes
+    ----------
+    transition_matrix:
+        Row-stochastic matrix ``P``; ``P[i, j]`` is the probability of moving
+        from state ``i`` to state ``j``.
+    state_names:
+        Optional display names, one per state.
+    """
+
+    transition_matrix: np.ndarray
+    state_names: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.transition_matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ConfigurationError(
+                f"transition matrix must be square; got shape {matrix.shape}"
+            )
+        if (matrix < -1e-12).any():
+            raise ConfigurationError("transition matrix has negative entries")
+        row_sums = matrix.sum(axis=1)
+        if not np.allclose(row_sums, 1.0, atol=1e-9):
+            raise ConfigurationError(
+                f"transition matrix rows must sum to 1; got {row_sums}"
+            )
+        object.__setattr__(self, "transition_matrix", matrix)
+        if self.state_names and len(self.state_names) != matrix.shape[0]:
+            raise ConfigurationError(
+                "state_names length does not match the number of states"
+            )
+
+    @property
+    def num_states(self) -> int:
+        """Number of states of the chain."""
+        return self.transition_matrix.shape[0]
+
+    # ------------------------------------------------------------------ #
+    # Structure
+    # ------------------------------------------------------------------ #
+
+    def is_irreducible(self) -> bool:
+        """Whether every state can reach every other state."""
+        reachable = self._reachability()
+        return bool(reachable.all())
+
+    def is_aperiodic(self) -> bool:
+        """Whether the chain is aperiodic (gcd of cycle lengths is one).
+
+        Checked via the standard trick: the chain is aperiodic iff some power
+        ``P^k`` with ``k ≤ n²`` has all-positive entries on the support of the
+        reachability relation.  For the small chains used here an exact period
+        computation per state is affordable.
+        """
+        n = self.num_states
+        period = 0
+        support = self.transition_matrix > 0
+        power = np.eye(n, dtype=bool)
+        lengths = []
+        for k in range(1, 2 * n * n + 1):
+            power = (power @ support) > 0
+            if power[0, 0]:
+                lengths.append(k)
+        if not lengths:
+            return False
+        period = lengths[0]
+        for length in lengths[1:]:
+            period = int(np.gcd(period, length))
+            if period == 1:
+                return True
+        return period == 1
+
+    def stationary_distribution(self) -> np.ndarray:
+        """The stationary distribution ``π`` with ``π P = π``.
+
+        Computed from the left eigenvector of eigenvalue 1; assumes the chain
+        is irreducible so that the distribution is unique.
+        """
+        eigenvalues, eigenvectors = np.linalg.eig(self.transition_matrix.T)
+        index = int(np.argmin(np.abs(eigenvalues - 1.0)))
+        vector = np.real(eigenvectors[:, index])
+        vector = np.abs(vector)
+        return vector / vector.sum()
+
+    def mixing_bound(self) -> float:
+        """The second-largest eigenvalue modulus (SLEM), a mixing-rate proxy."""
+        eigenvalues = np.linalg.eigvals(self.transition_matrix)
+        moduli = np.sort(np.abs(eigenvalues))[::-1]
+        return float(moduli[1]) if len(moduli) > 1 else 0.0
+
+    # ------------------------------------------------------------------ #
+    # Simulation
+    # ------------------------------------------------------------------ #
+
+    def sample_path(
+        self,
+        length: int,
+        initial_state: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Sample a trajectory ``X_1, ..., X_length``.
+
+        Parameters
+        ----------
+        length:
+            Number of steps to generate.
+        initial_state:
+            State of ``X_1``; when ``None``, ``X_1`` is drawn from the
+            stationary distribution (the setting of Theorem 13).
+        rng:
+            Seed or generator.
+        """
+        if length < 1:
+            raise ConfigurationError(f"path length must be >= 1; got {length}")
+        generator = _as_rng(rng)
+        n = self.num_states
+        cumulative = np.cumsum(self.transition_matrix, axis=1)
+        path = np.empty(length, dtype=np.int64)
+        if initial_state is None:
+            pi = self.stationary_distribution()
+            path[0] = int(generator.choice(n, p=pi))
+        else:
+            if not 0 <= initial_state < n:
+                raise ConfigurationError(
+                    f"initial state {initial_state} outside 0..{n - 1}"
+                )
+            path[0] = initial_state
+        uniforms = generator.random(length)
+        for t in range(1, length):
+            row = cumulative[path[t - 1]]
+            path[t] = int(np.searchsorted(row, uniforms[t], side="right"))
+        return path
+
+    def sample_many_paths(
+        self,
+        num_paths: int,
+        length: int,
+        initial_state: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Sample ``num_paths`` independent trajectories, vectorised over paths.
+
+        Returns an integer array of shape ``(num_paths, length)``.
+        """
+        if num_paths < 1:
+            raise ConfigurationError(f"num_paths must be >= 1; got {num_paths}")
+        generator = _as_rng(rng)
+        n = self.num_states
+        cumulative = np.cumsum(self.transition_matrix, axis=1)
+        paths = np.empty((num_paths, length), dtype=np.int64)
+        if initial_state is None:
+            pi = self.stationary_distribution()
+            paths[:, 0] = generator.choice(n, size=num_paths, p=pi)
+        else:
+            paths[:, 0] = initial_state
+        uniforms = generator.random((num_paths, length))
+        for t in range(1, length):
+            rows = cumulative[paths[:, t - 1]]
+            paths[:, t] = (uniforms[:, t : t + 1] >= rows).sum(axis=1)
+        return paths
+
+    def visit_counts(
+        self, paths: np.ndarray, state: int
+    ) -> np.ndarray:
+        """``N_t(state)`` for each path: number of visits to ``state``.
+
+        Parameters
+        ----------
+        paths:
+            Array of shape ``(num_paths, length)`` as produced by
+            :meth:`sample_many_paths`.
+        state:
+            The state whose visits are counted.
+        """
+        return (np.asarray(paths) == state).sum(axis=1)
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+
+    def _reachability(self) -> np.ndarray:
+        support = self.transition_matrix > 0
+        reach = np.eye(self.num_states, dtype=bool) | support
+        for _ in range(self.num_states):
+            updated = reach | (reach @ reach)
+            if (updated == reach).all():
+                break
+            reach = updated
+        return reach

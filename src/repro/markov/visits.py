@@ -1,0 +1,187 @@
+"""Visit-count statistics and anti-concentration experiments (Lemmas 14 and 15).
+
+The heart of the uniform-BFW analysis is an anti-concentration statement:
+for two leaders ``u`` and ``v`` whose behaviour is described by independent
+copies of the undisturbed-leader chain, the difference of their beep counts
+``|N_t^{(u)} − N_t^{(v)}|`` exceeds any target ``d`` within roughly ``d²``
+rounds with constant probability (Lemma 15), which after ``O(log n)``
+independent attempts holds w.h.p. (Lemma 17).  Combined with Ohm's law, a
+difference larger than the diameter forces an elimination (Claim 18).
+
+This module measures those quantities empirically so that the benchmark E7
+can compare them against the paper's statements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.markov.bfw_chain import STATE_B, STATE_W, bfw_leader_chain
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class AntiConcentrationEstimate:
+    """Empirical estimate of the quantities in Lemma 14 / Lemma 15.
+
+    Attributes
+    ----------
+    p:
+        Beeping probability of the chain.
+    horizon:
+        Number of rounds ``t`` simulated.
+    threshold:
+        The difference target ``d`` (Lemma 15 uses ``d = sqrt(t)``).
+    probability_below:
+        Empirical ``P(|N_t^{(u)} − N_t^{(v)}| < threshold)`` — Lemma 15 states
+        this is at most ``1 − ε`` for a constant ``ε(p) > 0``.
+    mean_difference:
+        Empirical ``E|N_t^{(u)} − N_t^{(v)}|``.
+    visit_variance:
+        Empirical ``Var(N_t)`` — Lemma 14's proof shows it grows linearly in
+        ``t``.
+    num_samples:
+        Number of independent chain pairs simulated.
+    """
+
+    p: float
+    horizon: int
+    threshold: float
+    probability_below: float
+    mean_difference: float
+    visit_variance: float
+    num_samples: int
+
+
+def simulate_visit_counts(
+    p: float,
+    horizon: int,
+    num_chains: int,
+    rng: RngLike = None,
+    start_in_waiting: bool = True,
+) -> np.ndarray:
+    """Simulate ``num_chains`` independent leader chains and count beeps.
+
+    Parameters
+    ----------
+    p:
+        Beeping probability.
+    horizon:
+        Number of rounds ``t``.
+    num_chains:
+        Number of independent chains.
+    start_in_waiting:
+        Whether chains start in state ``W`` (the protocol's initial state, as
+        in Section 4.2) or from the stationary distribution (the setting of
+        Theorem 13).
+
+    Returns
+    -------
+    Integer array of length ``num_chains`` with the beep counts ``N_t``.
+    """
+    if horizon < 1:
+        raise ConfigurationError(f"horizon must be >= 1; got {horizon}")
+    chain = bfw_leader_chain(p)
+    initial = STATE_W if start_in_waiting else None
+    paths = chain.sample_many_paths(
+        num_paths=num_chains, length=horizon, initial_state=initial, rng=rng
+    )
+    return chain.visit_counts(paths, STATE_B)
+
+
+def estimate_anti_concentration(
+    p: float,
+    horizon: int,
+    num_samples: int = 2000,
+    threshold: float = None,
+    rng: RngLike = None,
+) -> AntiConcentrationEstimate:
+    """Estimate the probability that two independent beep counts stay close.
+
+    Lemma 15 (with ``d = sqrt(horizon)``) states this probability is bounded
+    away from one by a constant depending only on ``p``.
+    """
+    generator = _as_rng(rng)
+    if threshold is None:
+        threshold = float(np.sqrt(horizon))
+    counts_u = simulate_visit_counts(
+        p, horizon, num_samples, rng=generator
+    ).astype(float)
+    counts_v = simulate_visit_counts(
+        p, horizon, num_samples, rng=generator
+    ).astype(float)
+    differences = np.abs(counts_u - counts_v)
+    return AntiConcentrationEstimate(
+        p=p,
+        horizon=horizon,
+        threshold=float(threshold),
+        probability_below=float(np.mean(differences < threshold)),
+        mean_difference=float(differences.mean()),
+        visit_variance=float(np.var(counts_u)),
+        num_samples=num_samples,
+    )
+
+
+def estimate_separation_time(
+    p: float,
+    target_difference: int,
+    num_samples: int = 500,
+    max_rounds: int = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Empirical distribution of ``σ_{u,v}`` (Eq. (17)).
+
+    ``σ_{u,v}`` is the first round at which two independent leader chains'
+    beep counts differ by more than ``target_difference``.  Lemma 17 proves
+    ``σ_{u,v} = O(D² log n)`` w.h.p. when the target is the diameter ``D``;
+    the scaling benchmark compares the empirical quantiles against
+    ``target_difference²``.
+
+    Returns
+    -------
+    Integer array of length ``num_samples``; entries equal ``max_rounds + 1``
+    when separation was not reached within the budget.
+    """
+    if target_difference < 1:
+        raise ConfigurationError(
+            f"target_difference must be >= 1; got {target_difference}"
+        )
+    if max_rounds is None:
+        max_rounds = 200 * target_difference * target_difference + 1000
+    generator = _as_rng(rng)
+    chain = bfw_leader_chain(p)
+    cumulative = np.cumsum(chain.transition_matrix, axis=1)
+
+    states_u = np.full(num_samples, STATE_W, dtype=np.int64)
+    states_v = np.full(num_samples, STATE_W, dtype=np.int64)
+    counts_u = np.zeros(num_samples, dtype=np.int64)
+    counts_v = np.zeros(num_samples, dtype=np.int64)
+    separation = np.full(num_samples, max_rounds + 1, dtype=np.int64)
+    active = np.ones(num_samples, dtype=bool)
+
+    for round_index in range(1, max_rounds + 1):
+        if not active.any():
+            break
+        uniforms_u = generator.random(num_samples)
+        uniforms_v = generator.random(num_samples)
+        rows_u = cumulative[states_u]
+        rows_v = cumulative[states_v]
+        states_u = (uniforms_u[:, None] >= rows_u).sum(axis=1)
+        states_v = (uniforms_v[:, None] >= rows_v).sum(axis=1)
+        counts_u += states_u == STATE_B
+        counts_v += states_v == STATE_B
+        separated = active & (np.abs(counts_u - counts_v) > target_difference)
+        separation[separated] = round_index
+        active &= ~separated
+    return separation

@@ -1,0 +1,29 @@
+"""Population-protocols substrate and classic leader-election protocols."""
+
+from repro.population.protocols import (
+    FOLLOWER,
+    INFECTED,
+    LEADER,
+    SUSCEPTIBLE,
+    CoinedElimination,
+    EpidemicBroadcast,
+    PairwiseElimination,
+)
+from repro.population.scheduler import (
+    PopulationProtocol,
+    PopulationResult,
+    PopulationScheduler,
+)
+
+__all__ = [
+    "CoinedElimination",
+    "EpidemicBroadcast",
+    "FOLLOWER",
+    "INFECTED",
+    "LEADER",
+    "PairwiseElimination",
+    "PopulationProtocol",
+    "PopulationResult",
+    "PopulationScheduler",
+    "SUSCEPTIBLE",
+]

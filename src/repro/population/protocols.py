@@ -1,0 +1,116 @@
+"""Classic population-protocol leader election and helper protocols.
+
+These protocols populate the population-protocols row of the related-work
+comparison (experiment E10):
+
+* :class:`PairwiseElimination` — the folklore two-state protocol: every agent
+  starts as a leader, and when two leaders interact one of them (the
+  responder) survives.  On the clique it converges after ``Θ(n²)`` expected
+  interactions (``Θ(n)`` parallel time), which is the lower bound for
+  constant-state protocols [10]; the benchmark verifies this quadratic
+  scaling empirically.
+* :class:`CoinedElimination` — a small refinement where the surviving leader
+  is chosen by a fair coin rather than by the initiator/responder role;
+  included to show the constant-factor (not asymptotic) effect of the
+  tie-breaking rule.
+* :class:`EpidemicBroadcast` — a one-way infection protocol used to measure
+  the broadcast time of an interaction graph; the recent graph-general
+  bounds for population leader election are expressed in terms of this
+  quantity ("O(Broadcast time · log n)" in [2]), so the benchmark reports it
+  alongside.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.population.scheduler import PopulationProtocol
+
+#: State constants shared by the election protocols.
+LEADER = "L"
+FOLLOWER = "F"
+
+#: State constants for the epidemic protocol.
+INFECTED = "I"
+SUSCEPTIBLE = "S"
+
+
+class PairwiseElimination(PopulationProtocol):
+    """Two-state leader election: when two leaders meet, the initiator yields."""
+
+    name = "pp-pairwise-elimination"
+
+    @property
+    def initial_state(self) -> Hashable:
+        return LEADER
+
+    def interact(
+        self,
+        initiator_state: Hashable,
+        responder_state: Hashable,
+        rng: np.random.Generator,
+    ) -> Tuple[Hashable, Hashable]:
+        if initiator_state == LEADER and responder_state == LEADER:
+            return FOLLOWER, LEADER
+        return initiator_state, responder_state
+
+    def is_leader(self, state: Hashable) -> bool:
+        return state == LEADER
+
+
+class CoinedElimination(PopulationProtocol):
+    """Two-state leader election where a fair coin picks the survivor."""
+
+    name = "pp-coined-elimination"
+
+    @property
+    def initial_state(self) -> Hashable:
+        return LEADER
+
+    def interact(
+        self,
+        initiator_state: Hashable,
+        responder_state: Hashable,
+        rng: np.random.Generator,
+    ) -> Tuple[Hashable, Hashable]:
+        if initiator_state == LEADER and responder_state == LEADER:
+            if rng.random() < 0.5:
+                return LEADER, FOLLOWER
+            return FOLLOWER, LEADER
+        return initiator_state, responder_state
+
+    def is_leader(self, state: Hashable) -> bool:
+        return state == LEADER
+
+
+class EpidemicBroadcast(PopulationProtocol):
+    """One-way infection used to measure broadcast (epidemic) time.
+
+    Agent 0's role is played by treating the *leader* predicate as "has been
+    infected"; the scheduler cannot single out an agent, so instead every
+    interaction where exactly one endpoint is infected infects the other.
+    The protocol is seeded by the scheduler convention that the initial state
+    is ``SUSCEPTIBLE``; tests construct runs by patching a single infected
+    agent through a custom initial state (see the benchmark for usage).
+    """
+
+    name = "pp-epidemic-broadcast"
+
+    @property
+    def initial_state(self) -> Hashable:
+        return SUSCEPTIBLE
+
+    def interact(
+        self,
+        initiator_state: Hashable,
+        responder_state: Hashable,
+        rng: np.random.Generator,
+    ) -> Tuple[Hashable, Hashable]:
+        if INFECTED in (initiator_state, responder_state):
+            return INFECTED, INFECTED
+        return initiator_state, responder_state
+
+    def is_leader(self, state: Hashable) -> bool:
+        return state == INFECTED

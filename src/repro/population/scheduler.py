@@ -1,0 +1,207 @@
+"""A population-protocols substrate (random pairwise interactions).
+
+The related-work section of the paper compares the beeping model with
+population protocols [3], where at every time step a uniformly random
+*ordered* pair of adjacent agents (initiator, responder) interacts and both
+update their states according to a joint transition function.  Leader
+election in this model is the subject of a rich literature (Table 1's
+population-protocols row and experiment E10); this module provides the
+scheduler and the measurement conventions (interactions vs. parallel time).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+class PopulationProtocol(abc.ABC):
+    """A population protocol: joint transition on (initiator, responder) states."""
+
+    #: Human-readable name.
+    name: str = "population-protocol"
+
+    @property
+    @abc.abstractmethod
+    def initial_state(self) -> Hashable:
+        """The state every agent starts in."""
+
+    @abc.abstractmethod
+    def interact(
+        self,
+        initiator_state: Hashable,
+        responder_state: Hashable,
+        rng: np.random.Generator,
+    ) -> Tuple[Hashable, Hashable]:
+        """The new (initiator, responder) states after an interaction."""
+
+    @abc.abstractmethod
+    def is_leader(self, state: Hashable) -> bool:
+        """Whether ``state`` is a leader state."""
+
+
+@dataclass(frozen=True)
+class PopulationResult:
+    """Outcome of a population-protocol execution.
+
+    Attributes
+    ----------
+    converged:
+        Whether a single leader remained at the end.
+    convergence_interactions:
+        Number of interactions after which a single leader remained for good
+        (``None`` if the execution did not converge).
+    interactions_executed:
+        Total number of interactions simulated.
+    final_leader_count:
+        Number of leaders at the end.
+    parallel_time:
+        ``interactions / n`` — the standard parallel-time normalisation.
+    """
+
+    converged: bool
+    convergence_interactions: Optional[int]
+    interactions_executed: int
+    final_leader_count: int
+    n: int
+    protocol_name: str = ""
+    topology_name: str = ""
+
+    @property
+    def parallel_time(self) -> float:
+        """Interactions divided by the population size."""
+        return self.interactions_executed / max(1, self.n)
+
+    @property
+    def convergence_parallel_time(self) -> Optional[float]:
+        """Convergence interactions divided by the population size."""
+        if self.convergence_interactions is None:
+            return None
+        return self.convergence_interactions / max(1, self.n)
+
+
+class PopulationScheduler:
+    """Random-scheduler simulator for population protocols on a graph.
+
+    At each step an edge of the communication graph is drawn uniformly at
+    random and oriented uniformly at random (initiator, responder); the
+    classical "complete interaction graph" setting is recovered by passing a
+    clique topology.
+    """
+
+    def __init__(self, topology: Topology, protocol: PopulationProtocol) -> None:
+        if topology.num_edges == 0:
+            raise ConfigurationError(
+                "population protocols need at least one edge to interact over"
+            )
+        self._topology = topology
+        self._protocol = protocol
+        self._edges = np.asarray(topology.edges, dtype=np.int64)
+
+    @property
+    def topology(self) -> Topology:
+        """The interaction graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> PopulationProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    def run(
+        self,
+        max_interactions: int,
+        rng: RngLike = None,
+        check_interval: Optional[int] = None,
+        stop_at_single_leader: bool = True,
+        initial_states: Optional[Sequence[Hashable]] = None,
+    ) -> PopulationResult:
+        """Simulate up to ``max_interactions`` pairwise interactions.
+
+        Parameters
+        ----------
+        max_interactions:
+            Budget of interactions.
+        rng:
+            Seed or generator.
+        check_interval:
+            How often (in interactions) to re-count leaders; defaults to
+            ``n`` (i.e. once per unit of parallel time).
+        stop_at_single_leader:
+            Stop early once a single leader remains (sound whenever the
+            protocol never creates new leaders, which holds for the
+            protocols shipped in :mod:`repro.population.protocols`).
+        initial_states:
+            Per-agent initial states, overriding the protocol's default (used
+            e.g. to seed a single infected agent for broadcast measurements).
+        """
+        if max_interactions < 0:
+            raise ConfigurationError(
+                f"max_interactions must be >= 0; got {max_interactions}"
+            )
+        generator = _as_rng(rng)
+        n = self._topology.n
+        if check_interval is None:
+            check_interval = max(1, n)
+
+        if initial_states is None:
+            states: List[Hashable] = [self._protocol.initial_state] * n
+        else:
+            states = list(initial_states)
+            if len(states) != n:
+                raise SimulationError(
+                    f"{len(states)} initial states given for {n} agents"
+                )
+        leader_count = sum(
+            1 for state in states if self._protocol.is_leader(state)
+        )
+        convergence: Optional[int] = 0 if leader_count == 1 else None
+
+        interactions = 0
+        num_edges = len(self._edges)
+        while interactions < max_interactions:
+            batch = min(check_interval, max_interactions - interactions)
+            edge_indices = generator.integers(0, num_edges, size=batch)
+            orientations = generator.random(batch) < 0.5
+            for edge_index, flip in zip(edge_indices, orientations):
+                u, v = self._edges[edge_index]
+                initiator, responder = (int(v), int(u)) if flip else (int(u), int(v))
+                states[initiator], states[responder] = self._protocol.interact(
+                    states[initiator], states[responder], generator
+                )
+            interactions += batch
+
+            leader_count = sum(
+                1 for state in states if self._protocol.is_leader(state)
+            )
+            if leader_count == 1:
+                if convergence is None:
+                    convergence = interactions
+                if stop_at_single_leader:
+                    break
+            else:
+                convergence = None
+
+        return PopulationResult(
+            converged=leader_count == 1 and convergence is not None,
+            convergence_interactions=convergence if leader_count == 1 else None,
+            interactions_executed=interactions,
+            final_leader_count=leader_count,
+            n=n,
+            protocol_name=self._protocol.name,
+            topology_name=self._topology.name,
+        )

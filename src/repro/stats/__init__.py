@@ -1,0 +1,37 @@
+"""Statistics helpers: summaries, scaling fits, bootstrap intervals."""
+
+from repro.stats.bootstrap import (
+    BootstrapInterval,
+    bootstrap_interval,
+    bootstrap_median,
+    bootstrap_ratio_of_means,
+)
+from repro.stats.regression import (
+    ModelComparison,
+    PowerLawFit,
+    compare_scaling_models,
+    fit_power_law,
+)
+from repro.stats.summary import (
+    Summary,
+    exceedance_probability,
+    geometric_mean,
+    mean_confidence_interval,
+    summarize_sample,
+)
+
+__all__ = [
+    "BootstrapInterval",
+    "ModelComparison",
+    "PowerLawFit",
+    "Summary",
+    "bootstrap_interval",
+    "bootstrap_median",
+    "bootstrap_ratio_of_means",
+    "compare_scaling_models",
+    "exceedance_probability",
+    "fit_power_law",
+    "geometric_mean",
+    "mean_confidence_interval",
+    "summarize_sample",
+]

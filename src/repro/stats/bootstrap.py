@@ -1,0 +1,152 @@
+"""Bootstrap confidence intervals for experiment statistics.
+
+Convergence-time distributions are skewed (they have heavy right tails on
+high-diameter graphs), so the harness prefers percentile-bootstrap intervals
+for medians and quantiles over normal approximations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class BootstrapInterval:
+    """A percentile bootstrap interval for a statistic.
+
+    Attributes
+    ----------
+    estimate:
+        The statistic computed on the original sample.
+    low, high:
+        Bounds of the percentile interval.
+    confidence:
+        The nominal coverage.
+    num_resamples:
+        Number of bootstrap resamples used.
+    """
+
+    estimate: float
+    low: float
+    high: float
+    confidence: float
+    num_resamples: int
+
+    @property
+    def width(self) -> float:
+        """Width of the interval."""
+        return self.high - self.low
+
+
+def bootstrap_interval(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.mean,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap interval for an arbitrary statistic.
+
+    Parameters
+    ----------
+    values:
+        The sample.
+    statistic:
+        Function mapping a 1-D array to a scalar (default: the mean).
+    confidence:
+        Nominal coverage of the interval.
+    num_resamples:
+        Number of bootstrap resamples.
+    rng:
+        Seed or generator.
+    """
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must lie in (0, 1); got {confidence}")
+    if num_resamples < 1:
+        raise ConfigurationError(f"num_resamples must be >= 1; got {num_resamples}")
+
+    generator = _as_rng(rng)
+    estimate = float(statistic(array))
+    indices = generator.integers(0, array.size, size=(num_resamples, array.size))
+    resample_statistics = np.array(
+        [float(statistic(array[row])) for row in indices]
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low = float(np.quantile(resample_statistics, alpha))
+    high = float(np.quantile(resample_statistics, 1.0 - alpha))
+    return BootstrapInterval(
+        estimate=estimate,
+        low=low,
+        high=high,
+        confidence=confidence,
+        num_resamples=num_resamples,
+    )
+
+
+def bootstrap_median(
+    values: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapInterval:
+    """Percentile bootstrap interval for the median."""
+    return bootstrap_interval(
+        values,
+        statistic=np.median,
+        confidence=confidence,
+        num_resamples=num_resamples,
+        rng=rng,
+    )
+
+
+def bootstrap_ratio_of_means(
+    numerator: Sequence[float],
+    denominator: Sequence[float],
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    rng: RngLike = None,
+) -> BootstrapInterval:
+    """Bootstrap interval for ``mean(numerator) / mean(denominator)``.
+
+    Used for speedup factors (e.g. uniform vs non-uniform BFW at the same
+    diameter), where the two samples are independent.
+    """
+    top = np.asarray(list(numerator), dtype=float)
+    bottom = np.asarray(list(denominator), dtype=float)
+    if top.size == 0 or bottom.size == 0:
+        raise ConfigurationError("both samples must be non-empty")
+    if bottom.mean() == 0:
+        raise ConfigurationError("denominator sample has zero mean")
+    generator = _as_rng(rng)
+    estimate = float(top.mean() / bottom.mean())
+    ratios = np.empty(num_resamples)
+    for i in range(num_resamples):
+        top_resample = top[generator.integers(0, top.size, size=top.size)]
+        bottom_resample = bottom[
+            generator.integers(0, bottom.size, size=bottom.size)
+        ]
+        ratios[i] = top_resample.mean() / max(bottom_resample.mean(), 1e-12)
+    alpha = (1.0 - confidence) / 2.0
+    return BootstrapInterval(
+        estimate=estimate,
+        low=float(np.quantile(ratios, alpha)),
+        high=float(np.quantile(ratios, 1.0 - alpha)),
+        confidence=confidence,
+        num_resamples=num_resamples,
+    )

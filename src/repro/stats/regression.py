@@ -1,0 +1,145 @@
+"""Scaling-law estimation: log–log fits and model comparison.
+
+Theorems 2 and 3 predict convergence times of order ``D² log n`` and
+``D log n``.  The scaling experiments (E2, E3) measure convergence times over
+a range of diameters and fit
+
+* a power law ``T ≈ c · D^α`` (on graph families where ``n`` and ``D`` grow
+  together, ``log n`` contributes a slowly varying factor that the exponent
+  absorbs into a small bias), and
+* explicit least-squares fits of the two candidate models ``c · D² log n``
+  and ``c · D log n``, whose residuals identify which regime a protocol
+  variant is operating in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PowerLawFit:
+    """Result of a log–log linear regression ``y ≈ c · x^exponent``.
+
+    Attributes
+    ----------
+    exponent:
+        The fitted exponent (slope in log–log space).
+    prefactor:
+        The fitted constant ``c``.
+    r_squared:
+        Coefficient of determination of the log–log fit.
+    stderr:
+        Standard error of the exponent estimate.
+    """
+
+    exponent: float
+    prefactor: float
+    r_squared: float
+    stderr: float
+
+    def predict(self, x: float) -> float:
+        """The fitted value at ``x``."""
+        return self.prefactor * x**self.exponent
+
+
+def fit_power_law(x: Sequence[float], y: Sequence[float]) -> PowerLawFit:
+    """Fit ``y ≈ c · x^α`` by least squares in log–log space."""
+    x_array = np.asarray(list(x), dtype=float)
+    y_array = np.asarray(list(y), dtype=float)
+    if x_array.size != y_array.size:
+        raise ConfigurationError("x and y must have the same length")
+    if x_array.size < 2:
+        raise ConfigurationError("need at least two points to fit a power law")
+    if (x_array <= 0).any() or (y_array <= 0).any():
+        raise ConfigurationError("power-law fits require strictly positive data")
+
+    log_x = np.log(x_array)
+    log_y = np.log(y_array)
+    design = np.vstack([log_x, np.ones_like(log_x)]).T
+    coefficients, residuals, _, _ = np.linalg.lstsq(design, log_y, rcond=None)
+    slope, intercept = float(coefficients[0]), float(coefficients[1])
+
+    predictions = design @ coefficients
+    total_variance = float(((log_y - log_y.mean()) ** 2).sum())
+    residual_variance = float(((log_y - predictions) ** 2).sum())
+    r_squared = 1.0 - residual_variance / total_variance if total_variance > 0 else 1.0
+
+    degrees = max(1, log_x.size - 2)
+    x_spread = float(((log_x - log_x.mean()) ** 2).sum())
+    stderr = (
+        float(np.sqrt(residual_variance / degrees / x_spread)) if x_spread > 0 else 0.0
+    )
+
+    return PowerLawFit(
+        exponent=slope,
+        prefactor=float(np.exp(intercept)),
+        r_squared=r_squared,
+        stderr=stderr,
+    )
+
+
+@dataclass(frozen=True)
+class ModelComparison:
+    """Comparison of candidate scaling models for measured convergence times.
+
+    Attributes
+    ----------
+    relative_errors:
+        For each model name, the mean relative error of the single-constant
+        least-squares fit ``T ≈ c · model(D, n)``.
+    best_model:
+        Name of the model with the smallest mean relative error.
+    constants:
+        The fitted constant ``c`` per model.
+    """
+
+    relative_errors: Dict[str, float]
+    best_model: str
+    constants: Dict[str, float]
+
+
+def compare_scaling_models(
+    diameters: Sequence[float],
+    sizes: Sequence[float],
+    times: Sequence[float],
+) -> ModelComparison:
+    """Fit the paper's candidate models and report which explains the data best.
+
+    The candidate models are ``D² log n`` (Theorem 2), ``D log n``
+    (Theorem 3), ``D²`` and ``D`` (diameter-only variants, useful on families
+    where ``n`` is constant), each with a single fitted multiplicative
+    constant.
+    """
+    d = np.asarray(list(diameters), dtype=float)
+    n = np.asarray(list(sizes), dtype=float)
+    t = np.asarray(list(times), dtype=float)
+    if not (d.size == n.size == t.size):
+        raise ConfigurationError("diameters, sizes and times must have equal length")
+    if d.size < 2:
+        raise ConfigurationError("need at least two measurements to compare models")
+
+    models: Dict[str, np.ndarray] = {
+        "D^2 log n": d * d * np.log(np.maximum(n, 2.0)),
+        "D log n": d * np.log(np.maximum(n, 2.0)),
+        "D^2": d * d,
+        "D": d,
+    }
+    relative_errors: Dict[str, float] = {}
+    constants: Dict[str, float] = {}
+    for name, feature in models.items():
+        constant = float((feature @ t) / (feature @ feature))
+        predictions = constant * feature
+        relative_errors[name] = float(np.mean(np.abs(predictions - t) / t))
+        constants[name] = constant
+    best_model = min(relative_errors, key=relative_errors.get)
+    return ModelComparison(
+        relative_errors=relative_errors,
+        best_model=best_model,
+        constants=constants,
+    )

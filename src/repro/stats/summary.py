@@ -1,0 +1,115 @@
+"""Summary statistics for experiment results.
+
+The harness reports convergence times over many seeds; these helpers compute
+the usual location/spread summaries, normal-approximation and bootstrap
+confidence intervals, and empirical tail probabilities (used when checking
+"with high probability" statements empirically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Location and spread of a sample.
+
+    Attributes
+    ----------
+    count:
+        Sample size.
+    mean, std, minimum, maximum, median:
+        The usual summary statistics.
+    q25, q75, q95:
+        Selected quantiles.
+    """
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    median: float
+    q25: float
+    q75: float
+    q95: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dictionary view for serialisation and table rendering."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "median": self.median,
+            "q25": self.q25,
+            "q75": self.q75,
+            "q95": self.q95,
+        }
+
+
+def summarize_sample(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` of a non-empty sample."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot summarise an empty sample")
+    return Summary(
+        count=int(array.size),
+        mean=float(array.mean()),
+        std=float(array.std(ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(array.min()),
+        maximum=float(array.max()),
+        median=float(np.median(array)),
+        q25=float(np.quantile(array, 0.25)),
+        q75=float(np.quantile(array, 0.75)),
+        q95=float(np.quantile(array, 0.95)),
+    )
+
+
+def mean_confidence_interval(
+    values: Sequence[float], confidence: float = 0.95
+) -> Tuple[float, float, float]:
+    """``(mean, low, high)`` using the normal approximation.
+
+    For the modest sample sizes used by the benchmarks (tens of seeds) the
+    normal approximation is adequate; :mod:`repro.stats.bootstrap` offers a
+    distribution-free alternative.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ConfigurationError(f"confidence must lie in (0, 1); got {confidence}")
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot build an interval from an empty sample")
+    mean = float(array.mean())
+    if array.size == 1:
+        return mean, mean, mean
+    from scipy import stats as scipy_stats
+
+    z = float(scipy_stats.norm.ppf(0.5 + confidence / 2.0))
+    half_width = z * float(array.std(ddof=1)) / np.sqrt(array.size)
+    return mean, mean - half_width, mean + half_width
+
+
+def exceedance_probability(values: Sequence[float], threshold: float) -> float:
+    """Empirical ``P(X > threshold)`` — used to check w.h.p. statements."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot estimate a probability from an empty sample")
+    return float(np.mean(array > threshold))
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """The geometric mean of a positive sample (used for speedup ratios)."""
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ConfigurationError("cannot average an empty sample")
+    if (array <= 0).any():
+        raise ConfigurationError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))

@@ -1,0 +1,25 @@
+"""Synchronous stone-age model and the adapter for running beeping protocols."""
+
+from repro.stoneage.adapter import (
+    BEEP,
+    SILENT,
+    BeepingToStoneAgeAdapter,
+    run_in_stone_age_model,
+)
+from repro.stoneage.model import (
+    Observation,
+    StoneAgeProtocol,
+    StoneAgeResult,
+    StoneAgeSimulator,
+)
+
+__all__ = [
+    "BEEP",
+    "BeepingToStoneAgeAdapter",
+    "Observation",
+    "SILENT",
+    "StoneAgeProtocol",
+    "StoneAgeResult",
+    "StoneAgeSimulator",
+    "run_in_stone_age_model",
+]

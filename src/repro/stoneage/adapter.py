@@ -1,0 +1,102 @@
+"""Running beeping protocols in the synchronous stone-age model.
+
+The paper remarks that BFW "can also be implemented in a synchronous version
+of the stone-age model".  The reason is that with the two-symbol alphabet
+``{BEEP, SILENT}`` and bounded-counting threshold ``b = 1``, a stone-age node
+observes exactly one bit about its neighbourhood — "is some neighbour
+displaying BEEP?" — which is the same information a beeping-model node gets
+by listening.  The adapter below wraps any
+:class:`~repro.core.protocol.BeepingProtocol` as a
+:class:`~repro.stoneage.model.StoneAgeProtocol`, so that the equivalence can
+be tested executably (experiment E9): with identical randomness-free inputs
+the two simulators must produce identical leader-count trajectories in
+distribution, and the wrapped protocol must satisfy the same invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import numpy as np
+
+from repro.core.protocol import BeepingProtocol
+from repro.errors import ConfigurationError
+from repro.graphs.topology import Topology
+from repro.stoneage.model import (
+    Observation,
+    StoneAgeProtocol,
+    StoneAgeResult,
+    StoneAgeSimulator,
+)
+
+#: The symbol displayed by a beeping node.
+BEEP = "beep"
+#: The symbol displayed by a listening node.
+SILENT = "silent"
+
+
+class BeepingToStoneAgeAdapter(StoneAgeProtocol):
+    """Wrap a beeping protocol as a stone-age protocol with alphabet {beep, silent}.
+
+    Parameters
+    ----------
+    protocol:
+        Any constant-state beeping protocol (BFW and its variants).
+    """
+
+    alphabet: Tuple[Hashable, ...] = (BEEP, SILENT)
+
+    def __init__(self, protocol: BeepingProtocol) -> None:
+        protocol.validate()
+        self._protocol = protocol
+        self.name = f"stone-age({protocol.name})"
+
+    @property
+    def wrapped(self) -> BeepingProtocol:
+        """The underlying beeping protocol."""
+        return self._protocol
+
+    @property
+    def initial_state(self) -> Hashable:
+        return self._protocol.initial_state
+
+    def message(self, state: Hashable) -> Hashable:
+        return BEEP if self._protocol.is_beeping(state) else SILENT
+
+    def transition(
+        self, state: Hashable, observation: Observation, rng: np.random.Generator
+    ) -> Hashable:
+        # A node "hears a beep" (δ⊤) if it is beeping itself, or if at least
+        # one neighbour displays the BEEP symbol — observable even with b = 1.
+        heard = self._protocol.is_beeping(state) or observation.at_least(BEEP, 1)
+        return self._protocol.transition(state, heard, rng)
+
+    def is_leader(self, state: Hashable) -> bool:
+        return self._protocol.is_leader(state)
+
+
+def run_in_stone_age_model(
+    topology: Topology,
+    protocol: BeepingProtocol,
+    max_rounds: int,
+    rng=None,
+    threshold: int = 1,
+    record_states: bool = False,
+) -> StoneAgeResult:
+    """Run a beeping protocol inside the stone-age simulator.
+
+    Parameters
+    ----------
+    threshold:
+        The bounded-counting threshold ``b``.  Any ``b ≥ 1`` yields the same
+        behaviour for two-symbol protocols, since only the "at least one
+        beeping neighbour" predicate is consulted; ``b = 1`` is the minimal
+        (and default) choice.
+    """
+    if max_rounds < 0:
+        raise ConfigurationError(f"max_rounds must be >= 0; got {max_rounds}")
+    adapter = BeepingToStoneAgeAdapter(protocol)
+    simulator = StoneAgeSimulator(topology, adapter, threshold=threshold)
+    return simulator.run(
+        max_rounds=max_rounds, rng=rng, record_states=record_states
+    )

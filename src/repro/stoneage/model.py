@@ -1,0 +1,228 @@
+"""A synchronous variant of the stone-age model of Emek and Wattenhofer [13].
+
+In the stone-age model every node runs a finite-state machine and displays a
+message drawn from a finite alphabet.  When a node is activated it observes,
+for every message ``σ`` in the alphabet, the number of neighbours currently
+displaying ``σ`` — but only up to a fixed *bounded-counting* threshold ``b``
+(the "one-two-many" principle).  The original model is asynchronous; the
+paper states that BFW can be implemented in a *synchronous* version, which is
+what this module provides: all nodes are activated simultaneously in
+discrete rounds.
+
+With alphabet ``{beep, silent}`` and threshold ``b = 1`` the observation a
+node makes ("is at least one neighbour displaying *beep*?") is exactly the
+information available in the beeping model, which is how the adapter in
+:mod:`repro.stoneage.adapter` runs beeping protocols unchanged.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.topology import Topology
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def _as_rng(rng: RngLike) -> np.random.Generator:
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+@dataclass(frozen=True)
+class Observation:
+    """What a node observes about its neighbourhood in one round.
+
+    Attributes
+    ----------
+    counts:
+        For every message symbol, the number of neighbours displaying it,
+        *clamped* at the threshold ``b``.
+    threshold:
+        The bounded-counting threshold ``b``.
+    """
+
+    counts: Mapping[Hashable, int]
+    threshold: int
+
+    def at_least(self, symbol: Hashable, count: int = 1) -> bool:
+        """Whether at least ``count`` neighbours display ``symbol``.
+
+        ``count`` may not exceed the threshold, since larger counts are not
+        observable in the model.
+        """
+        if count > self.threshold:
+            raise ConfigurationError(
+                f"cannot observe counts above the threshold b={self.threshold}"
+            )
+        return self.counts.get(symbol, 0) >= count
+
+
+class StoneAgeProtocol(abc.ABC):
+    """A protocol for the synchronous stone-age model.
+
+    Each node has an internal state and displays a message derived from that
+    state; transitions may depend on the bounded neighbourhood observation.
+    """
+
+    #: Human-readable name.
+    name: str = "stone-age-protocol"
+
+    #: The message alphabet displayed by nodes.
+    alphabet: Tuple[Hashable, ...] = ()
+
+    @property
+    @abc.abstractmethod
+    def initial_state(self) -> Hashable:
+        """The state every node starts in."""
+
+    @abc.abstractmethod
+    def message(self, state: Hashable) -> Hashable:
+        """The symbol a node in ``state`` displays."""
+
+    @abc.abstractmethod
+    def transition(
+        self, state: Hashable, observation: Observation, rng: np.random.Generator
+    ) -> Hashable:
+        """The next state given the current state and the observation."""
+
+    def is_leader(self, state: Hashable) -> bool:
+        """Whether ``state`` is interpreted as a leader state (default: no)."""
+        return False
+
+
+class StoneAgeSimulator:
+    """Synchronous simulator for the stone-age model.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph.
+    protocol:
+        The protocol to run.
+    threshold:
+        The bounded-counting threshold ``b ≥ 1``.
+    """
+
+    def __init__(
+        self, topology: Topology, protocol: StoneAgeProtocol, threshold: int = 1
+    ) -> None:
+        if threshold < 1:
+            raise ConfigurationError(f"threshold b must be >= 1; got {threshold}")
+        self._topology = topology
+        self._protocol = protocol
+        self._threshold = threshold
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> StoneAgeProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def threshold(self) -> int:
+        """The bounded-counting threshold ``b``."""
+        return self._threshold
+
+    def run(
+        self,
+        max_rounds: int,
+        rng: RngLike = None,
+        initial_states: Optional[Sequence[Hashable]] = None,
+        record_states: bool = False,
+    ) -> "StoneAgeResult":
+        """Execute the protocol for up to ``max_rounds`` rounds.
+
+        Parameters
+        ----------
+        max_rounds:
+            Number of synchronous rounds to simulate.
+        rng:
+            Seed or generator for probabilistic transitions.
+        initial_states:
+            Per-node initial states; defaults to the protocol's initial state.
+        record_states:
+            Whether to record the full state history.
+        """
+        generator = _as_rng(rng)
+        n = self._topology.n
+        if initial_states is None:
+            states: List[Hashable] = [self._protocol.initial_state] * n
+        else:
+            states = list(initial_states)
+            if len(states) != n:
+                raise SimulationError(
+                    f"{len(states)} initial states given for {n} nodes"
+                )
+
+        history: List[Tuple[Hashable, ...]] = []
+        leader_counts: List[int] = []
+
+        def record() -> None:
+            if record_states:
+                history.append(tuple(states))
+            leader_counts.append(
+                sum(1 for state in states if self._protocol.is_leader(state))
+            )
+
+        record()
+        for _ in range(max_rounds):
+            messages = [self._protocol.message(state) for state in states]
+            new_states: List[Hashable] = []
+            for node in range(n):
+                counts: Dict[Hashable, int] = {}
+                for neighbour in self._topology.neighbors(node):
+                    symbol = messages[neighbour]
+                    current = counts.get(symbol, 0)
+                    if current < self._threshold:
+                        counts[symbol] = current + 1
+                observation = Observation(counts=counts, threshold=self._threshold)
+                new_states.append(
+                    self._protocol.transition(states[node], observation, generator)
+                )
+            states = new_states
+            record()
+
+        return StoneAgeResult(
+            final_states=tuple(states),
+            leader_counts=tuple(leader_counts),
+            history=tuple(history),
+            protocol_name=self._protocol.name,
+            topology_name=self._topology.name,
+        )
+
+
+@dataclass(frozen=True)
+class StoneAgeResult:
+    """Outcome of a stone-age simulation."""
+
+    final_states: Tuple[Hashable, ...]
+    leader_counts: Tuple[int, ...]
+    history: Tuple[Tuple[Hashable, ...], ...]
+    protocol_name: str = ""
+    topology_name: str = ""
+
+    @property
+    def final_leader_count(self) -> int:
+        """Number of leaders at the end of the run."""
+        return self.leader_counts[-1] if self.leader_counts else 0
+
+    def convergence_round(self) -> Optional[int]:
+        """First round from which the leader count is one and stays one."""
+        counts = np.asarray(self.leader_counts)
+        if len(counts) == 0 or counts[-1] != 1:
+            return None
+        not_single = np.flatnonzero(counts != 1)
+        if len(not_single) == 0:
+            return 0
+        return int(not_single[-1]) + 1

@@ -1,0 +1,24 @@
+"""Terminal visualisation: ASCII plots, tables and space–time diagrams."""
+
+from repro.viz.ascii_plot import ascii_plot, sparkline
+from repro.viz.spacetime import (
+    STATE_GLYPHS,
+    leader_count_timeline,
+    spacetime_diagram,
+)
+from repro.viz.table_format import (
+    format_cell,
+    render_markdown_table,
+    render_table,
+)
+
+__all__ = [
+    "STATE_GLYPHS",
+    "ascii_plot",
+    "format_cell",
+    "leader_count_timeline",
+    "render_markdown_table",
+    "render_table",
+    "sparkline",
+    "spacetime_diagram",
+]

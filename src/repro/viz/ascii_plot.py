@@ -1,0 +1,137 @@
+"""ASCII line/scatter plots for terminal-only environments.
+
+The reproduction runs in environments without a display or plotting
+libraries, so the figure experiments render their series as ASCII plots —
+good enough to eyeball scaling shapes (straight lines in log–log space) and
+to paste into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Symbols cycled through for multiple series on the same plot.
+SERIES_MARKERS = "ox+*#@%&"
+
+
+def ascii_plot(
+    series: Mapping[str, Sequence[Tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    logx: bool = False,
+    logy: bool = False,
+    title: Optional[str] = None,
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more (x, y) series as an ASCII scatter plot.
+
+    Parameters
+    ----------
+    series:
+        Mapping from series label to a sequence of ``(x, y)`` points.
+    width, height:
+        Plot area dimensions in characters.
+    logx, logy:
+        Use logarithmic axes (points with non-positive coordinates are
+        rejected when the corresponding axis is logarithmic).
+    title, xlabel, ylabel:
+        Optional annotations.
+    """
+    if width < 10 or height < 5:
+        raise ConfigurationError("plot area must be at least 10x5 characters")
+    points: List[Tuple[float, float, str]] = []
+    for index, (label, data) in enumerate(series.items()):
+        marker = SERIES_MARKERS[index % len(SERIES_MARKERS)]
+        for x, y in data:
+            if logx and x <= 0:
+                raise ConfigurationError(f"non-positive x={x} on a log axis")
+            if logy and y <= 0:
+                raise ConfigurationError(f"non-positive y={y} on a log axis")
+            points.append((float(x), float(y), marker))
+    if not points:
+        raise ConfigurationError("nothing to plot")
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    def ty(y: float) -> float:
+        return math.log10(y) if logy else y
+
+    xs = [tx(x) for x, _, _ in points]
+    ys = [ty(y) for _, y, _ in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y, marker in points:
+        column = int(round((tx(x) - x_min) / x_span * (width - 1)))
+        row = int(round((ty(y) - y_min) / y_span * (height - 1)))
+        grid[height - 1 - row][column] = marker
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{_fmt(y_max, logy)}"
+    bottom_label = f"{_fmt(y_min, logy)}"
+    label_width = max(len(top_label), len(bottom_label), len(ylabel))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(label_width)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(label_width)
+        elif row_index == height // 2 and ylabel:
+            prefix = ylabel.rjust(label_width)
+        else:
+            prefix = " " * label_width
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * label_width + " +" + "-" * width)
+    x_axis = (
+        " " * label_width
+        + "  "
+        + _fmt(x_min, logx)
+        + " " * max(1, width - len(_fmt(x_min, logx)) - len(_fmt(x_max, logx)))
+        + _fmt(x_max, logx)
+    )
+    lines.append(x_axis)
+    if xlabel:
+        lines.append(" " * label_width + "  " + xlabel.center(width))
+    legend = "   ".join(
+        f"{SERIES_MARKERS[index % len(SERIES_MARKERS)]} = {label}"
+        for index, label in enumerate(series)
+    )
+    lines.append(legend)
+    return "\n".join(lines)
+
+
+def _fmt(value: float, is_log: bool) -> str:
+    if is_log:
+        return f"1e{value:.1f}"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    return f"{value:.3g}"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line sparkline of a series (used for leader-count trajectories)."""
+    if not values:
+        raise ConfigurationError("nothing to plot")
+    blocks = " .:-=+*#%@"
+    data = list(values)
+    if len(data) > width:
+        # Downsample by taking the maximum of each bucket, preserving peaks.
+        bucket = len(data) / width
+        data = [
+            max(data[int(i * bucket) : max(int(i * bucket) + 1, int((i + 1) * bucket))])
+            for i in range(width)
+        ]
+    low, high = min(data), max(data)
+    span = high - low or 1.0
+    return "".join(
+        blocks[int((value - low) / span * (len(blocks) - 1))] for value in data
+    )

@@ -1,0 +1,82 @@
+"""Space–time diagrams of beep waves on path and cycle graphs.
+
+On a path, plotting node index horizontally and time vertically turns an
+execution into a picture in which beep waves appear as diagonal streaks
+moving one node per round, leaders appear as the sources of those streaks,
+and wave collisions/eliminations are plainly visible — the best way to *see*
+the mechanism behind Theorem 2's ``D²`` behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.beeping.trace import ExecutionTrace
+from repro.core.states import State
+from repro.errors import ConfigurationError
+
+#: Character used for each state in the diagram.
+STATE_GLYPHS = {
+    State.W_LEADER: "L",
+    State.B_LEADER: "!",
+    State.F_LEADER: "l",
+    State.W_FOLLOWER: ".",
+    State.B_FOLLOWER: "*",
+    State.F_FOLLOWER: ",",
+}
+
+
+def spacetime_diagram(
+    trace: ExecutionTrace,
+    max_rounds: Optional[int] = None,
+    round_stride: int = 1,
+    show_round_numbers: bool = True,
+) -> str:
+    """Render a trace as a space–time diagram (one row per round).
+
+    Glyph legend: ``L`` waiting leader, ``!`` beeping leader, ``l`` frozen
+    leader, ``.`` waiting non-leader, ``*`` beeping non-leader, ``,`` frozen
+    non-leader.
+
+    Parameters
+    ----------
+    trace:
+        Any BFW-family trace (states must be :class:`~repro.core.states.State`
+        values).
+    max_rounds:
+        Limit on the number of rounds rendered (earliest rounds are kept).
+    round_stride:
+        Render only every ``round_stride``-th round, for long executions.
+    show_round_numbers:
+        Prefix every row with its round index.
+    """
+    if round_stride < 1:
+        raise ConfigurationError(f"round_stride must be >= 1; got {round_stride}")
+    last_round = trace.num_rounds if max_rounds is None else min(
+        trace.num_rounds, max_rounds
+    )
+    width = len(str(last_round))
+    lines: List[str] = []
+    legend = "legend: L=waiting leader  !=beeping leader  l=frozen leader  " \
+             ".=waiting  *=beeping  ,=frozen"
+    lines.append(legend)
+    for round_index in range(0, last_round + 1, round_stride):
+        row = "".join(
+            STATE_GLYPHS[State(int(value))] for value in trace.states[round_index]
+        )
+        if show_round_numbers:
+            lines.append(f"{round_index:>{width}} |{row}|")
+        else:
+            lines.append(f"|{row}|")
+    return "\n".join(lines)
+
+
+def leader_count_timeline(trace: ExecutionTrace, width: int = 60) -> str:
+    """A compact one-line rendering of the leader count over time."""
+    from repro.viz.ascii_plot import sparkline
+
+    counts = trace.leader_counts()
+    return (
+        f"leaders {counts[0]} -> {counts[-1]} over {trace.num_rounds} rounds: "
+        + sparkline([float(c) for c in counts], width=width)
+    )

@@ -1,0 +1,94 @@
+"""Plain-text and Markdown table rendering for experiment reports.
+
+The benchmark harness prints its regenerated tables to stdout; these helpers
+keep the formatting consistent (column alignment, numeric rounding) across
+all experiments without pulling in heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def format_cell(value: object, float_digits: int = 2) -> str:
+    """Render a single cell: floats are rounded, everything else is ``str()``-ed."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{float_digits}f}"
+    if value is None:
+        return "-"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 2,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of rows; each row must have the same length as ``headers``.
+    float_digits:
+        Number of decimal places for float cells.
+    title:
+        Optional title printed above the table.
+    """
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        cells = [format_cell(value, float_digits) for value in row]
+        if len(cells) != len(headers):
+            raise ConfigurationError(
+                f"row {cells!r} has {len(cells)} cells; expected {len(headers)}"
+            )
+        formatted_rows.append(cells)
+
+    widths = [len(str(header)) for header in headers]
+    for cells in formatted_rows:
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header_line = "  ".join(
+        str(header).ljust(widths[index]) for index, header in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for cells in formatted_rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    float_digits: int = 2,
+) -> str:
+    """Render a GitHub-flavoured Markdown table (used by EXPERIMENTS.md)."""
+    lines = ["| " + " | ".join(str(header) for header in headers) + " |"]
+    lines.append("|" + "|".join("---" for _ in headers) + "|")
+    for row in rows:
+        cells = [format_cell(value, float_digits) for value in row]
+        if len(cells) != len(headers):
+            raise ConfigurationError(
+                f"row {cells!r} has {len(cells)} cells; expected {len(headers)}"
+            )
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

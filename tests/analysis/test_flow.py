@@ -1,0 +1,103 @@
+"""Tests for the flow quantity (Definition 5) and its conservation (Lemma 7)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.flow import (
+    check_flow_conservation,
+    edge_flow,
+    flow_history,
+    max_flow_bound_holds,
+    path_flow,
+    validate_path,
+)
+from repro.beeping.engine import VectorizedEngine
+from repro.beeping.trace import ExecutionTrace
+from repro.core.bfw import BFWProtocol
+from repro.core.states import State
+from repro.errors import InvariantViolation, TraceError
+from repro.graphs.generators import cycle_graph, path_graph
+
+BEEPING = (int(State.B_LEADER), int(State.B_FOLLOWER))
+LEADERS = (int(State.W_LEADER), int(State.B_LEADER), int(State.F_LEADER))
+
+
+def _trace_from_rows(rows):
+    states = np.array([[int(s) for s in row] for row in rows], dtype=np.int8)
+    return ExecutionTrace(states, BEEPING, LEADERS)
+
+
+def test_edge_flow_definition():
+    trace = _trace_from_rows(
+        [[State.B_LEADER, State.W_FOLLOWER, State.B_FOLLOWER, State.F_FOLLOWER]]
+    )
+    assert edge_flow(trace, 0, 1, 0) == 1     # beeping -> waiting
+    assert edge_flow(trace, 1, 0, 0) == -1    # waiting -> beeping
+    assert edge_flow(trace, 1, 3, 0) == 0     # waiting -> frozen
+    assert edge_flow(trace, 0, 2, 0) == 0     # beeping -> beeping
+
+
+def test_path_flow_sums_edges():
+    trace = _trace_from_rows(
+        [[State.B_LEADER, State.W_FOLLOWER, State.B_FOLLOWER, State.W_FOLLOWER]]
+    )
+    assert path_flow(trace, (0, 1, 2, 3), 0) == 1 - 1 + 1
+    assert path_flow(trace, (0,), 0) == 0
+
+
+def test_flow_bound_eq1():
+    trace = _trace_from_rows(
+        [[State.B_LEADER, State.W_FOLLOWER, State.B_FOLLOWER, State.W_FOLLOWER]]
+    )
+    assert max_flow_bound_holds(trace, (0, 1, 2, 3))
+
+
+def test_validate_path_accepts_graph_paths_and_walks(small_cycle):
+    validate_path(small_cycle, (0, 1, 2, 1, 0))
+    with pytest.raises(TraceError):
+        validate_path(small_cycle, (0, 5))
+
+
+def test_flow_conservation_on_real_execution():
+    topology = path_graph(12)
+    result = VectorizedEngine(topology, BFWProtocol()).run(
+        rng=3, record_trace=True, max_rounds=20_000
+    )
+    trace = result.trace
+    full_path = tuple(range(topology.n))
+    assert check_flow_conservation(trace, full_path) == []
+    # Also along a sub-path and a reversed path.
+    assert check_flow_conservation(trace, (3, 4, 5, 6)) == []
+    assert check_flow_conservation(trace, tuple(reversed(full_path))) == []
+
+
+def test_flow_conservation_on_cycle_execution():
+    topology = cycle_graph(10)
+    result = VectorizedEngine(topology, BFWProtocol()).run(
+        rng=5, record_trace=True, max_rounds=20_000
+    )
+    trace = result.trace
+    closed_walk = tuple(list(range(10)) + [0])
+    assert check_flow_conservation(trace, closed_walk) == []
+
+
+def test_flow_history_length(converged_path_trace):
+    history = flow_history(converged_path_trace, (0, 1, 2))
+    assert len(history) == converged_path_trace.num_rounds + 1
+
+
+def test_conservation_violation_detected_on_corrupted_trace():
+    # Build a trace that violates the protocol semantics: a node beeps in two
+    # consecutive rounds, which breaks Lemma 7 along the edge towards its
+    # waiting neighbour.
+    rows = [
+        [State.W_LEADER, State.W_FOLLOWER],
+        [State.B_LEADER, State.W_FOLLOWER],
+        [State.B_LEADER, State.W_FOLLOWER],
+    ]
+    trace = _trace_from_rows(rows)
+    with pytest.raises(InvariantViolation):
+        check_flow_conservation(trace, (0, 1))
+    violations = check_flow_conservation(trace, (0, 1), raise_on_violation=False)
+    assert len(violations) >= 1
+    assert "flow conservation violated" in violations[0].message()

@@ -1,0 +1,76 @@
+"""Tests for the diameter-aware epoch baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.emek_keren import EmekKerenStyleElection
+from repro.beeping.simulator import MemorySimulator
+from repro.errors import ConfigurationError
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, path_graph
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        EmekKerenStyleElection(diameter=0)
+    with pytest.raises(ConfigurationError):
+        EmekKerenStyleElection(diameter=5, beep_probability=1.0)
+
+
+def test_epoch_length_is_d_plus_two():
+    protocol = EmekKerenStyleElection(diameter=10)
+    assert protocol.epoch_length == 12
+
+
+def test_converges_on_paths():
+    topology = path_graph(17)
+    protocol = EmekKerenStyleElection(diameter=topology.diameter())
+    result = MemorySimulator(topology, protocol).run(rng=1, max_rounds=20_000)
+    assert result.converged
+    assert result.final_leader_count == 1
+
+
+def test_converges_on_cycles_and_random_graphs():
+    for topology, seed in ((cycle_graph(20), 2), (erdos_renyi_graph(24, rng=5), 3)):
+        protocol = EmekKerenStyleElection(diameter=topology.diameter())
+        result = MemorySimulator(topology, protocol).run(rng=seed, max_rounds=20_000)
+        assert result.converged, topology.name
+
+
+def test_leader_count_non_increasing():
+    topology = cycle_graph(16)
+    protocol = EmekKerenStyleElection(diameter=topology.diameter())
+    result = MemorySimulator(topology, protocol).run(rng=7, max_rounds=20_000)
+    counts = np.asarray(result.leader_counts)
+    assert (np.diff(counts) <= 0).all()
+    assert counts[0] == topology.n
+
+
+def test_faster_than_uniform_bfw_on_long_paths():
+    """The D-aware epochs give the O(D log n) shape: far fewer rounds than
+    uniform BFW's O(D^2 log n) on a long path."""
+    from repro.beeping.engine import VectorizedEngine
+    from repro.core.bfw import BFWProtocol
+
+    topology = path_graph(41)
+    epoch_rounds = []
+    bfw_rounds = []
+    for seed in range(3):
+        protocol = EmekKerenStyleElection(diameter=topology.diameter())
+        epoch_rounds.append(
+            MemorySimulator(topology, protocol)
+            .run(rng=seed, max_rounds=100_000)
+            .convergence_round
+        )
+        bfw_rounds.append(
+            VectorizedEngine(topology, BFWProtocol())
+            .run(rng=seed, max_rounds=1_000_000)
+            .convergence_round
+        )
+    assert np.mean(epoch_rounds) < np.mean(bfw_rounds)
+
+
+def test_table1_metadata():
+    info = EmekKerenStyleElection.info
+    assert info.knowledge == "D"
+    assert info.states == "O(D)"
+    assert not info.unique_ids

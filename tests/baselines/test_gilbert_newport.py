@@ -1,0 +1,70 @@
+"""Tests for the constant-state clique knockout baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gilbert_newport import GilbertNewportKnockout
+from repro.beeping.simulator import MemorySimulator
+from repro.errors import ConfigurationError
+from repro.graphs.generators import clique_graph, path_graph
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        GilbertNewportKnockout(beep_probability=0.0)
+    with pytest.raises(ConfigurationError):
+        GilbertNewportKnockout(beep_probability=1.0)
+
+
+def test_converges_on_cliques():
+    for n in (4, 16, 64):
+        result = MemorySimulator(clique_graph(n), GilbertNewportKnockout()).run(
+            rng=n, max_rounds=5000
+        )
+        assert result.converged, n
+        assert result.final_leader_count == 1
+
+
+def test_never_eliminates_all_candidates():
+    """At least one candidate always survives (the beeping ones never drop)."""
+    for seed in range(10):
+        result = MemorySimulator(clique_graph(12), GilbertNewportKnockout()).run(
+            rng=seed, max_rounds=5000
+        )
+        assert min(result.leader_counts) >= 1
+
+
+def test_round_complexity_logarithmic_on_cliques():
+    """Convergence rounds grow slowly (logarithmically) with n."""
+    means = []
+    for n in (8, 64):
+        rounds = [
+            MemorySimulator(clique_graph(n), GilbertNewportKnockout())
+            .run(rng=seed, max_rounds=5000)
+            .convergence_round
+            for seed in range(10)
+        ]
+        means.append(float(np.mean(rounds)))
+    # An 8x increase in n should much less than double the rounds beyond log factor.
+    assert means[1] <= 4 * means[0] + 10
+
+
+def test_multi_leader_outcome_on_paths():
+    """Negative control: on a path the protocol converges to an independent
+    set of candidates, generally more than one."""
+    stalled = 0
+    for seed in range(6):
+        result = MemorySimulator(path_graph(16), GilbertNewportKnockout()).run(
+            rng=seed, max_rounds=800
+        )
+        if result.final_leader_count > 1:
+            stalled += 1
+    assert stalled >= 4
+
+
+def test_table1_metadata():
+    info = GilbertNewportKnockout.info
+    assert not info.unique_ids
+    assert info.knowledge == "none"
+    assert info.states == "O(1)"
+    assert not info.termination_detection

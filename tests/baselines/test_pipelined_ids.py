@@ -1,0 +1,65 @@
+"""Tests for the O(D + log n)-shaped pipelined election baseline."""
+
+import pytest
+
+from repro.baselines.pipelined_ids import PipelinedIDElection
+from repro.errors import ConfigurationError
+from repro.graphs.generators import clique_graph, cycle_graph, path_graph
+
+
+def test_constructor_validation():
+    with pytest.raises(ConfigurationError):
+        PipelinedIDElection(knockout_factor=0)
+
+
+def test_run_returns_converged_result():
+    result = PipelinedIDElection().run(path_graph(33), rng=1)
+    assert result.converged
+    assert result.final_leader_count == 1
+    assert result.convergence_round == result.rounds_executed
+
+
+def test_detailed_outcome_fields():
+    topology = cycle_graph(32)
+    outcome = PipelinedIDElection().run_detailed(topology, rng=2)
+    assert 0 <= outcome.winner < topology.n
+    assert outcome.candidates_after_knockout >= 1
+    assert outcome.total_rounds == outcome.knockout_rounds + outcome.dissemination_rounds
+
+
+def test_knockout_reduces_candidates_on_clique():
+    outcome = PipelinedIDElection().run_detailed(clique_graph(64), rng=3)
+    # On a clique the coin-flipping knockout alone almost always leaves very
+    # few candidates after 2 log n rounds.
+    assert outcome.candidates_after_knockout <= 8
+
+
+def test_round_count_shape_is_d_plus_log_n():
+    """Doubling the diameter adds O(D) rounds: additive, not multiplied by log n."""
+    import numpy as np
+
+    small_totals = [
+        PipelinedIDElection().run_detailed(path_graph(33), rng=seed).total_rounds
+        for seed in range(10)
+    ]
+    large_totals = [
+        PipelinedIDElection().run_detailed(path_graph(65), rng=seed).total_rounds
+        for seed in range(10)
+    ]
+    small_mean, large_mean = float(np.mean(small_totals)), float(np.mean(large_totals))
+    assert large_mean > small_mean
+    # Far below the O(D log n) growth of the phase-per-bit algorithm, which
+    # would multiply the round count by ~2 per doubling of D on top of the
+    # (D + 2)-per-phase increase (id-broadcast needs 6 * 35 = 210 -> 7 * 67 = 469).
+    assert large_mean < 2.2 * small_mean
+
+
+def test_budget_overflow_reports_nonconvergence():
+    result = PipelinedIDElection().run(path_graph(65), rng=5, max_rounds=10)
+    assert not result.converged
+
+
+def test_reproducibility():
+    first = PipelinedIDElection().run_detailed(cycle_graph(40), rng=7)
+    second = PipelinedIDElection().run_detailed(cycle_graph(40), rng=7)
+    assert first == second

@@ -1,0 +1,97 @@
+"""Tests for initial-configuration construction (Eq. (2) and beyond)."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.adversary import (
+    all_leaders_initial_states,
+    leaderless_wave_on_cycle_states,
+    planted_leaders_initial_states,
+    random_unrestricted_states,
+    random_valid_initial_states,
+    satisfies_initial_condition,
+    two_leaders_at_diameter_states,
+)
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol
+from repro.core.states import State
+from repro.errors import ConfigurationError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+def test_all_leaders_matches_eq2(small_path):
+    states = all_leaders_initial_states(small_path)
+    assert (states == int(State.W_LEADER)).all()
+    assert satisfies_initial_condition(states)
+
+
+def test_planted_leaders(small_path):
+    states = planted_leaders_initial_states(small_path, (0, 4))
+    assert states[0] == int(State.W_LEADER)
+    assert states[4] == int(State.W_LEADER)
+    assert (states == int(State.W_LEADER)).sum() == 2
+    assert satisfies_initial_condition(states)
+
+
+def test_planted_leaders_requires_nonempty(small_path):
+    with pytest.raises(ConfigurationError):
+        planted_leaders_initial_states(small_path, ())
+
+
+def test_planted_leaders_rejects_out_of_range(small_path):
+    with pytest.raises(ConfigurationError):
+        planted_leaders_initial_states(small_path, (small_path.n,))
+
+
+def test_two_leaders_at_diameter_on_path():
+    topology = path_graph(15)
+    states = two_leaders_at_diameter_states(topology)
+    leaders = np.flatnonzero(states == int(State.W_LEADER))
+    assert set(leaders) == {0, 14}
+
+
+def test_random_valid_states_always_have_a_leader():
+    topology = star_graph(20)
+    for seed in range(10):
+        states = random_valid_initial_states(topology, rng=seed, leader_probability=0.1)
+        assert satisfies_initial_condition(states)
+
+
+def test_random_valid_states_rejects_bad_probability(small_path):
+    with pytest.raises(ConfigurationError):
+        random_valid_initial_states(small_path, leader_probability=1.5)
+
+
+def test_random_unrestricted_states_cover_all_states():
+    topology = path_graph(200)
+    states = random_unrestricted_states(topology, rng=0)
+    assert set(np.unique(states)) == set(int(s) for s in State)
+
+
+def test_leaderless_wave_requires_cycle(small_path):
+    with pytest.raises(ConfigurationError):
+        leaderless_wave_on_cycle_states(small_path)
+
+
+def test_leaderless_wave_rotates_forever():
+    """The Section 5 obstruction: a leaderless wave on a cycle never dies."""
+    topology = cycle_graph(12)
+    states = leaderless_wave_on_cycle_states(topology)
+    assert not satisfies_initial_condition(states)
+    engine = VectorizedEngine(topology, BFWProtocol())
+    result = engine.run(
+        max_rounds=300, rng=0, initial_states=states, record_trace=True,
+        stop_at_single_leader=False,
+    )
+    trace = result.trace
+    assert trace is not None
+    # No leader ever appears, yet exactly one node beeps in every round.
+    for round_index in range(trace.num_rounds + 1):
+        assert trace.leader_count(round_index) == 0
+        assert len(trace.beeping_nodes(round_index)) == 1
+
+
+def test_satisfies_initial_condition_rejects_beeping_start(small_path):
+    states = planted_leaders_initial_states(small_path, (0,))
+    states[3] = int(State.B_FOLLOWER)
+    assert not satisfies_initial_condition(states)

@@ -1,0 +1,163 @@
+"""Tests for the vectorised engine and protocol compilation."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.adversary import planted_leaders_initial_states
+from repro.beeping.engine import VectorizedEngine, compile_protocol, run_bfw
+from repro.beeping.simulator import Simulator
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.core.protocol import BeepingProtocol, TransitionTable
+from repro.core.states import State
+from repro.core.variants import NoFreezeBFWProtocol
+from repro.errors import ProtocolError, SimulationError
+from repro.graphs.generators import clique_graph, cycle_graph, path_graph
+
+
+def test_compile_bfw_tables():
+    compiled = compile_protocol(BFWProtocol(beep_probability=0.25))
+    assert compiled.num_states == 6
+    assert compiled.initial_state == int(State.W_LEADER)
+    assert set(compiled.beeping_values) == {int(State.B_LEADER), int(State.B_FOLLOWER)}
+    assert set(compiled.leader_values) == {
+        int(State.W_LEADER),
+        int(State.B_LEADER),
+        int(State.F_LEADER),
+    }
+    # δ⊤ from W• goes deterministically to B◦.
+    heard = 1
+    assert compiled.succ_primary[int(State.W_LEADER), heard] == int(State.B_FOLLOWER)
+    assert compiled.primary_probability[int(State.W_LEADER), heard] == 1.0
+    # δ⊥ from W• is the p-coin.
+    silent = 0
+    assert compiled.primary_probability[int(State.W_LEADER), silent] == pytest.approx(
+        0.75
+    )
+
+
+def test_compile_rejects_more_than_two_outcomes():
+    class ThreeWay(BeepingProtocol):
+        name = "three-way"
+
+        @property
+        def initial_state(self):
+            return State.W_LEADER
+
+        def states(self):
+            return (State.W_LEADER, State.B_LEADER, State.F_LEADER)
+
+        def is_beeping(self, state):
+            return state is State.B_LEADER
+
+        def is_leader(self, state):
+            return True
+
+        def transition_table(self):
+            return TransitionTable(
+                silent={
+                    State.W_LEADER: {
+                        State.W_LEADER: 0.4,
+                        State.B_LEADER: 0.3,
+                        State.F_LEADER: 0.3,
+                    },
+                    State.F_LEADER: {State.W_LEADER: 1.0},
+                },
+                heard={
+                    State.W_LEADER: {State.W_LEADER: 1.0},
+                    State.B_LEADER: {State.F_LEADER: 1.0},
+                    State.F_LEADER: {State.W_LEADER: 1.0},
+                },
+            )
+
+    with pytest.raises(ProtocolError):
+        compile_protocol(ThreeWay())
+
+
+def test_engine_converges_on_standard_graphs(bfw):
+    for topology in (path_graph(16), cycle_graph(20), clique_graph(30)):
+        result = VectorizedEngine(topology, bfw).run(rng=1, max_rounds=100_000)
+        assert result.converged, topology.name
+        assert result.final_leader_count == 1
+
+
+def test_engine_is_reproducible(bfw, small_cycle):
+    engine = VectorizedEngine(small_cycle, bfw)
+    first = engine.run(rng=42)
+    second = engine.run(rng=42)
+    assert first.convergence_round == second.convergence_round
+    assert first.leader_counts == second.leader_counts
+
+
+def test_engine_different_seeds_differ(bfw):
+    topology = path_graph(24)
+    engine = VectorizedEngine(topology, bfw)
+    rounds = {engine.run(rng=seed).convergence_round for seed in range(6)}
+    assert len(rounds) > 1
+
+
+def test_engine_initial_states_planting(bfw, small_path):
+    initial = planted_leaders_initial_states(small_path, (0,))
+    result = VectorizedEngine(small_path, bfw).run(rng=0, initial_states=initial)
+    assert result.convergence_round == 0
+
+
+def test_engine_rejects_bad_initial_states(bfw, small_path):
+    engine = VectorizedEngine(small_path, bfw)
+    with pytest.raises(SimulationError):
+        engine.run(initial_states=[0] * (small_path.n + 1))
+    with pytest.raises(SimulationError):
+        engine.run(initial_states=[99] * small_path.n)
+
+
+def test_engine_trace_consistent_with_leader_counts(bfw, small_cycle):
+    result = VectorizedEngine(small_cycle, bfw).run(rng=3, record_trace=True)
+    assert result.trace is not None
+    from_trace = [
+        result.trace.leader_count(t) for t in range(result.rounds_executed + 1)
+    ]
+    assert tuple(from_trace) == result.leader_counts
+
+
+def test_engine_beep_count_recording(bfw, small_path):
+    engine = VectorizedEngine(small_path, bfw)
+    result = engine.run(rng=5, record_trace=True, record_beep_counts=True)
+    assert engine.last_beep_counts is not None
+    assert result.trace is not None
+    assert (engine.last_beep_counts == result.trace.beep_counts()).all()
+
+
+def test_engine_and_reference_simulator_agree_statistically():
+    """Both engines implement the same process; their mean convergence times
+    on a small cycle must be statistically indistinguishable."""
+    topology = cycle_graph(10)
+    protocol = BFWProtocol()
+    engine_rounds = [
+        VectorizedEngine(topology, protocol).run(rng=seed).convergence_round
+        for seed in range(25)
+    ]
+    simulator_rounds = [
+        Simulator(topology, protocol).run(rng=seed + 1000).convergence_round
+        for seed in range(25)
+    ]
+    mean_engine = np.mean(engine_rounds)
+    mean_simulator = np.mean(simulator_rounds)
+    # Convergence on a 10-cycle takes tens of rounds; allow a generous factor.
+    assert 0.4 < mean_engine / mean_simulator < 2.5
+
+
+def test_run_bfw_convenience_wrapper():
+    result = run_bfw(path_graph(12), rng=7)
+    assert result.converged
+    result_nonuniform = run_bfw(
+        path_graph(12), NonUniformBFWProtocol(diameter=11), rng=7
+    )
+    assert result_nonuniform.converged
+
+
+def test_no_freeze_variant_compiles_and_runs():
+    result = VectorizedEngine(path_graph(8), NoFreezeBFWProtocol()).run(
+        rng=2, max_rounds=5000
+    )
+    # The ablated protocol has no single-leader guarantee; we only require
+    # that the engine executes it without error.
+    assert result.rounds_executed >= 1

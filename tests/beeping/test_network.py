@@ -1,0 +1,88 @@
+"""Tests for Configuration (per-round network state)."""
+
+import pytest
+
+from repro.beeping.network import (
+    Configuration,
+    all_waiting_leaders,
+    single_leader_configuration,
+)
+from repro.core.bfw import BFWProtocol
+from repro.core.states import State
+from repro.errors import SimulationError
+from repro.graphs.generators import path_graph
+
+
+def test_default_configuration_matches_eq2(small_path, bfw):
+    configuration = Configuration(small_path, bfw)
+    assert configuration.leader_count() == small_path.n
+    assert configuration.beeping_nodes() == ()
+    assert all(
+        configuration.state_of(node) is State.W_LEADER
+        for node in small_path.nodes()
+    )
+
+
+def test_explicit_states_sequence(small_path, bfw):
+    states = [State.W_FOLLOWER] * small_path.n
+    states[3] = State.B_LEADER
+    configuration = Configuration(small_path, bfw, states)
+    assert configuration.beeping_nodes() == (3,)
+    assert configuration.leaders() == (3,)
+
+
+def test_states_mapping_defaults_missing_nodes(small_path, bfw):
+    configuration = Configuration(small_path, bfw, {0: State.B_FOLLOWER})
+    assert configuration.state_of(0) is State.B_FOLLOWER
+    assert configuration.state_of(1) is State.W_LEADER
+
+
+def test_wrong_length_rejected(small_path, bfw):
+    with pytest.raises(SimulationError):
+        Configuration(small_path, bfw, [State.W_LEADER] * (small_path.n - 1))
+
+
+def test_invalid_state_rejected(small_path):
+    protocol = BFWProtocol()
+    with pytest.raises(SimulationError):
+        Configuration(small_path, protocol, ["not-a-state"] * small_path.n)
+
+
+def test_hears_beep_includes_self_and_neighbours(bfw):
+    topology = path_graph(4)
+    states = [State.W_FOLLOWER, State.B_FOLLOWER, State.W_FOLLOWER, State.W_FOLLOWER]
+    configuration = Configuration(topology, bfw, states)
+    assert configuration.hears_beep(0)      # neighbour of the beeper
+    assert configuration.hears_beep(1)      # the beeper itself
+    assert configuration.hears_beep(2)      # other neighbour
+    assert not configuration.hears_beep(3)  # two hops away
+
+
+def test_heard_vector_matches_scalar_queries(small_cycle, bfw):
+    states = [State.W_FOLLOWER] * small_cycle.n
+    states[0] = State.B_LEADER
+    states[6] = State.B_FOLLOWER
+    configuration = Configuration(small_cycle, bfw, states)
+    heard = configuration.heard_vector()
+    for node in small_cycle.nodes():
+        assert bool(heard[node]) == configuration.hears_beep(node)
+
+
+def test_replace_returns_new_configuration(small_path, bfw):
+    configuration = Configuration(small_path, bfw)
+    updated = configuration.replace({0: State.W_FOLLOWER})
+    assert configuration.state_of(0) is State.W_LEADER
+    assert updated.state_of(0) is State.W_FOLLOWER
+
+
+def test_counts_by_state(small_path, bfw):
+    configuration = single_leader_configuration(small_path, bfw, leader=4)
+    counts = configuration.counts_by_state()
+    assert counts[State.W_LEADER] == 1
+    assert counts[State.W_FOLLOWER] == small_path.n - 1
+
+
+def test_helpers(small_path, bfw):
+    assert all_waiting_leaders(small_path, bfw).leader_count() == small_path.n
+    single = single_leader_configuration(small_path, bfw, leader=2)
+    assert single.leaders() == (2,)

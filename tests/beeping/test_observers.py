@@ -1,0 +1,118 @@
+"""Tests for simulation observers."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.observers import (
+    BeepCountTracker,
+    CallbackObserver,
+    LeaderCountTracker,
+    RoundSnapshot,
+    SingleLeaderStopper,
+    StateHistogramTracker,
+    TraceRecorder,
+)
+from repro.beeping.simulator import Simulator
+from repro.core.states import State
+from repro.errors import SimulationError
+
+
+def _snapshot(round_index, leaders, beeping, n=4):
+    leader_mask = np.zeros(n, dtype=bool)
+    leader_mask[list(leaders)] = True
+    beep_mask = np.zeros(n, dtype=bool)
+    beep_mask[list(beeping)] = True
+    return RoundSnapshot(
+        round_index=round_index,
+        state_values=np.zeros(n, dtype=np.int8),
+        beeping=beep_mask,
+        leaders=leader_mask,
+        heard=beep_mask.copy(),
+    )
+
+
+def test_snapshot_counts():
+    snapshot = _snapshot(0, leaders=(0, 1), beeping=(1,))
+    assert snapshot.leader_count == 2
+    assert snapshot.beep_count == 1
+
+
+def test_leader_count_tracker_convergence_round():
+    tracker = LeaderCountTracker()
+    tracker.on_round(_snapshot(0, leaders=(0, 1, 2), beeping=()))
+    tracker.on_round(_snapshot(1, leaders=(0, 1), beeping=()))
+    tracker.on_round(_snapshot(2, leaders=(0,), beeping=()))
+    tracker.on_round(_snapshot(3, leaders=(0,), beeping=()))
+    assert tracker.counts == [3, 2, 1, 1]
+    assert tracker.convergence_round == 2
+    assert tracker.final_count == 1
+
+
+def test_leader_count_tracker_resets_if_count_rises():
+    tracker = LeaderCountTracker()
+    tracker.on_round(_snapshot(0, leaders=(0,), beeping=()))
+    tracker.on_round(_snapshot(1, leaders=(0, 1), beeping=()))
+    assert tracker.convergence_round is None
+
+
+def test_single_leader_stopper_patience():
+    stopper = SingleLeaderStopper(patience=2)
+    assert not stopper.should_stop(_snapshot(0, leaders=(0,), beeping=()))
+    assert not stopper.should_stop(_snapshot(1, leaders=(0,), beeping=()))
+    assert stopper.should_stop(_snapshot(2, leaders=(0,), beeping=()))
+
+
+def test_single_leader_stopper_rejects_negative_patience():
+    with pytest.raises(SimulationError):
+        SingleLeaderStopper(patience=-1)
+
+
+def test_beep_count_tracker_accumulates():
+    tracker = BeepCountTracker()
+    tracker.on_start(4, "bfw", "test")
+    tracker.on_round(_snapshot(0, leaders=(), beeping=(0,)))
+    tracker.on_round(_snapshot(1, leaders=(), beeping=(0, 2)))
+    assert list(tracker.counts) == [2, 0, 1, 0]
+    assert len(tracker.history) == 2
+
+
+def test_beep_count_tracker_requires_start():
+    tracker = BeepCountTracker()
+    with pytest.raises(SimulationError):
+        tracker.on_round(_snapshot(0, leaders=(), beeping=()))
+
+
+def test_callback_observer():
+    seen = []
+    observer = CallbackObserver(
+        on_round=lambda snapshot: seen.append(snapshot.round_index),
+        should_stop=lambda snapshot: snapshot.round_index >= 1,
+    )
+    observer.on_round(_snapshot(0, leaders=(), beeping=()))
+    assert not observer.should_stop(_snapshot(0, leaders=(), beeping=()))
+    assert observer.should_stop(_snapshot(1, leaders=(), beeping=()))
+    assert seen == [0]
+
+
+def test_state_histogram_tracker():
+    tracker = StateHistogramTracker()
+    snapshot = _snapshot(0, leaders=(0,), beeping=())
+    tracker.on_round(snapshot)
+    assert tracker.histograms[0] == {0: 4}
+
+
+def test_trace_recorder_produces_usable_trace(small_path, bfw):
+    recorder = TraceRecorder(
+        beeping_values=[int(State.B_LEADER), int(State.B_FOLLOWER)],
+        leader_values=[int(s) for s in State if s.is_leader],
+    )
+    result = Simulator(small_path, bfw).run(rng=1, observers=[recorder])
+    trace = recorder.trace()
+    assert trace.num_rounds == result.rounds_executed
+    assert trace.leader_count(trace.num_rounds) == result.final_leader_count
+
+
+def test_trace_recorder_without_rounds_raises():
+    recorder = TraceRecorder(beeping_values=[1], leader_values=[0])
+    with pytest.raises(SimulationError):
+        recorder.trace()

@@ -1,0 +1,122 @@
+"""Tests for the reference simulator."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.network import Configuration, single_leader_configuration
+from repro.beeping.observers import LeaderCountTracker, Observer, RoundSnapshot
+from repro.beeping.simulator import (
+    MemorySimulator,
+    Simulator,
+    default_round_budget,
+)
+from repro.baselines.gilbert_newport import GilbertNewportKnockout
+from repro.core.bfw import BFWProtocol
+from repro.core.states import State
+from repro.errors import ConfigurationError
+from repro.graphs.generators import clique_graph, path_graph
+
+
+def test_default_round_budget_scales_with_d_squared():
+    small = default_round_budget(path_graph(5))
+    large = default_round_budget(path_graph(50))
+    assert large > small
+    assert large >= 49 * 49  # at least D^2
+
+
+def test_bfw_converges_on_small_path(small_path, bfw):
+    result = Simulator(small_path, bfw).run(rng=2)
+    assert result.converged
+    assert result.final_leader_count == 1
+    assert result.convergence_round is not None
+    assert result.convergence_round <= result.rounds_executed
+
+
+def test_bfw_converges_on_clique(bfw):
+    result = Simulator(clique_graph(12), bfw).run(rng=4)
+    assert result.converged
+    assert result.final_leader_count == 1
+
+
+def test_single_leader_initial_configuration_is_already_converged(small_path, bfw):
+    configuration = single_leader_configuration(small_path, bfw, leader=0)
+    result = Simulator(small_path, bfw).run(
+        rng=0, initial_configuration=configuration
+    )
+    assert result.converged
+    assert result.convergence_round == 0
+    assert result.rounds_executed == 0
+
+
+def test_leader_count_never_increases(small_cycle, bfw):
+    result = Simulator(small_cycle, bfw).run(rng=9, stop_at_single_leader=True)
+    counts = np.asarray(result.leader_counts)
+    assert (np.diff(counts) <= 0).all()
+    assert counts[0] == small_cycle.n
+
+
+def test_zero_max_rounds_executes_nothing(small_path, bfw):
+    result = Simulator(small_path, bfw).run(max_rounds=0, rng=0)
+    assert result.rounds_executed == 0
+    assert not result.converged
+    assert result.final_leader_count == small_path.n
+
+
+def test_negative_max_rounds_rejected(small_path, bfw):
+    with pytest.raises(ConfigurationError):
+        Simulator(small_path, bfw).run(max_rounds=-1)
+
+
+def test_record_trace_matches_result(small_path, bfw):
+    result = Simulator(small_path, bfw).run(rng=5, record_trace=True)
+    assert result.trace is not None
+    assert result.trace.num_rounds == result.rounds_executed
+    assert result.trace.leader_count(result.rounds_executed) == 1
+    assert result.trace.convergence_round() == result.convergence_round
+
+
+def test_custom_observer_sees_every_round(small_path, bfw):
+    class Counter(Observer):
+        def __init__(self) -> None:
+            self.calls = 0
+
+        def on_round(self, snapshot: RoundSnapshot) -> None:
+            self.calls += 1
+
+    counter = Counter()
+    result = Simulator(small_path, bfw).run(rng=1, observers=[counter])
+    # Round 0 plus one call per executed round.
+    assert counter.calls == result.rounds_executed + 1
+
+
+def test_observer_can_stop_early(small_path, bfw):
+    class StopAtTen(Observer):
+        def should_stop(self, snapshot: RoundSnapshot) -> bool:
+            return snapshot.round_index >= 10
+
+    result = Simulator(small_path, bfw).run(
+        rng=1, observers=[StopAtTen()], stop_at_single_leader=False
+    )
+    assert result.rounds_executed == 10
+
+
+def test_result_as_dict_round_trips_scalars(small_path, bfw):
+    result = Simulator(small_path, bfw).run(rng=3)
+    payload = result.as_dict()
+    assert payload["converged"] is True
+    assert payload["protocol_name"] == "bfw"
+    assert payload["seed"] == 3
+
+
+def test_memory_simulator_knockout_on_clique():
+    simulator = MemorySimulator(clique_graph(16), GilbertNewportKnockout())
+    result = simulator.run(rng=5, max_rounds=2000)
+    assert result.converged
+    assert result.final_leader_count == 1
+
+
+def test_memory_simulator_leader_counts_non_increasing():
+    simulator = MemorySimulator(clique_graph(16), GilbertNewportKnockout())
+    result = simulator.run(rng=6, max_rounds=2000)
+    counts = np.asarray(result.leader_counts)
+    assert (np.diff(counts) <= 0).all()

@@ -1,0 +1,108 @@
+"""Tests for execution traces."""
+
+import numpy as np
+import pytest
+
+from repro.beeping.trace import ExecutionTrace, TraceBuilder
+from repro.core.states import State
+from repro.errors import TraceError
+
+BEEPING = (int(State.B_LEADER), int(State.B_FOLLOWER))
+LEADERS = (int(State.W_LEADER), int(State.B_LEADER), int(State.F_LEADER))
+
+
+def _toy_trace() -> ExecutionTrace:
+    """A hand-built 3-node trace: a leader beeps, the wave relays right."""
+    rows = [
+        [State.W_LEADER, State.W_FOLLOWER, State.W_FOLLOWER],
+        [State.B_LEADER, State.W_FOLLOWER, State.W_FOLLOWER],
+        [State.F_LEADER, State.B_FOLLOWER, State.W_FOLLOWER],
+        [State.W_LEADER, State.F_FOLLOWER, State.B_FOLLOWER],
+    ]
+    states = np.array([[int(s) for s in row] for row in rows], dtype=np.int8)
+    return ExecutionTrace(
+        states=states,
+        beeping_values=BEEPING,
+        leader_values=LEADERS,
+        protocol_name="bfw",
+        topology_name="path(3)",
+        seed=1,
+    )
+
+
+def test_shape_queries():
+    trace = _toy_trace()
+    assert trace.n == 3
+    assert trace.num_rounds == 3
+    assert list(trace.rounds()) == [0, 1, 2, 3]
+
+
+def test_state_queries():
+    trace = _toy_trace()
+    assert trace.bfw_state_of(0, 1) is State.B_LEADER
+    assert trace.state_of(2, 3) == int(State.B_FOLLOWER)
+
+
+def test_beeping_and_leader_masks():
+    trace = _toy_trace()
+    assert trace.beeping_nodes(0) == ()
+    assert trace.beeping_nodes(1) == (0,)
+    assert trace.beeping_nodes(2) == (1,)
+    assert trace.leaders(0) == (0,)
+    assert trace.leader_count(3) == 1
+
+
+def test_beep_counts_accumulate():
+    trace = _toy_trace()
+    counts = trace.beep_counts()
+    assert list(counts) == [1, 1, 1]
+    assert trace.beep_count_of(0, 1) == 1
+    assert trace.beep_count_of(2, 2) == 0
+
+
+def test_leader_counts_and_convergence_round():
+    trace = _toy_trace()
+    assert list(trace.leader_counts()) == [1, 1, 1, 1]
+    assert trace.convergence_round() == 0
+
+
+def test_convergence_round_none_when_multiple_leaders():
+    states = np.full((4, 3), int(State.W_LEADER), dtype=np.int8)
+    trace = ExecutionTrace(states, BEEPING, LEADERS)
+    assert trace.convergence_round() is None
+
+
+def test_round_out_of_range_raises():
+    trace = _toy_trace()
+    with pytest.raises(TraceError):
+        trace.state_of(0, 10)
+
+
+def test_serialisation_round_trip():
+    trace = _toy_trace()
+    rebuilt = ExecutionTrace.from_dict(trace.as_dict())
+    assert rebuilt.n == trace.n
+    assert rebuilt.num_rounds == trace.num_rounds
+    assert (rebuilt.states == trace.states).all()
+    assert rebuilt.seed == 1
+
+
+def test_trace_builder():
+    builder = TraceBuilder(BEEPING, LEADERS, protocol_name="bfw")
+    builder.record([int(State.W_LEADER)] * 3)
+    builder.record([int(State.B_LEADER)] * 3)
+    assert len(builder) == 2
+    trace = builder.build()
+    assert trace.num_rounds == 1
+    assert trace.beeping_nodes(1) == (0, 1, 2)
+
+
+def test_trace_builder_empty_raises():
+    builder = TraceBuilder(BEEPING, LEADERS)
+    with pytest.raises(TraceError):
+        builder.build()
+
+
+def test_trace_rejects_bad_shape():
+    with pytest.raises(TraceError):
+        ExecutionTrace(np.zeros(5, dtype=np.int8), BEEPING, LEADERS)

@@ -1,0 +1,76 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol
+from repro.graphs.generators import (
+    clique_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+)
+
+
+@pytest.fixture
+def bfw() -> BFWProtocol:
+    """The default BFW protocol with p = 1/2."""
+    return BFWProtocol()
+
+
+@pytest.fixture
+def small_path():
+    """A path on 9 nodes (diameter 8)."""
+    return path_graph(9)
+
+
+@pytest.fixture
+def small_cycle():
+    """A cycle on 12 nodes."""
+    return cycle_graph(12)
+
+
+@pytest.fixture
+def small_clique():
+    """A clique on 8 nodes."""
+    return clique_graph(8)
+
+
+@pytest.fixture
+def small_star():
+    """A star on 9 nodes."""
+    return star_graph(9)
+
+
+@pytest.fixture
+def small_grid():
+    """A 4x4 grid."""
+    return grid_graph(4, 4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def converged_path_trace(small_path, bfw):
+    """A recorded BFW execution on the small path that reached a single leader."""
+    engine = VectorizedEngine(small_path, bfw)
+    result = engine.run(rng=7, record_trace=True, max_rounds=20_000)
+    assert result.converged
+    return result.trace
+
+
+@pytest.fixture
+def converged_cycle_trace(small_cycle, bfw):
+    """A recorded BFW execution on the small cycle that reached a single leader."""
+    engine = VectorizedEngine(small_cycle, bfw)
+    result = engine.run(rng=11, record_trace=True, max_rounds=20_000)
+    assert result.converged
+    return result.trace

@@ -1,0 +1,88 @@
+"""Tests for the BFW protocol definition (Figure 1)."""
+
+import pytest
+
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.core.states import State
+from repro.errors import ProtocolError
+
+
+def test_default_parameters_match_the_paper():
+    protocol = BFWProtocol()
+    assert protocol.beep_probability == pytest.approx(0.5)
+    assert protocol.initial_state is State.W_LEADER
+    assert protocol.num_states() == 6
+
+
+@pytest.mark.parametrize("p", [0.0, 1.0, -0.1, 1.5])
+def test_invalid_probability_rejected(p):
+    with pytest.raises(ProtocolError):
+        BFWProtocol(beep_probability=p)
+
+
+def test_validate_passes():
+    BFWProtocol(beep_probability=0.25).validate()
+
+
+def test_leader_and_beeping_sets_match_figure1():
+    protocol = BFWProtocol()
+    assert set(protocol.leader_states()) == {
+        State.W_LEADER,
+        State.B_LEADER,
+        State.F_LEADER,
+    }
+    assert set(protocol.beeping_states()) == {State.B_LEADER, State.B_FOLLOWER}
+
+
+def test_transition_table_matches_figure1():
+    table = BFWProtocol(beep_probability=0.5).transition_table()
+    # δ⊤ transitions (solid arrows in Figure 1).
+    assert table.heard[State.W_LEADER] == {State.B_FOLLOWER: 1.0}
+    assert table.heard[State.B_LEADER] == {State.F_LEADER: 1.0}
+    assert table.heard[State.F_LEADER] == {State.W_LEADER: 1.0}
+    assert table.heard[State.W_FOLLOWER] == {State.B_FOLLOWER: 1.0}
+    assert table.heard[State.B_FOLLOWER] == {State.F_FOLLOWER: 1.0}
+    assert table.heard[State.F_FOLLOWER] == {State.W_FOLLOWER: 1.0}
+    # δ⊥ transitions (dashed arrows); W• is the only probabilistic one.
+    assert table.silent[State.W_LEADER][State.B_LEADER] == pytest.approx(0.5)
+    assert table.silent[State.W_LEADER][State.W_LEADER] == pytest.approx(0.5)
+    assert table.silent[State.F_LEADER] == {State.W_LEADER: 1.0}
+    assert table.silent[State.W_FOLLOWER] == {State.W_FOLLOWER: 1.0}
+    assert table.silent[State.F_FOLLOWER] == {State.W_FOLLOWER: 1.0}
+
+
+def test_frozen_state_ignores_environment():
+    table = BFWProtocol().transition_table()
+    assert table.heard[State.F_LEADER] == table.silent[State.F_LEADER]
+    assert table.heard[State.F_FOLLOWER] == table.silent[State.F_FOLLOWER]
+
+
+def test_equality_and_hash_depend_on_p():
+    assert BFWProtocol(0.5) == BFWProtocol(0.5)
+    assert BFWProtocol(0.5) != BFWProtocol(0.25)
+    assert hash(BFWProtocol(0.5)) == hash(BFWProtocol(0.5))
+
+
+def test_nonuniform_uses_one_over_d_plus_one():
+    protocol = NonUniformBFWProtocol(diameter=9)
+    assert protocol.beep_probability == pytest.approx(1.0 / 10.0)
+    assert protocol.diameter == 9
+    assert protocol.name == "bfw-nonuniform"
+
+
+def test_nonuniform_scale_approximation():
+    protocol = NonUniformBFWProtocol(diameter=10, scale=2.0)
+    assert protocol.beep_probability == pytest.approx(1.0 / 21.0)
+
+
+@pytest.mark.parametrize("diameter", [0, -3])
+def test_nonuniform_rejects_bad_diameter(diameter):
+    with pytest.raises(ProtocolError):
+        NonUniformBFWProtocol(diameter=diameter)
+
+
+def test_nonuniform_is_distinct_from_uniform_with_same_p():
+    uniform = BFWProtocol(beep_probability=0.1)
+    nonuniform = NonUniformBFWProtocol(diameter=9)
+    assert uniform.beep_probability == pytest.approx(nonuniform.beep_probability)
+    assert uniform != nonuniform

@@ -1,0 +1,101 @@
+"""Tests for the protocol abstraction (Section 1.1 probabilistic FSMs)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bfw import BFWProtocol
+from repro.core.protocol import (
+    TransitionTable,
+    bernoulli,
+    deterministic,
+    enumerate_reachable_states,
+)
+from repro.core.states import State
+from repro.errors import ProtocolError
+
+
+def test_deterministic_helper_builds_point_mass():
+    dist = deterministic(State.F_LEADER)
+    assert dist == {State.F_LEADER: 1.0}
+
+
+def test_bernoulli_helper_builds_two_outcomes():
+    dist = bernoulli(State.B_LEADER, State.W_LEADER, 0.25)
+    assert dist[State.B_LEADER] == pytest.approx(0.25)
+    assert dist[State.W_LEADER] == pytest.approx(0.75)
+
+
+def test_bernoulli_degenerate_probabilities_collapse():
+    assert bernoulli("a", "b", 1.0) == {"a": 1.0}
+    assert bernoulli("a", "b", 0.0) == {"b": 1.0}
+
+
+def test_bernoulli_rejects_invalid_probability():
+    with pytest.raises(ProtocolError):
+        bernoulli("a", "b", 1.5)
+
+
+def test_transition_table_validate_accepts_bfw():
+    BFWProtocol().transition_table().validate()
+
+
+def test_transition_table_validate_rejects_non_stochastic():
+    table = TransitionTable(
+        silent={State.W_LEADER: {State.W_LEADER: 0.4}},
+        heard={State.W_LEADER: {State.W_LEADER: 1.0}},
+    )
+    with pytest.raises(ProtocolError):
+        table.validate()
+
+
+def test_transition_table_validate_rejects_negative_probability():
+    table = TransitionTable(
+        silent={State.W_LEADER: {State.W_LEADER: 1.2, State.B_LEADER: -0.2}},
+        heard={State.W_LEADER: {State.W_LEADER: 1.0}},
+    )
+    with pytest.raises(ProtocolError):
+        table.validate()
+
+
+def test_protocol_transition_samples_from_correct_kernel(rng):
+    protocol = BFWProtocol(beep_probability=0.5)
+    # δ⊤ from W• is deterministic elimination.
+    assert (
+        protocol.transition(State.W_LEADER, heard_beep=True, rng=rng)
+        is State.B_FOLLOWER
+    )
+    # δ⊥ from F• returns to W• deterministically.
+    assert (
+        protocol.transition(State.F_LEADER, heard_beep=False, rng=rng)
+        is State.W_LEADER
+    )
+
+
+def test_protocol_transition_coin_toss_statistics(rng):
+    protocol = BFWProtocol(beep_probability=0.3)
+    outcomes = [
+        protocol.transition(State.W_LEADER, heard_beep=False, rng=rng)
+        for _ in range(4000)
+    ]
+    beep_fraction = sum(1 for state in outcomes if state is State.B_LEADER) / len(
+        outcomes
+    )
+    assert beep_fraction == pytest.approx(0.3, abs=0.04)
+
+
+def test_transition_missing_kernel_raises(rng):
+    protocol = BFWProtocol()
+    with pytest.raises(ProtocolError):
+        # δ⊥ is intentionally undefined for beeping states.
+        protocol.transition(State.B_LEADER, heard_beep=False, rng=rng)
+
+
+def test_enumerate_reachable_states_covers_all_six():
+    reachable = enumerate_reachable_states(BFWProtocol())
+    assert set(reachable) == set(State)
+
+
+def test_describe_mentions_all_states():
+    text = BFWProtocol().describe()
+    for state in State:
+        assert state.name in text

@@ -1,0 +1,65 @@
+"""Tests for the protocol registry."""
+
+import pytest
+
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.core.registry import (
+    ProtocolSpec,
+    available_protocols,
+    create_protocol,
+    get_protocol_spec,
+    register_protocol,
+)
+from repro.errors import ConfigurationError
+
+
+def test_builtin_protocols_are_registered():
+    names = available_protocols()
+    assert "bfw" in names
+    assert "bfw-nonuniform" in names
+    assert "bfw-no-freeze" in names
+
+
+def test_create_bfw_with_default_probability():
+    protocol = create_protocol("bfw")
+    assert isinstance(protocol, BFWProtocol)
+    assert protocol.beep_probability == pytest.approx(0.5)
+
+
+def test_create_bfw_with_override():
+    protocol = create_protocol("bfw", beep_probability=0.2)
+    assert protocol.beep_probability == pytest.approx(0.2)
+
+
+def test_create_nonuniform_requires_diameter():
+    with pytest.raises(ConfigurationError):
+        create_protocol("bfw-nonuniform")
+    protocol = create_protocol("bfw-nonuniform", diameter=15)
+    assert isinstance(protocol, NonUniformBFWProtocol)
+    assert protocol.beep_probability == pytest.approx(1.0 / 16.0)
+
+
+def test_unneeded_knowledge_is_ignored():
+    protocol = create_protocol("bfw", diameter=100, n=1000)
+    assert isinstance(protocol, BFWProtocol)
+
+
+def test_unknown_protocol_raises_with_known_names():
+    with pytest.raises(ConfigurationError) as excinfo:
+        create_protocol("definitely-not-a-protocol")
+    assert "bfw" in str(excinfo.value)
+
+
+def test_register_custom_protocol():
+    register_protocol(
+        ProtocolSpec(
+            name="bfw-custom-test",
+            factory=lambda beep_probability=0.5: BFWProtocol(beep_probability),
+            uniform=True,
+            description="test entry",
+        )
+    )
+    assert "bfw-custom-test" in available_protocols()
+    spec = get_protocol_spec("bfw-custom-test")
+    assert spec.description == "test entry"
+    assert isinstance(create_protocol("bfw-custom-test"), BFWProtocol)

@@ -1,0 +1,73 @@
+"""Tests for the six-state encoding (Figure 1 terminology)."""
+
+import pytest
+
+from repro.core.states import (
+    BEEPING_STATES,
+    FOLLOWER_STATES,
+    FROZEN_STATES,
+    LEADER_STATES,
+    LISTENING_STATES,
+    NUM_STATES,
+    WAITING_STATES,
+    Behaviour,
+    State,
+    state_from_short_name,
+)
+
+
+def test_exactly_six_states():
+    assert NUM_STATES == 6
+    assert len(list(State)) == 6
+
+
+def test_leader_states_are_first_three():
+    assert LEADER_STATES == {State.W_LEADER, State.B_LEADER, State.F_LEADER}
+    for state in LEADER_STATES:
+        assert state.is_leader
+    for state in FOLLOWER_STATES:
+        assert not state.is_leader
+
+
+def test_beeping_states_match_qb():
+    assert BEEPING_STATES == {State.B_LEADER, State.B_FOLLOWER}
+    for state in BEEPING_STATES:
+        assert state.is_beeping
+        assert not state.is_listening
+    for state in LISTENING_STATES:
+        assert state.is_listening
+
+
+def test_listening_and_beeping_partition_the_states():
+    assert BEEPING_STATES | LISTENING_STATES == set(State)
+    assert not BEEPING_STATES & LISTENING_STATES
+
+
+def test_waiting_and_frozen_classification():
+    assert WAITING_STATES == {State.W_LEADER, State.W_FOLLOWER}
+    assert FROZEN_STATES == {State.F_LEADER, State.F_FOLLOWER}
+    assert State.W_LEADER.is_waiting and not State.W_LEADER.is_frozen
+    assert State.F_FOLLOWER.is_frozen and not State.F_FOLLOWER.is_waiting
+
+
+def test_behaviour_property():
+    assert State.W_LEADER.behaviour is Behaviour.WAITING
+    assert State.B_FOLLOWER.behaviour is Behaviour.BEEPING
+    assert State.F_LEADER.behaviour is Behaviour.FROZEN
+
+
+def test_with_role_preserves_behaviour():
+    assert State.W_LEADER.with_role(leader=False) is State.W_FOLLOWER
+    assert State.B_FOLLOWER.with_role(leader=True) is State.B_LEADER
+    assert State.F_LEADER.with_role(leader=True) is State.F_LEADER
+
+
+def test_short_names_round_trip():
+    for state in State:
+        assert state_from_short_name(state.short_name) is state
+
+
+@pytest.mark.parametrize("bad", ["", "X*", "W", "Wx", "BFW"])
+def test_state_from_short_name_rejects_invalid(bad):
+    with pytest.raises(ValueError):
+        state_from_short_name(bad)

@@ -1,0 +1,66 @@
+"""Tests for the ablation variants of BFW."""
+
+import pytest
+
+from repro.beeping.engine import VectorizedEngine
+from repro.core.states import State
+from repro.core.variants import (
+    EagerEliminationBFWProtocol,
+    NoFreezeBFWProtocol,
+    NoRelayBFWProtocol,
+)
+from repro.errors import ProtocolError
+from repro.graphs.generators import path_graph
+
+
+def test_no_freeze_has_four_states():
+    protocol = NoFreezeBFWProtocol()
+    protocol.validate()
+    assert protocol.num_states() == 4
+    assert State.F_LEADER not in protocol.states()
+    assert State.F_FOLLOWER not in protocol.states()
+
+
+def test_no_relay_followers_never_beep():
+    protocol = NoRelayBFWProtocol()
+    protocol.validate()
+    table = protocol.transition_table()
+    # A waiting follower never enters a beeping state under either kernel.
+    assert table.heard[State.W_FOLLOWER] == {State.W_FOLLOWER: 1.0}
+    assert table.silent[State.W_FOLLOWER] == {State.W_FOLLOWER: 1.0}
+
+
+def test_eager_elimination_keeps_six_states():
+    protocol = EagerEliminationBFWProtocol()
+    protocol.validate()
+    assert protocol.num_states() == 6
+    # The eliminated leader does not relay: W• -> W◦ under δ⊤.
+    assert protocol.transition_table().heard[State.W_LEADER] == {
+        State.W_FOLLOWER: 1.0
+    }
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [NoFreezeBFWProtocol, NoRelayBFWProtocol, EagerEliminationBFWProtocol],
+)
+def test_variants_reject_invalid_probability(factory):
+    with pytest.raises(ProtocolError):
+        factory(beep_probability=0.0)
+
+
+def test_no_relay_stalls_on_long_paths():
+    """Without wave relaying, distant leaders cannot eliminate each other."""
+    topology = path_graph(12)
+    engine = VectorizedEngine(topology, NoRelayBFWProtocol())
+    result = engine.run(max_rounds=3000, rng=0)
+    # Leaders further than 2 hops apart survive forever.
+    assert result.final_leader_count >= 2
+
+
+def test_eager_elimination_still_converges_on_short_paths():
+    topology = path_graph(6)
+    engine = VectorizedEngine(topology, EagerEliminationBFWProtocol())
+    result = engine.run(max_rounds=50_000, rng=3)
+    assert result.converged
+    assert result.final_leader_count == 1

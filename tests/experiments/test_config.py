@@ -1,0 +1,66 @@
+"""Tests for experiment configuration objects."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.config import (
+    GraphSpec,
+    ProtocolSpecConfig,
+    SweepConfig,
+    TrialConfig,
+)
+
+
+def test_graph_spec_label_and_validation():
+    spec = GraphSpec(family="path", n=32)
+    assert spec.label == "path(32)"
+    with pytest.raises(ConfigurationError):
+        GraphSpec(family="not-a-family", n=10)
+    with pytest.raises(ConfigurationError):
+        GraphSpec(family="path", n=0)
+
+
+def test_protocol_spec_label_includes_params():
+    plain = ProtocolSpecConfig(name="bfw")
+    assert plain.label == "bfw"
+    parameterised = ProtocolSpecConfig(name="bfw", params={"beep_probability": 0.25})
+    assert parameterised.label == "bfw[beep_probability=0.25]"
+
+
+def test_sweep_config_cells():
+    sweep = SweepConfig(
+        name="test",
+        protocols=(ProtocolSpecConfig(name="bfw"), ProtocolSpecConfig(name="emek-keren")),
+        graphs=(GraphSpec(family="path", n=8), GraphSpec(family="clique", n=8)),
+        num_seeds=3,
+    )
+    assert len(sweep.cells()) == 4
+
+
+def test_sweep_config_validation():
+    with pytest.raises(ConfigurationError):
+        SweepConfig(name="x", protocols=(), graphs=(GraphSpec("path", 4),))
+    with pytest.raises(ConfigurationError):
+        SweepConfig(
+            name="x",
+            protocols=(ProtocolSpecConfig(name="bfw"),),
+            graphs=(),
+        )
+    with pytest.raises(ConfigurationError):
+        SweepConfig(
+            name="x",
+            protocols=(ProtocolSpecConfig(name="bfw"),),
+            graphs=(GraphSpec("path", 4),),
+            num_seeds=0,
+        )
+
+
+def test_trial_config_holds_fields():
+    trial = TrialConfig(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=12),
+        seed=99,
+        max_rounds=500,
+    )
+    assert trial.seed == 99
+    assert trial.max_rounds == 500

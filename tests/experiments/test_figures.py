@@ -1,0 +1,70 @@
+"""Tests for the figure-shaped experiments (scaling, lower bound, ablation)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import (
+    ablation_experiment,
+    crossover_experiment,
+    lower_bound_experiment,
+    scaling_experiment,
+)
+
+
+def test_scaling_experiment_uniform_small():
+    result = scaling_experiment(
+        mode="uniform", diameters=(4, 8, 16), num_seeds=4, master_seed=1
+    )
+    assert result.mode == "uniform"
+    assert [point.diameter for point in result.points] == [4, 8, 16]
+    assert all(point.convergence_rate == 1.0 for point in result.points)
+    # Convergence time grows super-linearly in D for the uniform protocol.
+    assert result.power_law.exponent > 1.2
+    assert "scaling" in result.render().lower()
+
+
+def test_scaling_experiment_nonuniform_small():
+    result = scaling_experiment(
+        mode="nonuniform", diameters=(4, 8, 16), num_seeds=4, master_seed=2
+    )
+    assert all(point.convergence_rate == 1.0 for point in result.points)
+    # The non-uniform protocol's exponent is visibly smaller than quadratic.
+    assert result.power_law.exponent < 1.9
+
+
+def test_scaling_experiment_rejects_bad_mode():
+    with pytest.raises(ConfigurationError):
+        scaling_experiment(mode="warp-speed")
+
+
+def test_crossover_speedups_favour_nonuniform():
+    result = crossover_experiment(diameters=(8, 16), num_seeds=4)
+    assert len(result.speedups) == 2
+    # At these diameters the non-uniform variant is already faster on average.
+    for _, speedup in result.speedups:
+        assert speedup > 1.0
+    assert "Speed-up" in result.render()
+
+
+def test_lower_bound_experiment_quadratic_shape():
+    result = lower_bound_experiment(diameters=(8, 16, 32), num_seeds=8, master_seed=3)
+    assert len(result.points) == 3
+    # Elimination time normalised by D^2 stays within a constant band.
+    ratios = [point.normalised_by_d2 for point in result.points]
+    assert max(ratios) / min(ratios) < 6.0
+    # The fitted exponent is clearly super-linear.
+    assert result.power_law.exponent > 1.3
+    assert "conjecture" in result.render().lower() or "D^" in result.render()
+
+
+def test_ablation_experiment_small():
+    result = ablation_experiment(
+        diameter=8, probabilities=(0.25, 0.5), num_seeds=3, master_seed=4
+    )
+    assert len(result.sweep_points) == 2
+    assert all(point.convergence_rate == 1.0 for point in result.sweep_points)
+    by_variant = {outcome.variant: outcome for outcome in result.ablations}
+    assert by_variant["bfw (full)"].convergence_rate == 1.0
+    # Removing wave relaying prevents convergence on a diameter-8 path.
+    assert by_variant["no-relay"].convergence_rate == 0.0
+    assert "ablation" in result.render().lower() or "variant" in result.render()

@@ -1,0 +1,70 @@
+"""Tests for result serialisation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.io import (
+    load_records_json,
+    save_records_csv,
+    save_records_json,
+    save_summaries_csv,
+)
+from repro.experiments.results import TrialRecord, aggregate_records
+
+
+def _records():
+    return [
+        TrialRecord(
+            protocol="bfw",
+            graph="path(8)",
+            n=8,
+            diameter=7,
+            seed=seed,
+            converged=True,
+            convergence_round=100 + seed,
+            rounds_executed=100 + seed,
+            extra={"note": "x"},
+        )
+        for seed in range(3)
+    ]
+
+
+def test_json_round_trip(tmp_path):
+    records = _records()
+    path = tmp_path / "out" / "records.json"
+    save_records_json(records, path)
+    loaded = load_records_json(path)
+    assert len(loaded) == 3
+    assert loaded[0].protocol == "bfw"
+    assert loaded[2].convergence_round == 102
+    assert loaded[0].extra == {"note": "x"}
+
+
+def test_json_rejects_non_list(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text('{"not": "a list"}', encoding="utf-8")
+    with pytest.raises(ConfigurationError):
+        load_records_json(path)
+
+
+def test_csv_output(tmp_path):
+    records = _records()
+    path = tmp_path / "records.csv"
+    save_records_csv(records, path)
+    content = path.read_text(encoding="utf-8")
+    assert "protocol" in content.splitlines()[0]
+    assert len(content.splitlines()) == 4
+
+
+def test_csv_rejects_empty(tmp_path):
+    with pytest.raises(ConfigurationError):
+        save_records_csv([], tmp_path / "empty.csv")
+
+
+def test_summaries_csv(tmp_path):
+    summaries = aggregate_records(_records())
+    path = tmp_path / "summaries.csv"
+    save_summaries_csv(summaries, path)
+    lines = path.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 2
+    assert "rounds_mean" in lines[0]

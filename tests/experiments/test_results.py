@@ -1,0 +1,81 @@
+"""Tests for result records and aggregation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.results import (
+    TrialRecord,
+    aggregate_records,
+    records_to_arrays,
+)
+
+
+def _record(protocol="bfw", graph="path(8)", seed=0, rounds=100, converged=True):
+    return TrialRecord(
+        protocol=protocol,
+        graph=graph,
+        n=8,
+        diameter=7,
+        seed=seed,
+        converged=converged,
+        convergence_round=rounds if converged else None,
+        rounds_executed=rounds,
+    )
+
+
+def test_record_as_dict_includes_extras():
+    record = TrialRecord(
+        protocol="bfw",
+        graph="path(8)",
+        n=8,
+        diameter=7,
+        seed=1,
+        converged=True,
+        convergence_round=42,
+        rounds_executed=42,
+        extra={"stage_rounds": 10},
+    )
+    payload = record.as_dict()
+    assert payload["stage_rounds"] == 10
+    assert payload["convergence_round"] == 42
+
+
+def test_aggregate_records_groups_by_cell():
+    records = [
+        _record(seed=0, rounds=100),
+        _record(seed=1, rounds=200),
+        _record(protocol="emek-keren", seed=0, rounds=50),
+    ]
+    summaries = aggregate_records(records)
+    assert len(summaries) == 2
+    bfw_summary = next(s for s in summaries if s.protocol == "bfw")
+    assert bfw_summary.num_trials == 2
+    assert bfw_summary.rounds.mean == pytest.approx(150.0)
+    assert bfw_summary.convergence_rate == 1.0
+
+
+def test_aggregate_records_counts_nonconverged():
+    records = [
+        _record(seed=0, rounds=100),
+        _record(seed=1, rounds=500, converged=False),
+    ]
+    (summary,) = aggregate_records(records)
+    assert summary.num_converged == 1
+    assert summary.convergence_rate == pytest.approx(0.5)
+    # Non-converged trials contribute their executed rounds as lower bounds.
+    assert summary.rounds.maximum == 500
+
+
+def test_cell_summary_as_dict():
+    (summary,) = aggregate_records([_record()])
+    payload = summary.as_dict()
+    assert payload["protocol"] == "bfw"
+    assert payload["rounds_mean"] == pytest.approx(100.0)
+
+
+def test_records_to_arrays():
+    arrays = records_to_arrays([_record(seed=0), _record(seed=1, rounds=300)])
+    assert arrays["n"].shape == (2,)
+    assert arrays["convergence_round"][1] == pytest.approx(300.0)
+    with pytest.raises(ConfigurationError):
+        records_to_arrays([])

@@ -1,0 +1,63 @@
+"""Tests for the Table-1 generator (kept small so the suite stays fast)."""
+
+import pytest
+
+from repro.experiments.config import GraphSpec
+from repro.experiments.tables import (
+    BFW_NONUNIFORM_INFO,
+    BFW_UNIFORM_INFO,
+    DEFAULT_TABLE1_PROTOCOLS,
+    TABLE1_INFO,
+    generate_table1,
+)
+
+
+def test_bfw_rows_match_the_paper():
+    assert BFW_UNIFORM_INFO.round_complexity == "O(D^2 log n)"
+    assert BFW_UNIFORM_INFO.knowledge == "none"
+    assert BFW_UNIFORM_INFO.states == "O(1)"
+    assert not BFW_UNIFORM_INFO.termination_detection
+    assert BFW_NONUNIFORM_INFO.round_complexity == "O(D log n)"
+    assert BFW_NONUNIFORM_INFO.knowledge == "D"
+
+
+def test_every_default_protocol_has_qualitative_info():
+    for name in DEFAULT_TABLE1_PROTOCOLS:
+        assert name in TABLE1_INFO
+
+
+def test_generate_table1_small():
+    result = generate_table1(
+        protocols=("bfw", "bfw-nonuniform", "gilbert-newport"),
+        graphs=(GraphSpec(family="clique", n=16), GraphSpec(family="path", n=9)),
+        num_seeds=2,
+        master_seed=7,
+    )
+    assert result.graph_labels == ("clique(16)", "path(9)")
+    assert len(result.rows) == 3
+    # Every cell that ran converged in this small setting.
+    assert all(record.converged for record in result.records)
+    # The clique-only baseline has no measurement on the path.
+    knockout_row = next(row for row in result.rows if row.protocol == "gilbert-newport")
+    assert "path(9)" not in knockout_row.measured_rounds
+    assert "clique(16)" in knockout_row.measured_rounds
+    # BFW has measurements everywhere.
+    bfw_row = next(row for row in result.rows if row.protocol == "bfw")
+    assert set(bfw_row.measured_rounds) == {"clique(16)", "path(9)"}
+    rendering = result.render()
+    assert "Table 1" in rendering
+    assert "bfw-nonuniform" in rendering
+
+
+def test_table1_ordering_shape_on_path():
+    """On a path, uniform BFW should be slower than the D-aware variant."""
+    result = generate_table1(
+        protocols=("bfw", "bfw-nonuniform"),
+        graphs=(GraphSpec(family="path", n=17),),
+        num_seeds=3,
+        master_seed=9,
+    )
+    by_name = {row.protocol: row for row in result.rows}
+    uniform = by_name["bfw"].measured_rounds["path(17)"]
+    nonuniform = by_name["bfw-nonuniform"].measured_rounds["path(17)"]
+    assert uniform > nonuniform

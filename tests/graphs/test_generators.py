@@ -1,0 +1,137 @@
+"""Tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.generators import (
+    GRAPH_FAMILIES,
+    barbell_graph,
+    binary_tree_graph,
+    caterpillar_graph,
+    clique_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    hypercube_graph,
+    lollipop_graph,
+    make_graph,
+    path_graph,
+    random_geometric_graph,
+    random_regular_graph,
+    random_tree_graph,
+    star_graph,
+    torus_graph,
+)
+
+
+def test_path_graph_shape():
+    topology = path_graph(5)
+    assert topology.n == 5
+    assert topology.num_edges == 4
+    assert topology.diameter() == 4
+
+
+def test_cycle_graph_shape():
+    topology = cycle_graph(7)
+    assert topology.n == 7
+    assert topology.num_edges == 7
+    assert all(topology.degree(node) == 2 for node in topology.nodes())
+
+
+def test_clique_graph_shape():
+    topology = clique_graph(6)
+    assert topology.num_edges == 15
+    assert topology.diameter() == 1
+
+
+def test_star_graph_shape():
+    topology = star_graph(10)
+    assert topology.degree(0) == 9
+    assert topology.diameter() == 2
+
+
+def test_grid_and_torus_shapes():
+    grid = grid_graph(3, 4)
+    assert grid.n == 12
+    assert grid.diameter() == 5
+    torus = torus_graph(4, 4)
+    assert torus.n == 16
+    assert all(torus.degree(node) == 4 for node in torus.nodes())
+
+
+def test_binary_tree_shape():
+    tree = binary_tree_graph(3)
+    assert tree.n == 15
+    assert tree.num_edges == 14
+
+
+def test_hypercube_shape():
+    cube = hypercube_graph(4)
+    assert cube.n == 16
+    assert cube.diameter() == 4
+    assert all(cube.degree(node) == 4 for node in cube.nodes())
+
+
+def test_barbell_and_lollipop_connected():
+    barbell = barbell_graph(4, 5)
+    assert barbell.diameter() >= 5
+    lollipop = lollipop_graph(4, 5)
+    assert lollipop.n == 9
+
+
+def test_caterpillar_shape():
+    caterpillar = caterpillar_graph(4, 2)
+    assert caterpillar.n == 4 + 8
+    assert caterpillar.num_edges == caterpillar.n - 1
+
+
+def test_erdos_renyi_connected_and_reproducible():
+    first = erdos_renyi_graph(40, rng=3)
+    second = erdos_renyi_graph(40, rng=3)
+    assert first.n == 40
+    assert set(first.edges) == set(second.edges)
+
+
+def test_random_geometric_connected():
+    topology = random_geometric_graph(50, rng=1)
+    assert topology.n == 50
+    assert topology.diameter() >= 1
+
+
+def test_random_tree_is_a_tree():
+    tree = random_tree_graph(30, rng=5)
+    assert tree.num_edges == 29
+    assert tree.n == 30
+
+
+def test_random_regular_graph_degrees():
+    topology = random_regular_graph(20, 4, rng=2)
+    assert all(topology.degree(node) == 4 for node in topology.nodes())
+
+
+@pytest.mark.parametrize("family", GRAPH_FAMILIES)
+def test_make_graph_all_families(family):
+    topology = make_graph(family, 16, rng=0)
+    assert topology.n >= 2
+    assert topology.diameter() >= 1
+
+
+def test_make_graph_unknown_family():
+    with pytest.raises(TopologyError):
+        make_graph("moebius", 10)
+
+
+@pytest.mark.parametrize(
+    "factory, args",
+    [
+        (path_graph, (0,)),
+        (cycle_graph, (2,)),
+        (grid_graph, (0, 3)),
+        (hypercube_graph, (0,)),
+        (barbell_graph, (1, 2)),
+    ],
+)
+def test_generators_reject_invalid_sizes(factory, args):
+    with pytest.raises(TopologyError):
+        factory(*args)

@@ -1,0 +1,47 @@
+"""Tests for edge-list serialisation."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.io import (
+    dumps_edge_list,
+    loads_edge_list,
+    read_edge_list,
+    write_edge_list,
+)
+
+
+def test_round_trip_in_memory():
+    topology = cycle_graph(9)
+    text = dumps_edge_list(topology)
+    rebuilt = loads_edge_list(text, name="cycle9")
+    assert rebuilt.n == topology.n
+    assert set(rebuilt.edges) == set(topology.edges)
+    assert rebuilt.name == "cycle9"
+
+
+def test_round_trip_on_disk(tmp_path):
+    topology = path_graph(12)
+    destination = tmp_path / "graphs" / "path12.edges"
+    write_edge_list(topology, destination)
+    rebuilt = read_edge_list(destination)
+    assert rebuilt.n == 12
+    assert set(rebuilt.edges) == set(topology.edges)
+
+
+def test_comments_and_blank_lines_ignored():
+    text = "\n# a comment\nn 3\n\n0 1\n# another\n1 2\n"
+    topology = loads_edge_list(text)
+    assert topology.n == 3
+    assert topology.num_edges == 2
+
+
+def test_missing_header_rejected():
+    with pytest.raises(TopologyError):
+        loads_edge_list("0 1\n1 2\n")
+
+
+def test_malformed_edge_rejected():
+    with pytest.raises(TopologyError):
+        loads_edge_list("n 3\n0 1 2\n")

@@ -1,0 +1,99 @@
+"""Tests for the undisturbed-leader chain of Section 4.2."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.bfw_chain import (
+    STATE_B,
+    STATE_F,
+    STATE_W,
+    beeps_from_return_times,
+    bfw_leader_chain,
+    expected_beeps,
+    sample_return_times,
+    stationary_distribution,
+    transition_matrix,
+    variance_lower_bound,
+)
+
+
+def test_transition_matrix_matches_eq15():
+    p = 0.3
+    matrix = transition_matrix(p)
+    expected = np.array([[0.7, 0.3, 0.0], [0.0, 0.0, 1.0], [1.0, 0.0, 0.0]])
+    assert np.allclose(matrix, expected)
+
+
+@pytest.mark.parametrize("p", [0.0, 1.0, -0.5])
+def test_invalid_p_rejected(p):
+    with pytest.raises(ConfigurationError):
+        transition_matrix(p)
+    with pytest.raises(ConfigurationError):
+        stationary_distribution(p)
+
+
+def test_stationary_distribution_matches_eq16():
+    for p in (0.1, 0.5, 0.9):
+        pi = stationary_distribution(p)
+        expected = np.array([1.0, p, p]) / (2 * p + 1)
+        assert np.allclose(pi, expected)
+        # And it is indeed stationary for the matrix of Eq. (15).
+        assert np.allclose(pi @ transition_matrix(p), pi)
+
+
+def test_chain_object_agrees_with_closed_form():
+    chain = bfw_leader_chain(0.4)
+    assert chain.is_irreducible()
+    assert chain.is_aperiodic()
+    assert np.allclose(chain.stationary_distribution(), stationary_distribution(0.4))
+
+
+def test_expected_beeps_formula():
+    assert expected_beeps(0.5, 100) == pytest.approx(0.5 * 100 / 2.0)
+
+
+def test_return_times_distribution():
+    samples = sample_return_times(0.5, num_samples=20_000, rng=1)
+    # τ = 2 + Geom(1/2): mean 4, minimum 3.
+    assert samples.min() >= 3
+    assert samples.mean() == pytest.approx(4.0, abs=0.1)
+
+
+def test_beeps_from_return_times_renewal_identity():
+    # Deterministic inter-beep times of 4 rounds: within 21 rounds the chain
+    # completes exactly 5 renewals (at rounds 4, 8, 12, 16, 20).
+    times = np.full(10, 4)
+    assert beeps_from_return_times(times, horizon=21) == 5
+    with pytest.raises(ConfigurationError):
+        beeps_from_return_times(np.array([4, 4]), horizon=1000)
+
+
+def test_empirical_beep_rate_matches_stationary_probability():
+    p = 0.5
+    chain = bfw_leader_chain(p)
+    paths = chain.sample_many_paths(num_paths=500, length=400, initial_state=STATE_W, rng=5)
+    empirical_rate = float((paths == STATE_B).mean())
+    assert empirical_rate == pytest.approx(stationary_distribution(p)[STATE_B], abs=0.02)
+
+
+def test_variance_lower_bound_grows_linearly():
+    assert variance_lower_bound(0.5, 2000) == pytest.approx(
+        2 * variance_lower_bound(0.5, 1000), rel=1e-9
+    )
+    assert variance_lower_bound(0.5, 1000) > 0
+
+
+def test_empirical_variance_is_linear_in_t():
+    p = 0.5
+    chain = bfw_leader_chain(p)
+    horizons = (200, 400)
+    variances = []
+    for horizon in horizons:
+        paths = chain.sample_many_paths(
+            num_paths=3000, length=horizon, initial_state=STATE_W, rng=horizon
+        )
+        counts = chain.visit_counts(paths, STATE_B)
+        variances.append(float(np.var(counts)))
+    ratio = variances[1] / variances[0]
+    assert ratio == pytest.approx(2.0, abs=0.5)

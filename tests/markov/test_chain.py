@@ -1,0 +1,99 @@
+"""Tests for the generic finite Markov chain."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.chain import FiniteMarkovChain
+
+
+def _two_state_chain(a=0.3, b=0.6) -> FiniteMarkovChain:
+    return FiniteMarkovChain(
+        transition_matrix=np.array([[1 - a, a], [b, 1 - b]]),
+        state_names=("x", "y"),
+    )
+
+
+def test_rejects_non_square_matrix():
+    with pytest.raises(ConfigurationError):
+        FiniteMarkovChain(np.ones((2, 3)) / 3)
+
+
+def test_rejects_non_stochastic_rows():
+    with pytest.raises(ConfigurationError):
+        FiniteMarkovChain(np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+
+def test_rejects_negative_entries():
+    with pytest.raises(ConfigurationError):
+        FiniteMarkovChain(np.array([[1.2, -0.2], [0.5, 0.5]]))
+
+
+def test_rejects_mismatched_state_names():
+    with pytest.raises(ConfigurationError):
+        FiniteMarkovChain(np.eye(2), state_names=("only-one",))
+
+
+def test_irreducibility_and_aperiodicity():
+    chain = _two_state_chain()
+    assert chain.is_irreducible()
+    assert chain.is_aperiodic()
+    # A deterministic 2-cycle is irreducible but periodic.
+    cycle = FiniteMarkovChain(np.array([[0.0, 1.0], [1.0, 0.0]]))
+    assert cycle.is_irreducible()
+    assert not cycle.is_aperiodic()
+    # Two absorbing states: reducible.
+    absorbing = FiniteMarkovChain(np.eye(2))
+    assert not absorbing.is_irreducible()
+
+
+def test_stationary_distribution_two_state_closed_form():
+    a, b = 0.3, 0.6
+    chain = _two_state_chain(a, b)
+    pi = chain.stationary_distribution()
+    expected = np.array([b / (a + b), a / (a + b)])
+    assert np.allclose(pi, expected)
+    assert np.allclose(pi @ chain.transition_matrix, pi)
+
+
+def test_mixing_bound_is_below_one_for_ergodic_chain():
+    assert 0.0 <= _two_state_chain().mixing_bound() < 1.0
+
+
+def test_sample_path_shapes_and_values():
+    chain = _two_state_chain()
+    path = chain.sample_path(length=50, initial_state=0, rng=1)
+    assert path.shape == (50,)
+    assert path[0] == 0
+    assert set(np.unique(path)) <= {0, 1}
+
+
+def test_sample_path_invalid_arguments():
+    chain = _two_state_chain()
+    with pytest.raises(ConfigurationError):
+        chain.sample_path(length=0)
+    with pytest.raises(ConfigurationError):
+        chain.sample_path(length=5, initial_state=7)
+
+
+def test_sample_many_paths_matches_stationary_frequencies():
+    chain = _two_state_chain()
+    paths = chain.sample_many_paths(num_paths=400, length=200, rng=3)
+    assert paths.shape == (400, 200)
+    pi = chain.stationary_distribution()
+    frequency_state0 = float((paths[:, 100:] == 0).mean())
+    assert frequency_state0 == pytest.approx(pi[0], abs=0.05)
+
+
+def test_visit_counts():
+    chain = _two_state_chain()
+    paths = np.array([[0, 0, 1, 0], [1, 1, 1, 0]])
+    counts = chain.visit_counts(paths, state=0)
+    assert list(counts) == [3, 1]
+
+
+def test_sampling_is_reproducible():
+    chain = _two_state_chain()
+    first = chain.sample_many_paths(num_paths=5, length=20, rng=7)
+    second = chain.sample_many_paths(num_paths=5, length=20, rng=7)
+    assert (first == second).all()

@@ -1,0 +1,48 @@
+"""Tests for the coupling of Lemma 15 / Claim 16."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.coupling import (
+    empirical_meeting_time_distribution,
+    simulate_coupling,
+)
+
+
+def test_claim16_gap_never_exceeds_one():
+    """Claim 16: the coupled chains' beep counts differ by at most one."""
+    for seed in range(30):
+        outcome = simulate_coupling(p=0.5, horizon=300, initial_state=0, rng=seed)
+        assert outcome.max_beep_gap <= 1
+        assert outcome.final_gap <= 1
+
+
+def test_claim16_holds_from_every_initial_state():
+    for initial_state in (0, 1, 2):
+        outcome = simulate_coupling(
+            p=0.4, horizon=200, initial_state=initial_state, rng=initial_state
+        )
+        assert outcome.max_beep_gap <= 1
+
+
+def test_coupling_meets_quickly():
+    meetings = empirical_meeting_time_distribution(
+        p=0.5, horizon=200, num_samples=200, initial_state=0, rng=1
+    )
+    # The chains almost always meet within the horizon, and typically fast.
+    assert float(np.mean(meetings <= 200)) > 0.99
+    assert float(np.median(meetings)) < 20
+
+
+def test_coupling_rejects_invalid_arguments():
+    with pytest.raises(ConfigurationError):
+        simulate_coupling(p=0.5, horizon=0, initial_state=0)
+    with pytest.raises(ConfigurationError):
+        simulate_coupling(p=0.5, horizon=10, initial_state=5)
+
+
+def test_coupling_outcome_metadata():
+    outcome = simulate_coupling(p=0.5, horizon=123, initial_state=2, rng=9)
+    assert outcome.horizon == 123
+    assert outcome.meeting_time >= 0

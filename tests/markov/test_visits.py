@@ -1,0 +1,76 @@
+"""Tests for visit-count statistics and anti-concentration (Lemmas 14/15)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.markov.visits import (
+    estimate_anti_concentration,
+    estimate_separation_time,
+    simulate_visit_counts,
+)
+
+
+def test_simulate_visit_counts_shape_and_range():
+    counts = simulate_visit_counts(p=0.5, horizon=100, num_chains=200, rng=1)
+    assert counts.shape == (200,)
+    assert counts.min() >= 0
+    # A node can beep at most once every 3 rounds (B -> F -> W -> B).
+    assert counts.max() <= 100 // 3 + 1
+
+
+def test_simulate_visit_counts_mean_matches_stationary_rate():
+    counts = simulate_visit_counts(p=0.5, horizon=600, num_chains=2000, rng=2)
+    assert counts.mean() == pytest.approx(0.5 * 600 / 2.0, rel=0.05)
+
+
+def test_simulate_visit_counts_rejects_bad_horizon():
+    with pytest.raises(ConfigurationError):
+        simulate_visit_counts(p=0.5, horizon=0, num_chains=10)
+
+
+def test_anti_concentration_probability_bounded_away_from_one():
+    """Lemma 15's mechanism: two independent beep counts drift apart on the
+    sqrt(t) scale, so the probability of staying within a fixed fraction of
+    sqrt(t) is bounded away from one."""
+    horizon = 400
+    # Threshold of one standard deviation of the difference (~sqrt(t)/4 here):
+    # staying below it has probability around 0.68, clearly below 1.
+    estimate = estimate_anti_concentration(
+        p=0.5, horizon=horizon, num_samples=3000, threshold=5.0, rng=3
+    )
+    assert estimate.probability_below < 0.95
+    assert estimate.mean_difference > 0
+    # Var(N_t) grows linearly (Lemma 14's proof): well above a constant.
+    assert estimate.visit_variance > 5
+    # And the default threshold is sqrt(t), as in the lemma statement.
+    default = estimate_anti_concentration(
+        p=0.5, horizon=horizon, num_samples=500, rng=4
+    )
+    assert default.threshold == pytest.approx(20.0)
+
+
+def test_mean_difference_grows_like_sqrt_t():
+    small = estimate_anti_concentration(p=0.5, horizon=200, num_samples=3000, rng=5)
+    large = estimate_anti_concentration(p=0.5, horizon=800, num_samples=3000, rng=6)
+    ratio = large.mean_difference / small.mean_difference
+    # Quadrupling t should roughly double the typical difference.
+    assert 1.4 < ratio < 3.0
+
+
+def test_separation_time_scales_quadratically():
+    """E[sigma_{u,v}] should grow roughly like the square of the target."""
+    small = estimate_separation_time(
+        p=0.5, target_difference=3, num_samples=300, rng=4
+    )
+    large = estimate_separation_time(
+        p=0.5, target_difference=9, num_samples=300, rng=5
+    )
+    ratio = float(np.mean(large)) / float(np.mean(small))
+    # The exact prediction is (9/3)^2 = 9; accept a generous band.
+    assert 3.0 < ratio < 30.0
+
+
+def test_separation_time_rejects_bad_target():
+    with pytest.raises(ConfigurationError):
+        estimate_separation_time(p=0.5, target_difference=0)

@@ -1,0 +1,65 @@
+"""Tests for the classic population protocols."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import clique_graph
+from repro.population.protocols import (
+    FOLLOWER,
+    INFECTED,
+    LEADER,
+    SUSCEPTIBLE,
+    CoinedElimination,
+    EpidemicBroadcast,
+    PairwiseElimination,
+)
+from repro.population.scheduler import PopulationScheduler
+
+
+def test_pairwise_elimination_transition(rng):
+    protocol = PairwiseElimination()
+    assert protocol.interact(LEADER, LEADER, rng) == (FOLLOWER, LEADER)
+    assert protocol.interact(LEADER, FOLLOWER, rng) == (LEADER, FOLLOWER)
+    assert protocol.interact(FOLLOWER, FOLLOWER, rng) == (FOLLOWER, FOLLOWER)
+    assert protocol.is_leader(LEADER)
+    assert not protocol.is_leader(FOLLOWER)
+
+
+def test_coined_elimination_keeps_exactly_one_leader(rng):
+    protocol = CoinedElimination()
+    outcomes = {protocol.interact(LEADER, LEADER, rng) for _ in range(50)}
+    assert outcomes <= {(LEADER, FOLLOWER), (FOLLOWER, LEADER)}
+    assert len(outcomes) == 2  # both orders occur
+
+
+def test_epidemic_broadcast_infects(rng):
+    protocol = EpidemicBroadcast()
+    assert protocol.interact(INFECTED, SUSCEPTIBLE, rng) == (INFECTED, INFECTED)
+    assert protocol.interact(SUSCEPTIBLE, SUSCEPTIBLE, rng) == (
+        SUSCEPTIBLE,
+        SUSCEPTIBLE,
+    )
+
+
+def test_elimination_quadratic_scaling_on_clique():
+    """Constant-state leader election needs Theta(n^2) interactions [10]."""
+    means = []
+    for n in (16, 32):
+        interactions = []
+        for seed in range(5):
+            scheduler = PopulationScheduler(clique_graph(n), PairwiseElimination())
+            result = scheduler.run(max_interactions=200 * n * n, rng=seed)
+            assert result.converged
+            interactions.append(result.convergence_interactions)
+        means.append(float(np.mean(interactions)))
+    ratio = means[1] / means[0]
+    # Doubling n should roughly quadruple the interaction count.
+    assert 2.0 < ratio < 8.0
+
+
+def test_parallel_time_normalisation():
+    n = 24
+    scheduler = PopulationScheduler(clique_graph(n), PairwiseElimination())
+    result = scheduler.run(max_interactions=100 * n * n, rng=4)
+    assert result.parallel_time == pytest.approx(result.interactions_executed / n)
+    assert result.convergence_parallel_time <= result.parallel_time

@@ -1,0 +1,75 @@
+"""Tests for the population-protocols scheduler."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.generators import clique_graph, path_graph
+from repro.population.protocols import (
+    INFECTED,
+    SUSCEPTIBLE,
+    EpidemicBroadcast,
+    PairwiseElimination,
+)
+from repro.population.scheduler import PopulationScheduler
+
+
+def test_requires_at_least_one_edge():
+    from repro.graphs.topology import Topology
+
+    lonely = Topology(1, [], require_connected=False)
+    with pytest.raises(ConfigurationError):
+        PopulationScheduler(lonely, PairwiseElimination())
+
+
+def test_rejects_negative_budget():
+    scheduler = PopulationScheduler(clique_graph(4), PairwiseElimination())
+    with pytest.raises(ConfigurationError):
+        scheduler.run(max_interactions=-1)
+
+
+def test_pairwise_elimination_converges_on_clique():
+    n = 30
+    scheduler = PopulationScheduler(clique_graph(n), PairwiseElimination())
+    result = scheduler.run(max_interactions=50 * n * n, rng=1)
+    assert result.converged
+    assert result.final_leader_count == 1
+    assert result.convergence_interactions is not None
+    assert result.parallel_time > 0
+
+
+def test_initial_states_override():
+    n = 20
+    scheduler = PopulationScheduler(clique_graph(n), EpidemicBroadcast())
+    states = [SUSCEPTIBLE] * n
+    states[0] = INFECTED
+    result = scheduler.run(
+        max_interactions=40 * n * n,
+        rng=2,
+        initial_states=states,
+        stop_at_single_leader=False,
+    )
+    # The infection spreads to everyone.
+    assert result.final_leader_count == n
+
+
+def test_initial_states_wrong_length_rejected():
+    scheduler = PopulationScheduler(clique_graph(5), EpidemicBroadcast())
+    with pytest.raises(SimulationError):
+        scheduler.run(max_interactions=10, initial_states=[SUSCEPTIBLE] * 3)
+
+
+def test_sparse_graphs_can_stall_with_constant_states():
+    """On a path, two leaders separated by followers can never interact, so
+    the two-state protocol generally stalls — which is why the classic model
+    assumes a complete interaction graph."""
+    scheduler = PopulationScheduler(path_graph(10), PairwiseElimination())
+    result = scheduler.run(max_interactions=20_000, rng=3)
+    assert result.final_leader_count >= 1
+    assert result.interactions_executed <= 20_000
+
+
+def test_result_reproducible():
+    scheduler = PopulationScheduler(clique_graph(16), PairwiseElimination())
+    first = scheduler.run(max_interactions=10_000, rng=9)
+    second = scheduler.run(max_interactions=10_000, rng=9)
+    assert first.convergence_interactions == second.convergence_interactions

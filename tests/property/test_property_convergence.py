@@ -1,0 +1,66 @@
+"""Property-based tests on convergence behaviour (Theorem 2, Definition 1)."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.graphs.generators import (
+    clique_graph,
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    star_graph,
+)
+
+small_graph_strategy = st.one_of(
+    st.integers(min_value=2, max_value=10).map(path_graph),
+    st.integers(min_value=3, max_value=10).map(cycle_graph),
+    st.integers(min_value=2, max_value=12).map(clique_graph),
+    st.integers(min_value=3, max_value=10).map(star_graph),
+    st.integers(min_value=6, max_value=12).map(lambda n: erdos_renyi_graph(n, rng=n)),
+)
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@SETTINGS
+@given(
+    topology=small_graph_strategy,
+    p=st.sampled_from([0.2, 0.5, 0.8]),
+    seed=st.integers(0, 2**20),
+)
+def test_bfw_always_converges_on_small_graphs(topology, p, seed):
+    """Theorem 2 (almost-sure convergence), checked within a generous budget."""
+    result = VectorizedEngine(topology, BFWProtocol(beep_probability=p)).run(
+        rng=seed, max_rounds=60_000
+    )
+    assert result.converged
+    assert result.final_leader_count == 1
+    # Definition 1: once a single leader remains, it remains (leader count is
+    # non-increasing, so converging earlier than the budget is permanent).
+    assert result.leader_counts[-1] == 1
+
+
+@SETTINGS
+@given(topology=small_graph_strategy, seed=st.integers(0, 2**20))
+def test_nonuniform_bfw_always_converges_on_small_graphs(topology, seed):
+    protocol = NonUniformBFWProtocol(diameter=max(1, topology.diameter()))
+    result = VectorizedEngine(topology, protocol).run(rng=seed, max_rounds=60_000)
+    assert result.converged
+    assert result.final_leader_count == 1
+
+
+@SETTINGS
+@given(seed=st.integers(0, 2**20))
+def test_single_node_graph_is_trivially_converged(seed):
+    from repro.graphs.topology import Topology
+
+    lonely = Topology(1, [])
+    result = VectorizedEngine(lonely, BFWProtocol()).run(rng=seed, max_rounds=10)
+    assert result.converged
+    assert result.convergence_round == 0

@@ -1,0 +1,128 @@
+"""Property-based tests: the paper's deterministic lemmas on random executions.
+
+These tests generate random graphs, random valid initial configurations
+(satisfying Eq. (2)) and random protocol parameters with hypothesis, run BFW,
+and check the deterministic properties of Section 3 exactly.  They are the
+strongest evidence the implementation matches the paper: the lemmas must hold
+for *every* execution, not just on average.
+"""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.flow import check_flow_conservation
+from repro.analysis.invariants import (
+    check_claim6,
+    check_distance_bound_all_rounds,
+    check_leader_always_exists,
+    check_leader_count_nonincreasing,
+    check_max_beep_count_is_leader,
+)
+from repro.analysis.ohm import check_ohms_law, sample_random_path
+from repro.beeping.adversary import random_valid_initial_states
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_tree_graph,
+    star_graph,
+)
+
+#: Strategy over small graphs of diverse shapes.
+graph_strategy = st.one_of(
+    st.integers(min_value=4, max_value=12).map(path_graph),
+    st.integers(min_value=4, max_value=12).map(cycle_graph),
+    st.integers(min_value=4, max_value=10).map(star_graph),
+    st.integers(min_value=6, max_value=14).map(lambda n: random_tree_graph(n, rng=n)),
+    st.integers(min_value=8, max_value=14).map(lambda n: erdos_renyi_graph(n, rng=n)),
+)
+
+#: Strategy over protocol parameters.
+probability_strategy = st.sampled_from([0.1, 0.25, 0.5, 0.75, 0.9])
+
+SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _run(topology, p, seed, leader_probability=1.0, max_rounds=6000):
+    protocol = BFWProtocol(beep_probability=p)
+    initial = None
+    if leader_probability < 1.0:
+        initial = random_valid_initial_states(
+            topology, rng=seed, leader_probability=leader_probability
+        )
+    engine = VectorizedEngine(topology, protocol)
+    result = engine.run(
+        rng=seed, record_trace=True, max_rounds=max_rounds, initial_states=initial
+    )
+    assert result.trace is not None
+    return result
+
+
+@SETTINGS
+@given(topology=graph_strategy, p=probability_strategy, seed=st.integers(0, 2**20))
+def test_lemma9_leader_always_exists(topology, p, seed):
+    result = _run(topology, p, seed)
+    check_leader_always_exists(result.trace)
+    check_leader_count_nonincreasing(result.trace)
+
+
+@SETTINGS
+@given(topology=graph_strategy, p=probability_strategy, seed=st.integers(0, 2**20))
+def test_lemma9_proof_invariant_max_beeper_is_leader(topology, p, seed):
+    result = _run(topology, p, seed)
+    check_max_beep_count_is_leader(result.trace)
+
+
+@SETTINGS
+@given(topology=graph_strategy, p=probability_strategy, seed=st.integers(0, 2**20))
+def test_claim6_local_transitions(topology, p, seed):
+    result = _run(topology, p, seed, max_rounds=1500)
+    check_claim6(result.trace, topology)
+
+
+@SETTINGS
+@given(topology=graph_strategy, p=probability_strategy, seed=st.integers(0, 2**20))
+def test_lemma11_distance_bound(topology, p, seed):
+    result = _run(topology, p, seed, max_rounds=1500)
+    check_distance_bound_all_rounds(result.trace, topology)
+
+
+@SETTINGS
+@given(
+    topology=graph_strategy,
+    p=probability_strategy,
+    seed=st.integers(0, 2**20),
+    walk_length=st.integers(1, 15),
+)
+def test_corollary8_ohms_law_on_random_walks(topology, p, seed, walk_length):
+    result = _run(topology, p, seed, max_rounds=1500)
+    walk = sample_random_path(topology, walk_length, rng=seed)
+    assert check_ohms_law(result.trace, walk, topology=topology) == []
+    assert check_flow_conservation(result.trace, walk) == []
+
+
+@SETTINGS
+@given(
+    topology=graph_strategy,
+    p=probability_strategy,
+    seed=st.integers(0, 2**20),
+    leader_probability=st.sampled_from([0.1, 0.3, 0.7]),
+)
+def test_invariants_hold_with_partial_initial_leaders(
+    topology, p, seed, leader_probability
+):
+    """Eq. (2) only requires *at least one* leader; the lemmas must hold for
+    any such planting, not just the all-leaders start."""
+    result = _run(
+        topology, p, seed, leader_probability=leader_probability, max_rounds=1500
+    )
+    check_leader_always_exists(result.trace)
+    check_claim6(result.trace, topology)
+    check_distance_bound_all_rounds(result.trace, topology)

@@ -1,0 +1,73 @@
+"""Property-based tests for protocol definitions and the engine compiler."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.beeping.engine import compile_protocol
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.core.protocol import enumerate_reachable_states
+from repro.core.states import State
+from repro.core.variants import EagerEliminationBFWProtocol, NoFreezeBFWProtocol
+
+probability_strategy = st.floats(
+    min_value=0.01, max_value=0.99, allow_nan=False, allow_infinity=False
+)
+
+SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@SETTINGS
+@given(p=probability_strategy)
+def test_bfw_is_valid_for_every_p(p):
+    protocol = BFWProtocol(beep_probability=p)
+    protocol.validate()
+    assert protocol.num_states() == 6
+    assert set(enumerate_reachable_states(protocol)) == set(State)
+
+
+@SETTINGS
+@given(p=probability_strategy)
+def test_bfw_kernels_are_stochastic_for_every_p(p):
+    table = BFWProtocol(beep_probability=p).transition_table()
+    for kernel in (table.silent, table.heard):
+        for distribution in kernel.values():
+            assert abs(sum(distribution.values()) - 1.0) < 1e-9
+            assert all(value >= 0 for value in distribution.values())
+
+
+@SETTINGS
+@given(p=probability_strategy)
+def test_compiled_tables_preserve_probabilities(p):
+    protocol = BFWProtocol(beep_probability=p)
+    compiled = compile_protocol(protocol)
+    silent_row = int(State.W_LEADER), 0
+    primary = compiled.succ_primary[silent_row]
+    probability = compiled.primary_probability[silent_row]
+    # The primary outcome is the more likely one; together with the secondary
+    # outcome it reconstructs the original coin toss.
+    if primary == int(State.B_LEADER):
+        assert np.isclose(probability, max(p, 1 - p)) or np.isclose(probability, p)
+    table_p = (
+        probability if primary == int(State.B_LEADER) else 1.0 - probability
+    )
+    assert np.isclose(table_p, p)
+
+
+@SETTINGS
+@given(diameter=st.integers(min_value=1, max_value=10_000))
+def test_nonuniform_probability_is_in_range(diameter):
+    protocol = NonUniformBFWProtocol(diameter=diameter)
+    assert 0.0 < protocol.beep_probability <= 0.5
+    assert protocol.beep_probability * (diameter + 1) == 1.0 or np.isclose(
+        protocol.beep_probability, 1.0 / (diameter + 1)
+    )
+
+
+@SETTINGS
+@given(p=probability_strategy)
+def test_variant_protocols_validate_for_every_p(p):
+    for factory in (NoFreezeBFWProtocol, EagerEliminationBFWProtocol):
+        protocol = factory(beep_probability=p)
+        protocol.validate()
+        compile_protocol(protocol)

@@ -1,0 +1,59 @@
+"""Tests for bootstrap confidence intervals."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.bootstrap import (
+    bootstrap_interval,
+    bootstrap_median,
+    bootstrap_ratio_of_means,
+)
+
+
+def test_bootstrap_interval_contains_estimate():
+    rng = np.random.default_rng(1)
+    sample = rng.normal(10.0, 2.0, size=200)
+    interval = bootstrap_interval(sample, rng=2)
+    assert interval.low <= interval.estimate <= interval.high
+    assert interval.estimate == pytest.approx(10.0, abs=0.5)
+    assert interval.width > 0
+    assert interval.confidence == pytest.approx(0.95)
+
+
+def test_bootstrap_interval_reproducible():
+    sample = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]
+    first = bootstrap_interval(sample, rng=7, num_resamples=500)
+    second = bootstrap_interval(sample, rng=7, num_resamples=500)
+    assert first == second
+
+
+def test_bootstrap_interval_validation():
+    with pytest.raises(ConfigurationError):
+        bootstrap_interval([])
+    with pytest.raises(ConfigurationError):
+        bootstrap_interval([1.0], confidence=2.0)
+    with pytest.raises(ConfigurationError):
+        bootstrap_interval([1.0], num_resamples=0)
+
+
+def test_bootstrap_median_skewed_sample():
+    rng = np.random.default_rng(3)
+    sample = rng.exponential(5.0, size=300)
+    interval = bootstrap_median(sample, rng=4)
+    assert interval.low <= np.median(sample) <= interval.high
+
+
+def test_bootstrap_ratio_of_means():
+    slow = [100.0, 110.0, 95.0, 105.0]
+    fast = [10.0, 11.0, 9.0, 10.5]
+    interval = bootstrap_ratio_of_means(slow, fast, rng=5)
+    assert interval.estimate == pytest.approx(10.1, abs=1.0)
+    assert interval.low <= interval.estimate <= interval.high
+
+
+def test_bootstrap_ratio_validation():
+    with pytest.raises(ConfigurationError):
+        bootstrap_ratio_of_means([], [1.0])
+    with pytest.raises(ConfigurationError):
+        bootstrap_ratio_of_means([1.0], [0.0])

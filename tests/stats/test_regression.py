@@ -1,0 +1,61 @@
+"""Tests for power-law fitting and scaling-model comparison."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.regression import compare_scaling_models, fit_power_law
+
+
+def test_fit_power_law_recovers_exact_exponent():
+    x = np.array([4, 8, 16, 32, 64], dtype=float)
+    y = 3.0 * x**2
+    fit = fit_power_law(x, y)
+    assert fit.exponent == pytest.approx(2.0, abs=1e-9)
+    assert fit.prefactor == pytest.approx(3.0, rel=1e-6)
+    assert fit.r_squared == pytest.approx(1.0)
+    assert fit.predict(10.0) == pytest.approx(300.0, rel=1e-6)
+
+
+def test_fit_power_law_with_noise():
+    rng = np.random.default_rng(0)
+    x = np.array([4, 8, 16, 32, 64, 128], dtype=float)
+    y = 5.0 * x**1.5 * np.exp(rng.normal(0, 0.05, size=x.size))
+    fit = fit_power_law(x, y)
+    assert fit.exponent == pytest.approx(1.5, abs=0.15)
+    assert fit.r_squared > 0.95
+    assert fit.stderr >= 0.0
+
+
+def test_fit_power_law_validation():
+    with pytest.raises(ConfigurationError):
+        fit_power_law([1.0], [2.0])
+    with pytest.raises(ConfigurationError):
+        fit_power_law([1.0, 2.0], [2.0])
+    with pytest.raises(ConfigurationError):
+        fit_power_law([1.0, -2.0], [2.0, 3.0])
+
+
+def test_compare_scaling_models_identifies_d2_logn():
+    diameters = np.array([8, 16, 32, 64], dtype=float)
+    sizes = diameters + 1
+    times = 0.3 * diameters**2 * np.log(sizes)
+    comparison = compare_scaling_models(diameters, sizes, times)
+    assert comparison.best_model == "D^2 log n"
+    assert comparison.relative_errors["D^2 log n"] < 0.01
+    assert comparison.constants["D^2 log n"] == pytest.approx(0.3, rel=0.05)
+
+
+def test_compare_scaling_models_identifies_d_logn():
+    diameters = np.array([8, 16, 32, 64], dtype=float)
+    sizes = diameters + 1
+    times = 2.0 * diameters * np.log(sizes)
+    comparison = compare_scaling_models(diameters, sizes, times)
+    assert comparison.best_model == "D log n"
+
+
+def test_compare_scaling_models_validation():
+    with pytest.raises(ConfigurationError):
+        compare_scaling_models([1, 2], [1, 2], [1])
+    with pytest.raises(ConfigurationError):
+        compare_scaling_models([1], [1], [1])

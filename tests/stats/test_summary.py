@@ -1,0 +1,67 @@
+"""Tests for summary statistics."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stats.summary import (
+    exceedance_probability,
+    geometric_mean,
+    mean_confidence_interval,
+    summarize_sample,
+)
+
+
+def test_summarize_sample_fields():
+    summary = summarize_sample([1, 2, 3, 4, 5])
+    assert summary.count == 5
+    assert summary.mean == pytest.approx(3.0)
+    assert summary.median == pytest.approx(3.0)
+    assert summary.minimum == 1 and summary.maximum == 5
+    assert summary.q25 == pytest.approx(2.0)
+    assert summary.q75 == pytest.approx(4.0)
+    assert summary.as_dict()["mean"] == pytest.approx(3.0)
+
+
+def test_summarize_single_value_has_zero_std():
+    summary = summarize_sample([7.0])
+    assert summary.std == 0.0
+
+
+def test_summarize_empty_rejected():
+    with pytest.raises(ConfigurationError):
+        summarize_sample([])
+
+
+def test_mean_confidence_interval_contains_mean():
+    mean, low, high = mean_confidence_interval([10, 12, 9, 11, 10, 12, 8, 10])
+    assert low <= mean <= high
+    assert high - low > 0
+
+
+def test_mean_confidence_interval_single_sample_degenerate():
+    mean, low, high = mean_confidence_interval([5.0])
+    assert mean == low == high == 5.0
+
+
+def test_mean_confidence_interval_validation():
+    with pytest.raises(ConfigurationError):
+        mean_confidence_interval([1.0, 2.0], confidence=1.5)
+    with pytest.raises(ConfigurationError):
+        mean_confidence_interval([])
+
+
+def test_exceedance_probability():
+    values = [1, 2, 3, 4]
+    assert exceedance_probability(values, 2.5) == pytest.approx(0.5)
+    assert exceedance_probability(values, 100) == 0.0
+    with pytest.raises(ConfigurationError):
+        exceedance_probability([], 1.0)
+
+
+def test_geometric_mean():
+    assert geometric_mean([1, 4]) == pytest.approx(2.0)
+    assert geometric_mean([3, 3, 3]) == pytest.approx(3.0)
+    with pytest.raises(ConfigurationError):
+        geometric_mean([1.0, -1.0])
+    with pytest.raises(ConfigurationError):
+        geometric_mean([])

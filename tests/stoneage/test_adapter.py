@@ -1,0 +1,81 @@
+"""Tests for running BFW inside the stone-age model (experiment E9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.invariants import check_all_invariants
+from repro.beeping.trace import ExecutionTrace
+from repro.core.bfw import BFWProtocol
+from repro.core.states import State
+from repro.graphs.generators import cycle_graph, path_graph
+from repro.stoneage.adapter import (
+    BEEP,
+    SILENT,
+    BeepingToStoneAgeAdapter,
+    run_in_stone_age_model,
+)
+
+
+def test_adapter_messages_match_beeping_classification():
+    adapter = BeepingToStoneAgeAdapter(BFWProtocol())
+    assert adapter.message(State.B_LEADER) == BEEP
+    assert adapter.message(State.B_FOLLOWER) == BEEP
+    for state in (State.W_LEADER, State.F_LEADER, State.W_FOLLOWER, State.F_FOLLOWER):
+        assert adapter.message(state) == SILENT
+
+
+def test_adapter_preserves_leader_classification():
+    adapter = BeepingToStoneAgeAdapter(BFWProtocol())
+    assert adapter.is_leader(State.W_LEADER)
+    assert not adapter.is_leader(State.B_FOLLOWER)
+    assert adapter.initial_state is State.W_LEADER
+    assert adapter.wrapped.name == "bfw"
+
+
+def test_bfw_converges_in_stone_age_model():
+    topology = path_graph(10)
+    result = run_in_stone_age_model(topology, BFWProtocol(), max_rounds=5000, rng=1)
+    assert result.final_leader_count == 1
+    assert result.convergence_round() is not None
+
+
+def test_stone_age_execution_satisfies_bfw_invariants():
+    """The adapter must produce executions indistinguishable from beeping ones."""
+    topology = cycle_graph(8)
+    result = run_in_stone_age_model(
+        topology, BFWProtocol(), max_rounds=3000, rng=2, record_states=True
+    )
+    states = np.array(
+        [[int(state) for state in row] for row in result.history], dtype=np.int8
+    )
+    trace = ExecutionTrace(
+        states=states,
+        beeping_values=(int(State.B_LEADER), int(State.B_FOLLOWER)),
+        leader_values=(
+            int(State.W_LEADER),
+            int(State.B_LEADER),
+            int(State.F_LEADER),
+        ),
+        protocol_name="stone-age(bfw)",
+        topology_name=topology.name,
+    )
+    check_all_invariants(trace, topology)
+
+
+def test_threshold_does_not_change_behaviour_distribution():
+    """Any b >= 1 gives the same information for two-symbol protocols."""
+    topology = path_graph(8)
+    rounds_b1 = [
+        run_in_stone_age_model(
+            topology, BFWProtocol(), max_rounds=5000, rng=seed, threshold=1
+        ).convergence_round()
+        for seed in range(8)
+    ]
+    rounds_b3 = [
+        run_in_stone_age_model(
+            topology, BFWProtocol(), max_rounds=5000, rng=seed, threshold=3
+        ).convergence_round()
+        for seed in range(8)
+    ]
+    # Identical seeds and identical information: identical executions.
+    assert rounds_b1 == rounds_b3

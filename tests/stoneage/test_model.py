@@ -1,0 +1,87 @@
+"""Tests for the synchronous stone-age model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.generators import path_graph, star_graph
+from repro.stoneage.model import Observation, StoneAgeProtocol, StoneAgeSimulator
+
+
+class CountingProtocol(StoneAgeProtocol):
+    """Each node displays its parity and flips it when it sees an 'odd' neighbour."""
+
+    name = "counting"
+    alphabet = ("even", "odd")
+
+    @property
+    def initial_state(self):
+        return 0
+
+    def message(self, state):
+        return "odd" if state % 2 else "even"
+
+    def transition(self, state, observation, rng):
+        if observation.at_least("odd", 1):
+            return state + 1
+        return state
+
+    def is_leader(self, state):
+        return state == 0
+
+
+def test_observation_threshold_clamps_counts():
+    observation = Observation(counts={"odd": 2}, threshold=2)
+    assert observation.at_least("odd", 1)
+    assert observation.at_least("odd", 2)
+    with pytest.raises(ConfigurationError):
+        observation.at_least("odd", 3)
+    assert not observation.at_least("even", 1)
+
+
+def test_simulator_threshold_validation(small_path):
+    with pytest.raises(ConfigurationError):
+        StoneAgeSimulator(small_path, CountingProtocol(), threshold=0)
+
+
+def test_simulator_runs_and_records(small_path):
+    simulator = StoneAgeSimulator(small_path, CountingProtocol(), threshold=1)
+    result = simulator.run(max_rounds=5, rng=0, record_states=True)
+    assert len(result.leader_counts) == 6
+    assert len(result.history) == 6
+    assert result.protocol_name == "counting"
+
+
+def test_simulator_with_custom_initial_states():
+    topology = star_graph(5)
+    simulator = StoneAgeSimulator(topology, CountingProtocol())
+    # Only the hub starts odd; all leaves see it and flip every round.
+    result = simulator.run(
+        max_rounds=2, rng=0, initial_states=[1, 0, 0, 0, 0], record_states=True
+    )
+    first_round_states = result.history[1]
+    assert first_round_states[1] == 1  # leaf flipped after seeing the odd hub
+    assert first_round_states[0] == 1  # hub saw only even leaves, stayed odd
+
+
+def test_simulator_rejects_wrong_number_of_initial_states(small_path):
+    simulator = StoneAgeSimulator(small_path, CountingProtocol())
+    with pytest.raises(SimulationError):
+        simulator.run(max_rounds=1, initial_states=[0, 1])
+
+
+def test_convergence_round_helper():
+    from repro.stoneage.model import StoneAgeResult
+
+    result = StoneAgeResult(
+        final_states=(0,),
+        leader_counts=(3, 2, 1, 1),
+        history=(),
+    )
+    assert result.convergence_round() == 2
+    assert result.final_leader_count == 1
+
+    diverged = StoneAgeResult(
+        final_states=(0,), leader_counts=(3, 2, 2), history=()
+    )
+    assert diverged.convergence_round() is None

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_no_command_prints_help_and_fails(capsys):
+    assert main([]) == 1
+    captured = capsys.readouterr()
+    assert "usage" in captured.out.lower()
+
+
+def test_version_flag():
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+
+
+def test_list_protocols(capsys):
+    assert main(["list-protocols"]) == 0
+    captured = capsys.readouterr()
+    assert "bfw" in captured.out
+    assert "pipelined-ids" in captured.out
+
+
+def test_run_command_converges(capsys):
+    code = main(["run", "--protocol", "bfw", "--graph", "clique", "--n", "16", "--seed", "1"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "converged:         True" in captured.out
+
+
+def test_run_command_nonuniform_with_probability_override(capsys):
+    code = main(
+        [
+            "run",
+            "--protocol",
+            "bfw",
+            "--graph",
+            "path",
+            "--n",
+            "12",
+            "--seed",
+            "2",
+            "--beep-probability",
+            "0.25",
+        ]
+    )
+    assert code == 0
+
+
+def test_run_command_reports_nonconvergence(capsys):
+    code = main(
+        ["run", "--protocol", "bfw", "--graph", "path", "--n", "30", "--max-rounds", "3"]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "converged:         False" in captured.out
+
+
+def test_scaling_command_small(capsys):
+    code = main(
+        ["scaling", "--mode", "nonuniform", "--diameters", "4", "8", "--seeds", "3"]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "fitted T ~ D^" in captured.out
+
+
+def test_ablation_command_small(capsys):
+    code = main(["ablation", "--diameter", "6", "--seeds", "2"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Structural ablations" in captured.out
+
+
+def test_wave_demo(capsys):
+    code = main(["wave-demo", "--n", "12", "--seed", "1", "--max-rounds", "120"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "legend:" in captured.out
+
+
+def test_parser_has_all_subcommands():
+    parser = build_parser()
+    text = parser.format_help()
+    for command in (
+        "list-protocols",
+        "run",
+        "table1",
+        "scaling",
+        "crossover",
+        "lower-bound",
+        "ablation",
+        "wave-demo",
+    ):
+        assert command in text

@@ -1,0 +1,22 @@
+"""Smoke tests for the top-level package API."""
+
+import repro
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+    assert repro.__version__.count(".") == 2
+
+
+def test_public_api_symbols_exist():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_quickstart_from_the_docstring():
+    from repro import BFWProtocol, run_bfw
+    from repro.graphs import cycle_graph
+
+    result = run_bfw(cycle_graph(32), BFWProtocol(beep_probability=0.5), rng=0)
+    assert result.converged
+    assert result.final_leader_count == 1

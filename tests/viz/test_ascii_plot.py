@@ -1,0 +1,53 @@
+"""Tests for ASCII plotting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.ascii_plot import ascii_plot, sparkline
+
+
+def test_ascii_plot_contains_markers_and_legend():
+    plot = ascii_plot(
+        {"uniform": [(8, 100), (16, 400), (32, 1600)],
+         "nonuniform": [(8, 30), (16, 70), (32, 150)]},
+        width=40,
+        height=10,
+        title="scaling",
+        xlabel="D",
+        ylabel="T",
+    )
+    assert "scaling" in plot
+    assert "o = uniform" in plot
+    assert "x = nonuniform" in plot
+    assert "D" in plot
+
+
+def test_ascii_plot_log_axes():
+    plot = ascii_plot(
+        {"series": [(1, 10), (10, 1000)]}, logx=True, logy=True, width=30, height=8
+    )
+    assert "1e" in plot
+
+
+def test_ascii_plot_rejects_nonpositive_on_log_axis():
+    with pytest.raises(ConfigurationError):
+        ascii_plot({"s": [(0, 1)]}, logx=True)
+
+
+def test_ascii_plot_rejects_empty_and_tiny():
+    with pytest.raises(ConfigurationError):
+        ascii_plot({})
+    with pytest.raises(ConfigurationError):
+        ascii_plot({"s": [(1, 1)]}, width=3, height=2)
+
+
+def test_sparkline_length_and_range():
+    line = sparkline([1, 2, 3, 4, 5], width=10)
+    assert len(line) == 5
+    long_line = sparkline(list(range(300)), width=50)
+    assert len(long_line) == 50
+
+
+def test_sparkline_rejects_empty():
+    with pytest.raises(ConfigurationError):
+        sparkline([])

@@ -1,0 +1,39 @@
+"""Tests for space-time diagrams."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.spacetime import leader_count_timeline, spacetime_diagram
+
+
+def test_spacetime_diagram_dimensions(converged_path_trace):
+    diagram = spacetime_diagram(converged_path_trace, max_rounds=20)
+    lines = diagram.splitlines()
+    # Legend + 21 rows (rounds 0..20).
+    assert len(lines) == 22
+    # Every rendered row encloses exactly n glyphs between the bars.
+    row = lines[1]
+    start = row.index("|") + 1
+    end = row.rindex("|")
+    assert end - start == converged_path_trace.n
+
+
+def test_spacetime_diagram_stride(converged_path_trace):
+    diagram = spacetime_diagram(converged_path_trace, max_rounds=20, round_stride=5)
+    assert len(diagram.splitlines()) == 1 + 5  # legend + rounds 0,5,10,15,20
+
+
+def test_spacetime_diagram_initial_row_all_leaders(converged_path_trace):
+    diagram = spacetime_diagram(converged_path_trace, max_rounds=0)
+    first_row = diagram.splitlines()[1]
+    assert "L" * converged_path_trace.n in first_row
+
+
+def test_spacetime_diagram_rejects_bad_stride(converged_path_trace):
+    with pytest.raises(ConfigurationError):
+        spacetime_diagram(converged_path_trace, round_stride=0)
+
+
+def test_leader_count_timeline(converged_path_trace):
+    line = leader_count_timeline(converged_path_trace)
+    assert line.startswith(f"leaders {converged_path_trace.n} -> 1")

@@ -1,0 +1,52 @@
+"""Tests for table rendering."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.viz.table_format import format_cell, render_markdown_table, render_table
+
+
+def test_format_cell_types():
+    assert format_cell(True) == "yes"
+    assert format_cell(False) == "no"
+    assert format_cell(None) == "-"
+    assert format_cell(3.14159) == "3.14"
+    assert format_cell(12345.6) == "12,346"
+    assert format_cell(float("nan")) == "-"
+    assert format_cell("text") == "text"
+    assert format_cell(7) == "7"
+
+
+def test_render_table_alignment_and_title():
+    table = render_table(
+        ["name", "value"],
+        [("alpha", 1.0), ("a-much-longer-name", 22.5)],
+        title="My table",
+    )
+    lines = table.splitlines()
+    assert lines[0] == "My table"
+    assert "alpha" in table
+    assert "22.50" in table
+    # All data lines have the same width.
+    widths = {len(line) for line in lines[2:]}
+    assert len(widths) <= 2  # header separator may differ by trailing spaces
+
+
+def test_render_table_rejects_ragged_rows():
+    with pytest.raises(ConfigurationError):
+        render_table(["a", "b"], [("only-one",)])
+
+
+def test_render_markdown_table():
+    markdown = render_markdown_table(["x", "y"], [(1, 2.5), (3, 4.0)])
+    lines = markdown.splitlines()
+    assert lines[0] == "| x | y |"
+    assert lines[1] == "|---|---|"
+    assert lines[2] == "| 1 | 2.50 |"
+
+
+def test_render_markdown_table_rejects_ragged_rows():
+    with pytest.raises(ConfigurationError):
+        render_markdown_table(["a"], [(1, 2)])
