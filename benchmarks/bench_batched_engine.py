@@ -1,0 +1,91 @@
+"""Experiment E12 — batched Monte-Carlo engine vs looping single runs.
+
+The batched engine exists for exactly one reason: a sweep's replicas share
+the Python-level round loop instead of paying it once per seed.  This
+benchmark measures that claim in replica-rounds per second on the workload
+the scaling experiments actually run (dozens of seeds on a 200-node cycle)
+and asserts the ≥ 3× speed-up the subsystem promises, after first checking
+that the batched results are replica-for-replica identical to the loop.
+"""
+
+import time
+
+import pytest
+
+from repro.batch import BatchedEngine
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol
+from repro.graphs.generators import cycle_graph
+
+MAX_ROUNDS = 400_000
+
+
+def _loop_replica_rounds(topology, protocol, seeds):
+    engine = VectorizedEngine(topology, protocol)
+    results = [engine.run(rng=seed, max_rounds=MAX_ROUNDS) for seed in seeds]
+    return results, sum(result.rounds_executed for result in results)
+
+
+@pytest.mark.experiment("E12")
+def test_batched_engine_speedup_over_seed_loop(report):
+    topology = cycle_graph(200)
+    protocol = BFWProtocol()
+    seeds = list(range(32))
+
+    start = time.perf_counter()
+    singles, loop_rounds = _loop_replica_rounds(topology, protocol, seeds)
+    loop_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batch = BatchedEngine(topology, protocol).run(
+        seeds, max_rounds=MAX_ROUNDS, record_leader_counts=False
+    )
+    batch_seconds = time.perf_counter() - start
+
+    # identical replicas first — a fast wrong engine is worthless
+    for index, single in enumerate(singles):
+        replica = batch.replica(index)
+        assert replica.converged == single.converged
+        assert replica.convergence_round == single.convergence_round
+        assert replica.rounds_executed == single.rounds_executed
+    assert batch.total_replica_rounds == loop_rounds
+
+    loop_throughput = loop_rounds / loop_seconds
+    batch_throughput = batch.total_replica_rounds / batch_seconds
+    speedup = batch_throughput / loop_throughput
+    report(
+        "E12 — batched engine vs seed loop (32 replicas, cycle(200))",
+        f"loop:    {loop_throughput:12,.0f} replica-rounds/sec ({loop_seconds:.2f}s)\n"
+        f"batched: {batch_throughput:12,.0f} replica-rounds/sec ({batch_seconds:.2f}s)\n"
+        f"speedup: {speedup:.2f}x",
+    )
+    assert speedup >= 3.0, (
+        f"batched engine must be >= 3x the seed loop; measured {speedup:.2f}x"
+    )
+
+
+@pytest.mark.experiment("E12")
+def test_batched_engine_throughput(benchmark):
+    topology = cycle_graph(200)
+    protocol = BFWProtocol()
+    seeds = list(range(64))
+    engine = BatchedEngine(topology, protocol)
+
+    def run():
+        return engine.run(seeds, max_rounds=MAX_ROUNDS, record_leader_counts=False)
+
+    result = benchmark(run)
+    assert result.converged.all()
+
+
+@pytest.mark.experiment("E12")
+def test_seed_loop_throughput_baseline(benchmark):
+    topology = cycle_graph(200)
+    protocol = BFWProtocol()
+    seeds = list(range(8))  # smaller workload: this is the slow path
+
+    def run():
+        return _loop_replica_rounds(topology, protocol, seeds)[0]
+
+    results = benchmark(run)
+    assert all(result.converged for result in results)

@@ -16,6 +16,7 @@ Quickstart
 """
 
 from repro._version import __version__
+from repro.batch import BatchedEngine, BatchResult, run_batch
 from repro.beeping import (
     ExecutionTrace,
     MemorySimulator,
@@ -37,6 +38,8 @@ from repro.graphs import Topology, make_graph
 
 __all__ = [
     "BFWProtocol",
+    "BatchResult",
+    "BatchedEngine",
     "BeepingProtocol",
     "ExecutionTrace",
     "MemoryProtocol",
@@ -51,5 +54,6 @@ __all__ = [
     "available_protocols",
     "create_protocol",
     "make_graph",
+    "run_batch",
     "run_bfw",
 ]

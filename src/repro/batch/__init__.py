@@ -1,0 +1,28 @@
+"""Batched Monte-Carlo engine: all replicas of a sweep in one state array.
+
+The subsystem has three layers:
+
+* :mod:`repro.batch.streams` — per-replica random streams that keep every
+  replica bit-for-bit identical to its standalone run;
+* :mod:`repro.batch.engine` — :class:`BatchedEngine`, which advances the
+  ``(R, n)`` batch state and retires converged replicas in place;
+* :mod:`repro.batch.results` — :class:`BatchResult`, flat per-replica
+  outcome arrays convertible back to ordinary ``SimulationResult`` objects.
+
+The experiment-facing entry point is
+:class:`repro.experiments.montecarlo.MonteCarloRunner`, which routes
+constant-state protocols through this engine and everything else through the
+per-seed loop.
+"""
+
+from repro.batch.engine import BatchedEngine, run_batch
+from repro.batch.results import BatchResult
+from repro.batch.streams import ReplicaStreams, independent_streams
+
+__all__ = [
+    "BatchResult",
+    "BatchedEngine",
+    "ReplicaStreams",
+    "independent_streams",
+    "run_batch",
+]

@@ -1,0 +1,317 @@
+"""The batched Monte-Carlo engine: all replicas of a sweep in one array.
+
+Every statistical claim of the paper is reproduced by running dozens of
+independently seeded replicas of the same (protocol, graph) cell.  The
+:class:`~repro.beeping.engine.VectorizedEngine` already advances all *nodes*
+of one execution with a handful of array operations, but a sweep still pays
+the Python-level round loop once per seed.  :class:`BatchedEngine` amortises
+that loop across the whole cell:
+
+* the states of ``R`` replicas live in one ``(R, n)`` int array;
+* the beep masks of all replicas are one boolean gather, and "who hears a
+  beep" is one sparse matrix product against the ``(n, R)`` stacked beep
+  columns (the adjacency matrix is symmetric, so the transpose trick costs
+  nothing);
+* every probabilistic transition of the round is resolved by one ``(R, n)``
+  uniform block, filled row by row from per-replica generator streams so
+  that each replica consumes exactly the randomness its standalone run
+  would;
+* replicas that reach a single-leader configuration are *retired in place*:
+  they drop out of the active index, stop consuming randomness, and stop
+  costing work, while the batch keeps advancing the stragglers.
+
+Because the per-replica streams and the per-round order of operations match
+:meth:`VectorizedEngine.run` exactly, replica ``r`` of a batch seeded with
+``seeds[r]`` reproduces the standalone run bit for bit — same convergence
+round, same final leader, same leader-count trajectory.  The parity tests in
+``tests/batch/`` enforce this on paths, cycles, and random geometric graphs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.batch.results import BatchResult
+from repro.batch.streams import ReplicaStreams, SeedLike
+from repro.beeping.engine import CompiledProtocol, compile_protocol
+from repro.beeping.simulator import default_round_budget
+from repro.core.protocol import BeepingProtocol
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.topology import Topology
+
+
+class BatchedEngine:
+    """Simulate ``R`` independent replicas of a compiled protocol at once.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph shared by every replica.
+    protocol:
+        A constant-state beeping protocol; compiled once at construction.
+    """
+
+    #: Graphs up to this many nodes use a dense float32 adjacency so the
+    #: hear-mask is one BLAS matmul instead of a scipy dispatch per round.
+    DENSE_ADJACENCY_MAX_NODES = 1024
+
+    #: Memory cap (bytes) for the prefetched per-replica uniform blocks.
+    RNG_BUFFER_BYTES = 8 << 20
+
+    def __init__(self, topology: Topology, protocol: BeepingProtocol) -> None:
+        self._topology = topology
+        self._protocol = protocol
+        self._compiled = compile_protocol(protocol)
+        self._adjacency = topology.sparse_adjacency()
+        # A float32 matmul counts beeping neighbours exactly (degrees are far
+        # below 2**24); on small graphs it avoids ~25 µs of scipy dispatch
+        # overhead per round, which dominates once the batch tail is thin.
+        self._dense_adjacency: Optional[np.ndarray] = None
+        if topology.n <= self.DENSE_ADJACENCY_MAX_NODES:
+            self._dense_adjacency = (
+                self._adjacency.toarray().astype(np.float32)
+            )
+        # Batch-local table copies tuned for the hot loop: intp-typed
+        # successor tables make every gather conversion-free (numpy converts
+        # non-intp index arrays on each fancy-indexing call), and a float32
+        # beep lookup feeds the matmul without a per-round astype.
+        compiled = self._compiled
+        self._succ_primary_ip = compiled.succ_primary.astype(np.intp)
+        self._succ_secondary_ip = compiled.succ_secondary.astype(np.intp)
+        self._beep_f32 = compiled.is_beeping.astype(np.float32)
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> BeepingProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    @property
+    def compiled(self) -> CompiledProtocol:
+        """The compiled lookup tables shared by all replicas."""
+        return self._compiled
+
+    def run(
+        self,
+        seeds: Union[Sequence[SeedLike], ReplicaStreams],
+        max_rounds: Optional[int] = None,
+        initial_states: Optional[np.ndarray] = None,
+        record_leader_counts: bool = True,
+        stop_at_single_leader: bool = True,
+    ) -> BatchResult:
+        """Advance all replicas to convergence or the round budget.
+
+        Parameters
+        ----------
+        seeds:
+            One seed (or generator) per replica — replica ``r`` reproduces
+            ``VectorizedEngine.run(rng=seeds[r])`` exactly — or a prebuilt
+            :class:`ReplicaStreams`.  Generator objects may be advanced up
+            to a prefetch block past the rounds their replica consumed (the
+            results are unaffected; see :class:`ReplicaStreams`).
+        max_rounds:
+            Shared round budget; defaults to :func:`default_round_budget`.
+        initial_states:
+            ``None`` (every node starts in the protocol's initial state), a
+            ``(n,)`` vector shared by all replicas, or a ``(R, n)`` array of
+            per-replica starts.
+        record_leader_counts:
+            Whether to keep per-replica leader-count trajectories (needed
+            for trajectory-level parity checks; cheap, on by default).
+        stop_at_single_leader:
+            Retire replicas as soon as their leader count reaches one.
+        """
+        streams = (
+            seeds if isinstance(seeds, ReplicaStreams) else ReplicaStreams(seeds)
+        )
+        num_replicas = len(streams)
+        if max_rounds is None:
+            max_rounds = default_round_budget(self._topology)
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0; got {max_rounds}")
+
+        n = self._topology.n
+        compiled = self._compiled
+        states = self._initial_batch(initial_states, num_replicas, n)
+
+        counts = compiled.is_leader[states].sum(axis=1).astype(np.int64)
+        convergence = np.where(counts == 1, 0, -1).astype(np.int64)
+        rounds_executed = np.zeros(num_replicas, dtype=np.int64)
+        count_rows: Optional[List[np.ndarray]] = (
+            [counts.copy()] if record_leader_counts else None
+        )
+
+        active_mask = np.ones(num_replicas, dtype=bool)
+        if stop_at_single_leader:
+            active_mask &= counts != 1
+        active = np.flatnonzero(active_mask)
+
+        dense = self._dense_adjacency
+        beep_f32 = self._beep_f32
+        is_leader = compiled.is_leader
+        succ_primary = self._succ_primary_ip
+        succ_secondary = self._succ_secondary_ip
+        primary_probability = compiled.primary_probability
+
+        # Prefetched uniforms: one Generator call per replica per `depth`
+        # rounds instead of one per round (see ReplicaStreams.fill_blocks).
+        depth = max(
+            1, min(128, self.RNG_BUFFER_BYTES // max(1, 8 * num_replicas * n))
+        )
+        rng_buffer = np.empty((depth, num_replicas, n), dtype=np.float64)
+        rng_position = depth
+
+        round_index = 0
+        while round_index < max_rounds and active.size:
+            round_index += 1
+            full = active.size == num_replicas
+
+            sub = states if full else states[active]
+            beeping = beep_f32[sub]
+            if beeping.any():
+                # One product for the whole batch: the adjacency is
+                # symmetric, so row r of the stacked result is exactly what
+                # replica r's standalone run computes.  float32 counts the
+                # beeping neighbours exactly (degrees are far below 2**24).
+                if dense is not None:
+                    heard = (beeping + np.matmul(beeping, dense)) > 0
+                else:
+                    heard = (beeping + self._adjacency.dot(beeping.T).T) > 0
+            else:
+                heard = beeping > 0
+            heard_index = heard.astype(np.intp)
+
+            primary = succ_primary[sub, heard_index]
+            secondary = succ_secondary[sub, heard_index]
+            probability = primary_probability[sub, heard_index]
+            if rng_position == depth:
+                streams.fill_blocks(active, rng_buffer)
+                rng_position = 0
+            uniforms = (
+                rng_buffer[rng_position]
+                if full
+                else rng_buffer[rng_position, active]
+            )
+            rng_position += 1
+            new_states = np.where(uniforms < probability, primary, secondary)
+            if full:
+                states = new_states
+            else:
+                states[active] = new_states
+
+            active_counts = is_leader[new_states].sum(axis=1)
+            hit = active_counts == 1
+            if count_rows is not None:
+                counts[active] = active_counts
+                count_rows.append(counts.copy())
+
+            if stop_at_single_leader:
+                # Retirement-time bookkeeping: a retiring replica's
+                # convergence round is this round (it was never 1 before, or
+                # it would already have retired), and it stops consuming
+                # randomness and work from here on.
+                if hit.any():
+                    retired = active[hit]
+                    convergence[retired] = round_index
+                    counts[retired] = 1
+                    rounds_executed[retired] = round_index
+                    active_mask[retired] = False
+                    active = np.flatnonzero(active_mask)
+            else:
+                # Streak bookkeeping matching the standalone engine: a count
+                # of one sets the convergence round if unset; anything else
+                # clears it.  Without early stopping no replica retires, so
+                # these are whole-batch operations.
+                counts[active] = active_counts
+                convergence = np.where(
+                    hit, np.where(convergence == -1, round_index, convergence), -1
+                )
+
+        if active.size:
+            # Replicas still active when the budget ran out (or that never
+            # entered the loop) executed every round and keep their last
+            # leader count.
+            rounds_executed[active] = round_index
+            counts[active] = is_leader[states[active]].sum(axis=1)
+
+        converged = (convergence != -1) & (counts == 1)
+        leader_node = np.where(
+            counts == 1, is_leader[states].argmax(axis=1), -1
+        ).astype(np.int64)
+
+        leader_counts: Optional[tuple] = None
+        if count_rows is not None:
+            # Replica r was active for rounds 1..rounds_executed[r], so its
+            # trajectory is a prefix column of the stacked count rows.
+            stacked = np.stack(count_rows)
+            leader_counts = tuple(
+                tuple(int(c) for c in stacked[: rounds_executed[r] + 1, r])
+                for r in range(num_replicas)
+            )
+
+        return BatchResult(
+            converged=converged,
+            convergence_round=np.where(converged, convergence, -1),
+            rounds_executed=rounds_executed,
+            final_leader_count=counts,
+            leader_node=leader_node,
+            seeds=streams.seed_values,
+            leader_counts=leader_counts,
+            final_states=states.astype(np.int8),
+            protocol_name=compiled.protocol_name,
+            topology_name=self._topology.name,
+        )
+
+    def _initial_batch(
+        self,
+        initial_states: Optional[np.ndarray],
+        num_replicas: int,
+        n: int,
+    ) -> np.ndarray:
+        # States are kept in intp so that every fancy-indexing gather of the
+        # hot loop avoids numpy's internal index-array conversion.
+        compiled = self._compiled
+        if initial_states is None:
+            return np.full(
+                (num_replicas, n), compiled.initial_state, dtype=np.intp
+            )
+        array = np.asarray(initial_states, dtype=np.intp)
+        if array.shape == (n,):
+            array = np.broadcast_to(array, (num_replicas, n))
+        elif array.shape != (num_replicas, n):
+            raise SimulationError(
+                f"initial_states has shape {array.shape}; expected "
+                f"({n},) or ({num_replicas}, {n})"
+            )
+        if (array < 0).any() or (array >= compiled.num_states).any():
+            raise SimulationError("initial_states contains invalid state values")
+        return array.copy()
+
+
+def run_batch(
+    topology: Topology,
+    protocol: Optional[BeepingProtocol] = None,
+    seeds: Sequence[SeedLike] = (0,),
+    max_rounds: Optional[int] = None,
+) -> BatchResult:
+    """Convenience wrapper: run a batch of BFW (or a given protocol) replicas.
+
+    Examples
+    --------
+    >>> from repro.graphs import cycle_graph
+    >>> result = run_batch(cycle_graph(16), seeds=range(8))
+    >>> bool(result.converged.all())
+    True
+    >>> result.num_replicas
+    8
+    """
+    from repro.core.bfw import BFWProtocol
+
+    engine = BatchedEngine(topology, protocol or BFWProtocol())
+    return engine.run(list(seeds), max_rounds=max_rounds)

@@ -1,0 +1,192 @@
+"""Result container for batched Monte-Carlo executions.
+
+A :class:`BatchResult` is the ``(R, n)``-shaped sibling of
+:class:`~repro.beeping.simulator.SimulationResult`: per-replica convergence
+flags, convergence rounds, executed rounds, final leader counts and leader
+node ids, stored as flat numpy arrays so that sweep aggregation stays
+vectorised.  Individual replicas can still be viewed as ordinary
+:class:`SimulationResult` objects for drop-in reuse by existing reporting
+code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.beeping.simulator import SimulationResult
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of one batched run: ``R`` independent replicas on one graph.
+
+    Attributes
+    ----------
+    converged:
+        Boolean array of shape ``(R,)``.
+    convergence_round:
+        Int array of shape ``(R,)``; ``-1`` where the replica did not
+        converge within its budget.
+    rounds_executed:
+        Int array of shape ``(R,)``; rounds actually simulated per replica
+        (retired replicas stop early).
+    final_leader_count:
+        Int array of shape ``(R,)``.
+    leader_node:
+        Int array of shape ``(R,)``; the elected node id where exactly one
+        leader remains, ``-1`` otherwise.
+    seeds:
+        Per-replica integer seed where known, ``None`` otherwise.
+    leader_counts:
+        Optional per-replica leader-count trajectories (round 0 included).
+    final_states:
+        Optional ``(R, n)`` array of final integer states (absent when the
+        batch was assembled from memory-protocol runs).
+    protocol_name, topology_name:
+        Provenance metadata.
+    """
+
+    converged: np.ndarray
+    convergence_round: np.ndarray
+    rounds_executed: np.ndarray
+    final_leader_count: np.ndarray
+    leader_node: np.ndarray
+    seeds: Tuple[Optional[int], ...]
+    leader_counts: Optional[Tuple[Tuple[int, ...], ...]] = None
+    final_states: Optional[np.ndarray] = None
+    protocol_name: str = ""
+    topology_name: str = ""
+
+    def __post_init__(self) -> None:
+        shapes = {
+            self.converged.shape,
+            self.convergence_round.shape,
+            self.rounds_executed.shape,
+            self.final_leader_count.shape,
+            self.leader_node.shape,
+            (len(self.seeds),),
+        }
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                f"inconsistent per-replica array shapes in BatchResult: {shapes}"
+            )
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas ``R`` in the batch."""
+        return int(self.converged.shape[0])
+
+    @property
+    def convergence_rate(self) -> float:
+        """Fraction of replicas that elected a single leader in budget."""
+        return float(self.converged.mean()) if self.num_replicas else 0.0
+
+    @property
+    def total_replica_rounds(self) -> int:
+        """Sum of simulated rounds over all replicas (throughput unit)."""
+        return int(self.rounds_executed.sum())
+
+    def effective_rounds(self) -> np.ndarray:
+        """Convergence round where converged, executed rounds otherwise.
+
+        This is the quantity every sweep aggregates (mean/median/q95 rounds).
+        """
+        return np.where(
+            self.converged, self.convergence_round, self.rounds_executed
+        ).astype(np.int64)
+
+    def replica(self, index: int) -> SimulationResult:
+        """View replica ``index`` as an ordinary :class:`SimulationResult`."""
+        converged = bool(self.converged[index])
+        counts: Tuple[int, ...] = ()
+        if self.leader_counts is not None:
+            counts = tuple(self.leader_counts[index])
+        return SimulationResult(
+            converged=converged,
+            convergence_round=(
+                int(self.convergence_round[index]) if converged else None
+            ),
+            rounds_executed=int(self.rounds_executed[index]),
+            final_leader_count=int(self.final_leader_count[index]),
+            leader_counts=counts,
+            protocol_name=self.protocol_name,
+            topology_name=self.topology_name,
+            seed=self.seeds[index],
+        )
+
+    def to_simulation_results(self) -> Tuple[SimulationResult, ...]:
+        """All replicas as standalone results, in batch order."""
+        return tuple(self.replica(i) for i in range(self.num_replicas))
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        """Per-replica plain dictionaries for JSON/CSV serialisation."""
+        return [
+            {
+                "replica": index,
+                "seed": self.seeds[index],
+                "converged": bool(self.converged[index]),
+                "convergence_round": (
+                    int(self.convergence_round[index])
+                    if self.converged[index]
+                    else None
+                ),
+                "rounds_executed": int(self.rounds_executed[index]),
+                "final_leader_count": int(self.final_leader_count[index]),
+                "leader_node": int(self.leader_node[index]),
+                "protocol_name": self.protocol_name,
+                "topology_name": self.topology_name,
+            }
+            for index in range(self.num_replicas)
+        ]
+
+    @classmethod
+    def from_simulation_results(
+        cls,
+        results: Sequence[SimulationResult],
+        seeds: Optional[Sequence[Optional[int]]] = None,
+        leader_nodes: Optional[Sequence[int]] = None,
+    ) -> "BatchResult":
+        """Assemble a batch from per-replica single runs (the fallback path).
+
+        Memory-protocol baselines do not expose final state vectors, so
+        ``final_states`` is left ``None`` and ``leader_node`` defaults to
+        ``-1`` unless provided.
+        """
+        if not results:
+            raise ConfigurationError("cannot assemble a BatchResult from 0 runs")
+        if seeds is None:
+            seeds = [result.seed for result in results]
+        if len(seeds) != len(results):
+            raise ConfigurationError(
+                f"{len(seeds)} seeds for {len(results)} results"
+            )
+        if leader_nodes is None:
+            leader_nodes = [-1] * len(results)
+        return cls(
+            converged=np.array([r.converged for r in results], dtype=bool),
+            convergence_round=np.array(
+                [
+                    r.convergence_round if r.convergence_round is not None else -1
+                    for r in results
+                ],
+                dtype=np.int64,
+            ),
+            rounds_executed=np.array(
+                [r.rounds_executed for r in results], dtype=np.int64
+            ),
+            final_leader_count=np.array(
+                [r.final_leader_count for r in results], dtype=np.int64
+            ),
+            leader_node=np.array(leader_nodes, dtype=np.int64),
+            seeds=tuple(
+                int(seed) if seed is not None else None for seed in seeds
+            ),
+            leader_counts=tuple(tuple(r.leader_counts) for r in results),
+            final_states=None,
+            protocol_name=results[0].protocol_name,
+            topology_name=results[0].topology_name,
+        )

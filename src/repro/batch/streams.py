@@ -1,0 +1,105 @@
+"""Per-replica random-number streams for the batched engine.
+
+The batched engine advances ``R`` independent replicas in lockstep, but each
+replica must consume randomness from *its own* generator so that replica
+``r`` of a batch is bit-for-bit identical to a standalone
+:class:`~repro.beeping.engine.VectorizedEngine` run seeded the same way.
+This module owns that bookkeeping: turning a heterogeneous sequence of seeds
+(ints, generators, ``None``) into one generator per replica, and filling the
+per-round ``(R, n)`` uniform block row by row from the streams that are
+still active.
+
+Drawing row by row costs ``R`` calls to ``Generator.random`` per round —
+each a single C call — which is negligible next to the Python-level round
+loop the batch amortises away, and it is the only scheme that preserves
+exact parity with the single-run engine (independent ``Generator`` streams
+cannot be merged into one draw).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+class ReplicaStreams:
+    """One independent ``numpy`` generator per replica of a batch.
+
+    Parameters
+    ----------
+    seeds:
+        One entry per replica: an integer seed (recorded as provenance and
+        passed to :func:`numpy.random.default_rng`), an existing generator
+        (used as-is, recorded seed ``None``), or ``None`` (OS entropy).
+
+    .. warning::
+        The batched engine prefetches uniforms in blocks, so a stream may be
+        advanced up to a block beyond the rounds its replica actually
+        consumed.  The replica's *results* are unaffected, but a caller who
+        passes a ``Generator`` object and keeps drawing from it afterwards
+        will not observe the post-run state a standalone
+        ``VectorizedEngine.run`` would leave.  Pass integer seeds when the
+        generator's state matters beyond the run.
+    """
+
+    def __init__(self, seeds: Sequence[SeedLike]) -> None:
+        if len(seeds) == 0:
+            raise ConfigurationError("a batch needs at least one replica seed")
+        self._seed_values: Tuple[Optional[int], ...] = tuple(
+            int(seed) if isinstance(seed, (int, np.integer)) else None
+            for seed in seeds
+        )
+        self._generators: List[np.random.Generator] = [
+            seed if isinstance(seed, np.random.Generator)
+            else np.random.default_rng(seed)
+            for seed in seeds
+        ]
+
+    def __len__(self) -> int:
+        return len(self._generators)
+
+    @property
+    def seed_values(self) -> Tuple[Optional[int], ...]:
+        """Integer seed per replica where known, ``None`` otherwise."""
+        return self._seed_values
+
+    def generator(self, replica: int) -> np.random.Generator:
+        """The generator backing one replica's stream."""
+        return self._generators[replica]
+
+    def fill_blocks(self, active: np.ndarray, out: np.ndarray) -> None:
+        """Prefetch ``out.shape[0]`` rounds of uniforms for each active replica.
+
+        ``out`` has shape ``(depth, R, n)``; ``out[k, r]`` receives the
+        ``k``-th upcoming round of replica ``r``'s stream.  A single
+        ``Generator.random((depth, n))`` call produces exactly the same
+        numbers as ``depth`` successive ``random(n)`` calls (the generator
+        emits one flat stream of doubles, filled row-major), so prefetching
+        preserves bit-for-bit parity with the standalone engine while
+        amortising the per-replica Python call over ``depth`` rounds.
+        """
+        depth, _, n = out.shape
+        for replica in active:
+            out[:, replica, :] = self._generators[replica].random((depth, n))
+
+
+def independent_streams(master_seed: int, count: int) -> ReplicaStreams:
+    """``count`` statistically independent streams spawned from one seed.
+
+    Uses ``SeedSequence.spawn``, so streams do not overlap.  Note these are
+    *not* the streams of any integer-seeded single run; for parity with a
+    loop over ``VectorizedEngine.run(rng=seed)`` build the streams from the
+    same integer seeds instead (see
+    :func:`repro.experiments.seeds.trial_seeds`).
+    """
+    if count < 1:
+        raise ConfigurationError(f"count must be >= 1; got {count}")
+    sequence = np.random.SeedSequence(master_seed)
+    return ReplicaStreams(
+        [np.random.default_rng(child) for child in sequence.spawn(count)]
+    )

@@ -8,7 +8,8 @@ Every experiment in DESIGN.md can be regenerated from the command line:
     repro run --protocol bfw --graph path --n 64 --seed 1
     repro table1 --seeds 10
     repro scaling --mode uniform --diameters 8 16 32 64
-    repro scaling --mode nonuniform --diameters 8 16 32 64
+    repro scaling --mode nonuniform --diameters 8 16 32 64 --replicas 32 --batched
+    repro montecarlo --protocol bfw --graph cycle --n 200 --replicas 64
     repro lower-bound --diameters 8 16 32 64
     repro ablation
     repro wave-demo --n 40
@@ -77,7 +78,31 @@ def build_parser() -> argparse.ArgumentParser:
         "--diameters", type=int, nargs="+", default=[8, 16, 32, 64]
     )
     scaling_parser.add_argument("--seeds", type=int, default=10)
+    scaling_parser.add_argument(
+        "--replicas", type=int, default=None,
+        help="Replicas per diameter (overrides --seeds).",
+    )
+    scaling_parser.add_argument(
+        "--batched", action="store_true",
+        help="Advance all replicas of a diameter in one batched state array "
+        "(identical results, faster).",
+    )
     scaling_parser.add_argument("--master-seed", type=int, default=2)
+
+    montecarlo_parser = subparsers.add_parser(
+        "montecarlo",
+        help="Run R seeded replicas of one configuration with the batched engine.",
+    )
+    montecarlo_parser.add_argument("--protocol", default="bfw")
+    montecarlo_parser.add_argument("--graph", default="cycle")
+    montecarlo_parser.add_argument("--n", type=int, default=64)
+    montecarlo_parser.add_argument("--replicas", type=int, default=32)
+    montecarlo_parser.add_argument("--master-seed", type=int, default=None)
+    montecarlo_parser.add_argument("--max-rounds", type=int, default=None)
+    montecarlo_parser.add_argument(
+        "--save-json", default=None,
+        help="Write per-replica outcomes to this JSON file.",
+    )
 
     crossover_parser = subparsers.add_parser(
         "crossover", help="Uniform vs non-uniform BFW speed-up factors."
@@ -123,6 +148,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "run": _cmd_run,
         "table1": _cmd_table1,
         "scaling": _cmd_scaling,
+        "montecarlo": _cmd_montecarlo,
         "crossover": _cmd_crossover,
         "lower-bound": _cmd_lower_bound,
         "ablation": _cmd_ablation,
@@ -199,11 +225,40 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         mode=args.mode,
         family=args.family,
         diameters=args.diameters,
-        num_seeds=args.seeds,
+        num_seeds=args.replicas if args.replicas is not None else args.seeds,
         master_seed=args.master_seed,
+        batched=args.batched,
     )
     print(result.render())
     return 0
+
+
+def _cmd_montecarlo(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.experiments.montecarlo import run_monte_carlo
+    from repro.experiments.seeds import DEFAULT_MASTER_SEED
+
+    report = run_monte_carlo(
+        protocol=args.protocol,
+        graph=args.graph,
+        n=args.n,
+        replicas=args.replicas,
+        master_seed=(
+            args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
+        ),
+        max_rounds=args.max_rounds,
+    )
+    print(report.render())
+    if args.save_json:
+        destination = Path(args.save_json)
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        destination.write_text(
+            json.dumps(report.result.as_dicts(), indent=2), encoding="utf-8"
+        )
+        print(f"\nper-replica outcomes written to {args.save_json}")
+    return 0 if report.convergence_rate == 1.0 else 2
 
 
 def _cmd_crossover(args: argparse.Namespace) -> int:

@@ -28,15 +28,22 @@ from repro.experiments.results import (
     aggregate_records,
     records_to_arrays,
 )
+from repro.experiments.montecarlo import (
+    MonteCarloReport,
+    MonteCarloRunner,
+    run_monte_carlo,
+)
 from repro.experiments.runner import (
     BASELINE_NAMES,
     instantiate_protocol,
+    run_protocol_batch_on,
     run_protocol_on,
     run_sweep,
     run_trial,
 )
 from repro.experiments.seeds import (
     DEFAULT_MASTER_SEED,
+    replica_streams,
     rng_from,
     spawn_seeds,
     trial_seeds,
@@ -59,6 +66,8 @@ __all__ = [
     "DEFAULT_TABLE1_PROTOCOLS",
     "GraphSpec",
     "LowerBoundResult",
+    "MonteCarloReport",
+    "MonteCarloRunner",
     "ProtocolSpecConfig",
     "ScalingResult",
     "SweepConfig",
@@ -74,7 +83,10 @@ __all__ = [
     "load_records_json",
     "lower_bound_experiment",
     "records_to_arrays",
+    "replica_streams",
     "rng_from",
+    "run_monte_carlo",
+    "run_protocol_batch_on",
     "run_protocol_on",
     "run_sweep",
     "run_trial",

@@ -1,0 +1,192 @@
+"""Monte-Carlo replica runs: one batched execution per (protocol, graph) cell.
+
+The sweeps behind every statistical claim of the paper run dozens of
+independently seeded replicas per configuration.  :class:`MonteCarloRunner`
+is the experiment-facing router for that workload:
+
+* constant-state beeping protocols (BFW and the ablation variants) go
+  through :class:`~repro.batch.engine.BatchedEngine`, which advances all
+  replicas in one ``(R, n)`` state array and retires converged replicas in
+  place;
+* memory protocols and standalone baseline runners keep their existing
+  per-seed path through
+  :func:`~repro.experiments.runner.run_protocol_on`, and their results are
+  assembled into the same :class:`~repro.batch.results.BatchResult` shape.
+
+Because the batched engine is replica-for-replica identical to a loop of
+single runs under matched seeds, routing through the runner never changes
+experiment output — only how fast it arrives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.engine import BatchedEngine
+from repro.batch.results import BatchResult
+from repro.batch.streams import SeedLike
+from repro.core.protocol import BeepingProtocol
+from repro.errors import ConfigurationError
+from repro.experiments.runner import instantiate_protocol, run_protocol_on
+from repro.experiments.seeds import DEFAULT_MASTER_SEED, rng_from, trial_seeds
+from repro.graphs.generators import make_graph
+from repro.graphs.topology import Topology
+from repro.stats.summary import Summary, summarize_sample
+from repro.viz.table_format import render_table
+
+
+@dataclass(frozen=True)
+class MonteCarloRunner:
+    """Route replica batches to the fastest engine that preserves results.
+
+    Parameters
+    ----------
+    max_rounds:
+        Default round budget applied when ``run`` is not given one.
+    record_leader_counts:
+        Whether batched runs keep per-replica leader-count trajectories
+        (off by default: sweeps only aggregate convergence rounds).
+    """
+
+    max_rounds: Optional[int] = None
+    record_leader_counts: bool = False
+
+    def run(
+        self,
+        topology: Topology,
+        protocol: object,
+        seeds: Sequence[SeedLike],
+        max_rounds: Optional[int] = None,
+    ) -> BatchResult:
+        """Run one replica per seed and return the batch outcome.
+
+        Constant-state protocols advance in a single batched state array;
+        anything else falls back to a per-seed loop with identical results.
+        """
+        if len(seeds) == 0:
+            raise ConfigurationError("a Monte-Carlo run needs at least one seed")
+        budget = max_rounds if max_rounds is not None else self.max_rounds
+        if isinstance(protocol, BeepingProtocol):
+            engine = BatchedEngine(topology, protocol)
+            return engine.run(
+                list(seeds),
+                max_rounds=budget,
+                record_leader_counts=self.record_leader_counts,
+            )
+        results = [
+            run_protocol_on(topology, protocol, rng=seed, max_rounds=budget)
+            for seed in seeds
+        ]
+        return BatchResult.from_simulation_results(
+            results,
+            seeds=[
+                int(seed) if isinstance(seed, (int, np.integer)) else None
+                for seed in seeds
+            ],
+        )
+
+
+@dataclass(frozen=True)
+class MonteCarloReport:
+    """Rendered summary of one ``repro montecarlo`` invocation."""
+
+    protocol: str
+    graph: str
+    n: int
+    diameter: int
+    num_replicas: int
+    batched: bool
+    rounds: Summary
+    convergence_rate: float
+    #: Number of distinct elected nodes across converged replicas, or
+    #: ``None`` when leader identities are unavailable (the per-seed loop
+    #: path does not record them).
+    distinct_leaders: Optional[int]
+    total_replica_rounds: int
+    elapsed_seconds: float
+    result: BatchResult
+
+    @property
+    def replica_rounds_per_second(self) -> float:
+        """Throughput in simulated replica-rounds per wall-clock second."""
+        return self.total_replica_rounds / max(self.elapsed_seconds, 1e-9)
+
+    def render(self) -> str:
+        """Plain-text report table."""
+        rows = [
+            ("replicas", self.num_replicas),
+            ("engine", "batched" if self.batched else "per-seed loop"),
+            ("convergence rate", self.convergence_rate),
+            ("mean rounds", self.rounds.mean),
+            ("median rounds", self.rounds.median),
+            ("q95 rounds", self.rounds.q95),
+            (
+                "distinct leaders",
+                "unknown" if self.distinct_leaders is None else self.distinct_leaders,
+            ),
+            ("replica-rounds", self.total_replica_rounds),
+            ("replica-rounds/sec", round(self.replica_rounds_per_second)),
+        ]
+        return render_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"Monte Carlo — {self.protocol} on {self.graph} "
+                f"(n={self.n}, D={self.diameter})"
+            ),
+        )
+
+
+def run_monte_carlo(
+    protocol: str = "bfw",
+    graph: str = "cycle",
+    n: int = 64,
+    replicas: int = 32,
+    master_seed: int = DEFAULT_MASTER_SEED,
+    max_rounds: Optional[int] = None,
+    params: Optional[dict] = None,
+) -> MonteCarloReport:
+    """Run ``replicas`` seeded executions of one configuration and summarise.
+
+    The per-replica seeds come from :func:`trial_seeds` under the experiment
+    key ``montecarlo/<protocol>/<graph>/<n>``, so the run is reproducible
+    from ``master_seed`` alone.  On deterministic graph families (paths,
+    cycles, grids, …) each replica can also be re-run in isolation with
+    ``repro run --seed <seed>``; randomised families (geometric,
+    Erdős–Rényi) are seeded from ``master_seed`` here but from ``--seed``
+    by ``repro run``, so the standalone command rebuilds a different graph.
+    """
+    if replicas < 1:
+        raise ConfigurationError(f"replicas must be >= 1; got {replicas}")
+    graph_rng = rng_from(master_seed, "montecarlo-graph", graph, n)
+    topology = make_graph(graph, n, rng=graph_rng)
+    protocol_obj = instantiate_protocol(protocol, topology, dict(params or {}))
+    seeds = trial_seeds(master_seed, f"montecarlo/{protocol}/{graph}/{n}", replicas)
+
+    runner = MonteCarloRunner(max_rounds=max_rounds)
+    start = time.perf_counter()
+    batch = runner.run(topology, protocol_obj, seeds)
+    elapsed = time.perf_counter() - start
+
+    return MonteCarloReport(
+        protocol=protocol,
+        graph=topology.name,
+        n=topology.n,
+        diameter=topology.diameter(),
+        num_replicas=batch.num_replicas,
+        batched=isinstance(protocol_obj, BeepingProtocol),
+        rounds=summarize_sample([float(r) for r in batch.effective_rounds()]),
+        convergence_rate=batch.convergence_rate,
+        distinct_leaders=(
+            int(np.unique(batch.leader_node[batch.converged]).size)
+            if batch.final_states is not None
+            else None
+        ),
+        total_replica_rounds=batch.total_replica_rounds,
+        elapsed_seconds=elapsed,
+        result=batch,
+    )

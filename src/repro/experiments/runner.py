@@ -111,6 +111,31 @@ def run_protocol_on(
     )
 
 
+def run_protocol_batch_on(
+    topology: Topology,
+    protocol: object,
+    seeds: Sequence[RngLike],
+    max_rounds: Optional[int] = None,
+):
+    """Run one seeded replica per entry of ``seeds`` and return a batch.
+
+    Constant-state protocols advance together in a
+    :class:`~repro.batch.engine.BatchedEngine`; memory protocols and
+    standalone runners loop over :func:`run_protocol_on`.  Under matched
+    seeds the outcome is replica-for-replica identical to that loop either
+    way — see :class:`~repro.experiments.montecarlo.MonteCarloRunner`.
+
+    Returns
+    -------
+    repro.batch.results.BatchResult
+    """
+    from repro.experiments.montecarlo import MonteCarloRunner
+
+    return MonteCarloRunner(max_rounds=max_rounds).run(
+        topology, protocol, list(seeds)
+    )
+
+
 def run_trial(trial: TrialConfig) -> TrialRecord:
     """Execute one trial described by a :class:`TrialConfig`."""
     graph_rng = rng_from(trial.graph.seed, "graph", trial.graph.family, trial.graph.n)
@@ -136,6 +161,7 @@ def run_trial(trial: TrialConfig) -> TrialRecord:
 def run_sweep(
     sweep: SweepConfig,
     progress: Optional[Callable[[str], None]] = None,
+    batched: bool = False,
 ) -> Tuple[TrialRecord, ...]:
     """Run every (protocol, graph, seed) combination of a sweep.
 
@@ -146,6 +172,11 @@ def run_sweep(
     progress:
         Optional callback invoked with a human-readable line after each cell
         (used by the CLI to report progress).
+    batched:
+        Route each cell's replicas through the batched Monte-Carlo engine
+        where the protocol allows it.  The records are identical to the
+        per-trial loop (the batched engine reproduces each seeded run
+        exactly); only the wall-clock changes.
     """
     records = []
     for protocol_spec, graph_spec in sweep.cells():
@@ -154,14 +185,19 @@ def run_sweep(
             f"{sweep.name}/{protocol_spec.label}/{graph_spec.label}",
             sweep.num_seeds,
         )
-        for seed in seeds:
-            trial = TrialConfig(
-                protocol=protocol_spec,
-                graph=graph_spec,
-                seed=seed,
-                max_rounds=sweep.max_rounds,
+        if batched:
+            records.extend(
+                _run_cell_batched(protocol_spec, graph_spec, seeds, sweep.max_rounds)
             )
-            records.append(run_trial(trial))
+        else:
+            for seed in seeds:
+                trial = TrialConfig(
+                    protocol=protocol_spec,
+                    graph=graph_spec,
+                    seed=seed,
+                    max_rounds=sweep.max_rounds,
+                )
+                records.append(run_trial(trial))
         if progress is not None:
             cell_records = [
                 r
@@ -183,3 +219,37 @@ def run_sweep(
                 f"mean rounds: {mean_rounds:10.1f}"
             )
     return tuple(records)
+
+
+def _run_cell_batched(
+    protocol_spec: ProtocolSpecConfig,
+    graph_spec: GraphSpec,
+    seeds: Sequence[int],
+    max_rounds: Optional[int],
+) -> Tuple[TrialRecord, ...]:
+    """All replicas of one (protocol, graph) cell as a single batch.
+
+    The graph generator is reseeded exactly as :func:`run_trial` reseeds it,
+    so every replica of the cell sees the same topology instance the
+    per-trial loop would rebuild.
+    """
+    graph_rng = rng_from(graph_spec.seed, "graph", graph_spec.family, graph_spec.n)
+    topology = make_graph(graph_spec.family, graph_spec.n, rng=graph_rng)
+    protocol = instantiate_protocol(
+        protocol_spec.name, topology, dict(protocol_spec.params)
+    )
+    batch = run_protocol_batch_on(topology, protocol, seeds, max_rounds=max_rounds)
+    diameter = topology.diameter()
+    return tuple(
+        TrialRecord(
+            protocol=protocol_spec.label,
+            graph=graph_spec.label,
+            n=topology.n,
+            diameter=diameter,
+            seed=seed,
+            converged=result.converged,
+            convergence_round=result.convergence_round,
+            rounds_executed=result.rounds_executed,
+        )
+        for seed, result in zip(seeds, batch.to_simulation_results())
+    )

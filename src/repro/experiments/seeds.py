@@ -55,3 +55,20 @@ def trial_seeds(
         raise ConfigurationError(f"num_trials must be >= 0; got {num_trials}")
     base = rng_from(master_seed, experiment)
     return tuple(int(value) for value in base.integers(0, 2**31 - 1, size=num_trials))
+
+
+def replica_streams(master_seed: int, experiment: str, num_replicas: int):
+    """Per-replica generator streams for a batched Monte-Carlo run.
+
+    The streams are built from the same integer seeds that
+    :func:`trial_seeds` hands to a loop of single runs, so a
+    :class:`~repro.batch.engine.BatchedEngine` fed these streams reproduces
+    that loop replica for replica.
+
+    Returns
+    -------
+    repro.batch.streams.ReplicaStreams
+    """
+    from repro.batch.streams import ReplicaStreams
+
+    return ReplicaStreams(trial_seeds(master_seed, experiment, num_replicas))

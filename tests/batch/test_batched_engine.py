@@ -1,0 +1,128 @@
+"""Behavioural tests for the batched Monte-Carlo engine."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchedEngine, BatchResult, run_batch
+from repro.beeping.adversary import planted_leaders_initial_states
+from repro.core.bfw import BFWProtocol
+from repro.errors import ConfigurationError, SimulationError
+from repro.graphs.generators import cycle_graph, path_graph
+
+
+@pytest.fixture
+def engine():
+    return BatchedEngine(cycle_graph(20), BFWProtocol())
+
+
+def test_all_replicas_converge_to_single_leaders(engine):
+    result = engine.run(list(range(10)))
+    assert result.num_replicas == 10
+    assert result.converged.all()
+    assert result.convergence_rate == 1.0
+    assert (result.final_leader_count == 1).all()
+    assert ((0 <= result.leader_node) & (result.leader_node < 20)).all()
+    # the recorded leader id is the unique leader in the final states
+    leaders = engine.compiled.is_leader[result.final_states]
+    assert (leaders.sum(axis=1) == 1).all()
+    np.testing.assert_array_equal(leaders.argmax(axis=1), result.leader_node)
+
+
+def test_retired_replicas_stop_early(engine):
+    result = engine.run(list(range(16)))
+    rounds = result.rounds_executed
+    # convergence rounds differ across seeds, so retirement must too
+    assert rounds.min() < rounds.max()
+    np.testing.assert_array_equal(result.convergence_round, rounds)
+
+
+def test_zero_round_budget_executes_nothing(engine):
+    result = engine.run([1, 2, 3], max_rounds=0)
+    assert (result.rounds_executed == 0).all()
+    assert not result.converged.any()
+    assert (result.final_leader_count == 20).all()
+
+
+def test_negative_budget_rejected(engine):
+    with pytest.raises(ConfigurationError):
+        engine.run([1], max_rounds=-1)
+
+
+def test_shared_initial_states_broadcast():
+    topology = path_graph(11)
+    initial = planted_leaders_initial_states(topology, (0, topology.n - 1))
+    engine = BatchedEngine(topology, BFWProtocol())
+    result = engine.run(list(range(6)), initial_states=initial)
+    assert result.converged.all()
+    # both planted leaders fight, so convergence takes at least one round
+    assert (result.convergence_round >= 1).all()
+
+
+def test_per_replica_initial_states():
+    topology = cycle_graph(12)
+    engine = BatchedEngine(topology, BFWProtocol())
+    single = engine.run([5], max_rounds=50, stop_at_single_leader=False)
+    stacked = np.vstack([single.final_states[0]] * 3)
+    resumed = engine.run([1, 2, 3], initial_states=stacked, max_rounds=0)
+    np.testing.assert_array_equal(resumed.final_states, stacked)
+
+
+def test_invalid_initial_state_shapes_and_values_rejected(engine):
+    with pytest.raises(SimulationError):
+        engine.run([1, 2], initial_states=np.zeros(7, dtype=int))
+    with pytest.raises(SimulationError):
+        engine.run([1, 2], initial_states=np.full(20, 99, dtype=int))
+
+
+def test_trajectories_are_recorded_per_replica(engine):
+    result = engine.run([4, 5], record_leader_counts=True)
+    assert result.leader_counts is not None
+    for replica in range(2):
+        trajectory = result.leader_counts[replica]
+        assert len(trajectory) == result.rounds_executed[replica] + 1
+        assert trajectory[0] == 20
+        assert trajectory[-1] == 1
+
+
+def test_no_stop_runs_every_replica_to_budget(engine):
+    result = engine.run([1, 2, 3], max_rounds=40, stop_at_single_leader=False)
+    assert (result.rounds_executed == 40).all()
+    assert result.leader_counts is not None
+    assert all(len(t) == 41 for t in result.leader_counts)
+
+
+def test_run_batch_wrapper_defaults_to_bfw():
+    result = run_batch(cycle_graph(16), seeds=range(8))
+    assert result.num_replicas == 8
+    assert result.protocol_name == "bfw"
+    assert result.converged.all()
+
+
+def test_result_helpers_round_trip(engine):
+    result = engine.run([7, 8, 9])
+    singles = result.to_simulation_results()
+    assert [s.seed for s in singles] == [7, 8, 9]
+    assert all(s.converged for s in singles)
+    payload = result.as_dicts()
+    assert [row["replica"] for row in payload] == [0, 1, 2]
+    assert all(row["final_leader_count"] == 1 for row in payload)
+    effective = result.effective_rounds()
+    np.testing.assert_array_equal(effective, result.convergence_round)
+    assert result.total_replica_rounds == int(result.rounds_executed.sum())
+
+
+def test_batch_result_shape_mismatch_rejected():
+    with pytest.raises(ConfigurationError):
+        BatchResult(
+            converged=np.zeros(2, dtype=bool),
+            convergence_round=np.zeros(3, dtype=np.int64),
+            rounds_executed=np.zeros(2, dtype=np.int64),
+            final_leader_count=np.zeros(2, dtype=np.int64),
+            leader_node=np.zeros(2, dtype=np.int64),
+            seeds=(1, 2),
+        )
+
+
+def test_from_simulation_results_requires_runs():
+    with pytest.raises(ConfigurationError):
+        BatchResult.from_simulation_results([])

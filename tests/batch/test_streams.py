@@ -1,0 +1,61 @@
+"""Tests for per-replica random streams."""
+
+import numpy as np
+import pytest
+
+from repro.batch.streams import ReplicaStreams, independent_streams
+from repro.errors import ConfigurationError
+
+
+def test_seed_values_record_ints_and_mask_generators():
+    streams = ReplicaStreams([7, np.random.default_rng(1), None, 12])
+    assert len(streams) == 4
+    assert streams.seed_values == (7, None, None, 12)
+
+
+def test_empty_seed_list_rejected():
+    with pytest.raises(ConfigurationError):
+        ReplicaStreams([])
+
+
+def test_generator_seeds_used_verbatim():
+    generator = np.random.default_rng(5)
+    expected = np.random.default_rng(5).random(3)
+    streams = ReplicaStreams([generator])
+    np.testing.assert_array_equal(streams.generator(0).random(3), expected)
+
+
+def test_fill_blocks_matches_successive_round_draws():
+    streams = ReplicaStreams([9, 10])
+    out = np.empty((4, 2, 5))
+    streams.fill_blocks(np.array([0, 1]), out)
+    for replica, seed in enumerate((9, 10)):
+        reference = np.random.default_rng(seed)
+        for round_index in range(4):
+            np.testing.assert_array_equal(
+                out[round_index, replica], reference.random(5)
+            )
+
+
+def test_fill_blocks_skips_inactive_replicas():
+    streams = ReplicaStreams([3, 4, 5])
+    out = np.zeros((2, 3, 6))
+    streams.fill_blocks(np.array([0, 2]), out)
+    # replica 1 was inactive: its rows are untouched and its stream must
+    # not have advanced
+    np.testing.assert_array_equal(out[:, 1, :], np.zeros((2, 6)))
+    np.testing.assert_array_equal(
+        streams.generator(1).random(6), np.random.default_rng(4).random(6)
+    )
+
+
+def test_independent_streams_are_distinct_and_reproducible():
+    first = independent_streams(123, 3)
+    second = independent_streams(123, 3)
+    draws_first = [first.generator(i).random(4) for i in range(3)]
+    draws_second = [second.generator(i).random(4) for i in range(3)]
+    for a, b in zip(draws_first, draws_second):
+        np.testing.assert_array_equal(a, b)
+    assert not np.allclose(draws_first[0], draws_first[1])
+    with pytest.raises(ConfigurationError):
+        independent_streams(1, 0)

@@ -1,0 +1,120 @@
+"""Tests for the Monte-Carlo runner and its sweep wiring."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GilbertNewportKnockout
+from repro.core.bfw import BFWProtocol
+from repro.errors import ConfigurationError
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
+from repro.experiments.figures import scaling_experiment
+from repro.experiments.montecarlo import (
+    MonteCarloRunner,
+    run_monte_carlo,
+)
+from repro.experiments.runner import run_protocol_batch_on, run_sweep
+from repro.experiments.seeds import replica_streams, trial_seeds
+from repro.graphs.generators import cycle_graph, path_graph
+
+
+def test_runner_routes_constant_state_protocols_to_batched_engine():
+    batch = MonteCarloRunner().run(cycle_graph(16), BFWProtocol(), [1, 2, 3])
+    assert batch.num_replicas == 3
+    assert batch.final_states is not None  # batched path carries states
+    assert batch.converged.all()
+
+
+def test_runner_keeps_memory_protocols_on_the_loop_path():
+    topology = cycle_graph(8)
+    protocol = GilbertNewportKnockout()
+    batch = MonteCarloRunner().run(topology, protocol, [1, 2])
+    assert batch.num_replicas == 2
+    assert batch.final_states is None  # assembled from single runs
+    assert batch.seeds == (1, 2)
+
+
+def test_report_marks_unknown_leader_identities_on_the_loop_path():
+    report = run_monte_carlo(
+        protocol="gilbert-newport", graph="cycle", n=8, replicas=2, master_seed=1
+    )
+    assert report.batched is False
+    assert report.distinct_leaders is None
+    assert "unknown" in report.render()
+
+
+def test_runner_rejects_empty_seed_list():
+    with pytest.raises(ConfigurationError):
+        MonteCarloRunner().run(cycle_graph(8), BFWProtocol(), [])
+
+
+def test_batch_matches_loop_for_memory_protocols():
+    from repro.experiments.runner import run_protocol_on
+
+    topology = cycle_graph(8)
+    seeds = [3, 4, 5]
+    batch = run_protocol_batch_on(topology, GilbertNewportKnockout(), seeds)
+    for index, seed in enumerate(seeds):
+        single = run_protocol_on(topology, GilbertNewportKnockout(), rng=seed)
+        replica = batch.replica(index)
+        assert replica.converged == single.converged
+        assert replica.convergence_round == single.convergence_round
+        assert replica.rounds_executed == single.rounds_executed
+
+
+def test_run_sweep_batched_records_are_identical():
+    sweep = SweepConfig(
+        name="parity-sweep",
+        protocols=(
+            ProtocolSpecConfig("bfw"),
+            ProtocolSpecConfig("gilbert-newport"),
+        ),
+        graphs=(GraphSpec("cycle", 16), GraphSpec("path", 9)),
+        num_seeds=5,
+        master_seed=11,
+    )
+    assert run_sweep(sweep) == run_sweep(sweep, batched=True)
+
+
+def test_scaling_experiment_batched_is_identical():
+    kwargs = dict(
+        mode="uniform", family="cycle", diameters=(4, 8), num_seeds=4, master_seed=6
+    )
+    looped = scaling_experiment(**kwargs)
+    batched = scaling_experiment(batched=True, **kwargs)
+    assert looped.points == batched.points
+    assert looped.power_law == batched.power_law
+
+
+def test_run_monte_carlo_is_reproducible_and_seeded_from_trial_seeds():
+    first = run_monte_carlo(
+        protocol="bfw", graph="cycle", n=24, replicas=6, master_seed=9
+    )
+    second = run_monte_carlo(
+        protocol="bfw", graph="cycle", n=24, replicas=6, master_seed=9
+    )
+    np.testing.assert_array_equal(
+        first.result.effective_rounds(), second.result.effective_rounds()
+    )
+    np.testing.assert_array_equal(first.result.leader_node, second.result.leader_node)
+    assert first.result.seeds == trial_seeds(9, "montecarlo/bfw/cycle/24", 6)
+    assert first.convergence_rate == 1.0
+    assert first.num_replicas == 6
+    assert 1 <= first.distinct_leaders <= 6
+    rendered = first.render()
+    assert "Monte Carlo" in rendered
+    assert "replica-rounds/sec" in rendered
+
+
+def test_run_monte_carlo_rejects_bad_replica_count():
+    with pytest.raises(ConfigurationError):
+        run_monte_carlo(replicas=0)
+
+
+def test_replica_streams_match_trial_seed_generators():
+    streams = replica_streams(4, "exp", 3)
+    assert streams.seed_values == trial_seeds(4, "exp", 3)
+    for index, seed in enumerate(streams.seed_values):
+        np.testing.assert_array_equal(
+            streams.generator(index).random(4),
+            np.random.default_rng(seed).random(4),
+        )

@@ -90,9 +90,74 @@ def test_parser_has_all_subcommands():
         "run",
         "table1",
         "scaling",
+        "montecarlo",
         "crossover",
         "lower-bound",
         "ablation",
         "wave-demo",
     ):
         assert command in text
+
+
+def test_scaling_batched_matches_looped(capsys):
+    argv = ["scaling", "--mode", "nonuniform", "--diameters", "4", "8", "--seeds", "3"]
+    assert main(argv) == 0
+    looped = capsys.readouterr().out
+    assert main(argv + ["--batched"]) == 0
+    batched = capsys.readouterr().out
+    assert looped == batched
+
+
+def test_scaling_replicas_overrides_seeds(capsys):
+    code = main(
+        [
+            "scaling",
+            "--mode",
+            "nonuniform",
+            "--diameters",
+            "4",
+            "8",
+            "--seeds",
+            "999",
+            "--replicas",
+            "2",
+            "--batched",
+        ]
+    )
+    assert code == 0
+
+
+def test_montecarlo_command(capsys, tmp_path):
+    destination = tmp_path / "mc.json"
+    code = main(
+        [
+            "montecarlo",
+            "--protocol",
+            "bfw",
+            "--graph",
+            "cycle",
+            "--n",
+            "24",
+            "--replicas",
+            "4",
+            "--master-seed",
+            "3",
+            "--save-json",
+            str(destination),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Monte Carlo" in captured.out
+    assert "batched" in captured.out
+    payload = destination.read_text()
+    assert '"converged": true' in payload
+
+
+def test_montecarlo_reports_nonconvergence(capsys):
+    code = main(
+        ["montecarlo", "--graph", "path", "--n", "20", "--replicas", "3", "--max-rounds", "2"]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "per-seed" not in captured.out
