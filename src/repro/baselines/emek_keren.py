@@ -93,6 +93,11 @@ class EmekKerenStyleElection(MemoryProtocol):
         return self._clock
 
     @property
+    def beep_probability(self) -> float:
+        """Probability of initiating a wave at the start of each epoch."""
+        return self._p
+
+    @property
     def epoch_length(self) -> int:
         """Number of rounds per epoch."""
         return self._clock.phase_length

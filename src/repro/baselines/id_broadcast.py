@@ -139,6 +139,21 @@ class IDBroadcastElection(MemoryProtocol):
         return self._clock
 
     @property
+    def id_mode(self) -> str:
+        """Identifier mode: ``"unique"`` or ``"random"``."""
+        return self._id_mode
+
+    @property
+    def id_bit_length(self) -> int:
+        """Number of identifier bits broadcast (one phase per bit)."""
+        return self._bits
+
+    @property
+    def declared_n(self) -> int:
+        """The network size (or upper bound) the protocol was told."""
+        return self._n
+
+    @property
     def total_rounds(self) -> int:
         """Worst-case number of rounds before termination is declared."""
         total = self._clock.total_rounds

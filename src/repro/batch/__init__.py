@@ -1,28 +1,43 @@
 """Batched Monte-Carlo engine: all replicas of a sweep in one state array.
 
-The subsystem has three layers:
+The subsystem has four layers:
 
 * :mod:`repro.batch.streams` — per-replica random streams that keep every
   replica bit-for-bit identical to its standalone run;
 * :mod:`repro.batch.engine` — :class:`BatchedEngine`, which advances the
-  ``(R, n)`` batch state and retires converged replicas in place;
+  ``(R, n)`` batch state of a constant-state protocol and retires converged
+  replicas in place;
+* :mod:`repro.batch.memory` — :class:`BatchedMemoryEngine`, the same idea
+  for the Table-1 memory baselines (identifier bits, knockout flags and
+  epoch coins as ``(R, n)`` arrays, replica-for-replica identical to
+  :class:`~repro.beeping.simulator.MemorySimulator`);
 * :mod:`repro.batch.results` — :class:`BatchResult`, flat per-replica
   outcome arrays convertible back to ordinary ``SimulationResult`` objects.
 
 The experiment-facing entry point is
 :class:`repro.experiments.montecarlo.MonteCarloRunner`, which routes
-constant-state protocols through this engine and everything else through the
-per-seed loop.
+constant-state protocols and supported memory baselines through these
+engines and everything else through the per-seed loop.
 """
 
 from repro.batch.engine import BatchedEngine, run_batch
+from repro.batch.memory import (
+    BatchedMemoryEngine,
+    MemoryBatchState,
+    register_memory_batch_compiler,
+    supports_batched_memory,
+)
 from repro.batch.results import BatchResult
 from repro.batch.streams import ReplicaStreams, independent_streams
 
 __all__ = [
     "BatchResult",
     "BatchedEngine",
+    "BatchedMemoryEngine",
+    "MemoryBatchState",
     "ReplicaStreams",
     "independent_streams",
+    "register_memory_batch_compiler",
     "run_batch",
+    "supports_batched_memory",
 ]

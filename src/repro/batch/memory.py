@@ -1,0 +1,502 @@
+"""Batched execution of the Table-1 memory baselines.
+
+:class:`~repro.batch.engine.BatchedEngine` amortises the Python round loop
+across all replicas of a constant-state protocol, but the memory baselines
+(ID broadcast, the Emek–Keren-style epoch knockout, the Gilbert–Newport
+clique knockout) kept paying the far steeper per-node Python loop of
+:class:`~repro.beeping.simulator.MemorySimulator` once per seed.  This module
+closes that gap: each baseline's per-node memory is re-expressed as a set of
+``(R, n)`` (and, for identifier bits, ``(R, n, L)``) numpy arrays, and one
+:class:`BatchedMemoryEngine` round advances every replica of the batch with a
+handful of array operations.
+
+Exact parity with the sequential simulator is the design constraint, and it
+pins down the randomness discipline:
+
+* ``MemorySimulator`` seeds one generator per run and consumes it in node
+  order — unconditionally at memory creation, and *conditionally* during
+  updates (the baselines draw their next coin behind a short-circuiting
+  ``candidate and rng.random() < p``, so eliminated nodes stop consuming
+  randomness).  The batch therefore draws per replica per round exactly the
+  uniforms the surviving candidates of that replica would have drawn, in node
+  order (:func:`draw_uniform_where`); a ``Generator.random(k)`` call yields
+  the same doubles as ``k`` scalar ``random()`` calls, so the streams match
+  bit for bit.
+* Convergence bookkeeping mirrors ``MemorySimulator.run`` — the two-round
+  single-leader stability window, the convergence round resetting whenever
+  the candidate count leaves one, and the all-terminated early exit — and a
+  replica that trips either stop condition is *retired in place*: it drops
+  out of the active row index and stops consuming randomness and work.
+
+Replica ``r`` of a batch seeded with ``seeds[r]`` is therefore identical,
+field for field, to ``MemorySimulator(topology, protocol).run(rng=seeds[r])``.
+The shared harness in ``tests/batch/parity_harness.py`` enforces this for
+every supported baseline on paths, cycles and random graphs.
+
+Supporting a new baseline means registering a :class:`MemoryBatchState`
+compiler for its protocol type with :func:`register_memory_batch_compiler`;
+protocols without one (and standalone runners such as the pipelined-IDs
+election) transparently keep the per-seed fallback path in
+:class:`~repro.experiments.montecarlo.MonteCarloRunner`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.baselines.emek_keren import EmekKerenStyleElection
+from repro.baselines.gilbert_newport import GilbertNewportKnockout
+from repro.baselines.id_broadcast import IDBroadcastElection
+from repro.batch.results import BatchResult
+from repro.batch.streams import ReplicaStreams, SeedLike
+from repro.beeping.simulator import default_round_budget
+from repro.core.protocol import MemoryProtocol
+from repro.errors import ConfigurationError
+from repro.graphs.topology import Topology
+
+
+def draw_uniform_where(
+    streams: ReplicaStreams, rows: np.ndarray, mask: np.ndarray
+) -> np.ndarray:
+    """Per-replica conditional uniforms, consumed in node order.
+
+    ``mask[i]`` marks the nodes of replica ``rows[i]`` that draw this round.
+    Row ``i`` consumes exactly ``mask[i].sum()`` doubles from its own stream —
+    the same count, order and values as the sequential simulator's
+    short-circuited per-node ``rng.random()`` calls.  Positions that drew
+    nothing hold 1.0, so ``draws < p`` is ``False`` there for any valid ``p``.
+    """
+    out = np.ones(mask.shape, dtype=np.float64)
+    for i, row in enumerate(rows):
+        node_mask = mask[i]
+        count = int(node_mask.sum())
+        if count:
+            out[i, node_mask] = streams.generator(int(row)).random(count)
+    return out
+
+
+class MemoryBatchState(abc.ABC):
+    """Vectorised batch state of one memory-baseline family.
+
+    An instance owns the full ``(R, n)`` state arrays of a batch and exposes
+    the per-round operations on an arbitrary subset of replicas (``rows`` is
+    the array of *global* replica indices still active, which is also how the
+    per-replica streams are addressed).  Implementations must consume
+    randomness exactly as ``n`` sequential ``create_memory`` /
+    ``update`` calls of the underlying protocol would.
+    """
+
+    @abc.abstractmethod
+    def initialise(
+        self, num_replicas: int, n: int, streams: ReplicaStreams
+    ) -> None:
+        """Create the initial memories of every replica (consuming init draws)."""
+
+    @abc.abstractmethod
+    def beep_mask(self, round_index: int, rows: np.ndarray) -> np.ndarray:
+        """``wants_to_beep`` of every node of the given replicas; ``(len(rows), n)``."""
+
+    @abc.abstractmethod
+    def update(
+        self,
+        heard: np.ndarray,
+        round_index: int,
+        rows: np.ndarray,
+        streams: ReplicaStreams,
+    ) -> None:
+        """Apply one synchronous memory update to the given replicas."""
+
+    @abc.abstractmethod
+    def leader_mask(self, rows: np.ndarray) -> np.ndarray:
+        """``is_leader`` of every node of the given replicas; ``(len(rows), n)``."""
+
+    def terminated_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Replicas whose every node reports termination; ``(len(rows),)``.
+
+        Baselines without termination detection never terminate.
+        """
+        return np.zeros(len(rows), dtype=bool)
+
+
+class _GilbertNewportBatch(MemoryBatchState):
+    """Batch state of the clique knockout: candidacy plus the pre-drawn coin."""
+
+    def __init__(self, protocol: GilbertNewportKnockout, topology: Topology) -> None:
+        self._p = protocol.beep_probability
+
+    def initialise(self, num_replicas: int, n: int, streams: ReplicaStreams) -> None:
+        self._candidate = np.ones((num_replicas, n), dtype=bool)
+        draws = np.empty((num_replicas, n), dtype=np.float64)
+        for row in range(num_replicas):
+            draws[row] = streams.generator(row).random(n)
+        self._beep_now = draws < self._p
+
+    def beep_mask(self, round_index: int, rows: np.ndarray) -> np.ndarray:
+        return self._candidate[rows] & self._beep_now[rows]
+
+    def update(
+        self,
+        heard: np.ndarray,
+        round_index: int,
+        rows: np.ndarray,
+        streams: ReplicaStreams,
+    ) -> None:
+        candidate = self._candidate[rows]
+        # A candidate that listened while somebody beeped withdraws.
+        candidate &= self._beep_now[rows] | ~heard
+        draws = draw_uniform_where(streams, rows, candidate)
+        self._candidate[rows] = candidate
+        self._beep_now[rows] = candidate & (draws < self._p)
+
+    def leader_mask(self, rows: np.ndarray) -> np.ndarray:
+        return self._candidate[rows]
+
+
+class _EmekKerenBatch(MemoryBatchState):
+    """Batch state of the epoch knockout: per-epoch wave flags and the coin."""
+
+    def __init__(self, protocol: EmekKerenStyleElection, topology: Topology) -> None:
+        self._p = protocol.beep_probability
+        self._clock = protocol.clock
+
+    def initialise(self, num_replicas: int, n: int, streams: ReplicaStreams) -> None:
+        shape = (num_replicas, n)
+        self._candidate = np.ones(shape, dtype=bool)
+        self._initiated = np.zeros(shape, dtype=bool)
+        self._relay_next = np.zeros(shape, dtype=bool)
+        self._relayed = np.zeros(shape, dtype=bool)
+        self._heard_epoch = np.zeros(shape, dtype=bool)
+        draws = np.empty(shape, dtype=np.float64)
+        for row in range(num_replicas):
+            draws[row] = streams.generator(row).random(n)
+        self._beep_start = draws < self._p
+
+    def beep_mask(self, round_index: int, rows: np.ndarray) -> np.ndarray:
+        if self._clock.is_phase_start(round_index):
+            return self._candidate[rows] & self._beep_start[rows]
+        return self._relay_next[rows].copy()
+
+    def update(
+        self,
+        heard: np.ndarray,
+        round_index: int,
+        rows: np.ndarray,
+        streams: ReplicaStreams,
+    ) -> None:
+        candidate = self._candidate[rows]
+        relayed = self._relayed[rows]
+        heard_epoch = self._heard_epoch[rows]
+        if self._clock.is_phase_start(round_index):
+            # The epoch's first round was just played: an initiating candidate
+            # counts as having relayed, and the per-epoch flags reset.
+            initiated = candidate & self._beep_start[rows]
+            relayed = initiated.copy()
+            heard_epoch = np.zeros_like(heard)
+        else:
+            initiated = self._initiated[rows]
+            # A relay scheduled last round was just emitted.
+            relayed = relayed | self._relay_next[rows]
+        heard_epoch = heard_epoch | heard
+        if self._clock.is_phase_end(round_index):
+            relay_next = np.zeros_like(heard)
+            candidate = candidate & ~(~initiated & heard_epoch)
+            # Draw the next epoch's coin — surviving candidates only, matching
+            # the sequential `candidate and rng.random() < p` short-circuit.
+            draws = draw_uniform_where(streams, rows, candidate)
+            self._beep_start[rows] = candidate & (draws < self._p)
+        else:
+            # Relay the first beep heard this epoch exactly once.
+            relay_next = heard & ~relayed
+        self._candidate[rows] = candidate
+        self._initiated[rows] = initiated
+        self._relay_next[rows] = relay_next
+        self._relayed[rows] = relayed
+        self._heard_epoch[rows] = heard_epoch
+
+    def leader_mask(self, rows: np.ndarray) -> np.ndarray:
+        return self._candidate[rows]
+
+
+class _IDBroadcastBatch(MemoryBatchState):
+    """Batch state of the bit-by-bit broadcast: ``(R, n, L)`` identifier bits."""
+
+    def __init__(self, protocol: IDBroadcastElection, topology: Topology) -> None:
+        self._clock = protocol.clock
+        self._num_bits = protocol.id_bit_length
+        self._mode = protocol.id_mode
+        self._id_high = max(2, protocol.declared_n ** 3)
+
+    def initialise(self, num_replicas: int, n: int, streams: ReplicaStreams) -> None:
+        if self._mode == "unique":
+            identifiers = np.broadcast_to(
+                np.arange(1, n + 1, dtype=np.int64), (num_replicas, n)
+            )
+        else:
+            identifiers = np.empty((num_replicas, n), dtype=np.int64)
+            for row in range(num_replicas):
+                identifiers[row] = streams.generator(row).integers(
+                    1, self._id_high, size=n
+                )
+        shifts = np.arange(self._num_bits - 1, -1, -1)
+        self._bits = ((identifiers[:, :, None] >> shifts) & 1).astype(bool)
+        shape = (num_replicas, n)
+        self._candidate = np.ones(shape, dtype=bool)
+        self._relay_next = np.zeros(shape, dtype=bool)
+        self._relayed = np.zeros(shape, dtype=bool)
+        self._heard_phase = np.zeros(shape, dtype=bool)
+        self._terminated = np.zeros(shape, dtype=bool)
+
+    def beep_mask(self, round_index: int, rows: np.ndarray) -> np.ndarray:
+        if self._clock.is_finished(round_index - 1):
+            return np.zeros((len(rows), self._candidate.shape[1]), dtype=bool)
+        if self._clock.is_phase_start(round_index):
+            phase = self._clock.phase_of(round_index)
+            mask = self._candidate[rows] & self._bits[rows, :, phase]
+        else:
+            mask = self._relay_next[rows]
+        return mask & ~self._terminated[rows]
+
+    def update(
+        self,
+        heard: np.ndarray,
+        round_index: int,
+        rows: np.ndarray,
+        streams: ReplicaStreams,
+    ) -> None:
+        live = ~self._terminated[rows]
+        phase = self._clock.phase_of(round_index)
+        candidate = self._candidate[rows]
+        relayed = self._relayed[rows]
+        heard_phase = self._heard_phase[rows]
+        bit = self._bits[rows, :, phase]
+        if self._clock.is_phase_start(round_index):
+            relayed = candidate & bit
+            heard_phase = np.zeros_like(heard)
+        else:
+            relayed = relayed | self._relay_next[rows]
+        heard_phase = heard_phase | heard
+        terminated = self._terminated[rows]
+        if self._clock.is_phase_end(round_index):
+            relay_next = np.zeros_like(heard)
+            # A 0-bit candidate that heard a wave this phase has lost.
+            candidate = candidate & ~(~bit & heard_phase)
+            if phase == self._num_bits - 1:
+                terminated = np.ones_like(terminated)
+        else:
+            relay_next = heard & ~relayed
+        self._candidate[rows] = np.where(live, candidate, self._candidate[rows])
+        self._relay_next[rows] = np.where(live, relay_next, self._relay_next[rows])
+        self._relayed[rows] = np.where(live, relayed, self._relayed[rows])
+        self._heard_phase[rows] = np.where(
+            live, heard_phase, self._heard_phase[rows]
+        )
+        self._terminated[rows] = np.where(live, terminated, self._terminated[rows])
+
+    def leader_mask(self, rows: np.ndarray) -> np.ndarray:
+        return self._candidate[rows]
+
+    def terminated_rows(self, rows: np.ndarray) -> np.ndarray:
+        return self._terminated[rows].all(axis=1)
+
+
+#: Compilers mapping a memory-protocol type to its batch-state factory.
+MemoryBatchCompiler = Callable[[MemoryProtocol, Topology], MemoryBatchState]
+
+_MEMORY_BATCH_COMPILERS: Dict[Type[MemoryProtocol], MemoryBatchCompiler] = {
+    GilbertNewportKnockout: _GilbertNewportBatch,
+    EmekKerenStyleElection: _EmekKerenBatch,
+    IDBroadcastElection: _IDBroadcastBatch,
+}
+
+
+def register_memory_batch_compiler(
+    protocol_type: Type[MemoryProtocol], compiler: MemoryBatchCompiler
+) -> None:
+    """Register a batch-state compiler for a memory-protocol type."""
+    _MEMORY_BATCH_COMPILERS[protocol_type] = compiler
+
+
+def _find_compiler(protocol: object) -> Optional[MemoryBatchCompiler]:
+    for cls in type(protocol).__mro__:
+        compiler = _MEMORY_BATCH_COMPILERS.get(cls)
+        if compiler is not None:
+            return compiler
+    return None
+
+
+def supports_batched_memory(protocol: object) -> bool:
+    """Whether ``protocol`` has a registered vectorised batch implementation."""
+    return isinstance(protocol, MemoryProtocol) and _find_compiler(protocol) is not None
+
+
+def compile_memory_protocol(
+    protocol: MemoryProtocol, topology: Topology
+) -> MemoryBatchState:
+    """Build the batch state for ``protocol``.
+
+    Raises
+    ------
+    ConfigurationError
+        If no batch compiler is registered for the protocol's type.
+    """
+    compiler = _find_compiler(protocol)
+    if compiler is None:
+        raise ConfigurationError(
+            f"memory protocol {getattr(protocol, 'name', protocol)!r} has no "
+            "registered batch implementation; run it through MemorySimulator "
+            "or register one with register_memory_batch_compiler()"
+        )
+    return compiler(protocol, topology)
+
+
+class BatchedMemoryEngine:
+    """Simulate ``R`` independent replicas of a memory baseline at once.
+
+    Parameters
+    ----------
+    topology:
+        The communication graph shared by every replica.
+    protocol:
+        A memory protocol with a registered batch compiler (see
+        :func:`supports_batched_memory`).
+    """
+
+    #: Graphs up to this many nodes use a dense float32 adjacency so the
+    #: hear-mask is one BLAS matmul (same trade-off as ``BatchedEngine``).
+    DENSE_ADJACENCY_MAX_NODES = 1024
+
+    def __init__(self, topology: Topology, protocol: MemoryProtocol) -> None:
+        self._topology = topology
+        self._protocol = protocol
+        self._compiler = _find_compiler(protocol)
+        if self._compiler is None:
+            raise ConfigurationError(
+                f"memory protocol {getattr(protocol, 'name', protocol)!r} has "
+                "no registered batch implementation"
+            )
+        self._adjacency = topology.sparse_adjacency()
+        self._dense_adjacency: Optional[np.ndarray] = None
+        if topology.n <= self.DENSE_ADJACENCY_MAX_NODES:
+            self._dense_adjacency = self._adjacency.toarray().astype(np.float32)
+
+    @property
+    def topology(self) -> Topology:
+        """The communication graph."""
+        return self._topology
+
+    @property
+    def protocol(self) -> MemoryProtocol:
+        """The protocol being simulated."""
+        return self._protocol
+
+    def run(
+        self,
+        seeds: Union[Sequence[SeedLike], ReplicaStreams],
+        max_rounds: Optional[int] = None,
+        record_leader_counts: bool = True,
+        stop_at_single_leader: bool = True,
+        stability_window: int = 2,
+    ) -> BatchResult:
+        """Advance all replicas until they stop or exhaust the round budget.
+
+        The parameters and per-replica semantics are those of
+        :meth:`repro.beeping.simulator.MemorySimulator.run`: a replica stops
+        once every node reports termination, or (with
+        ``stop_at_single_leader``) once a single candidate has persisted for
+        ``stability_window`` consecutive rounds.  Unlike the constant-state
+        batch engine, no randomness is prefetched — each replica's generator
+        is left in exactly the state its standalone run would leave it in.
+        """
+        streams = (
+            seeds if isinstance(seeds, ReplicaStreams) else ReplicaStreams(seeds)
+        )
+        num_replicas = len(streams)
+        if max_rounds is None:
+            max_rounds = default_round_budget(self._topology)
+        if max_rounds < 0:
+            raise ConfigurationError(f"max_rounds must be >= 0; got {max_rounds}")
+
+        n = self._topology.n
+        state = self._compiler(self._protocol, self._topology)
+        state.initialise(num_replicas, n, streams)
+
+        all_rows = np.arange(num_replicas)
+        counts = state.leader_mask(all_rows).sum(axis=1).astype(np.int64)
+        convergence = np.where(counts == 1, 0, -1).astype(np.int64)
+        consecutive = np.where(counts == 1, 1, 0).astype(np.int64)
+        rounds_executed = np.zeros(num_replicas, dtype=np.int64)
+        count_rows: Optional[List[np.ndarray]] = (
+            [counts.copy()] if record_leader_counts else None
+        )
+        window = max(1, stability_window)
+
+        active_mask = np.ones(num_replicas, dtype=bool)
+        active = all_rows
+        round_index = 0
+        while round_index < max_rounds and active.size:
+            beeping = state.beep_mask(round_index, active)
+            heard = self._heard(beeping)
+            state.update(heard, round_index, active, streams)
+            round_index += 1
+            rounds_executed[active] = round_index
+
+            active_counts = state.leader_mask(active).sum(axis=1)
+            counts[active] = active_counts
+            hit = active_counts == 1
+            previous = convergence[active]
+            # The convergence round resets whenever the count leaves one,
+            # exactly as the sequential simulator tracks it.
+            convergence[active] = np.where(
+                hit, np.where(previous == -1, round_index, previous), -1
+            )
+            consecutive[active] = np.where(hit, consecutive[active] + 1, 0)
+            if count_rows is not None:
+                count_rows.append(counts.copy())
+
+            finished = state.terminated_rows(active)
+            if stop_at_single_leader:
+                finished = finished | (consecutive[active] >= window)
+            if finished.any():
+                active_mask[active[finished]] = False
+                active = np.flatnonzero(active_mask)
+
+        converged = (convergence != -1) & (counts == 1)
+        final_leaders = state.leader_mask(all_rows)
+        leader_node = np.where(
+            counts == 1, final_leaders.argmax(axis=1), -1
+        ).astype(np.int64)
+
+        leader_counts: Optional[tuple] = None
+        if count_rows is not None:
+            stacked = np.stack(count_rows)
+            leader_counts = tuple(
+                tuple(int(c) for c in stacked[: rounds_executed[r] + 1, r])
+                for r in range(num_replicas)
+            )
+
+        return BatchResult(
+            converged=converged,
+            convergence_round=np.where(converged, convergence, -1),
+            rounds_executed=rounds_executed,
+            final_leader_count=counts,
+            leader_node=leader_node,
+            seeds=streams.seed_values,
+            leader_counts=leader_counts,
+            final_states=None,
+            protocol_name=self._protocol.name,
+            topology_name=self._topology.name,
+        )
+
+    def _heard(self, beeping: np.ndarray) -> np.ndarray:
+        """Who hears a beep, per replica: one stacked product for the batch."""
+        if not beeping.any():
+            return beeping.copy()
+        as_float = beeping.astype(np.float32)
+        if self._dense_adjacency is not None:
+            neighbour = np.matmul(as_float, self._dense_adjacency)
+        else:
+            neighbour = self._adjacency.dot(as_float.T).T
+        return (as_float + neighbour) > 0

@@ -6,13 +6,17 @@ Every experiment in DESIGN.md can be regenerated from the command line:
 
     repro list-protocols
     repro run --protocol bfw --graph path --n 64 --seed 1
-    repro table1 --seeds 10
+    repro table1 --seeds 10 --batched
     repro scaling --mode uniform --diameters 8 16 32 64
     repro scaling --mode nonuniform --diameters 8 16 32 64 --replicas 32 --batched
-    repro montecarlo --protocol bfw --graph cycle --n 200 --replicas 64
-    repro lower-bound --diameters 8 16 32 64
-    repro ablation
+    repro montecarlo --protocol emek-keren --graph cycle --n 64 --replicas 64
+    repro lower-bound --diameters 8 16 32 64 --batched
+    repro ablation --batched
     repro wave-demo --n 40
+
+Every experiment accepting ``--batched`` produces output identical to the
+per-seed loop under the same master seed — the batched engines reproduce
+each seeded replica exactly.
 
 The CLI is intentionally thin: each sub-command parses arguments, calls the
 corresponding function in :mod:`repro.experiments`, and prints the rendered
@@ -66,6 +70,11 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser.add_argument("--master-seed", type=int, default=1)
     table1_parser.add_argument("--save-json", default=None)
     table1_parser.add_argument("--save-csv", default=None)
+    table1_parser.add_argument(
+        "--batched", action="store_true",
+        help="Advance each (protocol, graph) cell's seeds in one batched "
+        "state array (identical table, faster).",
+    )
 
     scaling_parser = subparsers.add_parser(
         "scaling", help="Convergence-time scaling (Theorems 2 and 3)."
@@ -119,12 +128,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--diameters", type=int, nargs="+", default=[8, 16, 32, 64]
     )
     lower_parser.add_argument("--seeds", type=int, default=20)
+    lower_parser.add_argument(
+        "--batched", action="store_true",
+        help="Advance all seeds of a diameter in one batched state array "
+        "(identical results, faster).",
+    )
 
     ablation_parser = subparsers.add_parser(
         "ablation", help="Parameter sweep over p and structural ablations."
     )
     ablation_parser.add_argument("--diameter", type=int, default=24)
     ablation_parser.add_argument("--seeds", type=int, default=10)
+    ablation_parser.add_argument(
+        "--batched", action="store_true",
+        help="Advance all seeds of a sweep cell in one batched state array "
+        "(identical results, faster).",
+    )
 
     wave_parser = subparsers.add_parser(
         "wave-demo", help="Print a space-time diagram of beep waves on a path."
@@ -207,6 +226,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         num_seeds=args.seeds,
         master_seed=args.master_seed,
         progress=lambda line: print("  " + line, file=sys.stderr),
+        batched=args.batched,
     )
     print(result.render())
     if args.save_json:
@@ -276,7 +296,9 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
 def _cmd_lower_bound(args: argparse.Namespace) -> int:
     from repro.experiments.figures import lower_bound_experiment
 
-    result = lower_bound_experiment(diameters=args.diameters, num_seeds=args.seeds)
+    result = lower_bound_experiment(
+        diameters=args.diameters, num_seeds=args.seeds, batched=args.batched
+    )
     print(result.render())
     return 0
 
@@ -284,7 +306,9 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
 def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments.figures import ablation_experiment
 
-    result = ablation_experiment(diameter=args.diameter, num_seeds=args.seeds)
+    result = ablation_experiment(
+        diameter=args.diameter, num_seeds=args.seeds, batched=args.batched
+    )
     print(result.render())
     return 0
 

@@ -101,6 +101,36 @@ def _graph_for(family: str, diameter: int) -> Topology:
     )
 
 
+def _run_cell_results(
+    topology: Topology,
+    protocol,
+    seeds: Sequence[int],
+    budget: int,
+    batched: bool,
+    initial_states=None,
+):
+    """One (protocol, budget) cell's per-seed results, batched or looped.
+
+    The batched path reproduces each seeded run exactly, so callers may
+    aggregate either tuple without caring which engine produced it.
+    """
+    if batched:
+        batch = BatchedEngine(topology, protocol).run(
+            list(seeds),
+            max_rounds=budget,
+            initial_states=(
+                None if initial_states is None else np.asarray(initial_states)
+            ),
+            record_leader_counts=False,
+        )
+        return batch.to_simulation_results()
+    engine = VectorizedEngine(topology, protocol)
+    return tuple(
+        engine.run(max_rounds=budget, rng=seed, initial_states=initial_states)
+        for seed in seeds
+    )
+
+
 def scaling_experiment(
     mode: str = "uniform",
     family: str = "path",
@@ -152,16 +182,7 @@ def scaling_experiment(
             protocol = NonUniformBFWProtocol(diameter=diameter)
             budget = int(max_rounds_factor * diameter * (np.log2(topology.n) + 1)) + 1000
         seeds = trial_seeds(master_seed, f"scaling/{mode}/{family}/{diameter}", num_seeds)
-        if batched:
-            batch = BatchedEngine(topology, protocol).run(
-                list(seeds), max_rounds=budget, record_leader_counts=False
-            )
-            results = batch.to_simulation_results()
-        else:
-            engine = VectorizedEngine(topology, protocol)
-            results = tuple(
-                engine.run(max_rounds=budget, rng=seed) for seed in seeds
-            )
+        results = _run_cell_results(topology, protocol, seeds, budget, batched)
         rounds: List[float] = []
         converged = 0
         for result in results:
@@ -295,22 +316,28 @@ def lower_bound_experiment(
     master_seed: int = 4,
     beep_probability: float = 0.5,
     max_rounds_factor: float = 400.0,
+    batched: bool = False,
 ) -> LowerBoundResult:
-    """Measure how long two diametral leaders coexist on a path (experiment E4)."""
+    """Measure how long two diametral leaders coexist on a path (experiment E4).
+
+    With ``batched=True`` all seeds of a diameter advance in one
+    :class:`~repro.batch.engine.BatchedEngine` state array (planted initial
+    states included); the per-seed results are bit-for-bit identical to the
+    loop, so the fitted exponent never changes — only the wall-clock does.
+    """
     points: List[LowerBoundPoint] = []
     means: List[float] = []
     for diameter in diameters:
         topology = path_graph(diameter + 1)
         protocol = BFWProtocol(beep_probability=beep_probability)
-        engine = VectorizedEngine(topology, protocol)
         initial = planted_leaders_initial_states(topology, (0, topology.n - 1))
         budget = int(max_rounds_factor * diameter * diameter) + 1000
         seeds = trial_seeds(master_seed, f"lower-bound/{diameter}", num_seeds)
+        results = _run_cell_results(
+            topology, protocol, seeds, budget, batched, initial_states=initial
+        )
         rounds: List[float] = []
-        for seed in seeds:
-            result = engine.run(
-                max_rounds=budget, rng=seed, initial_states=initial
-            )
+        for result in results:
             rounds.append(
                 float(
                     result.convergence_round
@@ -397,19 +424,30 @@ def ablation_experiment(
     num_seeds: int = 10,
     master_seed: int = 5,
     max_rounds_factor: float = 150.0,
+    batched: bool = False,
 ) -> AblationResult:
-    """Sweep ``p`` and test the structural ablation variants (experiment E8)."""
+    """Sweep ``p`` and test the structural ablation variants (experiment E8).
+
+    With ``batched=True`` every cell of the sweep (one value of ``p``, or one
+    ablated variant) advances all its seeds in one batched state array; the
+    reported rates and round counts are identical to the per-seed loop.
+    """
     topology = path_graph(diameter + 1)
     budget = int(max_rounds_factor * diameter * diameter) + 1000
 
     sweep_points: List[ParameterSweepPoint] = []
     for probability in probabilities:
-        engine = VectorizedEngine(topology, BFWProtocol(beep_probability=probability))
         seeds = trial_seeds(master_seed, f"ablation/p={probability}", num_seeds)
+        results = _run_cell_results(
+            topology,
+            BFWProtocol(beep_probability=probability),
+            seeds,
+            budget,
+            batched,
+        )
         rounds: List[float] = []
         converged = 0
-        for seed in seeds:
-            result = engine.run(max_rounds=budget, rng=seed)
+        for result in results:
             if result.converged:
                 converged += 1
                 rounds.append(float(result.convergence_round))
@@ -433,13 +471,14 @@ def ablation_experiment(
     # the experiment terminates quickly while still being conclusive.
     ablation_budget = min(budget, 40 * diameter * diameter)
     for label, protocol in ablation_protocols:
-        engine = VectorizedEngine(topology, protocol)
         seeds = trial_seeds(master_seed, f"ablation/{label}", num_seeds)
+        results = _run_cell_results(
+            topology, protocol, seeds, ablation_budget, batched
+        )
         converged = 0
         leaderless = 0
         rounds: List[float] = []
-        for seed in seeds:
-            result = engine.run(max_rounds=ablation_budget, rng=seed)
+        for result in results:
             if result.converged:
                 converged += 1
                 rounds.append(float(result.convergence_round))

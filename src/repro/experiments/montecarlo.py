@@ -8,9 +8,13 @@ is the experiment-facing router for that workload:
   through :class:`~repro.batch.engine.BatchedEngine`, which advances all
   replicas in one ``(R, n)`` state array and retires converged replicas in
   place;
-* memory protocols and standalone baseline runners keep their existing
-  per-seed path through
-  :func:`~repro.experiments.runner.run_protocol_on`, and their results are
+* memory protocols with a registered batch implementation (the Table-1
+  ID-broadcast, Emek–Keren-epoch and Gilbert–Newport baselines) go through
+  :class:`~repro.batch.memory.BatchedMemoryEngine`, which does the same for
+  their integer/boolean memory arrays;
+* everything else (standalone baseline runners such as the pipelined-IDs
+  election) keeps the per-seed path through
+  :func:`~repro.experiments.runner.run_protocol_on`, and its results are
   assembled into the same :class:`~repro.batch.results.BatchResult` shape.
 
 Because the batched engine is replica-for-replica identical to a loop of
@@ -27,6 +31,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.batch.engine import BatchedEngine
+from repro.batch.memory import BatchedMemoryEngine, supports_batched_memory
 from repro.batch.results import BatchResult
 from repro.batch.streams import SeedLike
 from repro.core.protocol import BeepingProtocol
@@ -64,8 +69,9 @@ class MonteCarloRunner:
     ) -> BatchResult:
         """Run one replica per seed and return the batch outcome.
 
-        Constant-state protocols advance in a single batched state array;
-        anything else falls back to a per-seed loop with identical results.
+        Constant-state protocols and batch-supported memory baselines advance
+        in a single batched state array; anything else falls back to a
+        per-seed loop with identical results.
         """
         if len(seeds) == 0:
             raise ConfigurationError("a Monte-Carlo run needs at least one seed")
@@ -77,6 +83,12 @@ class MonteCarloRunner:
                 max_rounds=budget,
                 record_leader_counts=self.record_leader_counts,
             )
+        if supports_batched_memory(protocol):
+            # Trajectories are always kept on this path: the per-seed loop it
+            # replaces carried them too, and on baseline-sized graphs they
+            # cost next to nothing.
+            memory_engine = BatchedMemoryEngine(topology, protocol)
+            return memory_engine.run(list(seeds), max_rounds=budget)
         results = [
             run_protocol_on(topology, protocol, rng=seed, max_rounds=budget)
             for seed in seeds
@@ -88,6 +100,16 @@ class MonteCarloRunner:
                 for seed in seeds
             ],
         )
+
+
+def runs_batched(protocol: object) -> bool:
+    """Whether :class:`MonteCarloRunner` advances ``protocol`` batched.
+
+    True for constant-state beeping protocols and for memory baselines with
+    a registered batch implementation; False for standalone runners (which
+    keep the per-seed loop).
+    """
+    return isinstance(protocol, BeepingProtocol) or supports_batched_memory(protocol)
 
 
 @dataclass(frozen=True)
@@ -172,18 +194,21 @@ def run_monte_carlo(
     batch = runner.run(topology, protocol_obj, seeds)
     elapsed = time.perf_counter() - start
 
+    # Leader identities exist on both batched paths; the per-seed fallback
+    # assembles SimulationResults, which do not record the elected node.
+    has_leader_identities = runs_batched(protocol_obj)
     return MonteCarloReport(
         protocol=protocol,
         graph=topology.name,
         n=topology.n,
         diameter=topology.diameter(),
         num_replicas=batch.num_replicas,
-        batched=isinstance(protocol_obj, BeepingProtocol),
+        batched=runs_batched(protocol_obj),
         rounds=summarize_sample([float(r) for r in batch.effective_rounds()]),
         convergence_rate=batch.convergence_rate,
         distinct_leaders=(
             int(np.unique(batch.leader_node[batch.converged]).size)
-            if batch.final_states is not None
+            if has_leader_identities
             else None
         ),
         total_replica_rounds=batch.total_replica_rounds,

@@ -5,7 +5,9 @@ Three kinds of protocol objects appear in the experiments:
 * constant-state beeping protocols (BFW and its variants) — executed with
   the vectorised engine;
 * memory protocols (ID broadcast, knockout, epoch baselines) — executed with
-  the :class:`~repro.beeping.simulator.MemorySimulator`;
+  the :class:`~repro.beeping.simulator.MemorySimulator` (and, replica for
+  replica identically, with :class:`~repro.batch.memory.BatchedMemoryEngine`
+  when a whole seed batch runs at once);
 * standalone runners (the pipelined O(D + log n) baseline) — executed through
   their own ``run(topology, rng, max_rounds)`` method.
 
@@ -120,7 +122,8 @@ def run_protocol_batch_on(
     """Run one seeded replica per entry of ``seeds`` and return a batch.
 
     Constant-state protocols advance together in a
-    :class:`~repro.batch.engine.BatchedEngine`; memory protocols and
+    :class:`~repro.batch.engine.BatchedEngine`, batch-supported memory
+    baselines in a :class:`~repro.batch.memory.BatchedMemoryEngine`, and
     standalone runners loop over :func:`run_protocol_on`.  Under matched
     seeds the outcome is replica-for-replica identical to that loop either
     way — see :class:`~repro.experiments.montecarlo.MonteCarloRunner`.

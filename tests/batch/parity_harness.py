@@ -1,0 +1,109 @@
+"""Reusable seed-matched parity assertions for the batch engines.
+
+The invariant every batched run must satisfy is: *replica ``r`` of a batch
+seeded with ``seeds[r]`` is identical, field for field, to the standalone
+sequential run seeded the same way*.  This module owns that assertion so
+that every parity test — BFW variants, ablations, memory baselines, CLI
+round-trips — states it the same way:
+
+* constant-state :class:`~repro.core.protocol.BeepingProtocol` objects are
+  checked :class:`~repro.batch.engine.BatchedEngine` against
+  :class:`~repro.beeping.engine.VectorizedEngine` (including final state
+  vectors and elected-node identities);
+* :class:`~repro.core.protocol.MemoryProtocol` baselines are checked
+  :class:`~repro.batch.memory.BatchedMemoryEngine` against
+  :class:`~repro.beeping.simulator.MemorySimulator`.
+
+:func:`assert_replica_parity` dispatches on the protocol type, so callers
+can parametrise over any mix of protocols, graph families, replica counts
+and seeds without caring which engine pair is being exercised.
+"""
+
+import numpy as np
+
+from repro.batch import BatchedEngine, BatchedMemoryEngine
+from repro.beeping.engine import VectorizedEngine
+from repro.beeping.simulator import MemorySimulator
+from repro.core.protocol import BeepingProtocol, MemoryProtocol
+from repro.graphs.generators import (
+    cycle_graph,
+    erdos_renyi_graph,
+    path_graph,
+    random_geometric_graph,
+)
+
+#: Default per-replica seeds (also the default replica count R).
+DEFAULT_SEEDS = tuple(range(10))
+
+
+def parity_topologies():
+    """The three graph families every parity sweep covers.
+
+    Cycles and paths are the worst-case-diameter families of the scaling
+    experiments; the Erdős–Rényi graph exercises irregular degrees (and,
+    for the clique-only knockout baseline, the non-convergent outcome).
+    """
+    return (
+        ("cycle", cycle_graph(16)),
+        ("path", path_graph(13)),
+        ("erdos-renyi", erdos_renyi_graph(18, rng=5)),
+    )
+
+
+def assert_same_simulation_fields(replica, single):
+    """The :class:`SimulationResult` fields both engine pairs must agree on."""
+    assert replica.converged == single.converged
+    assert replica.convergence_round == single.convergence_round
+    assert replica.rounds_executed == single.rounds_executed
+    assert replica.final_leader_count == single.final_leader_count
+    assert replica.leader_counts == single.leader_counts
+
+
+def assert_replica_parity(topology, protocol, seeds=DEFAULT_SEEDS, **run_kwargs):
+    """Assert batched == sequential, replica for replica, and return the batch.
+
+    ``run_kwargs`` are forwarded to both engines (``max_rounds``,
+    ``stop_at_single_leader``, ``initial_states`` for constant-state
+    protocols, ``stability_window`` for memory protocols), so budget
+    exhaustion and no-early-stop paths can be exercised through the same
+    entry point.
+    """
+    if isinstance(protocol, BeepingProtocol):
+        return _assert_constant_state_parity(topology, protocol, seeds, **run_kwargs)
+    if isinstance(protocol, MemoryProtocol):
+        return _assert_memory_parity(topology, protocol, seeds, **run_kwargs)
+    raise TypeError(
+        f"parity harness supports BeepingProtocol and MemoryProtocol; got "
+        f"{type(protocol).__name__}"
+    )
+
+
+def _assert_constant_state_parity(topology, protocol, seeds, **run_kwargs):
+    batch = BatchedEngine(topology, protocol).run(list(seeds), **run_kwargs)
+    for index, seed in enumerate(seeds):
+        engine = VectorizedEngine(topology, protocol)
+        single = engine.run(rng=seed, **run_kwargs)
+        assert_same_simulation_fields(batch.replica(index), single)
+        np.testing.assert_array_equal(batch.final_states[index], engine.last_states)
+        single_leaders = np.flatnonzero(
+            engine.compiled.is_leader[engine.last_states]
+        )
+        if single.final_leader_count == 1:
+            assert batch.leader_node[index] == single_leaders[0]
+        else:
+            assert batch.leader_node[index] == -1
+    return batch
+
+
+def _assert_memory_parity(topology, protocol, seeds, **run_kwargs):
+    batch = BatchedMemoryEngine(topology, protocol).run(list(seeds), **run_kwargs)
+    for index, seed in enumerate(seeds):
+        single = MemorySimulator(topology, protocol).run(rng=seed, **run_kwargs)
+        assert_same_simulation_fields(batch.replica(index), single)
+        # The sequential result does not record the elected node, but the
+        # batch's identity must at least be consistent with the count.
+        if single.final_leader_count == 1:
+            assert 0 <= batch.leader_node[index] < topology.n
+        else:
+            assert batch.leader_node[index] == -1
+    return batch

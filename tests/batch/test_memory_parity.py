@@ -1,0 +1,174 @@
+"""Parity and behaviour of the batched memory engine.
+
+The memory half of the guarantee from ``test_parity.py``: with matched
+seeds, replica ``r`` of a :class:`BatchedMemoryEngine` run is identical,
+field for field, to ``MemorySimulator.run(rng=seeds[r])`` — including the
+two-round stability window, the convergence-round resets when a baseline
+transiently drops to one candidate, the all-terminated early exit of the
+ID-broadcast phases, and the non-convergent multi-leader outcome of the
+clique-only knockout on sparse graphs.
+
+Together with the registry sweep below, every protocol the experiments can
+name — BFW variants *and* memory baselines — passes the shared harness on
+cycles, paths and an Erdős–Rényi graph.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EmekKerenStyleElection,
+    GilbertNewportKnockout,
+    IDBroadcastElection,
+)
+from repro.batch import BatchedMemoryEngine, supports_batched_memory
+from repro.core.protocol import MemoryProtocol
+from repro.core.registry import available_protocols
+from repro.errors import ConfigurationError
+from repro.experiments.runner import instantiate_protocol
+from repro.graphs.generators import clique_graph, cycle_graph, path_graph
+from tests.batch.parity_harness import (
+    assert_replica_parity,
+    parity_topologies,
+)
+
+#: Memory baselines with a registered batch implementation (the pipelined-IDs
+#: election is a standalone runner and deliberately absent).
+BATCHED_MEMORY_BASELINES = (
+    "id-broadcast",
+    "id-broadcast-random",
+    "emek-keren",
+    "gilbert-newport",
+)
+
+#: The full parity surface: every registered constant-state protocol plus
+#: every batched memory baseline.
+ALL_BATCHED_PROTOCOLS = tuple(available_protocols()) + BATCHED_MEMORY_BASELINES
+
+
+@pytest.mark.parametrize("family_id,topology", parity_topologies())
+@pytest.mark.parametrize("name", ALL_BATCHED_PROTOCOLS)
+def test_every_batched_protocol_has_parity_on_every_family(
+    name, family_id, topology
+):
+    protocol = instantiate_protocol(name, topology, {})
+    # A modest shared budget keeps the sequential reference fast while still
+    # exercising retirement, termination and budget exhaustion (the knockout
+    # baseline never converges off-clique, for instance).
+    assert_replica_parity(
+        topology, protocol, seeds=tuple(range(5)), max_rounds=300
+    )
+
+
+def test_knockout_parity_on_its_native_clique():
+    topology = clique_graph(12)
+    assert_replica_parity(topology, GilbertNewportKnockout(), seeds=tuple(range(8)))
+
+
+def test_memory_parity_without_early_stopping():
+    topology = cycle_graph(12)
+    assert_replica_parity(
+        topology,
+        EmekKerenStyleElection(diameter=6),
+        seeds=tuple(range(4)),
+        max_rounds=120,
+        stop_at_single_leader=False,
+    )
+
+
+def test_memory_parity_with_wider_stability_window():
+    topology = cycle_graph(12)
+    assert_replica_parity(
+        topology,
+        GilbertNewportKnockout(),
+        seeds=tuple(range(4)),
+        max_rounds=120,
+        stability_window=5,
+    )
+
+
+def test_id_broadcast_terminates_and_retires_every_replica():
+    topology = cycle_graph(16)
+    protocol = IDBroadcastElection(diameter=topology.diameter(), n=topology.n)
+    batch = assert_replica_parity(topology, protocol, seeds=tuple(range(6)))
+    # Unique identifiers make the broadcast deterministic: every replica
+    # elects the maximum-ID node within the fixed phase schedule.
+    assert batch.converged.all()
+    assert (batch.rounds_executed <= protocol.total_rounds).all()
+    assert (batch.leader_node == topology.n - 1).all()
+
+
+def test_batch_seeds_and_metadata_round_trip():
+    topology = cycle_graph(10)
+    batch = BatchedMemoryEngine(topology, GilbertNewportKnockout()).run([7, 8, 9])
+    assert batch.seeds == (7, 8, 9)
+    assert batch.protocol_name == "gilbert-newport-knockout"
+    assert batch.topology_name == topology.name
+    assert batch.final_states is None  # memory baselines carry no state vector
+
+
+def test_zero_round_budget_reports_initial_configuration():
+    topology = cycle_graph(6)
+    batch = BatchedMemoryEngine(topology, GilbertNewportKnockout()).run(
+        [1, 2], max_rounds=0
+    )
+    assert (batch.rounds_executed == 0).all()
+    assert (batch.final_leader_count == topology.n).all()
+    assert not batch.converged.any()
+
+
+def test_negative_round_budget_is_rejected():
+    with pytest.raises(ConfigurationError):
+        BatchedMemoryEngine(cycle_graph(6), GilbertNewportKnockout()).run(
+            [1], max_rounds=-1
+        )
+
+
+def test_unsupported_memory_protocol_is_rejected():
+    class OpaqueBaseline(MemoryProtocol):
+        name = "opaque"
+
+        def create_memory(self, node, n, rng):
+            return {}
+
+        def wants_to_beep(self, memory, round_index):
+            return False
+
+        def update(self, memory, heard_beep, round_index, rng):
+            return memory
+
+        def is_leader(self, memory):
+            return True
+
+    assert not supports_batched_memory(OpaqueBaseline())
+    with pytest.raises(ConfigurationError):
+        BatchedMemoryEngine(path_graph(4), OpaqueBaseline())
+
+
+def test_supports_batched_memory_covers_the_baseline_types():
+    topology = cycle_graph(8)
+    for name in BATCHED_MEMORY_BASELINES:
+        assert supports_batched_memory(instantiate_protocol(name, topology, {}))
+    assert not supports_batched_memory(instantiate_protocol("pipelined-ids", topology, {}))
+    assert not supports_batched_memory(object())
+
+
+def test_streams_end_in_the_sequential_generators_state():
+    # Unlike the prefetching constant-state engine, the memory engine draws
+    # exactly the randomness the sequential run consumes — so a caller's
+    # generator objects are left in the standalone post-run state.
+    from repro.batch.streams import ReplicaStreams
+    from repro.beeping.simulator import MemorySimulator
+
+    topology = cycle_graph(10)
+    seeds = [3, 4]
+    batch_generators = [np.random.default_rng(seed) for seed in seeds]
+    BatchedMemoryEngine(topology, EmekKerenStyleElection(diameter=5)).run(
+        ReplicaStreams(batch_generators)
+    )
+    for seed, generator in zip(seeds, batch_generators):
+        reference = np.random.default_rng(seed)
+        MemorySimulator(topology, EmekKerenStyleElection(diameter=5)).run(
+            rng=reference
+        )
+        assert generator.random() == reference.random()

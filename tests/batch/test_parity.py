@@ -5,14 +5,16 @@ run must be bit-for-bit identical to ``VectorizedEngine.run(rng=seeds[r])``:
 same convergence round, same executed rounds, same final leader (node id),
 same leader-count trajectory.  This is what lets every sweep route through
 the batched engine without changing any reproduced number of the paper.
+
+The assertion itself lives in :mod:`tests.batch.parity_harness`, shared with
+the memory-baseline parity suite; this module covers the constant-state
+(BFW-family) half of the registry.
 """
 
 import numpy as np
 import pytest
 
-from repro.batch import BatchedEngine
 from repro.beeping.adversary import planted_leaders_initial_states
-from repro.beeping.engine import VectorizedEngine
 from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
 from repro.core.registry import available_protocols, create_protocol
 from repro.graphs.generators import (
@@ -20,31 +22,7 @@ from repro.graphs.generators import (
     path_graph,
     random_geometric_graph,
 )
-
-SEEDS = tuple(range(10))
-
-
-def assert_replica_parity(topology, protocol, seeds=SEEDS, **run_kwargs):
-    batch = BatchedEngine(topology, protocol).run(list(seeds), **run_kwargs)
-    for index, seed in enumerate(seeds):
-        engine = VectorizedEngine(topology, protocol)
-        single = engine.run(rng=seed, **run_kwargs)
-        replica = batch.replica(index)
-        assert replica.converged == single.converged
-        assert replica.convergence_round == single.convergence_round
-        assert replica.rounds_executed == single.rounds_executed
-        assert replica.final_leader_count == single.final_leader_count
-        assert replica.leader_counts == single.leader_counts
-        np.testing.assert_array_equal(
-            batch.final_states[index], engine.last_states
-        )
-        single_leaders = np.flatnonzero(
-            engine.compiled.is_leader[engine.last_states]
-        )
-        if single.final_leader_count == 1:
-            assert batch.leader_node[index] == single_leaders[0]
-        else:
-            assert batch.leader_node[index] == -1
+from tests.batch.parity_harness import assert_replica_parity
 
 
 @pytest.mark.parametrize(

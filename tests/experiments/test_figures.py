@@ -68,3 +68,21 @@ def test_ablation_experiment_small():
     # Removing wave relaying prevents convergence on a diameter-8 path.
     assert by_variant["no-relay"].convergence_rate == 0.0
     assert "ablation" in result.render().lower() or "variant" in result.render()
+
+
+def test_lower_bound_experiment_batched_is_identical():
+    kwargs = dict(diameters=(4, 8), num_seeds=4, master_seed=3)
+    looped = lower_bound_experiment(**kwargs)
+    batched = lower_bound_experiment(batched=True, **kwargs)
+    # The batched engine reproduces each planted-leaders run exactly, so the
+    # whole result object — summaries and fitted exponent included — matches.
+    assert looped == batched
+
+
+def test_ablation_experiment_batched_is_identical():
+    kwargs = dict(
+        diameter=6, probabilities=(0.25, 0.5), num_seeds=3, master_seed=4
+    )
+    looped = ablation_experiment(**kwargs)
+    batched = ablation_experiment(batched=True, **kwargs)
+    assert looped == batched

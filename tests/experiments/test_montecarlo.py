@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.baselines import GilbertNewportKnockout
+from repro.baselines import GilbertNewportKnockout, PipelinedIDElection
 from repro.core.bfw import BFWProtocol
 from repro.errors import ConfigurationError
 from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
@@ -14,7 +14,7 @@ from repro.experiments.montecarlo import (
 )
 from repro.experiments.runner import run_protocol_batch_on, run_sweep
 from repro.experiments.seeds import replica_streams, trial_seeds
-from repro.graphs.generators import cycle_graph, path_graph
+from repro.graphs.generators import clique_graph, cycle_graph, path_graph
 
 
 def test_runner_routes_constant_state_protocols_to_batched_engine():
@@ -24,22 +24,46 @@ def test_runner_routes_constant_state_protocols_to_batched_engine():
     assert batch.converged.all()
 
 
-def test_runner_keeps_memory_protocols_on_the_loop_path():
-    topology = cycle_graph(8)
+def test_runner_routes_memory_baselines_to_the_batched_memory_engine():
+    topology = clique_graph(8)
     protocol = GilbertNewportKnockout()
     batch = MonteCarloRunner().run(topology, protocol, [1, 2])
     assert batch.num_replicas == 2
+    assert batch.final_states is None  # memory baselines carry no state vector
+    assert batch.seeds == (1, 2)
+    # ... but the batched engine does record the elected node.
+    assert batch.converged.all()
+    assert ((batch.leader_node >= 0) & (batch.leader_node < topology.n)).all()
+    # Trajectories are always kept on this path, like the loop it replaced.
+    assert batch.leader_counts is not None
+
+
+def test_runner_keeps_standalone_runners_on_the_loop_path():
+    topology = cycle_graph(8)
+    batch = MonteCarloRunner().run(topology, PipelinedIDElection(), [1, 2])
+    assert batch.num_replicas == 2
     assert batch.final_states is None  # assembled from single runs
+    assert (batch.leader_node == -1).all()
     assert batch.seeds == (1, 2)
 
 
 def test_report_marks_unknown_leader_identities_on_the_loop_path():
     report = run_monte_carlo(
-        protocol="gilbert-newport", graph="cycle", n=8, replicas=2, master_seed=1
+        protocol="pipelined-ids", graph="cycle", n=8, replicas=2, master_seed=1
     )
     assert report.batched is False
     assert report.distinct_leaders is None
     assert "unknown" in report.render()
+
+
+def test_report_counts_distinct_leaders_for_batched_memory_baselines():
+    report = run_monte_carlo(
+        protocol="emek-keren", graph="cycle", n=12, replicas=6, master_seed=2
+    )
+    assert report.batched is True
+    assert report.convergence_rate == 1.0
+    assert 1 <= report.distinct_leaders <= 6
+    assert "unknown" not in report.render()
 
 
 def test_runner_rejects_empty_seed_list():

@@ -1,0 +1,116 @@
+"""Property-based tests for the batch layer.
+
+Three families of invariants, each checked over hypothesis-generated seed
+sets, replica counts and protocol parameters:
+
+* **retirement is final** — once a replica converges (and, for memory
+  baselines, survives the stability window) it is retired in place: its
+  trajectory never leaves the single-leader configuration afterwards and it
+  executes no further rounds;
+* **per-replica streams are independent of the batch** — replica ``r`` of a
+  batch depends only on ``seeds[r]``, never on the batch size or the order
+  of its neighbours (R=1 vs R=K, and permutations, give identical replicas);
+* **round counts match the sequential engines** — the aggregate every sweep
+  consumes (``effective_rounds``) is identical to the per-seed loop's.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import EmekKerenStyleElection, GilbertNewportKnockout
+from repro.batch import BatchedEngine, BatchedMemoryEngine
+from repro.core.bfw import BFWProtocol
+from repro.graphs.generators import cycle_graph
+from tests.batch.parity_harness import assert_replica_parity
+
+SETTINGS = settings(max_examples=15, deadline=None)
+
+seed_lists = st.lists(
+    st.integers(min_value=0, max_value=2**20), min_size=1, max_size=8
+)
+
+
+def _engine_for(topology, protocol):
+    if isinstance(protocol, (EmekKerenStyleElection, GilbertNewportKnockout)):
+        return BatchedMemoryEngine(topology, protocol)
+    return BatchedEngine(topology, protocol)
+
+
+def _protocol_from(flag, diameter):
+    if flag == "bfw":
+        return BFWProtocol()
+    if flag == "emek-keren":
+        return EmekKerenStyleElection(diameter=diameter)
+    return GilbertNewportKnockout()
+
+
+protocol_flags = st.sampled_from(["bfw", "emek-keren", "gilbert-newport"])
+
+
+@SETTINGS
+@given(seeds=seed_lists, flag=protocol_flags)
+def test_retirement_never_resurrects_a_converged_replica(seeds, flag):
+    topology = cycle_graph(10)
+    protocol = _protocol_from(flag, topology.diameter())
+    batch = _engine_for(topology, protocol).run(seeds, max_rounds=400)
+    for index in range(batch.num_replicas):
+        trajectory = batch.leader_counts[index]
+        assert len(trajectory) == batch.rounds_executed[index] + 1
+        if batch.converged[index]:
+            convergence = int(batch.convergence_round[index])
+            assert 0 <= convergence <= batch.rounds_executed[index]
+            # From the convergence round on, the replica never leaves the
+            # single-leader configuration: it is retired, not resurrected.
+            assert all(count == 1 for count in trajectory[convergence:])
+            assert batch.final_leader_count[index] == 1
+        else:
+            assert trajectory[-1] != 1 or batch.convergence_round[index] == -1
+
+
+@SETTINGS
+@given(seeds=seed_lists, flag=protocol_flags)
+def test_replicas_are_independent_of_batch_size(seeds, flag):
+    topology = cycle_graph(8)
+
+    def run(batch_seeds):
+        protocol = _protocol_from(flag, topology.diameter())
+        return _engine_for(topology, protocol).run(batch_seeds, max_rounds=300)
+
+    full = run(seeds)
+    for index, seed in enumerate(seeds):
+        alone = run([seed])
+        assert alone.replica(0) == full.replica(index)
+
+
+@SETTINGS
+@given(seeds=seed_lists, flag=protocol_flags, data=st.data())
+def test_replicas_are_independent_of_batch_order(seeds, flag, data):
+    topology = cycle_graph(8)
+    order = data.draw(st.permutations(range(len(seeds))))
+
+    def run(batch_seeds):
+        protocol = _protocol_from(flag, topology.diameter())
+        return _engine_for(topology, protocol).run(batch_seeds, max_rounds=300)
+
+    original = run(seeds)
+    permuted = run([seeds[position] for position in order])
+    for new_index, position in enumerate(order):
+        assert permuted.replica(new_index) == original.replica(position)
+
+
+@SETTINGS
+@given(
+    seeds=seed_lists,
+    n=st.integers(min_value=4, max_value=14),
+    flag=protocol_flags,
+)
+def test_round_counts_match_the_sequential_engine(seeds, n, flag):
+    topology = cycle_graph(n)
+    protocol = _protocol_from(flag, topology.diameter())
+    # The harness compares every per-replica field, so in particular the
+    # effective round counts that every sweep aggregates.
+    batch = assert_replica_parity(topology, protocol, seeds=seeds, max_rounds=300)
+    effective = batch.effective_rounds()
+    assert effective.shape == (len(seeds),)
+    assert (effective <= 300).all()

@@ -161,3 +161,83 @@ def test_montecarlo_reports_nonconvergence(capsys):
     captured = capsys.readouterr()
     assert code == 2
     assert "per-seed" not in captured.out
+
+
+def test_montecarlo_memory_baseline_runs_batched(capsys, tmp_path):
+    destination = tmp_path / "mc-memory.json"
+    code = main(
+        [
+            "montecarlo",
+            "--protocol",
+            "emek-keren",
+            "--graph",
+            "cycle",
+            "--n",
+            "12",
+            "--replicas",
+            "4",
+            "--master-seed",
+            "5",
+            "--save-json",
+            str(destination),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "batched" in captured.out
+    assert "per-seed" not in captured.out
+    # The batched memory engine records elected-node identities.
+    assert "unknown" not in captured.out
+    assert '"converged": true' in destination.read_text()
+
+
+def test_montecarlo_standalone_runner_stays_on_the_loop(capsys):
+    code = main(
+        [
+            "montecarlo",
+            "--protocol",
+            "pipelined-ids",
+            "--graph",
+            "cycle",
+            "--n",
+            "10",
+            "--replicas",
+            "2",
+            "--master-seed",
+            "5",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "per-seed loop" in captured.out
+
+
+def test_table1_batched_end_to_end(capsys):
+    # Exact batched-vs-looped table equality is covered at the API level on
+    # small graphs (tests/experiments/test_tables.py); here the flag is
+    # driven end-to-end through the CLI on the default graph set.
+    code = main(["table1", "--seeds", "1", "--batched"])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Table 1" in captured.out
+    assert "bfw-nonuniform" in captured.out
+
+
+def test_lower_bound_batched_matches_looped(capsys):
+    argv = ["lower-bound", "--diameters", "4", "8", "--seeds", "3"]
+    assert main(argv) == 0
+    looped = capsys.readouterr().out
+    assert main(argv + ["--batched"]) == 0
+    batched = capsys.readouterr().out
+    assert looped == batched
+    assert "conjectured exponent" in batched
+
+
+def test_ablation_batched_matches_looped(capsys):
+    argv = ["ablation", "--diameter", "6", "--seeds", "2"]
+    assert main(argv) == 0
+    looped = capsys.readouterr().out
+    assert main(argv + ["--batched"]) == 0
+    batched = capsys.readouterr().out
+    assert looped == batched
+    assert "Structural ablations" in batched
