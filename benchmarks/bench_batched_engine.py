@@ -13,13 +13,21 @@ replica-for-replica identical to the loop:
   :class:`~repro.beeping.simulator.MemorySimulator` runs (the Emek–Keren
   epoch baseline, a Table-1 workload), asserting ≥ 2× at R = 32 — in
   practice the gap is far larger, because the sequential memory simulator
-  pays a Python call per *node* per round, not just per round.
+  pays a Python call per *node* per round, not just per round;
+* the :class:`~repro.exec.ProcessBackend` against the single-process
+  :class:`~repro.exec.BatchedBackend` on a multi-cell sweep (the Table-1 /
+  scaling shape), asserting ≥ 1.5× with 2 workers — only on machines with
+  at least 2 CPUs, since cell sharding cannot beat one process on one core.
+  This case always writes its measurements to ``BENCH_exec.json``
+  (override the path with ``REPRO_BENCH_JSON``) so the execution-layer
+  perf trajectory is machine-readable from PR to PR.
 
 Setting ``REPRO_BENCH_FAST=1`` shrinks every workload (small R and n) and
 skips the speed-up assertions; CI uses it as a smoke mode so these scripts
 cannot silently rot without turning CI red on timing noise.
 """
 
+import json
 import os
 import time
 
@@ -30,12 +38,26 @@ from repro.batch import BatchedEngine, BatchedMemoryEngine
 from repro.beeping.engine import VectorizedEngine
 from repro.beeping.simulator import MemorySimulator
 from repro.core.bfw import BFWProtocol
+from repro.exec import BatchedBackend, ProcessBackend
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
+from repro.experiments.runner import sweep_cells
 from repro.graphs.generators import cycle_graph
 
 MAX_ROUNDS = 400_000
 
 #: Smoke mode: tiny workloads, no timing assertions (see module docstring).
 FAST = os.environ.get("REPRO_BENCH_FAST", "") == "1"
+
+#: ``REPRO_BENCH_STRICT=0`` keeps the full workloads but skips the E13
+#: speed-up assertion — CI uses it to measure a real BENCH_exec.json on
+#: shared runners without going red on their timing noise.
+STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") == "1"
+
+#: Where the execution-backend case writes its machine-readable results.
+BENCH_EXEC_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_exec.json")
+
+#: Workers used by the process-backend sweep case.
+PROCESS_WORKERS = 2
 
 
 def _size(value, fast_value):
@@ -128,6 +150,90 @@ def test_batched_memory_engine_speedup_over_seed_loop(report):
         assert speedup >= 2.0, (
             f"batched memory engine must be >= 2x the seed loop; "
             f"measured {speedup:.2f}x"
+        )
+
+
+@pytest.mark.experiment("E13")
+def test_process_backend_sweep_speedup_over_batched(report):
+    """Multi-cell sweep: cells sharded across 2 workers vs one process.
+
+    The workload is the sweep shape the experiments actually run — one
+    constant-state protocol across several cycle sizes, all replicas of a
+    cell in one batched state array either way.  The records must match
+    byte for byte; the wall-clock comparison (and the machine-readable
+    ``BENCH_exec.json``) is the point of the case.
+    """
+    sweep = SweepConfig(
+        name="bench-exec",
+        protocols=(ProtocolSpecConfig(name="bfw"),),
+        graphs=tuple(
+            GraphSpec(family="cycle", n=_size(200, 16) + _size(8, 2) * index)
+            for index in range(_size(6, 2))
+        ),
+        num_seeds=_size(32, 3),
+        master_seed=20250212,
+    )
+    cells = sweep_cells(sweep)
+
+    start = time.perf_counter()
+    batched_records = BatchedBackend().run_cells(cells)
+    batched_seconds = time.perf_counter() - start
+
+    process_backend = ProcessBackend(workers=PROCESS_WORKERS)
+    start = time.perf_counter()
+    process_records = process_backend.run_cells(cells)
+    process_seconds = time.perf_counter() - start
+
+    # identical records first — a fast wrong backend is worthless
+    assert process_records == batched_records
+
+    replica_rounds = sum(record.rounds_executed for record in batched_records)
+    speedup = batched_seconds / process_seconds
+    cpus = os.cpu_count() or 1
+    payload = {
+        "benchmark": "exec-backend-sweep",
+        "fast_mode": FAST,
+        "strict": STRICT,
+        "cpu_count": cpus,
+        "workload": {
+            "protocol": "bfw",
+            "graphs": [graph.label for graph in sweep.graphs],
+            "replicas_per_cell": sweep.num_seeds,
+            "cells": len(cells),
+            "replica_rounds": replica_rounds,
+        },
+        "results": [
+            {
+                "backend": "batched",
+                "wall_seconds": batched_seconds,
+                "replica_rounds_per_sec": replica_rounds / max(batched_seconds, 1e-9),
+            },
+            {
+                "backend": process_backend.name,
+                "wall_seconds": process_seconds,
+                "replica_rounds_per_sec": replica_rounds / max(process_seconds, 1e-9),
+            },
+        ],
+        "speedup_process_vs_batched": speedup,
+    }
+    with open(BENCH_EXEC_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    report(
+        f"E13 — process backend vs batched backend "
+        f"({len(cells)} cells, R={sweep.num_seeds}, {PROCESS_WORKERS} workers, "
+        f"{cpus} CPU(s))",
+        f"batched:     {batched_seconds:8.2f}s\n"
+        f"process:{PROCESS_WORKERS}:   {process_seconds:8.2f}s\n"
+        f"speedup:     {speedup:.2f}x\n"
+        f"json:        {BENCH_EXEC_JSON}",
+    )
+    if not FAST and STRICT and cpus >= PROCESS_WORKERS:
+        assert speedup >= 1.5, (
+            f"process backend must be >= 1.5x the batched backend on a "
+            f"multi-cell sweep with {PROCESS_WORKERS} workers; "
+            f"measured {speedup:.2f}x on {cpus} CPUs"
         )
 
 

@@ -34,17 +34,30 @@ from repro.core import (
     available_protocols,
     create_protocol,
 )
+from repro.exec import (
+    BatchedBackend,
+    ExecutionBackend,
+    ExecutionCell,
+    ProcessBackend,
+    SequentialBackend,
+    resolve_backend,
+)
 from repro.graphs import Topology, make_graph
 
 __all__ = [
     "BFWProtocol",
     "BatchResult",
+    "BatchedBackend",
     "BatchedEngine",
     "BeepingProtocol",
+    "ExecutionBackend",
+    "ExecutionCell",
     "ExecutionTrace",
     "MemoryProtocol",
     "MemorySimulator",
     "NonUniformBFWProtocol",
+    "ProcessBackend",
+    "SequentialBackend",
     "SimulationResult",
     "Simulator",
     "State",
@@ -54,6 +67,7 @@ __all__ = [
     "available_protocols",
     "create_protocol",
     "make_graph",
+    "resolve_backend",
     "run_batch",
     "run_bfw",
 ]

@@ -6,17 +6,23 @@ Every experiment in DESIGN.md can be regenerated from the command line:
 
     repro list-protocols
     repro run --protocol bfw --graph path --n 64 --seed 1
-    repro table1 --seeds 10 --batched
+    repro table1 --seeds 10 --backend process:4
     repro scaling --mode uniform --diameters 8 16 32 64
-    repro scaling --mode nonuniform --diameters 8 16 32 64 --replicas 32 --batched
+    repro scaling --mode nonuniform --diameters 8 16 32 64 --replicas 32 --backend batched
     repro montecarlo --protocol emek-keren --graph cycle --n 64 --replicas 64
-    repro lower-bound --diameters 8 16 32 64 --batched
-    repro ablation --batched
+    repro lower-bound --diameters 8 16 32 64 --workers 4
+    repro ablation --backend batched
     repro wave-demo --n 40
 
-Every experiment accepting ``--batched`` produces output identical to the
-per-seed loop under the same master seed — the batched engines reproduce
-each seeded replica exactly.
+Every sweep-shaped experiment accepts ``--backend`` (``sequential``,
+``batched``, ``process[:N]``) and ``--workers N`` (shorthand for
+``--backend process:N``); the per-replica outcomes are byte-identical on
+every backend under the same master seed — the batched and process
+executors reproduce each seeded replica exactly, so the choice is purely
+about wall-clock.  (``repro montecarlo`` additionally reports *how* it ran:
+its engine row and elected-leader identities reflect the chosen backend,
+because only batched executions record leader identities.)  The legacy
+``--batched`` flag remains as a deprecated alias for ``--backend batched``.
 
 The CLI is intentionally thin: each sub-command parses arguments, calls the
 corresponding function in :mod:`repro.experiments`, and prints the rendered
@@ -27,9 +33,76 @@ from __future__ import annotations
 
 import argparse
 import sys
+import warnings
 from typing import List, Optional, Sequence
 
 from repro._version import __version__
+
+
+def _add_backend_arguments(
+    parser: argparse.ArgumentParser,
+    default: str = "sequential",
+    legacy_batched: bool = True,
+) -> None:
+    """Attach the shared execution-backend options to a sub-command."""
+    parser.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "Execution backend: 'sequential', 'batched' (all replicas of a "
+            "cell in one state array) or 'process[:N]' (cells sharded "
+            f"across N worker processes).  Output is byte-identical on "
+            f"every backend; default: {default}."
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="Worker processes for the process backend (implies --backend process:N).",
+    )
+    if legacy_batched:
+        parser.add_argument(
+            "--batched",
+            action="store_true",
+            help="[deprecated] Alias for --backend batched.",
+        )
+
+
+def _backend_spec_from_args(args: argparse.Namespace) -> Optional[str]:
+    """Combine --backend/--workers/--batched into one backend spec string.
+
+    Returns ``None`` when nothing was requested, so each sub-command keeps
+    its historical default.  The deprecated ``--batched`` flag maps onto
+    ``--backend batched`` with a :class:`DeprecationWarning`.
+    """
+    from repro.errors import ConfigurationError
+
+    backend: Optional[str] = args.backend
+    workers: Optional[int] = args.workers
+    if getattr(args, "batched", False):
+        if backend is not None:
+            raise ConfigurationError(
+                "--batched is a deprecated alias for --backend batched; "
+                "pass only one of them"
+            )
+        warnings.warn(
+            "--batched is deprecated; use --backend batched instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        backend = "batched"
+    if workers is not None:
+        if backend is None or backend == "process":
+            backend = f"process:{workers}"
+        else:
+            raise ConfigurationError(
+                f"--workers only applies to the process backend; "
+                f"got --workers {workers} with --backend {backend}"
+            )
+    return backend
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,11 +143,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser.add_argument("--master-seed", type=int, default=1)
     table1_parser.add_argument("--save-json", default=None)
     table1_parser.add_argument("--save-csv", default=None)
-    table1_parser.add_argument(
-        "--batched", action="store_true",
-        help="Advance each (protocol, graph) cell's seeds in one batched "
-        "state array (identical table, faster).",
-    )
+    _add_backend_arguments(table1_parser)
 
     scaling_parser = subparsers.add_parser(
         "scaling", help="Convergence-time scaling (Theorems 2 and 3)."
@@ -91,11 +160,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--replicas", type=int, default=None,
         help="Replicas per diameter (overrides --seeds).",
     )
-    scaling_parser.add_argument(
-        "--batched", action="store_true",
-        help="Advance all replicas of a diameter in one batched state array "
-        "(identical results, faster).",
-    )
+    _add_backend_arguments(scaling_parser)
     scaling_parser.add_argument("--master-seed", type=int, default=2)
 
     montecarlo_parser = subparsers.add_parser(
@@ -112,6 +177,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--save-json", default=None,
         help="Write per-replica outcomes to this JSON file.",
     )
+    _add_backend_arguments(montecarlo_parser, default="batched", legacy_batched=False)
 
     crossover_parser = subparsers.add_parser(
         "crossover", help="Uniform vs non-uniform BFW speed-up factors."
@@ -120,6 +186,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--diameters", type=int, nargs="+", default=[8, 16, 32]
     )
     crossover_parser.add_argument("--seeds", type=int, default=10)
+    _add_backend_arguments(crossover_parser, legacy_batched=False)
 
     lower_parser = subparsers.add_parser(
         "lower-bound", help="Section 5 lower-bound conjecture experiment."
@@ -128,22 +195,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--diameters", type=int, nargs="+", default=[8, 16, 32, 64]
     )
     lower_parser.add_argument("--seeds", type=int, default=20)
-    lower_parser.add_argument(
-        "--batched", action="store_true",
-        help="Advance all seeds of a diameter in one batched state array "
-        "(identical results, faster).",
-    )
+    _add_backend_arguments(lower_parser)
 
     ablation_parser = subparsers.add_parser(
         "ablation", help="Parameter sweep over p and structural ablations."
     )
     ablation_parser.add_argument("--diameter", type=int, default=24)
     ablation_parser.add_argument("--seeds", type=int, default=10)
-    ablation_parser.add_argument(
-        "--batched", action="store_true",
-        help="Advance all seeds of a sweep cell in one batched state array "
-        "(identical results, faster).",
-    )
+    _add_backend_arguments(ablation_parser)
 
     wave_parser = subparsers.add_parser(
         "wave-demo", help="Print a space-time diagram of beep waves on a path."
@@ -226,7 +285,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
         num_seeds=args.seeds,
         master_seed=args.master_seed,
         progress=lambda line: print("  " + line, file=sys.stderr),
-        batched=args.batched,
+        backend=_backend_spec_from_args(args),
     )
     print(result.render())
     if args.save_json:
@@ -247,7 +306,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         diameters=args.diameters,
         num_seeds=args.replicas if args.replicas is not None else args.seeds,
         master_seed=args.master_seed,
-        batched=args.batched,
+        backend=_backend_spec_from_args(args),
     )
     print(result.render())
     return 0
@@ -269,6 +328,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
             args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
         ),
         max_rounds=args.max_rounds,
+        backend=_backend_spec_from_args(args),
     )
     print(report.render())
     if args.save_json:
@@ -284,7 +344,11 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
 def _cmd_crossover(args: argparse.Namespace) -> int:
     from repro.experiments.figures import crossover_experiment
 
-    result = crossover_experiment(diameters=args.diameters, num_seeds=args.seeds)
+    result = crossover_experiment(
+        diameters=args.diameters,
+        num_seeds=args.seeds,
+        backend=_backend_spec_from_args(args),
+    )
     print(result.uniform.render())
     print()
     print(result.nonuniform.render())
@@ -297,7 +361,9 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
     from repro.experiments.figures import lower_bound_experiment
 
     result = lower_bound_experiment(
-        diameters=args.diameters, num_seeds=args.seeds, batched=args.batched
+        diameters=args.diameters,
+        num_seeds=args.seeds,
+        backend=_backend_spec_from_args(args),
     )
     print(result.render())
     return 0
@@ -307,7 +373,9 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
     from repro.experiments.figures import ablation_experiment
 
     result = ablation_experiment(
-        diameter=args.diameter, num_seeds=args.seeds, batched=args.batched
+        diameter=args.diameter,
+        num_seeds=args.seeds,
+        backend=_backend_spec_from_args(args),
     )
     print(result.render())
     return 0

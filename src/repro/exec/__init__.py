@@ -1,0 +1,58 @@
+"""Pluggable execution backends for the experiment sweeps.
+
+Every statistical claim of the paper is reproduced from sweeps over
+(protocol, graph, seeds) *cells*.  This package owns how those cells are
+executed, behind one API:
+
+* :class:`~repro.exec.cells.ExecutionCell` — the pure-data unit of work
+  (spec pair + replica seeds), spawn-safe by construction;
+* :class:`~repro.exec.base.ExecutionBackend` — the strategy contract:
+  ``run_cells(cells) -> records`` plus a backend-mediated
+  :class:`~repro.exec.base.CellCompleted` progress hook;
+* :class:`~repro.exec.backends.SequentialBackend` /
+  :class:`~repro.exec.backends.BatchedBackend` /
+  :class:`~repro.exec.backends.ProcessBackend` — the three shipped
+  strategies (per-trial loop, one batched state array per cell, cells
+  sharded across a process pool);
+* :func:`~repro.exec.backends.resolve_backend` — spec strings
+  (``"sequential"``, ``"batched"``, ``"process:4"``) to backend objects, so
+  every experiment entry point and CLI flag shares one vocabulary.
+
+All backends produce byte-identical records under matched seeds; choosing
+one is purely a wall-clock decision.  Rule of thumb: ``sequential`` for a
+handful of replicas or when debugging a single trial, ``batched`` for many
+replicas of few cells, ``process:N`` for sweeps with several independent
+cells (Table 1, scaling curves) on a multi-core machine.
+"""
+
+from repro.exec.base import CellCompleted, ExecutionBackend, ProgressHook
+from repro.exec.backends import (
+    BackendSpec,
+    BatchedBackend,
+    ProcessBackend,
+    SequentialBackend,
+    resolve_backend,
+    resolve_backend_with_deprecated_batched,
+)
+from repro.exec.cells import (
+    CellOutcome,
+    ExecutionCell,
+    execute_cell_batched,
+    execute_cell_sequential,
+)
+
+__all__ = [
+    "BackendSpec",
+    "BatchedBackend",
+    "CellCompleted",
+    "CellOutcome",
+    "ExecutionBackend",
+    "ExecutionCell",
+    "ProcessBackend",
+    "ProgressHook",
+    "SequentialBackend",
+    "execute_cell_batched",
+    "execute_cell_sequential",
+    "resolve_backend",
+    "resolve_backend_with_deprecated_batched",
+]

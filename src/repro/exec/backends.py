@@ -1,0 +1,197 @@
+"""The three shipped execution backends and the spec-string resolver.
+
+* :class:`SequentialBackend` — today's per-trial loop: every replica of
+  every cell is one seeded single run.  The reference semantics.
+* :class:`BatchedBackend` — each cell's replicas advance together in one
+  ``(R, n)`` state array (constant-state protocols through
+  :class:`~repro.batch.engine.BatchedEngine`, supported memory baselines
+  through :class:`~repro.batch.memory.BatchedMemoryEngine`, standalone
+  runners fall back to the loop).  Fastest single-process option.
+* :class:`ProcessBackend` — shards whole cells across a
+  ``multiprocessing`` pool; each worker runs the batched cell path.  Cells
+  are pure-data (spec pairs plus seeds), so the backend is spawn-safe, and
+  outcomes are returned in deterministic cell order, keeping output
+  byte-identical to the sequential loop under matched seeds.
+
+:func:`resolve_backend` turns a backend instance or a spec string
+(``"sequential"``, ``"batched"``, ``"process"``, ``"process:4"``) into a
+backend object; :func:`resolve_backend_with_deprecated_batched` additionally
+maps the legacy ``batched=`` boolean kwargs onto backends with a
+:class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import warnings
+from typing import Optional, Sequence, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.exec.base import ExecutionBackend, ProgressHook, emit_progress
+from repro.exec.cells import (
+    CellOutcome,
+    ExecutionCell,
+    execute_cell_batched,
+    execute_cell_sequential,
+)
+
+#: What a caller may pass as ``backend=``: an instance, a spec string, or
+#: ``None`` for the entry point's default.
+BackendSpec = Union[ExecutionBackend, str, None]
+
+
+class SequentialBackend(ExecutionBackend):
+    """One seeded single-replica run per seed — the reference semantics."""
+
+    name = "sequential"
+
+    def run_cell_outcomes(
+        self,
+        cells: Sequence[ExecutionCell],
+        progress: Optional[ProgressHook] = None,
+    ) -> Tuple[CellOutcome, ...]:
+        cells = tuple(cells)
+        outcomes = []
+        for index, cell in enumerate(cells):
+            outcome = execute_cell_sequential(cell)
+            outcomes.append(outcome)
+            emit_progress(progress, index, len(cells), outcome, self.name)
+        return tuple(outcomes)
+
+
+class BatchedBackend(ExecutionBackend):
+    """All replicas of each cell advance in one batched state array."""
+
+    name = "batched"
+
+    def run_cell_outcomes(
+        self,
+        cells: Sequence[ExecutionCell],
+        progress: Optional[ProgressHook] = None,
+    ) -> Tuple[CellOutcome, ...]:
+        cells = tuple(cells)
+        outcomes = []
+        for index, cell in enumerate(cells):
+            outcome = execute_cell_batched(cell)
+            outcomes.append(outcome)
+            emit_progress(progress, index, len(cells), outcome, self.name)
+        return tuple(outcomes)
+
+
+def _execute_cell_in_worker(cell: ExecutionCell) -> CellOutcome:
+    """Worker entry point: the batched cell path, importable by spawn."""
+    return execute_cell_batched(cell)
+
+
+class ProcessBackend(ExecutionBackend):
+    """Shard whole cells across a ``multiprocessing`` pool.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the machine's CPU count.  The pool never
+        exceeds the number of cells.
+    mp_context:
+        ``multiprocessing`` start method.  Defaults to ``"spawn"``, which
+        works on every platform and proves the cells are pure-data; pass
+        ``"fork"`` on POSIX to trade that guarantee for cheaper startup.
+
+    Each worker executes the batched cell path, so per-cell results are the
+    batched engine's — replica-for-replica identical to the sequential
+    loop.  ``imap`` keeps delivery (and therefore record order and progress
+    events) in deterministic cell order regardless of which worker finishes
+    first.
+    """
+
+    def __init__(self, workers: Optional[int] = None, mp_context: str = "spawn"):
+        if workers is None:
+            workers = max(1, os.cpu_count() or 1)
+        if int(workers) < 1:
+            raise ConfigurationError(f"workers must be >= 1; got {workers}")
+        self.workers = int(workers)
+        self.mp_context = mp_context
+        self.name = f"process:{self.workers}"
+
+    def run_cell_outcomes(
+        self,
+        cells: Sequence[ExecutionCell],
+        progress: Optional[ProgressHook] = None,
+    ) -> Tuple[CellOutcome, ...]:
+        cells = tuple(cells)
+        if not cells:
+            return ()
+        pool_size = min(self.workers, len(cells))
+        context = multiprocessing.get_context(self.mp_context)
+        outcomes = []
+        with context.Pool(processes=pool_size) as pool:
+            for index, outcome in enumerate(
+                pool.imap(_execute_cell_in_worker, cells, chunksize=1)
+            ):
+                outcomes.append(outcome)
+                emit_progress(progress, index, len(cells), outcome, self.name)
+        return tuple(outcomes)
+
+
+def resolve_backend(
+    spec: BackendSpec = None, default: BackendSpec = "sequential"
+) -> ExecutionBackend:
+    """Turn a backend instance or spec string into a backend object.
+
+    Accepted spec strings: ``"sequential"``, ``"batched"``, ``"process"``
+    (CPU-count workers) and ``"process:N"``.  ``None`` resolves to
+    ``default``, so entry points can keep their historical default while
+    accepting explicit overrides.
+    """
+    if spec is None:
+        spec = default
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    if isinstance(spec, str):
+        name, _, argument = spec.strip().partition(":")
+        name = name.lower()
+        if name == "sequential" and not argument:
+            return SequentialBackend()
+        if name == "batched" and not argument:
+            return BatchedBackend()
+        if name == "process":
+            if not argument:
+                return ProcessBackend()
+            try:
+                workers = int(argument)
+            except ValueError:
+                raise ConfigurationError(
+                    f"invalid worker count {argument!r} in backend spec {spec!r}"
+                ) from None
+            return ProcessBackend(workers=workers)
+    raise ConfigurationError(
+        f"unknown execution backend {spec!r}; expected an ExecutionBackend "
+        f"instance or one of 'sequential', 'batched', 'process[:N]'"
+    )
+
+
+def resolve_backend_with_deprecated_batched(
+    backend: BackendSpec,
+    batched: Optional[bool],
+    default: BackendSpec = "sequential",
+    what: str = "batched=",
+) -> ExecutionBackend:
+    """Resolve ``backend=`` while honouring the legacy ``batched=`` kwarg.
+
+    ``batched=True`` maps to :class:`BatchedBackend` and ``batched=False``
+    to :class:`SequentialBackend`, each with a :class:`DeprecationWarning`;
+    passing both ``backend=`` and ``batched=`` is an error.
+    """
+    if batched is not None:
+        warnings.warn(
+            f"{what} is deprecated; pass backend='batched' (or any backend "
+            f"spec / instance) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if backend is not None:
+            raise ConfigurationError(
+                "pass either backend= or the deprecated batched=, not both"
+            )
+        backend = "batched" if batched else "sequential"
+    return resolve_backend(backend, default=default)

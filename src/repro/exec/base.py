@@ -1,0 +1,101 @@
+"""The :class:`ExecutionBackend` API: one contract for every sweep executor.
+
+A backend receives a sequence of :class:`~repro.exec.cells.ExecutionCell`
+objects and returns their outcomes **in cell order**, whatever execution
+strategy it uses internally (a loop, one batched state array per cell, a
+process pool over cells).  Because every executor is replica-for-replica
+identical to the sequential loop under matched seeds, swapping backends
+never changes experiment output — only wall-clock.
+
+Progress reporting is backend-mediated: callers pass a ``progress`` callable
+that receives one :class:`CellCompleted` event per finished cell, again in
+deterministic cell order, carrying only that cell's outcome (so progress
+aggregation stays O(cell), not O(records so far)).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
+
+from repro.exec.cells import CellOutcome, ExecutionCell
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids a module cycle
+    from repro.experiments.results import TrialRecord
+
+
+@dataclass(frozen=True)
+class CellCompleted:
+    """Progress event emitted after each cell finishes.
+
+    Events arrive in deterministic cell order (index ``0`` first) on every
+    backend, including process pools — ordered delivery is part of the
+    backend contract, so progress output is reproducible too.
+    """
+
+    index: int
+    total: int
+    outcome: CellOutcome
+    backend: str
+
+    @property
+    def cell(self) -> ExecutionCell:
+        """The cell this event reports on."""
+        return self.outcome.cell
+
+
+#: Signature of the backend-mediated progress hook.
+ProgressHook = Callable[[CellCompleted], None]
+
+
+class ExecutionBackend(abc.ABC):
+    """Strategy for executing a sequence of sweep cells.
+
+    Implementations must return outcomes in cell order and preserve the
+    per-replica results of the sequential loop under matched seeds.
+    """
+
+    #: Spec-string name of the backend (what :func:`resolve_backend` parses).
+    name: str = "?"
+
+    @abc.abstractmethod
+    def run_cell_outcomes(
+        self,
+        cells: Sequence[ExecutionCell],
+        progress: Optional[ProgressHook] = None,
+    ) -> Tuple[CellOutcome, ...]:
+        """Execute every cell and return their outcomes in cell order."""
+
+    def run_cells(
+        self,
+        cells: Sequence[ExecutionCell],
+        progress: Optional[ProgressHook] = None,
+    ) -> Tuple[TrialRecord, ...]:
+        """Execute every cell and return the flattened per-trial records.
+
+        Records are ordered by cell, then by seed within the cell — the
+        exact order the per-trial sweep loop produces, byte-identical to it
+        under matched seeds on every backend.
+        """
+        outcomes = self.run_cell_outcomes(cells, progress=progress)
+        return tuple(
+            record for outcome in outcomes for record in outcome.to_records()
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+def emit_progress(
+    progress: Optional[ProgressHook],
+    index: int,
+    total: int,
+    outcome: CellOutcome,
+    backend: str,
+) -> None:
+    """Deliver one :class:`CellCompleted` event if a hook is installed."""
+    if progress is not None:
+        progress(
+            CellCompleted(index=index, total=total, outcome=outcome, backend=backend)
+        )

@@ -1,0 +1,264 @@
+"""Execution cells: the unit of work every backend schedules.
+
+A *cell* is one (protocol, graph) configuration together with the seeds of
+all its replicas — exactly the granularity at which the sweeps behind the
+paper's statistical claims are embarrassingly parallel.  Cells are plain
+frozen dataclasses built from :class:`~repro.experiments.config.ProtocolSpecConfig`
+and :class:`~repro.experiments.config.GraphSpec`, so they pickle cleanly and
+can be shipped to spawn-started worker processes; the topology and protocol
+objects are rebuilt inside the executing process from the same deterministic
+seed derivations the per-trial loop uses, which keeps every backend's output
+byte-identical under matched seeds.
+
+Two executors share this module:
+
+* :func:`execute_cell_sequential` — today's per-trial loop: one seeded
+  single-replica run per seed;
+* :func:`execute_cell_batched` — the batched path: all of the cell's
+  replicas advance together through
+  :class:`~repro.experiments.montecarlo.MonteCarloRunner` (which itself
+  falls back to the loop for standalone runners).
+
+Both return a :class:`CellOutcome`, whose per-seed results are
+replica-for-replica identical between the two executors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Tuple, Union
+
+from repro.batch.results import BatchResult
+from repro.beeping.simulator import SimulationResult
+from repro.errors import ConfigurationError
+from repro.graphs.generators import make_graph
+from repro.graphs.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover
+    # Typing-only: the experiments package imports the sweep runner, which
+    # imports repro.exec — a module-level import here would be circular
+    # (and would deadlock spawn workers unpickling cells).
+    from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+    from repro.experiments.results import TrialRecord
+
+#: Key material accepted by :func:`repro.experiments.seeds.rng_from`.
+RngKey = Tuple[Union[int, str], ...]
+
+
+@dataclass(frozen=True)
+class ExecutionCell:
+    """One (protocol, graph) configuration with all its replica seeds.
+
+    Attributes
+    ----------
+    protocol, graph:
+        Pure-data specs from which the executing process rebuilds the
+        protocol and topology objects (both picklable, so cells are
+        spawn-safe).
+    seeds:
+        One seed per replica, in deterministic replica order.
+    max_rounds:
+        Optional shared round budget (``None`` uses the engine default).
+    planted_leaders:
+        Optional node indices to start as planted leaders (the lower-bound
+        experiment's adversarial initial states).  Negative indices count
+        from the end of the node range, so ``(0, -1)`` plants the two
+        diametral endpoints of a path without knowing ``n`` in advance.
+    graph_rng_key:
+        Optional override for the graph generator's seed derivation, as the
+        key tuple handed to :func:`~repro.experiments.seeds.rng_from`.  The
+        default reproduces the sweep runner's derivation
+        ``(graph.seed, "graph", graph.family, graph.n)``.
+    """
+
+    protocol: ProtocolSpecConfig
+    graph: GraphSpec
+    seeds: Tuple[int, ...]
+    max_rounds: Optional[int] = None
+    planted_leaders: Optional[Tuple[int, ...]] = None
+    graph_rng_key: Optional[RngKey] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
+        if not self.seeds:
+            raise ConfigurationError(
+                f"cell {self.label!r} needs at least one replica seed"
+            )
+        if self.planted_leaders is not None:
+            object.__setattr__(
+                self,
+                "planted_leaders",
+                tuple(int(node) for node in self.planted_leaders),
+            )
+        if self.graph_rng_key is not None:
+            object.__setattr__(self, "graph_rng_key", tuple(self.graph_rng_key))
+
+    @property
+    def label(self) -> str:
+        """Display label such as ``"bfw on cycle(64)"``."""
+        return f"{self.protocol.label} on {self.graph.label}"
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of seeded replicas in the cell."""
+        return len(self.seeds)
+
+    def build_topology(self) -> Topology:
+        """Rebuild the cell's graph exactly as the per-trial loop would."""
+        from repro.experiments.seeds import rng_from
+
+        key = self.graph_rng_key
+        if key is None:
+            key = (self.graph.seed, "graph", self.graph.family, self.graph.n)
+        return make_graph(self.graph.family, self.graph.n, rng=rng_from(*key))
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """Everything one executed cell produced, in replica order.
+
+    Exactly one of ``batch`` / ``sequential_results`` is populated, so a
+    process-pool worker ships each replica's outcome once — the
+    :attr:`results` view is derived on access rather than duplicated into
+    the pickle payload.
+
+    Attributes
+    ----------
+    cell:
+        The cell that was executed.
+    n, diameter, topology_name:
+        Properties of the graph instance actually built (families with
+        structured sizes may round the requested ``n``).
+    batch:
+        The underlying :class:`~repro.batch.results.BatchResult` when the
+        cell ran through a batched executor (``None`` on the sequential
+        path).
+    batched:
+        Whether a batched engine actually advanced the replicas (standalone
+        runners fall back to the loop even under batched executors).
+    sequential_results:
+        The per-seed results of the sequential executor (``None`` on the
+        batched path, where they are derived from ``batch``).
+    """
+
+    cell: ExecutionCell
+    n: int
+    diameter: int
+    topology_name: str
+    batch: Optional[BatchResult] = None
+    batched: bool = False
+    sequential_results: Optional[Tuple[SimulationResult, ...]] = None
+
+    @property
+    def results(self) -> Tuple[SimulationResult, ...]:
+        """One result per seed, in seed order — identical on every backend.
+
+        Derived from ``batch`` on first access and memoized (progress hooks
+        and record flattening both read it), without becoming part of the
+        dataclass state — a worker-side outcome pickles only the batch.
+        """
+        if self.sequential_results is not None:
+            return self.sequential_results
+        cached = self.__dict__.get("_results_cache")
+        if cached is None:
+            assert self.batch is not None
+            cached = self.batch.to_simulation_results()
+            object.__setattr__(self, "_results_cache", cached)
+        return cached
+
+    def to_records(self) -> Tuple[TrialRecord, ...]:
+        """Flatten the outcome into per-trial sweep records (memoized)."""
+        from repro.experiments.results import TrialRecord
+
+        cached = self.__dict__.get("_records_cache")
+        if cached is None:
+            cached = tuple(
+                TrialRecord(
+                    protocol=self.cell.protocol.label,
+                    graph=self.cell.graph.label,
+                    n=self.n,
+                    diameter=self.diameter,
+                    seed=seed,
+                    converged=result.converged,
+                    convergence_round=result.convergence_round,
+                    rounds_executed=result.rounds_executed,
+                )
+                for seed, result in zip(self.cell.seeds, self.results)
+            )
+            object.__setattr__(self, "_records_cache", cached)
+        return cached
+
+
+def _build_cell(cell: ExecutionCell):
+    """Topology, protocol and optional planted initial states for a cell."""
+    from repro.beeping.adversary import planted_leaders_initial_states
+    from repro.experiments.runner import instantiate_protocol
+
+    topology = cell.build_topology()
+    protocol = instantiate_protocol(
+        cell.protocol.name, topology, dict(cell.protocol.params)
+    )
+    initial_states = None
+    if cell.planted_leaders is not None:
+        initial_states = planted_leaders_initial_states(
+            topology, tuple(node % topology.n for node in cell.planted_leaders)
+        )
+    return topology, protocol, initial_states
+
+
+def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
+    """Run the cell's replicas one seeded single run at a time."""
+    from repro.beeping.engine import VectorizedEngine
+    from repro.core.protocol import BeepingProtocol
+    from repro.experiments.runner import run_protocol_on
+
+    topology, protocol, initial_states = _build_cell(cell)
+    if initial_states is not None:
+        if not isinstance(protocol, BeepingProtocol):
+            raise ConfigurationError(
+                f"planted leaders require a constant-state beeping protocol; "
+                f"got {type(protocol).__name__}"
+            )
+        engine = VectorizedEngine(topology, protocol)
+        results = tuple(
+            engine.run(
+                max_rounds=cell.max_rounds, rng=seed, initial_states=initial_states
+            )
+            for seed in cell.seeds
+        )
+    else:
+        results = tuple(
+            run_protocol_on(topology, protocol, rng=seed, max_rounds=cell.max_rounds)
+            for seed in cell.seeds
+        )
+    return CellOutcome(
+        cell=cell,
+        n=topology.n,
+        diameter=topology.diameter(),
+        topology_name=topology.name,
+        sequential_results=results,
+    )
+
+
+def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
+    """Advance all of the cell's replicas in one batched state array.
+
+    Replica for replica identical to :func:`execute_cell_sequential` under
+    matched seeds (see ``tests/batch/parity_harness.py``); standalone
+    runners without a batch implementation keep the per-seed loop inside
+    :class:`~repro.experiments.montecarlo.MonteCarloRunner`.
+    """
+    from repro.experiments.montecarlo import MonteCarloRunner, runs_batched
+
+    topology, protocol, initial_states = _build_cell(cell)
+    batch = MonteCarloRunner(max_rounds=cell.max_rounds).run(
+        topology, protocol, list(cell.seeds), initial_states=initial_states
+    )
+    return CellOutcome(
+        cell=cell,
+        n=topology.n,
+        diameter=topology.diameter(),
+        topology_name=topology.name,
+        batch=batch,
+        batched=runs_batched(protocol),
+    )

@@ -35,11 +35,13 @@ from repro.experiments.montecarlo import (
 )
 from repro.experiments.runner import (
     BASELINE_NAMES,
+    cell_progress_adapter,
     instantiate_protocol,
     run_protocol_batch_on,
     run_protocol_on,
     run_sweep,
     run_trial,
+    sweep_cells,
 )
 from repro.experiments.seeds import (
     DEFAULT_MASTER_SEED,
@@ -88,8 +90,10 @@ __all__ = [
     "run_monte_carlo",
     "run_protocol_batch_on",
     "run_protocol_on",
+    "cell_progress_adapter",
     "run_sweep",
     "run_trial",
+    "sweep_cells",
     "save_records_csv",
     "save_records_json",
     "save_summaries_csv",

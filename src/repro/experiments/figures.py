@@ -17,22 +17,19 @@ regenerated here are the empirical counterparts of its claims:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.batch.engine import BatchedEngine
-from repro.beeping.adversary import (
-    planted_leaders_initial_states,
-)
-from repro.beeping.engine import VectorizedEngine
-from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
-from repro.core.variants import NoFreezeBFWProtocol, NoRelayBFWProtocol
 from repro.errors import ConfigurationError
-from repro.experiments.seeds import rng_from, trial_seeds
-from repro.graphs.generators import cycle_graph, path_graph
-from repro.graphs.topology import Topology
+from repro.exec import (
+    BackendSpec,
+    ExecutionCell,
+    resolve_backend_with_deprecated_batched,
+)
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+from repro.experiments.seeds import trial_seeds
 from repro.stats.regression import ModelComparison, PowerLawFit, compare_scaling_models, fit_power_law
 from repro.stats.summary import Summary, summarize_sample
 from repro.viz.table_format import render_table
@@ -91,43 +88,19 @@ class ScalingResult:
         return table + fit_line
 
 
-def _graph_for(family: str, diameter: int) -> Topology:
+def _graph_spec_for(family: str, diameter: int) -> GraphSpec:
+    """The worst-case-diameter graph of one scaling cell, as pure data.
+
+    ``make_graph`` rebuilds exactly the graphs the historical code built
+    directly (``path_graph(D + 1)``, ``cycle_graph(2 D)``), so cells remain
+    spawn-safe spec pairs.
+    """
     if family == "path":
-        return path_graph(diameter + 1)
+        return GraphSpec(family="path", n=diameter + 1)
     if family == "cycle":
-        return cycle_graph(2 * diameter)
+        return GraphSpec(family="cycle", n=2 * diameter)
     raise ConfigurationError(
         f"scaling experiments support 'path' and 'cycle'; got {family!r}"
-    )
-
-
-def _run_cell_results(
-    topology: Topology,
-    protocol,
-    seeds: Sequence[int],
-    budget: int,
-    batched: bool,
-    initial_states=None,
-):
-    """One (protocol, budget) cell's per-seed results, batched or looped.
-
-    The batched path reproduces each seeded run exactly, so callers may
-    aggregate either tuple without caring which engine produced it.
-    """
-    if batched:
-        batch = BatchedEngine(topology, protocol).run(
-            list(seeds),
-            max_rounds=budget,
-            initial_states=(
-                None if initial_states is None else np.asarray(initial_states)
-            ),
-            record_leader_counts=False,
-        )
-        return batch.to_simulation_results()
-    engine = VectorizedEngine(topology, protocol)
-    return tuple(
-        engine.run(max_rounds=budget, rng=seed, initial_states=initial_states)
-        for seed in seeds
     )
 
 
@@ -139,7 +112,8 @@ def scaling_experiment(
     master_seed: int = 2,
     beep_probability: float = 0.5,
     max_rounds_factor: float = 200.0,
-    batched: bool = False,
+    batched: Optional[bool] = None,
+    backend: BackendSpec = None,
 ) -> ScalingResult:
     """Measure convergence time against the diameter (experiments E2 / E3).
 
@@ -161,31 +135,54 @@ def scaling_experiment(
     max_rounds_factor:
         Per-trial round budget as a multiple of ``D² log₂ n`` (uniform) or
         ``D log₂ n`` (non-uniform).
+    backend:
+        :mod:`repro.exec` backend executing the per-diameter cells
+        (``"sequential"`` by default; ``"batched"`` advances all seeds of a
+        diameter in one state array, ``"process:N"`` shards diameters
+        across worker processes).  The per-seed results — and therefore the
+        fitted exponents — are bit-for-bit identical on every backend.
     batched:
-        Advance all seeds of a diameter in one
-        :class:`~repro.batch.engine.BatchedEngine` state array instead of
-        looping single runs.  The per-seed results (and therefore the fitted
-        exponents) are bit-for-bit identical; only the wall-clock changes.
+        Deprecated shim for ``backend="batched"`` (emits a
+        :class:`DeprecationWarning`).
     """
     if mode not in ("uniform", "nonuniform"):
         raise ConfigurationError(f"mode must be 'uniform' or 'nonuniform'; got {mode!r}")
-    points: List[ScalingPoint] = []
-    mean_rounds: List[float] = []
+    resolved = resolve_backend_with_deprecated_batched(
+        backend, batched, default="sequential", what="scaling_experiment(batched=...)"
+    )
+    cells: List[ExecutionCell] = []
     for diameter in diameters:
-        topology = _graph_for(family, diameter)
+        graph_spec = _graph_spec_for(family, diameter)
         if mode == "uniform":
-            protocol = BFWProtocol(beep_probability=beep_probability)
+            protocol_spec = ProtocolSpecConfig(
+                name="bfw", params={"beep_probability": beep_probability}
+            )
             budget = int(
-                max_rounds_factor * diameter * diameter * (np.log2(topology.n) + 1)
+                max_rounds_factor * diameter * diameter * (np.log2(graph_spec.n) + 1)
             )
         else:
-            protocol = NonUniformBFWProtocol(diameter=diameter)
-            budget = int(max_rounds_factor * diameter * (np.log2(topology.n) + 1)) + 1000
-        seeds = trial_seeds(master_seed, f"scaling/{mode}/{family}/{diameter}", num_seeds)
-        results = _run_cell_results(topology, protocol, seeds, budget, batched)
+            protocol_spec = ProtocolSpecConfig(name="bfw-nonuniform")
+            budget = (
+                int(max_rounds_factor * diameter * (np.log2(graph_spec.n) + 1)) + 1000
+            )
+        cells.append(
+            ExecutionCell(
+                protocol=protocol_spec,
+                graph=graph_spec,
+                seeds=trial_seeds(
+                    master_seed, f"scaling/{mode}/{family}/{diameter}", num_seeds
+                ),
+                max_rounds=budget,
+            )
+        )
+    outcomes = resolved.run_cell_outcomes(tuple(cells))
+
+    points: List[ScalingPoint] = []
+    mean_rounds: List[float] = []
+    for diameter, outcome in zip(diameters, outcomes):
         rounds: List[float] = []
         converged = 0
-        for result in results:
+        for result in outcome.results:
             if result.converged and result.convergence_round is not None:
                 rounds.append(float(result.convergence_round))
                 converged += 1
@@ -195,7 +192,7 @@ def scaling_experiment(
         points.append(
             ScalingPoint(
                 diameter=diameter,
-                n=topology.n,
+                n=outcome.n,
                 rounds=summary,
                 convergence_rate=converged / num_seeds,
             )
@@ -240,6 +237,7 @@ def crossover_experiment(
     diameters: Sequence[int] = (8, 16, 32),
     num_seeds: int = 10,
     master_seed: int = 3,
+    backend: BackendSpec = None,
 ) -> CrossoverResult:
     """Run E2 and E3 on the same graphs and report the speed-up factors."""
     uniform = scaling_experiment(
@@ -248,6 +246,7 @@ def crossover_experiment(
         diameters=diameters,
         num_seeds=num_seeds,
         master_seed=master_seed,
+        backend=backend,
     )
     nonuniform = scaling_experiment(
         mode="nonuniform",
@@ -255,6 +254,7 @@ def crossover_experiment(
         diameters=diameters,
         num_seeds=num_seeds,
         master_seed=master_seed + 1,
+        backend=backend,
     )
     speedups = tuple(
         (
@@ -316,28 +316,41 @@ def lower_bound_experiment(
     master_seed: int = 4,
     beep_probability: float = 0.5,
     max_rounds_factor: float = 400.0,
-    batched: bool = False,
+    batched: Optional[bool] = None,
+    backend: BackendSpec = None,
 ) -> LowerBoundResult:
     """Measure how long two diametral leaders coexist on a path (experiment E4).
 
-    With ``batched=True`` all seeds of a diameter advance in one
-    :class:`~repro.batch.engine.BatchedEngine` state array (planted initial
-    states included); the per-seed results are bit-for-bit identical to the
-    loop, so the fitted exponent never changes — only the wall-clock does.
+    The per-diameter cells (planted diametral leaders included) run on any
+    :mod:`repro.exec` backend with bit-for-bit identical per-seed results,
+    so the fitted exponent never changes — only the wall-clock does.
+    ``batched=True`` is a deprecated shim for ``backend="batched"``.
     """
+    resolved = resolve_backend_with_deprecated_batched(
+        backend,
+        batched,
+        default="sequential",
+        what="lower_bound_experiment(batched=...)",
+    )
+    cells = tuple(
+        ExecutionCell(
+            protocol=ProtocolSpecConfig(
+                name="bfw", params={"beep_probability": beep_probability}
+            ),
+            graph=GraphSpec(family="path", n=diameter + 1),
+            seeds=trial_seeds(master_seed, f"lower-bound/{diameter}", num_seeds),
+            max_rounds=int(max_rounds_factor * diameter * diameter) + 1000,
+            planted_leaders=(0, -1),
+        )
+        for diameter in diameters
+    )
+    outcomes = resolved.run_cell_outcomes(cells)
+
     points: List[LowerBoundPoint] = []
     means: List[float] = []
-    for diameter in diameters:
-        topology = path_graph(diameter + 1)
-        protocol = BFWProtocol(beep_probability=beep_probability)
-        initial = planted_leaders_initial_states(topology, (0, topology.n - 1))
-        budget = int(max_rounds_factor * diameter * diameter) + 1000
-        seeds = trial_seeds(master_seed, f"lower-bound/{diameter}", num_seeds)
-        results = _run_cell_results(
-            topology, protocol, seeds, budget, batched, initial_states=initial
-        )
+    for diameter, outcome in zip(diameters, outcomes):
         rounds: List[float] = []
-        for result in results:
+        for result in outcome.results:
             rounds.append(
                 float(
                     result.convergence_round
@@ -418,36 +431,68 @@ class AblationResult:
         return sweep_table + "\n\n" + ablation_table
 
 
+#: Display label and registry name of each structural ablation variant.
+ABLATION_VARIANTS: Tuple[Tuple[str, str], ...] = (
+    ("bfw (full)", "bfw"),
+    ("no-freeze", "bfw-no-freeze"),
+    ("no-relay", "bfw-no-relay"),
+)
+
+
 def ablation_experiment(
     diameter: int = 24,
     probabilities: Sequence[float] = (0.05, 0.1, 0.25, 0.5, 0.75, 0.9),
     num_seeds: int = 10,
     master_seed: int = 5,
     max_rounds_factor: float = 150.0,
-    batched: bool = False,
+    batched: Optional[bool] = None,
+    backend: BackendSpec = None,
 ) -> AblationResult:
     """Sweep ``p`` and test the structural ablation variants (experiment E8).
 
-    With ``batched=True`` every cell of the sweep (one value of ``p``, or one
-    ablated variant) advances all its seeds in one batched state array; the
-    reported rates and round counts are identical to the per-seed loop.
+    Every cell of the sweep (one value of ``p``, or one ablated variant)
+    runs on the chosen :mod:`repro.exec` backend; the reported rates and
+    round counts are identical to the per-seed loop on all of them.
+    ``batched=True`` is a deprecated shim for ``backend="batched"``.
     """
-    topology = path_graph(diameter + 1)
+    resolved = resolve_backend_with_deprecated_batched(
+        backend, batched, default="sequential", what="ablation_experiment(batched=...)"
+    )
+    graph_spec = GraphSpec(family="path", n=diameter + 1)
     budget = int(max_rounds_factor * diameter * diameter) + 1000
+    # The ablated variants may fail to converge; keep their budget small so
+    # the experiment terminates quickly while still being conclusive.
+    ablation_budget = min(budget, 40 * diameter * diameter)
+
+    probability_cells = tuple(
+        ExecutionCell(
+            protocol=ProtocolSpecConfig(
+                name="bfw", params={"beep_probability": probability}
+            ),
+            graph=graph_spec,
+            seeds=trial_seeds(master_seed, f"ablation/p={probability}", num_seeds),
+            max_rounds=budget,
+        )
+        for probability in probabilities
+    )
+    variant_cells = tuple(
+        ExecutionCell(
+            protocol=ProtocolSpecConfig(name=name),
+            graph=graph_spec,
+            seeds=trial_seeds(master_seed, f"ablation/{label}", num_seeds),
+            max_rounds=ablation_budget,
+        )
+        for label, name in ABLATION_VARIANTS
+    )
+    outcomes = resolved.run_cell_outcomes(probability_cells + variant_cells)
+    sweep_outcomes = outcomes[: len(probability_cells)]
+    variant_outcomes = outcomes[len(probability_cells) :]
 
     sweep_points: List[ParameterSweepPoint] = []
-    for probability in probabilities:
-        seeds = trial_seeds(master_seed, f"ablation/p={probability}", num_seeds)
-        results = _run_cell_results(
-            topology,
-            BFWProtocol(beep_probability=probability),
-            seeds,
-            budget,
-            batched,
-        )
+    for probability, outcome in zip(probabilities, sweep_outcomes):
         rounds: List[float] = []
         converged = 0
-        for result in results:
+        for result in outcome.results:
             if result.converged:
                 converged += 1
                 rounds.append(float(result.convergence_round))
@@ -461,24 +506,12 @@ def ablation_experiment(
             )
         )
 
-    ablation_protocols = (
-        ("bfw (full)", BFWProtocol()),
-        ("no-freeze", NoFreezeBFWProtocol()),
-        ("no-relay", NoRelayBFWProtocol()),
-    )
     ablations: List[AblationOutcome] = []
-    # The ablated variants may fail to converge; keep their budget small so
-    # the experiment terminates quickly while still being conclusive.
-    ablation_budget = min(budget, 40 * diameter * diameter)
-    for label, protocol in ablation_protocols:
-        seeds = trial_seeds(master_seed, f"ablation/{label}", num_seeds)
-        results = _run_cell_results(
-            topology, protocol, seeds, ablation_budget, batched
-        )
+    for (label, _), outcome in zip(ABLATION_VARIANTS, variant_outcomes):
         converged = 0
         leaderless = 0
-        rounds: List[float] = []
-        for result in results:
+        rounds = []
+        for result in outcome.results:
             if result.converged:
                 converged += 1
                 rounds.append(float(result.convergence_round))
@@ -497,5 +530,5 @@ def ablation_experiment(
     return AblationResult(
         sweep_points=tuple(sweep_points),
         ablations=tuple(ablations),
-        graph_label=topology.name,
+        graph_label=variant_outcomes[0].topology_name,
     )

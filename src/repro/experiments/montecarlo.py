@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
@@ -36,10 +36,13 @@ from repro.batch.results import BatchResult
 from repro.batch.streams import SeedLike
 from repro.core.protocol import BeepingProtocol
 from repro.errors import ConfigurationError
-from repro.experiments.runner import instantiate_protocol, run_protocol_on
-from repro.experiments.seeds import DEFAULT_MASTER_SEED, rng_from, trial_seeds
-from repro.graphs.generators import make_graph
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+from repro.experiments.runner import run_protocol_on
+from repro.experiments.seeds import DEFAULT_MASTER_SEED, trial_seeds
 from repro.graphs.topology import Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a module cycle
+    from repro.exec import BackendSpec
 from repro.stats.summary import Summary, summarize_sample
 from repro.viz.table_format import render_table
 
@@ -66,12 +69,15 @@ class MonteCarloRunner:
         protocol: object,
         seeds: Sequence[SeedLike],
         max_rounds: Optional[int] = None,
+        initial_states: Optional[np.ndarray] = None,
     ) -> BatchResult:
         """Run one replica per seed and return the batch outcome.
 
         Constant-state protocols and batch-supported memory baselines advance
         in a single batched state array; anything else falls back to a
-        per-seed loop with identical results.
+        per-seed loop with identical results.  ``initial_states`` (an
+        ``(n,)`` vector shared by all replicas, e.g. planted leaders) is
+        only meaningful for constant-state protocols.
         """
         if len(seeds) == 0:
             raise ConfigurationError("a Monte-Carlo run needs at least one seed")
@@ -81,7 +87,15 @@ class MonteCarloRunner:
             return engine.run(
                 list(seeds),
                 max_rounds=budget,
+                initial_states=(
+                    None if initial_states is None else np.asarray(initial_states)
+                ),
                 record_leader_counts=self.record_leader_counts,
+            )
+        if initial_states is not None:
+            raise ConfigurationError(
+                "initial_states requires a constant-state beeping protocol; "
+                f"got {type(protocol).__name__}"
             )
         if supports_batched_memory(protocol):
             # Trajectories are always kept on this path: the per-seed loop it
@@ -171,6 +185,7 @@ def run_monte_carlo(
     master_seed: int = DEFAULT_MASTER_SEED,
     max_rounds: Optional[int] = None,
     params: Optional[dict] = None,
+    backend: "BackendSpec" = None,
 ) -> MonteCarloReport:
     """Run ``replicas`` seeded executions of one configuration and summarise.
 
@@ -181,29 +196,50 @@ def run_monte_carlo(
     ``repro run --seed <seed>``; randomised families (geometric,
     Erdős–Rényi) are seeded from ``master_seed`` here but from ``--seed``
     by ``repro run``, so the standalone command rebuilds a different graph.
+
+    ``backend`` selects the :mod:`repro.exec` execution backend and defaults
+    to ``"batched"`` (the historical behaviour of this entry point); the
+    per-replica outcomes are identical on every backend, but only batched
+    executions record elected-node identities.
+
+    ``elapsed_seconds`` (and therefore the reported replica-rounds/sec)
+    times the whole backend execution — graph rebuild and protocol
+    instantiation included, and for ``"process:N"`` the worker-pool
+    startup too.  It measures what the chosen backend costs end to end,
+    not bare engine throughput; use
+    ``benchmarks/bench_batched_engine.py`` for engine-only numbers.
     """
+    from repro.exec import ExecutionCell, resolve_backend
+
     if replicas < 1:
         raise ConfigurationError(f"replicas must be >= 1; got {replicas}")
-    graph_rng = rng_from(master_seed, "montecarlo-graph", graph, n)
-    topology = make_graph(graph, n, rng=graph_rng)
-    protocol_obj = instantiate_protocol(protocol, topology, dict(params or {}))
-    seeds = trial_seeds(master_seed, f"montecarlo/{protocol}/{graph}/{n}", replicas)
-
-    runner = MonteCarloRunner(max_rounds=max_rounds)
+    resolved = resolve_backend(backend, default="batched")
+    cell = ExecutionCell(
+        protocol=ProtocolSpecConfig(name=protocol, params=dict(params or {})),
+        graph=GraphSpec(family=graph, n=n),
+        seeds=trial_seeds(master_seed, f"montecarlo/{protocol}/{graph}/{n}", replicas),
+        max_rounds=max_rounds,
+        graph_rng_key=(master_seed, "montecarlo-graph", graph, n),
+    )
     start = time.perf_counter()
-    batch = runner.run(topology, protocol_obj, seeds)
+    outcome = resolved.run_cell_outcomes((cell,))[0]
     elapsed = time.perf_counter() - start
 
+    batch = outcome.batch
+    if batch is None:
+        batch = BatchResult.from_simulation_results(
+            outcome.results, seeds=list(cell.seeds)
+        )
     # Leader identities exist on both batched paths; the per-seed fallback
     # assembles SimulationResults, which do not record the elected node.
-    has_leader_identities = runs_batched(protocol_obj)
+    has_leader_identities = outcome.batched
     return MonteCarloReport(
         protocol=protocol,
-        graph=topology.name,
-        n=topology.n,
-        diameter=topology.diameter(),
+        graph=outcome.topology_name,
+        n=outcome.n,
+        diameter=outcome.diameter,
         num_replicas=batch.num_replicas,
-        batched=runs_batched(protocol_obj),
+        batched=outcome.batched,
         rounds=summarize_sample([float(r) for r in batch.effective_rounds()]),
         convergence_rate=batch.convergence_rate,
         distinct_leaders=(

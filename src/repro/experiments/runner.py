@@ -12,7 +12,13 @@ Three kinds of protocol objects appear in the experiments:
   their own ``run(topology, rng, max_rounds)`` method.
 
 :func:`run_protocol_on` hides that dispatch so that the sweep code, the
-Table-1 generator, and the CLI all share one entry point.
+Table-1 generator, and the CLI all share one entry point.  *How* a sweep's
+cells are executed — per-trial loop, batched state arrays, a process pool —
+is delegated to the pluggable :mod:`repro.exec` backends:
+:func:`run_sweep` accepts ``backend=`` (an
+:class:`~repro.exec.ExecutionBackend` instance or a spec string such as
+``"batched"`` or ``"process:4"``) and produces byte-identical records on
+every backend under matched seeds.
 """
 
 from __future__ import annotations
@@ -32,12 +38,14 @@ from repro.beeping.simulator import MemorySimulator, SimulationResult
 from repro.core.protocol import BeepingProtocol, MemoryProtocol
 from repro.core.registry import available_protocols, create_protocol
 from repro.errors import ConfigurationError
-from repro.experiments.config import (
-    GraphSpec,
-    ProtocolSpecConfig,
-    SweepConfig,
-    TrialConfig,
+from repro.exec import (
+    BackendSpec,
+    CellCompleted,
+    ExecutionCell,
+    ProgressHook,
+    resolve_backend_with_deprecated_batched,
 )
+from repro.experiments.config import SweepConfig, TrialConfig
 from repro.experiments.results import TrialRecord
 from repro.experiments.seeds import rng_from, trial_seeds
 from repro.graphs.generators import make_graph
@@ -161,10 +169,66 @@ def run_trial(trial: TrialConfig) -> TrialRecord:
     )
 
 
+def sweep_cells(sweep: SweepConfig) -> Tuple[ExecutionCell, ...]:
+    """The sweep's (protocol, graph) cells as backend-executable units.
+
+    Seeds are derived per cell exactly as the historical per-trial loop
+    derived them, so any :class:`~repro.exec.ExecutionBackend` fed these
+    cells reproduces that loop record for record.
+    """
+    return tuple(
+        ExecutionCell(
+            protocol=protocol_spec,
+            graph=graph_spec,
+            seeds=trial_seeds(
+                sweep.master_seed,
+                f"{sweep.name}/{protocol_spec.label}/{graph_spec.label}",
+                sweep.num_seeds,
+            ),
+            max_rounds=sweep.max_rounds,
+        )
+        for protocol_spec, graph_spec in sweep.cells()
+    )
+
+
+def cell_progress_adapter(
+    progress: Optional[Callable[[str], None]],
+) -> Optional[ProgressHook]:
+    """Adapt a line-oriented progress callback to backend cell events.
+
+    Each event carries only its own cell's outcome, so the per-cell mean is
+    computed from that cell's records alone (the historical implementation
+    re-filtered the whole accumulated record list after every cell, which
+    made progress reporting quadratic in the number of cells).
+    """
+    if progress is None:
+        return None
+
+    def on_cell(event: CellCompleted) -> None:
+        cell_records = event.outcome.to_records()
+        mean_rounds = float(
+            np.mean(
+                [
+                    record.convergence_round
+                    if record.convergence_round is not None
+                    else record.rounds_executed
+                    for record in cell_records
+                ]
+            )
+        )
+        progress(
+            f"{event.cell.protocol.label:<28} {event.cell.graph.label:<18} "
+            f"mean rounds: {mean_rounds:10.1f}"
+        )
+
+    return on_cell
+
+
 def run_sweep(
     sweep: SweepConfig,
     progress: Optional[Callable[[str], None]] = None,
-    batched: bool = False,
+    batched: Optional[bool] = None,
+    backend: BackendSpec = None,
 ) -> Tuple[TrialRecord, ...]:
     """Run every (protocol, graph, seed) combination of a sweep.
 
@@ -175,84 +239,20 @@ def run_sweep(
     progress:
         Optional callback invoked with a human-readable line after each cell
         (used by the CLI to report progress).
+    backend:
+        How the sweep's cells are executed: an
+        :class:`~repro.exec.ExecutionBackend` instance or a spec string —
+        ``"sequential"`` (the default; per-trial loop), ``"batched"`` (one
+        state array per cell) or ``"process:N"`` (cells sharded across N
+        worker processes).  Records are byte-identical on every backend
+        under the same master seed; only the wall-clock changes.
     batched:
-        Route each cell's replicas through the batched Monte-Carlo engine
-        where the protocol allows it.  The records are identical to the
-        per-trial loop (the batched engine reproduces each seeded run
-        exactly); only the wall-clock changes.
+        Deprecated: ``batched=True`` is a shim for ``backend="batched"``
+        and emits a :class:`DeprecationWarning`.
     """
-    records = []
-    for protocol_spec, graph_spec in sweep.cells():
-        seeds = trial_seeds(
-            sweep.master_seed,
-            f"{sweep.name}/{protocol_spec.label}/{graph_spec.label}",
-            sweep.num_seeds,
-        )
-        if batched:
-            records.extend(
-                _run_cell_batched(protocol_spec, graph_spec, seeds, sweep.max_rounds)
-            )
-        else:
-            for seed in seeds:
-                trial = TrialConfig(
-                    protocol=protocol_spec,
-                    graph=graph_spec,
-                    seed=seed,
-                    max_rounds=sweep.max_rounds,
-                )
-                records.append(run_trial(trial))
-        if progress is not None:
-            cell_records = [
-                r
-                for r in records
-                if r.protocol == protocol_spec.label and r.graph == graph_spec.label
-            ]
-            mean_rounds = float(
-                np.mean(
-                    [
-                        r.convergence_round
-                        if r.convergence_round is not None
-                        else r.rounds_executed
-                        for r in cell_records
-                    ]
-                )
-            )
-            progress(
-                f"{protocol_spec.label:<28} {graph_spec.label:<18} "
-                f"mean rounds: {mean_rounds:10.1f}"
-            )
-    return tuple(records)
-
-
-def _run_cell_batched(
-    protocol_spec: ProtocolSpecConfig,
-    graph_spec: GraphSpec,
-    seeds: Sequence[int],
-    max_rounds: Optional[int],
-) -> Tuple[TrialRecord, ...]:
-    """All replicas of one (protocol, graph) cell as a single batch.
-
-    The graph generator is reseeded exactly as :func:`run_trial` reseeds it,
-    so every replica of the cell sees the same topology instance the
-    per-trial loop would rebuild.
-    """
-    graph_rng = rng_from(graph_spec.seed, "graph", graph_spec.family, graph_spec.n)
-    topology = make_graph(graph_spec.family, graph_spec.n, rng=graph_rng)
-    protocol = instantiate_protocol(
-        protocol_spec.name, topology, dict(protocol_spec.params)
+    resolved = resolve_backend_with_deprecated_batched(
+        backend, batched, default="sequential", what="run_sweep(batched=...)"
     )
-    batch = run_protocol_batch_on(topology, protocol, seeds, max_rounds=max_rounds)
-    diameter = topology.diameter()
-    return tuple(
-        TrialRecord(
-            protocol=protocol_spec.label,
-            graph=graph_spec.label,
-            n=topology.n,
-            diameter=diameter,
-            seed=seed,
-            converged=result.converged,
-            convergence_round=result.convergence_round,
-            rounds_executed=result.rounds_executed,
-        )
-        for seed, result in zip(seeds, batch.to_simulation_results())
+    return resolved.run_cells(
+        sweep_cells(sweep), progress=cell_progress_adapter(progress)
     )

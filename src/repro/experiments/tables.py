@@ -18,10 +18,8 @@ couple of minutes; the CLI exposes flags to scale it up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
-
-import numpy as np
 
 from repro.baselines import (
     EmekKerenStyleElection,
@@ -30,9 +28,10 @@ from repro.baselines import (
     PipelinedIDElection,
 )
 from repro.baselines.base import BaselineInfo
+from repro.exec import BackendSpec, ExecutionCell, resolve_backend_with_deprecated_batched
 from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
 from repro.experiments.results import CellSummary, TrialRecord, aggregate_records
-from repro.experiments.runner import run_sweep
+from repro.experiments.runner import cell_progress_adapter, sweep_cells
 from repro.viz.table_format import render_table
 
 #: The BFW rows of Table 1, as stated in the paper.
@@ -159,7 +158,8 @@ def generate_table1(
     num_seeds: int = 10,
     master_seed: int = 1,
     progress=None,
-    batched: bool = False,
+    batched: Optional[bool] = None,
+    backend: BackendSpec = None,
 ) -> Table1Result:
     """Run the Table-1 comparison and return the regenerated table.
 
@@ -174,17 +174,26 @@ def generate_table1(
     master_seed:
         Master seed for reproducibility.
     progress:
-        Optional per-cell progress callback (forwarded to the sweep runner).
+        Optional per-cell progress callback (a human-readable line per
+        finished cell, as in :func:`~repro.experiments.runner.run_sweep`).
+    backend:
+        :mod:`repro.exec` backend executing the table's (protocol, graph)
+        cells — ``"sequential"`` (default), ``"batched"`` (one state array
+        per cell: the constant-state engine for the BFW rows, the batched
+        memory engine for the baseline rows; standalone runners keep the
+        loop) or ``"process:N"``.  All cells are dispatched in one backend
+        call, so a process pool shards the whole table at once.  Every
+        measured number is identical under the same ``master_seed``; only
+        the wall-clock changes.
     batched:
-        Advance each (protocol, graph) cell's seeds in one batched state
-        array — the constant-state engine for the BFW rows, the batched
-        memory engine for the baseline rows.  Every measured number is
-        identical to the per-seed loop under the same ``master_seed``; only
-        the wall-clock changes.  Standalone runners (pipelined-ids) keep the
-        loop either way.
+        Deprecated shim for ``backend="batched"`` (emits a
+        :class:`DeprecationWarning`).
     """
-    records: List[TrialRecord] = []
+    resolved = resolve_backend_with_deprecated_batched(
+        backend, batched, default="sequential", what="generate_table1(batched=...)"
+    )
     graph_labels = tuple(graph.label for graph in graphs)
+    cells: List[ExecutionCell] = []
     for name in protocols:
         eligible_graphs = tuple(
             graph
@@ -200,7 +209,10 @@ def generate_table1(
             num_seeds=num_seeds,
             master_seed=master_seed,
         )
-        records.extend(run_sweep(sweep, progress=progress, batched=batched))
+        cells.extend(sweep_cells(sweep))
+    records: List[TrialRecord] = list(
+        resolved.run_cells(tuple(cells), progress=cell_progress_adapter(progress))
+    )
 
     summaries = aggregate_records(records)
     by_cell: Dict[Tuple[str, str], CellSummary] = {

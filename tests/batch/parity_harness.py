@@ -17,6 +17,14 @@ round-trips — states it the same way:
 :func:`assert_replica_parity` dispatches on the protocol type, so callers
 can parametrise over any mix of protocols, graph families, replica counts
 and seeds without caring which engine pair is being exercised.
+
+The same invariant lifted one level up is owned by
+:func:`assert_backend_record_parity`: every :mod:`repro.exec` execution
+backend — the sequential loop, the batched engines, a process pool — must
+produce byte-identical :class:`~repro.experiments.results.TrialRecord`
+tuples for the same cells.  :func:`backend_parity_cells` builds the default
+cell set (constant-state protocols, memory baselines and a randomised graph
+family) that the backend parity tests sweep.
 """
 
 import numpy as np
@@ -25,6 +33,9 @@ from repro.batch import BatchedEngine, BatchedMemoryEngine
 from repro.beeping.engine import VectorizedEngine
 from repro.beeping.simulator import MemorySimulator
 from repro.core.protocol import BeepingProtocol, MemoryProtocol
+from repro.exec import resolve_backend
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
+from repro.experiments.runner import sweep_cells
 from repro.graphs.generators import (
     cycle_graph,
     erdos_renyi_graph,
@@ -34,6 +45,14 @@ from repro.graphs.generators import (
 
 #: Default per-replica seeds (also the default replica count R).
 DEFAULT_SEEDS = tuple(range(10))
+
+#: Default graph set for backend-level parity: the worst-case-diameter
+#: families plus a randomised family, mirroring :func:`parity_topologies`.
+BACKEND_PARITY_GRAPHS = (
+    GraphSpec(family="cycle", n=16),
+    GraphSpec(family="path", n=13),
+    GraphSpec(family="erdos-renyi", n=18, seed=5),
+)
 
 
 def parity_topologies():
@@ -93,6 +112,47 @@ def _assert_constant_state_parity(topology, protocol, seeds, **run_kwargs):
         else:
             assert batch.leader_node[index] == -1
     return batch
+
+
+def backend_parity_cells(
+    protocols=("bfw", "bfw-nonuniform", "emek-keren"),
+    graphs=BACKEND_PARITY_GRAPHS,
+    num_seeds=4,
+    master_seed=17,
+):
+    """The default cell set every backend must execute identically.
+
+    Spans a constant-state protocol, the D-aware variant and a memory
+    baseline over cycles, paths and a randomised (Erdős–Rényi) family.
+    """
+    sweep = SweepConfig(
+        name="backend-parity",
+        protocols=tuple(ProtocolSpecConfig(name=name) for name in protocols),
+        graphs=tuple(graphs),
+        num_seeds=num_seeds,
+        master_seed=master_seed,
+    )
+    return sweep_cells(sweep)
+
+
+def assert_backend_record_parity(backends, cells=None):
+    """Assert every backend yields byte-identical records, and return them.
+
+    ``backends`` may mix backend instances and spec strings; the first
+    entry produces the reference record tuple (field-for-field dataclass
+    equality — the records are frozen dataclasses of plain scalars, so
+    equality is byte-level).
+    """
+    if cells is None:
+        cells = backend_parity_cells()
+    cells = tuple(cells)
+    resolved = [resolve_backend(backend) for backend in backends]
+    reference = resolved[0].run_cells(cells)
+    for backend in resolved[1:]:
+        assert backend.run_cells(cells) == reference, (
+            f"{backend.name} records differ from {resolved[0].name}"
+        )
+    return reference
 
 
 def _assert_memory_parity(topology, protocol, seeds, **run_kwargs):

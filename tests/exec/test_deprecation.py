@@ -1,0 +1,149 @@
+"""Deprecation shims: ``batched=`` kwargs and ``--batched`` CLI flags.
+
+Every shim must (a) emit a :class:`DeprecationWarning`, (b) resolve to the
+batched backend, and (c) leave output unchanged relative to the explicit
+``backend="batched"`` spelling.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigurationError
+from repro.exec import resolve_backend_with_deprecated_batched
+from repro.exec.backends import BatchedBackend, SequentialBackend
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
+from repro.experiments.figures import (
+    ablation_experiment,
+    lower_bound_experiment,
+    scaling_experiment,
+)
+from repro.experiments.runner import run_sweep
+from repro.experiments.tables import generate_table1
+
+SWEEP = SweepConfig(
+    name="shim",
+    protocols=(ProtocolSpecConfig(name="bfw"),),
+    graphs=(GraphSpec(family="cycle", n=8),),
+    num_seeds=2,
+    master_seed=13,
+)
+
+
+def test_resolver_maps_batched_booleans_to_backends():
+    with pytest.warns(DeprecationWarning):
+        backend = resolve_backend_with_deprecated_batched(None, True)
+    assert isinstance(backend, BatchedBackend)
+    with pytest.warns(DeprecationWarning):
+        backend = resolve_backend_with_deprecated_batched(None, False)
+    assert isinstance(backend, SequentialBackend)
+    # No batched= at all: no warning, default applies.
+    assert isinstance(
+        resolve_backend_with_deprecated_batched(None, None), SequentialBackend
+    )
+
+
+def test_resolver_rejects_backend_and_batched_together():
+    with pytest.warns(DeprecationWarning):
+        with pytest.raises(ConfigurationError):
+            resolve_backend_with_deprecated_batched("sequential", True)
+
+
+def test_run_sweep_batched_kwarg_warns_and_matches_backend():
+    expected = run_sweep(SWEEP, backend="batched")
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        records = run_sweep(SWEEP, batched=True)
+    assert records == expected
+    with pytest.warns(DeprecationWarning):
+        records = run_sweep(SWEEP, batched=False)
+    assert records == run_sweep(SWEEP)
+
+
+def test_scaling_experiment_batched_kwarg_warns_and_matches_backend():
+    kwargs = dict(mode="uniform", family="cycle", diameters=(4, 8), num_seeds=2, master_seed=6)
+    expected = scaling_experiment(backend="batched", **kwargs)
+    with pytest.warns(DeprecationWarning):
+        result = scaling_experiment(batched=True, **kwargs)
+    assert result == expected
+
+
+def test_lower_bound_experiment_batched_kwarg_warns_and_matches_backend():
+    kwargs = dict(diameters=(4, 8), num_seeds=2, master_seed=3)
+    expected = lower_bound_experiment(backend="batched", **kwargs)
+    with pytest.warns(DeprecationWarning):
+        result = lower_bound_experiment(batched=True, **kwargs)
+    assert result == expected
+
+
+def test_ablation_experiment_batched_kwarg_warns_and_matches_backend():
+    kwargs = dict(diameter=6, probabilities=(0.5,), num_seeds=2, master_seed=4)
+    expected = ablation_experiment(backend="batched", **kwargs)
+    with pytest.warns(DeprecationWarning):
+        result = ablation_experiment(batched=True, **kwargs)
+    assert result == expected
+
+
+def test_generate_table1_batched_kwarg_warns_and_matches_backend():
+    kwargs = dict(
+        protocols=("bfw",),
+        graphs=(GraphSpec(family="cycle", n=8),),
+        num_seeds=2,
+        master_seed=7,
+    )
+    expected = generate_table1(backend="batched", **kwargs)
+    with pytest.warns(DeprecationWarning):
+        result = generate_table1(batched=True, **kwargs)
+    assert result.records == expected.records
+    assert result.render() == expected.render()
+
+
+# --------------------------------------------------------------------------- #
+# CLI flag shims
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_batched_flag_warns_and_output_is_unchanged(capsys):
+    argv = ["scaling", "--mode", "nonuniform", "--diameters", "4", "8", "--seeds", "2"]
+    assert main(argv + ["--backend", "batched"]) == 0
+    expected = capsys.readouterr().out
+    with pytest.warns(DeprecationWarning, match="--backend batched"):
+        assert main(argv + ["--batched"]) == 0
+    assert capsys.readouterr().out == expected
+
+
+def test_cli_ablation_batched_flag_warns(capsys):
+    argv = ["ablation", "--diameter", "6", "--seeds", "2"]
+    assert main(argv + ["--backend", "batched"]) == 0
+    expected = capsys.readouterr().out
+    with pytest.warns(DeprecationWarning):
+        assert main(argv + ["--batched"]) == 0
+    assert capsys.readouterr().out == expected
+
+
+def test_cli_rejects_batched_with_backend():
+    with pytest.raises(ConfigurationError):
+        main(
+            [
+                "scaling", "--mode", "nonuniform", "--diameters", "4",
+                "--seeds", "1", "--batched", "--backend", "sequential",
+            ]
+        )
+
+
+def test_cli_workers_implies_process_backend(capsys):
+    argv = [
+        "lower-bound", "--diameters", "4", "8", "--seeds", "2", "--workers", "2",
+    ]
+    assert main(argv) == 0
+    process_out = capsys.readouterr().out
+    assert main(["lower-bound", "--diameters", "4", "8", "--seeds", "2"]) == 0
+    assert capsys.readouterr().out == process_out
+
+
+def test_cli_workers_rejects_non_process_backends():
+    with pytest.raises(ConfigurationError):
+        main(
+            [
+                "scaling", "--mode", "nonuniform", "--diameters", "4",
+                "--seeds", "1", "--backend", "batched", "--workers", "2",
+            ]
+        )

@@ -1,0 +1,96 @@
+"""ProcessBackend parity: sharded cells must be byte-identical to in-process.
+
+These tests run real worker processes (spawn start method, 2 workers — the
+configuration CI exercises), so they keep workloads small: the point is
+byte-identical records and ordered delivery, not throughput (that is
+measured in ``benchmarks/bench_batched_engine.py``).
+"""
+
+import pytest
+
+from repro.exec import (
+    BatchedBackend,
+    CellCompleted,
+    ExecutionCell,
+    ProcessBackend,
+    SequentialBackend,
+)
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
+from repro.experiments.montecarlo import run_monte_carlo
+from repro.experiments.runner import run_sweep, sweep_cells
+
+from tests.batch.parity_harness import assert_backend_record_parity, backend_parity_cells
+
+#: The worker configuration the CI tests job pins.
+WORKERS = 2
+
+
+def test_process_backend_matches_sequential_and_batched_on_parity_cells():
+    # The shared parity cell set: constant-state protocols, a memory
+    # baseline, and cycle/path/Erdős–Rényi graphs (randomised family
+    # included) — all three backends must agree record for record.
+    assert_backend_record_parity(
+        [SequentialBackend(), BatchedBackend(), ProcessBackend(workers=WORKERS)]
+    )
+
+
+def test_process_backend_handles_planted_leader_cells():
+    cells = backend_parity_cells(
+        protocols=("bfw",), num_seeds=3, master_seed=23
+    )
+    planted = tuple(
+        ExecutionCell(
+            protocol=cell.protocol,
+            graph=cell.graph,
+            seeds=cell.seeds,
+            max_rounds=20_000,
+            planted_leaders=(0, -1),
+        )
+        for cell in cells
+        if cell.graph.family == "path"
+    )
+    assert planted
+    assert_backend_record_parity(
+        [SequentialBackend(), ProcessBackend(workers=WORKERS)], cells=planted
+    )
+
+
+def test_run_sweep_process_backend_is_byte_identical_to_sequential():
+    # The acceptance criterion of the backend redesign, stated end to end:
+    # run_sweep(backend="process:2") == run_sweep(backend="sequential")
+    # under the same master seed.
+    sweep = SweepConfig(
+        name="acceptance",
+        protocols=(ProtocolSpecConfig(name="bfw"), ProtocolSpecConfig(name="emek-keren")),
+        graphs=(GraphSpec(family="cycle", n=12), GraphSpec(family="erdos-renyi", n=14, seed=4)),
+        num_seeds=3,
+        master_seed=29,
+    )
+    assert run_sweep(sweep, backend="process:2") == run_sweep(sweep, backend="sequential")
+
+
+def test_process_backend_progress_events_arrive_in_cell_order():
+    cells = backend_parity_cells(protocols=("bfw",), num_seeds=2)
+    events = []
+    backend = ProcessBackend(workers=WORKERS)
+    backend.run_cells(cells, progress=events.append)
+    assert [event.index for event in events] == list(range(len(cells)))
+    assert all(isinstance(event, CellCompleted) for event in events)
+    assert all(event.backend == f"process:{WORKERS}" for event in events)
+    assert [event.cell for event in events] == list(cells)
+
+
+def test_process_backend_empty_cells_is_a_noop():
+    assert ProcessBackend(workers=WORKERS).run_cells(()) == ()
+
+
+def test_run_monte_carlo_process_backend_matches_batched():
+    kwargs = dict(protocol="bfw", graph="cycle", n=16, replicas=4, master_seed=31)
+    batched = run_monte_carlo(**kwargs)
+    process = run_monte_carlo(backend=f"process:{WORKERS}", **kwargs)
+    assert process.batched is True  # workers run the batched cell path
+    assert list(batched.result.effective_rounds()) == list(
+        process.result.effective_rounds()
+    )
+    assert list(batched.result.leader_node) == list(process.result.leader_node)
+    assert batched.distinct_leaders == process.distinct_leaders

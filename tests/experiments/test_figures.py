@@ -73,7 +73,7 @@ def test_ablation_experiment_small():
 def test_lower_bound_experiment_batched_is_identical():
     kwargs = dict(diameters=(4, 8), num_seeds=4, master_seed=3)
     looped = lower_bound_experiment(**kwargs)
-    batched = lower_bound_experiment(batched=True, **kwargs)
+    batched = lower_bound_experiment(backend="batched", **kwargs)
     # The batched engine reproduces each planted-leaders run exactly, so the
     # whole result object — summaries and fitted exponent included — matches.
     assert looped == batched
@@ -84,5 +84,5 @@ def test_ablation_experiment_batched_is_identical():
         diameter=6, probabilities=(0.25, 0.5), num_seeds=3, master_seed=4
     )
     looped = ablation_experiment(**kwargs)
-    batched = ablation_experiment(batched=True, **kwargs)
+    batched = ablation_experiment(backend="batched", **kwargs)
     assert looped == batched

@@ -96,7 +96,7 @@ def test_run_sweep_batched_records_are_identical():
         num_seeds=5,
         master_seed=11,
     )
-    assert run_sweep(sweep) == run_sweep(sweep, batched=True)
+    assert run_sweep(sweep) == run_sweep(sweep, backend="batched")
 
 
 def test_scaling_experiment_batched_is_identical():
@@ -104,7 +104,7 @@ def test_scaling_experiment_batched_is_identical():
         mode="uniform", family="cycle", diameters=(4, 8), num_seeds=4, master_seed=6
     )
     looped = scaling_experiment(**kwargs)
-    batched = scaling_experiment(batched=True, **kwargs)
+    batched = scaling_experiment(backend="batched", **kwargs)
     assert looped.points == batched.points
     assert looped.power_law == batched.power_law
 

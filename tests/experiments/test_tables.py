@@ -64,7 +64,7 @@ def test_generate_table1_batched_is_identical():
         master_seed=7,
     )
     looped = generate_table1(**kwargs)
-    batched = generate_table1(batched=True, **kwargs)
+    batched = generate_table1(backend="batched", **kwargs)
     # Both batched engines (constant-state and memory) and the standalone
     # fallback reproduce each seeded trial exactly, so the raw records —
     # and therefore every rendered cell — are identical.

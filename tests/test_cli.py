@@ -103,7 +103,7 @@ def test_scaling_batched_matches_looped(capsys):
     argv = ["scaling", "--mode", "nonuniform", "--diameters", "4", "8", "--seeds", "3"]
     assert main(argv) == 0
     looped = capsys.readouterr().out
-    assert main(argv + ["--batched"]) == 0
+    assert main(argv + ["--backend", "batched"]) == 0
     batched = capsys.readouterr().out
     assert looped == batched
 
@@ -121,7 +121,8 @@ def test_scaling_replicas_overrides_seeds(capsys):
             "999",
             "--replicas",
             "2",
-            "--batched",
+            "--backend",
+            "batched",
         ]
     )
     assert code == 0
@@ -214,9 +215,9 @@ def test_montecarlo_standalone_runner_stays_on_the_loop(capsys):
 
 def test_table1_batched_end_to_end(capsys):
     # Exact batched-vs-looped table equality is covered at the API level on
-    # small graphs (tests/experiments/test_tables.py); here the flag is
+    # small graphs (tests/experiments/test_tables.py); here the backend is
     # driven end-to-end through the CLI on the default graph set.
-    code = main(["table1", "--seeds", "1", "--batched"])
+    code = main(["table1", "--seeds", "1", "--backend", "batched"])
     captured = capsys.readouterr()
     assert code == 0
     assert "Table 1" in captured.out
@@ -227,7 +228,7 @@ def test_lower_bound_batched_matches_looped(capsys):
     argv = ["lower-bound", "--diameters", "4", "8", "--seeds", "3"]
     assert main(argv) == 0
     looped = capsys.readouterr().out
-    assert main(argv + ["--batched"]) == 0
+    assert main(argv + ["--backend", "batched"]) == 0
     batched = capsys.readouterr().out
     assert looped == batched
     assert "conjectured exponent" in batched
@@ -237,7 +238,32 @@ def test_ablation_batched_matches_looped(capsys):
     argv = ["ablation", "--diameter", "6", "--seeds", "2"]
     assert main(argv) == 0
     looped = capsys.readouterr().out
-    assert main(argv + ["--batched"]) == 0
+    assert main(argv + ["--backend", "batched"]) == 0
     batched = capsys.readouterr().out
     assert looped == batched
     assert "Structural ablations" in batched
+
+
+def test_montecarlo_sequential_backend_reports_loop_engine(capsys):
+    code = main(
+        [
+            "montecarlo", "--protocol", "bfw", "--graph", "cycle", "--n", "16",
+            "--replicas", "3", "--master-seed", "4", "--backend", "sequential",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "per-seed loop" in captured.out
+    assert "unknown" in captured.out  # sequential runs carry no leader identities
+
+
+def test_backend_flags_in_help():
+    parser = build_parser()
+    for command in ("table1", "scaling", "montecarlo", "crossover", "lower-bound", "ablation"):
+        subparser_help = None
+        for action in parser._actions:
+            if hasattr(action, "choices") and action.choices and command in action.choices:
+                subparser_help = action.choices[command].format_help()
+        assert subparser_help is not None
+        assert "--backend" in subparser_help
+        assert "--workers" in subparser_help
