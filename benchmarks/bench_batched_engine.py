@@ -21,6 +21,11 @@ replica-for-replica identical to the loop:
   This case always writes its measurements to ``BENCH_exec.json``
   (override the path with ``REPRO_BENCH_JSON``) so the execution-layer
   perf trajectory is machine-readable from PR to PR.
+* the dynamic-graph churn sweep (E14): batched replica-rounds/sec as a
+  function of the churn rate, plus the amortised-vs-naive rebuild ratio —
+  one memoised schedule shared by all replicas against a fresh schedule per
+  replica (the rebuild-per-round-per-replica strawman).  Writes
+  ``BENCH_dynamics.json`` (override with ``REPRO_BENCH_DYNAMICS_JSON``).
 
 Setting ``REPRO_BENCH_FAST=1`` shrinks every workload (small R and n) and
 skips the speed-up assertions; CI uses it as a smoke mode so these scripts
@@ -55,6 +60,11 @@ STRICT = os.environ.get("REPRO_BENCH_STRICT", "1") == "1"
 
 #: Where the execution-backend case writes its machine-readable results.
 BENCH_EXEC_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_exec.json")
+
+#: Where the dynamic-graph churn case writes its machine-readable results.
+BENCH_DYNAMICS_JSON = os.environ.get(
+    "REPRO_BENCH_DYNAMICS_JSON", "BENCH_dynamics.json"
+)
 
 #: Workers used by the process-backend sweep case.
 PROCESS_WORKERS = 2
@@ -234,6 +244,137 @@ def test_process_backend_sweep_speedup_over_batched(report):
             f"process backend must be >= 1.5x the batched backend on a "
             f"multi-cell sweep with {PROCESS_WORKERS} workers; "
             f"measured {speedup:.2f}x on {cpus} CPUs"
+        )
+
+
+@pytest.mark.experiment("E14")
+def test_dynamic_churn_sweep(report):
+    """Dynamic graphs: throughput vs churn rate, and amortised rebuilds.
+
+    Two claims are measured:
+
+    * the batched engine keeps its replica-rounds/sec profile when the
+      adjacency is swapped between rounds (rate 0 is the explicit static
+      schedule — the dynamic code path's identity element);
+    * the schedule layer's memoisation is what makes sequential dynamic
+      sweeps affordable: one schedule shared by all replicas pays one
+      topology rebuild per round (the first replica's), every later replica
+      replays dictionary hits — against the naive strawman of a fresh
+      schedule per replica (one rebuild per round *per replica*).
+
+    The churn cases run under a tighter round budget than the static case:
+    churn can eliminate *every* leader (a state unreachable on a static
+    graph, where at least one leader always survives), and such leaderless
+    replicas never trigger the single-leader stop — they would burn the
+    full 400k-round budget measuring nothing but stall throughput.
+    """
+    from repro.dynamics import ScheduleSpec, build_schedule
+
+    topology = cycle_graph(_size(200, 16))
+    protocol = BFWProtocol()
+    seeds = list(range(_size(32, 3)))
+    churn_rates = (0, 1, 2, 4) if not FAST else (0, 2)
+    churn_budget = _size(20_000, 2_000)
+
+    rate_results = []
+    for rate in churn_rates:
+        if rate == 0:
+            spec = ScheduleSpec("static")
+        else:
+            spec = ScheduleSpec(
+                "edge-churn",
+                {"add_per_round": rate, "remove_per_round": rate, "seed": 11},
+            )
+        engine = BatchedEngine(
+            topology, protocol, schedule=build_schedule(spec, topology)
+        )
+        start = time.perf_counter()
+        batch = engine.run(
+            seeds,
+            max_rounds=MAX_ROUNDS if rate == 0 else churn_budget,
+            record_leader_counts=False,
+        )
+        seconds = time.perf_counter() - start
+        rate_results.append(
+            {
+                "churn_rate": rate,
+                "schedule": spec.label,
+                "wall_seconds": seconds,
+                "replica_rounds": batch.total_replica_rounds,
+                "replica_rounds_per_sec": batch.total_replica_rounds
+                / max(seconds, 1e-9),
+                "convergence_rate": batch.convergence_rate,
+            }
+        )
+
+    # Amortised vs naive rebuild: sequential engine, fixed round horizon
+    # (no early stopping), so both variants simulate exactly the same work
+    # and differ only in how often the schedule rebuilds topologies.
+    rebuild_seeds = seeds[: _size(8, 2)]
+    horizon = _size(400, 40)
+    churn_spec = ScheduleSpec(
+        "edge-churn", {"add_per_round": 2, "remove_per_round": 2, "seed": 7}
+    )
+
+    shared_schedule = build_schedule(churn_spec, topology)
+    shared_engine = VectorizedEngine(topology, protocol, schedule=shared_schedule)
+    start = time.perf_counter()
+    for seed in rebuild_seeds:
+        shared_engine.run(rng=seed, max_rounds=horizon, stop_at_single_leader=False)
+    amortised_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for seed in rebuild_seeds:
+        fresh_engine = VectorizedEngine(
+            topology, protocol, schedule=build_schedule(churn_spec, topology)
+        )
+        fresh_engine.run(rng=seed, max_rounds=horizon, stop_at_single_leader=False)
+    naive_seconds = time.perf_counter() - start
+
+    rebuild_ratio = naive_seconds / max(amortised_seconds, 1e-9)
+    payload = {
+        "benchmark": "dynamic-churn-sweep",
+        "fast_mode": FAST,
+        "strict": STRICT,
+        "workload": {
+            "protocol": "bfw",
+            "graph": topology.name,
+            "replicas": len(seeds),
+            "churn_rates": list(churn_rates),
+        },
+        "results": rate_results,
+        "rebuild": {
+            "replicas": len(rebuild_seeds),
+            "rounds_per_replica": horizon,
+            "amortised_wall_seconds": amortised_seconds,
+            "naive_wall_seconds": naive_seconds,
+            "naive_over_amortised": rebuild_ratio,
+        },
+    }
+    with open(BENCH_DYNAMICS_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        f"rate {entry['churn_rate']}: "
+        f"{entry['replica_rounds_per_sec']:12,.0f} replica-rounds/sec "
+        f"({entry['wall_seconds']:.2f}s, conv {entry['convergence_rate']:.2f})"
+        for entry in rate_results
+    ]
+    lines.append(
+        f"rebuilds:  amortised {amortised_seconds:.2f}s vs naive "
+        f"{naive_seconds:.2f}s -> {rebuild_ratio:.2f}x"
+    )
+    lines.append(f"json:      {BENCH_DYNAMICS_JSON}")
+    report(
+        f"E14 — batched engine under edge churn "
+        f"({len(seeds)} replicas, {topology.name})",
+        "\n".join(lines),
+    )
+    if not FAST and STRICT:
+        assert rebuild_ratio >= 1.3, (
+            f"sharing one memoised schedule across replicas must beat "
+            f"rebuilding it per replica; measured {rebuild_ratio:.2f}x"
         )
 
 

@@ -34,6 +34,13 @@ from repro.core import (
     available_protocols,
     create_protocol,
 )
+from repro.dynamics import (
+    EdgeChurnSchedule,
+    ScheduleSpec,
+    StaticSchedule,
+    TopologySchedule,
+    build_schedule,
+)
 from repro.exec import (
     BatchedBackend,
     ExecutionBackend,
@@ -50,6 +57,7 @@ __all__ = [
     "BatchedBackend",
     "BatchedEngine",
     "BeepingProtocol",
+    "EdgeChurnSchedule",
     "ExecutionBackend",
     "ExecutionCell",
     "ExecutionTrace",
@@ -57,14 +65,18 @@ __all__ = [
     "MemorySimulator",
     "NonUniformBFWProtocol",
     "ProcessBackend",
+    "ScheduleSpec",
     "SequentialBackend",
     "SimulationResult",
     "Simulator",
     "State",
+    "StaticSchedule",
     "Topology",
+    "TopologySchedule",
     "VectorizedEngine",
     "__version__",
     "available_protocols",
+    "build_schedule",
     "create_protocol",
     "make_graph",
     "resolve_backend",

@@ -12,23 +12,16 @@ paths and for randomly sampled paths of a topology.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.beep_counts import beep_count_matrix
 from repro.analysis.flow import path_flow, validate_path
 from repro.beeping.trace import ExecutionTrace
+from repro.core.rng import RngLike, as_rng
 from repro.errors import InvariantViolation
 from repro.graphs.topology import Topology
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -103,7 +96,7 @@ def sample_random_path(
     perfectly valid path for the flow machinery — and a convenient way to
     stress-test Ohm's law on paths that are not shortest paths.
     """
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     if start is None:
         start = int(generator.integers(0, topology.n))
     walk = [start]
@@ -129,7 +122,7 @@ def check_ohms_law_on_random_paths(
     InvariantViolation
         If any sampled path violates the law in any round.
     """
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     checked = 0
     for _ in range(num_paths):
         length = int(generator.integers(1, max_length + 1))

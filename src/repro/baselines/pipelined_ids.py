@@ -35,22 +35,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Optional
 
 import numpy as np
 
 from repro.baselines.base import BaselineInfo
 from repro.beeping.simulator import SimulationResult
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError
 from repro.graphs.topology import Topology
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -147,7 +140,7 @@ class PipelinedIDElection:
         self, topology: Topology, rng: RngLike = None
     ) -> PipelinedElectionOutcome:
         """Run the election and return the per-stage details."""
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         n = topology.n
         log_n = max(1, math.ceil(math.log2(max(2, n))))
 

@@ -29,15 +29,17 @@ round, same final leader, same leader-count trajectory.  The parity tests in
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.batch.results import BatchResult
 from repro.batch.streams import ReplicaStreams, SeedLike
-from repro.beeping.engine import CompiledProtocol, compile_protocol
+from repro.beeping.engine import CompiledProtocol, check_schedule, compile_protocol
 from repro.beeping.simulator import default_round_budget
 from repro.core.protocol import BeepingProtocol
+from repro.dynamics.schedules import TopologySchedule
 from repro.errors import ConfigurationError, SimulationError
 from repro.graphs.topology import Topology
 
@@ -48,9 +50,20 @@ class BatchedEngine:
     Parameters
     ----------
     topology:
-        The communication graph shared by every replica.
+        The communication graph shared by every replica (the initial graph
+        when a schedule is set).
     protocol:
         A constant-state beeping protocol; compiled once at construction.
+    schedule:
+        Optional :class:`~repro.dynamics.schedules.TopologySchedule`.  The
+        adjacency used in round ``r`` is that of ``schedule.topology_at(r)``,
+        swapped once per round for the whole batch — one rebuild serves all
+        ``R`` replicas, and distinct graphs are compiled to dense/CSR form
+        exactly once (schedules deduplicate revisited edge sets).  A static
+        schedule reproduces the scheduleless run bit for bit.  State-aware
+        schedules (whose graphs depend on the replica's states) are only
+        accepted for single-replica batches, because all replicas of a batch
+        share one adjacency per round by construction.
     """
 
     #: Graphs up to this many nodes use a dense float32 adjacency so the
@@ -60,11 +73,37 @@ class BatchedEngine:
     #: Memory cap (bytes) for the prefetched per-replica uniform blocks.
     RNG_BUFFER_BYTES = 8 << 20
 
-    def __init__(self, topology: Topology, protocol: BeepingProtocol) -> None:
+    #: Maximum number of schedule graphs whose compiled (sparse, dense)
+    #: adjacencies are kept alive.  Schedules deduplicate revisited edge
+    #: sets, so periodic scenarios fit entirely; pure random churn cycles
+    #: through the cache, paying one recompilation per round — the same
+    #: price an unbounded cache would pay anyway, without growing a dense
+    #: n x n float32 copy per round for the engine's lifetime.
+    SWAP_CACHE_LIMIT = 64
+
+    #: Byte budget for the cached dense adjacencies; on dense-eligible
+    #: graphs near ``DENSE_ADJACENCY_MAX_NODES`` (4 MB per float32 copy)
+    #: this, not the entry count, is the binding bound.
+    SWAP_CACHE_BYTES = 64 << 20
+
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: BeepingProtocol,
+        schedule: Optional[TopologySchedule] = None,
+    ) -> None:
         self._topology = topology
         self._protocol = protocol
         self._compiled = compile_protocol(protocol)
         self._adjacency = topology.sparse_adjacency()
+        schedule = check_schedule(topology, schedule)
+        if schedule is not None and schedule.is_static:
+            # The identity schedule *is* today's fast path: adopt its (only)
+            # graph up front and skip the per-round dispatch entirely, so
+            # bit-identity with a scheduleless run holds by construction.
+            self._adjacency = schedule.topology_at(0).sparse_adjacency()
+            schedule = None
+        self._schedule = schedule
         # A float32 matmul counts beeping neighbours exactly (degrees are far
         # below 2**24); on small graphs it avoids ~25 µs of scipy dispatch
         # overhead per round, which dominates once the batch tail is thin.
@@ -81,11 +120,45 @@ class BatchedEngine:
         self._succ_primary_ip = compiled.succ_primary.astype(np.intp)
         self._succ_secondary_ip = compiled.succ_secondary.astype(np.intp)
         self._beep_f32 = compiled.is_beeping.astype(np.float32)
+        # Swap cache for dynamic topologies: schedule graphs are deduplicated
+        # objects, so one dense/CSR compilation per distinct graph serves
+        # every later round (and every replica) that revisits it.  Bounded
+        # LRU (entry count and dense-adjacency bytes): entries hold a
+        # reference to their topology, so a live id key can never be
+        # recycled by the allocator.
+        dense_bytes = 4 * topology.n * topology.n if self._dense_adjacency is not None else 1
+        self._swap_cache_limit = max(
+            2, min(self.SWAP_CACHE_LIMIT, self.SWAP_CACHE_BYTES // dense_bytes)
+        )
+        self._swap_cache: "OrderedDict[int, Tuple[Topology, object, Optional[np.ndarray]]]" = OrderedDict(
+            [(id(topology), (topology, self._adjacency, self._dense_adjacency))]
+        )
+
+    def _adjacency_for(self, topology: Topology):
+        """Sparse and (optionally) dense adjacency of a schedule graph, memoised."""
+        entry = self._swap_cache.get(id(topology))
+        if entry is None:
+            sparse_adjacency = topology.sparse_adjacency()
+            dense = None
+            if topology.n <= self.DENSE_ADJACENCY_MAX_NODES:
+                dense = sparse_adjacency.toarray().astype(np.float32)
+            entry = (topology, sparse_adjacency, dense)
+            self._swap_cache[id(topology)] = entry
+            if len(self._swap_cache) > self._swap_cache_limit:
+                self._swap_cache.popitem(last=False)
+        else:
+            self._swap_cache.move_to_end(id(topology))
+        return entry[1], entry[2]
 
     @property
     def topology(self) -> Topology:
         """The communication graph."""
         return self._topology
+
+    @property
+    def schedule(self) -> Optional[TopologySchedule]:
+        """The topology schedule, or ``None`` for a static graph."""
+        return self._schedule
 
     @property
     def protocol(self) -> BeepingProtocol:
@@ -136,6 +209,17 @@ class BatchedEngine:
         if max_rounds < 0:
             raise ConfigurationError(f"max_rounds must be >= 0; got {max_rounds}")
 
+        schedule = self._schedule
+        if schedule is not None:
+            if schedule.state_aware and num_replicas > 1:
+                raise ConfigurationError(
+                    "state-aware schedules depend on one replica's states, "
+                    "but all replicas of a batch share the per-round "
+                    f"adjacency; got {num_replicas} replicas — run them "
+                    "sequentially or one replica per batch"
+                )
+            schedule.begin_run()
+
         n = self._topology.n
         compiled = self._compiled
         states = self._initial_batch(initial_states, num_replicas, n)
@@ -153,6 +237,7 @@ class BatchedEngine:
         active = np.flatnonzero(active_mask)
 
         dense = self._dense_adjacency
+        sparse_adjacency = self._adjacency
         beep_f32 = self._beep_f32
         is_leader = compiled.is_leader
         succ_primary = self._succ_primary_ip
@@ -173,6 +258,15 @@ class BatchedEngine:
             full = active.size == num_replicas
 
             sub = states if full else states[active]
+            if schedule is not None:
+                observed = sub[0] if schedule.state_aware else None
+                topology = schedule.topology_at(round_index, states=observed)
+                if topology.n != n:
+                    raise ConfigurationError(
+                        f"schedule changed the node count to {topology.n} in "
+                        f"round {round_index}; expected {n}"
+                    )
+                sparse_adjacency, dense = self._adjacency_for(topology)
             beeping = beep_f32[sub]
             if beeping.any():
                 # One product for the whole batch: the adjacency is
@@ -182,7 +276,7 @@ class BatchedEngine:
                 if dense is not None:
                     heard = (beeping + np.matmul(beeping, dense)) > 0
                 else:
-                    heard = (beeping + self._adjacency.dot(beeping.T).T) > 0
+                    heard = (beeping + sparse_adjacency.dot(beeping.T).T) > 0
             else:
                 heard = beeping > 0
             heard_index = heard.astype(np.intp)

@@ -17,21 +17,14 @@ This module builds the initial configurations the experiments need:
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.core.states import State
 from repro.errors import ConfigurationError
 from repro.graphs.topology import Topology
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 def all_leaders_initial_states(topology: Topology) -> np.ndarray:
@@ -97,7 +90,7 @@ def random_valid_initial_states(
         raise ConfigurationError(
             f"leader probability must lie in [0, 1]; got {leader_probability}"
         )
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     is_leader = generator.random(topology.n) < leader_probability
     is_leader[int(generator.integers(0, topology.n))] = True
     states = np.where(
@@ -147,7 +140,7 @@ def random_unrestricted_states(
     Used by robustness experiments that probe the protocol's behaviour outside
     its guaranteed operating envelope.
     """
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     return generator.integers(0, len(State), size=topology.n).astype(np.int8)
 
 

@@ -22,23 +22,41 @@ variants, and any similar coin-toss protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.beeping.simulator import SimulationResult, default_round_budget
 from repro.beeping.trace import ExecutionTrace
 from repro.core.protocol import BeepingProtocol
+from repro.core.rng import RngLike, as_rng
+from repro.dynamics.schedules import TopologySchedule
 from repro.errors import ConfigurationError, ProtocolError, SimulationError
 from repro.graphs.topology import Topology
 
-RngLike = Union[int, np.random.Generator, None]
 
+def check_schedule(
+    topology: Topology, schedule: Optional[TopologySchedule]
+) -> Optional[TopologySchedule]:
+    """Validate a topology schedule against an engine's base graph.
 
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
+    Shared by both engines: the schedule must be a
+    :class:`~repro.dynamics.schedules.TopologySchedule` defined for the same
+    node count (nodes are the protocol's agents — only edges may change).
+    """
+    if schedule is None:
+        return None
+    if not isinstance(schedule, TopologySchedule):
+        raise ConfigurationError(
+            f"schedule must be a TopologySchedule (see repro.dynamics); "
+            f"got {type(schedule).__name__}"
+        )
+    if schedule.n != topology.n:
+        raise ConfigurationError(
+            f"schedule is defined for n={schedule.n} nodes but the engine's "
+            f"graph {topology.name} has n={topology.n}"
+        )
+    return schedule
 
 
 @dataclass(frozen=True)
@@ -154,16 +172,34 @@ class VectorizedEngine:
     Parameters
     ----------
     topology:
-        The communication graph.
+        The communication graph (the initial graph when a schedule is set).
     protocol:
         The protocol to execute; compiled once at construction time.
+    schedule:
+        Optional :class:`~repro.dynamics.schedules.TopologySchedule`: the
+        graph used in round ``r`` is ``schedule.topology_at(r)`` instead of
+        the static topology.  A static schedule reproduces the scheduleless
+        run bit for bit (same arithmetic, same RNG stream).
     """
 
-    def __init__(self, topology: Topology, protocol: BeepingProtocol) -> None:
+    def __init__(
+        self,
+        topology: Topology,
+        protocol: BeepingProtocol,
+        schedule: Optional[TopologySchedule] = None,
+    ) -> None:
         self._topology = topology
         self._protocol = protocol
         self._compiled = compile_protocol(protocol)
         self._adjacency = topology.sparse_adjacency()
+        schedule = check_schedule(topology, schedule)
+        if schedule is not None and schedule.is_static:
+            # The identity schedule *is* today's fast path: adopt its (only)
+            # graph up front and skip the per-round dispatch entirely, so
+            # bit-identity with a scheduleless run holds by construction.
+            self._adjacency = schedule.topology_at(0).sparse_adjacency()
+            schedule = None
+        self._schedule = schedule
 
     @property
     def topology(self) -> Topology:
@@ -179,6 +215,11 @@ class VectorizedEngine:
     def compiled(self) -> CompiledProtocol:
         """The compiled lookup tables."""
         return self._compiled
+
+    @property
+    def schedule(self) -> Optional[TopologySchedule]:
+        """The topology schedule, or ``None`` for a static graph."""
+        return self._schedule
 
     def run(
         self,
@@ -209,7 +250,7 @@ class VectorizedEngine:
             Stop as soon as the leader count reaches one.
         """
         seed_value = rng if isinstance(rng, int) else None
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         if max_rounds is None:
             max_rounds = default_round_budget(self._topology)
         if max_rounds < 0:
@@ -243,13 +284,26 @@ class VectorizedEngine:
         convergence_round: Optional[int] = 0 if leader_count == 1 else None
         rounds_executed = 0
 
+        schedule = self._schedule
+        if schedule is not None:
+            schedule.begin_run()
+        adjacency = self._adjacency
+
         while rounds_executed < max_rounds:
             if stop_at_single_leader and leader_count == 1:
                 break
+            if schedule is not None:
+                topology = schedule.topology_at(rounds_executed + 1, states=states)
+                if topology.n != n:
+                    raise ConfigurationError(
+                        f"schedule changed the node count to {topology.n} in "
+                        f"round {rounds_executed + 1}; expected {n}"
+                    )
+                adjacency = topology.sparse_adjacency()
             beeping = compiled.is_beeping[states]
             if beeping.any():
                 heard = beeping | (
-                    self._adjacency.dot(beeping.astype(np.int32)) > 0
+                    adjacency.dot(beeping.astype(np.int32)) > 0
                 )
             else:
                 heard = beeping

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -34,16 +34,9 @@ from repro.beeping.observers import (
 )
 from repro.beeping.trace import ExecutionTrace
 from repro.core.protocol import BeepingProtocol, MemoryProtocol
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError, SimulationError
 from repro.graphs.topology import Topology
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 def default_round_budget(topology: Topology, safety_factor: float = 64.0) -> int:
@@ -166,7 +159,7 @@ class Simulator:
             is sound because the leader count never increases.
         """
         seed_value = rng if isinstance(rng, int) else None
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         if max_rounds is None:
             max_rounds = default_round_budget(self._topology)
         if max_rounds < 0:
@@ -315,7 +308,7 @@ class MemorySimulator:
             stopping (baselines may transiently drop to one candidate).
         """
         seed_value = rng if isinstance(rng, int) else None
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         if max_rounds is None:
             max_rounds = default_round_budget(self._topology)
 

@@ -12,6 +12,7 @@ Every experiment in DESIGN.md can be regenerated from the command line:
     repro montecarlo --protocol emek-keren --graph cycle --n 64 --replicas 64
     repro lower-bound --diameters 8 16 32 64 --workers 4
     repro ablation --backend batched
+    repro dynamic --families cycle --sizes 32 64 --churn-rates 0 1 2 4
     repro wave-demo --n 40
 
 Every sweep-shaped experiment accepts ``--backend`` (``sequential``,
@@ -204,6 +205,33 @@ def build_parser() -> argparse.ArgumentParser:
     ablation_parser.add_argument("--seeds", type=int, default=10)
     _add_backend_arguments(ablation_parser)
 
+    dynamic_parser = subparsers.add_parser(
+        "dynamic",
+        help="BFW under edge churn: dynamic-graph sweep (churn rate × graph × n).",
+    )
+    dynamic_parser.add_argument("--protocol", default="bfw")
+    dynamic_parser.add_argument(
+        "--families", nargs="+", default=["cycle"], metavar="FAMILY",
+        help="Graph families to sweep (default: cycle).",
+    )
+    dynamic_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[32, 64], metavar="N"
+    )
+    dynamic_parser.add_argument(
+        "--churn-rates", type=int, nargs="+", default=[0, 1, 2, 4], metavar="K",
+        help="Edges churned per round; 0 runs the explicit static schedule.",
+    )
+    dynamic_parser.add_argument(
+        "--schedule", choices=("edge-churn", "cut", "interpolate"),
+        default="edge-churn",
+        help="Schedule family the churn rate parameterises.",
+    )
+    dynamic_parser.add_argument("--seeds", type=int, default=10)
+    dynamic_parser.add_argument("--master-seed", type=int, default=None)
+    dynamic_parser.add_argument("--max-rounds", type=int, default=None)
+    dynamic_parser.add_argument("--save-json", default=None)
+    _add_backend_arguments(dynamic_parser, default="batched", legacy_batched=False)
+
     wave_parser = subparsers.add_parser(
         "wave-demo", help="Print a space-time diagram of beep waves on a path."
     )
@@ -230,6 +258,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "crossover": _cmd_crossover,
         "lower-bound": _cmd_lower_bound,
         "ablation": _cmd_ablation,
+        "dynamic": _cmd_dynamic,
         "wave-demo": _cmd_wave_demo,
     }[args.command]
     return handler(args)
@@ -378,6 +407,32 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         backend=_backend_spec_from_args(args),
     )
     print(result.render())
+    return 0
+
+
+def _cmd_dynamic(args: argparse.Namespace) -> int:
+    from repro.experiments.dynamics import dynamic_experiment
+    from repro.experiments.io import save_records_json
+    from repro.experiments.seeds import DEFAULT_MASTER_SEED
+
+    result = dynamic_experiment(
+        protocol=args.protocol,
+        families=args.families,
+        sizes=args.sizes,
+        churn_rates=args.churn_rates,
+        schedule_kind=args.schedule,
+        num_seeds=args.seeds,
+        master_seed=(
+            args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
+        ),
+        max_rounds=args.max_rounds,
+        progress=lambda line: print("  " + line, file=sys.stderr),
+        backend=_backend_spec_from_args(args),
+    )
+    print(result.render())
+    if args.save_json:
+        save_records_json(result.records, args.save_json)
+        print(f"\nraw records written to {args.save_json}")
     return 0
 
 

@@ -13,6 +13,7 @@ from repro.core.protocol import (
     deterministic,
     enumerate_reachable_states,
 )
+from repro.core.rng import RngLike, as_rng
 from repro.core.registry import (
     ProtocolSpec,
     available_protocols,
@@ -55,9 +56,11 @@ __all__ = [
     "NoRelayBFWProtocol",
     "NonUniformBFWProtocol",
     "ProtocolSpec",
+    "RngLike",
     "State",
     "TransitionTable",
     "WAITING_STATES",
+    "as_rng",
     "available_protocols",
     "bernoulli",
     "create_protocol",

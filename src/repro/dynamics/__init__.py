@@ -1,0 +1,56 @@
+"""Dynamic-graph scenarios: edge churn, cuts and rewiring under a protocol.
+
+The paper's guarantees hold on a *static* connected graph; this package
+makes the other side of that boundary executable.  A
+:class:`TopologySchedule` tells the engines which communication graph is in
+effect during each round, churn adversaries generate those graphs (randomly
+or by observing the protocol state), and serialisable :class:`ScheduleSpec`
+descriptions carry whole dynamic scenarios through every
+:mod:`repro.exec` backend — including process pools.
+
+See :mod:`repro.dynamics.schedules` for the schedule contract and
+:mod:`repro.dynamics.churn` for the adversaries and the incremental
+adjacency bookkeeping.
+"""
+
+from repro.dynamics.churn import (
+    AdjacencyCache,
+    ChurnAdversary,
+    EdgeDelta,
+    LeaderIsolatingChurn,
+    ObliviousEdgeChurn,
+    normalize_edge,
+)
+from repro.dynamics.schedules import (
+    SCHEDULE_KINDS,
+    AdversarialCutSchedule,
+    EdgeChurnSchedule,
+    InterpolationSchedule,
+    PeriodicRewiringSchedule,
+    ScheduleSpec,
+    StateAwareChurnSchedule,
+    StaticSchedule,
+    TopologySchedule,
+    build_schedule,
+    require_same_node_count,
+)
+
+__all__ = [
+    "AdjacencyCache",
+    "AdversarialCutSchedule",
+    "ChurnAdversary",
+    "EdgeChurnSchedule",
+    "EdgeDelta",
+    "InterpolationSchedule",
+    "LeaderIsolatingChurn",
+    "ObliviousEdgeChurn",
+    "PeriodicRewiringSchedule",
+    "SCHEDULE_KINDS",
+    "ScheduleSpec",
+    "StateAwareChurnSchedule",
+    "StaticSchedule",
+    "TopologySchedule",
+    "build_schedule",
+    "normalize_edge",
+    "require_same_node_count",
+]

@@ -1,0 +1,410 @@
+"""Edge-churn adversaries and the incremental adjacency bookkeeping behind them.
+
+A dynamic-graph scenario is driven by an *adversary* that, once per round,
+proposes a set of edge insertions and deletions (an :class:`EdgeDelta`)
+against the current communication graph.  Two families ship:
+
+* **oblivious** adversaries (:class:`ObliviousEdgeChurn`) draw their deltas
+  from a seeded RNG without looking at the protocol state.  Their topology
+  sequence is a pure function of the round index, so the resulting schedules
+  are shared across replicas and across engines — the batched engine and the
+  sequential engine see bit-identical graphs, and one adjacency rebuild per
+  round serves all ``R`` replicas of a batch;
+* **state-aware** adversaries (:class:`LeaderIsolatingChurn`) observe the
+  current state vector (e.g. to cut the edges around surviving leaders and
+  stall their elimination waves).  Their topology sequence depends on the
+  replica being attacked, so the engines restrict them to single-replica
+  runs (see :class:`~repro.dynamics.schedules.StateAwareChurnSchedule`).
+
+The :class:`AdjacencyCache` owns the mutable edge set between rounds: deltas
+are applied incrementally (O(delta) bookkeeping instead of an O(n + m)
+rebuild), connectivity probes run on the live adjacency sets, and a
+:class:`~repro.graphs.topology.Topology` is only materialised when a round's
+edge set is actually new — schedules additionally deduplicate snapshots by
+edge-set signature, so revisited graphs (periodic cuts, restored edges) are
+rebuilt exactly once.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.core.states import LEADER_STATES
+from repro.errors import ConfigurationError
+from repro.graphs.topology import Edge, Topology
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Canonical undirected form ``(min(u, v), max(u, v))``."""
+    u, v = int(u), int(v)
+    return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class EdgeDelta:
+    """One round's worth of edge churn: insertions and deletions.
+
+    Edges are stored in canonical ``(min, max)`` form and sorted, so two
+    deltas describing the same churn compare equal regardless of how the
+    adversary enumerated them.
+    """
+
+    added: Tuple[Edge, ...] = ()
+    removed: Tuple[Edge, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "added", tuple(sorted(normalize_edge(u, v) for u, v in self.added))
+        )
+        object.__setattr__(
+            self,
+            "removed",
+            tuple(sorted(normalize_edge(u, v) for u, v in self.removed)),
+        )
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the delta changes nothing."""
+        return not self.added and not self.removed
+
+
+class AdjacencyCache:
+    """Mutable adjacency bookkeeping for one evolving graph.
+
+    The cache applies :class:`EdgeDelta` objects in O(delta) time, answers
+    connectivity probes on its live adjacency sets, and materialises
+    :class:`~repro.graphs.topology.Topology` snapshots on demand.  Snapshots
+    are built with ``require_connected=False``: churn is allowed to
+    disconnect the graph — studying what that does to the protocol is the
+    point of the subsystem.
+    """
+
+    def __init__(self, base: Topology) -> None:
+        self._n = base.n
+        self._base_name = base.name
+        self._edges: Set[Edge] = set(base.edges)
+        self._adjacency: List[Set[int]] = [set(neigh) for neigh in base.adjacency_lists()]
+        self._sorted_edges: Optional[Tuple[Edge, ...]] = None
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (invariant under churn)."""
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        """Current number of undirected edges."""
+        return len(self._edges)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether ``{u, v}`` is currently an edge."""
+        return normalize_edge(u, v) in self._edges
+
+    def degree(self, node: int) -> int:
+        """Current degree of ``node``."""
+        return len(self._adjacency[node])
+
+    def neighbors(self, node: int) -> Tuple[int, ...]:
+        """The current neighbours of ``node``, sorted."""
+        return tuple(sorted(self._adjacency[node]))
+
+    def edges(self) -> Tuple[Edge, ...]:
+        """The current edge set in sorted canonical order (cached)."""
+        if self._sorted_edges is None:
+            self._sorted_edges = tuple(sorted(self._edges))
+        return self._sorted_edges
+
+    def signature(self) -> FrozenSet[Edge]:
+        """Hashable identity of the current edge set (for snapshot dedup)."""
+        return frozenset(self._edges)
+
+    def apply(self, delta: EdgeDelta) -> None:
+        """Apply one round's churn incrementally.
+
+        Raises
+        ------
+        ConfigurationError
+            If the delta removes a non-edge, adds an existing edge or a
+            self-loop, or references nodes outside the graph — adversaries
+            are expected to propose consistent deltas.
+        """
+        for u, v in delta.removed:
+            if (u, v) not in self._edges:
+                raise ConfigurationError(
+                    f"churn delta removes non-edge ({u}, {v})"
+                )
+            self._edges.discard((u, v))
+            self._adjacency[u].discard(v)
+            self._adjacency[v].discard(u)
+        for u, v in delta.added:
+            if u == v:
+                raise ConfigurationError(f"churn delta adds self-loop on node {u}")
+            if not (0 <= u < self._n and 0 <= v < self._n):
+                raise ConfigurationError(
+                    f"churn delta edge ({u}, {v}) outside node range 0..{self._n - 1}"
+                )
+            if (u, v) in self._edges:
+                raise ConfigurationError(
+                    f"churn delta adds existing edge ({u}, {v})"
+                )
+            self._edges.add((u, v))
+            self._adjacency[u].add(v)
+            self._adjacency[v].add(u)
+        if not delta.is_empty:
+            self._sorted_edges = None
+
+    def is_connected(self) -> bool:
+        """Whether the current graph is connected (BFS on live adjacency)."""
+        if self._n == 1:
+            return True
+        seen = [False] * self._n
+        seen[0] = True
+        frontier = [0]
+        count = 1
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in self._adjacency[node]:
+                    if not seen[neighbour]:
+                        seen[neighbour] = True
+                        count += 1
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return count == self._n
+
+    def would_disconnect(self, edge: Edge) -> bool:
+        """Whether removing ``edge`` would disconnect its two endpoints.
+
+        Assumes the current graph is connected between the endpoints; runs a
+        BFS from one endpoint that is forbidden from crossing ``edge``.
+        """
+        u, v = normalize_edge(*edge)
+        seen = [False] * self._n
+        seen[u] = True
+        frontier = [u]
+        while frontier:
+            next_frontier: List[int] = []
+            for node in frontier:
+                for neighbour in self._adjacency[node]:
+                    if (node == u and neighbour == v) or (node == v and neighbour == u):
+                        continue
+                    if not seen[neighbour]:
+                        if neighbour == v:
+                            return False
+                        seen[neighbour] = True
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return True
+
+    def snapshot(self, name: str) -> Topology:
+        """Materialise the current edge set as an (unvalidated) topology."""
+        return Topology(
+            self._n, self.edges(), name=name, require_connected=False
+        )
+
+    def sample_non_edge(
+        self, rng: np.random.Generator, max_rejections: int = 64
+    ) -> Optional[Edge]:
+        """One uniformly random non-edge, or ``None`` if the graph is complete.
+
+        Uses rejection sampling (the graphs of interest are sparse, so a few
+        draws almost always suffice) with a deterministic fallback that
+        enumerates the sorted non-edges when rejections keep hitting edges.
+        The draw order is fixed, so the result is reproducible for a given
+        generator state.
+        """
+        complete = self._n * (self._n - 1) // 2
+        if len(self._edges) >= complete:
+            return None
+        for _ in range(max_rejections):
+            u = int(rng.integers(0, self._n))
+            v = int(rng.integers(0, self._n))
+            if u == v:
+                continue
+            edge = normalize_edge(u, v)
+            if edge not in self._edges:
+                return edge
+        non_edges = sorted(
+            (u, v)
+            for u in range(self._n)
+            for v in range(u + 1, self._n)
+            if (u, v) not in self._edges
+        )
+        return non_edges[int(rng.integers(0, len(non_edges)))]
+
+
+class ChurnAdversary(abc.ABC):
+    """Strategy that emits one :class:`EdgeDelta` per round.
+
+    ``propose`` receives the live :class:`AdjacencyCache`, applies its delta
+    to it (so multi-edge proposals can probe connectivity against their own
+    intermediate state), and returns the delta it applied — the schedule
+    layer uses the returned delta as the churn log.
+    """
+
+    #: Whether :meth:`propose` reads the protocol state vector.
+    state_aware: bool = False
+
+    def begin_run(self) -> None:
+        """Reset any per-run internal state (no-op for stateless adversaries)."""
+
+    @abc.abstractmethod
+    def propose(
+        self,
+        round_index: int,
+        cache: AdjacencyCache,
+        rng: np.random.Generator,
+        states: Optional[np.ndarray] = None,
+    ) -> EdgeDelta:
+        """Apply and return this round's churn against ``cache``.
+
+        ``states`` is the observed per-node state vector for state-aware
+        adversaries (``None`` for oblivious ones) and must be treated as
+        read-only.
+        """
+
+
+class ObliviousEdgeChurn(ChurnAdversary):
+    """Random edge churn: remove and add up to ``k`` edges per round.
+
+    Parameters
+    ----------
+    remove_per_round, add_per_round:
+        Number of deletion / insertion attempts per round.
+    preserve_connectivity:
+        If ``True`` (default), a deletion whose removal would disconnect its
+        endpoints is resampled a few times and then skipped, so the graph
+        stays connected; with ``False`` the adversary may cut the graph into
+        pieces (the regime the paper's guarantees exclude).
+
+    The RNG draw order is fixed (all removals, then all additions), so for a
+    given generator state the delta is fully deterministic.
+    """
+
+    def __init__(
+        self,
+        remove_per_round: int = 1,
+        add_per_round: int = 1,
+        preserve_connectivity: bool = True,
+        max_resamples: int = 8,
+    ) -> None:
+        if remove_per_round < 0 or add_per_round < 0:
+            raise ConfigurationError(
+                f"churn counts must be >= 0; got remove={remove_per_round}, "
+                f"add={add_per_round}"
+            )
+        self.remove_per_round = int(remove_per_round)
+        self.add_per_round = int(add_per_round)
+        self.preserve_connectivity = preserve_connectivity
+        self.max_resamples = int(max_resamples)
+
+    def propose(
+        self,
+        round_index: int,
+        cache: AdjacencyCache,
+        rng: np.random.Generator,
+        states: Optional[np.ndarray] = None,
+    ) -> EdgeDelta:
+        removed: List[Edge] = []
+        for _ in range(self.remove_per_round):
+            edge = self._sample_removal(cache, rng)
+            if edge is None:
+                continue
+            cache.apply(EdgeDelta(removed=(edge,)))
+            removed.append(edge)
+        added: List[Edge] = []
+        for _ in range(self.add_per_round):
+            edge = cache.sample_non_edge(rng)
+            if edge is None:
+                continue
+            cache.apply(EdgeDelta(added=(edge,)))
+            added.append(edge)
+        return EdgeDelta(added=tuple(added), removed=tuple(removed))
+
+    def _sample_removal(
+        self, cache: AdjacencyCache, rng: np.random.Generator
+    ) -> Optional[Edge]:
+        for _ in range(self.max_resamples):
+            edges = cache.edges()
+            if not edges:
+                return None
+            edge = edges[int(rng.integers(0, len(edges)))]
+            if self.preserve_connectivity and cache.would_disconnect(edge):
+                continue
+            return edge
+        return None
+
+
+class LeaderIsolatingChurn(ChurnAdversary):
+    """State-aware adversary that fences off the surviving leaders.
+
+    Each round it first restores the edges it cut previously (so the damage
+    does not accumulate), then cuts up to ``cut_per_round`` edges incident to
+    nodes currently in a leader state — exactly the edges the leaders' next
+    elimination wave would have to cross.  This is the Section 5 thought
+    experiment made executable: an adversary with knowledge of the
+    configuration can delay convergence far beyond the static-graph bounds.
+    """
+
+    state_aware = True
+
+    def __init__(
+        self,
+        cut_per_round: int = 2,
+        leader_state_values: Optional[Iterable[int]] = None,
+    ) -> None:
+        if cut_per_round < 1:
+            raise ConfigurationError(
+                f"cut_per_round must be >= 1; got {cut_per_round}"
+            )
+        self.cut_per_round = int(cut_per_round)
+        if leader_state_values is None:
+            leader_state_values = (int(state) for state in LEADER_STATES)
+        self.leader_state_values = tuple(sorted(set(int(v) for v in leader_state_values)))
+        self._cut: List[Edge] = []
+
+    def begin_run(self) -> None:
+        self._cut = []
+
+    def propose(
+        self,
+        round_index: int,
+        cache: AdjacencyCache,
+        rng: np.random.Generator,
+        states: Optional[np.ndarray] = None,
+    ) -> EdgeDelta:
+        if states is None:
+            raise ConfigurationError(
+                "LeaderIsolatingChurn is state-aware and needs the state vector"
+            )
+        added: List[Edge] = []
+        for edge in self._cut:
+            if not cache.has_edge(*edge):
+                cache.apply(EdgeDelta(added=(edge,)))
+                added.append(edge)
+        self._cut = []
+
+        states = np.asarray(states)
+        leader_mask = np.isin(states, self.leader_state_values)
+        leader_nodes = np.flatnonzero(leader_mask)
+        removed: List[Edge] = []
+        if leader_nodes.size:
+            candidates = sorted(
+                {
+                    normalize_edge(int(node), neighbour)
+                    for node in leader_nodes
+                    for neighbour in cache.neighbors(int(node))
+                }
+            )
+            for _ in range(min(self.cut_per_round, len(candidates))):
+                if not candidates:
+                    break
+                edge = candidates.pop(int(rng.integers(0, len(candidates))))
+                cache.apply(EdgeDelta(removed=(edge,)))
+                removed.append(edge)
+                self._cut.append(edge)
+        return EdgeDelta(added=tuple(added), removed=tuple(removed))

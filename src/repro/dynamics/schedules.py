@@ -1,0 +1,685 @@
+"""Time-varying topologies: the :class:`TopologySchedule` contract and schedules.
+
+A *topology schedule* answers one question for the engines: *which graph is
+in effect during round ``r``?*  Round indices are the engines' own — round
+``r >= 1`` is the transition from the configuration after round ``r - 1``,
+and ``topology_at(0)`` is the initial graph.  Node count is invariant across
+swaps (nodes are the protocol's agents; only the communication edges move) —
+every schedule validates this and raises
+:class:`~repro.errors.ConfigurationError` otherwise, and the engines
+re-check it at swap time.
+
+Schedules come in two determinism classes:
+
+* **replica-independent** schedules (everything except
+  :class:`StateAwareChurnSchedule`) are pure functions of the round index.
+  They memoise one :class:`~repro.graphs.topology.Topology` per round and
+  deduplicate by edge-set signature, so an adjacency is rebuilt exactly once
+  per *distinct* graph no matter how many replicas or engine runs replay the
+  schedule — one rebuild per round serves all ``R`` replicas of a batch, and
+  all seeds of a sequential sweep;
+* **state-aware** schedules observe the replica's state vector, so their
+  graph sequence is per-run: the engines call :meth:`~TopologySchedule.begin_run`
+  before every execution and feed the current states to ``topology_at``.
+  The batched engine restricts them to single-replica batches (all replicas
+  of a batch share one adjacency per round by construction).
+
+Serialisable descriptions (:class:`ScheduleSpec`) mirror
+:class:`~repro.experiments.config.GraphSpec`: plain data that pickles into
+an :class:`~repro.exec.ExecutionCell` and is rebuilt via
+:func:`build_schedule` inside whichever process executes the cell, so
+dynamic sweeps shard across ``process:N`` backends like any other cell.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.rng import as_rng
+from repro.dynamics.churn import (
+    AdjacencyCache,
+    ChurnAdversary,
+    EdgeDelta,
+    LeaderIsolatingChurn,
+    ObliviousEdgeChurn,
+    normalize_edge,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.topology import Edge, Topology
+
+
+class TopologyPool:
+    """Bounded LRU dedup pool for materialised topology snapshots.
+
+    Churn schedules deduplicate snapshots by edge-set signature so that a
+    revisited graph is the *same object* (engine-side adjacency caches key
+    on identity).  Random churn rarely revisits an edge set, though, so an
+    unbounded pool would gain one ``Topology`` per round for the lifetime of
+    the schedule — a budget-exhausting run (hundreds of thousands of
+    rounds) would hold gigabytes.  The pool therefore keeps the most
+    recently used ``limit`` snapshots; an evicted edge set is simply
+    rebuilt on its next visit (O(n + m), the price of one ordinary swap).
+    """
+
+    def __init__(self, limit: int = 256) -> None:
+        if limit < 1:
+            raise ConfigurationError(f"pool limit must be >= 1; got {limit}")
+        self._limit = int(limit)
+        self._entries: "OrderedDict[FrozenSet[Edge], Topology]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(
+        self, signature: FrozenSet[Edge], factory: Callable[[], Topology]
+    ) -> Topology:
+        """The pooled topology for ``signature``, built via ``factory`` on miss."""
+        topology = self._entries.get(signature)
+        if topology is None:
+            topology = factory()
+            self._entries[signature] = topology
+            if len(self._entries) > self._limit:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(signature)
+        return topology
+
+
+def require_same_node_count(base_n: int, topology: Topology, what: str) -> None:
+    """Raise :class:`ConfigurationError` unless ``topology`` has ``base_n`` nodes."""
+    if topology.n != base_n:
+        raise ConfigurationError(
+            f"{what} must preserve the node count: expected n={base_n}, "
+            f"got n={topology.n} ({topology.name})"
+        )
+
+
+class TopologySchedule(abc.ABC):
+    """The engine-facing contract for a time-varying communication graph."""
+
+    #: Whether :meth:`topology_at` observes the protocol state vector.
+    state_aware: bool = False
+
+    #: Whether the schedule never changes the graph (today's fast path).
+    is_static: bool = False
+
+    @property
+    @abc.abstractmethod
+    def n(self) -> int:
+        """Number of nodes of every topology the schedule yields."""
+
+    def begin_run(self) -> None:
+        """Hook called by the engines before each execution (per replica for
+        the sequential engine, per batch for the batched one).  Replica-
+        independent schedules keep their memoised rounds across runs."""
+
+    @abc.abstractmethod
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        """The graph in effect during ``round_index`` (``0`` = initial).
+
+        ``states`` is the current per-node state vector, passed by the
+        engines on every call; only state-aware schedules read it, and they
+        must treat it as read-only.
+        """
+
+    def _check_round(self, round_index: int) -> int:
+        if round_index < 0:
+            raise ConfigurationError(
+                f"round index must be >= 0; got {round_index}"
+            )
+        return int(round_index)
+
+
+class StaticSchedule(TopologySchedule):
+    """The identity schedule: the same graph every round.
+
+    Running an engine with ``schedule=StaticSchedule(topology)`` is
+    bit-identical to running it without a schedule — the dynamic code path
+    fetches the same topology object each round, so the arithmetic and the
+    RNG stream are unchanged.
+    """
+
+    is_static = True
+
+    def __init__(self, topology: Topology) -> None:
+        self._topology = topology
+
+    @property
+    def n(self) -> int:
+        return self._topology.n
+
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        self._check_round(round_index)
+        return self._topology
+
+
+class PeriodicRewiringSchedule(TopologySchedule):
+    """Cycle through a fixed list of same-``n`` topologies.
+
+    The graph switches every ``period`` rounds:
+    ``topology_at(r) = topologies[(r // period) % len(topologies)]``.
+    """
+
+    def __init__(self, topologies: Sequence[Topology], period: int = 1) -> None:
+        topologies = tuple(topologies)
+        if not topologies:
+            raise ConfigurationError(
+                "a periodic rewiring schedule needs at least one topology"
+            )
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1; got {period}")
+        base_n = topologies[0].n
+        for topology in topologies[1:]:
+            require_same_node_count(base_n, topology, "periodic rewiring")
+        self._topologies = topologies
+        self._period = int(period)
+
+    @property
+    def n(self) -> int:
+        return self._topologies[0].n
+
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        round_index = self._check_round(round_index)
+        return self._topologies[(round_index // self._period) % len(self._topologies)]
+
+
+class InterpolationSchedule(TopologySchedule):
+    """Morph ``base`` into ``target`` over ``rounds`` rounds.
+
+    At round ``r`` the live graph keeps the edges common to both endpoints,
+    has dropped the first ``f·|base \\ target|`` base-only edges and gained
+    the first ``f·|target \\ base|`` target-only edges (in sorted order),
+    where ``f = min(1, r / rounds)``.  ``InterpolationSchedule(cycle,
+    clique, 100)`` is the canonical densification scenario: the graph's
+    diameter collapses while the protocol runs.
+    """
+
+    def __init__(self, base: Topology, target: Topology, rounds: int) -> None:
+        require_same_node_count(base.n, target, "interpolation")
+        if rounds < 1:
+            raise ConfigurationError(f"rounds must be >= 1; got {rounds}")
+        self._base = base
+        self._target = target
+        self._rounds = int(rounds)
+        base_edges = set(base.edges)
+        target_edges = set(target.edges)
+        self._shared = tuple(sorted(base_edges & target_edges))
+        self._to_remove = tuple(sorted(base_edges - target_edges))
+        self._to_add = tuple(sorted(target_edges - base_edges))
+        self._snapshots: Dict[Tuple[int, int], Topology] = {}
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        round_index = self._check_round(round_index)
+        fraction = min(1.0, round_index / self._rounds)
+        num_removed = int(round(fraction * len(self._to_remove)))
+        num_added = int(round(fraction * len(self._to_add)))
+        if num_removed == 0 and num_added == 0:
+            return self._base
+        if num_removed == len(self._to_remove) and num_added == len(self._to_add):
+            return self._target
+        key = (num_removed, num_added)
+        snapshot = self._snapshots.get(key)
+        if snapshot is None:
+            edges = (
+                self._shared
+                + self._to_remove[num_removed:]
+                + self._to_add[:num_added]
+            )
+            snapshot = Topology(
+                self.n,
+                edges,
+                name=(
+                    f"interp({self._base.name}->{self._target.name},"
+                    f"+{num_added}/-{num_removed})"
+                ),
+                require_connected=False,
+            )
+            self._snapshots[key] = snapshot
+        return snapshot
+
+
+class AdversarialCutSchedule(TopologySchedule):
+    """Repeatedly sever (and restore) a set of cut edges.
+
+    Within every window of ``period`` rounds, the cut edges are *down* for
+    the first ``down_rounds`` rounds and restored for the rest.  By default
+    the cut is the graph's first bridge, so each down-phase disconnects the
+    graph and stalls wave propagation between the two sides — the sharpest
+    executable form of the paper's static-graph assumption.  On a
+    bridgeless graph (a cycle, a clique) the default falls back to the
+    graph's first edge: the down-phase then merely perturbs the topology
+    instead of disconnecting it.  Pass ``edges`` explicitly to cut a
+    specific set.
+    """
+
+    def __init__(
+        self,
+        base: Topology,
+        edges: Optional[Sequence[Edge]] = None,
+        period: int = 8,
+        down_rounds: int = 4,
+    ) -> None:
+        if period < 1:
+            raise ConfigurationError(f"period must be >= 1; got {period}")
+        if not 0 < down_rounds <= period:
+            raise ConfigurationError(
+                f"down_rounds must be in 1..period; got {down_rounds} "
+                f"with period {period}"
+            )
+        if edges is None:
+            edges = self._default_cut(base)
+        cut = tuple(sorted(normalize_edge(u, v) for u, v in edges))
+        if not cut:
+            raise ConfigurationError("an adversarial cut needs at least one edge")
+        present = set(base.edges)
+        for edge in cut:
+            if edge not in present:
+                raise ConfigurationError(
+                    f"cut edge {edge} is not an edge of {base.name}"
+                )
+        self._base = base
+        self._cut = cut
+        self._period = int(period)
+        self._down_rounds = int(down_rounds)
+        remaining = tuple(edge for edge in base.edges if edge not in set(cut))
+        self._down = Topology(
+            base.n,
+            remaining,
+            name=f"{base.name}-cut{list(cut)}",
+            require_connected=False,
+        )
+
+    @staticmethod
+    def _default_cut(base: Topology) -> Tuple[Edge, ...]:
+        """The first bridge, or the first edge when the graph has none."""
+        import networkx as nx
+
+        for u, v in sorted(nx.bridges(base.to_networkx())):
+            return (normalize_edge(u, v),)
+        if not base.edges:
+            raise ConfigurationError(
+                f"{base.name} has no edges; nothing to cut"
+            )
+        return (base.edges[0],)
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def cut_edges(self) -> Tuple[Edge, ...]:
+        """The edges severed during each down-phase."""
+        return self._cut
+
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        round_index = self._check_round(round_index)
+        if round_index == 0:
+            return self._base
+        if (round_index - 1) % self._period < self._down_rounds:
+            return self._down
+        return self._base
+
+
+class EdgeChurnSchedule(TopologySchedule):
+    """Seeded random edge churn, replayed from a memoised delta log.
+
+    An oblivious :class:`~repro.dynamics.churn.ChurnAdversary` is advanced
+    once per round against an incremental frontier
+    :class:`AdjacencyCache`, and the resulting :class:`EdgeDelta` per round
+    is recorded — randomness is drawn exactly once per round, so the
+    schedule is a deterministic function of ``(base, adversary, seed)``:
+    two instances with the same parameters yield identical graph sequences
+    on any engine, backend or query order.
+
+    Serving ``topology_at`` goes through a bounded round memo (O(1) for
+    every replica after the first, which is what makes sequential dynamic
+    sweeps cheap), falling back to replaying the delta log on a cursor
+    cache (O(delta) per step; a replica restarting at round 1 resets the
+    cursor once) with snapshots deduplicated through a bounded
+    :class:`TopologyPool` — one adjacency rebuild per round serves all
+    replicas and revisited edge sets reuse the identical ``Topology``
+    object while cached.  Live memory is bounded by
+    ``ROUND_MEMO_LIMIT`` + ``POOL_LIMIT`` snapshots (the memo is the
+    dominant bound — pooled entries it references stay alive) plus the
+    tiny delta log, even when a run exhausts a six-figure round budget.
+    """
+
+    #: Maximum number of distinct topology snapshots kept alive.
+    POOL_LIMIT = 256
+
+    #: Maximum number of rounds memoised for O(1) re-serving.  Covers the
+    #: whole horizon of typical dynamic sweeps (every replica after the
+    #: first replays pure dictionary hits); longer runs degrade gracefully
+    #: to the delta-replay cursor instead of growing without bound.
+    ROUND_MEMO_LIMIT = 2048
+
+    def __init__(
+        self,
+        base: Topology,
+        adversary: Optional[ChurnAdversary] = None,
+        seed: int = 0,
+        add_per_round: int = 1,
+        remove_per_round: int = 1,
+        preserve_connectivity: bool = True,
+    ) -> None:
+        if adversary is None:
+            adversary = ObliviousEdgeChurn(
+                remove_per_round=remove_per_round,
+                add_per_round=add_per_round,
+                preserve_connectivity=preserve_connectivity,
+            )
+        if adversary.state_aware:
+            raise ConfigurationError(
+                "EdgeChurnSchedule shares one graph sequence across replicas, "
+                "so its adversary must be oblivious; wrap state-aware "
+                "adversaries in StateAwareChurnSchedule instead"
+            )
+        self._base = base
+        self._adversary = adversary
+        self._seed = int(seed)
+        self._rng = as_rng(self._seed)
+        self._frontier = AdjacencyCache(base)
+        self._deltas: List[EdgeDelta] = []
+        self._replay = AdjacencyCache(base)
+        self._replay_round = 0
+        self._pool = TopologyPool(self.POOL_LIMIT)
+        # Seed the pool with the base graph, so a churn round that happens
+        # to restore the initial edge set reuses the identical object.
+        self._pool.get(frozenset(base.edges), lambda: base)
+        self._round_memo: "OrderedDict[int, Topology]" = OrderedDict()
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    @property
+    def seed(self) -> int:
+        """The churn RNG seed (provenance)."""
+        return self._seed
+
+    def delta_at(self, round_index: int) -> EdgeDelta:
+        """The churn applied when entering ``round_index`` (computed on demand)."""
+        round_index = self._check_round(round_index)
+        if round_index == 0:
+            return EdgeDelta()
+        self._ensure_deltas(round_index)
+        return self._deltas[round_index - 1]
+
+    def _ensure_deltas(self, round_index: int) -> None:
+        """Advance the frontier (and consume randomness) up to ``round_index``."""
+        while len(self._deltas) < round_index:
+            self._deltas.append(
+                self._adversary.propose(
+                    len(self._deltas) + 1, self._frontier, self._rng
+                )
+            )
+
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        round_index = self._check_round(round_index)
+        if round_index == 0:
+            return self._base
+        memo = self._round_memo
+        memoised = memo.get(round_index)
+        if memoised is not None:
+            memo.move_to_end(round_index)
+            return memoised
+        self._ensure_deltas(round_index)
+        if round_index < self._replay_round:
+            self._replay = AdjacencyCache(self._base)
+            self._replay_round = 0
+        while self._replay_round < round_index:
+            self._replay.apply(self._deltas[self._replay_round])
+            self._replay_round += 1
+        replay = self._replay
+        topology = self._pool.get(
+            replay.signature(),
+            lambda: replay.snapshot(
+                name=f"{self._base.name}~churn[seed={self._seed}]@r{round_index}"
+            ),
+        )
+        memo[round_index] = topology
+        if len(memo) > self.ROUND_MEMO_LIMIT:
+            memo.popitem(last=False)
+        return topology
+
+
+class StateAwareChurnSchedule(TopologySchedule):
+    """Per-run schedule driven by a state-aware churn adversary.
+
+    The graph sequence depends on the states of the replica under attack, so
+    the schedule is reset by :meth:`begin_run` (fresh RNG from the same seed,
+    fresh adjacency cache) and must be advanced one round at a time — the
+    engines do exactly that.  The batched engine only accepts it for
+    single-replica batches.
+    """
+
+    state_aware = True
+
+    #: Maximum number of distinct topology snapshots kept alive.
+    POOL_LIMIT = 256
+
+    def __init__(
+        self,
+        base: Topology,
+        adversary: Optional[ChurnAdversary] = None,
+        seed: int = 0,
+    ) -> None:
+        if adversary is None:
+            adversary = LeaderIsolatingChurn()
+        if not adversary.state_aware:
+            raise ConfigurationError(
+                "StateAwareChurnSchedule needs a state-aware adversary; "
+                "oblivious adversaries belong in EdgeChurnSchedule"
+            )
+        self._base = base
+        self._adversary = adversary
+        self._seed = int(seed)
+        self._pool = TopologyPool(self.POOL_LIMIT)
+        self._pool.get(frozenset(base.edges), lambda: base)
+        self.begin_run()
+
+    @property
+    def n(self) -> int:
+        return self._base.n
+
+    def begin_run(self) -> None:
+        self._rng = as_rng(self._seed)
+        self._cache = AdjacencyCache(self._base)
+        self._adversary.begin_run()
+        self._last_round = 0
+
+    def topology_at(
+        self, round_index: int, states: Optional[np.ndarray] = None
+    ) -> Topology:
+        round_index = self._check_round(round_index)
+        if round_index == 0:
+            return self._base
+        if states is None:
+            raise ConfigurationError(
+                "state-aware schedules need the current state vector"
+            )
+        if round_index != self._last_round + 1:
+            raise ConfigurationError(
+                f"state-aware schedules advance one round at a time; "
+                f"expected round {self._last_round + 1}, got {round_index}"
+            )
+        self._adversary.propose(round_index, self._cache, self._rng, states=states)
+        self._last_round = round_index
+        cache = self._cache
+        return self._pool.get(
+            cache.signature(),
+            lambda: cache.snapshot(
+                name=f"{self._base.name}~aware[seed={self._seed}]"
+            ),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Serialisable schedule specifications
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """Pure-data description of a schedule, relative to a cell's base graph.
+
+    Mirrors :class:`~repro.experiments.config.GraphSpec`: plain picklable
+    data so that :class:`~repro.exec.ExecutionCell` objects carrying a
+    dynamic scenario still ship to spawn-started worker processes, where
+    :func:`build_schedule` rebuilds the schedule deterministically.
+    """
+
+    kind: str
+    params: Mapping[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULE_KINDS:
+            raise ConfigurationError(
+                f"unknown schedule kind {self.kind!r}; "
+                f"known: {', '.join(sorted(SCHEDULE_KINDS))}"
+            )
+        object.__setattr__(self, "params", dict(self.params))
+
+    @property
+    def label(self) -> str:
+        """Display label such as ``"edge-churn[k=2,seed=7]"``."""
+        if not self.params:
+            return self.kind
+        rendered = ",".join(
+            f"{key}={value}" for key, value in sorted(self.params.items())
+        )
+        return f"{self.kind}[{rendered}]"
+
+
+def _build_static(base: Topology) -> TopologySchedule:
+    return StaticSchedule(base)
+
+
+def _build_edge_churn(
+    base: Topology,
+    add_per_round: int = 1,
+    remove_per_round: int = 1,
+    seed: int = 0,
+    preserve_connectivity: bool = True,
+) -> TopologySchedule:
+    return EdgeChurnSchedule(
+        base,
+        seed=seed,
+        add_per_round=add_per_round,
+        remove_per_round=remove_per_round,
+        preserve_connectivity=preserve_connectivity,
+    )
+
+
+def _build_cut(
+    base: Topology,
+    edge: Optional[Sequence[int]] = None,
+    period: int = 8,
+    down_rounds: int = 4,
+) -> TopologySchedule:
+    edges = None if edge is None else (normalize_edge(edge[0], edge[1]),)
+    return AdversarialCutSchedule(
+        base, edges=edges, period=period, down_rounds=down_rounds
+    )
+
+
+def _build_interpolate(
+    base: Topology,
+    target_family: str = "clique",
+    rounds: int = 64,
+    seed: int = 0,
+) -> TopologySchedule:
+    from repro.graphs.generators import make_graph
+
+    target = make_graph(target_family, base.n, rng=as_rng(seed))
+    require_same_node_count(base.n, target, "interpolation target")
+    return InterpolationSchedule(base, target, rounds=rounds)
+
+
+def _build_periodic_rewire(
+    base: Topology,
+    families: Sequence[str] = ("cycle", "path"),
+    period: int = 16,
+    seed: int = 0,
+) -> TopologySchedule:
+    from repro.graphs.generators import make_graph
+
+    topologies = [base]
+    for index, family in enumerate(families):
+        topology = make_graph(family, base.n, rng=as_rng(int(seed) + index))
+        require_same_node_count(base.n, topology, f"periodic rewiring to {family!r}")
+        topologies.append(topology)
+    return PeriodicRewiringSchedule(topologies, period=period)
+
+
+def _build_state_aware_churn(
+    base: Topology,
+    cut_per_round: int = 2,
+    seed: int = 0,
+) -> TopologySchedule:
+    return StateAwareChurnSchedule(
+        base, adversary=LeaderIsolatingChurn(cut_per_round=cut_per_round), seed=seed
+    )
+
+
+#: Registry of spec kinds to builder callables ``(base, **params) -> schedule``.
+SCHEDULE_KINDS: Dict[str, Callable[..., TopologySchedule]] = {
+    "static": _build_static,
+    "edge-churn": _build_edge_churn,
+    "cut": _build_cut,
+    "interpolate": _build_interpolate,
+    "periodic-rewire": _build_periodic_rewire,
+    "leader-isolating": _build_state_aware_churn,
+}
+
+
+def build_schedule(
+    spec: "ScheduleSpec | TopologySchedule", base: Topology
+) -> TopologySchedule:
+    """Instantiate a schedule for ``base`` from a spec (or pass one through).
+
+    Raises
+    ------
+    ConfigurationError
+        If the spec kind is unknown, a parameter is invalid, or the built
+        schedule does not preserve ``base``'s node count.
+    """
+    if isinstance(spec, TopologySchedule):
+        if spec.n != base.n:
+            raise ConfigurationError(
+                f"schedule is defined for n={spec.n} nodes but the base "
+                f"graph {base.name} has n={base.n}"
+            )
+        return spec
+    if not isinstance(spec, ScheduleSpec):
+        raise ConfigurationError(
+            f"expected a ScheduleSpec or TopologySchedule; got {type(spec).__name__}"
+        )
+    builder = SCHEDULE_KINDS[spec.kind]
+    try:
+        return builder(base, **spec.params)
+    except TypeError as error:
+        raise ConfigurationError(
+            f"invalid parameters for schedule kind {spec.kind!r}: {error}"
+        ) from None

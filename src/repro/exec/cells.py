@@ -30,6 +30,7 @@ from typing import TYPE_CHECKING, Optional, Tuple, Union
 
 from repro.batch.results import BatchResult
 from repro.beeping.simulator import SimulationResult
+from repro.dynamics.schedules import ScheduleSpec, build_schedule
 from repro.errors import ConfigurationError
 from repro.graphs.generators import make_graph
 from repro.graphs.topology import Topology
@@ -69,6 +70,13 @@ class ExecutionCell:
         key tuple handed to :func:`~repro.experiments.seeds.rng_from`.  The
         default reproduces the sweep runner's derivation
         ``(graph.seed, "graph", graph.family, graph.n)``.
+    schedule:
+        Optional :class:`~repro.dynamics.schedules.ScheduleSpec` describing
+        a time-varying topology for the cell.  Like the graph spec it is
+        pure data: the executing process (a worker, for ``process:N``)
+        rebuilds the actual schedule against the cell's graph, so dynamic
+        cells shard exactly like static ones.  Only constant-state beeping
+        protocols support schedules.
     """
 
     protocol: ProtocolSpecConfig
@@ -77,6 +85,7 @@ class ExecutionCell:
     max_rounds: Optional[int] = None
     planted_leaders: Optional[Tuple[int, ...]] = None
     graph_rng_key: Optional[RngKey] = None
+    schedule: Optional[ScheduleSpec] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
@@ -94,9 +103,21 @@ class ExecutionCell:
             object.__setattr__(self, "graph_rng_key", tuple(self.graph_rng_key))
 
     @property
+    def graph_label(self) -> str:
+        """Graph display label, qualified by the schedule when one is set.
+
+        Dynamic cells render as e.g. ``"cycle(64)@edge-churn[seed=7]"`` so
+        their records stay distinguishable from static runs of the same
+        graph — the label is part of every :class:`TrialRecord`.
+        """
+        if self.schedule is None:
+            return self.graph.label
+        return f"{self.graph.label}@{self.schedule.label}"
+
+    @property
     def label(self) -> str:
         """Display label such as ``"bfw on cycle(64)"``."""
-        return f"{self.protocol.label} on {self.graph.label}"
+        return f"{self.protocol.label} on {self.graph_label}"
 
     @property
     def num_replicas(self) -> int:
@@ -175,7 +196,7 @@ class CellOutcome:
             cached = tuple(
                 TrialRecord(
                     protocol=self.cell.protocol.label,
-                    graph=self.cell.graph.label,
+                    graph=self.cell.graph_label,
                     n=self.n,
                     diameter=self.diameter,
                     seed=seed,
@@ -190,8 +211,9 @@ class CellOutcome:
 
 
 def _build_cell(cell: ExecutionCell):
-    """Topology, protocol and optional planted initial states for a cell."""
+    """Topology, protocol, planted initial states and schedule for a cell."""
     from repro.beeping.adversary import planted_leaders_initial_states
+    from repro.core.protocol import BeepingProtocol
     from repro.experiments.runner import instantiate_protocol
 
     topology = cell.build_topology()
@@ -203,7 +225,16 @@ def _build_cell(cell: ExecutionCell):
         initial_states = planted_leaders_initial_states(
             topology, tuple(node % topology.n for node in cell.planted_leaders)
         )
-    return topology, protocol, initial_states
+    schedule = None
+    if cell.schedule is not None:
+        if not isinstance(protocol, BeepingProtocol):
+            raise ConfigurationError(
+                f"topology schedules require a constant-state beeping "
+                f"protocol; got {type(protocol).__name__} for cell "
+                f"{cell.label!r}"
+            )
+        schedule = build_schedule(cell.schedule, topology)
+    return topology, protocol, initial_states, schedule
 
 
 def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
@@ -212,14 +243,17 @@ def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
     from repro.core.protocol import BeepingProtocol
     from repro.experiments.runner import run_protocol_on
 
-    topology, protocol, initial_states = _build_cell(cell)
-    if initial_states is not None:
+    topology, protocol, initial_states, schedule = _build_cell(cell)
+    if initial_states is not None or schedule is not None:
         if not isinstance(protocol, BeepingProtocol):
             raise ConfigurationError(
                 f"planted leaders require a constant-state beeping protocol; "
                 f"got {type(protocol).__name__}"
             )
-        engine = VectorizedEngine(topology, protocol)
+        # One engine (and one schedule instance) for every seed: replica-
+        # independent schedules memoise their per-round graphs, so all of
+        # the cell's replicas replay one rebuild per round.
+        engine = VectorizedEngine(topology, protocol, schedule=schedule)
         results = tuple(
             engine.run(
                 max_rounds=cell.max_rounds, rng=seed, initial_states=initial_states
@@ -250,9 +284,20 @@ def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
     """
     from repro.experiments.montecarlo import MonteCarloRunner, runs_batched
 
-    topology, protocol, initial_states = _build_cell(cell)
+    topology, protocol, initial_states, schedule = _build_cell(cell)
+    if schedule is not None and schedule.state_aware and cell.num_replicas > 1:
+        # A state-aware schedule's graph sequence depends on one replica's
+        # states, so the batched engine cannot share its per-round adjacency
+        # across the batch; the sequential executor runs each replica with
+        # its own per-run schedule reset — identical records, so the
+        # every-backend byte-parity contract holds for these cells too.
+        return execute_cell_sequential(cell)
     batch = MonteCarloRunner(max_rounds=cell.max_rounds).run(
-        topology, protocol, list(cell.seeds), initial_states=initial_states
+        topology,
+        protocol,
+        list(cell.seeds),
+        initial_states=initial_states,
+        schedule=schedule,
     )
     return CellOutcome(
         cell=cell,

@@ -16,6 +16,12 @@ from repro.experiments.figures import (
     lower_bound_experiment,
     scaling_experiment,
 )
+from repro.experiments.dynamics import (
+    DynamicCellRow,
+    DynamicResult,
+    dynamic_experiment,
+    schedule_spec_for_rate,
+)
 from repro.experiments.io import (
     load_records_json,
     save_records_csv,
@@ -66,6 +72,8 @@ __all__ = [
     "DEFAULT_MASTER_SEED",
     "DEFAULT_TABLE1_GRAPHS",
     "DEFAULT_TABLE1_PROTOCOLS",
+    "DynamicCellRow",
+    "DynamicResult",
     "GraphSpec",
     "LowerBoundResult",
     "MonteCarloReport",
@@ -80,6 +88,7 @@ __all__ = [
     "ablation_experiment",
     "aggregate_records",
     "crossover_experiment",
+    "dynamic_experiment",
     "generate_table1",
     "instantiate_protocol",
     "load_records_json",
@@ -98,6 +107,7 @@ __all__ = [
     "save_records_json",
     "save_summaries_csv",
     "scaling_experiment",
+    "schedule_spec_for_rate",
     "spawn_seeds",
     "trial_seeds",
 ]

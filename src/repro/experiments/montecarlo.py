@@ -42,6 +42,7 @@ from repro.experiments.seeds import DEFAULT_MASTER_SEED, trial_seeds
 from repro.graphs.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a module cycle
+    from repro.dynamics.schedules import TopologySchedule
     from repro.exec import BackendSpec
 from repro.stats.summary import Summary, summarize_sample
 from repro.viz.table_format import render_table
@@ -70,20 +71,23 @@ class MonteCarloRunner:
         seeds: Sequence[SeedLike],
         max_rounds: Optional[int] = None,
         initial_states: Optional[np.ndarray] = None,
+        schedule: Optional["TopologySchedule"] = None,
     ) -> BatchResult:
         """Run one replica per seed and return the batch outcome.
 
         Constant-state protocols and batch-supported memory baselines advance
         in a single batched state array; anything else falls back to a
         per-seed loop with identical results.  ``initial_states`` (an
-        ``(n,)`` vector shared by all replicas, e.g. planted leaders) is
-        only meaningful for constant-state protocols.
+        ``(n,)`` vector shared by all replicas, e.g. planted leaders) and
+        ``schedule`` (a :class:`~repro.dynamics.schedules.TopologySchedule`
+        swapping the adjacency between rounds) are only meaningful for
+        constant-state protocols.
         """
         if len(seeds) == 0:
             raise ConfigurationError("a Monte-Carlo run needs at least one seed")
         budget = max_rounds if max_rounds is not None else self.max_rounds
         if isinstance(protocol, BeepingProtocol):
-            engine = BatchedEngine(topology, protocol)
+            engine = BatchedEngine(topology, protocol, schedule=schedule)
             return engine.run(
                 list(seeds),
                 max_rounds=budget,
@@ -91,6 +95,11 @@ class MonteCarloRunner:
                     None if initial_states is None else np.asarray(initial_states)
                 ),
                 record_leader_counts=self.record_leader_counts,
+            )
+        if schedule is not None:
+            raise ConfigurationError(
+                "topology schedules require a constant-state beeping "
+                f"protocol; got {type(protocol).__name__}"
             )
         if initial_states is not None:
             raise ConfigurationError(

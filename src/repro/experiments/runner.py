@@ -126,6 +126,7 @@ def run_protocol_batch_on(
     protocol: object,
     seeds: Sequence[RngLike],
     max_rounds: Optional[int] = None,
+    schedule=None,
 ):
     """Run one seeded replica per entry of ``seeds`` and return a batch.
 
@@ -135,6 +136,9 @@ def run_protocol_batch_on(
     standalone runners loop over :func:`run_protocol_on`.  Under matched
     seeds the outcome is replica-for-replica identical to that loop either
     way — see :class:`~repro.experiments.montecarlo.MonteCarloRunner`.
+    ``schedule`` (a :class:`~repro.dynamics.schedules.TopologySchedule`)
+    runs the batch on a time-varying topology and requires a constant-state
+    protocol.
 
     Returns
     -------
@@ -143,7 +147,7 @@ def run_protocol_batch_on(
     from repro.experiments.montecarlo import MonteCarloRunner
 
     return MonteCarloRunner(max_rounds=max_rounds).run(
-        topology, protocol, list(seeds)
+        topology, protocol, list(seeds), schedule=schedule
     )
 
 

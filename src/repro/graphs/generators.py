@@ -18,22 +18,14 @@ seed) so that every experiment is exactly reproducible.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Tuple
 
 import networkx as nx
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import TopologyError
 from repro.graphs.topology import Edge, Topology, topology_from_networkx
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    """Normalise a seed / generator / None into a :class:`numpy.random.Generator`."""
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 # --------------------------------------------------------------------------- #
@@ -208,7 +200,7 @@ def erdos_renyi_graph(
     """
     if n < 2:
         raise TopologyError(f"Erdős–Rényi graph needs n >= 2; got {n}")
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     if probability is None:
         probability = min(1.0, 2.0 * math.log(n) / n)
     for _ in range(100):
@@ -235,7 +227,7 @@ def random_geometric_graph(
     """
     if n < 2:
         raise TopologyError(f"random geometric graph needs n >= 2; got {n}")
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     if radius is None:
         radius = min(1.0, 1.5 * math.sqrt(math.log(n) / (math.pi * n)))
     for _ in range(100):
@@ -258,7 +250,7 @@ def random_tree_graph(n: int, rng: RngLike = None) -> Topology:
     if n <= 2:
         edges = [(0, 1)] if n == 2 else []
         return Topology(n, edges, name=f"random-tree({n})")
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     prufer = [int(generator.integers(0, n)) for _ in range(n - 2)]
     degree = [1] * n
     for node in prufer:
@@ -289,7 +281,7 @@ def random_regular_graph(n: int, degree: int, rng: RngLike = None) -> Topology:
         raise TopologyError(
             f"invalid random regular graph parameters: n={n}, degree={degree}"
         )
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     for _ in range(100):
         seed = int(generator.integers(0, 2**31 - 1))
         graph = nx.random_regular_graph(degree, n, seed=seed)

@@ -12,19 +12,12 @@ utilities are reusable substrate.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -144,7 +137,7 @@ class FiniteMarkovChain:
         """
         if length < 1:
             raise ConfigurationError(f"path length must be >= 1; got {length}")
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         n = self.num_states
         cumulative = np.cumsum(self.transition_matrix, axis=1)
         path = np.empty(length, dtype=np.int64)
@@ -176,7 +169,7 @@ class FiniteMarkovChain:
         """
         if num_paths < 1:
             raise ConfigurationError(f"num_paths must be >= 1; got {num_paths}")
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         n = self.num_states
         cumulative = np.cumsum(self.transition_matrix, axis=1)
         paths = np.empty((num_paths, length), dtype=np.int64)

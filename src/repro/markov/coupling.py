@@ -16,20 +16,11 @@ the maximum beep-count gap observed, which the tests check against Claim 16.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
-
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError
 from repro.markov.bfw_chain import STATE_B, bfw_leader_chain
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -84,7 +75,7 @@ def simulate_coupling(
         raise ConfigurationError(
             f"initial_state must be in 0..{chain.num_states - 1}; got {initial_state}"
         )
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     cumulative = np.cumsum(chain.transition_matrix, axis=1)
     pi = chain.stationary_distribution()
 
@@ -135,7 +126,7 @@ def empirical_meeting_time_distribution(
     meets quickly (geometrically fast), which is what makes the ±1 transfer
     of Claim 16 essentially free.
     """
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     return np.array(
         [
             simulate_coupling(p, horizon, initial_state, rng=generator).meeting_time

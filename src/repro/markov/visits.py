@@ -15,20 +15,13 @@ can compare them against the paper's statements.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple, Union
+from typing import Tuple
 
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError
 from repro.markov.bfw_chain import STATE_B, STATE_W, bfw_leader_chain
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -112,7 +105,7 @@ def estimate_anti_concentration(
     Lemma 15 (with ``d = sqrt(horizon)``) states this probability is bounded
     away from one by a constant depending only on ``p``.
     """
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     if threshold is None:
         threshold = float(np.sqrt(horizon))
     counts_u = simulate_visit_counts(
@@ -159,7 +152,7 @@ def estimate_separation_time(
         )
     if max_rounds is None:
         max_rounds = 200 * target_difference * target_difference + 1000
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     chain = bfw_leader_chain(p)
     cumulative = np.cumsum(chain.transition_matrix, axis=1)
 

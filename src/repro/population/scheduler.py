@@ -13,20 +13,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError, SimulationError
 from repro.graphs.topology import Topology
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 class PopulationProtocol(abc.ABC):
@@ -153,7 +146,7 @@ class PopulationScheduler:
             raise ConfigurationError(
                 f"max_interactions must be >= 0; got {max_interactions}"
             )
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         n = self._topology.n
         if check_interval is None:
             check_interval = max(1, n)

@@ -8,19 +8,12 @@ for medians and quantiles over normal approximations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence, Tuple, Union
+from typing import Callable, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -81,7 +74,7 @@ def bootstrap_interval(
     if num_resamples < 1:
         raise ConfigurationError(f"num_resamples must be >= 1; got {num_resamples}")
 
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     estimate = float(statistic(array))
     indices = generator.integers(0, array.size, size=(num_resamples, array.size))
     resample_statistics = np.array(
@@ -133,7 +126,7 @@ def bootstrap_ratio_of_means(
         raise ConfigurationError("both samples must be non-empty")
     if bottom.mean() == 0:
         raise ConfigurationError("denominator sample has zero mean")
-    generator = _as_rng(rng)
+    generator = as_rng(rng)
     estimate = float(top.mean() / bottom.mean())
     ratios = np.empty(num_resamples)
     for i in range(num_resamples):

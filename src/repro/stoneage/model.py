@@ -19,20 +19,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.rng import RngLike, as_rng
 from repro.errors import ConfigurationError, SimulationError
 from repro.graphs.topology import Topology
-
-RngLike = Union[int, np.random.Generator, None]
-
-
-def _as_rng(rng: RngLike) -> np.random.Generator:
-    if isinstance(rng, np.random.Generator):
-        return rng
-    return np.random.default_rng(rng)
 
 
 @dataclass(frozen=True)
@@ -154,7 +147,7 @@ class StoneAgeSimulator:
         record_states:
             Whether to record the full state history.
         """
-        generator = _as_rng(rng)
+        generator = as_rng(rng)
         n = self._topology.n
         if initial_states is None:
             states: List[Hashable] = [self._protocol.initial_state] * n

@@ -33,9 +33,11 @@ from repro.batch import BatchedEngine, BatchedMemoryEngine
 from repro.beeping.engine import VectorizedEngine
 from repro.beeping.simulator import MemorySimulator
 from repro.core.protocol import BeepingProtocol, MemoryProtocol
-from repro.exec import resolve_backend
+from repro.dynamics import ScheduleSpec, build_schedule
+from repro.exec import ExecutionCell, resolve_backend
 from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
 from repro.experiments.runner import sweep_cells
+from repro.experiments.seeds import trial_seeds
 from repro.graphs.generators import (
     cycle_graph,
     erdos_renyi_graph,
@@ -52,6 +54,25 @@ BACKEND_PARITY_GRAPHS = (
     GraphSpec(family="cycle", n=16),
     GraphSpec(family="path", n=13),
     GraphSpec(family="erdos-renyi", n=18, seed=5),
+)
+
+#: Default dynamic scenarios for topology-schedule parity: the identity
+#: schedule (must reproduce the static engines bit for bit), seeded random
+#: churn at two rates, a periodic bridge cut, and a densification morph.
+DYNAMIC_PARITY_SCHEDULES = (
+    ScheduleSpec("static"),
+    ScheduleSpec("edge-churn", {"add_per_round": 1, "remove_per_round": 1, "seed": 7}),
+    ScheduleSpec(
+        "edge-churn",
+        {
+            "add_per_round": 2,
+            "remove_per_round": 2,
+            "seed": 11,
+            "preserve_connectivity": False,
+        },
+    ),
+    ScheduleSpec("cut", {"period": 6, "down_rounds": 3}),
+    ScheduleSpec("interpolate", {"target_family": "clique", "rounds": 24}),
 )
 
 
@@ -112,6 +133,66 @@ def _assert_constant_state_parity(topology, protocol, seeds, **run_kwargs):
         else:
             assert batch.leader_node[index] == -1
     return batch
+
+
+def assert_schedule_replica_parity(
+    topology, protocol, spec, seeds=DEFAULT_SEEDS, max_rounds=4000, **run_kwargs
+):
+    """Assert batched == sequential under a topology schedule, replica for replica.
+
+    ``spec`` is a :class:`~repro.dynamics.ScheduleSpec` (or a prebuilt
+    schedule); each engine gets its *own* schedule instance built from the
+    spec, so the assertion also proves the schedule itself is deterministic
+    across instances — the property that lets backends rebuild schedules
+    inside worker processes without breaking parity.
+    """
+    batch = BatchedEngine(
+        topology, protocol, schedule=build_schedule(spec, topology)
+    ).run(list(seeds), max_rounds=max_rounds, **run_kwargs)
+    engine = VectorizedEngine(
+        topology, protocol, schedule=build_schedule(spec, topology)
+    )
+    for index, seed in enumerate(seeds):
+        single = engine.run(rng=seed, max_rounds=max_rounds, **run_kwargs)
+        assert_same_simulation_fields(batch.replica(index), single)
+        np.testing.assert_array_equal(batch.final_states[index], engine.last_states)
+    return batch
+
+
+def dynamic_parity_cells(
+    protocols=("bfw", "bfw-nonuniform"),
+    graphs=BACKEND_PARITY_GRAPHS,
+    schedules=DYNAMIC_PARITY_SCHEDULES,
+    num_seeds=3,
+    master_seed=37,
+    max_rounds=4000,
+):
+    """Dynamic-topology cells every backend must execute identically.
+
+    Crosses the backend-parity graphs with the default schedule set (on
+    bridgeless families the cut schedule falls back to severing the first
+    edge).  ``max_rounds`` is capped because churned graphs are allowed to
+    stall convergence — exercising the budget-exhaustion path is part of
+    the point.
+    """
+    cells = []
+    for protocol in protocols:
+        for graph in graphs:
+            for spec in schedules:
+                cells.append(
+                    ExecutionCell(
+                        protocol=ProtocolSpecConfig(name=protocol),
+                        graph=graph,
+                        seeds=trial_seeds(
+                            master_seed,
+                            f"dynamic-parity/{protocol}/{graph.label}/{spec.label}",
+                            num_seeds,
+                        ),
+                        max_rounds=max_rounds,
+                        schedule=spec,
+                    )
+                )
+    return tuple(cells)
 
 
 def backend_parity_cells(

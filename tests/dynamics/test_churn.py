@@ -1,0 +1,138 @@
+"""Unit tests for churn adversaries and the incremental adjacency cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.states import State
+from repro.dynamics import (
+    AdjacencyCache,
+    EdgeDelta,
+    LeaderIsolatingChurn,
+    ObliviousEdgeChurn,
+    StateAwareChurnSchedule,
+    normalize_edge,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.generators import cycle_graph, path_graph
+
+
+def test_edge_delta_normalises_and_sorts_edges():
+    delta = EdgeDelta(added=[(5, 2), (1, 0)], removed=[(9, 3)])
+    assert delta.added == ((0, 1), (2, 5))
+    assert delta.removed == ((3, 9),)
+    assert not delta.is_empty
+    assert EdgeDelta().is_empty
+
+
+def test_adjacency_cache_applies_deltas_incrementally():
+    cache = AdjacencyCache(path_graph(5))
+    assert cache.num_edges == 4 and cache.has_edge(0, 1)
+    cache.apply(EdgeDelta(added=[(0, 4)], removed=[(2, 3)]))
+    assert cache.has_edge(0, 4) and not cache.has_edge(2, 3)
+    assert cache.degree(0) == 2
+    topology = cache.snapshot("t")
+    assert set(topology.edges) == {(0, 1), (1, 2), (3, 4), (0, 4)}
+
+
+def test_adjacency_cache_rejects_inconsistent_deltas():
+    cache = AdjacencyCache(path_graph(4))
+    with pytest.raises(ConfigurationError, match="non-edge"):
+        cache.apply(EdgeDelta(removed=[(0, 3)]))
+    with pytest.raises(ConfigurationError, match="existing edge"):
+        cache.apply(EdgeDelta(added=[(0, 1)]))
+    with pytest.raises(ConfigurationError, match="self-loop"):
+        cache.apply(EdgeDelta(added=[(2, 2)]))
+    with pytest.raises(ConfigurationError, match="outside node range"):
+        cache.apply(EdgeDelta(added=[(0, 9)]))
+
+
+def test_adjacency_cache_connectivity_probes():
+    cache = AdjacencyCache(path_graph(5))
+    assert cache.is_connected()
+    assert cache.would_disconnect((1, 2))  # every path edge is a bridge
+    cycle = AdjacencyCache(cycle_graph(5))
+    assert not cycle.would_disconnect((0, 1))  # cycle edges never are
+    cache.apply(EdgeDelta(removed=[(1, 2)]))
+    assert not cache.is_connected()
+
+
+def test_sample_non_edge_is_none_on_complete_graphs():
+    from repro.graphs.generators import clique_graph
+
+    cache = AdjacencyCache(clique_graph(4))
+    assert cache.sample_non_edge(np.random.default_rng(0)) is None
+
+
+def test_oblivious_churn_skips_bridges_when_preserving_connectivity():
+    rng = np.random.default_rng(0)
+    cache = AdjacencyCache(path_graph(6))
+    adversary = ObliviousEdgeChurn(remove_per_round=2, add_per_round=0)
+    for round_index in range(1, 10):
+        adversary.propose(round_index, cache, rng)
+        assert cache.is_connected()
+
+
+def test_oblivious_churn_can_disconnect_when_allowed():
+    rng = np.random.default_rng(1)
+    cache = AdjacencyCache(path_graph(6))
+    adversary = ObliviousEdgeChurn(
+        remove_per_round=2, add_per_round=0, preserve_connectivity=False
+    )
+    adversary.propose(1, cache, rng)
+    assert cache.num_edges == 3  # removals are never skipped
+
+
+def test_leader_isolating_churn_cuts_leader_incident_edges_and_restores():
+    topology = cycle_graph(8)
+    cache = AdjacencyCache(topology)
+    adversary = LeaderIsolatingChurn(cut_per_round=2)
+    adversary.begin_run()
+    rng = np.random.default_rng(0)
+    states = np.full(8, int(State.W_FOLLOWER), dtype=np.int8)
+    states[3] = int(State.W_LEADER)
+
+    delta = adversary.propose(1, cache, rng, states=states)
+    assert all(3 in edge for edge in delta.removed)
+    assert cache.degree(3) == 0  # both of the leader's edges are down
+
+    # Next round the cuts are restored before new ones are made.
+    states[3] = int(State.W_FOLLOWER)
+    states[5] = int(State.W_LEADER)
+    delta = adversary.propose(2, cache, rng, states=states)
+    assert cache.degree(3) == 2
+    assert all(5 in edge for edge in delta.removed)
+
+
+def test_leader_isolating_churn_requires_states():
+    adversary = LeaderIsolatingChurn()
+    with pytest.raises(ConfigurationError, match="state"):
+        adversary.propose(
+            1, AdjacencyCache(cycle_graph(6)), np.random.default_rng(0)
+        )
+
+
+def test_state_aware_schedule_rejects_oblivious_adversaries_and_vice_versa():
+    from repro.dynamics import EdgeChurnSchedule
+
+    base = cycle_graph(8)
+    with pytest.raises(ConfigurationError, match="state-aware"):
+        StateAwareChurnSchedule(base, adversary=ObliviousEdgeChurn())
+    with pytest.raises(ConfigurationError, match="oblivious"):
+        EdgeChurnSchedule(base, adversary=LeaderIsolatingChurn())
+
+
+def test_state_aware_schedule_advances_one_round_at_a_time():
+    base = cycle_graph(8)
+    schedule = StateAwareChurnSchedule(base, seed=0)
+    states = np.full(8, int(State.W_LEADER), dtype=np.int8)
+    schedule.begin_run()
+    schedule.topology_at(1, states=states)
+    with pytest.raises(ConfigurationError, match="one round at a time"):
+        schedule.topology_at(3, states=states)
+    with pytest.raises(ConfigurationError, match="state vector"):
+        schedule.topology_at(2)
+
+
+def test_normalize_edge():
+    assert normalize_edge(5, 2) == (2, 5)
+    assert normalize_edge(2, 5) == (2, 5)

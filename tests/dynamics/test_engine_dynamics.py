@@ -1,0 +1,114 @@
+"""Engine-level dynamics: batched vs sequential parity under topology schedules."""
+
+import pytest
+
+from repro.batch.engine import BatchedEngine
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol, NonUniformBFWProtocol
+from repro.dynamics import (
+    AdversarialCutSchedule,
+    ScheduleSpec,
+    StateAwareChurnSchedule,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.generators import cycle_graph, path_graph
+
+from tests.batch.parity_harness import (
+    DYNAMIC_PARITY_SCHEDULES,
+    assert_schedule_replica_parity,
+)
+
+
+@pytest.mark.parametrize(
+    "spec", DYNAMIC_PARITY_SCHEDULES, ids=lambda spec: spec.label
+)
+def test_batched_matches_sequential_under_schedule_on_cycle(spec):
+    assert_schedule_replica_parity(cycle_graph(16), BFWProtocol(), spec, seeds=range(6))
+
+
+@pytest.mark.parametrize(
+    "spec", DYNAMIC_PARITY_SCHEDULES, ids=lambda spec: spec.label
+)
+def test_batched_matches_sequential_under_schedule_on_path(spec):
+    assert_schedule_replica_parity(
+        path_graph(11), NonUniformBFWProtocol(diameter=10), spec, seeds=range(6)
+    )
+
+
+def test_cut_and_churn_parity_without_early_stopping():
+    # No replica retires, so every replica consumes the budget — the whole
+    # schedule horizon is replayed identically by both engines.
+    assert_schedule_replica_parity(
+        cycle_graph(12),
+        BFWProtocol(),
+        ScheduleSpec("edge-churn", {"seed": 5}),
+        seeds=range(4),
+        max_rounds=200,
+        stop_at_single_leader=False,
+    )
+
+
+def test_permanent_cut_stalls_convergence_across_the_bridge():
+    # With the bridge permanently down, each side of the path elects its own
+    # leader and the two survivors can never eliminate one another — the
+    # execution must exhaust its budget with two leaders standing, while the
+    # static run converges comfortably in the same budget.
+    topology = path_graph(13)
+    protocol = BFWProtocol()
+    schedule = AdversarialCutSchedule(topology, period=4, down_rounds=4)
+    stalled = VectorizedEngine(topology, protocol, schedule=schedule).run(
+        rng=0, max_rounds=3000
+    )
+    assert not stalled.converged
+    assert stalled.final_leader_count == 2
+    static = VectorizedEngine(topology, protocol).run(rng=0, max_rounds=3000)
+    assert static.converged
+
+
+def test_batched_engine_rejects_state_aware_schedules_for_multi_replica_batches():
+    topology = cycle_graph(12)
+    schedule = StateAwareChurnSchedule(topology, seed=0)
+    engine = BatchedEngine(topology, BFWProtocol(), schedule=schedule)
+    with pytest.raises(ConfigurationError, match="state-aware"):
+        engine.run([0, 1])
+
+
+def test_state_aware_schedule_single_replica_parity():
+    topology = cycle_graph(14)
+    protocol = BFWProtocol()
+    schedule = StateAwareChurnSchedule(topology, seed=3)
+    for seed in (0, 5):
+        single = VectorizedEngine(topology, protocol, schedule=schedule).run(
+            rng=seed, max_rounds=3000
+        )
+        batch = BatchedEngine(topology, protocol, schedule=schedule).run(
+            [seed], max_rounds=3000
+        )
+        replica = batch.replica(0)
+        assert replica.converged == single.converged
+        assert replica.convergence_round == single.convergence_round
+        assert replica.leader_counts == single.leader_counts
+
+
+def test_state_aware_adversary_with_enough_cuts_stalls_convergence():
+    # The leader-isolating adversary exists to demonstrate Section 5's
+    # point: knowledge of the configuration buys real stalling power.  On a
+    # cycle every node has degree 2, so an adversary that can cut 4 edges
+    # per round keeps (at least) two leaders fully fenced off at all times —
+    # no elimination wave ever reaches them, and the run exhausts its budget
+    # on every seed, while the static runs converge comfortably.
+    from repro.dynamics import LeaderIsolatingChurn
+
+    topology = cycle_graph(16)
+    protocol = BFWProtocol()
+    for seed in range(5):
+        static = VectorizedEngine(topology, protocol).run(rng=seed, max_rounds=6000)
+        assert static.converged
+        schedule = StateAwareChurnSchedule(
+            topology, adversary=LeaderIsolatingChurn(cut_per_round=4), seed=1
+        )
+        attacked = VectorizedEngine(topology, protocol, schedule=schedule).run(
+            rng=seed, max_rounds=6000
+        )
+        assert not attacked.converged
+        assert attacked.final_leader_count > 1

@@ -1,0 +1,149 @@
+"""Dynamic cells through the execution layer: specs, backends, experiments."""
+
+import pickle
+
+import pytest
+
+from repro.dynamics import ScheduleSpec
+from repro.errors import ConfigurationError
+from repro.exec import (
+    BatchedBackend,
+    ExecutionCell,
+    SequentialBackend,
+    execute_cell_batched,
+    execute_cell_sequential,
+)
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+from repro.experiments.dynamics import (
+    dynamic_experiment,
+    schedule_spec_for_rate,
+)
+
+from tests.batch.parity_harness import (
+    assert_backend_record_parity,
+    dynamic_parity_cells,
+)
+
+
+def _cell(protocol="bfw", spec=None, **kwargs):
+    return ExecutionCell(
+        protocol=ProtocolSpecConfig(name=protocol),
+        graph=GraphSpec(family="cycle", n=12),
+        seeds=(0, 1, 2),
+        max_rounds=2000,
+        schedule=spec,
+        **kwargs,
+    )
+
+
+def test_dynamic_cells_pickle_round_trip():
+    cell = _cell(spec=ScheduleSpec("edge-churn", {"seed": 3}))
+    clone = pickle.loads(pickle.dumps(cell))
+    assert clone == cell
+    assert clone.schedule.label == "edge-churn[seed=3]"
+
+
+def test_dynamic_cell_labels_include_the_schedule():
+    cell = _cell(spec=ScheduleSpec("edge-churn", {"seed": 3}))
+    assert cell.graph_label == "cycle(12)@edge-churn[seed=3]"
+    assert cell.label == "bfw on cycle(12)@edge-churn[seed=3]"
+    assert _cell().graph_label == "cycle(12)"
+    records = execute_cell_batched(cell).to_records()
+    assert all(record.graph == cell.graph_label for record in records)
+
+
+def test_sequential_and_batched_executors_agree_on_dynamic_cells():
+    cells = dynamic_parity_cells(protocols=("bfw",), num_seeds=2)
+    assert cells
+    assert_backend_record_parity([SequentialBackend(), BatchedBackend()], cells=cells)
+
+
+def test_state_aware_cells_run_identically_on_every_backend():
+    # A state-aware schedule cannot share one adjacency across a batch, so
+    # the batched executor falls back to the sequential per-replica path —
+    # the records must still be byte-identical on every backend.
+    cell = _cell(spec=ScheduleSpec("leader-isolating", {"cut_per_round": 1}))
+    sequential = execute_cell_sequential(cell)
+    batched = execute_cell_batched(cell)
+    assert batched.batched is False
+    assert sequential.to_records() == batched.to_records()
+
+
+def test_dynamic_cells_reject_memory_protocols():
+    cell = _cell(protocol="emek-keren", spec=ScheduleSpec("edge-churn", {"seed": 1}))
+    with pytest.raises(ConfigurationError, match="constant-state"):
+        execute_cell_sequential(cell)
+    with pytest.raises(ConfigurationError, match="constant-state"):
+        execute_cell_batched(cell)
+
+
+def test_schedule_spec_for_rate_maps_zero_to_static():
+    assert schedule_spec_for_rate("edge-churn", 0, seed=5).kind == "static"
+    spec = schedule_spec_for_rate("edge-churn", 3, seed=5)
+    assert spec.params["add_per_round"] == 3
+    assert spec.params["remove_per_round"] == 3
+    assert schedule_spec_for_rate("cut", 2, seed=5).params["down_rounds"] == 2
+    with pytest.raises(ConfigurationError, match=">= 0"):
+        schedule_spec_for_rate("edge-churn", -1, seed=5)
+    with pytest.raises(ConfigurationError, match="<= 8"):
+        schedule_spec_for_rate("cut", 9, seed=5)
+    with pytest.raises(ConfigurationError, match="unknown dynamic schedule"):
+        schedule_spec_for_rate("wormhole", 1, seed=5)
+
+
+def test_dynamic_experiment_is_backend_invariant():
+    kwargs = dict(
+        families=("cycle",),
+        sizes=(12,),
+        churn_rates=(0, 2),
+        num_seeds=3,
+        max_rounds=2000,
+    )
+    sequential = dynamic_experiment(backend="sequential", **kwargs)
+    batched = dynamic_experiment(backend="batched", **kwargs)
+    assert sequential.records == batched.records
+    assert sequential.rows == batched.rows
+    assert len(batched.rows) == 2
+    static_row, churn_row = batched.rows
+    assert static_row.schedule == "static" and static_row.churn_rate == 0
+    assert churn_row.churn_rate == 2
+    assert "edge-churn" in churn_row.schedule
+    rendered = batched.render()
+    assert "Dynamic graphs" in rendered and "edge-churn" in rendered
+
+
+def test_dynamic_experiment_static_row_matches_the_classical_sweep():
+    # Churn rate 0 runs through the schedule code path but must reproduce
+    # the scheduleless engines bit for bit: execute the same cell without
+    # any schedule and compare every field except the qualified graph label.
+    result = dynamic_experiment(
+        families=("cycle",), sizes=(12,), churn_rates=(0,), num_seeds=4,
+        backend="batched",
+    )
+    from repro.experiments.seeds import trial_seeds
+
+    spec = schedule_spec_for_rate("edge-churn", 0, 0)
+    plain_cell = ExecutionCell(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=12),
+        seeds=trial_seeds(
+            20250212, f"dynamic/bfw/cycle/12/{spec.label}", 4
+        ),
+        max_rounds=None,
+    )
+    plain = execute_cell_batched(plain_cell).to_records()
+    assert len(plain) == len(result.records) == 4
+    for dynamic_record, plain_record in zip(result.records, plain):
+        assert dynamic_record.graph == "cycle(12)@static"
+        assert plain_record.graph == "cycle(12)"
+        assert dynamic_record.seed == plain_record.seed
+        assert dynamic_record.converged == plain_record.converged
+        assert dynamic_record.convergence_round == plain_record.convergence_round
+        assert dynamic_record.rounds_executed == plain_record.rounds_executed
+
+
+def test_dynamic_experiment_validates_inputs():
+    with pytest.raises(ConfigurationError, match="num_seeds"):
+        dynamic_experiment(num_seeds=0)
+    with pytest.raises(ConfigurationError, match="at least one"):
+        dynamic_experiment(churn_rates=())

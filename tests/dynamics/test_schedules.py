@@ -1,0 +1,268 @@
+"""Property tests for topology schedules.
+
+The three properties the subsystem promises:
+
+* a static schedule run through the dynamic code path is **bit-identical**
+  to today's engines (same results, same RNG stream);
+* seeded churn schedules are **deterministic**: same parameters, same graph
+  sequence, on any instance and in any query order;
+* the node count is **invariant** across swaps, with a clear
+  ``ConfigurationError`` otherwise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch.engine import BatchedEngine
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol
+from repro.dynamics import (
+    AdversarialCutSchedule,
+    EdgeChurnSchedule,
+    InterpolationSchedule,
+    PeriodicRewiringSchedule,
+    ScheduleSpec,
+    StaticSchedule,
+    build_schedule,
+)
+from repro.errors import ConfigurationError
+from repro.graphs.generators import clique_graph, cycle_graph, path_graph
+
+
+# --------------------------------------------------------------------------- #
+# Static schedule = bit-identical fast path
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("seed", [0, 1, 7, 23])
+def test_static_schedule_sequential_run_is_bit_identical(seed):
+    topology = cycle_graph(20)
+    protocol = BFWProtocol()
+    plain = VectorizedEngine(topology, protocol).run(rng=seed)
+    scheduled = VectorizedEngine(
+        topology, protocol, schedule=StaticSchedule(topology)
+    ).run(rng=seed)
+    # SimulationResult is a plain dataclass of scalars and tuples, so
+    # equality is field-for-field — including the full leader trajectory.
+    assert scheduled == plain
+
+
+def test_static_schedule_batched_run_is_bit_identical():
+    topology = cycle_graph(20)
+    protocol = BFWProtocol()
+    seeds = list(range(8))
+    plain = BatchedEngine(topology, protocol).run(seeds)
+    scheduled = BatchedEngine(
+        topology, protocol, schedule=StaticSchedule(topology)
+    ).run(seeds)
+    np.testing.assert_array_equal(plain.convergence_round, scheduled.convergence_round)
+    np.testing.assert_array_equal(plain.rounds_executed, scheduled.rounds_executed)
+    np.testing.assert_array_equal(plain.final_states, scheduled.final_states)
+    np.testing.assert_array_equal(plain.leader_node, scheduled.leader_node)
+    assert plain.leader_counts == scheduled.leader_counts
+
+
+def test_static_schedule_preserves_the_rng_stream():
+    # Bit-identity includes randomness consumption: after a matched run the
+    # engine must leave an externally supplied generator in the same state.
+    topology = path_graph(12)
+    protocol = BFWProtocol()
+    rng_plain = np.random.default_rng(5)
+    rng_sched = np.random.default_rng(5)
+    VectorizedEngine(topology, protocol).run(rng=rng_plain)
+    VectorizedEngine(topology, protocol, schedule=StaticSchedule(topology)).run(
+        rng=rng_sched
+    )
+    assert rng_plain.bit_generator.state == rng_sched.bit_generator.state
+
+
+# --------------------------------------------------------------------------- #
+# Seeded churn is deterministic
+# --------------------------------------------------------------------------- #
+
+
+def test_edge_churn_schedule_is_deterministic_under_a_fixed_seed():
+    base = cycle_graph(16)
+    first = EdgeChurnSchedule(base, seed=13, add_per_round=2, remove_per_round=2)
+    second = EdgeChurnSchedule(base, seed=13, add_per_round=2, remove_per_round=2)
+    for round_index in range(60):
+        assert (
+            first.topology_at(round_index).edges
+            == second.topology_at(round_index).edges
+        )
+
+
+def test_edge_churn_schedule_is_independent_of_query_order():
+    base = cycle_graph(16)
+    forward = EdgeChurnSchedule(base, seed=3)
+    shuffled = EdgeChurnSchedule(base, seed=3)
+    order = [40, 3, 17, 0, 40, 25, 1]
+    for round_index in order:
+        assert (
+            shuffled.topology_at(round_index).edges
+            == forward.topology_at(round_index).edges
+        )
+
+
+def test_edge_churn_differs_across_seeds():
+    base = cycle_graph(16)
+    a = EdgeChurnSchedule(base, seed=1)
+    b = EdgeChurnSchedule(base, seed=2)
+    assert any(
+        a.topology_at(r).edges != b.topology_at(r).edges for r in range(1, 30)
+    )
+
+
+def test_edge_churn_preserves_connectivity_by_default():
+    from repro.dynamics import AdjacencyCache
+
+    base = cycle_graph(12)
+    schedule = EdgeChurnSchedule(base, seed=9, add_per_round=1, remove_per_round=2)
+    for round_index in range(1, 40):
+        assert AdjacencyCache(schedule.topology_at(round_index)).is_connected()
+
+
+def test_edge_churn_deduplicates_repeated_edge_sets():
+    # Revisiting an edge set must return the identical Topology object, so
+    # engine-side adjacency caches keyed by object identity stay effective.
+    base = path_graph(6)
+    schedule = EdgeChurnSchedule(base, seed=4, add_per_round=1, remove_per_round=1)
+    seen = {}
+    for round_index in range(80):
+        topology = schedule.topology_at(round_index)
+        signature = frozenset(topology.edges)
+        if signature in seen:
+            assert topology is seen[signature]
+        seen[signature] = topology
+
+
+def test_edge_churn_memory_stays_bounded_and_replay_survives_eviction():
+    # The snapshot pool is a bounded LRU: a long horizon must not retain one
+    # Topology per round, and rounds whose snapshot was evicted must replay
+    # to the exact same edge set when revisited (e.g. by a later replica of
+    # a sequential sweep restarting at round 1).
+    base = cycle_graph(10)
+    schedule = EdgeChurnSchedule(base, seed=2, add_per_round=2, remove_per_round=2)
+    horizon = EdgeChurnSchedule.ROUND_MEMO_LIMIT + 64
+    early = {r: schedule.topology_at(r).edges for r in range(0, 20)}
+    schedule.topology_at(horizon)
+    assert len(schedule._pool) <= EdgeChurnSchedule.POOL_LIMIT
+    assert len(schedule._round_memo) <= EdgeChurnSchedule.ROUND_MEMO_LIMIT
+    # Rounds 1..20 have aged out of both the memo and the pool by now, so
+    # re-serving them goes through a replay-cursor reset — and must still
+    # reproduce the exact same edge sets.
+    for round_index, edges in early.items():
+        assert schedule.topology_at(round_index).edges == edges
+
+
+# --------------------------------------------------------------------------- #
+# Node-count invariance
+# --------------------------------------------------------------------------- #
+
+
+def test_periodic_rewiring_rejects_mismatched_node_counts():
+    with pytest.raises(ConfigurationError, match="node count"):
+        PeriodicRewiringSchedule([cycle_graph(8), cycle_graph(10)])
+
+
+def test_interpolation_rejects_mismatched_node_counts():
+    with pytest.raises(ConfigurationError, match="node count"):
+        InterpolationSchedule(cycle_graph(8), clique_graph(9), rounds=10)
+
+
+def test_build_schedule_rejects_size_changing_target_family():
+    # make_graph rounds "hypercube" to a power of two, so interpolating a
+    # 20-node cycle into a hypercube would change n — a clear error, not a
+    # silent resize.
+    base = cycle_graph(20)
+    spec = ScheduleSpec("interpolate", {"target_family": "hypercube", "rounds": 8})
+    with pytest.raises(ConfigurationError, match="node count"):
+        build_schedule(spec, base)
+
+
+def test_engines_reject_schedules_for_a_different_node_count():
+    schedule = StaticSchedule(cycle_graph(8))
+    with pytest.raises(ConfigurationError, match="n=8"):
+        VectorizedEngine(cycle_graph(10), BFWProtocol(), schedule=schedule)
+    with pytest.raises(ConfigurationError, match="n=8"):
+        BatchedEngine(cycle_graph(10), BFWProtocol(), schedule=schedule)
+
+
+# --------------------------------------------------------------------------- #
+# Concrete schedule shapes
+# --------------------------------------------------------------------------- #
+
+
+def test_interpolation_moves_from_base_to_target():
+    base = cycle_graph(10)
+    target = clique_graph(10)
+    schedule = InterpolationSchedule(base, target, rounds=20)
+    assert schedule.topology_at(0) is base
+    assert schedule.topology_at(20) is target
+    assert schedule.topology_at(999) is target
+    counts = [schedule.topology_at(r).num_edges for r in range(21)]
+    assert counts == sorted(counts)  # densification never loses edges
+    assert counts[0] == base.num_edges and counts[-1] == target.num_edges
+
+
+def test_adversarial_cut_alternates_between_down_and_up_phases():
+    base = path_graph(9)
+    schedule = AdversarialCutSchedule(base, period=4, down_rounds=2)
+    (cut_edge,) = schedule.cut_edges
+    for round_index in range(1, 25):
+        topology = schedule.topology_at(round_index)
+        phase = (round_index - 1) % 4
+        if phase < 2:
+            assert not topology.has_edge(*cut_edge)
+        else:
+            assert topology is base
+
+
+def test_adversarial_cut_defaults_to_a_bridge_or_first_edge():
+    # On a path the default cut is the first bridge; a bridgeless graph
+    # falls back to its first edge (perturbing rather than disconnecting),
+    # so `repro dynamic --schedule cut` works on every family.
+    assert AdversarialCutSchedule(path_graph(5)).cut_edges == ((0, 1),)
+    assert AdversarialCutSchedule(cycle_graph(8)).cut_edges == ((0, 1),)
+    schedule = AdversarialCutSchedule(cycle_graph(8), edges=[(2, 3)])
+    assert schedule.cut_edges == ((2, 3),)
+    with pytest.raises(ConfigurationError, match="not an edge"):
+        AdversarialCutSchedule(cycle_graph(8), edges=[(0, 4)])
+
+
+def test_periodic_rewiring_cycles_through_topologies():
+    a, b = cycle_graph(8), path_graph(8)
+    schedule = PeriodicRewiringSchedule([a, b], period=3)
+    # topology_at(r) = topologies[(r // period) % 2]
+    expected = [b, b, b, a, a, a, b, b, b, a]
+    assert [schedule.topology_at(r) for r in range(3, 13)] == expected
+
+
+# --------------------------------------------------------------------------- #
+# ScheduleSpec
+# --------------------------------------------------------------------------- #
+
+
+def test_schedule_spec_rejects_unknown_kinds():
+    with pytest.raises(ConfigurationError, match="unknown schedule kind"):
+        ScheduleSpec("wormhole")
+
+
+def test_schedule_spec_rejects_invalid_parameters():
+    spec = ScheduleSpec("edge-churn", {"no_such_parameter": 1})
+    with pytest.raises(ConfigurationError, match="invalid parameters"):
+        build_schedule(spec, cycle_graph(8))
+
+
+def test_schedule_spec_labels_are_deterministic():
+    spec = ScheduleSpec("edge-churn", {"seed": 3, "add_per_round": 2})
+    assert spec.label == "edge-churn[add_per_round=2,seed=3]"
+    assert ScheduleSpec("static").label == "static"
+
+
+def test_build_schedule_passes_through_prebuilt_schedules():
+    base = cycle_graph(8)
+    schedule = StaticSchedule(base)
+    assert build_schedule(schedule, base) is schedule
+    with pytest.raises(ConfigurationError, match="n=8"):
+        build_schedule(schedule, cycle_graph(12))

@@ -19,7 +19,11 @@ from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
 from repro.experiments.montecarlo import run_monte_carlo
 from repro.experiments.runner import run_sweep, sweep_cells
 
-from tests.batch.parity_harness import assert_backend_record_parity, backend_parity_cells
+from tests.batch.parity_harness import (
+    assert_backend_record_parity,
+    backend_parity_cells,
+    dynamic_parity_cells,
+)
 
 #: The worker configuration the CI tests job pins.
 WORKERS = 2
@@ -52,6 +56,18 @@ def test_process_backend_handles_planted_leader_cells():
     assert planted
     assert_backend_record_parity(
         [SequentialBackend(), ProcessBackend(workers=WORKERS)], cells=planted
+    )
+
+
+def test_process_backend_handles_dynamic_topology_cells():
+    # Dynamic cells carry their schedule as pure data, so spawn workers
+    # rebuild the schedule (and its churn stream) deterministically — the
+    # records must match the in-process backends for every schedule kind,
+    # including the explicit static schedule and a disconnecting churn.
+    cells = dynamic_parity_cells(protocols=("bfw",), num_seeds=2)
+    assert_backend_record_parity(
+        [SequentialBackend(), BatchedBackend(), ProcessBackend(workers=WORKERS)],
+        cells=cells,
     )
 
 

@@ -94,6 +94,7 @@ def test_parser_has_all_subcommands():
         "crossover",
         "lower-bound",
         "ablation",
+        "dynamic",
         "wave-demo",
     ):
         assert command in text
@@ -255,6 +256,49 @@ def test_montecarlo_sequential_backend_reports_loop_engine(capsys):
     assert code == 0
     assert "per-seed loop" in captured.out
     assert "unknown" in captured.out  # sequential runs carry no leader identities
+
+
+def test_dynamic_command_small(capsys, tmp_path):
+    destination = tmp_path / "dynamic.json"
+    code = main(
+        [
+            "dynamic",
+            "--families", "cycle",
+            "--sizes", "12",
+            "--churn-rates", "0", "2",
+            "--seeds", "3",
+            "--max-rounds", "2000",
+            "--save-json", str(destination),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Dynamic graphs" in captured.out
+    assert "static" in captured.out
+    assert "edge-churn" in captured.out
+    assert destination.exists()
+
+    from repro.experiments.io import load_records_json
+
+    records = load_records_json(destination)
+    assert len(records) == 6  # 2 rates x 3 seeds
+    assert {record.graph.split("@")[0] for record in records} == {"cycle(12)"}
+
+
+def test_dynamic_command_backend_invariance(capsys):
+    args = [
+        "dynamic",
+        "--families", "cycle",
+        "--sizes", "12",
+        "--churn-rates", "1",
+        "--seeds", "2",
+        "--max-rounds", "1500",
+    ]
+    assert main(args + ["--backend", "sequential"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(args + ["--backend", "batched"]) == 0
+    batched = capsys.readouterr().out
+    assert sequential == batched
 
 
 def test_backend_flags_in_help():
