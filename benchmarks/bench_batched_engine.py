@@ -26,6 +26,12 @@ replica-for-replica identical to the loop:
   one memoised schedule shared by all replicas against a fresh schedule per
   replica (the rebuild-per-round-per-replica strawman).  Writes
   ``BENCH_dynamics.json`` (override with ``REPRO_BENCH_DYNAMICS_JSON``).
+* the batched observation layer (E15): the overhead of recording a full
+  ``BatchTrace`` (plus an extinction observer) on a batched run against the
+  untraced run, and the throughput of the batch analysis entry points
+  (``first_beep_round_batch`` / ``summarize_batch``) against the
+  per-replica loop over ``trace.replica(r)``.  Writes
+  ``BENCH_observers.json`` (override with ``REPRO_BENCH_OBSERVERS_JSON``).
 
 Setting ``REPRO_BENCH_FAST=1`` shrinks every workload (small R and n) and
 skips the speed-up assertions; CI uses it as a smoke mode so these scripts
@@ -64,6 +70,11 @@ BENCH_EXEC_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_exec.json")
 #: Where the dynamic-graph churn case writes its machine-readable results.
 BENCH_DYNAMICS_JSON = os.environ.get(
     "REPRO_BENCH_DYNAMICS_JSON", "BENCH_dynamics.json"
+)
+
+#: Where the observation-layer case writes its machine-readable results.
+BENCH_OBSERVERS_JSON = os.environ.get(
+    "REPRO_BENCH_OBSERVERS_JSON", "BENCH_observers.json"
 )
 
 #: Workers used by the process-backend sweep case.
@@ -375,6 +386,129 @@ def test_dynamic_churn_sweep(report):
         assert rebuild_ratio >= 1.3, (
             f"sharing one memoised schedule across replicas must beat "
             f"rebuilding it per replica; measured {rebuild_ratio:.2f}x"
+        )
+
+
+@pytest.mark.experiment("E15")
+def test_observer_overhead(report):
+    """Batched observation layer: trace overhead and analysis throughput.
+
+    Two claims are measured:
+
+    * attaching a full :class:`BatchTraceRecorder` (plus the
+      leader-extinction observer) to a batched run costs a bounded multiple
+      of the untraced run — the per-round price is one int8 copy of the
+      ``(R, n)`` state block and two lookup-table gathers;
+    * the batch analysis entry points consume the recorded ``(T+1, R, n)``
+      arrays directly and beat the per-replica loop (rebuild
+      ``trace.replica(r)``, then per-round Python passes) on wall-clock.
+
+    The workload is a fixed-horizon run without early stopping — the shape
+    trace analysis actually consumes (wave/flow studies and the Section 5
+    leaderless demonstrations run all replicas over one shared horizon;
+    early-stopped sweeps aggregate scalar outcomes, not traces).
+    """
+    from repro.analysis import (
+        first_beep_round,
+        first_beep_round_batch,
+        summarize_batch,
+        summarize_trace,
+    )
+    from repro.batch import BatchTraceRecorder, LeaderExtinctionObserver
+
+    topology = cycle_graph(_size(200, 24))
+    protocol = BFWProtocol()
+    seeds = list(range(_size(32, 4)))
+    horizon = _size(1500, 60)
+    engine = BatchedEngine(topology, protocol)
+
+    start = time.perf_counter()
+    untraced = engine.run(
+        seeds,
+        max_rounds=horizon,
+        stop_at_single_leader=False,
+        record_leader_counts=False,
+    )
+    untraced_seconds = time.perf_counter() - start
+
+    recorder = BatchTraceRecorder()
+    extinction = LeaderExtinctionObserver()
+    start = time.perf_counter()
+    traced = engine.run(
+        seeds,
+        max_rounds=horizon,
+        stop_at_single_leader=False,
+        record_leader_counts=False,
+        observers=[recorder, extinction],
+    )
+    traced_seconds = time.perf_counter() - start
+
+    # identical replicas first — observation must never perturb execution
+    _assert_same_replicas(traced, untraced.to_simulation_results())
+    trace = recorder.trace()
+    assert extinction.report().extinction_rate == 0.0
+
+    overhead = traced_seconds / max(untraced_seconds, 1e-9)
+
+    start = time.perf_counter()
+    batch_firsts = first_beep_round_batch(trace)
+    batch_summaries = summarize_batch(trace)
+    batch_analysis_seconds = time.perf_counter() - start
+
+    import numpy as np
+
+    start = time.perf_counter()
+    loop_summaries = []
+    for index in range(trace.num_replicas):
+        replica = trace.replica(index)
+        np.testing.assert_array_equal(batch_firsts[index], first_beep_round(replica))
+        loop_summaries.append(summarize_trace(replica))
+    loop_analysis_seconds = time.perf_counter() - start
+    assert tuple(loop_summaries) == batch_summaries
+
+    analysis_speedup = loop_analysis_seconds / max(batch_analysis_seconds, 1e-9)
+    payload = {
+        "benchmark": "batched-observers",
+        "fast_mode": FAST,
+        "strict": STRICT,
+        "workload": {
+            "protocol": "bfw",
+            "graph": topology.name,
+            "replicas": len(seeds),
+            "trace_rounds": trace.num_rounds,
+            "replica_rounds": int(traced.total_replica_rounds),
+        },
+        "results": {
+            "untraced_wall_seconds": untraced_seconds,
+            "traced_wall_seconds": traced_seconds,
+            "trace_overhead": overhead,
+            "batch_analysis_wall_seconds": batch_analysis_seconds,
+            "per_replica_analysis_wall_seconds": loop_analysis_seconds,
+            "analysis_speedup_batch_vs_loop": analysis_speedup,
+        },
+    }
+    with open(BENCH_OBSERVERS_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    report(
+        f"E15 — batched observation layer "
+        f"({len(seeds)} replicas, {topology.name}, {trace.num_rounds} rounds)",
+        f"untraced:       {untraced_seconds:8.2f}s\n"
+        f"traced:         {traced_seconds:8.2f}s ({overhead:.2f}x)\n"
+        f"analysis batch: {batch_analysis_seconds:8.3f}s\n"
+        f"analysis loop:  {loop_analysis_seconds:8.3f}s "
+        f"({analysis_speedup:.2f}x)\n"
+        f"json:           {BENCH_OBSERVERS_JSON}",
+    )
+    if not FAST and STRICT:
+        assert analysis_speedup >= 1.5, (
+            f"batch analysis entry points must beat the per-replica loop; "
+            f"measured {analysis_speedup:.2f}x"
+        )
+        assert overhead <= 10.0, (
+            f"trace recording overhead must stay bounded; measured "
+            f"{overhead:.2f}x the untraced run"
         )
 
 

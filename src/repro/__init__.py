@@ -16,7 +16,16 @@ Quickstart
 """
 
 from repro._version import __version__
-from repro.batch import BatchedEngine, BatchResult, run_batch
+from repro.batch import (
+    BatchedEngine,
+    BatchObserver,
+    BatchResult,
+    BatchTrace,
+    BatchTraceRecorder,
+    LeaderExtinctionObserver,
+    ObserverSpec,
+    run_batch,
+)
 from repro.beeping import (
     ExecutionTrace,
     MemorySimulator,
@@ -53,7 +62,10 @@ from repro.graphs import Topology, make_graph
 
 __all__ = [
     "BFWProtocol",
+    "BatchObserver",
     "BatchResult",
+    "BatchTrace",
+    "BatchTraceRecorder",
     "BatchedBackend",
     "BatchedEngine",
     "BeepingProtocol",
@@ -61,9 +73,11 @@ __all__ = [
     "ExecutionBackend",
     "ExecutionCell",
     "ExecutionTrace",
+    "LeaderExtinctionObserver",
     "MemoryProtocol",
     "MemorySimulator",
     "NonUniformBFWProtocol",
+    "ObserverSpec",
     "ProcessBackend",
     "ScheduleSpec",
     "SequentialBackend",

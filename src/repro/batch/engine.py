@@ -34,6 +34,11 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.batch.observers import (
+    BatchObserver,
+    BatchRunInfo,
+    ObserverPipeline,
+)
 from repro.batch.results import BatchResult
 from repro.batch.streams import ReplicaStreams, SeedLike
 from repro.beeping.engine import CompiledProtocol, check_schedule, compile_protocol
@@ -177,6 +182,7 @@ class BatchedEngine:
         initial_states: Optional[np.ndarray] = None,
         record_leader_counts: bool = True,
         stop_at_single_leader: bool = True,
+        observers: Sequence[BatchObserver] = (),
     ) -> BatchResult:
         """Advance all replicas to convergence or the round budget.
 
@@ -199,6 +205,12 @@ class BatchedEngine:
             for trajectory-level parity checks; cheap, on by default).
         stop_at_single_leader:
             Retire replicas as soon as their leader count reaches one.
+        observers:
+            :class:`~repro.batch.observers.BatchObserver` instances reported
+            every round with the whole ``(R, n)`` batch (retired rows
+            frozen).  Observers never consume randomness, so attaching them
+            does not perturb replica parity; their retire requests retire
+            replicas exactly like the built-in single-leader stop.
         """
         streams = (
             seeds if isinstance(seeds, ReplicaStreams) else ReplicaStreams(seeds)
@@ -224,6 +236,21 @@ class BatchedEngine:
         compiled = self._compiled
         states = self._initial_batch(initial_states, num_replicas, n)
 
+        pipeline: Optional[ObserverPipeline] = None
+        if observers:
+            pipeline = ObserverPipeline(
+                observers,
+                BatchRunInfo(
+                    num_replicas=num_replicas,
+                    n=n,
+                    protocol_name=compiled.protocol_name,
+                    topology_name=self._topology.name,
+                    beeping_values=compiled.beeping_values,
+                    leader_values=compiled.leader_values,
+                    seeds=streams.seed_values,
+                ),
+            )
+
         counts = compiled.is_leader[states].sum(axis=1).astype(np.int64)
         convergence = np.where(counts == 1, 0, -1).astype(np.int64)
         rounds_executed = np.zeros(num_replicas, dtype=np.int64)
@@ -232,8 +259,23 @@ class BatchedEngine:
         )
 
         active_mask = np.ones(num_replicas, dtype=bool)
+        retire_now = np.zeros(num_replicas, dtype=bool)
         if stop_at_single_leader:
-            active_mask &= counts != 1
+            retire_now |= counts == 1
+        if pipeline is not None:
+            requested = pipeline.observe_round(
+                0,
+                states,
+                compiled.is_beeping[states],
+                compiled.is_leader[states],
+                active_mask.copy(),
+            )
+            if requested is not None:
+                retire_now |= requested
+        if retire_now.any():
+            active_mask[retire_now] = False
+            if pipeline is not None:
+                pipeline.notify_retire(np.flatnonzero(retire_now), 0)
         active = np.flatnonzero(active_mask)
 
         dense = self._dense_adjacency
@@ -301,31 +343,52 @@ class BatchedEngine:
 
             active_counts = is_leader[new_states].sum(axis=1)
             hit = active_counts == 1
-            if count_rows is not None:
-                counts[active] = active_counts
-                count_rows.append(counts.copy())
-
             if stop_at_single_leader:
-                # Retirement-time bookkeeping: a retiring replica's
-                # convergence round is this round (it was never 1 before, or
-                # it would already have retired), and it stops consuming
-                # randomness and work from here on.
-                if hit.any():
-                    retired = active[hit]
-                    convergence[retired] = round_index
-                    counts[retired] = 1
-                    rounds_executed[retired] = round_index
-                    active_mask[retired] = False
-                    active = np.flatnonzero(active_mask)
+                # Hot path: a hit retires this round (an active replica can
+                # never carry an older streak — it would already have
+                # retired), so the streak bookkeeping degenerates to
+                # "convergence = retirement round" and per-round count
+                # writes are only needed when trajectories are recorded.
+                if count_rows is not None:
+                    counts[active] = active_counts
+                    count_rows.append(counts.copy())
+                retire = hit
             else:
-                # Streak bookkeeping matching the standalone engine: a count
-                # of one sets the convergence round if unset; anything else
-                # clears it.  Without early stopping no replica retires, so
-                # these are whole-batch operations.
+                # Streak bookkeeping matching the standalone engine: a
+                # count of one sets the convergence round if unset;
+                # anything else clears it.  Retired rows stay frozen.
                 counts[active] = active_counts
-                convergence = np.where(
-                    hit, np.where(convergence == -1, round_index, convergence), -1
+                if count_rows is not None:
+                    count_rows.append(counts.copy())
+                previous = convergence[active]
+                convergence[active] = np.where(
+                    hit, np.where(previous == -1, round_index, previous), -1
                 )
+                retire = np.zeros(active.size, dtype=bool)
+            if pipeline is not None:
+                requested = pipeline.observe_round(
+                    round_index,
+                    states,
+                    compiled.is_beeping[states],
+                    is_leader[states],
+                    active_mask.copy(),
+                )
+                if requested is not None:
+                    retire = retire | requested[active]
+            if retire.any():
+                # Retirement-time bookkeeping: a retiring replica stops
+                # consuming randomness and work from here on.
+                retired = active[retire]
+                if stop_at_single_leader:
+                    # Observers may retire replicas that did not converge;
+                    # only the hits carry a convergence round.
+                    convergence[retired] = np.where(hit[retire], round_index, -1)
+                    counts[retired] = active_counts[retire]
+                rounds_executed[retired] = round_index
+                active_mask[retired] = False
+                active = np.flatnonzero(active_mask)
+                if pipeline is not None:
+                    pipeline.notify_retire(retired, round_index)
 
         if active.size:
             # Replicas still active when the budget ran out (or that never
@@ -333,6 +396,9 @@ class BatchedEngine:
             # leader count.
             rounds_executed[active] = round_index
             counts[active] = is_leader[states[active]].sum(axis=1)
+
+        if pipeline is not None:
+            pipeline.finish(rounds_executed.copy())
 
         converged = (convergence != -1) & (counts == 1)
         leader_node = np.where(

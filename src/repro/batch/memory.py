@@ -50,6 +50,11 @@ import numpy as np
 from repro.baselines.emek_keren import EmekKerenStyleElection
 from repro.baselines.gilbert_newport import GilbertNewportKnockout
 from repro.baselines.id_broadcast import IDBroadcastElection
+from repro.batch.observers import (
+    BatchObserver,
+    BatchRunInfo,
+    ObserverPipeline,
+)
 from repro.batch.results import BatchResult
 from repro.batch.streams import ReplicaStreams, SeedLike
 from repro.beeping.simulator import default_round_budget
@@ -399,6 +404,7 @@ class BatchedMemoryEngine:
         record_leader_counts: bool = True,
         stop_at_single_leader: bool = True,
         stability_window: int = 2,
+        observers: Sequence[BatchObserver] = (),
     ) -> BatchResult:
         """Advance all replicas until they stop or exhaust the round budget.
 
@@ -409,6 +415,12 @@ class BatchedMemoryEngine:
         ``stability_window`` consecutive rounds.  Unlike the constant-state
         batch engine, no randomness is prefetched — each replica's generator
         is left in exactly the state its standalone run would leave it in.
+
+        ``observers`` receive the shared
+        :class:`~repro.batch.observers.BatchObserver` hooks with
+        ``states=None`` and ``beeping=None`` (memory protocols have no
+        state classes); the per-round ``(R, n)`` leader mask and the retire
+        machinery work exactly as on the constant-state engine.
         """
         streams = (
             seeds if isinstance(seeds, ReplicaStreams) else ReplicaStreams(seeds)
@@ -423,8 +435,22 @@ class BatchedMemoryEngine:
         state = self._compiler(self._protocol, self._topology)
         state.initialise(num_replicas, n, streams)
 
+        pipeline: Optional[ObserverPipeline] = None
+        if observers:
+            pipeline = ObserverPipeline(
+                observers,
+                BatchRunInfo(
+                    num_replicas=num_replicas,
+                    n=n,
+                    protocol_name=self._protocol.name,
+                    topology_name=self._topology.name,
+                    seeds=streams.seed_values,
+                ),
+            )
+
         all_rows = np.arange(num_replicas)
-        counts = state.leader_mask(all_rows).sum(axis=1).astype(np.int64)
+        leaders_full = state.leader_mask(all_rows)
+        counts = leaders_full.sum(axis=1).astype(np.int64)
         convergence = np.where(counts == 1, 0, -1).astype(np.int64)
         consecutive = np.where(counts == 1, 1, 0).astype(np.int64)
         rounds_executed = np.zeros(num_replicas, dtype=np.int64)
@@ -434,7 +460,14 @@ class BatchedMemoryEngine:
         window = max(1, stability_window)
 
         active_mask = np.ones(num_replicas, dtype=bool)
-        active = all_rows
+        if pipeline is not None:
+            requested = pipeline.observe_round(
+                0, None, None, leaders_full, active_mask.copy()
+            )
+            if requested is not None and requested.any():
+                active_mask[requested] = False
+                pipeline.notify_retire(np.flatnonzero(requested), 0)
+        active = np.flatnonzero(active_mask)
         round_index = 0
         while round_index < max_rounds and active.size:
             beeping = state.beep_mask(round_index, active)
@@ -443,7 +476,11 @@ class BatchedMemoryEngine:
             round_index += 1
             rounds_executed[active] = round_index
 
-            active_counts = state.leader_mask(active).sum(axis=1)
+            if pipeline is not None:
+                leaders_full = state.leader_mask(all_rows)
+                active_counts = leaders_full[active].sum(axis=1)
+            else:
+                active_counts = state.leader_mask(active).sum(axis=1)
             counts[active] = active_counts
             hit = active_counts == 1
             previous = convergence[active]
@@ -459,9 +496,21 @@ class BatchedMemoryEngine:
             finished = state.terminated_rows(active)
             if stop_at_single_leader:
                 finished = finished | (consecutive[active] >= window)
+            if pipeline is not None:
+                requested = pipeline.observe_round(
+                    round_index, None, None, leaders_full, active_mask.copy()
+                )
+                if requested is not None:
+                    finished = finished | requested[active]
             if finished.any():
-                active_mask[active[finished]] = False
+                retired = active[finished]
+                active_mask[retired] = False
                 active = np.flatnonzero(active_mask)
+                if pipeline is not None:
+                    pipeline.notify_retire(retired, round_index)
+
+        if pipeline is not None:
+            pipeline.finish(rounds_executed.copy())
 
         converged = (convergence != -1) & (counts == 1)
         final_leaders = state.leader_mask(all_rows)

@@ -26,6 +26,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.batch.observers import (
+    BatchBeepCountTracker,
+    BatchObserver,
+    BatchRunInfo,
+    BatchTraceRecorder,
+    ObserverPipeline,
+)
 from repro.beeping.simulator import SimulationResult, default_round_budget
 from repro.beeping.trace import ExecutionTrace
 from repro.core.protocol import BeepingProtocol
@@ -229,6 +236,7 @@ class VectorizedEngine:
         record_trace: bool = False,
         record_beep_counts: bool = False,
         stop_at_single_leader: bool = True,
+        observers: Sequence[BatchObserver] = (),
     ) -> SimulationResult:
         """Execute the protocol and return a :class:`SimulationResult`.
 
@@ -248,6 +256,11 @@ class VectorizedEngine:
             :attr:`last_beep_counts` after the run).
         stop_at_single_leader:
             Stop as soon as the leader count reaches one.
+        observers:
+            :class:`~repro.batch.observers.BatchObserver` instances driven
+            with one-replica ``(1, n)`` round reports — the same hooks the
+            batched engine drives for whole batches.  An observer's retire
+            request stops the run like ``stop_at_single_leader`` does.
         """
         seed_value = rng if isinstance(rng, int) else None
         generator = as_rng(rng)
@@ -269,17 +282,53 @@ class VectorizedEngine:
             if (states < 0).any() or (states >= compiled.num_states).any():
                 raise SimulationError("initial_states contains invalid state values")
 
-        history: List[np.ndarray] = []
-        beep_counts = np.zeros(n, dtype=np.int64) if record_beep_counts else None
+        # The trace / beep-count flags ride the same observation layer as
+        # caller-supplied observers: one code path from here to the batched
+        # engines (and byte-identical output to the historical inline paths).
+        attached: List[BatchObserver] = list(observers)
+        recorder: Optional[BatchTraceRecorder] = None
+        beep_tracker: Optional[BatchBeepCountTracker] = None
+        if record_trace:
+            recorder = BatchTraceRecorder()
+            attached.append(recorder)
+        if record_beep_counts:
+            beep_tracker = BatchBeepCountTracker()
+            attached.append(beep_tracker)
+        pipeline: Optional[ObserverPipeline] = None
+        active_one = np.ones(1, dtype=bool)
+        if attached:
+            pipeline = ObserverPipeline(
+                attached,
+                BatchRunInfo(
+                    num_replicas=1,
+                    n=n,
+                    protocol_name=compiled.protocol_name,
+                    topology_name=self._topology.name,
+                    beeping_values=compiled.beeping_values,
+                    leader_values=compiled.leader_values,
+                    seeds=(seed_value,),
+                ),
+            )
+
+        def observe(round_index: int) -> bool:
+            """Report one round to the pipeline; True = retire requested."""
+            if pipeline is None:
+                return False
+            mask = pipeline.observe_round(
+                round_index,
+                states.reshape(1, -1),
+                compiled.is_beeping[states].reshape(1, -1),
+                compiled.is_leader[states].reshape(1, -1),
+                active_one,
+            )
+            return bool(mask is not None and mask[0])
+
         leader_counts: List[int] = []
 
         leaders = compiled.is_leader[states]
         leader_count = int(leaders.sum())
         leader_counts.append(leader_count)
-        if record_trace:
-            history.append(states.copy())
-        if beep_counts is not None:
-            beep_counts += compiled.is_beeping[states]
+        stop_requested = observe(0)
 
         convergence_round: Optional[int] = 0 if leader_count == 1 else None
         rounds_executed = 0
@@ -290,7 +339,7 @@ class VectorizedEngine:
         adjacency = self._adjacency
 
         while rounds_executed < max_rounds:
-            if stop_at_single_leader and leader_count == 1:
+            if stop_requested or (stop_at_single_leader and leader_count == 1):
                 break
             if schedule is not None:
                 topology = schedule.topology_at(rounds_executed + 1, states=states)
@@ -320,30 +369,22 @@ class VectorizedEngine:
 
             leader_count = int(compiled.is_leader[states].sum())
             leader_counts.append(leader_count)
-            if record_trace:
-                history.append(states.copy())
-            if beep_counts is not None:
-                beep_counts += compiled.is_beeping[states]
+            stop_requested = observe(rounds_executed) or stop_requested
             if leader_count == 1 and convergence_round is None:
                 convergence_round = rounds_executed
             elif leader_count != 1:
                 convergence_round = None
 
         self.last_states = states.copy()
+        if pipeline is not None:
+            pipeline.finish(np.array([rounds_executed], dtype=np.int64))
         self.last_beep_counts = (
-            beep_counts.copy() if beep_counts is not None else None
+            beep_tracker.counts[0] if beep_tracker is not None else None
         )
 
         trace: Optional[ExecutionTrace] = None
-        if record_trace:
-            trace = ExecutionTrace(
-                states=np.vstack(history),
-                beeping_values=compiled.beeping_values,
-                leader_values=compiled.leader_values,
-                protocol_name=compiled.protocol_name,
-                topology_name=self._topology.name,
-                seed=seed_value,
-            )
+        if recorder is not None:
+            trace = recorder.trace().replica(0)
 
         converged = convergence_round is not None and leader_counts[-1] == 1
         return SimulationResult(

@@ -4,16 +4,33 @@ Observers let callers record traces, check invariants on-line, collect
 statistics or stop the simulation early without modifying the simulator
 itself.  They receive immutable snapshots each round, so a misbehaving
 observer cannot corrupt an execution.
+
+Since the batched observation layer landed, the concrete observers here are
+thin ``R = 1`` adapters over their batched counterparts in
+:mod:`repro.batch.observers`: the snapshot hooks reshape each ``(n,)`` view
+into a one-replica ``(1, n)`` batch and forward it, so the reference
+:class:`~repro.beeping.simulator.Simulator`, the vectorised engines and the
+batched engines all drive one observation code path.  The single-run API
+(``counts`` lists, ``trace()``, ``should_stop``) is unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.beeping.trace import ExecutionTrace, TraceBuilder
+from repro.batch.observers import (
+    BatchBeepCountTracker,
+    BatchLeaderCountTracker,
+    BatchObserver,
+    BatchRunInfo,
+    BatchSingleLeaderStopper,
+    BatchStateHistogramTracker,
+    BatchTraceRecorder,
+)
+from repro.beeping.trace import ExecutionTrace, TraceBuilder  # noqa: F401  (re-export)
 from repro.errors import SimulationError
 
 
@@ -71,7 +88,98 @@ class Observer:
         return False
 
 
-class TraceRecorder(Observer):
+class BatchObserverAdapter(Observer):
+    """Drive any :class:`~repro.batch.observers.BatchObserver` from snapshots.
+
+    The adapter is the single-run face of the batched observation layer:
+    each snapshot becomes a one-replica ``(1, n)`` round report, so the same
+    observer logic serves the reference simulator and the batched engines.
+
+    Parameters
+    ----------
+    batch_observer:
+        The wrapped batched observer.
+    beeping_values, leader_values, seed:
+        Run metadata forwarded in the :class:`BatchRunInfo` (the single-run
+        ``on_start`` hook does not carry it).
+    requires_start:
+        When ``True``, reporting a round before ``on_start`` raises
+        :class:`SimulationError` (the historical contract of the trackers
+        that need ``n`` up front); otherwise the adapter starts itself from
+        the first snapshot.
+    """
+
+    def __init__(
+        self,
+        batch_observer: BatchObserver,
+        beeping_values: Sequence[int] = (),
+        leader_values: Sequence[int] = (),
+        seed: Optional[int] = None,
+        requires_start: bool = False,
+    ) -> None:
+        self._batch = batch_observer
+        self._beeping_values = tuple(int(v) for v in beeping_values)
+        self._leader_values = tuple(int(v) for v in leader_values)
+        self._seed = seed
+        self._requires_start = requires_start
+        self._started = False
+        self._protocol_name = ""
+        self._topology_name = ""
+        self._active = np.ones(1, dtype=bool)
+
+    @property
+    def batch_observer(self) -> BatchObserver:
+        """The wrapped batched observer."""
+        return self._batch
+
+    def _start(self, n: int) -> None:
+        self._batch.on_start(
+            BatchRunInfo(
+                num_replicas=1,
+                n=n,
+                protocol_name=self._protocol_name,
+                topology_name=self._topology_name,
+                beeping_values=self._beeping_values,
+                leader_values=self._leader_values,
+                seeds=(self._seed,),
+            )
+        )
+        self._started = True
+
+    def on_start(self, n: int, protocol_name: str, topology_name: str) -> None:
+        self._protocol_name = protocol_name
+        self._topology_name = topology_name
+        self._start(n)
+
+    def on_round(self, snapshot: RoundSnapshot) -> None:
+        if not self._started:
+            if self._requires_start:
+                raise SimulationError(
+                    f"{type(self).__name__}.on_round called before on_start"
+                )
+            self._start(int(snapshot.state_values.shape[0]))
+        self._batch.on_round(
+            snapshot.round_index,
+            snapshot.state_values.reshape(1, -1),
+            snapshot.beeping.reshape(1, -1),
+            snapshot.leaders.reshape(1, -1),
+            self._active,
+        )
+
+    def should_stop(self, snapshot: RoundSnapshot) -> bool:
+        mask = self._batch.should_retire(
+            snapshot.round_index, snapshot.leaders.reshape(1, -1), self._active
+        )
+        return bool(mask is not None and mask[0])
+
+    def on_finish(self, final_snapshot: RoundSnapshot) -> None:
+        if self._started:
+            self._batch.on_finish(
+                np.array([final_snapshot.round_index], dtype=np.int64)
+            )
+
+
+class TraceRecorder(BatchObserverAdapter):
     """Record the full execution trace.
 
     Parameters
@@ -87,63 +195,51 @@ class TraceRecorder(Observer):
         leader_values: Sequence[int],
         seed: Optional[int] = None,
     ) -> None:
-        self._beeping_values = tuple(beeping_values)
-        self._leader_values = tuple(leader_values)
-        self._seed = seed
-        self._builder: Optional[TraceBuilder] = None
-        self._protocol_name = ""
-        self._topology_name = ""
-
-    def on_start(self, n: int, protocol_name: str, topology_name: str) -> None:
-        self._protocol_name = protocol_name
-        self._topology_name = topology_name
-        self._builder = TraceBuilder(
-            beeping_values=self._beeping_values,
-            leader_values=self._leader_values,
-            protocol_name=protocol_name,
-            topology_name=topology_name,
-            seed=self._seed,
+        super().__init__(
+            BatchTraceRecorder(),
+            beeping_values=beeping_values,
+            leader_values=leader_values,
+            seed=seed,
+            requires_start=True,
         )
-
-    def on_round(self, snapshot: RoundSnapshot) -> None:
-        if self._builder is None:
-            raise SimulationError("TraceRecorder.on_round called before on_start")
-        self._builder.record(snapshot.state_values)
 
     def trace(self) -> ExecutionTrace:
         """The recorded trace; only valid after the simulation has run."""
-        if self._builder is None or len(self._builder) == 0:
-            raise SimulationError("no trace has been recorded yet")
-        return self._builder.build()
+        recorder: BatchTraceRecorder = self.batch_observer  # type: ignore[assignment]
+        return recorder.trace().replica(0)
 
 
-class LeaderCountTracker(Observer):
+class LeaderCountTracker(BatchObserverAdapter):
     """Track the number of leaders over time and the convergence round."""
 
     def __init__(self) -> None:
-        self.counts: List[int] = []
-        self._first_single: Optional[int] = None
+        super().__init__(BatchLeaderCountTracker())
 
-    def on_round(self, snapshot: RoundSnapshot) -> None:
-        count = snapshot.leader_count
-        self.counts.append(count)
-        if count == 1 and self._first_single is None:
-            self._first_single = snapshot.round_index
-        elif count != 1:
-            self._first_single = None
+    @property
+    def _tracker(self) -> BatchLeaderCountTracker:
+        return self.batch_observer  # type: ignore[return-value]
+
+    @property
+    def counts(self) -> List[int]:
+        """Leader count of every observed round, in order."""
+        return [int(row[0]) for row in self._tracker.history]
 
     @property
     def convergence_round(self) -> Optional[int]:
         """First round from which the configuration has had exactly one leader."""
-        return self._first_single
+        firsts = self._tracker.convergence_round
+        if firsts is None or int(firsts[0]) < 0:
+            return None
+        return int(firsts[0])
 
     @property
     def final_count(self) -> Optional[int]:
         """The leader count in the last observed round."""
-        return self.counts[-1] if self.counts else None
+        history = self._tracker.history
+        return int(history[-1][0]) if history else None
 
 
-class SingleLeaderStopper(Observer):
+class SingleLeaderStopper(BatchObserverAdapter):
     """Stop the simulation once a single-leader configuration persists.
 
     For BFW the leader count is non-increasing, so ``patience=0`` (stop as
@@ -152,42 +248,30 @@ class SingleLeaderStopper(Observer):
     """
 
     def __init__(self, patience: int = 0) -> None:
-        if patience < 0:
-            raise SimulationError(f"patience must be non-negative; got {patience}")
-        self._patience = patience
-        self._consecutive = 0
-
-    def should_stop(self, snapshot: RoundSnapshot) -> bool:
-        if snapshot.leader_count == 1:
-            self._consecutive += 1
-        else:
-            self._consecutive = 0
-        return self._consecutive > self._patience
+        super().__init__(BatchSingleLeaderStopper(patience=patience))
 
 
-class BeepCountTracker(Observer):
+class BeepCountTracker(BatchObserverAdapter):
     """Track ``N^beep_t(u)`` for every node, on-line."""
 
     def __init__(self) -> None:
-        self._counts: Optional[np.ndarray] = None
-        self.history: List[np.ndarray] = []
+        super().__init__(
+            BatchBeepCountTracker(keep_history=True), requires_start=True
+        )
 
-    def on_start(self, n: int, protocol_name: str, topology_name: str) -> None:
-        self._counts = np.zeros(n, dtype=np.int64)
-        self.history = []
+    @property
+    def _tracker(self) -> BatchBeepCountTracker:
+        return self.batch_observer  # type: ignore[return-value]
 
-    def on_round(self, snapshot: RoundSnapshot) -> None:
-        if self._counts is None:
-            raise SimulationError("BeepCountTracker.on_round called before on_start")
-        self._counts += snapshot.beeping.astype(np.int64)
-        self.history.append(self._counts.copy())
+    @property
+    def history(self) -> List[np.ndarray]:
+        """Cumulative ``N^beep`` vector after each observed round."""
+        return [row[0] for row in self._tracker.history]
 
     @property
     def counts(self) -> np.ndarray:
         """Current ``N^beep`` vector."""
-        if self._counts is None:
-            raise SimulationError("no rounds observed yet")
-        return self._counts.copy()
+        return self._tracker.counts[0]
 
 
 class CallbackObserver(Observer):
@@ -211,14 +295,14 @@ class CallbackObserver(Observer):
         return False
 
 
-class StateHistogramTracker(Observer):
+class StateHistogramTracker(BatchObserverAdapter):
     """Track how many nodes are in each state value, per round."""
 
     def __init__(self) -> None:
-        self.histograms: List[Dict[int, int]] = []
+        super().__init__(BatchStateHistogramTracker())
 
-    def on_round(self, snapshot: RoundSnapshot) -> None:
-        values, counts = np.unique(snapshot.state_values, return_counts=True)
-        self.histograms.append(
-            {int(v): int(c) for v, c in zip(values, counts)}
-        )
+    @property
+    def histograms(self) -> List[Dict[int, int]]:
+        """One ``{state value: node count}`` dictionary per observed round."""
+        tracker: BatchStateHistogramTracker = self.batch_observer  # type: ignore[assignment]
+        return [row[0] for row in tracker.histograms]

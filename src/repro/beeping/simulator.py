@@ -24,6 +24,11 @@ from typing import Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.batch.observers import (
+    BatchObserver,
+    BatchRunInfo,
+    ObserverPipeline,
+)
 from repro.beeping.network import Configuration
 from repro.beeping.observers import (
     LeaderCountTracker,
@@ -290,6 +295,7 @@ class MemorySimulator:
         rng: RngLike = None,
         stop_at_single_leader: bool = True,
         stability_window: int = 2,
+        observers: Sequence[BatchObserver] = (),
     ) -> SimulationResult:
         """Execute the algorithm and return a :class:`SimulationResult`.
 
@@ -306,6 +312,12 @@ class MemorySimulator:
         stability_window:
             Number of consecutive single-leader rounds required before
             stopping (baselines may transiently drop to one candidate).
+        observers:
+            :class:`~repro.batch.observers.BatchObserver` instances driven
+            with one-replica round reports (``states``/``beeping`` are
+            ``None`` — memory protocols have no state classes).  A retire
+            request stops the run at that round, exactly as it retires the
+            replica on :class:`~repro.batch.memory.BatchedMemoryEngine`.
         """
         seed_value = rng if isinstance(rng, int) else None
         generator = as_rng(rng)
@@ -318,21 +330,57 @@ class MemorySimulator:
             self._protocol.create_memory(node, n, generator) for node in range(n)
         ]
 
+        pipeline: Optional[ObserverPipeline] = None
+        active_one = np.ones(1, dtype=bool)
+        if observers:
+            pipeline = ObserverPipeline(
+                observers,
+                BatchRunInfo(
+                    num_replicas=1,
+                    n=n,
+                    protocol_name=self._protocol.name,
+                    topology_name=self._topology.name,
+                    seeds=(seed_value,),
+                ),
+            )
+
         leader_counts: List[int] = []
         convergence_round: Optional[int] = None
         consecutive_single = 0
         rounds_executed = 0
 
-        def leader_count() -> int:
-            return sum(1 for memory in memories if self._protocol.is_leader(memory))
+        def leaders_now() -> Tuple[Optional[np.ndarray], int]:
+            """One pass over the memories: (mask for observers, count)."""
+            if pipeline is None:
+                return None, sum(
+                    1 for memory in memories if self._protocol.is_leader(memory)
+                )
+            mask = np.array(
+                [self._protocol.is_leader(memory) for memory in memories],
+                dtype=bool,
+            )
+            return mask, int(mask.sum())
 
-        count = leader_count()
+        def observe(round_index: int, mask: Optional[np.ndarray]) -> bool:
+            """Report one round to the pipeline; True = retire requested."""
+            if pipeline is None:
+                return False
+            assert mask is not None
+            requested = pipeline.observe_round(
+                round_index, None, None, mask.reshape(1, -1), active_one
+            )
+            return bool(requested is not None and requested[0])
+
+        mask, count = leaders_now()
         leader_counts.append(count)
         if count == 1:
             convergence_round = 0
             consecutive_single = 1
+        stop_requested = observe(0, mask)
 
         for round_index in range(max_rounds):
+            if stop_requested:
+                break
             beeping = np.array(
                 [
                     self._protocol.wants_to_beep(memory, round_index)
@@ -352,7 +400,7 @@ class MemorySimulator:
             ]
             rounds_executed += 1
 
-            count = leader_count()
+            mask, count = leaders_now()
             leader_counts.append(count)
             if count == 1:
                 if convergence_round is None:
@@ -361,6 +409,7 @@ class MemorySimulator:
             else:
                 convergence_round = None
                 consecutive_single = 0
+            stop_requested = observe(rounds_executed, mask)
 
             everyone_terminated = all(
                 self._protocol.has_terminated(memory) for memory in memories
@@ -372,6 +421,9 @@ class MemorySimulator:
                 and consecutive_single >= max(1, stability_window)
             ):
                 break
+
+        if pipeline is not None:
+            pipeline.finish(np.array([rounds_executed], dtype=np.int64))
 
         converged = convergence_round is not None and leader_counts[-1] == 1
         return SimulationResult(

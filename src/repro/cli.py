@@ -232,6 +232,39 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic_parser.add_argument("--save-json", default=None)
     _add_backend_arguments(dynamic_parser, default="batched", legacy_batched=False)
 
+    extinction_parser = subparsers.add_parser(
+        "extinction",
+        help=(
+            "Leader-extinction rate vs churn rate (E15): batched observers "
+            "counting Lemma 9 violations per replica."
+        ),
+    )
+    extinction_parser.add_argument("--protocol", default="bfw")
+    extinction_parser.add_argument(
+        "--families", nargs="+", default=["cycle"], metavar="FAMILY",
+        help="Graph families to sweep (default: cycle).",
+    )
+    extinction_parser.add_argument(
+        "--sizes", type=int, nargs="+", default=[16, 32], metavar="N"
+    )
+    extinction_parser.add_argument(
+        "--churn-rates", type=int, nargs="+", default=[0, 1, 2, 4], metavar="K",
+        help="Edges churned per round; 0 runs the explicit static schedule.",
+    )
+    extinction_parser.add_argument(
+        "--schedule", choices=("edge-churn", "cut", "interpolate"),
+        default="edge-churn",
+        help="Schedule family the churn rate parameterises.",
+    )
+    extinction_parser.add_argument("--seeds", type=int, default=20)
+    extinction_parser.add_argument("--master-seed", type=int, default=None)
+    extinction_parser.add_argument(
+        "--max-rounds", type=int, default=None,
+        help="Round budget per replica (default: the capped dynamic budget).",
+    )
+    extinction_parser.add_argument("--save-json", default=None)
+    _add_backend_arguments(extinction_parser, default="batched", legacy_batched=False)
+
     wave_parser = subparsers.add_parser(
         "wave-demo", help="Print a space-time diagram of beep waves on a path."
     )
@@ -259,6 +292,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lower-bound": _cmd_lower_bound,
         "ablation": _cmd_ablation,
         "dynamic": _cmd_dynamic,
+        "extinction": _cmd_extinction,
         "wave-demo": _cmd_wave_demo,
     }[args.command]
     return handler(args)
@@ -416,6 +450,32 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     from repro.experiments.seeds import DEFAULT_MASTER_SEED
 
     result = dynamic_experiment(
+        protocol=args.protocol,
+        families=args.families,
+        sizes=args.sizes,
+        churn_rates=args.churn_rates,
+        schedule_kind=args.schedule,
+        num_seeds=args.seeds,
+        master_seed=(
+            args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
+        ),
+        max_rounds=args.max_rounds,
+        progress=lambda line: print("  " + line, file=sys.stderr),
+        backend=_backend_spec_from_args(args),
+    )
+    print(result.render())
+    if args.save_json:
+        save_records_json(result.records, args.save_json)
+        print(f"\nraw records written to {args.save_json}")
+    return 0
+
+
+def _cmd_extinction(args: argparse.Namespace) -> int:
+    from repro.experiments.extinction import leader_extinction_experiment
+    from repro.experiments.io import save_records_json
+    from repro.experiments.seeds import DEFAULT_MASTER_SEED
+
+    result = leader_extinction_experiment(
         protocol=args.protocol,
         families=args.families,
         sizes=args.sizes,

@@ -25,6 +25,7 @@ replicas of few cells, ``process:N`` for sweeps with several independent
 cells (Table 1, scaling curves) on a multi-core machine.
 """
 
+from repro.batch.observers import ObserverSpec
 from repro.exec.base import CellCompleted, ExecutionBackend, ProgressHook
 from repro.exec.backends import (
     BackendSpec,
@@ -48,6 +49,7 @@ __all__ = [
     "CellOutcome",
     "ExecutionBackend",
     "ExecutionCell",
+    "ObserverSpec",
     "ProcessBackend",
     "ProgressHook",
     "SequentialBackend",

@@ -26,8 +26,13 @@ replica-for-replica identical between the two executors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
 
+from repro.batch.observers import (
+    ObserverSpec,
+    build_observers,
+    merge_observations,
+)
 from repro.batch.results import BatchResult
 from repro.beeping.simulator import SimulationResult
 from repro.dynamics.schedules import ScheduleSpec, build_schedule
@@ -77,6 +82,16 @@ class ExecutionCell:
         rebuilds the actual schedule against the cell's graph, so dynamic
         cells shard exactly like static ones.  Only constant-state beeping
         protocols support schedules.
+    observers:
+        Optional tuple of :class:`~repro.batch.observers.ObserverSpec`
+        objects — again pure data: the executing process builds the actual
+        batch observers, attaches them to whichever engine runs the cell,
+        and ships each observer's result back in
+        :attr:`CellOutcome.observations`.  Observed cells produce
+        byte-identical observations on every backend (the sequential loop
+        runs one ``R = 1`` observer per replica and merges).  Standalone
+        runners (e.g. pipelined-ids) have no observation hooks and reject
+        observed cells.
     """
 
     protocol: ProtocolSpecConfig
@@ -86,6 +101,7 @@ class ExecutionCell:
     planted_leaders: Optional[Tuple[int, ...]] = None
     graph_rng_key: Optional[RngKey] = None
     schedule: Optional[ScheduleSpec] = None
+    observers: Tuple[ObserverSpec, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
@@ -101,6 +117,13 @@ class ExecutionCell:
             )
         if self.graph_rng_key is not None:
             object.__setattr__(self, "graph_rng_key", tuple(self.graph_rng_key))
+        object.__setattr__(self, "observers", tuple(self.observers))
+        for spec in self.observers:
+            if not isinstance(spec, ObserverSpec):
+                raise ConfigurationError(
+                    f"cell observers must be ObserverSpec instances; got "
+                    f"{type(spec).__name__}"
+                )
 
     @property
     def graph_label(self) -> str:
@@ -160,6 +183,10 @@ class CellOutcome:
     sequential_results:
         The per-seed results of the sequential executor (``None`` on the
         batched path, where they are derived from ``batch``).
+    observations:
+        One observation per entry of ``cell.observers`` (in spec order) —
+        e.g. a :class:`~repro.batch.trace.BatchTrace` for a ``"trace"``
+        spec.  ``None`` when the cell carries no observer specs.
     """
 
     cell: ExecutionCell
@@ -169,6 +196,7 @@ class CellOutcome:
     batch: Optional[BatchResult] = None
     batched: bool = False
     sequential_results: Optional[Tuple[SimulationResult, ...]] = None
+    observations: Optional[Tuple[object, ...]] = None
 
     @property
     def results(self) -> Tuple[SimulationResult, ...]:
@@ -238,13 +266,33 @@ def _build_cell(cell: ExecutionCell):
 
 
 def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
-    """Run the cell's replicas one seeded single run at a time."""
+    """Run the cell's replicas one seeded single run at a time.
+
+    Observed cells run every replica with its own fresh ``R = 1`` observers
+    (built from the cell's specs) and merge the per-replica observations —
+    byte-identical to what one batched run of the same cell observes.
+    """
     from repro.beeping.engine import VectorizedEngine
-    from repro.core.protocol import BeepingProtocol
+    from repro.beeping.simulator import MemorySimulator
+    from repro.core.protocol import BeepingProtocol, MemoryProtocol
     from repro.experiments.runner import run_protocol_on
 
     topology, protocol, initial_states, schedule = _build_cell(cell)
-    if initial_states is not None or schedule is not None:
+    observed = bool(cell.observers)
+    per_seed_observations: List[Tuple[object, ...]] = []
+
+    def with_observers(run_one: "Callable[[Tuple[object, ...]], SimulationResult]"):
+        observers = build_observers(cell.observers) if observed else ()
+        result = run_one(observers)
+        if observed:
+            per_seed_observations.append(
+                tuple(observer.result() for observer in observers)
+            )
+        return result
+
+    if initial_states is not None or schedule is not None or (
+        observed and isinstance(protocol, BeepingProtocol)
+    ):
         if not isinstance(protocol, BeepingProtocol):
             raise ConfigurationError(
                 f"planted leaders require a constant-state beeping protocol; "
@@ -255,15 +303,42 @@ def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
         # the cell's replicas replay one rebuild per round.
         engine = VectorizedEngine(topology, protocol, schedule=schedule)
         results = tuple(
-            engine.run(
-                max_rounds=cell.max_rounds, rng=seed, initial_states=initial_states
+            with_observers(
+                lambda observers, seed=seed: engine.run(
+                    max_rounds=cell.max_rounds,
+                    rng=seed,
+                    initial_states=initial_states,
+                    observers=observers,
+                )
             )
             for seed in cell.seeds
+        )
+    elif observed and isinstance(protocol, MemoryProtocol):
+        simulator = MemorySimulator(topology, protocol)
+        results = tuple(
+            with_observers(
+                lambda observers, seed=seed: simulator.run(
+                    max_rounds=cell.max_rounds, rng=seed, observers=observers
+                )
+            )
+            for seed in cell.seeds
+        )
+    elif observed:
+        raise ConfigurationError(
+            f"cell {cell.label!r} attaches observers, but standalone runners "
+            f"({type(protocol).__name__}) have no observation hooks"
         )
     else:
         results = tuple(
             run_protocol_on(topology, protocol, rng=seed, max_rounds=cell.max_rounds)
             for seed in cell.seeds
+        )
+
+    observations: Optional[Tuple[object, ...]] = None
+    if observed:
+        observations = tuple(
+            merge_observations(spec, [row[index] for row in per_seed_observations])
+            for index, spec in enumerate(cell.observers)
         )
     return CellOutcome(
         cell=cell,
@@ -271,6 +346,7 @@ def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
         diameter=topology.diameter(),
         topology_name=topology.name,
         sequential_results=results,
+        observations=observations,
     )
 
 
@@ -292,13 +368,18 @@ def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
         # its own per-run schedule reset — identical records, so the
         # every-backend byte-parity contract holds for these cells too.
         return execute_cell_sequential(cell)
+    observers = build_observers(cell.observers)
     batch = MonteCarloRunner(max_rounds=cell.max_rounds).run(
         topology,
         protocol,
         list(cell.seeds),
         initial_states=initial_states,
         schedule=schedule,
+        observers=observers,
     )
+    observations: Optional[Tuple[object, ...]] = None
+    if observers:
+        observations = tuple(observer.result() for observer in observers)
     return CellOutcome(
         cell=cell,
         n=topology.n,
@@ -306,4 +387,5 @@ def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
         topology_name=topology.name,
         batch=batch,
         batched=runs_batched(protocol),
+        observations=observations,
     )

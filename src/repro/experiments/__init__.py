@@ -17,10 +17,16 @@ from repro.experiments.figures import (
     scaling_experiment,
 )
 from repro.experiments.dynamics import (
+    DEFAULT_DYNAMIC_MAX_ROUNDS,
     DynamicCellRow,
     DynamicResult,
     dynamic_experiment,
     schedule_spec_for_rate,
+)
+from repro.experiments.extinction import (
+    ExtinctionCellRow,
+    ExtinctionResult,
+    leader_extinction_experiment,
 )
 from repro.experiments.io import (
     load_records_json,
@@ -69,11 +75,14 @@ __all__ = [
     "BASELINE_NAMES",
     "CellSummary",
     "CrossoverResult",
+    "DEFAULT_DYNAMIC_MAX_ROUNDS",
     "DEFAULT_MASTER_SEED",
     "DEFAULT_TABLE1_GRAPHS",
     "DEFAULT_TABLE1_PROTOCOLS",
     "DynamicCellRow",
     "DynamicResult",
+    "ExtinctionCellRow",
+    "ExtinctionResult",
     "GraphSpec",
     "LowerBoundResult",
     "MonteCarloReport",
@@ -91,6 +100,7 @@ __all__ = [
     "dynamic_experiment",
     "generate_table1",
     "instantiate_protocol",
+    "leader_extinction_experiment",
     "load_records_json",
     "lower_bound_experiment",
     "records_to_arrays",

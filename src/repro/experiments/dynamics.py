@@ -35,6 +35,39 @@ from repro.viz.table_format import render_table
 #: Schedule kinds the churn-rate sweep knows how to parameterise.
 DYNAMIC_SCHEDULE_KINDS: Tuple[str, ...] = ("edge-churn", "cut", "interpolate")
 
+#: Ceiling on the default round budget for churned cells.  Edge churn can
+#: eliminate every leader (impossible on a static graph), after which the
+#: configuration is absorbing — no transition creates a leader, the replica
+#: never early-stops, and an uncapped sweep burns the engines' generous
+#: ``D² log n``-scaled default budget measuring nothing but the stall.  The
+#: effective budget is ``min(engine default, this ceiling)`` (see
+#: :func:`capped_dynamic_budget` — a cap must never *raise* a small graph's
+#: budget), and capped replicas are reported per row (``capped_runs``)
+#: instead of silently spinning.  Rate-0 (static) cells keep the engines'
+#: default budget so their records stay byte-identical to the classical
+#: scheduleless sweep.
+DEFAULT_DYNAMIC_MAX_ROUNDS: int = 20_000
+
+
+def capped_dynamic_budget(graph: GraphSpec) -> int:
+    """The default round budget of a churned cell on ``graph``.
+
+    ``min(default_round_budget(topology), DEFAULT_DYNAMIC_MAX_ROUNDS)``,
+    with the topology built exactly as the cell itself builds it — so the
+    cap only ever *lowers* the engines' default, never inflates the work a
+    stalled replica burns on small graphs.
+    """
+    from repro.beeping.simulator import default_round_budget
+    from repro.experiments.seeds import rng_from
+    from repro.graphs.generators import make_graph
+
+    topology = make_graph(
+        graph.family,
+        graph.n,
+        rng=rng_from(graph.seed, "graph", graph.family, graph.n),
+    )
+    return min(DEFAULT_DYNAMIC_MAX_ROUNDS, default_round_budget(topology))
+
 
 def schedule_spec_for_rate(
     kind: str, rate: int, seed: int
@@ -76,7 +109,13 @@ def schedule_spec_for_rate(
 
 @dataclass(frozen=True)
 class DynamicCellRow:
-    """Aggregated outcome of one (graph, size, churn rate) cell."""
+    """Aggregated outcome of one (graph, size, churn rate) cell.
+
+    ``capped_runs`` counts the replicas that exhausted their round budget
+    without converging (under churn these are typically leaderless,
+    absorbing configurations — see the ROADMAP's measured leader-extinction
+    finding, quantified by ``repro extinction``).
+    """
 
     graph: str
     schedule: str
@@ -86,6 +125,7 @@ class DynamicCellRow:
     num_replicas: int
     convergence_rate: float
     rounds: Summary
+    capped_runs: int = 0
 
 
 @dataclass(frozen=True)
@@ -96,6 +136,11 @@ class DynamicResult:
     schedule_kind: str
     rows: Tuple[DynamicCellRow, ...]
     records: Tuple[TrialRecord, ...]
+
+    @property
+    def capped_runs(self) -> int:
+        """Replicas (over all cells) that burned their whole round budget."""
+        return sum(row.capped_runs for row in self.rows)
 
     def render(self) -> str:
         """Plain-text table: convergence under increasing churn."""
@@ -108,6 +153,7 @@ class DynamicResult:
                 row.diameter,
                 row.num_replicas,
                 row.convergence_rate,
+                row.capped_runs,
                 row.rounds.mean,
                 row.rounds.median,
                 row.rounds.q95,
@@ -123,6 +169,7 @@ class DynamicResult:
                 "D",
                 "R",
                 "conv. rate",
+                "capped",
                 "mean rounds",
                 "median",
                 "q95",
@@ -130,7 +177,8 @@ class DynamicResult:
             table_rows,
             title=(
                 f"Dynamic graphs — {self.protocol} under {self.schedule_kind} "
-                f"(E14; D is the initial graph's diameter)"
+                f"(E14; D is the initial graph's diameter; 'capped' counts "
+                f"replicas that exhausted their round budget)"
             ),
         )
 
@@ -155,6 +203,15 @@ def dynamic_experiment(
     one integer and produces byte-identical records on every execution
     backend (the default is ``"batched"``, where one adjacency swap per
     round serves all replicas).
+
+    With ``max_rounds=None``, churned cells (rate > 0) run under
+    :func:`capped_dynamic_budget` — the engines' default budget capped at
+    :data:`DEFAULT_DYNAMIC_MAX_ROUNDS`: churn can leave a replica
+    leaderless and absorbing, and on large graphs such replicas would
+    otherwise spin through a much larger default budget.  Capped replicas
+    are counted per row (:attr:`DynamicCellRow.capped_runs`).  Rate-0 cells
+    keep the engines' default budget, preserving bit-identity with the
+    classical static sweep.
     """
     if num_seeds < 1:
         raise ConfigurationError(f"num_seeds must be >= 1; got {num_seeds}")
@@ -168,11 +225,17 @@ def dynamic_experiment(
     rates = []
     for family in families:
         for n in sizes:
+            capped_budget = None
+            if max_rounds is None and any(rate > 0 for rate in churn_rates):
+                capped_budget = capped_dynamic_budget(GraphSpec(family=family, n=n))
             for rate in churn_rates:
                 schedule_seed = trial_seeds(
                     master_seed, f"dynamic-schedule/{family}/{n}/{rate}", 1
                 )[0]
                 spec = schedule_spec_for_rate(schedule_kind, int(rate), schedule_seed)
+                cell_budget = max_rounds
+                if cell_budget is None and rate > 0:
+                    cell_budget = capped_budget
                 cell = ExecutionCell(
                     protocol=ProtocolSpecConfig(name=protocol),
                     graph=GraphSpec(family=family, n=n),
@@ -181,7 +244,7 @@ def dynamic_experiment(
                         f"dynamic/{protocol}/{family}/{n}/{spec.label}",
                         num_seeds,
                     ),
-                    max_rounds=max_rounds,
+                    max_rounds=cell_budget,
                     schedule=spec,
                 )
                 cells.append(cell)
@@ -216,6 +279,11 @@ def dynamic_experiment(
                     np.mean([record.converged for record in cell_records])
                 ),
                 rounds=summarize_sample(effective),
+                # A non-converged replica has no other early exit: it ran
+                # its entire round budget, i.e. the cap bound it.
+                capped_runs=sum(
+                    1 for record in cell_records if not record.converged
+                ),
             )
         )
 

@@ -42,6 +42,7 @@ from repro.experiments.seeds import DEFAULT_MASTER_SEED, trial_seeds
 from repro.graphs.topology import Topology
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a module cycle
+    from repro.batch.observers import BatchObserver
     from repro.dynamics.schedules import TopologySchedule
     from repro.exec import BackendSpec
 from repro.stats.summary import Summary, summarize_sample
@@ -72,6 +73,7 @@ class MonteCarloRunner:
         max_rounds: Optional[int] = None,
         initial_states: Optional[np.ndarray] = None,
         schedule: Optional["TopologySchedule"] = None,
+        observers: Sequence["BatchObserver"] = (),
     ) -> BatchResult:
         """Run one replica per seed and return the batch outcome.
 
@@ -81,7 +83,10 @@ class MonteCarloRunner:
         ``(n,)`` vector shared by all replicas, e.g. planted leaders) and
         ``schedule`` (a :class:`~repro.dynamics.schedules.TopologySchedule`
         swapping the adjacency between rounds) are only meaningful for
-        constant-state protocols.
+        constant-state protocols.  ``observers``
+        (:class:`~repro.batch.observers.BatchObserver` instances) are
+        attached to whichever batched engine runs the replicas; the per-seed
+        fallback has no observation hooks and rejects them.
         """
         if len(seeds) == 0:
             raise ConfigurationError("a Monte-Carlo run needs at least one seed")
@@ -95,6 +100,7 @@ class MonteCarloRunner:
                     None if initial_states is None else np.asarray(initial_states)
                 ),
                 record_leader_counts=self.record_leader_counts,
+                observers=observers,
             )
         if schedule is not None:
             raise ConfigurationError(
@@ -111,7 +117,15 @@ class MonteCarloRunner:
             # replaces carried them too, and on baseline-sized graphs they
             # cost next to nothing.
             memory_engine = BatchedMemoryEngine(topology, protocol)
-            return memory_engine.run(list(seeds), max_rounds=budget)
+            return memory_engine.run(
+                list(seeds), max_rounds=budget, observers=observers
+            )
+        if observers:
+            raise ConfigurationError(
+                "batch observers require a constant-state protocol or a "
+                "batch-supported memory baseline; standalone runner "
+                f"{type(protocol).__name__} has no observation hooks"
+            )
         results = [
             run_protocol_on(topology, protocol, rng=seed, max_rounds=budget)
             for seed in seeds

@@ -56,3 +56,20 @@ def test_leader_beep_counts_contains_surviving_leader(converged_path_trace):
     (leader, count), = final.items()
     # The survivor has the (weakly) largest beep count (Lemma 9 proof).
     assert count == converged_path_trace.beep_counts().max()
+
+
+def test_beep_count_matrix_batch_matches_per_replica(cycle_batch_trace):
+    from repro.analysis.beep_counts import beep_count_matrix_batch
+
+    matrix = beep_count_matrix_batch(cycle_batch_trace)
+    assert matrix.shape == (
+        cycle_batch_trace.num_rounds + 1,
+        cycle_batch_trace.num_replicas,
+        cycle_batch_trace.n,
+    )
+    for replica in range(cycle_batch_trace.num_replicas):
+        last = int(cycle_batch_trace.rounds_executed[replica])
+        np.testing.assert_array_equal(
+            matrix[: last + 1, replica],
+            beep_count_matrix(cycle_batch_trace.replica(replica)),
+        )

@@ -65,3 +65,36 @@ def test_half_life_round_before_convergence(converged_path_trace):
     half_life = half_life_round(converged_path_trace)
     assert half_life is not None
     assert half_life <= converged_path_trace.convergence_round()
+
+
+# --------------------------------------------------------------------------- #
+# Batch entry points
+# --------------------------------------------------------------------------- #
+
+
+def test_summarize_batch_matches_per_replica(cycle_batch_trace):
+    from repro.analysis.convergence import summarize_batch
+
+    summaries = summarize_batch(cycle_batch_trace)
+    assert len(summaries) == cycle_batch_trace.num_replicas
+    for replica, summary in enumerate(summaries):
+        assert summary == summarize_trace(cycle_batch_trace.replica(replica))
+        assert summary.converged
+        assert summary.winner is not None
+
+
+def test_summarize_batch_without_early_stop(small_cycle, bfw):
+    from repro.analysis.convergence import summarize_batch
+    from repro.batch import BatchedEngine, BatchTraceRecorder
+
+    recorder = BatchTraceRecorder()
+    BatchedEngine(small_cycle, bfw).run(
+        list(range(4)),
+        max_rounds=40,
+        stop_at_single_leader=False,
+        observers=[recorder],
+    )
+    trace = recorder.trace()
+    for replica, summary in enumerate(summarize_batch(trace)):
+        assert summary == summarize_trace(trace.replica(replica))
+        assert summary.rounds_executed == 40

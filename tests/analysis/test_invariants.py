@@ -144,3 +144,67 @@ def test_online_checker_collects_without_raising():
     checker.on_round(empty)
     assert not checker.report.ok
     assert checker.report.leaderless_rounds == [0]
+
+
+# --------------------------------------------------------------------------- #
+# Batch entry points
+# --------------------------------------------------------------------------- #
+
+
+def test_batch_invariants_hold_on_static_batches(cycle_batch_trace):
+    from repro.analysis.invariants import (
+        check_leader_always_exists_batch,
+        check_leader_count_nonincreasing_batch,
+        check_max_beep_count_is_leader_batch,
+    )
+
+    check_leader_always_exists_batch(cycle_batch_trace)
+    check_leader_count_nonincreasing_batch(cycle_batch_trace)
+    check_max_beep_count_is_leader_batch(cycle_batch_trace)
+
+
+def test_batch_leader_exists_check_flags_leaderless_rounds():
+    from repro.analysis.invariants import check_leader_always_exists_batch
+    from repro.batch.trace import BatchTrace
+    from repro.core.states import State
+
+    leader = int(State.W_LEADER)
+    follower = int(State.W_FOLLOWER)
+    states = np.full((3, 2, 4), leader, dtype=np.int8)
+    states[2, 1, :] = follower  # replica 1 loses every leader in round 2
+    trace = BatchTrace(
+        states=states,
+        rounds_executed=np.array([2, 2]),
+        beeping_values=(int(State.B_LEADER), int(State.B_FOLLOWER)),
+        leader_values=tuple(int(s) for s in State if s.is_leader),
+    )
+    with pytest.raises(InvariantViolation, match="round 2 of replica 1"):
+        check_leader_always_exists_batch(trace)
+    # The same rows past retirement are frozen and must not be flagged.
+    clipped = BatchTrace(
+        states=states,
+        rounds_executed=np.array([2, 1]),
+        beeping_values=trace.beeping_values,
+        leader_values=trace.leader_values,
+    )
+    check_leader_always_exists_batch(clipped)
+
+
+def test_batch_nonincreasing_check_flags_increases():
+    from repro.analysis.invariants import check_leader_count_nonincreasing_batch
+    from repro.batch.trace import BatchTrace
+    from repro.core.states import State
+
+    leader = int(State.W_LEADER)
+    follower = int(State.W_FOLLOWER)
+    states = np.full((2, 1, 3), follower, dtype=np.int8)
+    states[0, 0, 0] = leader
+    states[1, 0, :2] = leader  # 1 -> 2 leaders
+    trace = BatchTrace(
+        states=states,
+        rounds_executed=np.array([1]),
+        beeping_values=(int(State.B_LEADER), int(State.B_FOLLOWER)),
+        leader_values=tuple(int(s) for s in State if s.is_leader),
+    )
+    with pytest.raises(InvariantViolation, match="increased"):
+        check_leader_count_nonincreasing_batch(trace)

@@ -97,3 +97,28 @@ def test_count_waves_on_path_single_leader():
     # disjoint waves are at least two nodes apart: never more than ~n/3 waves.
     assert counts.max() <= (topology.n + 2) // 3
     assert counts.min() >= 0
+
+
+# --------------------------------------------------------------------------- #
+# Batch entry points
+# --------------------------------------------------------------------------- #
+
+
+def test_first_beep_round_batch_matches_per_replica(cycle_batch_trace):
+    from repro.analysis.waves import first_beep_round_batch
+
+    firsts = first_beep_round_batch(cycle_batch_trace)
+    assert firsts.shape == (cycle_batch_trace.num_replicas, cycle_batch_trace.n)
+    for replica in range(cycle_batch_trace.num_replicas):
+        np.testing.assert_array_equal(
+            firsts[replica], first_beep_round(cycle_batch_trace.replica(replica))
+        )
+
+
+def test_wave_fronts_batch_matches_per_replica(cycle_batch_trace):
+    from repro.analysis.waves import wave_fronts_batch
+
+    fronts = wave_fronts_batch(cycle_batch_trace)
+    assert len(fronts) == cycle_batch_trace.num_replicas
+    for replica in range(cycle_batch_trace.num_replicas):
+        assert fronts[replica] == wave_fronts(cycle_batch_trace.replica(replica))

@@ -29,7 +29,8 @@ family) that the backend parity tests sweep.
 
 import numpy as np
 
-from repro.batch import BatchedEngine, BatchedMemoryEngine
+from repro.batch import BatchedEngine, BatchedMemoryEngine, BatchTraceRecorder
+from repro.batch.observers import ObserverSpec
 from repro.beeping.engine import VectorizedEngine
 from repro.beeping.simulator import MemorySimulator
 from repro.core.protocol import BeepingProtocol, MemoryProtocol
@@ -157,6 +158,113 @@ def assert_schedule_replica_parity(
         assert_same_simulation_fields(batch.replica(index), single)
         np.testing.assert_array_equal(batch.final_states[index], engine.last_states)
     return batch
+
+
+def assert_same_trace(replica_trace, single_trace):
+    """Byte-identical :class:`ExecutionTrace` equality, field for field."""
+    assert replica_trace.states.dtype == single_trace.states.dtype
+    np.testing.assert_array_equal(replica_trace.states, single_trace.states)
+    assert replica_trace.beeping_values == single_trace.beeping_values
+    assert replica_trace.leader_values == single_trace.leader_values
+    assert replica_trace.protocol_name == single_trace.protocol_name
+    assert replica_trace.topology_name == single_trace.topology_name
+    assert replica_trace.seed == single_trace.seed
+
+
+def assert_trace_parity(
+    topology, protocol, seeds=DEFAULT_SEEDS, spec=None, max_rounds=None, **run_kwargs
+):
+    """Assert ``BatchTrace.replica(r)`` == the sequential recorder's trace.
+
+    One batched run with a :class:`BatchTraceRecorder` attached against one
+    sequentially recorded trace per seed (``record_trace=True`` on the
+    single-run engine — the refactored observation layer's reference path).
+    ``spec`` optionally runs both engines under a topology schedule; each
+    engine gets its own schedule instance built from the spec.  Returns the
+    batch trace.
+    """
+    recorder = BatchTraceRecorder()
+    schedule = None if spec is None else build_schedule(spec, topology)
+    BatchedEngine(topology, protocol, schedule=schedule).run(
+        list(seeds), max_rounds=max_rounds, observers=[recorder], **run_kwargs
+    )
+    batch_trace = recorder.trace()
+    assert batch_trace.num_replicas == len(seeds)
+    engine = VectorizedEngine(
+        topology,
+        protocol,
+        schedule=None if spec is None else build_schedule(spec, topology),
+    )
+    for index, seed in enumerate(seeds):
+        single = engine.run(
+            rng=seed, max_rounds=max_rounds, record_trace=True, **run_kwargs
+        )
+        assert single.trace is not None
+        assert_same_trace(batch_trace.replica(index), single.trace)
+    return batch_trace
+
+
+#: Observer specs every observed-cell parity sweep attaches.
+OBSERVED_PARITY_SPECS = (
+    ObserverSpec("trace"),
+    ObserverSpec("leader-extinction"),
+)
+
+
+def observed_parity_cells(
+    protocols=("bfw",),
+    graphs=BACKEND_PARITY_GRAPHS,
+    schedules=(None, ScheduleSpec("edge-churn", {"add_per_round": 1, "remove_per_round": 1, "seed": 7})),
+    specs=OBSERVED_PARITY_SPECS,
+    num_seeds=3,
+    master_seed=41,
+    max_rounds=4000,
+):
+    """Observed cells every backend must execute with identical observations."""
+    cells = []
+    for protocol in protocols:
+        for graph in graphs:
+            for schedule in schedules:
+                label = "static" if schedule is None else schedule.label
+                cells.append(
+                    ExecutionCell(
+                        protocol=ProtocolSpecConfig(name=protocol),
+                        graph=graph,
+                        seeds=trial_seeds(
+                            master_seed,
+                            f"observed-parity/{protocol}/{graph.label}/{label}",
+                            num_seeds,
+                        ),
+                        max_rounds=max_rounds,
+                        schedule=schedule,
+                        observers=tuple(specs),
+                    )
+                )
+    return tuple(cells)
+
+
+def assert_backend_observation_parity(backends, cells=None):
+    """Assert every backend yields identical records *and* observations."""
+    if cells is None:
+        cells = observed_parity_cells()
+    cells = tuple(cells)
+    resolved = [resolve_backend(backend) for backend in backends]
+    reference = resolved[0].run_cell_outcomes(cells)
+    for outcome in reference:
+        assert outcome.observations is not None
+        assert len(outcome.observations) == len(outcome.cell.observers)
+    for backend in resolved[1:]:
+        outcomes = backend.run_cell_outcomes(cells)
+        for ref, out in zip(reference, outcomes):
+            assert out.to_records() == ref.to_records(), (
+                f"{backend.name} records differ from {resolved[0].name} on "
+                f"{ref.cell.label}"
+            )
+            assert out.observations == ref.observations, (
+                f"{backend.name} observations differ from {resolved[0].name} "
+                f"on {ref.cell.label}"
+            )
+    return reference
 
 
 def dynamic_parity_cells(

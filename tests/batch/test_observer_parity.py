@@ -1,0 +1,181 @@
+"""Trace and stopper parity: the batched observation layer vs single runs.
+
+The acceptance contract of the observation refactor: ``BatchTrace.replica(r)``
+is byte-identical to the sequential recorder's :class:`ExecutionTrace` for
+matched seeds — for every registered protocol, on static and dynamic
+schedules — and observer-driven retirement retires replicas in exactly the
+round the built-in single-leader stop (and the sequential stopper) does.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import (
+    BatchedEngine,
+    BatchSingleLeaderStopper,
+    BatchTraceRecorder,
+)
+from repro.beeping.engine import VectorizedEngine
+from repro.beeping.simulator import Simulator
+from repro.core.bfw import BFWProtocol
+from repro.core.registry import available_protocols, create_protocol
+from repro.dynamics import ScheduleSpec
+from repro.graphs.generators import cycle_graph, path_graph
+
+from tests.batch.parity_harness import (
+    DYNAMIC_PARITY_SCHEDULES,
+    assert_trace_parity,
+    parity_topologies,
+)
+
+SEEDS = tuple(range(6))
+
+
+def _protocol_for(name, topology):
+    return create_protocol(
+        name, diameter=max(1, topology.diameter()), n=topology.n
+    )
+
+
+@pytest.mark.parametrize("name", available_protocols())
+@pytest.mark.parametrize(
+    "family", [family for family, _ in parity_topologies()]
+)
+def test_batch_trace_matches_sequential_recorder_for_registered_protocols(
+    name, family
+):
+    topology = dict(parity_topologies())[family]
+    protocol = _protocol_for(name, topology)
+    assert_trace_parity(topology, protocol, seeds=SEEDS, max_rounds=4000)
+
+
+@pytest.mark.parametrize(
+    "spec", DYNAMIC_PARITY_SCHEDULES, ids=lambda spec: spec.label
+)
+def test_batch_trace_matches_sequential_recorder_under_schedules(spec):
+    topology = cycle_graph(16)
+    assert_trace_parity(
+        topology, BFWProtocol(), seeds=SEEDS, spec=spec, max_rounds=2000
+    )
+
+
+def test_batch_trace_matches_without_early_stopping():
+    # Budget-exhaustion path: every replica records the full horizon.
+    trace = assert_trace_parity(
+        cycle_graph(12),
+        BFWProtocol(),
+        seeds=SEEDS,
+        max_rounds=60,
+        stop_at_single_leader=False,
+    )
+    assert trace.num_rounds == 60
+    assert (trace.rounds_executed == 60).all()
+
+
+def test_batch_trace_under_disconnecting_churn_keeps_budget_replicas():
+    # The schedule the ROADMAP finding came from: non-connectivity-preserving
+    # churn at rate 2 can strand leaderless (absorbing) replicas that then
+    # burn the whole budget — their trace rows must still match the
+    # sequential recorder's round for round.
+    spec = ScheduleSpec(
+        "edge-churn",
+        {
+            "add_per_round": 2,
+            "remove_per_round": 2,
+            "seed": 11,
+            "preserve_connectivity": False,
+        },
+    )
+    assert_trace_parity(
+        cycle_graph(16), BFWProtocol(), seeds=SEEDS, spec=spec, max_rounds=800
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Observer-driven early stop (the batched SingleLeaderStopper)
+# --------------------------------------------------------------------------- #
+
+
+def test_batch_stopper_matches_builtin_early_stop():
+    topology = cycle_graph(16)
+    protocol = BFWProtocol()
+    stopped = BatchedEngine(topology, protocol).run(
+        list(SEEDS),
+        stop_at_single_leader=False,
+        observers=[BatchSingleLeaderStopper()],
+        max_rounds=5000,
+    )
+    builtin = BatchedEngine(topology, protocol).run(
+        list(SEEDS), stop_at_single_leader=True, max_rounds=5000
+    )
+    np.testing.assert_array_equal(stopped.rounds_executed, builtin.rounds_executed)
+    np.testing.assert_array_equal(
+        stopped.convergence_round, builtin.convergence_round
+    )
+    np.testing.assert_array_equal(stopped.final_states, builtin.final_states)
+    np.testing.assert_array_equal(stopped.leader_node, builtin.leader_node)
+    assert stopped.leader_counts == builtin.leader_counts
+
+
+def test_batch_stopper_matches_sequential_stopper_round_counts():
+    # Round-count parity with the sequential stopper on both sequential
+    # drivers: the vectorised engine (same observer, R = 1) and the
+    # reference Simulator (the classic SingleLeaderStopper adapter).
+    topology = path_graph(13)
+    protocol = BFWProtocol()
+    batch = BatchedEngine(topology, protocol).run(
+        list(SEEDS),
+        stop_at_single_leader=False,
+        observers=[BatchSingleLeaderStopper()],
+        max_rounds=5000,
+    )
+    for index, seed in enumerate(SEEDS):
+        vectorised = VectorizedEngine(topology, protocol).run(
+            rng=seed,
+            stop_at_single_leader=False,
+            observers=[BatchSingleLeaderStopper()],
+            max_rounds=5000,
+        )
+        assert vectorised.rounds_executed == batch.rounds_executed[index]
+        assert vectorised.final_leader_count == batch.final_leader_count[index]
+    # The reference Simulator consumes randomness per node (not per round),
+    # so its trajectories are not stream-comparable with the engines; the
+    # stopper parity statement there is: the explicit adapter stops in the
+    # same round as the built-in early stop on the same driver.
+    from repro.beeping.observers import SingleLeaderStopper
+
+    builtin_reference = Simulator(topology, protocol).run(
+        rng=SEEDS[0], stop_at_single_leader=True, max_rounds=5000
+    )
+    observed_reference = Simulator(topology, protocol).run(
+        rng=SEEDS[0],
+        stop_at_single_leader=False,
+        observers=[SingleLeaderStopper()],
+        max_rounds=5000,
+    )
+    assert (
+        observed_reference.rounds_executed == builtin_reference.rounds_executed
+    )
+    assert observed_reference.leader_counts == builtin_reference.leader_counts
+
+
+def test_batch_stopper_patience_delays_retirement():
+    topology = cycle_graph(12)
+    protocol = BFWProtocol()
+    patient = BatchedEngine(topology, protocol).run(
+        list(SEEDS),
+        stop_at_single_leader=False,
+        observers=[BatchSingleLeaderStopper(patience=3)],
+        max_rounds=5000,
+    )
+    exact = BatchedEngine(topology, protocol).run(
+        list(SEEDS), stop_at_single_leader=True, max_rounds=5000
+    )
+    # BFW's leader count is non-increasing, so patience extends every
+    # replica by exactly its window.
+    np.testing.assert_array_equal(
+        patient.rounds_executed, exact.rounds_executed + 3
+    )
+    np.testing.assert_array_equal(
+        patient.convergence_round, exact.convergence_round
+    )

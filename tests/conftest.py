@@ -74,3 +74,15 @@ def converged_cycle_trace(small_cycle, bfw):
     result = engine.run(rng=11, record_trace=True, max_rounds=20_000)
     assert result.converged
     return result.trace
+
+
+@pytest.fixture
+def cycle_batch_trace(small_cycle, bfw):
+    """A batch-recorded BFW execution (6 replicas) on the small cycle."""
+    from repro.batch import BatchedEngine, BatchTraceRecorder
+
+    recorder = BatchTraceRecorder()
+    BatchedEngine(small_cycle, bfw).run(
+        list(range(6)), max_rounds=20_000, observers=[recorder]
+    )
+    return recorder.trace()

@@ -147,3 +147,67 @@ def test_dynamic_experiment_validates_inputs():
         dynamic_experiment(num_seeds=0)
     with pytest.raises(ConfigurationError, match="at least one"):
         dynamic_experiment(churn_rates=())
+
+
+def test_dynamic_experiment_caps_churned_cells_by_default(monkeypatch):
+    # With max_rounds=None, churned cells are capped (leaderless replicas
+    # are absorbing and would otherwise spin through the engines' much
+    # larger default budget) while the rate-0 static row keeps the
+    # classical default.  A tiny patched cap makes the bound observable.
+    import repro.experiments.dynamics as dynamics_module
+
+    monkeypatch.setattr(dynamics_module, "DEFAULT_DYNAMIC_MAX_ROUNDS", 5)
+    result = dynamic_experiment(
+        families=("cycle",), sizes=(12,), churn_rates=(0, 2), num_seeds=3
+    )
+    static_row, churn_row = result.rows
+    static_records = [r for r in result.records if r.graph.endswith("@static")]
+    churn_records = [r for r in result.records if "edge-churn" in r.graph]
+    # The static row is not capped: BFW on cycle(12) needs more than 5
+    # rounds, which it only gets under the engines' default budget.
+    assert all(record.rounds_executed > 5 for record in static_records)
+    assert static_row.capped_runs == 0
+    # Churned replicas run at most the patched cap; the non-converged ones
+    # burned exactly the cap and are reported as capped.
+    assert all(record.rounds_executed <= 5 for record in churn_records)
+    capped = [r for r in churn_records if not r.converged]
+    assert capped
+    assert all(record.rounds_executed == 5 for record in capped)
+    assert churn_row.capped_runs == len(capped)
+    assert result.capped_runs == len(capped)
+
+
+def test_dynamic_experiment_reports_capped_runs_in_render():
+    result = dynamic_experiment(
+        families=("cycle",),
+        sizes=(12,),
+        churn_rates=(0,),
+        num_seeds=2,
+        max_rounds=3,
+    )
+    (row,) = result.rows
+    assert row.capped_runs == 2  # nobody converges in 3 rounds
+    rendered = result.render()
+    assert "capped" in rendered
+
+
+def test_capped_dynamic_budget_never_raises_the_engine_default():
+    # A cap must only ever lower the budget: small graphs keep the engines'
+    # default, large graphs are clipped at the ceiling.
+    from repro.beeping.simulator import default_round_budget
+    from repro.experiments.dynamics import (
+        DEFAULT_DYNAMIC_MAX_ROUNDS,
+        capped_dynamic_budget,
+    )
+    from repro.experiments.seeds import rng_from
+    from repro.graphs.generators import make_graph
+
+    small = GraphSpec(family="cycle", n=12)
+    small_default = default_round_budget(
+        make_graph("cycle", 12, rng=rng_from(small.seed, "graph", "cycle", 12))
+    )
+    assert small_default < DEFAULT_DYNAMIC_MAX_ROUNDS
+    assert capped_dynamic_budget(small) == small_default
+
+    large = GraphSpec(family="cycle", n=64)
+    assert capped_dynamic_budget(large) == DEFAULT_DYNAMIC_MAX_ROUNDS

@@ -1,0 +1,117 @@
+"""Observed cells across backends: identical records AND observations.
+
+`ExecutionCell.observers` carries pure-data ObserverSpec entries, so observed
+cells must produce byte-identical observations on the sequential loop (per-
+replica R=1 observers, merged), the batched engines, and spawn-started
+process workers (observations ship back inside the pickled CellOutcome).
+"""
+
+import pytest
+
+from repro.batch import BatchTrace, LeaderExtinctionReport, ObserverSpec
+from repro.dynamics import ScheduleSpec
+from repro.errors import ConfigurationError
+from repro.exec import (
+    BatchedBackend,
+    ExecutionCell,
+    ProcessBackend,
+    SequentialBackend,
+    execute_cell_batched,
+    execute_cell_sequential,
+)
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+
+from tests.batch.parity_harness import (
+    assert_backend_observation_parity,
+    observed_parity_cells,
+)
+
+#: The worker configuration the CI tests job pins.
+WORKERS = 2
+
+
+def _cell(protocol="bfw", observers=(ObserverSpec("trace"),), **kwargs):
+    defaults = dict(
+        protocol=ProtocolSpecConfig(name=protocol),
+        graph=GraphSpec(family="cycle", n=12),
+        seeds=(0, 1, 2),
+        max_rounds=2000,
+        observers=observers,
+    )
+    defaults.update(kwargs)
+    return ExecutionCell(**defaults)
+
+
+def test_observed_cells_reject_non_spec_observers():
+    with pytest.raises(ConfigurationError, match="ObserverSpec"):
+        _cell(observers=("trace",))
+
+
+def test_observed_cell_pickles():
+    import pickle
+
+    cell = _cell(observers=(ObserverSpec("trace"), ObserverSpec("leader-extinction")))
+    assert pickle.loads(pickle.dumps(cell)) == cell
+
+
+def test_sequential_and_batched_executors_agree_on_observations():
+    cell = _cell(
+        observers=(ObserverSpec("trace"), ObserverSpec("leader-extinction"))
+    )
+    sequential = execute_cell_sequential(cell)
+    batched = execute_cell_batched(cell)
+    assert sequential.to_records() == batched.to_records()
+    assert sequential.observations == batched.observations
+    trace, report = batched.observations
+    assert isinstance(trace, BatchTrace)
+    assert isinstance(report, LeaderExtinctionReport)
+    assert trace.num_replicas == cell.num_replicas
+    assert report.num_replicas == cell.num_replicas
+
+
+def test_observed_memory_cells_agree_between_executors():
+    cell = _cell(
+        protocol="emek-keren", observers=(ObserverSpec("leader-extinction"),)
+    )
+    sequential = execute_cell_sequential(cell)
+    batched = execute_cell_batched(cell)
+    assert sequential.to_records() == batched.to_records()
+    assert sequential.observations == batched.observations
+
+
+def test_observed_standalone_runner_cells_are_rejected():
+    cell = _cell(
+        protocol="pipelined-ids", observers=(ObserverSpec("leader-extinction"),)
+    )
+    with pytest.raises(ConfigurationError, match="observ"):
+        execute_cell_sequential(cell)
+    with pytest.raises(ConfigurationError, match="observ"):
+        execute_cell_batched(cell)
+
+
+def test_observed_state_aware_cells_fall_back_to_sequential_identically():
+    cell = _cell(
+        schedule=ScheduleSpec("leader-isolating", {"cut_per_round": 1}),
+        observers=(ObserverSpec("trace"),),
+    )
+    sequential = execute_cell_sequential(cell)
+    batched = execute_cell_batched(cell)
+    assert batched.batched is False
+    assert sequential.to_records() == batched.to_records()
+    assert sequential.observations == batched.observations
+
+
+def test_unobserved_cells_have_no_observations():
+    outcome = execute_cell_batched(_cell(observers=()))
+    assert outcome.observations is None
+
+
+def test_observed_cells_are_backend_invariant_including_process_workers():
+    # The acceptance criterion of the observation layer, stated end to end:
+    # traces and extinction reports are byte-identical on sequential,
+    # batched, and process:2 — static and churned cells alike.
+    cells = observed_parity_cells(num_seeds=2)
+    assert_backend_observation_parity(
+        [SequentialBackend(), BatchedBackend(), ProcessBackend(workers=WORKERS)],
+        cells=cells,
+    )

@@ -1,0 +1,94 @@
+"""Tests for the leader-extinction experiment (E15)."""
+
+import numpy as np
+import pytest
+
+from repro.batch import LeaderExtinctionReport
+from repro.errors import ConfigurationError
+from repro.experiments.dynamics import DEFAULT_DYNAMIC_MAX_ROUNDS
+from repro.experiments.extinction import leader_extinction_experiment
+
+
+def _small(**kwargs):
+    defaults = dict(
+        families=("cycle",),
+        sizes=(12,),
+        churn_rates=(0, 2),
+        num_seeds=4,
+        max_rounds=1500,
+    )
+    defaults.update(kwargs)
+    return leader_extinction_experiment(**defaults)
+
+
+def test_extinction_experiment_static_row_is_clean():
+    result = _small()
+    assert len(result.rows) == 2
+    static_row, churn_row = result.rows
+    assert static_row.schedule == "static" and static_row.churn_rate == 0
+    # Lemma 9 holds on static graphs: the control row must measure zero.
+    assert static_row.extinction_rate == 0.0
+    assert static_row.absorbed_rate == 0.0
+    assert static_row.mean_extinction_round is None
+    assert static_row.capped_runs == 0
+    assert churn_row.churn_rate == 2
+    assert isinstance(churn_row.report, LeaderExtinctionReport)
+    assert churn_row.report.num_replicas == 4
+
+
+def test_extinction_experiment_is_backend_invariant():
+    sequential = _small(backend="sequential")
+    batched = _small(backend="batched")
+    assert sequential.records == batched.records
+    for row_a, row_b in zip(sequential.rows, batched.rows):
+        assert row_a.extinction_rate == row_b.extinction_rate
+        assert row_a.report == row_b.report
+
+
+def test_extinction_experiment_measures_extinction_under_heavy_churn():
+    # The ROADMAP's measured finding at sweep scale: disconnect-capable
+    # churn on small cycles destroys every leader in some replicas, after
+    # which the configuration is absorbing — extinct replicas never
+    # converge and burn their whole (capped) budget.
+    result = leader_extinction_experiment(
+        families=("cycle",),
+        sizes=(16,),
+        churn_rates=(0, 4, 8),
+        num_seeds=20,
+        max_rounds=1500,
+    )
+    static_row = result.rows[0]
+    assert static_row.extinction_rate == 0.0
+    churned = result.rows[1:]
+    assert any(row.extinction_rate > 0 for row in churned)
+    for row in churned:
+        report = row.report
+        extinct = report.extinct
+        # Absorbing: every extinct replica ends leaderless and never
+        # converges, so it is exactly the capped set.
+        np.testing.assert_array_equal(report.leaderless_final, extinct)
+        assert row.capped_runs == int(extinct.sum())
+        if extinct.any():
+            assert (report.rounds_observed[extinct] == result.max_rounds).all()
+
+
+def test_extinction_experiment_caps_budget_by_default():
+    result = _small(max_rounds=None, churn_rates=(2,))
+    assert result.max_rounds == DEFAULT_DYNAMIC_MAX_ROUNDS
+
+
+def test_extinction_experiment_renders_table():
+    rendered = _small().render()
+    assert "Leader extinction" in rendered
+    assert "E15" in rendered
+    assert "extinct" in rendered
+    assert "static" in rendered
+
+
+def test_extinction_experiment_validates_inputs():
+    with pytest.raises(ConfigurationError, match="num_seeds"):
+        _small(num_seeds=0)
+    with pytest.raises(ConfigurationError, match="at least one"):
+        _small(churn_rates=())
+    with pytest.raises(ConfigurationError, match="max_rounds"):
+        _small(max_rounds=0)

@@ -311,3 +311,48 @@ def test_backend_flags_in_help():
         assert subparser_help is not None
         assert "--backend" in subparser_help
         assert "--workers" in subparser_help
+
+
+def test_extinction_command_small(capsys, tmp_path):
+    from repro.cli import main
+
+    destination = tmp_path / "extinction.json"
+    exit_code = main(
+        [
+            "extinction",
+            "--families", "cycle",
+            "--sizes", "12",
+            "--churn-rates", "0", "2",
+            "--seeds", "3",
+            "--max-rounds", "1500",
+            "--save-json", str(destination),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "Leader extinction" in captured.out
+    assert "E15" in captured.out
+    assert "static" in captured.out
+    assert destination.exists()
+    import json
+
+    payload = json.loads(destination.read_text())
+    assert len(payload) == 6  # 2 cells x 3 seeds
+
+
+def test_extinction_command_backend_invariance(capsys):
+    from repro.cli import main
+
+    args = [
+        "extinction",
+        "--families", "cycle",
+        "--sizes", "12",
+        "--churn-rates", "2",
+        "--seeds", "3",
+        "--max-rounds", "1000",
+    ]
+    assert main(args + ["--backend", "sequential"]) == 0
+    sequential = capsys.readouterr().out
+    assert main(args + ["--backend", "batched"]) == 0
+    batched = capsys.readouterr().out
+    assert sequential == batched
