@@ -4,6 +4,13 @@ Every trace-consuming module has batch entry points (``*_batch``) that take
 a :class:`~repro.batch.trace.BatchTrace` and analyse all ``R`` replicas in
 vectorised passes over the shared ``(T + 1, R, n)`` arrays — no per-replica
 Python loops.
+
+The streaming counterparts of those reductions — the ``Streaming*``
+observers of :mod:`repro.telemetry.reducers`, proven equal to the post-hoc
+functions by the telemetry parity suite — are re-exported here lazily (PEP
+562), so ``from repro.analysis import StreamingConvergence`` works without
+this package importing the telemetry stack eagerly (telemetry's reducers
+import this package).
 """
 
 from repro.analysis.beep_counts import (
@@ -121,3 +128,27 @@ __all__ = [
     "wave_fronts",
     "wave_fronts_batch",
 ]
+
+#: Streaming-reducer names resolved lazily from :mod:`repro.telemetry.reducers`.
+_STREAMING_EXPORTS = (
+    "StreamingBeepTotals",
+    "StreamingConvergence",
+    "StreamingFirstBeep",
+    "StreamingInvariantChecker",
+    "StreamingInvariantSummary",
+    "StreamingWaveFronts",
+)
+
+__all__ += list(_STREAMING_EXPORTS)
+
+
+def __getattr__(name: str):
+    if name in _STREAMING_EXPORTS:
+        import repro.telemetry.reducers as _reducers
+
+        return getattr(_reducers, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -29,6 +29,7 @@ round, same final leader, same leader-count trajectory.  The parity tests in
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from typing import List, Optional, Sequence, Tuple, Union
 
@@ -138,11 +139,16 @@ class BatchedEngine:
         self._swap_cache: "OrderedDict[int, Tuple[Topology, object, Optional[np.ndarray]]]" = OrderedDict(
             [(id(topology), (topology, self._adjacency, self._dense_adjacency))]
         )
+        # Plain-int swap-cache counters, sampled once per run by the
+        # telemetry layer; per-round cost is one integer increment.
+        self._swap_cache_hits = 0
+        self._swap_cache_misses = 0
 
     def _adjacency_for(self, topology: Topology):
         """Sparse and (optionally) dense adjacency of a schedule graph, memoised."""
         entry = self._swap_cache.get(id(topology))
         if entry is None:
+            self._swap_cache_misses += 1
             sparse_adjacency = topology.sparse_adjacency()
             dense = None
             if topology.n <= self.DENSE_ADJACENCY_MAX_NODES:
@@ -152,8 +158,18 @@ class BatchedEngine:
             if len(self._swap_cache) > self._swap_cache_limit:
                 self._swap_cache.popitem(last=False)
         else:
+            self._swap_cache_hits += 1
             self._swap_cache.move_to_end(id(topology))
         return entry[1], entry[2]
+
+    def _cache_stats(self) -> dict:
+        stats = {
+            "swap_cache_hits": self._swap_cache_hits,
+            "swap_cache_misses": self._swap_cache_misses,
+        }
+        if self._schedule is not None:
+            stats.update(self._schedule.cache_stats())
+        return stats
 
     @property
     def topology(self) -> Topology:
@@ -212,6 +228,7 @@ class BatchedEngine:
             does not perturb replica parity; their retire requests retire
             replicas exactly like the built-in single-leader stop.
         """
+        run_started = time.perf_counter()
         streams = (
             seeds if isinstance(seeds, ReplicaStreams) else ReplicaStreams(seeds)
         )
@@ -415,7 +432,7 @@ class BatchedEngine:
                 for r in range(num_replicas)
             )
 
-        return BatchResult(
+        result = BatchResult(
             converged=converged,
             convergence_round=np.where(converged, convergence, -1),
             rounds_executed=rounds_executed,
@@ -427,6 +444,22 @@ class BatchedEngine:
             protocol_name=compiled.protocol_name,
             topology_name=self._topology.name,
         )
+
+        # One telemetry sample per run (a no-op unless a MetricsRegistry is
+        # installed); imported lazily to keep the engine importable without
+        # pulling the telemetry stack.
+        from repro.telemetry.metrics import sample_engine_run
+
+        sample_engine_run(
+            "batched",
+            rounds_advanced=int(rounds_executed.sum()),
+            replicas=num_replicas,
+            wall_seconds=time.perf_counter() - run_started,
+            replicas_converged=int(converged.sum()),
+            replicas_leaderless=int((counts == 0).sum()),
+            cache_stats=self._cache_stats(),
+        )
+        return result
 
     def _initial_batch(
         self,

@@ -43,6 +43,7 @@ election) transparently keep the per-seed fallback path in
 from __future__ import annotations
 
 import abc
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
@@ -422,6 +423,7 @@ class BatchedMemoryEngine:
         state classes); the per-round ``(R, n)`` leader mask and the retire
         machinery work exactly as on the constant-state engine.
         """
+        run_started = time.perf_counter()
         streams = (
             seeds if isinstance(seeds, ReplicaStreams) else ReplicaStreams(seeds)
         )
@@ -526,7 +528,7 @@ class BatchedMemoryEngine:
                 for r in range(num_replicas)
             )
 
-        return BatchResult(
+        result = BatchResult(
             converged=converged,
             convergence_round=np.where(converged, convergence, -1),
             rounds_executed=rounds_executed,
@@ -538,6 +540,21 @@ class BatchedMemoryEngine:
             protocol_name=self._protocol.name,
             topology_name=self._topology.name,
         )
+
+        # One telemetry sample per run (a no-op unless a MetricsRegistry is
+        # installed); imported lazily to keep the engine importable without
+        # pulling the telemetry stack.
+        from repro.telemetry.metrics import sample_engine_run
+
+        sample_engine_run(
+            "batched-memory",
+            rounds_advanced=int(rounds_executed.sum()),
+            replicas=num_replicas,
+            wall_seconds=time.perf_counter() - run_started,
+            replicas_converged=int(converged.sum()),
+            replicas_leaderless=int((counts == 0).sum()),
+        )
+        return result
 
     def _heard(self, beeping: np.ndarray) -> np.ndarray:
         """Who hears a beep, per replica: one stacked product for the batch."""

@@ -683,6 +683,23 @@ def register_observer_kind(
     OBSERVER_KINDS[kind] = factory
 
 
+def _ensure_kind(kind: str) -> None:
+    """Make sure ``kind`` is registered, importing late-bound providers.
+
+    The telemetry layer registers its streaming-reducer and spill-trace
+    kinds when :mod:`repro.telemetry` is imported, but this module cannot
+    import it eagerly (telemetry's reducers sit on top of the analysis
+    stack, which imports the engines, which import this module).  Resolving
+    lazily also covers spawn workers: a pickled :class:`ObserverSpec`
+    arrives without re-running ``__post_init__``, so the registry there may
+    not have seen the telemetry import yet.
+    """
+    if kind in OBSERVER_KINDS:
+        return
+    if kind.startswith("streaming-") or kind == "spill-trace":
+        import repro.telemetry  # noqa: F401  (import registers the kinds)
+
+
 @dataclass(frozen=True)
 class ObserverSpec:
     """Pure-data description of a batch observer attached to a cell.
@@ -697,6 +714,7 @@ class ObserverSpec:
     params: Mapping[str, object] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        _ensure_kind(self.kind)
         if self.kind not in OBSERVER_KINDS:
             raise ConfigurationError(
                 f"unknown observer kind {self.kind!r}; "
@@ -723,6 +741,7 @@ def build_observer(spec: "ObserverSpec | BatchObserver") -> BatchObserver:
         raise ConfigurationError(
             f"expected an ObserverSpec or BatchObserver; got {type(spec).__name__}"
         )
+    _ensure_kind(spec.kind)
     factory = OBSERVER_KINDS[spec.kind]
     try:
         return factory(**spec.params)
@@ -748,6 +767,7 @@ def merge_observations(
     its own observer instance; the merged value is byte-identical to what a
     batched run of the same cell observes.
     """
+    _ensure_kind(spec.kind)
     factory = OBSERVER_KINDS[spec.kind]
     merge = getattr(factory, "merge_results", None)
     if merge is None:

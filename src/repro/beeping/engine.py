@@ -21,6 +21,7 @@ variants, and any similar coin-toss protocol.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -262,6 +263,7 @@ class VectorizedEngine:
             batched engine drives for whole batches.  An observer's retire
             request stops the run like ``stop_at_single_leader`` does.
         """
+        run_started = time.perf_counter()
         seed_value = rng if isinstance(rng, int) else None
         generator = as_rng(rng)
         if max_rounds is None:
@@ -387,6 +389,24 @@ class VectorizedEngine:
             trace = recorder.trace().replica(0)
 
         converged = convergence_round is not None and leader_counts[-1] == 1
+
+        # One telemetry sample per run (a no-op unless a MetricsRegistry is
+        # installed); imported lazily to keep the engine importable without
+        # pulling the telemetry stack.
+        from repro.telemetry.metrics import sample_engine_run
+
+        cache_stats = (
+            self._schedule.cache_stats() if self._schedule is not None else None
+        )
+        sample_engine_run(
+            "vectorized",
+            rounds_advanced=rounds_executed,
+            replicas=1,
+            wall_seconds=time.perf_counter() - run_started,
+            replicas_converged=int(converged),
+            replicas_leaderless=int(leader_counts[-1] == 0),
+            cache_stats=cache_stats,
+        )
         return SimulationResult(
             converged=converged,
             convergence_round=convergence_round if converged else None,

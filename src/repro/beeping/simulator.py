@@ -19,6 +19,7 @@ a beep, which is how the paper applies ``δ⊤`` to beeping states).
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Hashable, List, Optional, Sequence, Tuple
 
@@ -319,6 +320,7 @@ class MemorySimulator:
             request stops the run at that round, exactly as it retires the
             replica on :class:`~repro.batch.memory.BatchedMemoryEngine`.
         """
+        run_started = time.perf_counter()
         seed_value = rng if isinstance(rng, int) else None
         generator = as_rng(rng)
         if max_rounds is None:
@@ -426,6 +428,20 @@ class MemorySimulator:
             pipeline.finish(np.array([rounds_executed], dtype=np.int64))
 
         converged = convergence_round is not None and leader_counts[-1] == 1
+
+        # One telemetry sample per run (a no-op unless a MetricsRegistry is
+        # installed); imported lazily to keep the simulator importable
+        # without pulling the telemetry stack.
+        from repro.telemetry.metrics import sample_engine_run
+
+        sample_engine_run(
+            "memory",
+            rounds_advanced=rounds_executed,
+            replicas=1,
+            wall_seconds=time.perf_counter() - run_started,
+            replicas_converged=int(converged),
+            replicas_leaderless=int(leader_counts[-1] == 0),
+        )
         return SimulationResult(
             converged=converged,
             convergence_round=convergence_round if converged else None,

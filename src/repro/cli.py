@@ -72,6 +72,35 @@ def _add_backend_arguments(
         )
 
 
+def _add_progress_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared progress/telemetry options to a sub-command."""
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="Suppress per-cell progress lines (telemetry still streams).",
+    )
+    parser.add_argument(
+        "--telemetry",
+        default=None,
+        metavar="PATH",
+        help=(
+            "Append one JSONL record per completed cell to PATH while the "
+            "sweep runs; watch it live with 'repro tail PATH --follow'."
+        ),
+    )
+
+
+def _progress_reporter_from_args(args: argparse.Namespace):
+    """One ProgressReporter shared by progress lines and the JSONL stream."""
+    from repro.telemetry.progress import ProgressReporter
+
+    return ProgressReporter(
+        quiet=getattr(args, "quiet", False),
+        telemetry_path=getattr(args, "telemetry", None),
+        prefix="  ",
+    )
+
+
 def _backend_spec_from_args(args: argparse.Namespace) -> Optional[str]:
     """Combine --backend/--workers/--batched into one backend spec string.
 
@@ -145,6 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     table1_parser.add_argument("--save-json", default=None)
     table1_parser.add_argument("--save-csv", default=None)
     _add_backend_arguments(table1_parser)
+    _add_progress_arguments(table1_parser)
 
     scaling_parser = subparsers.add_parser(
         "scaling", help="Convergence-time scaling (Theorems 2 and 3)."
@@ -231,6 +261,7 @@ def build_parser() -> argparse.ArgumentParser:
     dynamic_parser.add_argument("--max-rounds", type=int, default=None)
     dynamic_parser.add_argument("--save-json", default=None)
     _add_backend_arguments(dynamic_parser, default="batched", legacy_batched=False)
+    _add_progress_arguments(dynamic_parser)
 
     extinction_parser = subparsers.add_parser(
         "extinction",
@@ -264,6 +295,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     extinction_parser.add_argument("--save-json", default=None)
     _add_backend_arguments(extinction_parser, default="batched", legacy_batched=False)
+    _add_progress_arguments(extinction_parser)
 
     wave_parser = subparsers.add_parser(
         "wave-demo", help="Print a space-time diagram of beep waves on a path."
@@ -271,6 +303,24 @@ def build_parser() -> argparse.ArgumentParser:
     wave_parser.add_argument("--n", type=int, default=40)
     wave_parser.add_argument("--seed", type=int, default=0)
     wave_parser.add_argument("--max-rounds", type=int, default=200)
+
+    tail_parser = subparsers.add_parser(
+        "tail",
+        help="Render a telemetry JSONL stream (from --telemetry) as live status lines.",
+    )
+    tail_parser.add_argument("path", metavar="PATH")
+    tail_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="Keep polling for new records until the sweep's summary arrives.",
+    )
+    tail_parser.add_argument(
+        "--interval",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="Poll interval in --follow mode (default: 0.5).",
+    )
 
     return parser
 
@@ -294,6 +344,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "dynamic": _cmd_dynamic,
         "extinction": _cmd_extinction,
         "wave-demo": _cmd_wave_demo,
+        "tail": _cmd_tail,
     }[args.command]
     return handler(args)
 
@@ -344,12 +395,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.experiments.io import save_records_csv, save_records_json
     from repro.experiments.tables import generate_table1
 
-    result = generate_table1(
-        num_seeds=args.seeds,
-        master_seed=args.master_seed,
-        progress=lambda line: print("  " + line, file=sys.stderr),
-        backend=_backend_spec_from_args(args),
-    )
+    with _progress_reporter_from_args(args) as reporter:
+        result = generate_table1(
+            num_seeds=args.seeds,
+            master_seed=args.master_seed,
+            progress=reporter,
+            backend=_backend_spec_from_args(args),
+        )
     print(result.render())
     if args.save_json:
         save_records_json(result.records, args.save_json)
@@ -449,20 +501,23 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
     from repro.experiments.io import save_records_json
     from repro.experiments.seeds import DEFAULT_MASTER_SEED
 
-    result = dynamic_experiment(
-        protocol=args.protocol,
-        families=args.families,
-        sizes=args.sizes,
-        churn_rates=args.churn_rates,
-        schedule_kind=args.schedule,
-        num_seeds=args.seeds,
-        master_seed=(
-            args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
-        ),
-        max_rounds=args.max_rounds,
-        progress=lambda line: print("  " + line, file=sys.stderr),
-        backend=_backend_spec_from_args(args),
-    )
+    with _progress_reporter_from_args(args) as reporter:
+        result = dynamic_experiment(
+            protocol=args.protocol,
+            families=args.families,
+            sizes=args.sizes,
+            churn_rates=args.churn_rates,
+            schedule_kind=args.schedule,
+            num_seeds=args.seeds,
+            master_seed=(
+                args.master_seed
+                if args.master_seed is not None
+                else DEFAULT_MASTER_SEED
+            ),
+            max_rounds=args.max_rounds,
+            progress=reporter,
+            backend=_backend_spec_from_args(args),
+        )
     print(result.render())
     if args.save_json:
         save_records_json(result.records, args.save_json)
@@ -475,24 +530,40 @@ def _cmd_extinction(args: argparse.Namespace) -> int:
     from repro.experiments.io import save_records_json
     from repro.experiments.seeds import DEFAULT_MASTER_SEED
 
-    result = leader_extinction_experiment(
-        protocol=args.protocol,
-        families=args.families,
-        sizes=args.sizes,
-        churn_rates=args.churn_rates,
-        schedule_kind=args.schedule,
-        num_seeds=args.seeds,
-        master_seed=(
-            args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
-        ),
-        max_rounds=args.max_rounds,
-        progress=lambda line: print("  " + line, file=sys.stderr),
-        backend=_backend_spec_from_args(args),
-    )
+    with _progress_reporter_from_args(args) as reporter:
+        result = leader_extinction_experiment(
+            protocol=args.protocol,
+            families=args.families,
+            sizes=args.sizes,
+            churn_rates=args.churn_rates,
+            schedule_kind=args.schedule,
+            num_seeds=args.seeds,
+            master_seed=(
+                args.master_seed
+                if args.master_seed is not None
+                else DEFAULT_MASTER_SEED
+            ),
+            max_rounds=args.max_rounds,
+            progress=reporter,
+            backend=_backend_spec_from_args(args),
+        )
     print(result.render())
     if args.save_json:
         save_records_json(result.records, args.save_json)
         print(f"\nraw records written to {args.save_json}")
+    return 0
+
+
+def _cmd_tail(args: argparse.Namespace) -> int:
+    from repro.telemetry.progress import tail_telemetry
+
+    try:
+        tail_telemetry(args.path, follow=args.follow, interval=args.interval)
+    except FileNotFoundError:
+        print(f"no telemetry stream at {args.path}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        pass
     return 0
 
 

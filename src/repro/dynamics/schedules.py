@@ -71,6 +71,10 @@ class TopologyPool:
             raise ConfigurationError(f"pool limit must be >= 1; got {limit}")
         self._limit = int(limit)
         self._entries: "OrderedDict[FrozenSet[Edge], Topology]" = OrderedDict()
+        # Plain-int hit/miss counters sampled by the telemetry layer at the
+        # end of a run; incrementing ints here keeps the per-swap cost nil.
+        self.hits = 0
+        self.misses = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -81,11 +85,13 @@ class TopologyPool:
         """The pooled topology for ``signature``, built via ``factory`` on miss."""
         topology = self._entries.get(signature)
         if topology is None:
+            self.misses += 1
             topology = factory()
             self._entries[signature] = topology
             if len(self._entries) > self._limit:
                 self._entries.popitem(last=False)
         else:
+            self.hits += 1
             self._entries.move_to_end(signature)
         return topology
 
@@ -128,6 +134,16 @@ class TopologySchedule(abc.ABC):
         engines on every call; only state-aware schedules read it, and they
         must treat it as read-only.
         """
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Cache hit/miss counters for the telemetry layer (may be empty).
+
+        Schedules that pool snapshots report ``topology_pool_hits`` /
+        ``topology_pool_misses`` (and churn schedules additionally
+        ``round_memo_hits`` / ``round_memo_misses``); counters are
+        cumulative over the schedule's lifetime.
+        """
+        return {}
 
     def _check_round(self, round_index: int) -> int:
         if round_index < 0:
@@ -406,6 +422,8 @@ class EdgeChurnSchedule(TopologySchedule):
         # to restore the initial edge set reuses the identical object.
         self._pool.get(frozenset(base.edges), lambda: base)
         self._round_memo: "OrderedDict[int, Topology]" = OrderedDict()
+        self._memo_hits = 0
+        self._memo_misses = 0
 
     @property
     def n(self) -> int:
@@ -415,6 +433,14 @@ class EdgeChurnSchedule(TopologySchedule):
     def seed(self) -> int:
         """The churn RNG seed (provenance)."""
         return self._seed
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "topology_pool_hits": self._pool.hits,
+            "topology_pool_misses": self._pool.misses,
+            "round_memo_hits": self._memo_hits,
+            "round_memo_misses": self._memo_misses,
+        }
 
     def delta_at(self, round_index: int) -> EdgeDelta:
         """The churn applied when entering ``round_index`` (computed on demand)."""
@@ -442,8 +468,10 @@ class EdgeChurnSchedule(TopologySchedule):
         memo = self._round_memo
         memoised = memo.get(round_index)
         if memoised is not None:
+            self._memo_hits += 1
             memo.move_to_end(round_index)
             return memoised
+        self._memo_misses += 1
         self._ensure_deltas(round_index)
         if round_index < self._replay_round:
             self._replay = AdjacencyCache(self._base)
@@ -502,6 +530,12 @@ class StateAwareChurnSchedule(TopologySchedule):
     @property
     def n(self) -> int:
         return self._base.n
+
+    def cache_stats(self) -> Dict[str, int]:
+        return {
+            "topology_pool_hits": self._pool.hits,
+            "topology_pool_misses": self._pool.misses,
+        }
 
     def begin_run(self) -> None:
         self._rng = as_rng(self._seed)

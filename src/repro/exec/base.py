@@ -16,7 +16,7 @@ aggregation stays O(cell), not O(records so far)).
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from repro.exec.cells import CellOutcome, ExecutionCell
@@ -32,12 +32,19 @@ class CellCompleted:
     Events arrive in deterministic cell order (index ``0`` first) on every
     backend, including process pools — ordered delivery is part of the
     backend contract, so progress output is reproducible too.
+
+    ``wall_seconds`` and ``rounds_advanced`` mirror the outcome's telemetry
+    (seconds the executing process spent on the cell, total replica-rounds
+    advanced); both are excluded from equality, like the outcome fields they
+    come from.
     """
 
     index: int
     total: int
     outcome: CellOutcome
     backend: str
+    wall_seconds: Optional[float] = field(default=None, compare=False)
+    rounds_advanced: Optional[int] = field(default=None, compare=False)
 
     @property
     def cell(self) -> ExecutionCell:
@@ -97,5 +104,12 @@ def emit_progress(
     """Deliver one :class:`CellCompleted` event if a hook is installed."""
     if progress is not None:
         progress(
-            CellCompleted(index=index, total=total, outcome=outcome, backend=backend)
+            CellCompleted(
+                index=index,
+                total=total,
+                outcome=outcome,
+                backend=backend,
+                wall_seconds=outcome.wall_seconds,
+                rounds_advanced=outcome.rounds_advanced,
+            )
         )

@@ -25,8 +25,9 @@ replica-for-replica identical between the two executors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, List, Optional, Tuple, Union
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.batch.observers import (
     ObserverSpec,
@@ -187,6 +188,16 @@ class CellOutcome:
         One observation per entry of ``cell.observers`` (in spec order) —
         e.g. a :class:`~repro.batch.trace.BatchTrace` for a ``"trace"``
         spec.  ``None`` when the cell carries no observer specs.
+    wall_seconds:
+        Wall-clock seconds the executing process spent on the cell (graph
+        build included).  Excluded from equality: the same cell executed
+        twice produces equal outcomes however long each run took.
+    metrics:
+        The :meth:`~repro.telemetry.metrics.MetricsRegistry.snapshot` of the
+        run metrics sampled while the cell executed (engine rounds advanced,
+        cache hit rates, per-engine wall time).  Plain dicts, so the
+        snapshot pickles from process-pool workers; excluded from equality
+        like ``wall_seconds``.
     """
 
     cell: ExecutionCell
@@ -197,6 +208,17 @@ class CellOutcome:
     batched: bool = False
     sequential_results: Optional[Tuple[SimulationResult, ...]] = None
     observations: Optional[Tuple[object, ...]] = None
+    wall_seconds: Optional[float] = field(default=None, compare=False)
+    metrics: Optional[Dict[str, Dict[str, float]]] = field(
+        default=None, compare=False
+    )
+
+    @property
+    def rounds_advanced(self) -> int:
+        """Total replica-rounds the cell advanced (summed over replicas)."""
+        if self.batch is not None:
+            return int(self.batch.rounds_executed.sum())
+        return int(sum(result.rounds_executed for result in self.results))
 
     @property
     def results(self) -> Tuple[SimulationResult, ...]:
@@ -276,70 +298,83 @@ def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
     from repro.beeping.simulator import MemorySimulator
     from repro.core.protocol import BeepingProtocol, MemoryProtocol
     from repro.experiments.runner import run_protocol_on
+    from repro.telemetry.metrics import MetricsRegistry, use_metrics
 
-    topology, protocol, initial_states, schedule = _build_cell(cell)
-    observed = bool(cell.observers)
-    per_seed_observations: List[Tuple[object, ...]] = []
+    # A fresh registry per cell: the engines sample into it at run end, and
+    # the snapshot rides the outcome (and the CellCompleted event) back to
+    # the caller — including across process-pool pickling.
+    started = time.perf_counter()
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        topology, protocol, initial_states, schedule = _build_cell(cell)
+        observed = bool(cell.observers)
+        per_seed_observations: List[Tuple[object, ...]] = []
 
-    def with_observers(run_one: "Callable[[Tuple[object, ...]], SimulationResult]"):
-        observers = build_observers(cell.observers) if observed else ()
-        result = run_one(observers)
-        if observed:
-            per_seed_observations.append(
-                tuple(observer.result() for observer in observers)
+        def with_observers(
+            run_one: "Callable[[Tuple[object, ...]], SimulationResult]",
+        ):
+            observers = build_observers(cell.observers) if observed else ()
+            result = run_one(observers)
+            if observed:
+                per_seed_observations.append(
+                    tuple(observer.result() for observer in observers)
+                )
+            return result
+
+        if initial_states is not None or schedule is not None or (
+            observed and isinstance(protocol, BeepingProtocol)
+        ):
+            if not isinstance(protocol, BeepingProtocol):
+                raise ConfigurationError(
+                    f"planted leaders require a constant-state beeping protocol; "
+                    f"got {type(protocol).__name__}"
+                )
+            # One engine (and one schedule instance) for every seed: replica-
+            # independent schedules memoise their per-round graphs, so all of
+            # the cell's replicas replay one rebuild per round.
+            engine = VectorizedEngine(topology, protocol, schedule=schedule)
+            results = tuple(
+                with_observers(
+                    lambda observers, seed=seed: engine.run(
+                        max_rounds=cell.max_rounds,
+                        rng=seed,
+                        initial_states=initial_states,
+                        observers=observers,
+                    )
+                )
+                for seed in cell.seeds
             )
-        return result
-
-    if initial_states is not None or schedule is not None or (
-        observed and isinstance(protocol, BeepingProtocol)
-    ):
-        if not isinstance(protocol, BeepingProtocol):
+        elif observed and isinstance(protocol, MemoryProtocol):
+            simulator = MemorySimulator(topology, protocol)
+            results = tuple(
+                with_observers(
+                    lambda observers, seed=seed: simulator.run(
+                        max_rounds=cell.max_rounds, rng=seed, observers=observers
+                    )
+                )
+                for seed in cell.seeds
+            )
+        elif observed:
             raise ConfigurationError(
-                f"planted leaders require a constant-state beeping protocol; "
-                f"got {type(protocol).__name__}"
+                f"cell {cell.label!r} attaches observers, but standalone runners "
+                f"({type(protocol).__name__}) have no observation hooks"
             )
-        # One engine (and one schedule instance) for every seed: replica-
-        # independent schedules memoise their per-round graphs, so all of
-        # the cell's replicas replay one rebuild per round.
-        engine = VectorizedEngine(topology, protocol, schedule=schedule)
-        results = tuple(
-            with_observers(
-                lambda observers, seed=seed: engine.run(
-                    max_rounds=cell.max_rounds,
-                    rng=seed,
-                    initial_states=initial_states,
-                    observers=observers,
+        else:
+            results = tuple(
+                run_protocol_on(
+                    topology, protocol, rng=seed, max_rounds=cell.max_rounds
                 )
+                for seed in cell.seeds
             )
-            for seed in cell.seeds
-        )
-    elif observed and isinstance(protocol, MemoryProtocol):
-        simulator = MemorySimulator(topology, protocol)
-        results = tuple(
-            with_observers(
-                lambda observers, seed=seed: simulator.run(
-                    max_rounds=cell.max_rounds, rng=seed, observers=observers
-                )
-            )
-            for seed in cell.seeds
-        )
-    elif observed:
-        raise ConfigurationError(
-            f"cell {cell.label!r} attaches observers, but standalone runners "
-            f"({type(protocol).__name__}) have no observation hooks"
-        )
-    else:
-        results = tuple(
-            run_protocol_on(topology, protocol, rng=seed, max_rounds=cell.max_rounds)
-            for seed in cell.seeds
-        )
 
-    observations: Optional[Tuple[object, ...]] = None
-    if observed:
-        observations = tuple(
-            merge_observations(spec, [row[index] for row in per_seed_observations])
-            for index, spec in enumerate(cell.observers)
-        )
+        observations: Optional[Tuple[object, ...]] = None
+        if observed:
+            observations = tuple(
+                merge_observations(
+                    spec, [row[index] for row in per_seed_observations]
+                )
+                for index, spec in enumerate(cell.observers)
+            )
     return CellOutcome(
         cell=cell,
         n=topology.n,
@@ -347,6 +382,8 @@ def execute_cell_sequential(cell: ExecutionCell) -> CellOutcome:
         topology_name=topology.name,
         sequential_results=results,
         observations=observations,
+        wall_seconds=time.perf_counter() - started,
+        metrics=registry.snapshot(),
     )
 
 
@@ -359,27 +396,33 @@ def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
     :class:`~repro.experiments.montecarlo.MonteCarloRunner`.
     """
     from repro.experiments.montecarlo import MonteCarloRunner, runs_batched
+    from repro.telemetry.metrics import MetricsRegistry, use_metrics
 
-    topology, protocol, initial_states, schedule = _build_cell(cell)
-    if schedule is not None and schedule.state_aware and cell.num_replicas > 1:
-        # A state-aware schedule's graph sequence depends on one replica's
-        # states, so the batched engine cannot share its per-round adjacency
-        # across the batch; the sequential executor runs each replica with
-        # its own per-run schedule reset — identical records, so the
-        # every-backend byte-parity contract holds for these cells too.
-        return execute_cell_sequential(cell)
-    observers = build_observers(cell.observers)
-    batch = MonteCarloRunner(max_rounds=cell.max_rounds).run(
-        topology,
-        protocol,
-        list(cell.seeds),
-        initial_states=initial_states,
-        schedule=schedule,
-        observers=observers,
-    )
-    observations: Optional[Tuple[object, ...]] = None
-    if observers:
-        observations = tuple(observer.result() for observer in observers)
+    started = time.perf_counter()
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        topology, protocol, initial_states, schedule = _build_cell(cell)
+        if schedule is not None and schedule.state_aware and cell.num_replicas > 1:
+            # A state-aware schedule's graph sequence depends on one replica's
+            # states, so the batched engine cannot share its per-round adjacency
+            # across the batch; the sequential executor runs each replica with
+            # its own per-run schedule reset — identical records, so the
+            # every-backend byte-parity contract holds for these cells too.
+            # (That executor installs its own nested registry and finalises
+            # the outcome's wall time and metrics itself.)
+            return execute_cell_sequential(cell)
+        observers = build_observers(cell.observers)
+        batch = MonteCarloRunner(max_rounds=cell.max_rounds).run(
+            topology,
+            protocol,
+            list(cell.seeds),
+            initial_states=initial_states,
+            schedule=schedule,
+            observers=observers,
+        )
+        observations: Optional[Tuple[object, ...]] = None
+        if observers:
+            observations = tuple(observer.result() for observer in observers)
     return CellOutcome(
         cell=cell,
         n=topology.n,
@@ -388,4 +431,6 @@ def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
         batch=batch,
         batched=runs_batched(protocol),
         observations=observations,
+        wall_seconds=time.perf_counter() - started,
+        metrics=registry.snapshot(),
     )

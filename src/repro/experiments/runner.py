@@ -204,6 +204,11 @@ def cell_progress_adapter(
     computed from that cell's records alone (the historical implementation
     re-filtered the whole accumulated record list after every cell, which
     made progress reporting quadratic in the number of cells).
+
+    ``progress`` may be any ``Callable[[str], None]`` — including a
+    :class:`~repro.telemetry.progress.ProgressReporter`, in which case each
+    event is additionally recorded into the reporter's telemetry JSONL
+    stream (that is how ``--telemetry`` reaches ``run_sweep``).
     """
     if progress is None:
         return None
@@ -220,10 +225,20 @@ def cell_progress_adapter(
                 ]
             )
         )
-        progress(
+        line = (
             f"{event.cell.protocol.label:<28} {event.cell.graph.label:<18} "
             f"mean rounds: {mean_rounds:10.1f}"
         )
+        if event.wall_seconds is not None:
+            line += f"  [{event.wall_seconds:7.3f}s"
+            if event.rounds_advanced is not None and event.wall_seconds > 0:
+                rate = event.rounds_advanced / event.wall_seconds
+                line += f", {rate:,.0f} replica-rounds/s"
+            line += "]"
+        progress(line)
+        record_event = getattr(progress, "cell_completed", None)
+        if callable(record_event):
+            record_event(event, mean_rounds=mean_rounds)
 
     return on_cell
 

@@ -1,0 +1,71 @@
+"""Streaming telemetry: online reducers, spilled traces, and run metrics.
+
+The three halves of the layer (ROADMAP item 3):
+
+* :mod:`repro.telemetry.reducers` — the ``Streaming*`` observer family that
+  folds the post-hoc batch reductions (first beep rounds, wave fronts, the
+  ``check_*_batch`` invariants, beep-count totals, convergence summaries)
+  into ``O(R · n)`` online accumulators;
+* :mod:`repro.telemetry.spill` — :class:`SpillingTraceRecorder` /
+  :class:`SpilledTrace`, the out-of-core trace pair recording under a byte
+  budget with byte-identical replica replay;
+* :mod:`repro.telemetry.metrics` + :mod:`repro.telemetry.progress` — the
+  run-metrics registry sampled by every engine and backend, and the
+  :class:`ProgressReporter` / ``repro tail`` JSONL stream that surfaces it
+  live.
+
+Importing this package is what registers the streaming observer kinds
+(``streaming-*`` and ``spill-trace``) with
+:mod:`repro.batch.observers` — :func:`repro.batch.observers.build_observer`
+does that import lazily on first sight of an unknown kind, so pure-data
+``ObserverSpec``\\ s built in a parent process resolve identically inside
+spawn workers.
+"""
+
+from repro.telemetry.metrics import (
+    MetricsRegistry,
+    current_metrics,
+    sample_engine_run,
+    use_metrics,
+)
+from repro.telemetry.progress import (
+    ProgressReporter,
+    iter_telemetry,
+    render_event,
+    tail_telemetry,
+)
+from repro.telemetry.reducers import (
+    STREAMING_KINDS,
+    StreamingBeepTotals,
+    StreamingConvergence,
+    StreamingFirstBeep,
+    StreamingInvariantChecker,
+    StreamingInvariantSummary,
+    StreamingWaveFronts,
+)
+from repro.telemetry.spill import (
+    DEFAULT_BYTE_BUDGET,
+    SpilledTrace,
+    SpillingTraceRecorder,
+)
+
+__all__ = [
+    "DEFAULT_BYTE_BUDGET",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "STREAMING_KINDS",
+    "SpilledTrace",
+    "SpillingTraceRecorder",
+    "StreamingBeepTotals",
+    "StreamingConvergence",
+    "StreamingFirstBeep",
+    "StreamingInvariantChecker",
+    "StreamingInvariantSummary",
+    "StreamingWaveFronts",
+    "current_metrics",
+    "iter_telemetry",
+    "render_event",
+    "sample_engine_run",
+    "tail_telemetry",
+    "use_metrics",
+]

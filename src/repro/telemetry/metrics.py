@@ -1,0 +1,167 @@
+"""The run-metrics registry: counters, gauges and timers for in-flight runs.
+
+Engines and execution backends are instrumented *pull-style*: they keep
+plain integer counters on themselves (a cache-hit increment must not pay a
+context-variable lookup per round) and sample everything into the ambient
+:class:`MetricsRegistry` exactly once, at the end of a run.  The registry is
+installed with :func:`use_metrics` (a context manager over a
+``contextvars.ContextVar``) and read with :func:`current_metrics`; when no
+registry is installed every sampling call is a no-op, so the no-observer
+hot path costs one context-variable read per *run*, not per round.
+
+This module deliberately imports nothing from the rest of the package — it
+sits below the engines, the execution layer and the observers, all of which
+import it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from typing import Dict, Iterator, Mapping, Optional
+
+__all__ = [
+    "MetricsRegistry",
+    "current_metrics",
+    "sample_engine_run",
+    "use_metrics",
+]
+
+
+class MetricsRegistry:
+    """Accumulate counters, gauges and timers for one unit of work.
+
+    * **counters** add up (``count``): rounds advanced, replicas retired,
+      cache hits;
+    * **gauges** keep the last written value (``gauge``): rates, ratios,
+      rounds-per-second;
+    * **timers** accumulate seconds (``add_time`` / ``time``): per-phase
+      wall time.
+
+    The registry itself is dumb on purpose: no locks (one registry per
+    executing cell, never shared across threads), no repro imports, and a
+    plain-dict :meth:`snapshot` so the sampled values pickle cleanly from a
+    spawn worker back to the parent process.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, float] = {}
+
+    def count(self, name: str, value: float = 1) -> None:
+        """Add ``value`` to counter ``name`` (creating it at 0)."""
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last write wins)."""
+        self.gauges[name] = value
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Add ``seconds`` to timer ``name`` (creating it at 0.0)."""
+        self.timers[name] = self.timers.get(name, 0.0) + float(seconds)
+
+    @contextlib.contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager accumulating the wrapped block into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (counters/timers add, gauges overwrite)."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        for name, value in other.gauges.items():
+            self.gauge(name, value)
+        for name, value in other.timers.items():
+            self.add_time(name, value)
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """Plain-dict copy of everything sampled so far (picklable, JSON-able)."""
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": dict(self.timers),
+        }
+
+    def __bool__(self) -> bool:
+        return bool(self.counters or self.gauges or self.timers)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(counters={len(self.counters)}, "
+            f"gauges={len(self.gauges)}, timers={len(self.timers)})"
+        )
+
+
+_CURRENT: contextvars.ContextVar[Optional[MetricsRegistry]] = contextvars.ContextVar(
+    "repro_metrics_registry", default=None
+)
+
+
+def current_metrics() -> Optional[MetricsRegistry]:
+    """The ambient registry installed by :func:`use_metrics`, or ``None``."""
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_metrics(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient metrics sink for the block.
+
+    Nests: an inner ``use_metrics`` shadows the outer registry and restores
+    it on exit, so a batched cell executor that falls back to the sequential
+    executor keeps each execution's samples separate.
+    """
+    token = _CURRENT.set(registry)
+    try:
+        yield registry
+    finally:
+        _CURRENT.reset(token)
+
+
+def sample_engine_run(
+    engine: str,
+    *,
+    rounds_advanced: int,
+    replicas: int,
+    wall_seconds: float,
+    replicas_converged: Optional[int] = None,
+    replicas_leaderless: Optional[int] = None,
+    cache_stats: Optional[Mapping[str, float]] = None,
+) -> None:
+    """Sample one finished engine run into the ambient registry (if any).
+
+    Called once at the end of every engine ``run()`` — the only
+    engine-side telemetry touch point, so the per-round hot path stays
+    untouched.  ``cache_stats`` carries the engine's plain-int cache
+    counters (swap-cache hits/misses, topology-pool and round-memo rates
+    from :mod:`repro.dynamics`).
+    """
+    registry = current_metrics()
+    if registry is None:
+        return
+    registry.count("engine.runs", 1)
+    registry.count("engine.rounds_advanced", rounds_advanced)
+    registry.count("engine.replicas", replicas)
+    registry.add_time(f"engine.{engine}.wall_seconds", wall_seconds)
+    registry.gauge(
+        "engine.rounds_per_second",
+        rounds_advanced / wall_seconds if wall_seconds > 0 else 0.0,
+    )
+    if replicas_converged is not None:
+        registry.count("engine.replicas_converged", replicas_converged)
+    if replicas_leaderless is not None:
+        registry.count("engine.replicas_leaderless", replicas_leaderless)
+    if cache_stats:
+        for name, value in cache_stats.items():
+            registry.count(f"cache.{name}", value)
+        for kind in ("swap_cache", "topology_pool", "round_memo"):
+            hits = cache_stats.get(f"{kind}_hits", 0)
+            misses = cache_stats.get(f"{kind}_misses", 0)
+            total = hits + misses
+            if total:
+                registry.gauge(f"cache.{kind}_hit_rate", hits / total)

@@ -1,0 +1,239 @@
+"""Sweep progress reporting and the live-telemetry JSONL stream.
+
+Historically every sweep entry point carried its own
+``lambda line: print("  " + line, file=sys.stderr)``; quieting a sweep,
+reformatting progress, or teeing it to a file meant touching each call
+site.  :class:`ProgressReporter` is the single code path those call sites
+now share:
+
+* it *is* a line-oriented progress callback (``reporter("...")`` works
+  wherever ``Callable[[str], None]`` was expected), backed by
+  :mod:`logging` rather than bare prints;
+* ``--quiet`` suppresses the console lines without touching the telemetry
+  stream;
+* given a ``telemetry_path`` it appends one JSON object per cell event to a
+  JSONL file while the sweep is still running, which is what ``repro tail``
+  renders live (:func:`tail_telemetry`).
+
+The JSONL schema is deliberately flat: ``{"event": "cell", ...}`` records
+per completed cell (protocol, graph, mean rounds, wall seconds, rounds
+advanced, sampled metrics) and one ``{"event": "summary", ...}`` record
+when the reporter closes.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Dict, Iterator, Optional
+
+__all__ = [
+    "ProgressReporter",
+    "iter_telemetry",
+    "render_event",
+    "tail_telemetry",
+]
+
+
+class ProgressReporter:
+    """One sink for sweep progress lines and the telemetry JSONL stream.
+
+    Parameters
+    ----------
+    quiet:
+        Suppress the human-readable progress lines (the telemetry stream,
+        if any, keeps flowing — quiet mode is about the console, not the
+        data).
+    stream:
+        Where progress lines go; defaults to ``sys.stderr`` like the
+        historical per-command lambdas.
+    telemetry_path:
+        Append JSONL telemetry records to this file while the sweep runs.
+    prefix:
+        Prepended to every progress line (the CLI uses ``"  "``).
+    """
+
+    def __init__(
+        self,
+        quiet: bool = False,
+        stream: Optional[IO[str]] = None,
+        telemetry_path: Optional[str] = None,
+        prefix: str = "",
+    ) -> None:
+        self.quiet = quiet
+        self.prefix = prefix
+        self.telemetry_path = telemetry_path
+        self._telemetry_file: Optional[IO[str]] = None
+        if telemetry_path is not None:
+            self._telemetry_file = open(telemetry_path, "a", encoding="utf-8")
+        self._cells = 0
+        self._wall_seconds = 0.0
+        self._rounds_advanced = 0
+        # A dedicated (unregistered) Logger instance: reporters come and go
+        # per command, so sharing the global logging registry would leak
+        # handlers between runs and between tests.
+        self._logger = logging.Logger("repro.progress", level=logging.INFO)
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        self._logger.addHandler(handler)
+
+    # ------------------------------------------------------------------ #
+    # Progress lines
+    # ------------------------------------------------------------------ #
+
+    def line(self, text: str) -> None:
+        """Emit one human-readable progress line (dropped under ``quiet``)."""
+        if not self.quiet:
+            self._logger.info("%s%s", self.prefix, text)
+
+    def __call__(self, text: str) -> None:
+        self.line(text)
+
+    # ------------------------------------------------------------------ #
+    # Telemetry stream
+    # ------------------------------------------------------------------ #
+
+    def emit(self, record: Dict[str, object]) -> None:
+        """Append one JSON record to the telemetry stream (if configured)."""
+        if self._telemetry_file is None:
+            return
+        json.dump(record, self._telemetry_file, default=str)
+        self._telemetry_file.write("\n")
+        self._telemetry_file.flush()
+
+    def cell_completed(self, event: object, mean_rounds: Optional[float] = None) -> None:
+        """Record one backend ``CellCompleted`` event into the stream."""
+        wall_seconds = getattr(event, "wall_seconds", None)
+        rounds_advanced = getattr(event, "rounds_advanced", None)
+        outcome = event.outcome  # type: ignore[attr-defined]
+        self._cells += 1
+        if wall_seconds is not None:
+            self._wall_seconds += wall_seconds
+        if rounds_advanced is not None:
+            self._rounds_advanced += rounds_advanced
+        self.emit(
+            {
+                "event": "cell",
+                "index": event.index,  # type: ignore[attr-defined]
+                "total": event.total,  # type: ignore[attr-defined]
+                "backend": event.backend,  # type: ignore[attr-defined]
+                "protocol": event.cell.protocol.label,  # type: ignore[attr-defined]
+                "graph": event.cell.graph.label,  # type: ignore[attr-defined]
+                "n": outcome.n,
+                "diameter": outcome.diameter,
+                "replicas": len(event.cell.seeds),  # type: ignore[attr-defined]
+                "mean_rounds": mean_rounds,
+                "wall_seconds": wall_seconds,
+                "rounds_advanced": rounds_advanced,
+                "metrics": getattr(outcome, "metrics", None),
+            }
+        )
+
+    def close(self) -> None:
+        """Write the summary record and release the stream and handlers."""
+        if self._telemetry_file is not None:
+            self.emit(
+                {
+                    "event": "summary",
+                    "cells": self._cells,
+                    "wall_seconds": self._wall_seconds,
+                    "rounds_advanced": self._rounds_advanced,
+                }
+            )
+            self._telemetry_file.close()
+            self._telemetry_file = None
+        for handler in list(self._logger.handlers):
+            self._logger.removeHandler(handler)
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------- #
+# Reading the stream back: `repro tail`
+# ---------------------------------------------------------------------- #
+
+
+def iter_telemetry(path: str) -> Iterator[Dict[str, object]]:
+    """Yield the JSONL records currently in a telemetry file, in order."""
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def render_event(record: Dict[str, object]) -> str:
+    """One status line for one telemetry record (what ``repro tail`` prints)."""
+    event = record.get("event")
+    if event == "cell":
+        index = record.get("index")
+        position = "?" if index is None else str(int(index) + 1)  # type: ignore[arg-type]
+        parts = [
+            f"[{position}/{record.get('total', '?')}]",
+            f"{record.get('protocol', '?')}",
+            "on",
+            f"{record.get('graph', '?')}",
+        ]
+        mean_rounds = record.get("mean_rounds")
+        if mean_rounds is not None:
+            parts.append(f"mean rounds {float(mean_rounds):.1f}")  # type: ignore[arg-type]
+        wall_seconds = record.get("wall_seconds")
+        if wall_seconds is not None:
+            parts.append(f"in {float(wall_seconds):.3f}s")  # type: ignore[arg-type]
+        rounds_advanced = record.get("rounds_advanced")
+        if rounds_advanced is not None and wall_seconds:
+            rate = float(rounds_advanced) / float(wall_seconds)  # type: ignore[arg-type]
+            parts.append(f"({rate:,.0f} replica-rounds/s)")
+        return " ".join(parts)
+    if event == "summary":
+        return (
+            f"sweep complete: {record.get('cells', 0)} cells, "
+            f"{float(record.get('wall_seconds', 0.0)):.3f}s total, "  # type: ignore[arg-type]
+            f"{record.get('rounds_advanced', 0)} replica-rounds"
+        )
+    return json.dumps(record, default=str)
+
+
+def tail_telemetry(
+    path: str,
+    follow: bool = False,
+    interval: float = 0.5,
+    out: Optional[IO[str]] = None,
+    max_wait: Optional[float] = None,
+) -> int:
+    """Render a telemetry JSONL file as live status lines.
+
+    With ``follow`` the file is polled every ``interval`` seconds until the
+    ``summary`` record arrives (or ``max_wait`` seconds pass — the safety
+    valve the tests use).  Returns the number of records rendered.
+    """
+    out = out if out is not None else sys.stdout
+    rendered = 0
+    finished = False
+    deadline = None if max_wait is None else time.monotonic() + max_wait
+    buffer = ""
+    with open(path, "r", encoding="utf-8") as fh:
+        while True:
+            buffer += fh.read()
+            while "\n" in buffer:
+                line, buffer = buffer.split("\n", 1)
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                print(render_event(record), file=out)
+                rendered += 1
+                if record.get("event") == "summary":
+                    finished = True
+            if not follow or finished:
+                break
+            if deadline is not None and time.monotonic() >= deadline:
+                break
+            time.sleep(interval)
+    return rendered

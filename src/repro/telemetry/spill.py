@@ -1,0 +1,486 @@
+"""Out-of-core batch traces: windowed spilling under a byte budget.
+
+:class:`~repro.batch.observers.BatchTraceRecorder` materialises the whole
+``(T + 1, R, n)`` state history in memory — ``O(T · R · n)`` bytes, which is
+exactly what rules it out at the scales the roadmap targets next.  This
+module keeps the recording *windowed*:
+
+* :class:`SpillingTraceRecorder` buffers at most ``window_rows`` rounds
+  (``window_rows = byte_budget // (R · n)`` by default) and flushes each
+  full window as one compressed-container ``.npz`` segment into a unique
+  per-run directory, so trace RAM is ``O(window · R · n)`` regardless of
+  how long the run goes;
+* :class:`SpilledTrace` is the picklable reader over those segments: its
+  :meth:`SpilledTrace.replica` view replays a replica byte-identically to
+  :meth:`repro.batch.trace.BatchTrace.replica` (the telemetry parity suite
+  enforces this on every backend), :meth:`SpilledTrace.segments` iterates
+  the history window by window for out-of-core analysis, and
+  :meth:`SpilledTrace.load` rehydrates the full in-memory
+  :class:`~repro.batch.trace.BatchTrace` when it fits.
+
+The recorder registers itself as the ``"spill-trace"`` observer kind, so
+cells carry it as a pure-data :class:`~repro.batch.observers.ObserverSpec`
+(``ObserverSpec("spill-trace", {"directory": ..., "byte_budget": ...})``)
+and spawn workers build it like any other observer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.batch.observers import (
+    BatchObserver,
+    BatchRunInfo,
+    register_observer_kind,
+)
+from repro.batch.trace import BatchTrace
+from repro.errors import ConfigurationError, SimulationError, TraceError
+
+__all__ = [
+    "DEFAULT_BYTE_BUDGET",
+    "SpilledTrace",
+    "SpillingTraceRecorder",
+]
+
+#: Default spill window budget: 32 MiB of int8 state rows.
+DEFAULT_BYTE_BUDGET = 32 * 1024 * 1024
+
+_MANIFEST = "manifest.json"
+_FORMAT = "repro-spilled-trace-v1"
+
+
+class _SegmentWriter:
+    """Accumulate ``(R, n)`` rows and flush full windows as ``.npz`` segments."""
+
+    def __init__(self, run_dir: str, window_rows: int) -> None:
+        self.run_dir = run_dir
+        self.window_rows = max(1, int(window_rows))
+        self.segment_rows: List[int] = []
+        self.peak_window_bytes = 0
+        self._buffer: List[np.ndarray] = []
+
+    def add_row(self, row: np.ndarray) -> None:
+        self._buffer.append(row)
+        if len(self._buffer) >= self.window_rows:
+            self._flush()
+
+    def _flush(self) -> None:
+        if not self._buffer:
+            return
+        window = np.stack(self._buffer)
+        self.peak_window_bytes = max(self.peak_window_bytes, window.nbytes)
+        path = os.path.join(
+            self.run_dir, f"segment-{len(self.segment_rows):05d}.npz"
+        )
+        np.savez(path, states=window)
+        self.segment_rows.append(window.shape[0])
+        self._buffer.clear()
+
+    def finish(self) -> None:
+        self._flush()
+
+
+def _segment_path(directory: str, index: int) -> str:
+    return os.path.join(directory, f"segment-{index:05d}.npz")
+
+
+def _write_manifest(
+    directory: str,
+    *,
+    info: BatchRunInfo,
+    rounds_executed: np.ndarray,
+    segment_rows: Sequence[int],
+    byte_budget: int,
+    window_rows: int,
+    peak_window_bytes: int,
+) -> None:
+    manifest = {
+        "format": _FORMAT,
+        "num_replicas": int(info.num_replicas),
+        "n": int(info.n),
+        "num_rows": int(sum(segment_rows)),
+        "segment_rows": [int(rows) for rows in segment_rows],
+        "rounds_executed": [int(r) for r in rounds_executed],
+        "beeping_values": [int(v) for v in info.beeping_values],
+        "leader_values": [int(v) for v in info.leader_values],
+        "protocol_name": info.protocol_name,
+        "topology_name": info.topology_name,
+        "seeds": [None if s is None else int(s) for s in info.seeds],
+        "byte_budget": int(byte_budget),
+        "window_rows": int(window_rows),
+        "peak_window_bytes": int(peak_window_bytes),
+    }
+    with open(os.path.join(directory, _MANIFEST), "w", encoding="utf-8") as fh:
+        json.dump(manifest, fh)
+
+
+class SpillingTraceRecorder(BatchObserver):
+    """Record a batch trace in bounded memory, spilling windows to disk.
+
+    Parameters
+    ----------
+    directory:
+        Where per-run spill directories are created.  Each recorded run
+        gets its own fresh subdirectory (``spill-*``), so the same spec can
+        ride every replica of a sequential-backend cell (one recorder per
+        replica) without collisions.  ``None`` uses the system temp dir.
+    byte_budget:
+        Target in-memory window size in bytes.  The window holds
+        ``max(1, byte_budget // (R · n))`` rounds of int8 state rows —
+        trace RAM is ``O(window · R · n)`` however long the run goes.
+    window_rows:
+        Explicit window length in rounds, overriding ``byte_budget``.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[str] = None,
+        byte_budget: int = DEFAULT_BYTE_BUDGET,
+        window_rows: Optional[int] = None,
+    ) -> None:
+        if byte_budget < 1:
+            raise ConfigurationError(
+                f"byte_budget must be >= 1; got {byte_budget}"
+            )
+        if window_rows is not None and window_rows < 1:
+            raise ConfigurationError(
+                f"window_rows must be >= 1; got {window_rows}"
+            )
+        self._directory = directory
+        self._byte_budget = int(byte_budget)
+        self._window_rows = None if window_rows is None else int(window_rows)
+        self._info: Optional[BatchRunInfo] = None
+        self._writer: Optional[_SegmentWriter] = None
+        self._rounds_executed: Optional[np.ndarray] = None
+        self._run_dir: Optional[str] = None
+
+    def on_start(self, info: BatchRunInfo) -> None:
+        self._info = info
+        self._rounds_executed = None
+        window = self._window_rows
+        if window is None:
+            window = max(1, self._byte_budget // max(1, info.num_replicas * info.n))
+        if self._directory is not None:
+            os.makedirs(self._directory, exist_ok=True)
+        self._run_dir = tempfile.mkdtemp(prefix="spill-", dir=self._directory)
+        self._writer = _SegmentWriter(self._run_dir, window)
+
+    def on_round(
+        self,
+        round_index: int,
+        states: Optional[np.ndarray],
+        beeping: Optional[np.ndarray],
+        leaders: np.ndarray,
+        active_mask: np.ndarray,
+    ) -> None:
+        if self._writer is None or self._info is None:
+            raise SimulationError(
+                "SpillingTraceRecorder.on_round called before on_start"
+            )
+        if states is None:
+            raise ConfigurationError(
+                "trace recording requires a constant-state protocol; memory "
+                "engines report no state array"
+            )
+        self._writer.add_row(np.asarray(states, dtype=np.int8).copy())
+
+    def on_finish(self, rounds_executed: np.ndarray) -> None:
+        self._rounds_executed = np.asarray(rounds_executed, dtype=np.int64).copy()
+
+    @property
+    def peak_window_bytes(self) -> int:
+        """Largest in-memory window held so far (the bench's peak-RAM proxy)."""
+        if self._writer is None:
+            return 0
+        return self._writer.peak_window_bytes
+
+    def trace(self) -> "SpilledTrace":
+        """Finalise the segments and return the on-disk trace reader."""
+        if self._writer is None or self._info is None or self._run_dir is None:
+            raise SimulationError("no trace has been recorded yet")
+        self._writer.finish()
+        if not self._writer.segment_rows:
+            raise SimulationError("no trace has been recorded yet")
+        rounds = self._rounds_executed
+        if rounds is None:
+            total = sum(self._writer.segment_rows)
+            rounds = np.full(self._info.num_replicas, total - 1, dtype=np.int64)
+        _write_manifest(
+            self._run_dir,
+            info=self._info,
+            rounds_executed=rounds,
+            segment_rows=self._writer.segment_rows,
+            byte_budget=self._byte_budget,
+            window_rows=self._writer.window_rows,
+            peak_window_bytes=self._writer.peak_window_bytes,
+        )
+        return SpilledTrace(self._run_dir)
+
+    def result(self) -> "SpilledTrace":
+        return self.trace()
+
+    @classmethod
+    def merge_results(cls, results: Sequence[object]) -> "SpilledTrace":
+        """Merge per-replica ``R = 1`` spilled traces into one spilled trace.
+
+        The sequential backend's merge path: each replica's segments are
+        rehydrated, padded with the frozen final row like
+        :meth:`BatchTrace.from_traces`, and respilled as one multi-replica
+        directory.  (The merge itself materialises the replicas — the
+        sequential backend is the small-scale reference path; bounded-memory
+        recording is the batched engines' property.)
+        """
+        spilled: List[SpilledTrace] = []
+        for result in results:
+            if not isinstance(result, SpilledTrace) or result.num_replicas != 1:
+                raise ConfigurationError(
+                    "SpillingTraceRecorder.merge_results expects R=1 "
+                    "SpilledTrace results, one per replica"
+                )
+            spilled.append(result)
+        merged = BatchTrace.from_traces(
+            [trace.replica(0) for trace in spilled]
+        )
+        first = spilled[0]
+        parent = os.path.dirname(first.directory) or None
+        return SpilledTrace.from_batch_trace(
+            merged, directory=parent, byte_budget=first.byte_budget
+        )
+
+
+class SpilledTrace:
+    """Reader over a spilled trace directory; picklable, window-streamable.
+
+    Mirrors the :class:`~repro.batch.trace.BatchTrace` surface where that is
+    possible without loading the whole history: shape properties,
+    ``valid_mask``, byte-identical :meth:`replica` views, plus
+    :meth:`segments` for out-of-core window replay and :meth:`load` for full
+    rehydration.  Equality is *content* equality (two spilled traces with
+    different window sizes compare equal when they describe the same
+    execution), which is what lets observed cells keep their cross-backend
+    observation-parity contract.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.fspath(directory)
+        manifest_path = os.path.join(self.directory, _MANIFEST)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except OSError as error:
+            raise TraceError(
+                f"cannot read spilled-trace manifest {manifest_path!r}: {error}"
+            ) from None
+        if manifest.get("format") != _FORMAT:
+            raise TraceError(
+                f"unsupported spilled-trace format {manifest.get('format')!r} "
+                f"in {manifest_path!r}"
+            )
+        self._manifest = manifest
+
+    # ------------------------------------------------------------------ #
+    # Shape and metadata (mirroring BatchTrace)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of recorded transition rounds ``T`` (rows minus round 0)."""
+        return int(self._manifest["num_rows"]) - 1
+
+    @property
+    def num_replicas(self) -> int:
+        """Number of replicas ``R``."""
+        return int(self._manifest["num_replicas"])
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return int(self._manifest["n"])
+
+    @property
+    def rounds_executed(self) -> np.ndarray:
+        """``(R,)`` rounds each replica actually executed."""
+        return np.asarray(self._manifest["rounds_executed"], dtype=np.int64)
+
+    @property
+    def beeping_values(self) -> Tuple[int, ...]:
+        """State values classified as beeping."""
+        return tuple(int(v) for v in self._manifest["beeping_values"])
+
+    @property
+    def leader_values(self) -> Tuple[int, ...]:
+        """State values classified as leader."""
+        return tuple(int(v) for v in self._manifest["leader_values"])
+
+    @property
+    def protocol_name(self) -> str:
+        """Protocol provenance metadata."""
+        return str(self._manifest["protocol_name"])
+
+    @property
+    def topology_name(self) -> str:
+        """Topology provenance metadata."""
+        return str(self._manifest["topology_name"])
+
+    @property
+    def seeds(self) -> Tuple[Optional[int], ...]:
+        """Per-replica integer seeds where known, ``None`` otherwise."""
+        return tuple(
+            None if s is None else int(s) for s in self._manifest["seeds"]
+        )
+
+    @property
+    def byte_budget(self) -> int:
+        """The byte budget the recorder spilled under."""
+        return int(self._manifest["byte_budget"])
+
+    @property
+    def peak_window_bytes(self) -> int:
+        """Largest in-memory window the recorder held (peak-RAM proxy)."""
+        return int(self._manifest["peak_window_bytes"])
+
+    def valid_mask(self) -> np.ndarray:
+        """``(T + 1, R)`` mask of rows a replica actually executed."""
+        rounds = np.arange(self.num_rounds + 1)[:, None]
+        return rounds <= self.rounds_executed[None, :]
+
+    # ------------------------------------------------------------------ #
+    # Window-streamed access
+    # ------------------------------------------------------------------ #
+
+    def segments(self) -> Iterator[Tuple[int, np.ndarray]]:
+        """Yield ``(first_round, window)`` pairs, one spilled segment each.
+
+        ``window`` has shape ``(rows, R, n)``; successive segments tile the
+        full ``(T + 1, R, n)`` history in round order.  Only one window is
+        in memory at a time — this is the out-of-core replay loop.
+        """
+        start = 0
+        for index, rows in enumerate(self._manifest["segment_rows"]):
+            with np.load(_segment_path(self.directory, index)) as payload:
+                window = payload["states"]
+            yield start, window
+            start += int(rows)
+
+    def replica(self, index: int) -> "object":
+        """Replica ``index`` as a standalone :class:`ExecutionTrace`.
+
+        Byte-identical to ``BatchTrace.replica(index)`` of the equivalent
+        in-memory recording (the telemetry parity suite enforces this):
+        segments are sliced replica-first, so at no point is more than one
+        ``(rows, R, n)`` window resident.
+        """
+        from repro.beeping.trace import ExecutionTrace
+
+        if not 0 <= index < self.num_replicas:
+            raise TraceError(
+                f"replica {index} outside batch of {self.num_replicas}"
+            )
+        last = int(self.rounds_executed[index])
+        parts: List[np.ndarray] = []
+        collected = 0
+        for start, window in self.segments():
+            if start > last:
+                break
+            stop = min(window.shape[0], last + 1 - start)
+            parts.append(np.ascontiguousarray(window[:stop, index, :]))
+            collected += stop
+            if collected > last:
+                break
+        states = np.ascontiguousarray(np.concatenate(parts, axis=0))
+        return ExecutionTrace(
+            states=states,
+            beeping_values=self.beeping_values,
+            leader_values=self.leader_values,
+            protocol_name=self.protocol_name,
+            topology_name=self.topology_name,
+            seed=self.seeds[index],
+        )
+
+    def to_traces(self) -> Tuple[object, ...]:
+        """All replicas as standalone traces, in batch order."""
+        return tuple(self.replica(r) for r in range(self.num_replicas))
+
+    def load(self) -> BatchTrace:
+        """Rehydrate the full in-memory :class:`BatchTrace` (when it fits)."""
+        windows = [window for _, window in self.segments()]
+        return BatchTrace(
+            states=np.concatenate(windows, axis=0),
+            rounds_executed=self.rounds_executed,
+            beeping_values=self.beeping_values,
+            leader_values=self.leader_values,
+            protocol_name=self.protocol_name,
+            topology_name=self.topology_name,
+            seeds=self.seeds,
+        )
+
+    def cleanup(self) -> None:
+        """Delete the spill directory and its segments."""
+        shutil.rmtree(self.directory, ignore_errors=True)
+
+    # ------------------------------------------------------------------ #
+    # Assembly and equality
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_batch_trace(
+        cls,
+        trace: BatchTrace,
+        directory: Optional[str] = None,
+        byte_budget: int = DEFAULT_BYTE_BUDGET,
+    ) -> "SpilledTrace":
+        """Spill an in-memory :class:`BatchTrace` to a fresh directory."""
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+        run_dir = tempfile.mkdtemp(prefix="spill-", dir=directory)
+        window = max(
+            1, int(byte_budget) // max(1, trace.num_replicas * trace.n)
+        )
+        writer = _SegmentWriter(run_dir, window)
+        for row in trace.states:
+            writer.add_row(np.asarray(row, dtype=np.int8))
+        writer.finish()
+        info = BatchRunInfo(
+            num_replicas=trace.num_replicas,
+            n=trace.n,
+            protocol_name=trace.protocol_name,
+            topology_name=trace.topology_name,
+            beeping_values=trace.beeping_values,
+            leader_values=trace.leader_values,
+            seeds=trace.seeds,
+        )
+        _write_manifest(
+            run_dir,
+            info=info,
+            rounds_executed=trace.rounds_executed,
+            segment_rows=writer.segment_rows,
+            byte_budget=int(byte_budget),
+            window_rows=writer.window_rows,
+            peak_window_bytes=writer.peak_window_bytes,
+        )
+        return cls(run_dir)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpilledTrace):
+            return NotImplemented
+        return self.load() == other.load()
+
+    def __hash__(self) -> int:
+        return id(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpilledTrace(R={self.num_replicas}, n={self.n}, "
+            f"rounds={self.num_rounds}, "
+            f"segments={len(self._manifest['segment_rows'])}, "
+            f"dir={self.directory!r})"
+        )
+
+
+register_observer_kind("spill-trace", SpillingTraceRecorder)

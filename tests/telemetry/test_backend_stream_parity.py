@@ -1,0 +1,101 @@
+"""Cross-backend parity for streaming and spilling observed cells.
+
+Observed cells carrying streaming reducers and the spilling recorder must
+produce byte-identical records *and* observations on every execution
+backend — the sequential loop (per-replica observers merged afterwards),
+the batched engines (one observer over the whole batch) and a spawn-started
+process pool (specs pickled to workers that never imported the telemetry
+package explicitly).  On top of the cross-backend agreement, the reference
+backend's streamed values must equal the post-hoc reductions of the trace
+recorded in the same cells.
+"""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchTrace
+from repro.batch.observers import ObserverSpec
+from repro.exec import resolve_backend
+from repro.telemetry import SpilledTrace
+
+from tests.batch.parity_harness import observed_parity_cells
+from tests.telemetry.test_reducer_parity import (
+    assert_stream_results_match_post_hoc,
+)
+
+#: Spec order matters: observations come back in spec order per cell.
+STREAM_KEYS = (
+    "first-beep",
+    "wave-fronts",
+    "invariants",
+    "beep-totals",
+    "convergence",
+)
+
+
+def _stream_specs(tmp_path):
+    return (
+        ObserverSpec("trace"),
+        ObserverSpec("spill-trace", {"directory": str(tmp_path)}),
+        *(ObserverSpec(f"streaming-{key}") for key in STREAM_KEYS),
+    )
+
+
+def _assert_observation_equal(spec, mine, theirs, context):
+    if isinstance(theirs, np.ndarray):
+        np.testing.assert_array_equal(mine, theirs)
+    else:
+        assert mine == theirs, f"{spec.label} differs on {context}"
+
+
+@pytest.fixture(scope="module")
+def reference_outcomes(tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("spill")
+    cells = observed_parity_cells(specs=_stream_specs(tmp_path))
+    return cells, resolve_backend("sequential").run_cell_outcomes(cells)
+
+
+def test_reference_streams_equal_post_hoc(reference_outcomes):
+    cells, outcomes = reference_outcomes
+    for outcome in outcomes:
+        trace = outcome.observations[0]
+        assert isinstance(trace, BatchTrace)
+        streamed = dict(zip(STREAM_KEYS, outcome.observations[2:]))
+        assert_stream_results_match_post_hoc(trace, streamed)
+
+
+def test_reference_spill_equals_trace(reference_outcomes):
+    cells, outcomes = reference_outcomes
+    for outcome in outcomes:
+        trace = outcome.observations[0]
+        spilled = outcome.observations[1]
+        assert isinstance(spilled, SpilledTrace)
+        assert spilled.load() == trace
+
+
+@pytest.mark.parametrize("backend", ["batched", "process:2"])
+def test_backends_match_sequential_observations(
+    backend, reference_outcomes
+):
+    cells, reference = reference_outcomes
+    outcomes = resolve_backend(backend).run_cell_outcomes(cells)
+    for ref, out in zip(reference, outcomes):
+        assert out.to_records() == ref.to_records(), (
+            f"{backend} records differ on {ref.cell.label}"
+        )
+        assert len(out.observations) == len(ref.cell.observers)
+        for spec, mine, theirs in zip(
+            ref.cell.observers, out.observations, ref.observations
+        ):
+            _assert_observation_equal(
+                spec, mine, theirs, f"{backend}/{ref.cell.label}"
+            )
+
+
+def test_streaming_specs_resolve_by_label():
+    # The registry names are the public contract the CLI/README rely on.
+    for key in STREAM_KEYS:
+        spec = ObserverSpec(f"streaming-{key}")
+        assert spec.label == f"streaming-{key}"
+    spec = ObserverSpec("spill-trace", {"byte_budget": 1024})
+    assert spec.label == "spill-trace[byte_budget=1024]"

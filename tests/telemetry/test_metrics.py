@@ -1,0 +1,205 @@
+"""The metrics registry and the engines' once-per-run sampling."""
+
+import numpy as np
+import pytest
+
+from repro.batch import BatchedEngine
+from repro.batch.memory import BatchedMemoryEngine
+from repro.beeping.engine import VectorizedEngine
+from repro.beeping.simulator import MemorySimulator
+from repro.core.bfw import BFWProtocol
+from repro.dynamics import ScheduleSpec, build_schedule
+from repro.experiments.runner import instantiate_protocol
+from repro.telemetry import (
+    MetricsRegistry,
+    current_metrics,
+    sample_engine_run,
+    use_metrics,
+)
+
+
+def test_registry_counters_gauges_timers():
+    registry = MetricsRegistry()
+    assert not registry
+    registry.count("rounds")
+    registry.count("rounds", 9)
+    registry.gauge("rate", 2.0)
+    registry.gauge("rate", 3.0)  # last write wins
+    registry.add_time("phase", 0.25)
+    registry.add_time("phase", 0.25)
+    with registry.time("phase"):
+        pass
+    assert registry
+    snapshot = registry.snapshot()
+    assert snapshot["counters"]["rounds"] == 10
+    assert snapshot["gauges"]["rate"] == 3.0
+    assert snapshot["timers"]["phase"] >= 0.5
+    # Snapshots are detached copies.
+    snapshot["counters"]["rounds"] = -1
+    assert registry.counters["rounds"] == 10
+
+
+def test_registry_merge():
+    left = MetricsRegistry()
+    right = MetricsRegistry()
+    left.count("a", 1)
+    right.count("a", 2)
+    right.gauge("g", 7.0)
+    right.add_time("t", 1.5)
+    left.merge(right)
+    assert left.counters["a"] == 3
+    assert left.gauges["g"] == 7.0
+    assert left.timers["t"] == 1.5
+
+
+def test_use_metrics_installs_and_nests():
+    assert current_metrics() is None
+    outer = MetricsRegistry()
+    inner = MetricsRegistry()
+    with use_metrics(outer):
+        assert current_metrics() is outer
+        with use_metrics(inner):
+            assert current_metrics() is inner
+        assert current_metrics() is outer
+    assert current_metrics() is None
+
+
+def test_sample_engine_run_without_registry_is_a_noop():
+    sample_engine_run("batched", rounds_advanced=10, replicas=2, wall_seconds=0.1)
+
+
+def test_sample_engine_run_records_everything():
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        sample_engine_run(
+            "batched",
+            rounds_advanced=100,
+            replicas=4,
+            wall_seconds=0.5,
+            replicas_converged=3,
+            replicas_leaderless=1,
+            cache_stats={"swap_cache_hits": 3, "swap_cache_misses": 1},
+        )
+    assert registry.counters["engine.runs"] == 1
+    assert registry.counters["engine.rounds_advanced"] == 100
+    assert registry.counters["engine.replicas"] == 4
+    assert registry.counters["engine.replicas_converged"] == 3
+    assert registry.counters["engine.replicas_leaderless"] == 1
+    assert registry.counters["cache.swap_cache_hits"] == 3
+    assert registry.gauges["engine.rounds_per_second"] == 200.0
+    assert registry.gauges["cache.swap_cache_hit_rate"] == 0.75
+    assert registry.timers["engine.batched.wall_seconds"] == pytest.approx(0.5)
+
+
+def test_batched_engine_samples_once_per_run(small_cycle, bfw):
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        batch = BatchedEngine(small_cycle, bfw).run(
+            list(range(4)), max_rounds=20_000
+        )
+    assert registry.counters["engine.runs"] == 1
+    assert registry.counters["engine.replicas"] == 4
+    assert registry.counters["engine.rounds_advanced"] == int(
+        batch.rounds_executed.sum()
+    )
+    assert registry.counters["engine.replicas_converged"] == int(
+        batch.converged.sum()
+    )
+    assert "engine.batched.wall_seconds" in registry.timers
+    assert registry.gauges["engine.rounds_per_second"] > 0
+
+
+def test_batched_engine_samples_schedule_cache_stats(small_cycle, bfw):
+    spec = ScheduleSpec(
+        "edge-churn", {"add_per_round": 1, "remove_per_round": 1, "seed": 7}
+    )
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        BatchedEngine(
+            small_cycle, bfw, schedule=build_schedule(spec, small_cycle)
+        ).run(list(range(3)), max_rounds=2000)
+    # Dynamic runs surface the swap-cache and the schedule's pool/memo rates.
+    assert "cache.swap_cache_misses" in registry.counters
+    assert "cache.topology_pool_hits" in registry.counters
+    assert "cache.round_memo_hits" in registry.counters
+    for kind in ("swap_cache", "topology_pool", "round_memo"):
+        assert 0.0 <= registry.gauges[f"cache.{kind}_hit_rate"] <= 1.0
+
+
+def test_all_four_engines_sample_their_own_timer(small_cycle, bfw):
+    memory_protocol = instantiate_protocol("id-broadcast", small_cycle)
+    registry = MetricsRegistry()
+    with use_metrics(registry):
+        BatchedEngine(small_cycle, bfw).run([0, 1], max_rounds=20_000)
+        VectorizedEngine(small_cycle, bfw).run(rng=0, max_rounds=20_000)
+        MemorySimulator(small_cycle, memory_protocol).run(rng=0, max_rounds=2000)
+        BatchedMemoryEngine(small_cycle, memory_protocol).run(
+            [0, 1], max_rounds=2000
+        )
+    for engine in ("batched", "vectorized", "memory", "batched-memory"):
+        assert f"engine.{engine}.wall_seconds" in registry.timers
+    assert registry.counters["engine.runs"] == 4
+    assert registry.counters["engine.replicas"] == 6
+
+
+def test_engines_run_clean_without_a_registry(small_cycle, bfw):
+    # The no-telemetry hot path: nothing installed, nothing sampled.
+    assert current_metrics() is None
+    batch = BatchedEngine(small_cycle, bfw).run([0, 1], max_rounds=20_000)
+    assert batch.num_replicas == 2
+
+
+# --------------------------------------------------------------------------- #
+# Metrics flow through the execution layer
+# --------------------------------------------------------------------------- #
+
+
+def _one_cell():
+    from repro.experiments.config import GraphSpec
+
+    from tests.batch.parity_harness import backend_parity_cells
+
+    return backend_parity_cells(
+        protocols=("bfw",),
+        graphs=(GraphSpec(family="cycle", n=12),),
+        num_seeds=3,
+    )
+
+
+@pytest.mark.parametrize("backend", ["sequential", "batched"])
+def test_cell_outcomes_carry_wall_time_and_metrics(backend):
+    from repro.exec import resolve_backend
+
+    cells = _one_cell()
+    (outcome,) = resolve_backend(backend).run_cell_outcomes(cells)
+    assert outcome.wall_seconds is not None and outcome.wall_seconds > 0
+    assert outcome.rounds_advanced > 0
+    assert outcome.metrics is not None
+    assert outcome.metrics["counters"]["engine.replicas"] == 3
+    assert outcome.metrics["counters"]["engine.rounds_advanced"] == (
+        outcome.rounds_advanced
+    )
+
+
+def test_cell_events_carry_wall_time(small_cycle):
+    from repro.exec import resolve_backend
+
+    events = []
+    resolve_backend("sequential").run_cell_outcomes(
+        _one_cell(), progress=events.append
+    )
+    (event,) = events
+    assert event.wall_seconds is not None
+    assert event.rounds_advanced == event.outcome.rounds_advanced
+
+
+def test_outcome_equality_ignores_telemetry_fields():
+    from repro.exec import resolve_backend
+
+    cells = _one_cell()
+    (first,) = resolve_backend("sequential").run_cell_outcomes(cells)
+    (second,) = resolve_backend("sequential").run_cell_outcomes(cells)
+    # wall_seconds/metrics differ run to run; equality is about the physics.
+    assert first.wall_seconds != second.wall_seconds
+    assert first == second
+    assert first.to_records() == second.to_records()

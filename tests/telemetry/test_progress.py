@@ -1,0 +1,200 @@
+"""ProgressReporter, the telemetry JSONL stream and ``repro tail``."""
+
+import io
+import json
+
+import pytest
+
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
+from repro.experiments.runner import run_sweep
+from repro.telemetry import (
+    ProgressReporter,
+    iter_telemetry,
+    render_event,
+    tail_telemetry,
+)
+
+
+def _tiny_sweep():
+    return SweepConfig(
+        name="telemetry-test",
+        protocols=(ProtocolSpecConfig(name="bfw"),),
+        graphs=(GraphSpec(family="cycle", n=12), GraphSpec(family="path", n=9)),
+        num_seeds=2,
+        max_rounds=20_000,
+    )
+
+
+def test_reporter_writes_prefixed_lines():
+    stream = io.StringIO()
+    reporter = ProgressReporter(stream=stream, prefix="  ")
+    reporter.line("hello")
+    reporter("world")  # drop-in for Callable[[str], None]
+    reporter.close()
+    assert stream.getvalue() == "  hello\n  world\n"
+
+
+def test_quiet_suppresses_lines_but_not_telemetry(tmp_path):
+    stream = io.StringIO()
+    path = tmp_path / "stream.jsonl"
+    with ProgressReporter(
+        quiet=True, stream=stream, telemetry_path=str(path)
+    ) as reporter:
+        reporter.line("invisible")
+        run_sweep(_tiny_sweep(), progress=reporter)
+    assert stream.getvalue() == ""
+    records = list(iter_telemetry(str(path)))
+    assert [r["event"] for r in records] == ["cell", "cell", "summary"]
+
+
+def test_telemetry_records_carry_cell_fields(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with ProgressReporter(quiet=True, telemetry_path=str(path)) as reporter:
+        records = run_sweep(_tiny_sweep(), progress=reporter, backend="batched")
+    cells = [r for r in iter_telemetry(str(path)) if r["event"] == "cell"]
+    assert [c["index"] for c in cells] == [0, 1]
+    assert all(c["total"] == 2 for c in cells)
+    assert cells[0]["protocol"] == "bfw"
+    assert cells[0]["graph"] == "cycle(12)"
+    assert cells[0]["n"] == 12
+    assert cells[0]["replicas"] == 2
+    assert cells[0]["backend"] == "batched"
+    assert cells[0]["wall_seconds"] > 0
+    assert cells[0]["rounds_advanced"] > 0
+    assert cells[0]["mean_rounds"] > 0
+    metrics = cells[0]["metrics"]
+    assert metrics["counters"]["engine.replicas"] == 2
+    (summary,) = [r for r in iter_telemetry(str(path)) if r["event"] == "summary"]
+    assert summary["cells"] == 2
+    assert summary["rounds_advanced"] == sum(c["rounds_advanced"] for c in cells)
+    assert len(records) == 4  # the sweep itself still returns its records
+
+
+def test_progress_lines_include_wall_time(tmp_path):
+    stream = io.StringIO()
+    with ProgressReporter(stream=stream) as reporter:
+        run_sweep(_tiny_sweep(), progress=reporter)
+    lines = stream.getvalue().splitlines()
+    assert len(lines) == 2
+    for line in lines:
+        assert "mean rounds:" in line
+        assert line.rstrip().endswith("]")
+        assert "s" in line.split("[", 1)[1]
+        assert "replica-rounds/s" in line
+
+
+def test_render_event_formats():
+    cell = {
+        "event": "cell",
+        "index": 0,
+        "total": 3,
+        "protocol": "bfw",
+        "graph": "cycle(12)",
+        "mean_rounds": 41.5,
+        "wall_seconds": 0.5,
+        "rounds_advanced": 100,
+    }
+    line = render_event(cell)
+    assert line == "[1/3] bfw on cycle(12) mean rounds 41.5 in 0.500s (200 replica-rounds/s)"
+    summary = {
+        "event": "summary",
+        "cells": 3,
+        "wall_seconds": 1.25,
+        "rounds_advanced": 300,
+    }
+    assert render_event(summary) == (
+        "sweep complete: 3 cells, 1.250s total, 300 replica-rounds"
+    )
+    # Unknown events fall back to raw JSON rather than crashing the tail.
+    assert json.loads(render_event({"event": "other", "x": 1})) == {
+        "event": "other",
+        "x": 1,
+    }
+
+
+def test_tail_renders_a_finished_stream(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with ProgressReporter(quiet=True, telemetry_path=str(path)) as reporter:
+        run_sweep(_tiny_sweep(), progress=reporter)
+    out = io.StringIO()
+    rendered = tail_telemetry(str(path), out=out)
+    assert rendered == 3
+    lines = out.getvalue().splitlines()
+    assert lines[0].startswith("[1/2] bfw on cycle(12)")
+    assert lines[-1].startswith("sweep complete: 2 cells")
+
+
+def test_tail_follow_stops_at_summary(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with ProgressReporter(quiet=True, telemetry_path=str(path)) as reporter:
+        run_sweep(_tiny_sweep(), progress=reporter)
+    out = io.StringIO()
+    rendered = tail_telemetry(
+        str(path), follow=True, interval=0.01, out=out, max_wait=5.0
+    )
+    assert rendered == 3  # saw the summary and returned without the deadline
+
+
+def test_tail_follow_respects_max_wait(tmp_path):
+    # No summary record: the safety valve must end the polling loop.
+    path = tmp_path / "stream.jsonl"
+    path.write_text(json.dumps({"event": "cell", "index": 0, "total": 1}) + "\n")
+    out = io.StringIO()
+    rendered = tail_telemetry(
+        str(path), follow=True, interval=0.01, out=out, max_wait=0.05
+    )
+    assert rendered == 1
+
+
+def test_reporter_appends_across_instances(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    for _ in range(2):
+        with ProgressReporter(quiet=True, telemetry_path=str(path)) as reporter:
+            reporter.emit({"event": "probe"})
+    records = list(iter_telemetry(str(path)))
+    assert [r["event"] for r in records] == ["probe", "summary", "probe", "summary"]
+
+
+# --------------------------------------------------------------------------- #
+# CLI round trips
+# --------------------------------------------------------------------------- #
+
+
+def test_cli_tail_renders_file(tmp_path, capsys):
+    from repro.cli import main
+
+    path = tmp_path / "stream.jsonl"
+    path.write_text(
+        json.dumps(
+            {
+                "event": "summary",
+                "cells": 1,
+                "wall_seconds": 0.5,
+                "rounds_advanced": 10,
+            }
+        )
+        + "\n"
+    )
+    assert main(["tail", str(path)]) == 0
+    captured = capsys.readouterr()
+    assert "sweep complete: 1 cells" in captured.out
+
+
+def test_cli_tail_missing_file_fails(tmp_path, capsys):
+    from repro.cli import main
+
+    assert main(["tail", str(tmp_path / "absent.jsonl")]) == 1
+    assert "absent.jsonl" in capsys.readouterr().err
+
+
+def test_cli_quiet_and_telemetry_flags_parse():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["table1", "--quiet", "--telemetry", "out.jsonl"]
+    )
+    assert args.quiet is True
+    assert args.telemetry == "out.jsonl"
+    args = build_parser().parse_args(["dynamic"])
+    assert args.quiet is False
+    assert args.telemetry is None

@@ -1,0 +1,266 @@
+"""Streaming reducers vs their post-hoc counterparts: exact equality.
+
+The tentpole contract of the telemetry layer: every ``Streaming*`` observer
+folds its reduction online and produces a result *bit-equal* to the batch
+analysis function applied to the full recorded :class:`BatchTrace` — for
+every registered protocol, on static and dynamic schedules, including the
+budget-exhaustion (no early stop) path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_leader_always_exists_batch,
+    check_leader_count_nonincreasing_batch,
+    check_max_beep_count_is_leader_batch,
+    beep_count_matrix_batch,
+    first_beep_round_batch,
+    summarize_batch,
+    wave_fronts_batch,
+)
+from repro.batch import BatchTrace, BatchedEngine, BatchTraceRecorder
+from repro.beeping.engine import VectorizedEngine
+from repro.core.bfw import BFWProtocol
+from repro.core.registry import available_protocols, create_protocol
+from repro.dynamics import build_schedule
+from repro.errors import ConfigurationError, InvariantViolation
+from repro.telemetry import (
+    StreamingBeepTotals,
+    StreamingConvergence,
+    StreamingFirstBeep,
+    StreamingInvariantChecker,
+    StreamingWaveFronts,
+)
+
+from tests.batch.parity_harness import (
+    DYNAMIC_PARITY_SCHEDULES,
+    parity_topologies,
+)
+
+SEEDS = tuple(range(4))
+
+POST_HOC_CHECKS = (
+    check_leader_always_exists_batch,
+    check_leader_count_nonincreasing_batch,
+    check_max_beep_count_is_leader_batch,
+)
+
+
+def _violation_message(callback) -> "str | None":
+    try:
+        callback()
+    except InvariantViolation as error:
+        return str(error)
+    return None
+
+
+def _run_with_streams(topology, protocol, seeds=SEEDS, spec=None, **run_kwargs):
+    """One batched run driving the trace recorder and every streaming reducer."""
+    recorder = BatchTraceRecorder()
+    streams = {
+        "first-beep": StreamingFirstBeep(),
+        "wave-fronts": StreamingWaveFronts(),
+        "invariants": StreamingInvariantChecker(),
+        "beep-totals": StreamingBeepTotals(),
+        "convergence": StreamingConvergence(),
+    }
+    schedule = None if spec is None else build_schedule(spec, topology)
+    BatchedEngine(topology, protocol, schedule=schedule).run(
+        list(seeds),
+        observers=[recorder, *streams.values()],
+        **run_kwargs,
+    )
+    return recorder.trace(), streams
+
+
+def assert_stream_results_match_post_hoc(trace: BatchTrace, results) -> None:
+    """Streamed reduction *values* equal their post-hoc counterparts on ``trace``.
+
+    ``results`` maps the short reducer key (``"first-beep"`` ...) to the
+    value the reducer produced — either ``observer.result()`` or the merged
+    observation an execution backend shipped back.
+    """
+    np.testing.assert_array_equal(
+        results["first-beep"], first_beep_round_batch(trace)
+    )
+    assert results["wave-fronts"] == wave_fronts_batch(trace)
+    assert results["convergence"] == summarize_batch(trace)
+
+    matrix = beep_count_matrix_batch(trace)
+    totals = results["beep-totals"]
+    for replica in range(trace.num_replicas):
+        last = int(trace.rounds_executed[replica])
+        np.testing.assert_array_equal(totals[replica], matrix[last, replica])
+
+    summary = results["invariants"]
+    np.testing.assert_array_equal(summary.rounds_observed, trace.rounds_executed)
+    streamed_raises = (
+        summary.raise_if_leaderless,
+        summary.raise_if_increase,
+        summary.raise_if_max_beep_violation,
+    )
+    for check, raiser in zip(POST_HOC_CHECKS, streamed_raises):
+        assert _violation_message(raiser) == _violation_message(
+            lambda check=check: check(trace)
+        )
+
+
+def assert_streams_match_post_hoc(trace: BatchTrace, streams) -> None:
+    """Every streaming observer's result equals its post-hoc counterpart."""
+    assert_stream_results_match_post_hoc(
+        trace, {key: observer.result() for key, observer in streams.items()}
+    )
+
+
+@pytest.mark.parametrize("name", available_protocols())
+@pytest.mark.parametrize(
+    "family", [family for family, _ in parity_topologies()]
+)
+def test_streams_match_post_hoc_for_registered_protocols(name, family):
+    topology = dict(parity_topologies())[family]
+    protocol = create_protocol(
+        name, diameter=max(1, topology.diameter()), n=topology.n
+    )
+    trace, streams = _run_with_streams(
+        topology, protocol, max_rounds=4000
+    )
+    assert_streams_match_post_hoc(trace, streams)
+
+
+@pytest.mark.parametrize(
+    "spec", DYNAMIC_PARITY_SCHEDULES, ids=lambda spec: spec.label
+)
+def test_streams_match_post_hoc_under_schedules(spec, small_cycle, bfw):
+    trace, streams = _run_with_streams(
+        small_cycle, bfw, spec=spec, max_rounds=2000
+    )
+    assert_streams_match_post_hoc(trace, streams)
+
+
+def test_streams_match_post_hoc_without_early_stopping(small_cycle, bfw):
+    # Budget exhaustion: every replica runs (and streams) the full horizon.
+    trace, streams = _run_with_streams(
+        small_cycle, bfw, max_rounds=80, stop_at_single_leader=False
+    )
+    assert (trace.rounds_executed == 80).all()
+    assert_streams_match_post_hoc(trace, streams)
+
+
+def test_streams_match_post_hoc_on_vectorized_engine(small_path, bfw):
+    # The R = 1 driver: the vectorised engine feeds the same hooks.
+    streams = {
+        "first-beep": StreamingFirstBeep(),
+        "wave-fronts": StreamingWaveFronts(),
+        "invariants": StreamingInvariantChecker(),
+        "beep-totals": StreamingBeepTotals(),
+        "convergence": StreamingConvergence(),
+    }
+    result = VectorizedEngine(small_path, bfw).run(
+        rng=3, record_trace=True, max_rounds=20_000, observers=list(streams.values())
+    )
+    assert result.trace is not None
+    trace = BatchTrace.from_traces([result.trace])
+    assert_streams_match_post_hoc(trace, streams)
+
+
+def test_streaming_reducers_reject_memory_engines(small_cycle):
+    # Memory engines report no beeping classification; the constant-state
+    # reducers must refuse rather than silently stream garbage.
+    from repro.batch.memory import BatchedMemoryEngine
+    from repro.experiments.runner import instantiate_protocol
+
+    protocol = instantiate_protocol("id-broadcast", small_cycle)
+    with pytest.raises(ConfigurationError):
+        BatchedMemoryEngine(small_cycle, protocol).run(
+            [0, 1], observers=[StreamingFirstBeep()], max_rounds=500
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Invariant violations: streamed messages == post-hoc messages, exactly
+# --------------------------------------------------------------------------- #
+
+
+def _drive_checker(trace: BatchTrace) -> "StreamingInvariantChecker":
+    """Feed a trace through the streaming checker, row for row."""
+    from repro.batch.observers import BatchRunInfo
+
+    checker = StreamingInvariantChecker()
+    checker.on_start(
+        BatchRunInfo(
+            num_replicas=trace.num_replicas,
+            n=trace.n,
+            beeping_values=trace.beeping_values,
+            leader_values=trace.leader_values,
+        )
+    )
+    beeping = trace.beeping_history()
+    leaders = trace.leader_history()
+    valid = trace.valid_mask()
+    for t in range(trace.states.shape[0]):
+        checker.on_round(t, trace.states[t], beeping[t], leaders[t], valid[t])
+    checker.on_finish(trace.rounds_executed)
+    return checker
+
+
+def _random_violating_trace(seed: int) -> BatchTrace:
+    """A synthetic trace whose random states violate all three invariants."""
+    rng = np.random.default_rng(seed)
+    states = rng.integers(0, 4, size=(9, 3, 5), dtype=np.int8)
+    return BatchTrace(
+        states=states,
+        rounds_executed=np.array([8, 5, 8], dtype=np.int64),
+        # Value 3 both beeps and leads; 1 only beeps; 2 only leads.
+        beeping_values=(1, 3),
+        leader_values=(2, 3),
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_streamed_violation_messages_equal_post_hoc(seed):
+    trace = _random_violating_trace(seed)
+    summary = _drive_checker(trace).summary()
+    streamed_raises = (
+        summary.raise_if_leaderless,
+        summary.raise_if_increase,
+        summary.raise_if_max_beep_violation,
+    )
+    messages = []
+    for check, raiser in zip(POST_HOC_CHECKS, streamed_raises):
+        expected = _violation_message(lambda check=check: check(trace))
+        assert _violation_message(raiser) == expected
+        messages.append(expected)
+    # Random 4-valued states on 5 nodes make each violation overwhelmingly
+    # likely; make sure the parametrisation is actually exercising them.
+    assert any(message is not None for message in messages)
+    if messages[0] is not None:
+        assert not summary.ok
+        with pytest.raises(InvariantViolation, match="Lemma 9 violated"):
+            summary.raise_if_violated()
+
+
+def test_streamed_summary_ok_on_clean_run(small_cycle, bfw):
+    recorder = BatchTraceRecorder()
+    checker = StreamingInvariantChecker()
+    BatchedEngine(small_cycle, bfw).run(
+        list(SEEDS), observers=[recorder, checker], max_rounds=20_000
+    )
+    summary = checker.summary()
+    assert summary.ok
+    assert summary.num_replicas == len(SEEDS)
+    summary.raise_if_violated()  # must not raise
+    trace = recorder.trace()
+    for check in POST_HOC_CHECKS:
+        check(trace)  # post-hoc agrees: no violations
+
+
+def test_invariant_summary_merge_round_trip():
+    trace = _random_violating_trace(7)
+    whole = _drive_checker(trace).summary()
+    per_replica = []
+    for index in range(trace.num_replicas):
+        solo = BatchTrace.from_traces([trace.replica(index)])
+        per_replica.append(_drive_checker(solo).summary())
+    merged = StreamingInvariantChecker.merge_results(per_replica)
+    assert merged == whole
