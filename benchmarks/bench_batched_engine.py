@@ -38,6 +38,12 @@ replica-for-replica identical to the loop:
   in-memory recorder — plus the peak-RAM proxy (largest resident spill
   window vs the full ``(T+1, R, n)`` history).  Writes
   ``BENCH_telemetry.json`` (override with ``REPRO_BENCH_TELEMETRY_JSON``).
+* intra-cell sharding (E17): one large Monte-Carlo cell (BFW on a 200-node
+  cycle, thousands of replicas) on ``process:2`` whole — the historical
+  one-cell/one-core defect — against the same cell with
+  ``shard_size="auto"``, asserting byte-identical outcomes and ≥ 1.5×
+  with 2 workers on ≥ 2 CPUs.  Writes ``BENCH_shard.json`` (override with
+  ``REPRO_BENCH_SHARD_JSON``).
 
 Setting ``REPRO_BENCH_FAST=1`` shrinks every workload (small R and n) and
 skips the speed-up assertions; CI uses it as a smoke mode so these scripts
@@ -87,6 +93,9 @@ BENCH_OBSERVERS_JSON = os.environ.get(
 BENCH_TELEMETRY_JSON = os.environ.get(
     "REPRO_BENCH_TELEMETRY_JSON", "BENCH_telemetry.json"
 )
+
+#: Where the intra-cell sharding case writes its machine-readable results.
+BENCH_SHARD_JSON = os.environ.get("REPRO_BENCH_SHARD_JSON", "BENCH_shard.json")
 
 #: Workers used by the process-backend sweep case.
 PROCESS_WORKERS = 2
@@ -709,6 +718,115 @@ def test_streaming_telemetry_overhead(report, tmp_path):
         assert peak_window * 4 <= trace_bytes, (
             f"the resident spill window must be a small fraction of the "
             f"full trace; peak {peak_window:,} B vs {trace_bytes:,} B"
+        )
+
+
+@pytest.mark.experiment("E17")
+def test_intra_cell_sharding_speedup_on_single_cell(report):
+    """One big Monte-Carlo cell: whole on ``process:2`` vs sharded.
+
+    This is the workload the one-cell/one-core defect pinned to a single
+    worker: a sweep of exactly one cell with thousands of replicas.  Whole,
+    the process backend can schedule only one work unit (its pool clamps to
+    1); with ``shard_size="auto"`` the seed list splits into one shard per
+    worker.  The outcomes must be byte-identical — records, batch arrays,
+    final states — before any timing counts.  A shared round budget keeps
+    the per-replica workload uniform, so the case measures sharding, not
+    tail-replica variance.
+    """
+    import numpy as np
+
+    from repro.exec import ExecutionCell
+    from repro.experiments.seeds import trial_seeds
+
+    replicas = _size(4096, 8)
+    n = _size(200, 16)
+    max_rounds = _size(2000, 50)
+    cell = ExecutionCell(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=n),
+        seeds=trial_seeds(20250808, f"bench-shard/bfw/cycle/{n}", replicas),
+        max_rounds=max_rounds,
+    )
+
+    whole_backend = ProcessBackend(workers=PROCESS_WORKERS)
+    start = time.perf_counter()
+    whole = whole_backend.run_cell_outcomes((cell,))[0]
+    whole_seconds = time.perf_counter() - start
+    assert whole_backend.last_pool_size == 1  # the defect, measured
+
+    sharded_backend = ProcessBackend(workers=PROCESS_WORKERS, shard_size="auto")
+    start = time.perf_counter()
+    sharded = sharded_backend.run_cell_outcomes((cell,))[0]
+    sharded_seconds = time.perf_counter() - start
+    assert sharded_backend.last_pool_size == PROCESS_WORKERS
+
+    # identical outcomes first — a fast wrong merge is worthless
+    assert sharded.to_records() == whole.to_records()
+    for field in (
+        "converged",
+        "convergence_round",
+        "rounds_executed",
+        "final_leader_count",
+        "leader_node",
+    ):
+        np.testing.assert_array_equal(
+            getattr(sharded.batch, field), getattr(whole.batch, field)
+        )
+    assert sharded.batch.seeds == whole.batch.seeds
+    np.testing.assert_array_equal(
+        sharded.batch.final_states, whole.batch.final_states
+    )
+
+    replica_rounds = int(whole.batch.rounds_executed.sum())
+    speedup = whole_seconds / sharded_seconds
+    cpus = os.cpu_count() or 1
+    payload = {
+        "benchmark": "intra-cell-sharding",
+        "fast_mode": FAST,
+        "strict": STRICT,
+        "cpu_count": cpus,
+        "workload": {
+            "protocol": "bfw",
+            "graph": f"cycle({n})",
+            "replicas": replicas,
+            "max_rounds": max_rounds,
+            "replica_rounds": replica_rounds,
+        },
+        "results": [
+            {
+                "configuration": "whole-cell",
+                "pool_size": whole_backend.last_pool_size,
+                "wall_seconds": whole_seconds,
+                "replica_rounds_per_sec": replica_rounds / max(whole_seconds, 1e-9),
+            },
+            {
+                "configuration": "shard-size-auto",
+                "pool_size": sharded_backend.last_pool_size,
+                "wall_seconds": sharded_seconds,
+                "replica_rounds_per_sec": replica_rounds
+                / max(sharded_seconds, 1e-9),
+            },
+        ],
+        "speedup_sharded_vs_whole": speedup,
+    }
+    with open(BENCH_SHARD_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    report(
+        f"E17 — intra-cell sharding on one Monte-Carlo cell "
+        f"(R={replicas}, cycle({n}), {PROCESS_WORKERS} workers, {cpus} CPU(s))",
+        f"whole cell:  {whole_seconds:8.2f}s (pool of 1 — the defect)\n"
+        f"shard auto:  {sharded_seconds:8.2f}s (pool of {PROCESS_WORKERS})\n"
+        f"speedup:     {speedup:.2f}x\n"
+        f"json:        {BENCH_SHARD_JSON}",
+    )
+    if not FAST and STRICT and cpus >= PROCESS_WORKERS:
+        assert speedup >= 1.5, (
+            f"sharding one large cell across {PROCESS_WORKERS} workers must "
+            f"be >= 1.5x the whole-cell run; measured {speedup:.2f}x on "
+            f"{cpus} CPUs"
         )
 
 

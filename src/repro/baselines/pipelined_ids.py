@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -136,6 +136,119 @@ class PipelinedIDElection:
             seed=seed_value,
         )
 
+    def run_batch(
+        self,
+        topology: Topology,
+        seeds: Sequence[RngLike],
+        max_rounds: Optional[int] = None,
+    ):
+        """Run one seeded replica per entry of ``seeds``, all at once.
+
+        Replica for replica identical to looping :meth:`run` over the seeds:
+        each replica consumes its own ``as_rng(seed)`` stream in exactly the
+        order the single-run path consumes it (one ``random(n)`` draw per
+        knockout round while more than one candidate survives, then one
+        ``integers`` draw for the identifiers), so the batch entry point is
+        byte-compatible with the loop — and with any seed-list sharding of
+        the batch.  Unlike the loop, the batch records the elected node per
+        replica in ``leader_node``.
+
+        Returns
+        -------
+        repro.batch.results.BatchResult
+        """
+        from repro.batch.results import BatchResult
+
+        if len(seeds) == 0:
+            raise ConfigurationError(
+                "run_batch needs at least one seed; got an empty sequence"
+            )
+        generators = [as_rng(seed) for seed in seeds]
+        num_replicas = len(generators)
+        n = topology.n
+        log_n = max(1, math.ceil(math.log2(max(2, n))))
+
+        # Stage 1 — local coin-flipping knockout, all replicas together.
+        # The RNG draws stay per-replica (each replica owns its stream) and
+        # are skipped exactly when the single-run loop would have broken out.
+        candidate = np.ones((num_replicas, n), dtype=bool)
+        adjacency = topology.sparse_adjacency()
+        knockout_rounds = self._knockout_factor * log_n
+        for _ in range(knockout_rounds):
+            active = np.flatnonzero(candidate.sum(axis=1) > 1)
+            if active.size == 0:
+                break
+            beeps = np.zeros((active.size, n), dtype=bool)
+            for row, replica in enumerate(active):
+                beeps[row] = candidate[replica] & (
+                    generators[replica].random(n) < 0.5
+                )
+            heard = adjacency.dot(beeps.astype(np.int32).T).T > 0
+            candidate[active] &= beeps | ~heard
+        candidates_after_knockout = candidate.sum(axis=1).astype(np.int64)
+
+        # Stage 2 — pipelined maximum-identifier dissemination, vectorised
+        # over replicas through a padded neighbour-index matrix.
+        identifiers = np.stack(
+            [
+                generator.integers(1, max(2, n**3), size=n)
+                for generator in generators
+            ]
+        )
+        best = np.where(candidate, identifiers, 0).astype(np.int64)
+        neighbour_index = _neighbour_index_matrix(topology)
+        steps = np.zeros(num_replicas, dtype=np.int64)
+        done = np.zeros(num_replicas, dtype=bool)
+        step = 0
+        while not done.all():
+            step += 1
+            rows = np.flatnonzero(~done)
+            neighbour_best = _neighbourhood_max_rows(neighbour_index, best[rows])
+            updated = np.maximum(best[rows], neighbour_best)
+            finished = (updated == best[rows]).all(axis=1)
+            steps[rows[finished]] = step
+            done[rows[finished]] = True
+            best[rows] = updated
+
+        converged = np.ones(num_replicas, dtype=bool)
+        total_rounds = knockout_rounds + steps + log_n
+        rounds_executed = total_rounds.copy()
+        convergence_round = total_rounds.copy()
+        final_leader_count = np.ones(num_replicas, dtype=np.int64)
+        leader_node = np.full(num_replicas, -1, dtype=np.int64)
+        for replica in range(num_replicas):
+            winner_id = int(best[replica].max())
+            winners = np.flatnonzero(
+                candidate[replica] & (identifiers[replica] == winner_id)
+            )
+            leader_node[replica] = (
+                int(winners.min())
+                if len(winners) > 0
+                else int(np.argmax(best[replica]))
+            )
+        if max_rounds is not None:
+            exceeded = total_rounds > max_rounds
+            converged[exceeded] = False
+            convergence_round[exceeded] = -1
+            rounds_executed[exceeded] = max_rounds
+            final_leader_count[exceeded] = candidates_after_knockout[exceeded]
+            leader_node[exceeded] = -1
+        return BatchResult(
+            converged=converged,
+            convergence_round=convergence_round,
+            rounds_executed=rounds_executed,
+            final_leader_count=final_leader_count,
+            leader_node=leader_node,
+            seeds=tuple(
+                int(seed) if isinstance(seed, (int, np.integer)) else None
+                for seed in seeds
+            ),
+            leader_counts=tuple(() for _ in generators),
+            final_states=None,
+            protocol_name=self.name,
+            topology_name=topology.name,
+        )
+
     def run_detailed(
         self, topology: Topology, rng: RngLike = None
     ) -> PipelinedElectionOutcome:
@@ -191,3 +304,35 @@ def _neighbourhood_max(topology: Topology, values: np.ndarray) -> np.ndarray:
         if neighbours:
             result[node] = max(values[neighbour] for neighbour in neighbours)
     return result
+
+
+def _neighbour_index_matrix(topology: Topology) -> np.ndarray:
+    """``(n, max_degree)`` neighbour indices, padded with the sentinel ``n``.
+
+    The sentinel points one past the real nodes; callers append a zero
+    column to their value arrays so padding (and isolated nodes) contribute
+    ``0`` to the maximum — the same "0 for no neighbours" convention as
+    :func:`_neighbourhood_max`.
+    """
+    n = topology.n
+    neighbour_lists = [topology.neighbors(node) for node in topology.nodes()]
+    max_degree = max((len(nbrs) for nbrs in neighbour_lists), default=0)
+    index = np.full((n, max(1, max_degree)), n, dtype=np.int64)
+    for node, neighbours in enumerate(neighbour_lists):
+        if neighbours:
+            index[node, : len(neighbours)] = neighbours
+    return index
+
+
+def _neighbourhood_max_rows(
+    neighbour_index: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Row-wise :func:`_neighbourhood_max` over an ``(R, n)`` value array.
+
+    ``values`` must be non-negative (identifiers are ≥ 0 here), so the zero
+    padding column never wins a maximum it should not.
+    """
+    padded = np.concatenate(
+        [values, np.zeros((values.shape[0], 1), dtype=values.dtype)], axis=1
+    )
+    return padded[:, neighbour_index].max(axis=2)

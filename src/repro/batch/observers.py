@@ -292,14 +292,26 @@ class BatchTraceRecorder(BatchObserver):
 
     @classmethod
     def merge_results(cls, results: Sequence[object]) -> BatchTrace:
+        """Merge per-run traces (any replica counts) in replica order.
+
+        Handles both merge paths of the execution layer: the sequential
+        backend's one-``R = 1``-trace-per-replica list and the sharded
+        backends' one-trace-per-shard list.  Shorter replicas are padded
+        with their frozen final row by :meth:`BatchTrace.from_traces`, so
+        the merged trace is byte-identical to recording the whole batch at
+        once.
+        """
         traces: List[object] = []
         for result in results:
-            if not isinstance(result, BatchTrace) or result.num_replicas != 1:
+            if not isinstance(result, BatchTrace):
                 raise ConfigurationError(
-                    "BatchTraceRecorder.merge_results expects R=1 BatchTrace "
-                    "results, one per replica"
+                    "BatchTraceRecorder.merge_results expects BatchTrace "
+                    "results (one per replica or per shard)"
                 )
-            traces.append(result.replica(0))
+            if result.num_replicas == 1:
+                traces.append(result.replica(0))
+            else:
+                traces.extend(result.to_traces())
         return BatchTrace.from_traces(traces)
 
 
@@ -361,14 +373,16 @@ class BatchLeaderCountTracker(BatchObserver):
 
     @classmethod
     def merge_results(cls, results: Sequence[object]) -> Tuple[Tuple[int, ...], ...]:
+        """Concatenate per-run trajectory tuples (any replica counts).
+
+        Each result is one run's per-replica trajectories — a single
+        replica on the sequential backend's merge path, a whole shard on
+        the sharded backends' — flattened in replica order.
+        """
         merged: List[Tuple[int, ...]] = []
         for result in results:
-            trajectories = tuple(result)  # type: ignore[arg-type]
-            if len(trajectories) != 1:
-                raise ConfigurationError(
-                    "BatchLeaderCountTracker.merge_results expects R=1 results"
-                )
-            merged.append(tuple(int(c) for c in trajectories[0]))
+            for trajectory in tuple(result):  # type: ignore[arg-type]
+                merged.append(tuple(int(c) for c in trajectory))
         return tuple(merged)
 
 
@@ -761,11 +775,13 @@ def build_observers(
 def merge_observations(
     spec: ObserverSpec, results: Sequence[object]
 ) -> object:
-    """Merge per-replica ``R = 1`` observations into one batch observation.
+    """Merge per-run observations into one batch observation, replica order.
 
-    Used by the sequential execution backend, which runs every replica with
-    its own observer instance; the merged value is byte-identical to what a
-    batched run of the same cell observes.
+    Two callers: the sequential execution backend merges one ``R = 1``
+    observation per replica, and the sharding merge path
+    (:func:`~repro.exec.cells.merge_cell_outcomes`) merges one multi-replica
+    observation per shard.  Either way the merged value is byte-identical to
+    what a single batched run of the whole cell observes.
     """
     _ensure_kind(spec.kind)
     factory = OBSERVER_KINDS[spec.kind]

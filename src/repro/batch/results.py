@@ -144,6 +144,73 @@ class BatchResult:
         ]
 
     @classmethod
+    def concatenate(cls, batches: Sequence["BatchResult"]) -> "BatchResult":
+        """Merge shard batches back into one batch, in shard order.
+
+        The inverse of slicing a seed list into sub-cells: every per-replica
+        array is concatenated, so the merged batch is byte-identical to a
+        single run over the concatenated seed list (the batched engines are
+        batch-size independent — each replica consumes only its own RNG
+        stream).  Optional fields (``leader_counts``, ``final_states``) must
+        be present in all shards or in none: the shards of one cell all run
+        the same code path, so a mixture indicates mismatched batches.
+        """
+        batches = list(batches)
+        if not batches:
+            raise ConfigurationError("cannot concatenate 0 batch results")
+        if len(batches) == 1:
+            return batches[0]
+        first = batches[0]
+        for batch in batches[1:]:
+            if (
+                batch.protocol_name != first.protocol_name
+                or batch.topology_name != first.topology_name
+            ):
+                raise ConfigurationError(
+                    f"cannot concatenate batches from different runs: "
+                    f"{(first.protocol_name, first.topology_name)} vs "
+                    f"{(batch.protocol_name, batch.topology_name)}"
+                )
+        with_counts = sum(b.leader_counts is not None for b in batches)
+        if with_counts not in (0, len(batches)):
+            raise ConfigurationError(
+                "cannot concatenate batches where only some shards recorded "
+                "leader-count trajectories"
+            )
+        with_states = sum(b.final_states is not None for b in batches)
+        if with_states not in (0, len(batches)):
+            raise ConfigurationError(
+                "cannot concatenate batches where only some shards recorded "
+                "final states"
+            )
+        return cls(
+            converged=np.concatenate([b.converged for b in batches]),
+            convergence_round=np.concatenate(
+                [b.convergence_round for b in batches]
+            ),
+            rounds_executed=np.concatenate(
+                [b.rounds_executed for b in batches]
+            ),
+            final_leader_count=np.concatenate(
+                [b.final_leader_count for b in batches]
+            ),
+            leader_node=np.concatenate([b.leader_node for b in batches]),
+            seeds=tuple(seed for b in batches for seed in b.seeds),
+            leader_counts=(
+                tuple(counts for b in batches for counts in b.leader_counts)
+                if with_counts
+                else None
+            ),
+            final_states=(
+                np.concatenate([b.final_states for b in batches], axis=0)
+                if with_states
+                else None
+            ),
+            protocol_name=first.protocol_name,
+            topology_name=first.topology_name,
+        )
+
+    @classmethod
     def from_simulation_results(
         cls,
         results: Sequence[SimulationResult],

@@ -64,6 +64,17 @@ def _add_backend_arguments(
         metavar="N",
         help="Worker processes for the process backend (implies --backend process:N).",
     )
+    parser.add_argument(
+        "--shard-size",
+        default=None,
+        metavar="N|auto",
+        help=(
+            "Split each cell's seed list into shards of at most N seeds "
+            "('auto' = ceil(replicas / workers) per cell), so process:N "
+            "parallelises within a cell.  Output stays byte-identical; "
+            "default: whole cells."
+        ),
+    )
     if legacy_batched:
         parser.add_argument(
             "--batched",
@@ -133,6 +144,19 @@ def _backend_spec_from_args(args: argparse.Namespace) -> Optional[str]:
                 f"got --workers {workers} with --backend {backend}"
             )
     return backend
+
+
+def _shard_size_from_args(args: argparse.Namespace):
+    """The ``--shard-size`` value in the form the entry points accept.
+
+    ``None`` (flag absent) keeps whole cells; ``"auto"`` and integer strings
+    pass through to :func:`repro.exec.resolve_shard_size`, which validates
+    them when the backend resolves.
+    """
+    value = getattr(args, "shard_size", None)
+    if value is None:
+        return None
+    return str(value).strip().lower()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -401,6 +425,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             master_seed=args.master_seed,
             progress=reporter,
             backend=_backend_spec_from_args(args),
+            shard_size=_shard_size_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -422,6 +447,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         num_seeds=args.replicas if args.replicas is not None else args.seeds,
         master_seed=args.master_seed,
         backend=_backend_spec_from_args(args),
+        shard_size=_shard_size_from_args(args),
     )
     print(result.render())
     return 0
@@ -444,6 +470,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         ),
         max_rounds=args.max_rounds,
         backend=_backend_spec_from_args(args),
+        shard_size=_shard_size_from_args(args),
     )
     print(report.render())
     if args.save_json:
@@ -463,6 +490,7 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
         diameters=args.diameters,
         num_seeds=args.seeds,
         backend=_backend_spec_from_args(args),
+        shard_size=_shard_size_from_args(args),
     )
     print(result.uniform.render())
     print()
@@ -479,6 +507,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         diameters=args.diameters,
         num_seeds=args.seeds,
         backend=_backend_spec_from_args(args),
+        shard_size=_shard_size_from_args(args),
     )
     print(result.render())
     return 0
@@ -491,6 +520,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         diameter=args.diameter,
         num_seeds=args.seeds,
         backend=_backend_spec_from_args(args),
+        shard_size=_shard_size_from_args(args),
     )
     print(result.render())
     return 0
@@ -517,6 +547,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
             max_rounds=args.max_rounds,
             progress=reporter,
             backend=_backend_spec_from_args(args),
+            shard_size=_shard_size_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -546,6 +577,7 @@ def _cmd_extinction(args: argparse.Namespace) -> int:
             max_rounds=args.max_rounds,
             progress=reporter,
             backend=_backend_spec_from_args(args),
+            shard_size=_shard_size_from_args(args),
         )
     print(result.render())
     if args.save_json:

@@ -22,7 +22,13 @@ All backends produce byte-identical records under matched seeds; choosing
 one is purely a wall-clock decision.  Rule of thumb: ``sequential`` for a
 handful of replicas or when debugging a single trial, ``batched`` for many
 replicas of few cells, ``process:N`` for sweeps with several independent
-cells (Table 1, scaling curves) on a multi-core machine.
+cells (Table 1, scaling curves) on a multi-core machine.  With
+``shard_size`` (``--shard-size``, ``"auto"`` = ``ceil(R / workers)``) the
+process backend also parallelises *within* a cell: the seed list is split
+into sub-cells (:func:`~repro.exec.cells.split_cell`), executed like any
+other unit of work and merged back byte-identically
+(:func:`~repro.exec.cells.merge_cell_outcomes`) — so a single montecarlo
+cell with thousands of replicas saturates every worker.
 """
 
 from repro.batch.observers import ObserverSpec
@@ -38,8 +44,12 @@ from repro.exec.backends import (
 from repro.exec.cells import (
     CellOutcome,
     ExecutionCell,
+    ShardSize,
     execute_cell_batched,
     execute_cell_sequential,
+    merge_cell_outcomes,
+    resolve_shard_size,
+    split_cell,
 )
 
 __all__ = [
@@ -53,8 +63,12 @@ __all__ = [
     "ProcessBackend",
     "ProgressHook",
     "SequentialBackend",
+    "ShardSize",
     "execute_cell_batched",
     "execute_cell_sequential",
+    "merge_cell_outcomes",
     "resolve_backend",
     "resolve_backend_with_deprecated_batched",
+    "resolve_shard_size",
+    "split_cell",
 ]

@@ -7,11 +7,23 @@
   :class:`~repro.batch.engine.BatchedEngine`, supported memory baselines
   through :class:`~repro.batch.memory.BatchedMemoryEngine`, standalone
   runners fall back to the loop).  Fastest single-process option.
-* :class:`ProcessBackend` — shards whole cells across a
-  ``multiprocessing`` pool; each worker runs the batched cell path.  Cells
-  are pure-data (spec pairs plus seeds), so the backend is spawn-safe, and
-  outcomes are returned in deterministic cell order, keeping output
-  byte-identical to the sequential loop under matched seeds.
+* :class:`ProcessBackend` — shards work across a ``multiprocessing`` pool;
+  each worker runs the batched cell path.  Cells are pure-data (spec pairs
+  plus seeds), so the backend is spawn-safe, and outcomes are returned in
+  deterministic cell order, keeping output byte-identical to the sequential
+  loop under matched seeds.
+
+Every backend accepts a ``shard_size``: a cell with more seeds than
+``shard_size`` is split into independent sub-cells
+(:func:`~repro.exec.cells.split_cell`), executed like any other unit of
+work, and merged back (:func:`~repro.exec.cells.merge_cell_outcomes`) into
+one outcome — byte-identical to the unsharded run.  For the process
+backend this is what spreads a *single* large cell (e.g. one montecarlo
+configuration with thousands of replicas) across all workers instead of
+pinning one core; ``shard_size="auto"`` picks ``ceil(R / workers)`` per
+cell.  Shards and whole small cells interleave in one work-unit list, and
+the pool is clamped to the number of work units, never spawning idle
+processes.
 
 :func:`resolve_backend` turns a backend instance or a spec string
 (``"sequential"``, ``"batched"``, ``"process"``, ``"process:4"``) into a
@@ -25,15 +37,19 @@ from __future__ import annotations
 import multiprocessing
 import os
 import warnings
-from typing import Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
 from repro.exec.base import ExecutionBackend, ProgressHook, emit_progress
 from repro.exec.cells import (
     CellOutcome,
     ExecutionCell,
+    ShardSize,
     execute_cell_batched,
     execute_cell_sequential,
+    merge_cell_outcomes,
+    resolve_shard_size,
+    split_cell,
 )
 
 #: What a caller may pass as ``backend=``: an instance, a spec string, or
@@ -41,42 +57,88 @@ from repro.exec.cells import (
 BackendSpec = Union[ExecutionBackend, str, None]
 
 
-class SequentialBackend(ExecutionBackend):
+def _validate_shard_size(shard_size: ShardSize) -> ShardSize:
+    """Check a shard-size setting once at construction time.
+
+    ``"auto"`` stays symbolic (it resolves per cell against the worker
+    count); integers are normalised and validated here so a bad setting
+    fails fast instead of mid-sweep.
+    """
+    if shard_size is None:
+        return None
+    # Delegate validation; a symbolic "auto" resolves differently per cell,
+    # so only the integer result of a non-auto setting is kept.
+    resolved = resolve_shard_size(shard_size, num_replicas=1, workers=1)
+    if isinstance(shard_size, str) and shard_size.strip().lower() == "auto":
+        return "auto"
+    return resolved
+
+
+class _InProcessShardingMixin:
+    """Shared sharded run loop for the two in-process backends."""
+
+    shard_size: ShardSize = None
+    #: Worker count used by the ``"auto"`` shard-size rule (in-process
+    #: backends execute one unit at a time, so auto never splits for them).
+    workers: int = 1
+
+    def _execute(self, cell: ExecutionCell) -> CellOutcome:  # pragma: no cover
+        raise NotImplementedError
+
+    def run_cell_outcomes(
+        self,
+        cells: Sequence[ExecutionCell],
+        progress: Optional[ProgressHook] = None,
+    ) -> Tuple[CellOutcome, ...]:
+        cells = tuple(cells)
+        outcomes = []
+        for index, cell in enumerate(cells):
+            size = resolve_shard_size(
+                self.shard_size, cell.num_replicas, self.workers
+            )
+            shards = split_cell(cell, size)
+            shard_outcomes = []
+            for shard_index, shard in enumerate(shards):
+                shard_outcome = self._execute(shard)
+                shard_outcomes.append(shard_outcome)
+                if len(shards) > 1:
+                    emit_progress(
+                        progress,
+                        index,
+                        len(cells),
+                        shard_outcome,
+                        self.name,
+                        shard_index=shard_index,
+                        shard_count=len(shards),
+                    )
+            outcome = merge_cell_outcomes(cell, shard_outcomes)
+            outcomes.append(outcome)
+            emit_progress(progress, index, len(cells), outcome, self.name)
+        return tuple(outcomes)
+
+
+class SequentialBackend(_InProcessShardingMixin, ExecutionBackend):
     """One seeded single-replica run per seed — the reference semantics."""
 
     name = "sequential"
 
-    def run_cell_outcomes(
-        self,
-        cells: Sequence[ExecutionCell],
-        progress: Optional[ProgressHook] = None,
-    ) -> Tuple[CellOutcome, ...]:
-        cells = tuple(cells)
-        outcomes = []
-        for index, cell in enumerate(cells):
-            outcome = execute_cell_sequential(cell)
-            outcomes.append(outcome)
-            emit_progress(progress, index, len(cells), outcome, self.name)
-        return tuple(outcomes)
+    def __init__(self, shard_size: ShardSize = None):
+        self.shard_size = _validate_shard_size(shard_size)
+
+    def _execute(self, cell: ExecutionCell) -> CellOutcome:
+        return execute_cell_sequential(cell)
 
 
-class BatchedBackend(ExecutionBackend):
+class BatchedBackend(_InProcessShardingMixin, ExecutionBackend):
     """All replicas of each cell advance in one batched state array."""
 
     name = "batched"
 
-    def run_cell_outcomes(
-        self,
-        cells: Sequence[ExecutionCell],
-        progress: Optional[ProgressHook] = None,
-    ) -> Tuple[CellOutcome, ...]:
-        cells = tuple(cells)
-        outcomes = []
-        for index, cell in enumerate(cells):
-            outcome = execute_cell_batched(cell)
-            outcomes.append(outcome)
-            emit_progress(progress, index, len(cells), outcome, self.name)
-        return tuple(outcomes)
+    def __init__(self, shard_size: ShardSize = None):
+        self.shard_size = _validate_shard_size(shard_size)
+
+    def _execute(self, cell: ExecutionCell) -> CellOutcome:
+        return execute_cell_batched(cell)
 
 
 def _execute_cell_in_worker(cell: ExecutionCell) -> CellOutcome:
@@ -85,33 +147,49 @@ def _execute_cell_in_worker(cell: ExecutionCell) -> CellOutcome:
 
 
 class ProcessBackend(ExecutionBackend):
-    """Shard whole cells across a ``multiprocessing`` pool.
+    """Shard cells — and, with ``shard_size``, seed lists — across a pool.
 
     Parameters
     ----------
     workers:
         Pool size; defaults to the machine's CPU count.  The pool never
-        exceeds the number of cells.
+        exceeds the number of work units (shards plus unsplit cells), so no
+        idle processes are spawned.
     mp_context:
         ``multiprocessing`` start method.  Defaults to ``"spawn"``, which
         works on every platform and proves the cells are pure-data; pass
         ``"fork"`` on POSIX to trade that guarantee for cheaper startup.
+    shard_size:
+        Maximum seeds per work unit.  ``None`` (default) keeps whole cells;
+        ``"auto"`` resolves to ``ceil(R / workers)`` per cell, splitting
+        every cell into exactly as many shards as there are workers — the
+        fix for the one-cell/one-core defect: a single montecarlo cell with
+        thousands of replicas saturates the pool instead of pinning one
+        core.
 
     Each worker executes the batched cell path, so per-cell results are the
     batched engine's — replica-for-replica identical to the sequential
-    loop.  ``imap`` keeps delivery (and therefore record order and progress
-    events) in deterministic cell order regardless of which worker finishes
-    first.
+    loop.  ``imap`` keeps delivery (and therefore record order, shard-merge
+    order and progress events) in deterministic unit order regardless of
+    which worker finishes first.  ``last_pool_size`` records the pool size
+    of the most recent run (what the clamp regression test reads).
     """
 
-    def __init__(self, workers: Optional[int] = None, mp_context: str = "spawn"):
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        mp_context: str = "spawn",
+        shard_size: ShardSize = None,
+    ):
         if workers is None:
             workers = max(1, os.cpu_count() or 1)
         if int(workers) < 1:
             raise ConfigurationError(f"workers must be >= 1; got {workers}")
         self.workers = int(workers)
         self.mp_context = mp_context
+        self.shard_size = _validate_shard_size(shard_size)
         self.name = f"process:{self.workers}"
+        self.last_pool_size: Optional[int] = None
 
     def run_cell_outcomes(
         self,
@@ -121,53 +199,103 @@ class ProcessBackend(ExecutionBackend):
         cells = tuple(cells)
         if not cells:
             return ()
-        pool_size = min(self.workers, len(cells))
+        # Flatten cells into work units: (cell index, shard index, shard
+        # count, sub-cell), in cell order then shard order.  Whole small
+        # cells and the shards of large ones interleave in one list, so the
+        # pool drains them without idling on a long tail.
+        units: List[Tuple[int, int, int, ExecutionCell]] = []
+        for cell_index, cell in enumerate(cells):
+            size = resolve_shard_size(
+                self.shard_size, cell.num_replicas, self.workers
+            )
+            shards = split_cell(cell, size)
+            for shard_index, shard in enumerate(shards):
+                units.append((cell_index, shard_index, len(shards), shard))
+        pool_size = min(self.workers, len(units))
+        self.last_pool_size = pool_size
         context = multiprocessing.get_context(self.mp_context)
         outcomes = []
+        pending: Dict[int, List[CellOutcome]] = {}
         with context.Pool(processes=pool_size) as pool:
-            for index, outcome in enumerate(
-                pool.imap(_execute_cell_in_worker, cells, chunksize=1)
+            for (cell_index, shard_index, shard_count, _), shard_outcome in zip(
+                units,
+                pool.imap(
+                    _execute_cell_in_worker,
+                    [unit[3] for unit in units],
+                    chunksize=1,
+                ),
             ):
-                outcomes.append(outcome)
-                emit_progress(progress, index, len(cells), outcome, self.name)
+                if shard_count > 1:
+                    emit_progress(
+                        progress,
+                        cell_index,
+                        len(cells),
+                        shard_outcome,
+                        self.name,
+                        shard_index=shard_index,
+                        shard_count=shard_count,
+                    )
+                pending.setdefault(cell_index, []).append(shard_outcome)
+                if shard_index == shard_count - 1:
+                    # imap delivers in unit order, so a cell's shards arrive
+                    # consecutively; its last shard completes the cell.
+                    outcome = merge_cell_outcomes(
+                        cells[cell_index], pending.pop(cell_index)
+                    )
+                    outcomes.append(outcome)
+                    emit_progress(
+                        progress, cell_index, len(cells), outcome, self.name
+                    )
         return tuple(outcomes)
 
 
 def resolve_backend(
-    spec: BackendSpec = None, default: BackendSpec = "sequential"
+    spec: BackendSpec = None,
+    default: BackendSpec = "sequential",
+    shard_size: ShardSize = None,
 ) -> ExecutionBackend:
     """Turn a backend instance or spec string into a backend object.
 
     Accepted spec strings: ``"sequential"``, ``"batched"``, ``"process"``
     (CPU-count workers) and ``"process:N"``.  ``None`` resolves to
     ``default``, so entry points can keep their historical default while
-    accepting explicit overrides.
+    accepting explicit overrides.  ``shard_size`` (an int, ``"auto"`` or
+    ``None`` to leave the backend's own setting alone) is applied to the
+    resolved backend — including instances passed in directly, so CLI
+    ``--shard-size`` composes with any ``--backend``.
     """
     if spec is None:
         spec = default
+    resolved: Optional[ExecutionBackend] = None
     if isinstance(spec, ExecutionBackend):
-        return spec
-    if isinstance(spec, str):
+        resolved = spec
+    elif isinstance(spec, str):
         name, _, argument = spec.strip().partition(":")
         name = name.lower()
         if name == "sequential" and not argument:
-            return SequentialBackend()
-        if name == "batched" and not argument:
-            return BatchedBackend()
-        if name == "process":
+            resolved = SequentialBackend()
+        elif name == "batched" and not argument:
+            resolved = BatchedBackend()
+        elif name == "process":
             if not argument:
-                return ProcessBackend()
-            try:
-                workers = int(argument)
-            except ValueError:
-                raise ConfigurationError(
-                    f"invalid worker count {argument!r} in backend spec {spec!r}"
-                ) from None
-            return ProcessBackend(workers=workers)
-    raise ConfigurationError(
-        f"unknown execution backend {spec!r}; expected an ExecutionBackend "
-        f"instance or one of 'sequential', 'batched', 'process[:N]'"
-    )
+                resolved = ProcessBackend()
+            else:
+                try:
+                    workers = int(argument)
+                except ValueError:
+                    raise ConfigurationError(
+                        f"invalid worker count {argument!r} in backend spec "
+                        f"{spec!r}"
+                    ) from None
+                resolved = ProcessBackend(workers=workers)
+    if resolved is None:
+        raise ConfigurationError(
+            f"unknown execution backend {spec!r}; expected an ExecutionBackend "
+            f"instance or one of 'sequential', 'batched', 'process[:N]'"
+        )
+    if shard_size is not None:
+        resolved.shard_size = _validate_shard_size(shard_size)
+    return resolved
 
 
 def resolve_backend_with_deprecated_batched(
@@ -175,6 +303,7 @@ def resolve_backend_with_deprecated_batched(
     batched: Optional[bool],
     default: BackendSpec = "sequential",
     what: str = "batched=",
+    shard_size: ShardSize = None,
 ) -> ExecutionBackend:
     """Resolve ``backend=`` while honouring the legacy ``batched=`` kwarg.
 
@@ -194,4 +323,4 @@ def resolve_backend_with_deprecated_batched(
                 "pass either backend= or the deprecated batched=, not both"
             )
         backend = "batched" if batched else "sequential"
-    return resolve_backend(backend, default=default)
+    return resolve_backend(backend, default=default, shard_size=shard_size)

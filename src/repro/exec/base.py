@@ -37,6 +37,13 @@ class CellCompleted:
     (seconds the executing process spent on the cell, total replica-rounds
     advanced); both are excluded from equality, like the outcome fields they
     come from.
+
+    When a backend shards a cell's seed list (``shard_size``), it emits one
+    *sub-progress* event per finished shard — ``shard_index`` / ``shard_count``
+    set, ``outcome`` carrying only that shard's sub-cell — followed by the
+    ordinary per-cell event (shard fields ``None``, outcome merged over the
+    whole cell).  Consumers that ignore the shard fields see exactly the
+    historical event stream.
     """
 
     index: int
@@ -45,6 +52,8 @@ class CellCompleted:
     backend: str
     wall_seconds: Optional[float] = field(default=None, compare=False)
     rounds_advanced: Optional[int] = field(default=None, compare=False)
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
 
     @property
     def cell(self) -> ExecutionCell:
@@ -65,6 +74,13 @@ class ExecutionBackend(abc.ABC):
 
     #: Spec-string name of the backend (what :func:`resolve_backend` parses).
     name: str = "?"
+
+    #: Seed-list shard size: ``None`` (whole cells), a positive int, or
+    #: ``"auto"`` (``ceil(R / workers)`` per cell).  Backends that shard
+    #: split cells with :func:`~repro.exec.cells.split_cell` and merge the
+    #: executed shards back byte-identically; ``resolve_backend`` sets this
+    #: attribute when given a ``shard_size``.
+    shard_size: object = None
 
     @abc.abstractmethod
     def run_cell_outcomes(
@@ -100,8 +116,14 @@ def emit_progress(
     total: int,
     outcome: CellOutcome,
     backend: str,
+    shard_index: Optional[int] = None,
+    shard_count: Optional[int] = None,
 ) -> None:
-    """Deliver one :class:`CellCompleted` event if a hook is installed."""
+    """Deliver one :class:`CellCompleted` event if a hook is installed.
+
+    ``shard_index`` / ``shard_count`` mark the event as per-shard
+    sub-progress (sharding backends emit those before the per-cell event).
+    """
     if progress is not None:
         progress(
             CellCompleted(
@@ -111,5 +133,7 @@ def emit_progress(
                 backend=backend,
                 wall_seconds=outcome.wall_seconds,
                 rounds_advanced=outcome.rounds_advanced,
+                shard_index=shard_index,
+                shard_count=shard_count,
             )
         )

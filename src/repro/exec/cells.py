@@ -21,13 +21,25 @@ Two executors share this module:
 
 Both return a :class:`CellOutcome`, whose per-seed results are
 replica-for-replica identical between the two executors.
+
+Cells also shard: :func:`split_cell` slices a cell's seed list into
+independent sub-cells of at most ``shard_size`` seeds, and
+:func:`merge_cell_outcomes` folds the executed shards back into one
+outcome in original seed order.  Because every engine gives each replica
+its own RNG stream (batch-size and order independence, pinned by the
+parity harness), the merged outcome is byte-identical to running the
+whole cell at once — records, batch arrays, observations and trace rows
+included.  This is what lets :class:`~repro.exec.backends.ProcessBackend`
+spread a single large cell across all of its workers instead of pinning
+one core.
 """
 
 from __future__ import annotations
 
+import math
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.batch.observers import (
     ObserverSpec,
@@ -258,6 +270,133 @@ class CellOutcome:
             )
             object.__setattr__(self, "_records_cache", cached)
         return cached
+
+
+#: What a caller may pass as ``shard_size``: ``None`` (no sharding), a
+#: positive int (max seeds per shard) or ``"auto"`` (``ceil(R / workers)``).
+ShardSize = Union[int, str, None]
+
+
+def resolve_shard_size(
+    shard_size: ShardSize, num_replicas: int, workers: int = 1
+) -> Optional[int]:
+    """Resolve a shard-size setting to a concrete per-cell value.
+
+    ``None`` means no sharding; ``"auto"`` resolves to
+    ``ceil(num_replicas / workers)`` (minimum 1), which splits a cell into
+    exactly as many shards as there are workers to run them — the setting
+    ``--shard-size auto`` surfaces on the CLI.  Explicit integers must be
+    positive and are returned unchanged.
+    """
+    if shard_size is None:
+        return None
+    if isinstance(shard_size, str):
+        text = shard_size.strip().lower()
+        if text == "auto":
+            return max(1, math.ceil(num_replicas / max(1, int(workers))))
+        try:
+            shard_size = int(text)
+        except ValueError:
+            raise ConfigurationError(
+                f"invalid shard size {shard_size!r}; expected a positive "
+                f"integer or 'auto'"
+            ) from None
+    size = int(shard_size)
+    if size < 1:
+        raise ConfigurationError(f"shard size must be >= 1; got {size}")
+    return size
+
+
+def split_cell(
+    cell: ExecutionCell, shard_size: Optional[int]
+) -> Tuple[ExecutionCell, ...]:
+    """Slice a cell's seed list into sub-cells of at most ``shard_size`` seeds.
+
+    Everything except the seed tuple is shared (specs are immutable pure
+    data), so shards stay picklable and rebuild the same topology, protocol,
+    schedule and observers as the whole cell.  ``None`` (or any size that
+    covers the whole cell) returns the cell itself.
+    """
+    if shard_size is not None and shard_size < 1:
+        raise ConfigurationError(f"shard size must be >= 1; got {shard_size}")
+    if shard_size is None or cell.num_replicas <= shard_size:
+        return (cell,)
+    return tuple(
+        replace(cell, seeds=cell.seeds[start : start + shard_size])
+        for start in range(0, cell.num_replicas, shard_size)
+    )
+
+
+def merge_cell_outcomes(
+    cell: ExecutionCell, outcomes: Sequence[CellOutcome]
+) -> CellOutcome:
+    """Fold executed shard outcomes back into one outcome for ``cell``.
+
+    The shards must cover the cell's seed list in order (what
+    :func:`split_cell` produces).  Batch arrays are concatenated
+    (:meth:`~repro.batch.results.BatchResult.concatenate`), observations are
+    merged per spec through the observer kinds' ``merge_results`` (the same
+    mechanism the sequential executor uses for its ``R = 1`` runs), wall
+    seconds add up and metrics snapshots merge counter-wise — so the merged
+    outcome's records, batch, traces and reducer outputs are byte-identical
+    to executing the whole cell at once.
+
+    One visible difference is tolerated by design: a state-aware dynamic
+    cell executed whole falls back to the sequential path for ``R > 1``,
+    while its ``R = 1`` shards run batched — identical records either way
+    (the documented parity contract), so the merged outcome may carry a
+    ``batch`` where the unsharded run carried ``sequential_results``.
+    """
+    from repro.telemetry.metrics import merge_snapshots
+
+    outcomes = tuple(outcomes)
+    if not outcomes:
+        raise ConfigurationError(
+            f"cannot merge 0 shard outcomes for cell {cell.label!r}"
+        )
+    covered = tuple(
+        seed for outcome in outcomes for seed in outcome.cell.seeds
+    )
+    if covered != cell.seeds:
+        raise ConfigurationError(
+            f"shard outcomes do not cover cell {cell.label!r} in seed order: "
+            f"expected {cell.seeds}, got {covered}"
+        )
+    if len(outcomes) == 1 and outcomes[0].cell == cell:
+        return outcomes[0]
+    first = outcomes[0]
+    walls = [o.wall_seconds for o in outcomes if o.wall_seconds is not None]
+    wall_seconds = float(sum(walls)) if walls else None
+    observations: Optional[Tuple[object, ...]] = None
+    if cell.observers:
+        observations = tuple(
+            merge_observations(
+                spec, [outcome.observations[index] for outcome in outcomes]
+            )
+            for index, spec in enumerate(cell.observers)
+        )
+    common = dict(
+        cell=cell,
+        n=first.n,
+        diameter=first.diameter,
+        topology_name=first.topology_name,
+        observations=observations,
+        wall_seconds=wall_seconds,
+        metrics=merge_snapshots([o.metrics for o in outcomes]),
+    )
+    if all(outcome.batch is not None for outcome in outcomes):
+        return CellOutcome(
+            batch=BatchResult.concatenate([o.batch for o in outcomes]),
+            batched=all(outcome.batched for outcome in outcomes),
+            **common,
+        )
+    return CellOutcome(
+        sequential_results=tuple(
+            result for outcome in outcomes for result in outcome.results
+        ),
+        batched=False,
+        **common,
+    )
 
 
 def _build_cell(cell: ExecutionCell):

@@ -26,6 +26,7 @@ from repro.errors import ConfigurationError
 from repro.exec import (
     BackendSpec,
     ExecutionCell,
+    ShardSize,
     resolve_backend_with_deprecated_batched,
 )
 from repro.experiments.config import GraphSpec, ProtocolSpecConfig
@@ -114,6 +115,7 @@ def scaling_experiment(
     max_rounds_factor: float = 200.0,
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
+    shard_size: "ShardSize" = None,
 ) -> ScalingResult:
     """Measure convergence time against the diameter (experiments E2 / E3).
 
@@ -148,7 +150,11 @@ def scaling_experiment(
     if mode not in ("uniform", "nonuniform"):
         raise ConfigurationError(f"mode must be 'uniform' or 'nonuniform'; got {mode!r}")
     resolved = resolve_backend_with_deprecated_batched(
-        backend, batched, default="sequential", what="scaling_experiment(batched=...)"
+        backend,
+        batched,
+        default="sequential",
+        what="scaling_experiment(batched=...)",
+        shard_size=shard_size,
     )
     cells: List[ExecutionCell] = []
     for diameter in diameters:
@@ -238,6 +244,7 @@ def crossover_experiment(
     num_seeds: int = 10,
     master_seed: int = 3,
     backend: BackendSpec = None,
+    shard_size: "ShardSize" = None,
 ) -> CrossoverResult:
     """Run E2 and E3 on the same graphs and report the speed-up factors."""
     uniform = scaling_experiment(
@@ -247,6 +254,7 @@ def crossover_experiment(
         num_seeds=num_seeds,
         master_seed=master_seed,
         backend=backend,
+        shard_size=shard_size,
     )
     nonuniform = scaling_experiment(
         mode="nonuniform",
@@ -255,6 +263,7 @@ def crossover_experiment(
         num_seeds=num_seeds,
         master_seed=master_seed + 1,
         backend=backend,
+        shard_size=shard_size,
     )
     speedups = tuple(
         (
@@ -318,6 +327,7 @@ def lower_bound_experiment(
     max_rounds_factor: float = 400.0,
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
+    shard_size: "ShardSize" = None,
 ) -> LowerBoundResult:
     """Measure how long two diametral leaders coexist on a path (experiment E4).
 
@@ -331,6 +341,7 @@ def lower_bound_experiment(
         batched,
         default="sequential",
         what="lower_bound_experiment(batched=...)",
+        shard_size=shard_size,
     )
     cells = tuple(
         ExecutionCell(
@@ -447,6 +458,7 @@ def ablation_experiment(
     max_rounds_factor: float = 150.0,
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
+    shard_size: "ShardSize" = None,
 ) -> AblationResult:
     """Sweep ``p`` and test the structural ablation variants (experiment E8).
 
@@ -456,7 +468,11 @@ def ablation_experiment(
     ``batched=True`` is a deprecated shim for ``backend="batched"``.
     """
     resolved = resolve_backend_with_deprecated_batched(
-        backend, batched, default="sequential", what="ablation_experiment(batched=...)"
+        backend,
+        batched,
+        default="sequential",
+        what="ablation_experiment(batched=...)",
+        shard_size=shard_size,
     )
     graph_spec = GraphSpec(family="path", n=diameter + 1)
     budget = int(max_rounds_factor * diameter * diameter) + 1000

@@ -44,7 +44,7 @@ from repro.graphs.topology import Topology
 if TYPE_CHECKING:  # pragma: no cover - typing-only import, avoids a module cycle
     from repro.batch.observers import BatchObserver
     from repro.dynamics.schedules import TopologySchedule
-    from repro.exec import BackendSpec
+    from repro.exec import BackendSpec, ShardSize
 from repro.stats.summary import Summary, summarize_sample
 from repro.viz.table_format import render_table
 
@@ -126,6 +126,13 @@ class MonteCarloRunner:
                 "batch-supported memory baseline; standalone runner "
                 f"{type(protocol).__name__} has no observation hooks"
             )
+        run_batch = getattr(protocol, "run_batch", None)
+        if callable(run_batch):
+            # Standalone runners with a batch entry point (the pipelined-IDs
+            # election) advance all replicas together — replica-for-replica
+            # identical to the per-seed loop under matched seeds, so the
+            # cell shards like every other protocol.
+            return run_batch(topology, list(seeds), max_rounds=budget)
         results = [
             run_protocol_on(topology, protocol, rng=seed, max_rounds=budget)
             for seed in seeds
@@ -142,11 +149,16 @@ class MonteCarloRunner:
 def runs_batched(protocol: object) -> bool:
     """Whether :class:`MonteCarloRunner` advances ``protocol`` batched.
 
-    True for constant-state beeping protocols and for memory baselines with
-    a registered batch implementation; False for standalone runners (which
-    keep the per-seed loop).
+    True for constant-state beeping protocols, for memory baselines with a
+    registered batch implementation, and for standalone runners exposing a
+    ``run_batch`` entry point (the pipelined-IDs election); False for
+    runners that keep the per-seed loop.
     """
-    return isinstance(protocol, BeepingProtocol) or supports_batched_memory(protocol)
+    return (
+        isinstance(protocol, BeepingProtocol)
+        or supports_batched_memory(protocol)
+        or callable(getattr(protocol, "run_batch", None))
+    )
 
 
 @dataclass(frozen=True)
@@ -209,6 +221,7 @@ def run_monte_carlo(
     max_rounds: Optional[int] = None,
     params: Optional[dict] = None,
     backend: "BackendSpec" = None,
+    shard_size: "ShardSize" = None,
 ) -> MonteCarloReport:
     """Run ``replicas`` seeded executions of one configuration and summarise.
 
@@ -223,7 +236,10 @@ def run_monte_carlo(
     ``backend`` selects the :mod:`repro.exec` execution backend and defaults
     to ``"batched"`` (the historical behaviour of this entry point); the
     per-replica outcomes are identical on every backend, but only batched
-    executions record elected-node identities.
+    executions record elected-node identities.  ``shard_size`` (int or
+    ``"auto"`` = ``ceil(replicas / workers)``) splits the run's single cell
+    into seed-list shards — the setting that lets ``process:N`` spread one
+    large montecarlo cell across all workers, byte-identically.
 
     ``elapsed_seconds`` (and therefore the reported replica-rounds/sec)
     times the whole backend execution — graph rebuild and protocol
@@ -236,7 +252,7 @@ def run_monte_carlo(
 
     if replicas < 1:
         raise ConfigurationError(f"replicas must be >= 1; got {replicas}")
-    resolved = resolve_backend(backend, default="batched")
+    resolved = resolve_backend(backend, default="batched", shard_size=shard_size)
     cell = ExecutionCell(
         protocol=ProtocolSpecConfig(name=protocol, params=dict(params or {})),
         graph=GraphSpec(family=graph, n=n),

@@ -43,6 +43,7 @@ from repro.exec import (
     CellCompleted,
     ExecutionCell,
     ProgressHook,
+    ShardSize,
     resolve_backend_with_deprecated_batched,
 )
 from repro.experiments.config import SweepConfig, TrialConfig
@@ -214,6 +215,21 @@ def cell_progress_adapter(
         return None
 
     def on_cell(event: CellCompleted) -> None:
+        if getattr(event, "shard_index", None) is not None:
+            # Per-shard sub-progress (sharding backends only): one short
+            # console line, and the telemetry stream gets a "shard" record.
+            line = (
+                f"  shard {event.shard_index + 1}/{event.shard_count} of "
+                f"{event.cell.label} "
+                f"({event.cell.num_replicas} replicas)"
+            )
+            if event.wall_seconds is not None:
+                line += f" [{event.wall_seconds:.3f}s]"
+            progress(line)
+            record_event = getattr(progress, "cell_completed", None)
+            if callable(record_event):
+                record_event(event)
+            return
         cell_records = event.outcome.to_records()
         mean_rounds = float(
             np.mean(
@@ -248,6 +264,7 @@ def run_sweep(
     progress: Optional[Callable[[str], None]] = None,
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
+    shard_size: "ShardSize" = None,
 ) -> Tuple[TrialRecord, ...]:
     """Run every (protocol, graph, seed) combination of a sweep.
 
@@ -265,12 +282,21 @@ def run_sweep(
         state array per cell) or ``"process:N"`` (cells sharded across N
         worker processes).  Records are byte-identical on every backend
         under the same master seed; only the wall-clock changes.
+    shard_size:
+        Maximum seeds per work unit (``--shard-size``): a positive int or
+        ``"auto"`` (``ceil(R / workers)`` per cell).  Lets ``process:N``
+        parallelise within a cell; output stays byte-identical.  ``None``
+        keeps whole cells.
     batched:
         Deprecated: ``batched=True`` is a shim for ``backend="batched"``
         and emits a :class:`DeprecationWarning`.
     """
     resolved = resolve_backend_with_deprecated_batched(
-        backend, batched, default="sequential", what="run_sweep(batched=...)"
+        backend,
+        batched,
+        default="sequential",
+        what="run_sweep(batched=...)",
+        shard_size=shard_size,
     )
     return resolved.run_cells(
         sweep_cells(sweep), progress=cell_progress_adapter(progress)

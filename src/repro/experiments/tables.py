@@ -28,7 +28,12 @@ from repro.baselines import (
     PipelinedIDElection,
 )
 from repro.baselines.base import BaselineInfo
-from repro.exec import BackendSpec, ExecutionCell, resolve_backend_with_deprecated_batched
+from repro.exec import (
+    BackendSpec,
+    ExecutionCell,
+    ShardSize,
+    resolve_backend_with_deprecated_batched,
+)
 from repro.experiments.config import GraphSpec, ProtocolSpecConfig, SweepConfig
 from repro.experiments.results import CellSummary, TrialRecord, aggregate_records
 from repro.experiments.runner import cell_progress_adapter, sweep_cells
@@ -160,6 +165,7 @@ def generate_table1(
     progress=None,
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
+    shard_size: "ShardSize" = None,
 ) -> Table1Result:
     """Run the Table-1 comparison and return the regenerated table.
 
@@ -185,12 +191,20 @@ def generate_table1(
         call, so a process pool shards the whole table at once.  Every
         measured number is identical under the same ``master_seed``; only
         the wall-clock changes.
+    shard_size:
+        Maximum seeds per work unit (int or ``"auto"`` =
+        ``ceil(R / workers)``): lets ``process:N`` split each cell's seed
+        list across workers, byte-identically.  ``None`` keeps whole cells.
     batched:
         Deprecated shim for ``backend="batched"`` (emits a
         :class:`DeprecationWarning`).
     """
     resolved = resolve_backend_with_deprecated_batched(
-        backend, batched, default="sequential", what="generate_table1(batched=...)"
+        backend,
+        batched,
+        default="sequential",
+        what="generate_table1(batched=...)",
+        shard_size=shard_size,
     )
     graph_labels = tuple(graph.label for graph in graphs)
     cells: List[ExecutionCell] = []

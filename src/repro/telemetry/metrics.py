@@ -19,11 +19,12 @@ from __future__ import annotations
 import contextlib
 import contextvars
 import time
-from typing import Dict, Iterator, Mapping, Optional
+from typing import Dict, Iterator, Mapping, Optional, Sequence
 
 __all__ = [
     "MetricsRegistry",
     "current_metrics",
+    "merge_snapshots",
     "sample_engine_run",
     "use_metrics",
 ]
@@ -96,6 +97,36 @@ class MetricsRegistry:
             f"MetricsRegistry(counters={len(self.counters)}, "
             f"gauges={len(self.gauges)}, timers={len(self.timers)})"
         )
+
+
+def merge_snapshots(
+    snapshots: "Sequence[Optional[Mapping[str, Mapping[str, float]]]]",
+) -> Optional[Dict[str, Dict[str, float]]]:
+    """Merge plain-dict registry snapshots with :meth:`MetricsRegistry.merge`
+    semantics: counters and timers add, gauges keep the last written value.
+
+    Used by the execution layer when a sharded cell's per-shard snapshots
+    (possibly pickled back from worker processes) are folded into one
+    per-cell snapshot.  ``None`` entries are skipped; returns ``None`` when
+    every snapshot is ``None`` (no registry was installed anywhere).
+    """
+    merged: Optional[Dict[str, Dict[str, float]]] = None
+    for snapshot in snapshots:
+        if snapshot is None:
+            continue
+        if merged is None:
+            merged = {"counters": {}, "gauges": {}, "timers": {}}
+        for section, combine in (
+            ("counters", True),
+            ("timers", True),
+            ("gauges", False),
+        ):
+            for name, value in dict(snapshot.get(section, {})).items():
+                if combine:
+                    merged[section][name] = merged[section].get(name, 0) + value
+                else:
+                    merged[section][name] = value
+    return merged
 
 
 _CURRENT: contextvars.ContextVar[Optional[MetricsRegistry]] = contextvars.ContextVar(

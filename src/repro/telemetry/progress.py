@@ -17,8 +17,12 @@ now share:
 
 The JSONL schema is deliberately flat: ``{"event": "cell", ...}`` records
 per completed cell (protocol, graph, mean rounds, wall seconds, rounds
-advanced, sampled metrics) and one ``{"event": "summary", ...}`` record
-when the reporter closes.
+advanced, sampled metrics), ``{"event": "shard", ...}`` sub-progress
+records per finished seed-list shard when a backend shards cells
+(``--shard-size``), and one ``{"event": "summary", ...}`` record when the
+reporter closes.  Shard records are informational sub-progress: the
+summary's cell/wall totals count merged cells only, so a sharded sweep
+reports the same totals as an unsharded one.
 """
 
 from __future__ import annotations
@@ -104,10 +108,33 @@ class ProgressReporter:
         self._telemetry_file.flush()
 
     def cell_completed(self, event: object, mean_rounds: Optional[float] = None) -> None:
-        """Record one backend ``CellCompleted`` event into the stream."""
+        """Record one backend ``CellCompleted`` event into the stream.
+
+        Shard sub-progress events (``shard_index`` set) become ``"shard"``
+        records and do not count towards the summary totals — the per-cell
+        event that follows them carries the merged wall time and rounds.
+        """
         wall_seconds = getattr(event, "wall_seconds", None)
         rounds_advanced = getattr(event, "rounds_advanced", None)
         outcome = event.outcome  # type: ignore[attr-defined]
+        shard_index = getattr(event, "shard_index", None)
+        if shard_index is not None:
+            self.emit(
+                {
+                    "event": "shard",
+                    "index": event.index,  # type: ignore[attr-defined]
+                    "total": event.total,  # type: ignore[attr-defined]
+                    "shard": shard_index,
+                    "shards": getattr(event, "shard_count", None),
+                    "backend": event.backend,  # type: ignore[attr-defined]
+                    "protocol": event.cell.protocol.label,  # type: ignore[attr-defined]
+                    "graph": event.cell.graph.label,  # type: ignore[attr-defined]
+                    "replicas": len(event.cell.seeds),  # type: ignore[attr-defined]
+                    "wall_seconds": wall_seconds,
+                    "rounds_advanced": rounds_advanced,
+                }
+            )
+            return
         self._cells += 1
         if wall_seconds is not None:
             self._wall_seconds += wall_seconds
@@ -160,12 +187,22 @@ class ProgressReporter:
 
 
 def iter_telemetry(path: str) -> Iterator[Dict[str, object]]:
-    """Yield the JSONL records currently in a telemetry file, in order."""
+    """Yield the complete JSONL records currently in a telemetry file.
+
+    The file may still be written to: a record caught mid-write (no
+    terminating newline yet) is *not* parsed — it would crash
+    ``json.loads`` — and is simply left for the next read, matching the
+    partial-line buffering of :func:`tail_telemetry`.
+    """
     with open(path, "r", encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                yield json.loads(line)
+        content = fh.read()
+    complete, newline, _partial = content.rpartition("\n")
+    if not newline:
+        return
+    for line in complete.split("\n"):
+        line = line.strip()
+        if line:
+            yield json.loads(line)
 
 
 def render_event(record: Dict[str, object]) -> str:
@@ -190,6 +227,23 @@ def render_event(record: Dict[str, object]) -> str:
         if rounds_advanced is not None and wall_seconds:
             rate = float(rounds_advanced) / float(wall_seconds)  # type: ignore[arg-type]
             parts.append(f"({rate:,.0f} replica-rounds/s)")
+        return " ".join(parts)
+    if event == "shard":
+        index = record.get("index")
+        position = "?" if index is None else str(int(index) + 1)  # type: ignore[arg-type]
+        shard = record.get("shard")
+        shard_position = "?" if shard is None else str(int(shard) + 1)  # type: ignore[arg-type]
+        parts = [
+            f"[{position}/{record.get('total', '?')}]",
+            f"shard {shard_position}/{record.get('shards', '?')}",
+            f"{record.get('protocol', '?')}",
+            "on",
+            f"{record.get('graph', '?')}",
+            f"({record.get('replicas', '?')} replicas)",
+        ]
+        wall_seconds = record.get("wall_seconds")
+        if wall_seconds is not None:
+            parts.append(f"in {float(wall_seconds):.3f}s")  # type: ignore[arg-type]
         return " ".join(parts)
     if event == "summary":
         return (

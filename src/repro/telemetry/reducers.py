@@ -160,14 +160,15 @@ class StreamingWaveFronts(BatchObserver):
     def merge_results(
         cls, results: Sequence[object]
     ) -> Tuple[Tuple[WaveFront, ...], ...]:
+        """Concatenate per-run front sequences (any replica counts).
+
+        One entry per replica on the sequential backend's merge path, one
+        per shard on the sharded backends' — flattened in replica order.
+        """
         merged: List[Tuple[WaveFront, ...]] = []
         for result in results:
-            per_replica = tuple(result)  # type: ignore[arg-type]
-            if len(per_replica) != 1:
-                raise ConfigurationError(
-                    "StreamingWaveFronts.merge_results expects R=1 results"
-                )
-            merged.append(tuple(per_replica[0]))
+            for fronts in tuple(result):  # type: ignore[arg-type]
+                merged.append(tuple(fronts))
         return tuple(merged)
 
 
@@ -542,14 +543,15 @@ class StreamingConvergence(BatchObserver):
     def merge_results(
         cls, results: Sequence[object]
     ) -> Tuple[ConvergenceSummary, ...]:
+        """Concatenate per-run summary tuples (any replica counts).
+
+        One summary per replica on the sequential backend's merge path, a
+        whole shard's worth on the sharded backends' — replica order either
+        way.
+        """
         merged: List[ConvergenceSummary] = []
         for result in results:
-            summaries = tuple(result)  # type: ignore[arg-type]
-            if len(summaries) != 1:
-                raise ConfigurationError(
-                    "StreamingConvergence.merge_results expects R=1 results"
-                )
-            merged.append(summaries[0])
+            merged.extend(tuple(result))  # type: ignore[arg-type]
         return tuple(merged)
 
 

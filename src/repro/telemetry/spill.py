@@ -227,26 +227,36 @@ class SpillingTraceRecorder(BatchObserver):
 
     @classmethod
     def merge_results(cls, results: Sequence[object]) -> "SpilledTrace":
-        """Merge per-replica ``R = 1`` spilled traces into one spilled trace.
+        """Merge per-run spilled traces into one spilled trace.
 
-        The sequential backend's merge path: each replica's segments are
-        rehydrated, padded with the frozen final row like
+        Serves both merge paths of the execution layer: the sequential
+        backend's one-``R = 1``-trace-per-replica list and the sharded
+        backends' one-multi-replica-trace-per-shard list.  Each run's
+        replicas are rehydrated, padded with the frozen final row like
         :meth:`BatchTrace.from_traces`, and respilled as one multi-replica
-        directory.  (The merge itself materialises the replicas — the
-        sequential backend is the small-scale reference path; bounded-memory
-        recording is the batched engines' property.)
+        directory under the first trace's parent and byte budget — segment
+        layout may differ from a whole-cell recording (the window covers
+        more replicas per row), but :class:`SpilledTrace` equality is
+        content equality, so the merged trace compares equal to it.  (The
+        merge itself materialises the replicas — merging is the small-scale
+        reference path; bounded-memory recording is the batched engines'
+        property.)
         """
         spilled: List[SpilledTrace] = []
         for result in results:
-            if not isinstance(result, SpilledTrace) or result.num_replicas != 1:
+            if not isinstance(result, SpilledTrace):
                 raise ConfigurationError(
-                    "SpillingTraceRecorder.merge_results expects R=1 "
-                    "SpilledTrace results, one per replica"
+                    "SpillingTraceRecorder.merge_results expects SpilledTrace "
+                    "results (one per replica or per shard)"
                 )
             spilled.append(result)
-        merged = BatchTrace.from_traces(
-            [trace.replica(0) for trace in spilled]
-        )
+        replicas: List[object] = []
+        for trace in spilled:
+            if trace.num_replicas == 1:
+                replicas.append(trace.replica(0))
+            else:
+                replicas.extend(trace.to_traces())
+        merged = BatchTrace.from_traces(replicas)
         first = spilled[0]
         parent = os.path.dirname(first.directory) or None
         return SpilledTrace.from_batch_trace(

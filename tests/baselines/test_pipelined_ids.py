@@ -63,3 +63,90 @@ def test_reproducibility():
     first = PipelinedIDElection().run_detailed(cycle_graph(40), rng=7)
     second = PipelinedIDElection().run_detailed(cycle_graph(40), rng=7)
     assert first == second
+
+
+# --------------------------------------------------------------------------- #
+# run_batch: the batched entry point must mirror the per-seed loop exactly
+# --------------------------------------------------------------------------- #
+
+
+def _assert_batch_matches_loop(topology, seeds, max_rounds=None):
+    import numpy as np
+
+    election = PipelinedIDElection()
+    batch = election.run_batch(topology, list(seeds), max_rounds=max_rounds)
+    assert batch.num_replicas == len(seeds)
+    for index, seed in enumerate(seeds):
+        single = election.run(topology, rng=seed, max_rounds=max_rounds)
+        assert bool(batch.converged[index]) == single.converged
+        expected_round = (
+            single.convergence_round if single.convergence_round is not None else -1
+        )
+        assert int(batch.convergence_round[index]) == expected_round
+        assert int(batch.rounds_executed[index]) == single.rounds_executed
+        assert int(batch.final_leader_count[index]) == single.final_leader_count
+        assert batch.seeds[index] == seed
+        if single.converged:
+            detailed = election.run_detailed(topology, rng=seed)
+            assert int(batch.leader_node[index]) == detailed.winner
+        else:
+            assert int(batch.leader_node[index]) == -1
+    return batch
+
+
+@pytest.mark.parametrize(
+    "factory", [lambda: cycle_graph(24), lambda: path_graph(17), lambda: clique_graph(12)]
+)
+def test_run_batch_rng_stream_parity_with_the_loop(factory):
+    # Each replica consumes its own as_rng(seed) stream in exactly the order
+    # the single-run path consumes it, so batch == loop field for field.
+    _assert_batch_matches_loop(factory(), seeds=range(20, 28))
+
+
+def test_run_batch_budget_overflow_matches_the_loop():
+    _assert_batch_matches_loop(path_graph(65), seeds=range(5, 11), max_rounds=10)
+
+
+def test_run_batch_is_shard_invariant():
+    import numpy as np
+
+    from repro.batch.results import BatchResult
+
+    topology = cycle_graph(24)
+    seeds = list(range(40, 47))
+    whole = PipelinedIDElection().run_batch(topology, seeds)
+    parts = [
+        PipelinedIDElection().run_batch(topology, seeds[start : start + 3])
+        for start in range(0, len(seeds), 3)
+    ]
+    merged = BatchResult.concatenate(parts)
+    np.testing.assert_array_equal(merged.converged, whole.converged)
+    np.testing.assert_array_equal(merged.convergence_round, whole.convergence_round)
+    np.testing.assert_array_equal(merged.rounds_executed, whole.rounds_executed)
+    np.testing.assert_array_equal(merged.leader_node, whole.leader_node)
+    assert merged.seeds == whole.seeds
+
+
+def test_run_batch_rejects_empty_seed_list():
+    with pytest.raises(ConfigurationError):
+        PipelinedIDElection().run_batch(cycle_graph(8), [])
+
+
+def test_neighbourhood_max_rows_matches_sequential_helper():
+    import numpy as np
+
+    from repro.baselines.pipelined_ids import (
+        _neighbour_index_matrix,
+        _neighbourhood_max,
+        _neighbourhood_max_rows,
+    )
+    from repro.graphs.generators import erdos_renyi_graph
+
+    topology = erdos_renyi_graph(18, rng=5)
+    rng = np.random.default_rng(9)
+    values = rng.integers(0, 1000, size=(4, topology.n)).astype(np.int64)
+    rows = _neighbourhood_max_rows(_neighbour_index_matrix(topology), values)
+    for index in range(values.shape[0]):
+        np.testing.assert_array_equal(
+            rows[index], _neighbourhood_max(topology, values[index])
+        )

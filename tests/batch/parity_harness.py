@@ -344,6 +344,87 @@ def assert_backend_record_parity(backends, cells=None):
     return reference
 
 
+def assert_same_batch(reference, batch):
+    """Byte-identical :class:`BatchResult` equality, array for array."""
+    np.testing.assert_array_equal(batch.converged, reference.converged)
+    np.testing.assert_array_equal(
+        batch.convergence_round, reference.convergence_round
+    )
+    np.testing.assert_array_equal(
+        batch.rounds_executed, reference.rounds_executed
+    )
+    np.testing.assert_array_equal(
+        batch.final_leader_count, reference.final_leader_count
+    )
+    np.testing.assert_array_equal(batch.leader_node, reference.leader_node)
+    assert batch.seeds == reference.seeds
+    assert batch.leader_counts == reference.leader_counts
+    assert (batch.final_states is None) == (reference.final_states is None)
+    if reference.final_states is not None:
+        np.testing.assert_array_equal(
+            batch.final_states, reference.final_states
+        )
+    assert batch.protocol_name == reference.protocol_name
+    assert batch.topology_name == reference.topology_name
+
+
+def assert_same_observation(reference, observation):
+    """Structural equality that tolerates numpy arrays at any nesting level.
+
+    Observer results range from rich objects with value-based ``__eq__``
+    (:class:`BatchTrace`, spilled traces) to bare ``(R, ...)`` arrays
+    (beep-count matrices, streaming reducers), whose ``==`` is elementwise.
+    """
+    if isinstance(reference, np.ndarray) or isinstance(observation, np.ndarray):
+        np.testing.assert_array_equal(observation, reference)
+        return
+    if isinstance(reference, (tuple, list)):
+        assert isinstance(observation, (tuple, list))
+        assert len(observation) == len(reference)
+        for ref_item, out_item in zip(reference, observation):
+            assert_same_observation(ref_item, out_item)
+        return
+    if isinstance(reference, dict):
+        assert set(observation) == set(reference)
+        for key in reference:
+            assert_same_observation(reference[key], observation[key])
+        return
+    assert observation == reference
+
+
+def assert_sharded_parity(backend, cells=None, shard_sizes=(1, 3, "auto")):
+    """Assert seed-list sharding never changes a backend's output.
+
+    Runs ``cells`` once unsharded on ``backend`` (a spec string, so each
+    variant resolves a fresh instance) as the reference, then once per entry
+    of ``shard_sizes`` with ``shard_size`` set, asserting byte-identical
+    records, observations and — where both runs produced one — batch arrays.
+    Returns the reference outcomes.
+    """
+    if cells is None:
+        cells = backend_parity_cells()
+    cells = tuple(cells)
+    reference = resolve_backend(backend).run_cell_outcomes(cells)
+    for size in shard_sizes:
+        sharded = resolve_backend(backend, shard_size=size).run_cell_outcomes(
+            cells
+        )
+        for ref, out in zip(reference, sharded):
+            assert out.to_records() == ref.to_records(), (
+                f"shard_size={size!r} records differ on {ref.cell.label} "
+                f"({backend})"
+            )
+            assert (out.observations is None) == (ref.observations is None), (
+                f"shard_size={size!r} observations differ on "
+                f"{ref.cell.label} ({backend})"
+            )
+            if ref.observations is not None:
+                assert_same_observation(ref.observations, out.observations)
+            if ref.batch is not None and out.batch is not None:
+                assert_same_batch(ref.batch, out.batch)
+    return reference
+
+
 def _assert_memory_parity(topology, protocol, seeds, **run_kwargs):
     batch = BatchedMemoryEngine(topology, protocol).run(list(seeds), **run_kwargs)
     for index, seed in enumerate(seeds):

@@ -38,22 +38,47 @@ def test_runner_routes_memory_baselines_to_the_batched_memory_engine():
     assert batch.leader_counts is not None
 
 
-def test_runner_keeps_standalone_runners_on_the_loop_path():
+def test_runner_routes_pipelined_ids_through_run_batch():
     topology = cycle_graph(8)
     batch = MonteCarloRunner().run(topology, PipelinedIDElection(), [1, 2])
+    assert batch.num_replicas == 2
+    assert batch.final_states is None  # the batch entry point carries none
+    # Unlike the per-seed loop it replaced, run_batch records the winners.
+    assert ((batch.leader_node >= 0) & (batch.leader_node < topology.n)).all()
+    assert batch.seeds == (1, 2)
+    # Byte-identical to looping run() over the seeds (the routing contract).
+    loop = [
+        PipelinedIDElection().run(topology, rng=seed, max_rounds=None)
+        for seed in (1, 2)
+    ]
+    for index, single in enumerate(loop):
+        assert bool(batch.converged[index]) == single.converged
+        assert int(batch.convergence_round[index]) == single.convergence_round
+        assert int(batch.rounds_executed[index]) == single.rounds_executed
+
+
+def test_runner_keeps_batchless_standalone_runners_on_the_loop_path():
+    class LoopOnlyRunner:
+        """A standalone runner without a run_batch entry point."""
+
+        def run(self, topology, rng=None, max_rounds=None):
+            return PipelinedIDElection().run(topology, rng=rng, max_rounds=max_rounds)
+
+    topology = cycle_graph(8)
+    batch = MonteCarloRunner().run(topology, LoopOnlyRunner(), [1, 2])
     assert batch.num_replicas == 2
     assert batch.final_states is None  # assembled from single runs
     assert (batch.leader_node == -1).all()
     assert batch.seeds == (1, 2)
 
 
-def test_report_marks_unknown_leader_identities_on_the_loop_path():
+def test_report_counts_distinct_leaders_for_pipelined_ids():
     report = run_monte_carlo(
         protocol="pipelined-ids", graph="cycle", n=8, replicas=2, master_seed=1
     )
-    assert report.batched is False
-    assert report.distinct_leaders is None
-    assert "unknown" in report.render()
+    assert report.batched is True
+    assert 1 <= report.distinct_leaders <= 2
+    assert "unknown" not in report.render()
 
 
 def test_report_counts_distinct_leaders_for_batched_memory_baselines():

@@ -146,6 +146,117 @@ def test_tail_follow_respects_max_wait(tmp_path):
     assert rendered == 1
 
 
+def test_iter_telemetry_leaves_partial_trailing_line_unparsed(tmp_path):
+    # A record caught mid-write (no newline yet) must not crash the reader;
+    # it is picked up once the rest of the line lands.
+    path = tmp_path / "stream.jsonl"
+    first = json.dumps({"event": "cell", "index": 0, "total": 2})
+    second = json.dumps({"event": "cell", "index": 1, "total": 2})
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(first + "\n" + second[:7])  # second record cut mid-object
+    records = list(iter_telemetry(str(path)))
+    assert [r["index"] for r in records] == [0]
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(second[7:] + "\n")
+    records = list(iter_telemetry(str(path)))
+    assert [r["index"] for r in records] == [0, 1]
+
+
+def test_iter_telemetry_empty_or_headless_file(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    path.write_text("")
+    assert list(iter_telemetry(str(path))) == []
+    # A lone partial line with no newline at all parses as nothing.
+    path.write_text('{"event": "cel')
+    assert list(iter_telemetry(str(path))) == []
+
+
+def test_tail_follow_buffers_a_record_written_in_two_chunks(tmp_path):
+    import threading
+    import time
+
+    path = tmp_path / "stream.jsonl"
+    record = json.dumps({"event": "cell", "index": 0, "total": 1})
+    summary = json.dumps(
+        {"event": "summary", "cells": 1, "wall_seconds": 0.1, "rounds_advanced": 5}
+    )
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(record[:9])  # partial first record, no newline
+
+    def finish_writing():
+        time.sleep(0.1)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(record[9:] + "\n")
+            fh.flush()
+            time.sleep(0.05)
+            fh.write(summary + "\n")
+
+    writer = threading.Thread(target=finish_writing)
+    writer.start()
+    out = io.StringIO()
+    rendered = tail_telemetry(
+        str(path), follow=True, interval=0.01, out=out, max_wait=5.0
+    )
+    writer.join()
+    assert rendered == 2
+    assert out.getvalue().splitlines()[0].startswith("[1/1]")
+
+
+def test_sharded_sweep_emits_shard_records_but_summary_counts_cells(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with ProgressReporter(quiet=True, telemetry_path=str(path)) as reporter:
+        run_sweep(
+            _tiny_sweep(), progress=reporter, backend="batched", shard_size=1
+        )
+    records = list(iter_telemetry(str(path)))
+    shards = [r for r in records if r["event"] == "shard"]
+    cells = [r for r in records if r["event"] == "cell"]
+    (summary,) = [r for r in records if r["event"] == "summary"]
+    # Two cells x two seeds, shard_size=1 -> two shard records per cell.
+    assert [(s["index"], s["shard"]) for s in shards] == [
+        (0, 0),
+        (0, 1),
+        (1, 0),
+        (1, 1),
+    ]
+    assert all(s["shards"] == 2 and s["replicas"] == 1 for s in shards)
+    assert [c["index"] for c in cells] == [0, 1]
+    # Shard sub-progress does not inflate the summary totals.
+    assert summary["cells"] == 2
+    assert summary["rounds_advanced"] == sum(c["rounds_advanced"] for c in cells)
+
+
+def test_render_event_shard_format():
+    line = render_event(
+        {
+            "event": "shard",
+            "index": 0,
+            "total": 2,
+            "shard": 1,
+            "shards": 4,
+            "protocol": "bfw",
+            "graph": "cycle(12)",
+            "replicas": 8,
+            "wall_seconds": 0.25,
+        }
+    )
+    assert line == "[1/2] shard 2/4 bfw on cycle(12) (8 replicas) in 0.250s"
+
+
+def test_tail_renders_shard_lines_from_a_sharded_sweep(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with ProgressReporter(quiet=True, telemetry_path=str(path)) as reporter:
+        run_sweep(
+            _tiny_sweep(), progress=reporter, backend="batched", shard_size=1
+        )
+    out = io.StringIO()
+    rendered = tail_telemetry(str(path), out=out)
+    lines = out.getvalue().splitlines()
+    assert rendered == 7  # 4 shard + 2 cell + 1 summary
+    assert sum("shard" in line for line in lines) == 4
+    assert lines[-1].startswith("sweep complete: 2 cells")
+
+
 def test_reporter_appends_across_instances(tmp_path):
     path = tmp_path / "stream.jsonl"
     for _ in range(2):

@@ -193,7 +193,10 @@ def test_montecarlo_memory_baseline_runs_batched(capsys, tmp_path):
     assert '"converged": true' in destination.read_text()
 
 
-def test_montecarlo_standalone_runner_stays_on_the_loop(capsys):
+def test_montecarlo_standalone_runner_runs_batched(capsys):
+    # pipelined-ids exposes a run_batch entry point, so its single cell now
+    # reports the batched engine (and elected-leader identities) instead of
+    # the per-seed loop it historically fell back to.
     code = main(
         [
             "montecarlo",
@@ -211,7 +214,41 @@ def test_montecarlo_standalone_runner_stays_on_the_loop(capsys):
     )
     captured = capsys.readouterr()
     assert code == 0
-    assert "per-seed loop" in captured.out
+    assert "batched" in captured.out
+    assert "unknown" not in captured.out
+
+
+def test_montecarlo_shard_size_flag_is_byte_identical(capsys):
+    code = main(
+        ["montecarlo", "--n", "12", "--replicas", "4", "--master-seed", "5"]
+    )
+    reference = capsys.readouterr().out
+    assert code == 0
+    code = main(
+        [
+            "montecarlo",
+            "--n",
+            "12",
+            "--replicas",
+            "4",
+            "--master-seed",
+            "5",
+            "--shard-size",
+            "2",
+        ]
+    )
+    sharded = capsys.readouterr().out
+    assert code == 0
+
+    def stable(text):
+        # Drop the wall-clock dependent lines (elapsed, rounds/sec).
+        return [
+            line
+            for line in text.splitlines()
+            if "replica-rounds/sec" not in line
+        ]
+
+    assert stable(sharded) == stable(reference)
 
 
 def test_table1_batched_end_to_end(capsys):
