@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Smoke-test the sweep service end to end: parity, cache, clean status.
+
+Against a running daemon (or one it boots itself), this script
+
+1. waits for ``GET /healthz`` to answer,
+2. submits a small sweep through ``ServiceBackend`` and checks the
+   records are byte-identical to a local ``SequentialBackend`` run,
+3. resubmits the identical sweep and asserts it was served from the
+   content-addressed result cache (``service.cache_hits`` advanced,
+   no new shards executed),
+4. prints the service counters.
+
+Run it against a daemon you started (CI does this)::
+
+    repro serve --port 8123 &
+    python examples/service_smoke.py http://127.0.0.1:8123
+
+or let it boot an in-process daemon::
+
+    python examples/service_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.exec import ExecutionCell, SequentialBackend
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+from repro.experiments.seeds import trial_seeds
+from repro.service import ServiceBackend, ServiceClient
+
+
+def wait_for_healthz(client: ServiceClient, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            payload = client.healthz()
+        except Exception:
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+        else:
+            print(f"healthz: {payload}")
+            return
+
+
+def smoke_cells() -> tuple:
+    cells = []
+    for graph, n in (("cycle", 16), ("path", 13)):
+        cells.append(
+            ExecutionCell(
+                protocol=ProtocolSpecConfig(name="bfw"),
+                graph=GraphSpec(family=graph, n=n),
+                seeds=trial_seeds(17, f"service-smoke/{graph}/{n}", 6),
+                graph_rng_key=(17, "service-smoke-graph", graph, n),
+            )
+        )
+    return tuple(cells)
+
+
+def run_smoke(url: str) -> None:
+    client = ServiceClient(url)
+    wait_for_healthz(client)
+
+    cells = smoke_cells()
+    local = SequentialBackend().run_cells(cells)
+
+    backend = ServiceBackend(url, shard_size=3)
+    first = backend.run_cells(cells)
+    assert first == local, "service records differ from a local sequential run"
+    print(f"parity: {len(first)} records byte-identical to SequentialBackend")
+
+    before = client.metrics()["service"]["counters"]
+    second = backend.run_cells(cells)
+    assert second == local, "cached records differ from the original run"
+    after = client.metrics()["service"]["counters"]
+    hits = after.get("service.cache_hits", 0) - before.get("service.cache_hits", 0)
+    executed = after.get("service.shards_executed", 0) - before.get(
+        "service.shards_executed", 0
+    )
+    assert hits >= len(cells), f"expected a cache hit per cell, got {hits}"
+    assert executed == 0, f"resubmission executed {executed} new shards"
+    print(f"cache: resubmission served {hits} cells from cache, 0 shards executed")
+
+    print("service counters:")
+    for name in sorted(after):
+        print(f"  {name} = {after[name]}")
+    print("service smoke OK")
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        run_smoke(sys.argv[1])
+    else:
+        from repro.service import SweepService
+
+        with SweepService(workers=2) as daemon:
+            run_smoke(daemon.url)
+
+
+if __name__ == "__main__":
+    main()

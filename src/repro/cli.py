@@ -14,13 +14,17 @@ Every experiment in DESIGN.md can be regenerated from the command line:
     repro ablation --backend batched
     repro dynamic --families cycle --sizes 32 64 --churn-rates 0 1 2 4
     repro wave-demo --n 40
+    repro serve --port 8123 --workers 4 --shard-size auto
+    repro submit --url http://127.0.0.1:8123 --protocol bfw --graph cycle --n 64
+    repro status SWEEP_ID --url http://127.0.0.1:8123
+    repro tail SWEEP_ID --url http://127.0.0.1:8123 --follow
 
 Every sweep-shaped experiment accepts ``--backend`` (``sequential``,
-``batched``, ``process[:N]``) and ``--workers N`` (shorthand for
-``--backend process:N``); the per-replica outcomes are byte-identical on
-every backend under the same master seed — the batched and process
-executors reproduce each seeded replica exactly, so the choice is purely
-about wall-clock.  (``repro montecarlo`` additionally reports *how* it ran:
+``batched``, ``process[:N]``, ``service:URL``) and ``--workers N``
+(shorthand for ``--backend process:N``); the per-replica outcomes are
+byte-identical on every backend under the same master seed — the batched,
+process and service executors reproduce each seeded replica exactly, so
+the choice is purely about wall-clock.  (``repro montecarlo`` additionally reports *how* it ran:
 its engine row and elected-leader identities reflect the chosen backend,
 because only batched executions record leader identities.)  The legacy
 ``--batched`` flag remains as a deprecated alias for ``--backend batched``.
@@ -330,9 +334,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     tail_parser = subparsers.add_parser(
         "tail",
-        help="Render a telemetry JSONL stream (from --telemetry) as live status lines.",
+        help=(
+            "Render a telemetry JSONL stream (from --telemetry), or a remote "
+            "sweep's event stream (--url), as live status lines."
+        ),
     )
-    tail_parser.add_argument("path", metavar="PATH")
+    tail_parser.add_argument(
+        "path",
+        metavar="PATH|SWEEP_ID",
+        help=(
+            "Telemetry JSONL file to render — or, with --url, the id of a "
+            "sweep on that service."
+        ),
+    )
+    tail_parser.add_argument(
+        "--url",
+        default=None,
+        metavar="URL",
+        help=(
+            "Tail a sweep-service daemon instead of a file: stream "
+            "GET /sweeps/{id}/events from this base URL."
+        ),
+    )
     tail_parser.add_argument(
         "--follow",
         action="store_true",
@@ -345,6 +368,93 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="Poll interval in --follow mode (default: 0.5).",
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help=(
+            "Run the sweep-service daemon: accept sweep submissions over "
+            "HTTP, execute them on a worker pool, cache results by cell "
+            "signature."
+        ),
+    )
+    serve_parser.add_argument("--host", default="127.0.0.1")
+    serve_parser.add_argument(
+        "--port", type=int, default=8123,
+        help="Listen port (0 binds an ephemeral port; default: 8123).",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=2, metavar="N",
+        help="Worker threads executing shard jobs (default: 2).",
+    )
+    serve_parser.add_argument(
+        "--max-retries", type=int, default=2, metavar="N",
+        help="Re-queues allowed per shard before a sweep fails (default: 2).",
+    )
+    serve_parser.add_argument(
+        "--shard-timeout", type=float, default=None, metavar="SECONDS",
+        help=(
+            "Re-queue a running shard attempt after this many seconds "
+            "(default: no timeout)."
+        ),
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help=(
+            "Persist the result cache here (default: a private temporary "
+            "store that dies with the daemon)."
+        ),
+    )
+    serve_parser.add_argument(
+        "--shard-size", default=None, metavar="N|auto",
+        help=(
+            "Default seed-list shard size for submissions that do not "
+            "specify one ('auto' = ceil(replicas / workers) per cell)."
+        ),
+    )
+
+    submit_parser = subparsers.add_parser(
+        "submit",
+        help=(
+            "Submit one montecarlo-style cell to a sweep service and print "
+            "the sweep id."
+        ),
+    )
+    submit_parser.add_argument(
+        "--url", required=True, metavar="URL",
+        help="Base URL of the sweep service (what 'repro serve' prints).",
+    )
+    submit_parser.add_argument("--protocol", default="bfw")
+    submit_parser.add_argument("--graph", default="cycle")
+    submit_parser.add_argument("--n", type=int, default=64)
+    submit_parser.add_argument("--replicas", type=int, default=32)
+    submit_parser.add_argument("--master-seed", type=int, default=None)
+    submit_parser.add_argument("--max-rounds", type=int, default=None)
+    submit_parser.add_argument(
+        "--shard-size", default=None, metavar="N|auto",
+        help="Shard the cell's seed list across the daemon's workers.",
+    )
+    submit_parser.add_argument(
+        "--follow",
+        action="store_true",
+        help="Tail the sweep's event stream until it completes.",
+    )
+
+    status_parser = subparsers.add_parser(
+        "status", help="Print the status of a sweep on a sweep service."
+    )
+    status_parser.add_argument("sweep_id", metavar="SWEEP_ID")
+    status_parser.add_argument("--url", required=True, metavar="URL")
+    status_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="Print the raw status JSON instead of the one-line summary.",
+    )
+
+    cancel_parser = subparsers.add_parser(
+        "cancel", help="Cancel a running sweep on a sweep service."
+    )
+    cancel_parser.add_argument("sweep_id", metavar="SWEEP_ID")
+    cancel_parser.add_argument("--url", required=True, metavar="URL")
 
     return parser
 
@@ -369,6 +479,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "extinction": _cmd_extinction,
         "wave-demo": _cmd_wave_demo,
         "tail": _cmd_tail,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "cancel": _cmd_cancel,
     }[args.command]
     return handler(args)
 
@@ -587,6 +701,23 @@ def _cmd_extinction(args: argparse.Namespace) -> int:
 
 
 def _cmd_tail(args: argparse.Namespace) -> int:
+    if args.url is not None:
+        from repro.errors import ServiceError
+        from repro.service.client import tail_service
+
+        try:
+            tail_service(
+                args.url,
+                args.path,
+                follow=args.follow,
+                interval=args.interval,
+            )
+        except ServiceError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        except KeyboardInterrupt:
+            pass
+        return 0
     from repro.telemetry.progress import tail_telemetry
 
     try:
@@ -596,6 +727,151 @@ def _cmd_tail(args: argparse.Namespace) -> int:
         return 1
     except KeyboardInterrupt:
         pass
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Sweep-service verbs
+# --------------------------------------------------------------------------- #
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.service.faults import ServiceFaultInjector
+    from repro.service.server import SweepService
+
+    service = SweepService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_retries=args.max_retries,
+        shard_timeout=args.shard_timeout,
+        cache_dir=args.cache_dir,
+        default_shard_size=_shard_size_from_args(args),
+        fault_injector=ServiceFaultInjector.from_env(),
+    )
+    stop = threading.Event()
+
+    def _on_signal(signum: int, frame: object) -> None:
+        stop.set()
+
+    # Signal handlers only install from the main thread; embedded callers
+    # (tests driving main() from a worker thread) fall back to Ctrl-C.
+    try:
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    except ValueError:
+        pass
+    service.start()
+    print(f"sweep service listening on {service.url}", flush=True)
+    print(
+        f"  workers={service.workers} max_retries={service.max_retries} "
+        f"cache={service.cache.directory}",
+        flush=True,
+    )
+    try:
+        while not stop.is_set():
+            stop.wait(0.5)
+    except KeyboardInterrupt:
+        pass
+    print("draining: waiting for running sweeps, refusing new ones", flush=True)
+    service.stop(drain=True)
+    print("sweep service stopped", flush=True)
+    return 0
+
+
+def _submit_cell_from_args(args: argparse.Namespace):
+    """The exact cell ``repro montecarlo`` would run for these arguments.
+
+    Seed derivation matches :func:`repro.experiments.montecarlo.run_monte_carlo`,
+    so a submitted sweep's records are byte-identical to the local command.
+    """
+    from repro.exec import ExecutionCell
+    from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+    from repro.experiments.seeds import DEFAULT_MASTER_SEED, trial_seeds
+
+    master_seed = (
+        args.master_seed if args.master_seed is not None else DEFAULT_MASTER_SEED
+    )
+    return ExecutionCell(
+        protocol=ProtocolSpecConfig(name=args.protocol),
+        graph=GraphSpec(family=args.graph, n=args.n),
+        seeds=trial_seeds(
+            master_seed,
+            f"montecarlo/{args.protocol}/{args.graph}/{args.n}",
+            args.replicas,
+        ),
+        max_rounds=args.max_rounds,
+        graph_rng_key=(master_seed, "montecarlo-graph", args.graph, args.n),
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient, tail_service
+
+    client = ServiceClient(args.url)
+    try:
+        receipt = client.submit(
+            [_submit_cell_from_args(args)],
+            shard_size=_shard_size_from_args(args),
+        )
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    sweep_id = receipt["id"]
+    print(f"submitted sweep {sweep_id}: {receipt['cells']} cell(s), "
+          f"{receipt['shards']} shard(s), {receipt['cached_cells']} cached")
+    print(f"  repro status {sweep_id} --url {client.url}")
+    print(f"  repro tail {sweep_id} --url {client.url} --follow")
+    if args.follow:
+        tail_service(client.url, str(sweep_id), follow=True)
+        return _print_status(client, str(sweep_id), as_json=False)
+    return 0
+
+
+def _print_status(client, sweep_id: str, as_json: bool) -> int:
+    import json
+
+    status = client.status(sweep_id)
+    if as_json:
+        print(json.dumps(status, indent=2, default=str))
+    else:
+        line = (
+            f"sweep {status['id']}: {status['state']} — "
+            f"{status['completed_cells']}/{status['cells']} cells, "
+            f"{status['completed_shards']}/{status['shards']} shards, "
+            f"{status['retries']} retries, {status['cached_cells']} cached"
+        )
+        if status.get("error"):
+            line += f" ({status['error']})"
+        print(line)
+    return 0 if status["state"] in ("running", "done") else 2
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        return _print_status(ServiceClient(args.url), args.sweep_id, args.json)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.service.client import ServiceClient
+
+    try:
+        status = ServiceClient(args.url).cancel(args.sweep_id)
+    except ServiceError as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    print(f"sweep {status['id']}: {status['state']}")
     return 0
 
 

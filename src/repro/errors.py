@@ -43,3 +43,14 @@ class ConvergenceError(ReproError):
 
 class TraceError(ReproError):
     """An execution trace is malformed or does not contain requested data."""
+
+
+class ServiceError(ReproError):
+    """The sweep service rejected a request or a submitted sweep failed.
+
+    Raised client-side (:mod:`repro.service.client`) for transport
+    failures, non-2xx responses and sweeps that end in a terminal state
+    other than ``done``; the server turns it (and
+    :class:`ConfigurationError`) into structured JSON error responses
+    instead of stack traces.
+    """

@@ -45,6 +45,10 @@ from repro.exec.cells import (
     CellOutcome,
     ExecutionCell,
     ShardSize,
+    canonical_cell_json,
+    cell_from_spec,
+    cell_signature,
+    cell_to_spec,
     execute_cell_batched,
     execute_cell_sequential,
     merge_cell_outcomes,
@@ -64,6 +68,10 @@ __all__ = [
     "ProgressHook",
     "SequentialBackend",
     "ShardSize",
+    "canonical_cell_json",
+    "cell_from_spec",
+    "cell_signature",
+    "cell_to_spec",
     "execute_cell_batched",
     "execute_cell_sequential",
     "merge_cell_outcomes",

@@ -257,12 +257,13 @@ def resolve_backend(
     """Turn a backend instance or spec string into a backend object.
 
     Accepted spec strings: ``"sequential"``, ``"batched"``, ``"process"``
-    (CPU-count workers) and ``"process:N"``.  ``None`` resolves to
-    ``default``, so entry points can keep their historical default while
-    accepting explicit overrides.  ``shard_size`` (an int, ``"auto"`` or
-    ``None`` to leave the backend's own setting alone) is applied to the
-    resolved backend — including instances passed in directly, so CLI
-    ``--shard-size`` composes with any ``--backend``.
+    (CPU-count workers), ``"process:N"`` and ``"service:URL"`` (execute on
+    a remote sweep-service daemon, see :mod:`repro.service`).  ``None``
+    resolves to ``default``, so entry points can keep their historical
+    default while accepting explicit overrides.  ``shard_size`` (an int,
+    ``"auto"`` or ``None`` to leave the backend's own setting alone) is
+    applied to the resolved backend — including instances passed in
+    directly, so CLI ``--shard-size`` composes with any ``--backend``.
     """
     if spec is None:
         spec = default
@@ -288,10 +289,23 @@ def resolve_backend(
                         f"{spec!r}"
                     ) from None
                 resolved = ProcessBackend(workers=workers)
+        elif name == "service":
+            if not argument.strip():
+                raise ConfigurationError(
+                    f"backend spec {spec!r} is missing the daemon URL; "
+                    f"expected 'service:URL', e.g. "
+                    f"'service:http://127.0.0.1:8123'"
+                )
+            # Imported lazily: the client pulls in urllib/wire machinery
+            # that local-only sweeps never need.
+            from repro.service.client import ServiceBackend
+
+            resolved = ServiceBackend(argument)
     if resolved is None:
         raise ConfigurationError(
             f"unknown execution backend {spec!r}; expected an ExecutionBackend "
-            f"instance or one of 'sequential', 'batched', 'process[:N]'"
+            f"instance or one of 'sequential', 'batched', 'process[:N]', "
+            f"'service:URL'"
         )
     if shard_size is not None:
         resolved.shard_size = _validate_shard_size(shard_size)

@@ -36,10 +36,22 @@ one core.
 
 from __future__ import annotations
 
+import hashlib
+import json
 import math
 import time
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.batch.observers import (
     ObserverSpec,
@@ -168,6 +180,157 @@ class ExecutionCell:
         if key is None:
             key = (self.graph.seed, "graph", self.graph.family, self.graph.n)
         return make_graph(self.graph.family, self.graph.n, rng=rng_from(*key))
+
+
+def cell_to_spec(cell: ExecutionCell) -> Dict[str, object]:
+    """Pure-JSON description of a cell — the sweep service's wire format.
+
+    Every field of :class:`ExecutionCell` is already plain data (spec
+    dataclasses, scalars, tuples); this flattens them into a dict of JSON
+    types only (tuples become lists), so a cell can travel over an HTTP API
+    or be written next to a cached result.  :func:`cell_from_spec` is the
+    inverse — the round-tripped cell rebuilds the same topology, protocol,
+    schedule and observers, and therefore the same records, as the
+    original.
+    """
+    return {
+        "protocol": {
+            "name": cell.protocol.name,
+            "params": dict(cell.protocol.params),
+        },
+        "graph": {
+            "family": cell.graph.family,
+            "n": cell.graph.n,
+            "seed": cell.graph.seed,
+        },
+        "seeds": list(cell.seeds),
+        "max_rounds": cell.max_rounds,
+        "planted_leaders": (
+            None if cell.planted_leaders is None else list(cell.planted_leaders)
+        ),
+        "graph_rng_key": (
+            None if cell.graph_rng_key is None else list(cell.graph_rng_key)
+        ),
+        "schedule": (
+            None
+            if cell.schedule is None
+            else {"kind": cell.schedule.kind, "params": dict(cell.schedule.params)}
+        ),
+        "observers": [
+            {"kind": spec.kind, "params": dict(spec.params)}
+            for spec in cell.observers
+        ],
+    }
+
+
+def _spec_section(spec: Mapping[str, object], key: str, what: str) -> Mapping[str, object]:
+    value = spec.get(key)
+    if not isinstance(value, Mapping):
+        raise ConfigurationError(
+            f"cell spec {what} must carry a {key!r} object; got {value!r}"
+        )
+    return value
+
+
+def cell_from_spec(spec: Mapping[str, object]) -> ExecutionCell:
+    """Rebuild an :class:`ExecutionCell` from its :func:`cell_to_spec` dict.
+
+    Accepts exactly what :func:`cell_to_spec` emits (after any JSON
+    round-trip: lists where the cell held tuples).  Malformed specs raise
+    :class:`~repro.errors.ConfigurationError` naming the offending field,
+    so an HTTP daemon can turn them into a clean 400 instead of a stack
+    trace.
+    """
+    from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+
+    if not isinstance(spec, Mapping):
+        raise ConfigurationError(f"cell spec must be an object; got {spec!r}")
+    protocol_spec = _spec_section(spec, "protocol", "protocol")
+    if "name" not in protocol_spec:
+        raise ConfigurationError("cell spec protocol is missing its 'name'")
+    graph_spec = _spec_section(spec, "graph", "graph")
+    for required in ("family", "n"):
+        if required not in graph_spec:
+            raise ConfigurationError(
+                f"cell spec graph is missing its {required!r}"
+            )
+    seeds = spec.get("seeds")
+    if not isinstance(seeds, (list, tuple)) or not seeds:
+        raise ConfigurationError(
+            f"cell spec needs a non-empty 'seeds' list; got {seeds!r}"
+        )
+    schedule_spec = spec.get("schedule")
+    schedule = None
+    if schedule_spec is not None:
+        schedule_spec = _spec_section(spec, "schedule", "schedule")
+        if "kind" not in schedule_spec:
+            raise ConfigurationError("cell spec schedule is missing its 'kind'")
+        schedule = ScheduleSpec(
+            kind=str(schedule_spec["kind"]),
+            params=dict(schedule_spec.get("params") or {}),
+        )
+    observers: List[ObserverSpec] = []
+    for index, observer_spec in enumerate(spec.get("observers") or ()):
+        if not isinstance(observer_spec, Mapping) or "kind" not in observer_spec:
+            raise ConfigurationError(
+                f"cell spec observer #{index} must be an object with a "
+                f"'kind'; got {observer_spec!r}"
+            )
+        observers.append(
+            ObserverSpec(
+                kind=str(observer_spec["kind"]),
+                params=dict(observer_spec.get("params") or {}),
+            )
+        )
+    planted = spec.get("planted_leaders")
+    graph_rng_key = spec.get("graph_rng_key")
+    max_rounds = spec.get("max_rounds")
+    return ExecutionCell(
+        protocol=ProtocolSpecConfig(
+            name=str(protocol_spec["name"]),
+            params=dict(protocol_spec.get("params") or {}),
+        ),
+        graph=GraphSpec(
+            family=str(graph_spec["family"]),
+            n=int(graph_spec["n"]),
+            seed=int(graph_spec.get("seed", 0)),
+        ),
+        seeds=tuple(int(seed) for seed in seeds),
+        max_rounds=None if max_rounds is None else int(max_rounds),
+        planted_leaders=None if planted is None else tuple(int(p) for p in planted),
+        graph_rng_key=None if graph_rng_key is None else tuple(graph_rng_key),
+        schedule=schedule,
+        observers=tuple(observers),
+    )
+
+
+def canonical_cell_json(cell: ExecutionCell) -> str:
+    """The canonical JSON rendering of a cell: sorted keys, no whitespace.
+
+    This is the byte string :func:`cell_signature` hashes, so two cells
+    produce the same canonical JSON exactly when every field that affects
+    execution — protocol and params, graph spec, seed *order*, round
+    budget, planted leaders, graph RNG key, schedule spec, observer specs —
+    is equal.  Non-JSON parameter values fall back to ``str`` so exotic
+    params still hash deterministically.
+    """
+    return json.dumps(
+        cell_to_spec(cell), sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def cell_signature(cell: ExecutionCell) -> str:
+    """Content hash of a cell: equal cells hash equal, any change differs.
+
+    The signature keys the sweep service's result cache — because every
+    backend is deterministic under matched seeds, a cell's signature fully
+    determines its records, so a cached outcome can be served for any
+    resubmission of the same cell.  It is the SHA-256 hex digest of
+    :func:`canonical_cell_json`, so it is stable across processes, hosts
+    and Python versions.
+    """
+    digest = hashlib.sha256(canonical_cell_json(cell).encode("utf-8"))
+    return digest.hexdigest()
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,42 @@
+""""Repro as a service": a distributed sweep daemon over the execution layer.
+
+The :mod:`repro.exec` backends already made sweep execution a strategy —
+this package makes it a *service*.  :class:`SweepService` is a stdlib-only
+HTTP daemon (``repro serve``) that accepts sweeps of
+:class:`~repro.exec.ExecutionCell` specs, shards them across a worker-thread
+pool, caches every executed outcome content-addressed by
+:func:`~repro.exec.cell_signature`, re-queues shards lost to worker crashes
+or timeouts, and streams per-cell/per-shard progress in the telemetry JSONL
+schema.  :class:`ServiceBackend` is the matching
+:class:`~repro.exec.ExecutionBackend` (spec ``"service:URL"``), so every
+sweep entry point can execute remotely — with records byte-identical to the
+sequential loop, like every other backend.
+
+Module map:
+
+* :mod:`~repro.service.server` — the daemon: HTTP routes, job queue,
+  worker pool, watchdog, graceful drain;
+* :mod:`~repro.service.client` — :class:`ServiceClient` (raw API),
+  :class:`ServiceBackend` (the backend), :func:`tail_service`
+  (``repro tail --url``);
+* :mod:`~repro.service.cache` — the content-addressed
+  :class:`ResultCache` (hit/miss counters, determinism verification);
+* :mod:`~repro.service.faults` — :class:`ServiceFaultInjector`
+  (``REPRO_SERVICE_FAULTS``) for exercising the retry path;
+* :mod:`~repro.service.wire` — shared JSON/pickle wire helpers.
+"""
+
+from repro.service.cache import ResultCache
+from repro.service.client import ServiceBackend, ServiceClient, tail_service
+from repro.service.faults import InjectedWorkerCrash, ServiceFaultInjector
+from repro.service.server import SweepService
+
+__all__ = [
+    "InjectedWorkerCrash",
+    "ResultCache",
+    "ServiceBackend",
+    "ServiceClient",
+    "ServiceFaultInjector",
+    "SweepService",
+    "tail_service",
+]

@@ -1,0 +1,166 @@
+"""Content-addressed result cache for the sweep service.
+
+Every execution backend is deterministic under matched seeds, so a cell's
+:func:`~repro.exec.cells.cell_signature` — the SHA-256 of its canonical
+JSON spec — fully determines its outcome.  The service exploits that:
+executed outcomes are stored on disk keyed by signature, and any later
+submission of an identical cell (same protocol, graph, seed order, budget,
+schedule, observers) is served from the store without touching an engine.
+
+Entries are one JSON file per signature under ``<dir>/<sig[:2]>/<sig>.json``:
+
+.. code-block:: json
+
+    {"signature": "...", "cell": {...cell spec...},
+     "records": [...], "payload": "<base64 pickle of the CellOutcome>"}
+
+The human-auditable parts (cell spec, flattened trial records) are plain
+JSON; the byte-exact outcome (batch arrays, traces, reducer accumulators)
+rides in the pickled ``payload`` — the same transport the ``process:N``
+backend uses between worker processes.  Writes go through a temp file and
+``os.replace`` so concurrent worker threads (or a reader racing a writer)
+never observe a half-written entry.
+
+Determinism doubles as a safety net for retries: :meth:`ResultCache.put`
+on a signature that already has an entry *verifies* the fresh outcome's
+records against the stored ones instead of overwriting — a mismatch means
+a retried shard produced different bytes than its first (cached) run,
+which is a bug worth failing loudly over, not a condition to paper over.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.exec.cells import CellOutcome, ExecutionCell, cell_to_spec
+from repro.service.wire import decode_outcome, encode_outcome
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """On-disk outcome store keyed by canonical cell signature.
+
+    Parameters
+    ----------
+    directory:
+        Root of the store.  ``None`` creates a private temporary directory
+        that lives (and caches) for the lifetime of this object — pass a
+        real path to persist results across daemon restarts.
+
+    ``hits`` / ``misses`` are plain-int counters (guarded by one lock with
+    the file operations); the service surfaces them as
+    ``service.cache_hits`` / ``service.cache_misses`` in ``GET /metrics``.
+    """
+
+    def __init__(self, directory: Optional[str] = None) -> None:
+        self._tmp: Optional[tempfile.TemporaryDirectory] = None
+        if directory is None:
+            self._tmp = tempfile.TemporaryDirectory(prefix="repro-service-cache-")
+            directory = self._tmp.name
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self._lock = threading.Lock()
+
+    def _path(self, signature: str) -> Path:
+        return self.directory / signature[:2] / f"{signature}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*/*.json"))
+
+    def get(self, signature: str) -> Optional[CellOutcome]:
+        """The cached outcome for ``signature``, or ``None`` (counted miss).
+
+        A corrupt entry (truncated file, undecodable payload) is treated as
+        a miss and deleted, so one bad write can never wedge a signature.
+        """
+        path = self._path(signature)
+        with self._lock:
+            try:
+                envelope = json.loads(path.read_text(encoding="utf-8"))
+                outcome = decode_outcome(envelope["payload"])
+            except FileNotFoundError:
+                self.misses += 1
+                return None
+            except Exception:
+                path.unlink(missing_ok=True)
+                self.misses += 1
+                return None
+            self.hits += 1
+            return outcome
+
+    def put(
+        self, signature: str, cell: ExecutionCell, outcome: CellOutcome
+    ) -> bool:
+        """Store ``outcome`` under ``signature``; verify on overlap.
+
+        Returns ``True`` when the entry was written or the existing entry's
+        records match (the determinism assertion retries rely on), and
+        ``False`` when an entry exists with *different* records — the
+        caller treats that as a hard failure.
+        """
+        path = self._path(signature)
+        fresh_records = [record.as_dict() for record in outcome.to_records()]
+        with self._lock:
+            if path.exists():
+                try:
+                    envelope = json.loads(path.read_text(encoding="utf-8"))
+                    stored_records = envelope.get("records")
+                except Exception:
+                    stored_records = None
+                if stored_records is None:
+                    # Unreadable entry: replace it rather than comparing.
+                    path.unlink(missing_ok=True)
+                else:
+                    return _records_match(stored_records, fresh_records)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            envelope = {
+                "signature": signature,
+                "cell": cell_to_spec(cell),
+                "records": fresh_records,
+                "payload": encode_outcome(outcome),
+            }
+            handle, temp_name = tempfile.mkstemp(
+                dir=str(path.parent), suffix=".tmp"
+            )
+            try:
+                with os.fdopen(handle, "w", encoding="utf-8") as fh:
+                    json.dump(envelope, fh, default=str)
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+            return True
+
+    def stats(self) -> Dict[str, int]:
+        """Plain-dict hit/miss counters (what ``/metrics`` samples)."""
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses}
+
+    def close(self) -> None:
+        """Release the private temporary directory, if this cache owns one."""
+        if self._tmp is not None:
+            self._tmp.cleanup()
+            self._tmp = None
+
+
+def _records_match(stored: object, fresh: object) -> bool:
+    """Compare record dict lists through a JSON round-trip.
+
+    The stored side already went through JSON (tuples → lists, non-JSON
+    scalars → strings), so the fresh side is normalised the same way
+    before comparing — a false mismatch from representation drift would
+    fail sweeps that are in fact byte-identical.
+    """
+    normalise = lambda value: json.loads(json.dumps(value, default=str))
+    return normalise(stored) == normalise(fresh)

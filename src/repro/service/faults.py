@@ -1,0 +1,142 @@
+"""Deterministic fault injection for exercising the service's retry path.
+
+A sweep service that re-queues lost shards is only trustworthy if the
+retry path is actually tested — and worker loss is awkward to produce on
+demand.  :class:`ServiceFaultInjector` makes it reproducible: the daemon
+consults the injector at the start of every shard attempt, and the
+injector either lets it pass, *crashes* it (raises
+:class:`InjectedWorkerCrash`, which the worker loop treats exactly like
+any other worker death), or *hangs* it (sleeps past the per-shard timeout
+so the watchdog's re-queue path fires).
+
+Faults are addressed by ``(cell_index, shard_index)`` and armed a fixed
+number of times **per sweep**, so "kill the first attempt of shard 2 of
+cell 0" is one directive and the retried attempt sails through.  The
+directive language (``REPRO_SERVICE_FAULTS`` environment variable, or the
+equivalent constructor spec) is::
+
+    crash:CELL:SHARD[:COUNT]          # raise on the first COUNT attempts
+    hang:CELL:SHARD:SECONDS[:COUNT]   # sleep SECONDS on the first COUNT attempts
+
+with multiple directives separated by ``;``.  Because determinism makes
+retries safe, a test (or the CI smoke step) asserts the faulted sweep's
+records are byte-identical to an unfaulted run — the property that makes
+the whole fault-tolerance story honest.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError, ServiceError
+
+__all__ = ["InjectedWorkerCrash", "ServiceFaultInjector"]
+
+
+class InjectedWorkerCrash(ServiceError):
+    """The simulated worker death a ``crash:`` directive raises."""
+
+
+@dataclass(frozen=True)
+class _Fault:
+    """One armed directive: what to do, where, and how many times."""
+
+    kind: str  # "crash" | "hang"
+    cell_index: int
+    shard_index: int
+    count: int = 1
+    seconds: float = 0.0
+
+
+def _parse_directive(token: str) -> _Fault:
+    parts = token.strip().split(":")
+    kind = parts[0].strip().lower() if parts else ""
+    try:
+        if kind == "crash" and len(parts) in (3, 4):
+            count = int(parts[3]) if len(parts) == 4 else 1
+            return _Fault(
+                kind="crash",
+                cell_index=int(parts[1]),
+                shard_index=int(parts[2]),
+                count=count,
+            )
+        if kind == "hang" and len(parts) in (4, 5):
+            count = int(parts[4]) if len(parts) == 5 else 1
+            return _Fault(
+                kind="hang",
+                cell_index=int(parts[1]),
+                shard_index=int(parts[2]),
+                count=count,
+                seconds=float(parts[3]),
+            )
+    except ValueError:
+        pass
+    raise ConfigurationError(
+        f"invalid fault directive {token!r}; expected "
+        f"'crash:CELL:SHARD[:COUNT]' or 'hang:CELL:SHARD:SECONDS[:COUNT]'"
+    )
+
+
+class ServiceFaultInjector:
+    """Arms crash/hang faults against shard attempts, per sweep.
+
+    Thread-safe: worker threads call :meth:`on_attempt` concurrently; the
+    remaining-count bookkeeping is guarded by one lock (the sleep of a
+    ``hang`` fault happens outside it).
+    """
+
+    def __init__(self, faults: Sequence[_Fault]) -> None:
+        self._faults: Dict[Tuple[int, int], _Fault] = {
+            (fault.cell_index, fault.shard_index): fault for fault in faults
+        }
+        # Remaining trigger counts, keyed per sweep so every submitted
+        # sweep sees the same fault pattern.
+        self._remaining: Dict[Tuple[str, int, int], int] = {}
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_spec(cls, spec: Optional[str]) -> Optional["ServiceFaultInjector"]:
+        """Parse a ``;``-separated directive string (``None``/blank → ``None``)."""
+        if spec is None or not spec.strip():
+            return None
+        faults = [
+            _parse_directive(token)
+            for token in spec.split(";")
+            if token.strip()
+        ]
+        return cls(faults)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["ServiceFaultInjector"]:
+        """Build from ``REPRO_SERVICE_FAULTS`` (what ``repro serve`` reads)."""
+        environ = os.environ if environ is None else environ
+        return cls.from_spec(environ.get("REPRO_SERVICE_FAULTS"))
+
+    def on_attempt(
+        self, sweep_id: str, cell_index: int, shard_index: int, attempt: int
+    ) -> None:
+        """Crash or hang this attempt if a matching directive is still armed."""
+        fault = self._faults.get((cell_index, shard_index))
+        if fault is None:
+            return
+        key = (sweep_id, cell_index, shard_index)
+        with self._lock:
+            remaining = self._remaining.get(key, fault.count)
+            if remaining <= 0:
+                return
+            self._remaining[key] = remaining - 1
+        if fault.kind == "crash":
+            raise InjectedWorkerCrash(
+                f"injected worker crash on attempt {attempt} of shard "
+                f"{shard_index} of cell {cell_index}"
+            )
+        time.sleep(fault.seconds)
+
+    def __repr__(self) -> str:
+        return f"ServiceFaultInjector({sorted(self._faults)})"

@@ -1,0 +1,831 @@
+"""The sweep-service daemon: an HTTP front over a shard-job worker pool.
+
+:class:`SweepService` turns the execution layer into "repro as a service":
+clients POST sweeps of :class:`~repro.exec.ExecutionCell` specs, the
+daemon splits each cell into shard jobs (:func:`~repro.exec.split_cell`),
+a pool of worker threads executes them through the in-process batched
+executor, and the shard outcomes are merged back byte-identically
+(:func:`~repro.exec.merge_cell_outcomes`) — the same parity contract every
+local backend honours, now across an HTTP boundary.
+
+HTTP API (all JSON, see :mod:`repro.service.wire`):
+
+===========================================  =====================================
+``POST /sweeps``                             submit ``{"cells": [...specs...],
+                                             "shard_size": null|int|"auto"}``;
+                                             returns ``{"id": ...}``
+``GET /sweeps/{id}``                         status (+ flattened records once done)
+``GET /sweeps/{id}/events?cursor=N``         long-poll progress stream; records use
+                                             the telemetry JSONL schema, so
+                                             ``repro tail --url`` renders them with
+                                             the file-mode renderer
+``GET /sweeps/{id}/outcomes?cell=K``         one completed cell's byte-exact
+                                             :class:`~repro.exec.CellOutcome`
+``POST /sweeps/{id}/cancel``                 stop scheduling the sweep's shards
+``GET /healthz``                             liveness + drain state
+``GET /metrics``                             service counters, cache hit/miss,
+                                             merged engine metrics
+===========================================  =====================================
+
+Three properties carry the design:
+
+* **determinism first** — every executed shard outcome is stored in a
+  content-addressed :class:`~repro.service.cache.ResultCache` keyed by
+  :func:`~repro.exec.cell_signature`; identical resubmissions are cache
+  hits, and a retried shard whose records differ from the cached first
+  attempt fails the sweep loudly instead of silently shipping either copy;
+* **fault tolerance by re-queue** — a crashed worker attempt (or one that
+  exceeds ``shard_timeout``, caught by the watchdog thread) re-queues the
+  shard with a fresh attempt token, up to ``max_retries`` times; stale
+  completions from superseded attempts are discarded by token mismatch;
+* **graceful drain** — :meth:`SweepService.stop` refuses new submissions,
+  lets in-flight sweeps finish, then joins the workers and closes the
+  listener, so a ``SIGTERM`` to ``repro serve`` never loses a sweep.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+import traceback
+import uuid
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, List, Optional, Sequence, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigurationError, ReproError, ServiceError
+from repro.exec.cells import (
+    CellOutcome,
+    ExecutionCell,
+    cell_signature,
+    execute_cell_batched,
+    merge_cell_outcomes,
+    resolve_shard_size,
+    split_cell,
+)
+from repro.service.cache import ResultCache
+from repro.service.faults import ServiceFaultInjector
+from repro.service.wire import (
+    JSON_CONTENT_TYPE,
+    cells_from_payload,
+    dump_json,
+    encode_outcome,
+    load_json,
+)
+from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+
+__all__ = ["SweepService"]
+
+#: Sweep states that no longer schedule work.
+_TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Hard cap on one long-poll wait, whatever the client asks for.
+_MAX_POLL_SECONDS = 30.0
+
+
+@dataclass
+class _Shard:
+    """One schedulable unit: a sub-cell of one submitted cell."""
+
+    cell_index: int
+    shard_index: int
+    shard_count: int
+    cell: ExecutionCell
+    signature: str
+    state: str = "pending"  # pending | running | done
+    attempt: int = 0  # token; completions from older attempts are stale
+    retries: int = 0  # re-queues consumed (crash or timeout)
+    deadline: Optional[float] = None
+    outcome: Optional[CellOutcome] = None
+
+
+@dataclass
+class _Sweep:
+    """Book-keeping for one submitted sweep."""
+
+    id: str
+    cells: Tuple[ExecutionCell, ...]
+    shards: List[List[_Shard]]
+    outcomes: List[Optional[CellOutcome]]
+    cell_cached: List[bool]
+    state: str = "running"  # running | done | failed | cancelled
+    error: Optional[str] = None
+    events: List[Dict[str, object]] = field(default_factory=list)
+    created: float = field(default_factory=time.time)
+
+    @property
+    def completed_cells(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome is not None)
+
+
+class SweepService:
+    """The daemon behind ``repro serve`` (and the in-process test fixture).
+
+    Parameters
+    ----------
+    host, port:
+        Listen address; ``port=0`` binds an ephemeral port (read it back
+        from :attr:`url` / :attr:`port` after :meth:`start`).
+    workers:
+        Worker threads executing shard jobs.
+    max_retries:
+        Re-queues allowed per shard before the whole sweep fails.
+    shard_timeout:
+        Seconds a running shard attempt may take before the watchdog
+        re-queues it (``None`` disables the watchdog's timeout path).
+    cache_dir:
+        Directory for the result cache; ``None`` uses a private temporary
+        store that lives with the daemon.
+    default_shard_size:
+        Shard size applied when a submission does not specify one
+        (``None`` | positive int | ``"auto"`` = ``ceil(R / workers)``).
+    fault_injector:
+        Optional :class:`~repro.service.faults.ServiceFaultInjector`
+        consulted at the start of every shard attempt (testing only).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 2,
+        max_retries: int = 2,
+        shard_timeout: Optional[float] = None,
+        cache_dir: Optional[str] = None,
+        default_shard_size: object = None,
+        fault_injector: Optional[ServiceFaultInjector] = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"worker count must be >= 1; got {workers}")
+        if max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0; got {max_retries}"
+            )
+        self.host = host
+        self.workers = int(workers)
+        self.max_retries = int(max_retries)
+        self.shard_timeout = shard_timeout
+        self.default_shard_size = default_shard_size
+        self.fault_injector = fault_injector
+        self.cache = ResultCache(cache_dir)
+
+        self._requested_port = int(port)
+        self._lock = threading.RLock()
+        self._condition = threading.Condition(self._lock)
+        self._sweeps: Dict[str, _Sweep] = {}
+        self._queue: "queue.Queue[Tuple[str, int, int, int]]" = queue.Queue()
+        self._metrics = MetricsRegistry()  # guarded by self._lock
+        self._engine_metrics: Optional[Dict[str, Dict[str, float]]] = None
+        self._stop_event = threading.Event()
+        self._draining = False
+        self._started = False
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._threads: List[threading.Thread] = []
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def port(self) -> int:
+        """The bound port (ephemeral ports resolve after :meth:`start`)."""
+        if self._httpd is not None:
+            return self._httpd.server_address[1]
+        return self._requested_port
+
+    @property
+    def url(self) -> str:
+        """Base URL clients point ``service:URL`` specs at."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "SweepService":
+        """Bind the listener and boot the worker pool (idempotent)."""
+        with self._lock:
+            if self._started:
+                return self
+            self._started = True
+        self._httpd = _ServiceHTTPServer(
+            (self.host, self._requested_port), _ServiceRequestHandler
+        )
+        self._httpd.service = self
+        for target, name in [
+            (self._httpd.serve_forever, "repro-service-http"),
+            (self._watchdog_loop, "repro-service-watchdog"),
+        ]:
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        for index in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-service-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def stop(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Shut the daemon down; with ``drain`` let running sweeps finish.
+
+        New submissions are refused (HTTP 503) the moment this is called.
+        Without ``drain`` (or once ``timeout`` passes) still-running sweeps
+        are cancelled before the workers are joined.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._condition:
+            self._draining = True
+            if drain:
+                while any(
+                    sweep.state not in _TERMINAL_STATES
+                    for sweep in self._sweeps.values()
+                ):
+                    remaining = 0.5
+                    if deadline is not None:
+                        remaining = min(remaining, deadline - time.monotonic())
+                        if remaining <= 0:
+                            break
+                    self._condition.wait(remaining)
+            for sweep in self._sweeps.values():
+                if sweep.state not in _TERMINAL_STATES:
+                    sweep.state = "cancelled"
+                    sweep.error = "service shut down before the sweep finished"
+            self._stop_event.set()
+            self._condition.notify_all()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads = []
+        self.cache.close()
+
+    def __enter__(self) -> "SweepService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop(drain=False)
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+
+    def submit(
+        self, cells: Sequence[ExecutionCell], shard_size: object = None
+    ) -> str:
+        """Enqueue a sweep; returns its id.
+
+        Per-cell, the result cache is consulted first (an identical earlier
+        submission completes the cell instantly); misses are split into
+        shard jobs and handed to the worker pool.
+        """
+        cells = tuple(cells)
+        if not cells:
+            raise ConfigurationError("a sweep needs at least one cell")
+        if shard_size is None:
+            shard_size = self.default_shard_size
+        with self._condition:
+            if self._draining:
+                raise ServiceError("service is draining; not accepting sweeps")
+            sweep = _Sweep(
+                id=uuid.uuid4().hex[:12],
+                cells=cells,
+                shards=[[] for _ in cells],
+                outcomes=[None for _ in cells],
+                cell_cached=[False for _ in cells],
+            )
+            self._sweeps[sweep.id] = sweep
+            self._metrics.count("service.sweeps_submitted")
+            self._metrics.count("service.cells_submitted", len(cells))
+            for cell_index, cell in enumerate(cells):
+                signature = cell_signature(cell)
+                cached = self.cache.get(signature)
+                if cached is not None:
+                    sweep.outcomes[cell_index] = cached
+                    sweep.cell_cached[cell_index] = True
+                    self._emit_cell_event(sweep, cell_index, cached, cached=True)
+                    continue
+                resolved = resolve_shard_size(
+                    shard_size, cell.num_replicas, self.workers
+                )
+                sub_cells = split_cell(cell, resolved)
+                sweep.shards[cell_index] = [
+                    _Shard(
+                        cell_index=cell_index,
+                        shard_index=shard_index,
+                        shard_count=len(sub_cells),
+                        cell=sub_cell,
+                        signature=cell_signature(sub_cell),
+                    )
+                    for shard_index, sub_cell in enumerate(sub_cells)
+                ]
+                for shard in sweep.shards[cell_index]:
+                    self._queue.put(
+                        (sweep.id, shard.cell_index, shard.shard_index, 0)
+                    )
+            self._finish_if_complete(sweep)
+            self._condition.notify_all()
+            return sweep.id
+
+    # ------------------------------------------------------------------ #
+    # Worker pool
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self) -> None:
+        while not self._stop_event.is_set():
+            try:
+                job = self._queue.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            try:
+                self._run_one(*job)
+            except BaseException:  # never let a worker thread die silently
+                traceback.print_exc()
+
+    def _run_one(
+        self, sweep_id: str, cell_index: int, shard_index: int, attempt: int
+    ) -> None:
+        with self._lock:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None or sweep.state in _TERMINAL_STATES:
+                return
+            shard = sweep.shards[cell_index][shard_index]
+            if shard.state != "pending" or shard.attempt != attempt:
+                return  # superseded by a re-queue, or already finished
+            shard.state = "running"
+            if self.shard_timeout is not None:
+                shard.deadline = time.monotonic() + self.shard_timeout
+            cell = shard.cell
+            signature = shard.signature
+        from_cache = False
+        try:
+            if self.fault_injector is not None:
+                self.fault_injector.on_attempt(
+                    sweep_id, cell_index, shard_index, attempt
+                )
+            outcome = self.cache.get(signature)
+            if outcome is not None:
+                from_cache = True
+            else:
+                outcome = execute_cell_batched(cell)
+        except Exception as error:
+            self._shard_failed(sweep_id, cell_index, shard_index, attempt, error)
+            return
+        self._shard_done(
+            sweep_id, cell_index, shard_index, attempt, outcome, from_cache
+        )
+
+    def _shard_failed(
+        self,
+        sweep_id: str,
+        cell_index: int,
+        shard_index: int,
+        attempt: int,
+        error: Exception,
+    ) -> None:
+        with self._condition:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None or sweep.state in _TERMINAL_STATES:
+                return
+            shard = sweep.shards[cell_index][shard_index]
+            if shard.attempt != attempt or shard.state == "done":
+                return  # a newer attempt owns this shard now
+            self._requeue_or_fail(sweep, shard, f"{type(error).__name__}: {error}")
+            self._condition.notify_all()
+
+    def _requeue_or_fail(
+        self, sweep: _Sweep, shard: _Shard, reason: str
+    ) -> None:
+        """Re-queue a lost shard attempt, or fail the sweep (lock held)."""
+        if shard.retries < self.max_retries:
+            shard.retries += 1
+            shard.attempt += 1
+            shard.state = "pending"
+            shard.deadline = None
+            self._metrics.count("service.shards_retried")
+            self._queue.put(
+                (sweep.id, shard.cell_index, shard.shard_index, shard.attempt)
+            )
+            return
+        sweep.state = "failed"
+        sweep.error = (
+            f"shard {shard.shard_index} of cell {shard.cell_index} failed "
+            f"after {shard.retries + 1} attempts: {reason}"
+        )
+
+    def _shard_done(
+        self,
+        sweep_id: str,
+        cell_index: int,
+        shard_index: int,
+        attempt: int,
+        outcome: CellOutcome,
+        from_cache: bool,
+    ) -> None:
+        with self._condition:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None or sweep.state in _TERMINAL_STATES:
+                return
+            shard = sweep.shards[cell_index][shard_index]
+            if shard.attempt != attempt or shard.state == "done":
+                return  # stale completion from a superseded attempt
+            if not from_cache:
+                self._metrics.count("service.shards_executed")
+                self._engine_metrics = merge_snapshots(
+                    [self._engine_metrics, outcome.metrics]
+                )
+                if not self.cache.put(shard.signature, shard.cell, outcome):
+                    # A retry produced different records than the cached
+                    # first attempt — a determinism violation, never OK.
+                    sweep.state = "failed"
+                    sweep.error = (
+                        f"determinism violation: shard {shard_index} of cell "
+                        f"{cell_index} (signature {shard.signature[:12]}) "
+                        f"produced records that differ from its cached result"
+                    )
+                    self._condition.notify_all()
+                    return
+            shard.state = "done"
+            shard.outcome = outcome
+            shard.deadline = None
+            if shard.shard_count > 1:
+                sweep.events.append(
+                    {
+                        "event": "shard",
+                        "index": cell_index,
+                        "total": len(sweep.cells),
+                        "shard": shard_index,
+                        "shards": shard.shard_count,
+                        "backend": "service",
+                        "protocol": shard.cell.protocol.label,
+                        "graph": shard.cell.graph.label,
+                        "replicas": shard.cell.num_replicas,
+                        "wall_seconds": outcome.wall_seconds,
+                        "rounds_advanced": outcome.rounds_advanced,
+                    }
+                )
+            shards = sweep.shards[cell_index]
+            if all(entry.state == "done" for entry in shards):
+                cell = sweep.cells[cell_index]
+                merged = merge_cell_outcomes(
+                    cell, [entry.outcome for entry in shards]
+                )
+                if len(shards) > 1:
+                    # Cache the whole-cell result too, so resubmitting the
+                    # cell hits at submit time without re-merging shards.
+                    self.cache.put(cell_signature(cell), cell, merged)
+                sweep.outcomes[cell_index] = merged
+                self._emit_cell_event(sweep, cell_index, merged, cached=False)
+            self._finish_if_complete(sweep)
+            self._condition.notify_all()
+
+    def _emit_cell_event(
+        self,
+        sweep: _Sweep,
+        cell_index: int,
+        outcome: CellOutcome,
+        cached: bool,
+    ) -> None:
+        """Append one telemetry-schema ``cell`` record (lock held)."""
+        records = outcome.to_records()
+        mean_rounds = None
+        if records:
+            rounds = [
+                record.convergence_round
+                if record.convergence_round is not None
+                else record.rounds_executed
+                for record in records
+            ]
+            mean_rounds = float(sum(rounds)) / len(rounds)
+        sweep.events.append(
+            {
+                "event": "cell",
+                "index": cell_index,
+                "total": len(sweep.cells),
+                "backend": "service",
+                "protocol": outcome.cell.protocol.label,
+                "graph": outcome.cell.graph.label,
+                "n": outcome.n,
+                "diameter": outcome.diameter,
+                "replicas": outcome.cell.num_replicas,
+                "mean_rounds": mean_rounds,
+                "wall_seconds": outcome.wall_seconds,
+                "rounds_advanced": outcome.rounds_advanced,
+                "metrics": outcome.metrics,
+                "cached": cached,
+                "retries": sum(
+                    shard.retries for shard in sweep.shards[cell_index]
+                ),
+            }
+        )
+
+    def _finish_if_complete(self, sweep: _Sweep) -> None:
+        """Mark the sweep done and emit its summary record (lock held)."""
+        if sweep.state != "running" or sweep.completed_cells < len(sweep.cells):
+            return
+        sweep.state = "done"
+        wall = [
+            outcome.wall_seconds
+            for outcome in sweep.outcomes
+            if outcome is not None and outcome.wall_seconds is not None
+        ]
+        sweep.events.append(
+            {
+                "event": "summary",
+                "cells": len(sweep.cells),
+                "wall_seconds": float(sum(wall)),
+                "rounds_advanced": sum(
+                    outcome.rounds_advanced
+                    for outcome in sweep.outcomes
+                    if outcome is not None
+                ),
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # Watchdog: timed-out shard attempts
+    # ------------------------------------------------------------------ #
+
+    def _watchdog_loop(self) -> None:
+        while not self._stop_event.wait(0.2):
+            if self.shard_timeout is None:
+                continue
+            now = time.monotonic()
+            with self._condition:
+                for sweep in self._sweeps.values():
+                    if sweep.state in _TERMINAL_STATES:
+                        continue
+                    for shards in sweep.shards:
+                        for shard in shards:
+                            if (
+                                shard.state == "running"
+                                and shard.deadline is not None
+                                and now > shard.deadline
+                            ):
+                                self._requeue_or_fail(
+                                    sweep,
+                                    shard,
+                                    f"attempt exceeded shard_timeout="
+                                    f"{self.shard_timeout}s",
+                                )
+                self._condition.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Queries (what the HTTP handler serves)
+    # ------------------------------------------------------------------ #
+
+    def _sweep_or_raise(self, sweep_id: str) -> _Sweep:
+        sweep = self._sweeps.get(sweep_id)
+        if sweep is None:
+            raise KeyError(sweep_id)
+        return sweep
+
+    def sweep_status(self, sweep_id: str) -> Dict[str, object]:
+        """The ``GET /sweeps/{id}`` payload (records included when done)."""
+        with self._lock:
+            sweep = self._sweep_or_raise(sweep_id)
+            shard_total = sum(len(shards) for shards in sweep.shards)
+            payload: Dict[str, object] = {
+                "id": sweep.id,
+                "state": sweep.state,
+                "cells": len(sweep.cells),
+                "completed_cells": sweep.completed_cells,
+                "shards": shard_total,
+                "completed_shards": sum(
+                    1
+                    for shards in sweep.shards
+                    for shard in shards
+                    if shard.state == "done"
+                ),
+                "retries": sum(
+                    shard.retries
+                    for shards in sweep.shards
+                    for shard in shards
+                ),
+                "cached_cells": sum(sweep.cell_cached),
+                "error": sweep.error,
+                "created": sweep.created,
+            }
+            if sweep.state == "done":
+                payload["records"] = [
+                    record.as_dict()
+                    for outcome in sweep.outcomes
+                    for record in outcome.to_records()  # type: ignore[union-attr]
+                ]
+            return payload
+
+    def wait_events(
+        self, sweep_id: str, cursor: int = 0, timeout: float = 10.0
+    ) -> Dict[str, object]:
+        """Long-poll the sweep's event stream from ``cursor``.
+
+        Blocks until at least one new record exists, the sweep reaches a
+        terminal state, or the (capped) timeout passes; returns the new
+        records plus the cursor to resume from.
+        """
+        cursor = max(0, int(cursor))
+        deadline = time.monotonic() + max(
+            0.0, min(float(timeout), _MAX_POLL_SECONDS)
+        )
+        with self._condition:
+            sweep = self._sweep_or_raise(sweep_id)
+            while (
+                len(sweep.events) <= cursor
+                and sweep.state not in _TERMINAL_STATES
+                and not self._stop_event.is_set()
+            ):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(min(remaining, 0.5))
+            events = list(sweep.events[cursor:])
+            return {
+                "cursor": cursor + len(events),
+                "events": events,
+                "state": sweep.state,
+                "done": sweep.state in _TERMINAL_STATES,
+                "error": sweep.error,
+            }
+
+    def cell_outcome_payload(
+        self, sweep_id: str, cell_index: int
+    ) -> Dict[str, object]:
+        """The ``GET /sweeps/{id}/outcomes?cell=K`` payload."""
+        with self._lock:
+            sweep = self._sweep_or_raise(sweep_id)
+            if not 0 <= cell_index < len(sweep.cells):
+                raise ConfigurationError(
+                    f"cell index {cell_index} out of range for sweep "
+                    f"{sweep_id} with {len(sweep.cells)} cells"
+                )
+            outcome = sweep.outcomes[cell_index]
+            if outcome is None:
+                raise ServiceError(
+                    f"cell {cell_index} of sweep {sweep_id} has not "
+                    f"completed yet (sweep state: {sweep.state})"
+                )
+            return {
+                "id": sweep.id,
+                "cell": cell_index,
+                "cached": sweep.cell_cached[cell_index],
+                "outcome": encode_outcome(outcome),
+            }
+
+    def cancel(self, sweep_id: str) -> Dict[str, object]:
+        """Stop scheduling a sweep's remaining shards (idempotent)."""
+        with self._condition:
+            sweep = self._sweep_or_raise(sweep_id)
+            if sweep.state == "running":
+                sweep.state = "cancelled"
+                sweep.error = "cancelled by client"
+                self._condition.notify_all()
+        return self.sweep_status(sweep_id)
+
+    def metrics_payload(self) -> Dict[str, object]:
+        """The ``GET /metrics`` payload: service counters + cache + engine."""
+        stats = self.cache.stats()
+        with self._lock:
+            snapshot = self._metrics.snapshot()
+            snapshot["counters"]["service.cache_hits"] = stats["hits"]
+            snapshot["counters"]["service.cache_misses"] = stats["misses"]
+            snapshot["gauges"]["service.workers"] = self.workers
+            snapshot["gauges"]["service.sweeps"] = len(self._sweeps)
+            snapshot["gauges"]["service.queue_depth"] = self._queue.qsize()
+            return {
+                "service": snapshot,
+                "engine": self._engine_metrics,
+            }
+
+    def health_payload(self) -> Dict[str, object]:
+        """The ``GET /healthz`` payload."""
+        with self._lock:
+            return {
+                "status": "ok",
+                "state": "draining" if self._draining else "serving",
+                "sweeps": len(self._sweeps),
+                "workers": self.workers,
+            }
+
+    def submit_payload(self, body: bytes) -> Dict[str, object]:
+        """Handle a ``POST /sweeps`` body; returns the submission receipt."""
+        payload = load_json(body, "sweep submission")
+        cells = cells_from_payload(payload.get("cells"))
+        shard_size = payload.get("shard_size")
+        sweep_id = self.submit(cells, shard_size=shard_size)
+        with self._lock:
+            sweep = self._sweeps[sweep_id]
+            return {
+                "id": sweep_id,
+                "cells": len(sweep.cells),
+                "shards": sum(len(shards) for shards in sweep.shards),
+                "cached_cells": sum(sweep.cell_cached),
+                "state": sweep.state,
+            }
+
+
+class _ServiceHTTPServer(ThreadingHTTPServer):
+    """Threaded listener with a back-pointer to the owning service."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    service: "SweepService"
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    """Routes the HTTP API onto :class:`SweepService` methods.
+
+    One request class per route table: errors map to structured JSON
+    (``ConfigurationError`` → 400, unknown sweep → 404, draining → 503)
+    instead of HTML stack traces.
+    """
+
+    protocol_version = "HTTP/1.1"
+    server: _ServiceHTTPServer
+
+    # ------------------------------------------------------------------ #
+    # Plumbing
+    # ------------------------------------------------------------------ #
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Silence per-request stderr logging (the daemon is not a log)."""
+
+    def _respond(self, status: int, payload: Dict[str, object]) -> None:
+        body = dump_json(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", JSON_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._respond(status, {"error": message})
+
+    def _dispatch(self, method: str) -> None:
+        split = urlsplit(self.path)
+        parts = [part for part in split.path.split("/") if part]
+        query = parse_qs(split.query)
+        service = self.server.service
+        try:
+            if method == "GET" and parts == ["healthz"]:
+                self._respond(200, service.health_payload())
+            elif method == "GET" and parts == ["metrics"]:
+                self._respond(200, service.metrics_payload())
+            elif method == "POST" and parts == ["sweeps"]:
+                length = int(self.headers.get("Content-Length") or 0)
+                body = self.rfile.read(length) if length else b""
+                self._respond(200, service.submit_payload(body))
+            elif method == "GET" and len(parts) == 2 and parts[0] == "sweeps":
+                self._respond(200, service.sweep_status(parts[1]))
+            elif (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "sweeps"
+                and parts[2] == "events"
+            ):
+                cursor = int(query.get("cursor", ["0"])[0])
+                timeout = float(query.get("timeout", ["10"])[0])
+                self._respond(
+                    200, service.wait_events(parts[1], cursor, timeout)
+                )
+            elif (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "sweeps"
+                and parts[2] == "outcomes"
+            ):
+                cell = int(query.get("cell", ["0"])[0])
+                self._respond(
+                    200, service.cell_outcome_payload(parts[1], cell)
+                )
+            elif (
+                method == "POST"
+                and len(parts) == 3
+                and parts[0] == "sweeps"
+                and parts[2] == "cancel"
+            ):
+                self._respond(200, service.cancel(parts[1]))
+            else:
+                self._error(404, f"no route for {method} {split.path}")
+        except KeyError as error:
+            self._error(404, f"unknown sweep id: {error.args[0]}")
+        except ConfigurationError as error:
+            self._error(400, str(error))
+        except ServiceError as error:
+            message = str(error)
+            status = 503 if "draining" in message else 409
+            self._error(status, message)
+        except ValueError as error:
+            self._error(400, f"bad query parameter: {error}")
+        except ReproError as error:
+            self._error(500, f"{type(error).__name__}: {error}")
+        except Exception as error:  # pragma: no cover - defensive
+            self._error(500, f"internal error: {type(error).__name__}: {error}")
+
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        self._dispatch("POST")

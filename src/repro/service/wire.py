@@ -1,0 +1,104 @@
+"""Wire format helpers shared by the sweep-service daemon and client.
+
+Two payload classes travel over the service's HTTP API:
+
+* **cell specs** — pure-JSON descriptions of :class:`~repro.exec.ExecutionCell`
+  objects, produced by :func:`~repro.exec.cells.cell_to_spec` and rebuilt
+  with :func:`~repro.exec.cells.cell_from_spec`.  Submissions are plain
+  JSON so any HTTP client (``curl`` included) can drive the daemon;
+* **cell outcomes** — the executed results.  Outcomes carry numpy arrays,
+  batch traces and streaming-reducer accumulators whose byte-identity is
+  the whole point of the backend parity contract, so they are transported
+  as base64-encoded pickles inside JSON envelopes
+  (:func:`encode_outcome` / :func:`decode_outcome`) — exactly the
+  serialisation the ``process:N`` backend already relies on to ship
+  outcomes between worker processes.  The daemon and its clients are the
+  same codebase in the same trust domain (a pickle is executable content;
+  never point :class:`~repro.service.client.ServiceBackend` at a daemon
+  you do not control).
+
+The module also owns the tiny HTTP-side JSON conventions (UTF-8 bodies,
+``Content-Type: application/json``, ``{"error": ...}`` envelopes) so the
+request handler and the client never drift apart.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.exec.cells import CellOutcome, ExecutionCell, cell_from_spec, cell_to_spec
+
+__all__ = [
+    "cells_from_payload",
+    "cells_to_payload",
+    "decode_outcome",
+    "dump_json",
+    "encode_outcome",
+    "load_json",
+]
+
+#: ``Content-Type`` every request and response body uses.
+JSON_CONTENT_TYPE = "application/json; charset=utf-8"
+
+
+def dump_json(payload: Mapping[str, object]) -> bytes:
+    """Encode one JSON response/request body (UTF-8, ``str`` fallback)."""
+    return json.dumps(payload, default=str).encode("utf-8")
+
+
+def load_json(body: bytes, what: str = "request body") -> Dict[str, object]:
+    """Decode a JSON object body, raising :class:`ConfigurationError` on junk."""
+    if not body:
+        raise ConfigurationError(f"{what} is empty; expected a JSON object")
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise ConfigurationError(f"{what} is not valid JSON: {error}") from None
+    if not isinstance(payload, dict):
+        raise ConfigurationError(
+            f"{what} must be a JSON object; got {type(payload).__name__}"
+        )
+    return payload
+
+
+def cells_to_payload(cells: Sequence[ExecutionCell]) -> List[Dict[str, object]]:
+    """Render cells as the JSON spec list a ``POST /sweeps`` body carries."""
+    return [cell_to_spec(cell) for cell in cells]
+
+
+def cells_from_payload(payload: object) -> "tuple[ExecutionCell, ...]":
+    """Rebuild the submitted cells, raising on malformed or empty lists."""
+    if not isinstance(payload, (list, tuple)) or not payload:
+        raise ConfigurationError(
+            f"a sweep submission needs a non-empty 'cells' list; got {payload!r}"
+        )
+    return tuple(cell_from_spec(spec) for spec in payload)
+
+
+def encode_outcome(outcome: CellOutcome) -> str:
+    """Base64 pickle of one executed outcome (the byte-exact transport)."""
+    return base64.b64encode(
+        pickle.dumps(outcome, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def decode_outcome(payload: object) -> CellOutcome:
+    """Inverse of :func:`encode_outcome`; raises :class:`ServiceError` on junk."""
+    if not isinstance(payload, str):
+        raise ServiceError(
+            f"outcome payload must be a base64 string; got {type(payload).__name__}"
+        )
+    try:
+        outcome = pickle.loads(base64.b64decode(payload.encode("ascii")))
+    except Exception as error:  # corrupt payloads must not crash the caller
+        raise ServiceError(f"could not decode outcome payload: {error}") from None
+    if not isinstance(outcome, CellOutcome):
+        raise ServiceError(
+            f"outcome payload decoded to {type(outcome).__name__}, "
+            f"expected CellOutcome"
+        )
+    return outcome

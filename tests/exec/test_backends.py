@@ -137,12 +137,46 @@ def test_resolve_backend_defaults_and_instances():
     assert resolve_backend(backend) is backend
 
 
+def test_resolve_backend_service_spec():
+    from repro.service.client import ServiceBackend
+
+    backend = resolve_backend("service:http://127.0.0.1:8123")
+    assert isinstance(backend, ServiceBackend)
+    assert backend.name == "service:http://127.0.0.1:8123"
+    # A bare host:port gets the scheme defaulted.
+    assert resolve_backend("service:127.0.0.1:8123").url == "http://127.0.0.1:8123"
+
+
 @pytest.mark.parametrize(
     "spec", ["nonsense", "process:two", "sequential:4", "batched:2", 42]
 )
 def test_resolve_backend_rejects_unknown_specs(spec):
     with pytest.raises(ConfigurationError):
         resolve_backend(spec)
+
+
+@pytest.mark.parametrize("spec", ["nonsense", "sequential:4", "batched:2"])
+def test_resolve_backend_error_lists_known_specs_and_token(spec):
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_backend(spec)
+    message = str(excinfo.value)
+    assert repr(spec) in message  # names the offending token
+    for known in ("'sequential'", "'batched'", "'process[:N]'", "'service:URL'"):
+        assert known in message
+
+
+def test_resolve_backend_service_without_url_names_the_spec():
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_backend("service:")
+    assert "'service:'" in str(excinfo.value)
+    assert "URL" in str(excinfo.value)
+
+
+def test_resolve_backend_bad_worker_count_names_the_token():
+    with pytest.raises(ConfigurationError) as excinfo:
+        resolve_backend("process:x")
+    message = str(excinfo.value)
+    assert "'x'" in message and "'process:x'" in message
 
 
 def test_process_backend_rejects_nonpositive_workers():

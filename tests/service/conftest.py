@@ -1,0 +1,30 @@
+"""Shared fixtures for the sweep-service tests.
+
+Each test gets its *own* daemon on an ephemeral port (function scope), so
+result caches start cold and drain/cancel tests cannot poison neighbours.
+The daemon runs in-process — worker threads, not subprocesses — which keeps
+a full service round-trip in the tens of milliseconds.
+"""
+
+import pytest
+
+from repro.exec import ExecutionCell
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+from repro.service import SweepService
+
+
+@pytest.fixture
+def service():
+    with SweepService(workers=2) as daemon:
+        yield daemon
+
+
+def make_cell(**overrides):
+    """A small, fast cell for endpoint-level tests."""
+    defaults = dict(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=12),
+        seeds=(1, 2, 3, 4),
+    )
+    defaults.update(overrides)
+    return ExecutionCell(**defaults)

@@ -1,0 +1,122 @@
+"""The content-addressed result cache: hits, verification, persistence."""
+
+import pytest
+
+from repro.exec import SequentialBackend, cell_signature, execute_cell_batched
+from repro.service import ResultCache, ServiceBackend, ServiceClient, SweepService
+
+from tests.service.conftest import make_cell
+
+
+# --------------------------------------------------------------------------- #
+# ResultCache unit behaviour
+# --------------------------------------------------------------------------- #
+
+
+def test_cache_round_trip_and_counters(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cell = make_cell()
+    signature = cell_signature(cell)
+    assert cache.get(signature) is None
+    outcome = execute_cell_batched(cell)
+    assert cache.put(signature, cell, outcome)
+    restored = cache.get(signature)
+    assert restored is not None
+    assert restored.to_records() == outcome.to_records()
+    assert cache.stats() == {"hits": 1, "misses": 1}
+    assert len(cache) == 1
+
+
+def test_cache_put_verifies_on_overlap(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cell = make_cell()
+    signature = cell_signature(cell)
+    outcome = execute_cell_batched(cell)
+    assert cache.put(signature, cell, outcome)
+    # Identical second write: fine (the retry determinism assertion).
+    assert cache.put(signature, cell, outcome)
+    # Different records under the same signature: refused.
+    other = execute_cell_batched(make_cell(seeds=(7, 8, 9, 10)))
+    assert not cache.put(signature, cell, other)
+
+
+def test_cache_survives_corrupt_entries(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    cell = make_cell()
+    signature = cell_signature(cell)
+    cache.put(signature, cell, execute_cell_batched(cell))
+    entry = tmp_path / signature[:2] / f"{signature}.json"
+    entry.write_text("{ truncated", encoding="utf-8")
+    assert cache.get(signature) is None  # corrupt → miss
+    assert not entry.exists()  # and deleted, so a rewrite can land
+
+
+def test_cache_owns_a_tempdir_when_unconfigured():
+    cache = ResultCache()
+    directory = cache.directory
+    assert directory.exists()
+    cache.close()
+    assert not directory.exists()
+
+
+# --------------------------------------------------------------------------- #
+# Through the daemon: resubmission is a cache hit
+# --------------------------------------------------------------------------- #
+
+
+def test_identical_resubmission_is_a_cache_hit(service):
+    backend = ServiceBackend(service.url)
+    cell = make_cell()
+    first = backend.run_cells((cell,))
+    client = backend.client
+    before = client.metrics()["service"]["counters"]["service.cache_hits"]
+
+    second = backend.run_cells((cell,))
+    assert second == first  # byte-identical, served from the cache
+    after = client.metrics()["service"]["counters"]
+    assert after["service.cache_hits"] > before
+    # The cached submission executed no new shards.
+    assert after["service.shards_executed"] == 1
+
+    receipt = client.submit([cell])
+    assert receipt["cached_cells"] == 1
+    status = client.status(str(receipt["id"]))
+    assert status["state"] == "done"
+    assert status["cached_cells"] == 1
+
+
+def test_cell_events_carry_the_cached_flag(service):
+    client = ServiceClient(service.url)
+    cell = make_cell()
+    first = client.events(str(client.submit([cell])["id"]), timeout=15.0)
+    second = client.events(str(client.submit([cell])["id"]), timeout=15.0)
+    flag = lambda poll: [
+        record["cached"]
+        for record in poll["events"]
+        if record["event"] == "cell"
+    ]
+    assert flag(first) == [False]
+    assert flag(second) == [True]
+
+
+def test_cache_persists_across_daemon_restarts(tmp_path):
+    cell = make_cell()
+    local = SequentialBackend().run_cells((cell,))
+    cache_dir = str(tmp_path / "cache")
+
+    with SweepService(workers=2, cache_dir=cache_dir) as first:
+        assert ServiceBackend(first.url).run_cells((cell,)) == local
+
+    # A fresh daemon over the same directory serves the cell without
+    # executing anything.
+    with SweepService(workers=2, cache_dir=cache_dir) as second:
+        client = ServiceClient(second.url)
+        receipt = client.submit([cell])
+        assert receipt["cached_cells"] == 1
+        counters = client.metrics()["service"]["counters"]
+        assert counters["service.cache_hits"] == 1
+        assert counters.get("service.shards_executed", 0) == 0
+        status = client.status(str(receipt["id"]))
+        assert status["state"] == "done"
+        records = SequentialBackend().run_cells((cell,))
+        assert status["records"] == [record.as_dict() for record in records]

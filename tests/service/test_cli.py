@@ -1,0 +1,166 @@
+"""CLI verbs for the sweep service: serve, submit, status, cancel, tail --url."""
+
+import os
+import re
+import signal
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+from repro.exec import resolve_backend
+
+from tests.service.conftest import make_cell
+
+
+# --------------------------------------------------------------------------- #
+# Client verbs against an in-process daemon
+# --------------------------------------------------------------------------- #
+
+
+def _submit_args(url, **extra):
+    args = [
+        "submit", "--url", url,
+        "--protocol", "bfw", "--graph", "cycle", "--n", "12", "--replicas", "4",
+    ]
+    for key, value in extra.items():
+        args.extend([f"--{key.replace('_', '-')}", str(value)])
+    return args
+
+
+def test_submit_status_tail_cancel_round_trip(service, capsys):
+    assert main(_submit_args(service.url, shard_size=2, master_seed=3)) == 0
+    out = capsys.readouterr().out
+    match = re.search(r"submitted sweep (\w+)", out)
+    assert match, out
+    sweep_id = match.group(1)
+    assert "repro status" in out and "repro tail" in out
+
+    # --follow in submit is covered below; wait via tail --url --follow.
+    assert main(["tail", sweep_id, "--url", service.url, "--follow"]) == 0
+    tail_out = capsys.readouterr().out
+    assert "bfw on cycle(12)" in tail_out
+    assert "shard" in tail_out  # shard sub-progress renders too
+    assert "sweep complete" in tail_out
+
+    assert main(["status", sweep_id, "--url", service.url]) == 0
+    status_out = capsys.readouterr().out
+    assert f"sweep {sweep_id}: done" in status_out
+
+    assert main(["status", sweep_id, "--url", service.url, "--json"]) == 0
+    assert '"state": "done"' in capsys.readouterr().out
+
+    assert main(["cancel", sweep_id, "--url", service.url]) == 0
+    assert "done" in capsys.readouterr().out  # finished sweeps stay done
+
+
+def test_submit_follow_blocks_until_done(service, capsys):
+    assert main(_submit_args(service.url, master_seed=5) + ["--follow"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep complete" in out
+    assert re.search(r"sweep \w+: done", out)
+
+
+def test_submit_matches_local_montecarlo_records(service, capsys):
+    # `repro submit` derives seeds exactly like `repro montecarlo`, so the
+    # sweep's records equal a local run of the montecarlo cell.
+    from repro.exec import ExecutionCell, SequentialBackend
+    from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+    from repro.experiments.seeds import trial_seeds
+    from repro.service import ServiceClient
+
+    assert main(_submit_args(service.url, master_seed=9)) == 0
+    sweep_id = re.search(
+        r"submitted sweep (\w+)", capsys.readouterr().out
+    ).group(1)
+    client = ServiceClient(service.url)
+    client.events(sweep_id, timeout=15.0)
+    status = client.status(sweep_id)
+    cell = ExecutionCell(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=12),
+        seeds=trial_seeds(9, "montecarlo/bfw/cycle/12", 4),
+        graph_rng_key=(9, "montecarlo-graph", "cycle", 12),
+    )
+    local = SequentialBackend().run_cells((cell,))
+    assert status["records"] == [record.as_dict() for record in local]
+
+
+def test_client_verbs_fail_cleanly_when_unreachable(capsys):
+    url = "http://127.0.0.1:1"  # nothing listens on port 1
+    assert main(["status", "abc", "--url", url]) == 1
+    assert "unreachable" in capsys.readouterr().err
+    assert main(["cancel", "abc", "--url", url]) == 1
+    assert "unreachable" in capsys.readouterr().err
+    assert main(_submit_args(url)) == 1
+    assert "unreachable" in capsys.readouterr().err
+    assert main(["tail", "abc", "--url", url]) == 1
+    assert "unreachable" in capsys.readouterr().err
+
+
+def test_status_unknown_sweep_is_an_error(service, capsys):
+    assert main(["status", "deadbeef", "--url", service.url]) == 1
+    assert "404" in capsys.readouterr().err
+
+
+def test_tail_without_url_still_reads_files(tmp_path, capsys):
+    # Regression: adding --url must not break file-mode tailing.
+    path = tmp_path / "telemetry.jsonl"
+    path.write_text(
+        '{"event": "summary", "cells": 1, "wall_seconds": 0.5, '
+        '"rounds_advanced": 10}\n',
+        encoding="utf-8",
+    )
+    assert main(["tail", str(path)]) == 0
+    assert "sweep complete" in capsys.readouterr().out
+
+
+def test_montecarlo_accepts_service_backend_spec(service, capsys):
+    assert main([
+        "montecarlo", "--protocol", "bfw", "--graph", "cycle",
+        "--n", "12", "--replicas", "4",
+        "--backend", f"service:{service.url}",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Monte Carlo" in out
+
+
+# --------------------------------------------------------------------------- #
+# `repro serve` end to end (subprocess, SIGTERM drain)
+# --------------------------------------------------------------------------- #
+
+
+def test_serve_subprocess_drains_on_sigterm(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src" + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve", "--port", "0",
+         "--workers", "2", "--cache-dir", str(tmp_path / "cache")],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on (\S+)", banner)
+        assert match, banner
+        url = match.group(1)
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.cli"] + _submit_args(url) + ["--follow"],
+            env=env, capture_output=True, text=True, timeout=60,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "sweep complete" in result.stdout
+    finally:
+        proc.send_signal(signal.SIGTERM)
+        try:
+            proc.wait(timeout=30)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            proc.kill()
+            pytest.fail("repro serve did not drain on SIGTERM")
+    assert proc.returncode == 0
+    remainder = proc.stdout.read()
+    assert "sweep service stopped" in remainder

@@ -1,0 +1,122 @@
+"""Fault tolerance: crashed and hung shard attempts re-queue, byte-identically.
+
+The service's retry story rests on determinism — a re-executed shard
+produces the same bytes as the lost attempt would have — so every happy
+path here asserts record equality against a local sequential run, not just
+"the sweep completed".
+"""
+
+import pytest
+
+from repro.errors import ConfigurationError, ServiceError
+from repro.exec import SequentialBackend
+from repro.service import ServiceBackend, ServiceClient, ServiceFaultInjector, SweepService
+from repro.service.faults import InjectedWorkerCrash
+
+from tests.service.conftest import make_cell
+
+
+# --------------------------------------------------------------------------- #
+# Directive parsing
+# --------------------------------------------------------------------------- #
+
+
+def test_from_spec_parses_crash_and_hang():
+    injector = ServiceFaultInjector.from_spec("crash:0:1; hang:2:0:0.5:3")
+    assert injector is not None
+    with pytest.raises(InjectedWorkerCrash):
+        injector.on_attempt("sweep", 0, 1, 0)
+    # Armed once: the retried attempt passes.
+    injector.on_attempt("sweep", 0, 1, 1)
+    # A different sweep sees the same fault pattern.
+    with pytest.raises(InjectedWorkerCrash):
+        injector.on_attempt("other", 0, 1, 0)
+    # Unmatched shards are untouched.
+    injector.on_attempt("sweep", 5, 5, 0)
+
+
+def test_from_spec_blank_is_none():
+    assert ServiceFaultInjector.from_spec(None) is None
+    assert ServiceFaultInjector.from_spec("   ") is None
+
+
+@pytest.mark.parametrize(
+    "spec", ["nonsense", "crash:0", "crash:a:b", "hang:0:0", "hang:0:0:fast"]
+)
+def test_from_spec_rejects_malformed_directives(spec):
+    with pytest.raises(ConfigurationError) as excinfo:
+        ServiceFaultInjector.from_spec(spec)
+    assert spec.split(";")[0].strip() in str(excinfo.value)
+
+
+def test_from_env_reads_the_documented_variable():
+    injector = ServiceFaultInjector.from_env({"REPRO_SERVICE_FAULTS": "crash:0:0"})
+    assert injector is not None
+    assert ServiceFaultInjector.from_env({}) is None
+
+
+# --------------------------------------------------------------------------- #
+# Crash → re-queue → byte-identical completion
+# --------------------------------------------------------------------------- #
+
+
+def test_crashed_shard_is_retried_and_records_match(tmp_path):
+    cell = make_cell(seeds=(1, 2, 3, 4, 5, 6))
+    local = SequentialBackend().run_cells((cell,))
+    injector = ServiceFaultInjector.from_spec("crash:0:1")
+    with SweepService(workers=2, fault_injector=injector) as daemon:
+        backend = ServiceBackend(daemon.url, shard_size=2)
+        assert backend.run_cells((cell,)) == local
+        client = ServiceClient(daemon.url)
+        counters = client.metrics()["service"]["counters"]
+        assert counters["service.shards_retried"] == 1
+
+
+def test_retries_are_surfaced_in_sweep_status(tmp_path):
+    injector = ServiceFaultInjector.from_spec("crash:0:0:2")
+    with SweepService(workers=2, max_retries=3, fault_injector=injector) as daemon:
+        client = ServiceClient(daemon.url)
+        sweep_id = str(client.submit([make_cell()])["id"])
+        poll = client.events(sweep_id, timeout=15.0)
+        assert poll["state"] == "done"
+        status = client.status(sweep_id)
+        assert status["retries"] == 2
+        cell_events = [
+            record for record in poll["events"] if record["event"] == "cell"
+        ]
+        assert cell_events[0]["retries"] == 2
+
+
+def test_exhausted_retries_fail_the_sweep_with_the_shard_named():
+    injector = ServiceFaultInjector.from_spec("crash:0:0:99")
+    with SweepService(workers=1, max_retries=1, fault_injector=injector) as daemon:
+        backend = ServiceBackend(daemon.url)
+        with pytest.raises(ServiceError) as excinfo:
+            backend.run_cells((make_cell(),))
+        message = str(excinfo.value)
+        assert "failed" in message
+        assert "shard 0 of cell 0" in message
+        status = ServiceClient(daemon.url).status(
+            message.split("sweep ")[1].split(" ")[0]
+        )
+        assert status["state"] == "failed"
+
+
+def test_hung_shard_is_requeued_by_the_watchdog():
+    cell = make_cell()
+    local = SequentialBackend().run_cells((cell,))
+    injector = ServiceFaultInjector.from_spec("hang:0:0:30")
+    with SweepService(
+        workers=2, shard_timeout=0.5, fault_injector=injector
+    ) as daemon:
+        backend = ServiceBackend(daemon.url)
+        assert backend.run_cells((cell,)) == local
+        counters = ServiceClient(daemon.url).metrics()["service"]["counters"]
+        assert counters["service.shards_retried"] >= 1
+
+
+def test_unfaulted_sweep_reports_zero_retries(service):
+    client = ServiceClient(service.url)
+    sweep_id = str(client.submit([make_cell()])["id"])
+    client.events(sweep_id, timeout=15.0)
+    assert client.status(sweep_id)["retries"] == 0

@@ -1,0 +1,114 @@
+"""The acceptance bar for the service backend: byte-identical to sequential.
+
+Every assertion here goes through the shared parity harness
+(``tests/batch/parity_harness.py``), exactly like the batched and process
+backends before it: records, observations (traces, reducers, spilled
+traces), dynamic schedules, and daemon-side seed-list sharding must all be
+byte-identical to a local sequential run of the same cells.
+"""
+
+import pytest
+
+from repro.batch.observers import ObserverSpec
+from repro.exec import resolve_backend
+from repro.service import ServiceBackend
+
+from tests.batch.parity_harness import (
+    BACKEND_PARITY_GRAPHS,
+    DYNAMIC_PARITY_SCHEDULES,
+    assert_backend_observation_parity,
+    assert_backend_record_parity,
+    assert_same_batch,
+    assert_same_observation,
+    backend_parity_cells,
+    dynamic_parity_cells,
+    observed_parity_cells,
+)
+
+
+def test_service_record_parity(service):
+    # The full default parity sweep: bfw, bfw-nonuniform and a memory
+    # baseline over cycle/path/Erdős–Rényi — same harness, same cells as
+    # every local backend.
+    assert_backend_record_parity(["sequential", ServiceBackend(service.url)])
+
+
+def test_service_observation_parity(service):
+    # Trace + leader-extinction observers, static and churned schedules.
+    assert_backend_observation_parity(
+        ["sequential", ServiceBackend(service.url)]
+    )
+
+
+def test_service_dynamic_schedule_parity(service):
+    cells = dynamic_parity_cells(
+        protocols=("bfw",), schedules=DYNAMIC_PARITY_SCHEDULES[:3]
+    )
+    assert_backend_record_parity(
+        ["sequential", ServiceBackend(service.url)], cells
+    )
+
+
+def test_service_spill_trace_observation_parity(service, tmp_path):
+    # Out-of-core traces: SpilledTrace compares by content, so a remote
+    # execution spilling to its own segments must equal a local one.
+    spec = ObserverSpec(
+        "spill-trace",
+        {"directory": str(tmp_path / "spill"), "byte_budget": 2048},
+    )
+    cells = observed_parity_cells(
+        graphs=BACKEND_PARITY_GRAPHS[:2], schedules=(None,), specs=(spec,)
+    )
+    assert_backend_observation_parity(
+        ["sequential", ServiceBackend(service.url)], cells
+    )
+
+
+@pytest.mark.parametrize("shard_size", [2, "auto"])
+def test_daemon_side_sharding_is_byte_identical(service, shard_size):
+    # shard_size travels with the submission: the DAEMON splits the seed
+    # lists across its worker pool, and the merged outcomes — records and
+    # batch arrays — must equal an unsharded local batched run.
+    cells = backend_parity_cells(protocols=("bfw",))
+    reference = resolve_backend("batched").run_cell_outcomes(cells)
+    sharded = ServiceBackend(service.url, shard_size=shard_size).run_cell_outcomes(
+        cells
+    )
+    for ref, out in zip(reference, sharded):
+        assert out.to_records() == ref.to_records()
+        if ref.batch is not None and out.batch is not None:
+            assert_same_batch(ref.batch, out.batch)
+        if ref.observations is not None:
+            assert_same_observation(ref.observations, out.observations)
+
+
+def test_service_progress_events_arrive_in_cell_order(service):
+    cells = backend_parity_cells(protocols=("bfw",))
+    backend = ServiceBackend(service.url, shard_size=3)
+    events = []
+    outcomes = backend.run_cell_outcomes(cells, progress=events.append)
+    assert [event.index for event in events] == list(range(len(cells)))
+    assert all(event.total == len(cells) for event in events)
+    assert all(event.backend == backend.name for event in events)
+    for event, outcome in zip(events, outcomes):
+        assert event.outcome.to_records() == outcome.to_records()
+
+
+def test_service_backend_through_run_monte_carlo(service):
+    # The whole entry-point stack: montecarlo over service: must match the
+    # default batched run, summary statistics included.
+    from repro.experiments.montecarlo import run_monte_carlo
+
+    local = run_monte_carlo(
+        protocol="bfw", graph="cycle", n=16, replicas=5, master_seed=11
+    )
+    remote = run_monte_carlo(
+        protocol="bfw",
+        graph="cycle",
+        n=16,
+        replicas=5,
+        master_seed=11,
+        backend=f"service:{service.url}",
+    )
+    assert remote.result.as_dicts() == local.result.as_dicts()
+    assert remote.convergence_rate == local.convergence_rate
