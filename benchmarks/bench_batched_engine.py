@@ -44,6 +44,15 @@ replica-for-replica identical to the loop:
   ``shard_size="auto"``, asserting byte-identical outcomes and ≥ 1.5×
   with 2 workers on ≥ 2 CPUs.  Writes ``BENCH_shard.json`` (override with
   ``REPRO_BENCH_SHARD_JSON``).
+* in-flight observability (E18): the E17 single-cell workload through the
+  :class:`~repro.exec.BatchedBackend` three ways — silent, with
+  ``heartbeat_interval=32`` streaming :class:`~repro.exec.ShardProgress`
+  events, and with heartbeats *plus* a full
+  :class:`~repro.telemetry.progress.ProgressReporter` (telemetry JSONL +
+  span tree) — asserting byte-identical records and bounding the
+  heartbeat overhead at ≤ 5% of the silent run (process CPU time,
+  best-of-N).  Writes ``BENCH_observability.json`` (override with
+  ``REPRO_BENCH_OBSERVABILITY_JSON``).
 
 Setting ``REPRO_BENCH_FAST=1`` shrinks every workload (small R and n) and
 skips the speed-up assertions; CI uses it as a smoke mode so these scripts
@@ -96,6 +105,11 @@ BENCH_TELEMETRY_JSON = os.environ.get(
 
 #: Where the intra-cell sharding case writes its machine-readable results.
 BENCH_SHARD_JSON = os.environ.get("REPRO_BENCH_SHARD_JSON", "BENCH_shard.json")
+
+#: Where the observability-overhead case writes its machine-readable results.
+BENCH_OBSERVABILITY_JSON = os.environ.get(
+    "REPRO_BENCH_OBSERVABILITY_JSON", "BENCH_observability.json"
+)
 
 #: Workers used by the process-backend sweep case.
 PROCESS_WORKERS = 2
@@ -827,6 +841,149 @@ def test_intra_cell_sharding_speedup_on_single_cell(report):
             f"sharding one large cell across {PROCESS_WORKERS} workers must "
             f"be >= 1.5x the whole-cell run; measured {speedup:.2f}x on "
             f"{cpus} CPUs"
+        )
+
+
+@pytest.mark.experiment("E18")
+def test_observability_overhead(report, tmp_path):
+    """In-flight observability: heartbeats and span traces vs the silent run.
+
+    The E17 single-cell workload runs through the batched backend three
+    ways — untraced, with ``heartbeat_interval=32`` streaming in-flight
+    :class:`~repro.exec.ShardProgress` events to a hook, and with
+    heartbeats *plus* a full :class:`~repro.telemetry.progress.ProgressReporter`
+    (telemetry JSONL stream and span tree) wired through
+    ``cell_progress_adapter`` — exactly how ``repro ... --heartbeat K
+    --telemetry --spans`` reaches the backend.
+
+    Records must be byte-identical across all three before any timing
+    counts: observability must never perturb the physics.  The overhead
+    ratios use process CPU time (best-of-N) so co-tenant load on shared
+    runners cannot fail the gate; the acceptance bar is heartbeats at
+    ``K=32`` costing at most 5% over the silent run.
+    """
+    from repro.exec import ExecutionCell, ShardProgress
+    from repro.experiments.runner import cell_progress_adapter
+    from repro.experiments.seeds import trial_seeds
+    from repro.telemetry.progress import ProgressReporter
+
+    replicas = _size(4096, 8)
+    n = _size(200, 16)
+    max_rounds = _size(2000, 50)
+    heartbeat_every = 32
+    cell = ExecutionCell(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=n),
+        seeds=trial_seeds(
+            20250808, f"bench-observability/bfw/cycle/{n}", replicas
+        ),
+        max_rounds=max_rounds,
+    )
+    cells = (cell,)
+    repeats = 1 if FAST else 3
+
+    def _timed(run):
+        # Process CPU time makes the overhead ratio robust to co-tenant
+        # load on shared runners; wall time is reported alongside.
+        wall = time.perf_counter()
+        cpu = time.process_time()
+        value = run()
+        return time.process_time() - cpu, time.perf_counter() - wall, value
+
+    def _best_of(run):
+        best_cpu = best_wall = float("inf")
+        value = None
+        for _ in range(repeats):
+            cpu, wall, value = _timed(run)
+            best_cpu = min(best_cpu, cpu)
+            best_wall = min(best_wall, wall)
+        return best_cpu, best_wall, value
+
+    silent_backend = BatchedBackend()
+    silent_backend.run_cells(cells)  # warmup: prime caches and lazy imports
+    untraced_cpu, untraced_seconds, reference = _best_of(
+        lambda: silent_backend.run_cells(cells)
+    )
+
+    beating_backend = BatchedBackend(heartbeat_interval=heartbeat_every)
+    events = []
+
+    def _beating_run():
+        events.clear()
+        return beating_backend.run_cells(cells, progress=events.append)
+
+    heartbeat_cpu, heartbeat_seconds, beating = _best_of(_beating_run)
+    beats = [event for event in events if isinstance(event, ShardProgress)]
+    assert beating == reference  # identical physics first
+    assert beats, "a heartbeat-enabled run must emit in-flight events"
+    assert all(beat.heartbeat.engine for beat in beats)
+
+    runs = {"count": 0}
+
+    def _reported_run():
+        runs["count"] += 1
+        reporter = ProgressReporter(
+            quiet=True,
+            telemetry_path=str(tmp_path / f"telemetry-{runs['count']}.jsonl"),
+            spans_path=str(tmp_path / f"spans-{runs['count']}.jsonl"),
+        )
+        try:
+            return beating_backend.run_cells(
+                cells, progress=cell_progress_adapter(reporter)
+            )
+        finally:
+            reporter.close()
+
+    spans_cpu, spans_seconds, reported = _best_of(_reported_run)
+    assert reported == reference
+
+    heartbeat_overhead = heartbeat_cpu / max(untraced_cpu, 1e-9)
+    spans_overhead = spans_cpu / max(untraced_cpu, 1e-9)
+    payload = {
+        "benchmark": "observability-overhead",
+        "fast_mode": FAST,
+        "strict": STRICT,
+        "workload": {
+            "protocol": "bfw",
+            "graph": f"cycle({n})",
+            "replicas": replicas,
+            "max_rounds": max_rounds,
+            "heartbeat_interval": heartbeat_every,
+            "beats_per_run": len(beats),
+            "timing_repeats": repeats,
+        },
+        "results": {
+            "untraced_wall_seconds": untraced_seconds,
+            "heartbeat_wall_seconds": heartbeat_seconds,
+            "spans_wall_seconds": spans_seconds,
+            "untraced_cpu_seconds": untraced_cpu,
+            "heartbeat_cpu_seconds": heartbeat_cpu,
+            "spans_cpu_seconds": spans_cpu,
+            "heartbeat_overhead": heartbeat_overhead,
+            "spans_overhead": spans_overhead,
+        },
+    }
+    with open(BENCH_OBSERVABILITY_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    report(
+        f"E18 — in-flight observability "
+        f"(R={replicas}, cycle({n}), heartbeat every {heartbeat_every} rounds)",
+        f"untraced:   {untraced_seconds:8.2f}s wall {untraced_cpu:8.2f}s cpu\n"
+        f"heartbeat:  {heartbeat_seconds:8.2f}s wall "
+        f"({heartbeat_overhead:.3f}x cpu, {len(beats)} beats)\n"
+        f"full spans: {spans_seconds:8.2f}s wall ({spans_overhead:.3f}x cpu)\n"
+        f"json:       {BENCH_OBSERVABILITY_JSON}",
+    )
+    if not FAST and STRICT:
+        assert heartbeat_overhead <= 1.05, (
+            f"heartbeats at K={heartbeat_every} must cost at most 5% over "
+            f"the silent run; measured {heartbeat_overhead:.3f}x"
+        )
+        assert spans_overhead <= 1.15, (
+            f"the full reporter (telemetry + spans) must stay within 1.15x "
+            f"of the silent run; measured {spans_overhead:.3f}x"
         )
 
 

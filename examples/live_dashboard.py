@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Watch a sweep run live, then export its span tree as a Chrome trace.
+
+Against a running sweep service (or one it boots itself), this script
+
+1. submits a Monte-Carlo sweep with ``heartbeat_interval=1`` so every
+   engine round is eligible to beat,
+2. polls the service while the sweep runs and renders ``repro top``
+   frames — totals, one row per sweep, and a live line per in-flight
+   shard (engine round, active replicas, rounds/sec, beat age),
+3. drains the event stream, counting the in-flight ``progress`` records
+   that arrived before the summary,
+4. exports the finished sweep's span tree (sweep → cell → shard →
+   attempt) as a Chrome trace-event file you can load at
+   https://ui.perfetto.dev or chrome://tracing.
+
+Run it against a daemon you started::
+
+    repro serve --port 8123 --workers 2 &
+    python examples/live_dashboard.py http://127.0.0.1:8123
+
+or let it boot an in-process daemon::
+
+    python examples/live_dashboard.py
+
+``--once`` renders a single frame per phase without clearing the screen
+(what CI uses); ``--trace-out PATH`` overrides the trace file location.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.exec import ExecutionCell
+from repro.experiments.config import GraphSpec, ProtocolSpecConfig
+from repro.experiments.seeds import trial_seeds
+from repro.service import ServiceClient
+from repro.service.dashboard import render_top
+from repro.telemetry.spans import spans_from_records, write_chrome_trace
+
+
+def dashboard_cells() -> tuple:
+    cells = []
+    for graph, n in (("cycle", 96), ("path", 61)):
+        cells.append(
+            ExecutionCell(
+                protocol=ProtocolSpecConfig(name="bfw"),
+                graph=GraphSpec(family=graph, n=n),
+                seeds=trial_seeds(23, f"live-dashboard/{graph}/{n}", 32),
+                graph_rng_key=(23, "live-dashboard-graph", graph, n),
+            )
+        )
+    return tuple(cells)
+
+
+def render_frame(client: ServiceClient, clear: bool) -> None:
+    sweeps = client.sweeps()
+    statuses = {
+        str(row.get("id")): client.status(str(row.get("id")))
+        for row in sweeps.get("sweeps") or ()
+        if row.get("state") == "running"
+    }
+    frame = render_top(
+        client.healthz(), client.metrics(), sweeps, statuses, url=client.url
+    )
+    if clear:
+        sys.stdout.write("\x1b[2J\x1b[H")
+    sys.stdout.write(frame)
+    sys.stdout.flush()
+
+
+def watch(url: str, once: bool, trace_out: str | None) -> int:
+    client = ServiceClient(url)
+    receipt = client.submit(
+        dashboard_cells(), shard_size=8, heartbeat_interval=1
+    )
+    sweep_id = str(receipt["id"])
+    print(f"submitted sweep {sweep_id} with heartbeat_interval=1\n")
+
+    # Drain the event stream until the sweep completes, rendering a
+    # dashboard frame each time the long-poll wakes.  Each events() call
+    # returns on the FIRST new event past the cursor, so in-flight
+    # progress records drive the refresh cadence.
+    cursor = 0
+    beats = 0
+    frames = 0
+    while True:
+        poll = client.events(sweep_id, cursor=cursor, timeout=15.0)
+        beats += sum(
+            1 for record in poll["events"] if record["event"] == "progress"
+        )
+        cursor = int(poll["cursor"])
+        if not once or frames == 0:
+            render_frame(client, clear=not once)
+            frames += 1
+        if poll["done"]:
+            break
+        if not once:
+            time.sleep(0.1)
+
+    status = client.status(sweep_id)
+    if status["state"] != "done":
+        print(f"sweep {sweep_id} ended {status['state']}", file=sys.stderr)
+        return 1
+    render_frame(client, clear=False)
+    print(f"\nsweep {sweep_id} done — {beats} in-flight progress event(s)")
+
+    out = trace_out if trace_out is not None else f"{sweep_id}.trace.json"
+    spans = spans_from_records(client.spans(sweep_id).get("spans") or ())
+    write_chrome_trace(spans, out)
+    print(
+        f"wrote {len(spans)} spans to {out} "
+        f"(load it at https://ui.perfetto.dev or chrome://tracing)"
+    )
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("url", nargs="?", default=None)
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame per phase without clearing the screen",
+    )
+    parser.add_argument("--trace-out", default=None, metavar="PATH")
+    args = parser.parse_args()
+    if args.url is not None:
+        return watch(args.url, args.once, args.trace_out)
+    from repro.service import SweepService
+
+    with SweepService(workers=2) as daemon:
+        return watch(daemon.url, args.once, args.trace_out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,7 +9,10 @@ Against a running daemon (or one it boots itself), this script
 3. resubmits the identical sweep and asserts it was served from the
    content-addressed result cache (``service.cache_hits`` advanced,
    no new shards executed),
-4. prints the service counters.
+4. submits a fresh sweep with a per-sweep ``heartbeat_interval`` and
+   asserts an in-flight ``progress`` event arrives **before** the sweep
+   completes — live observability, not just a post-hoc summary,
+5. prints the service counters.
 
 Run it against a daemon you started (CI does this)::
 
@@ -83,6 +86,41 @@ def run_smoke(url: str) -> None:
     assert hits >= len(cells), f"expected a cache hit per cell, got {hits}"
     assert executed == 0, f"resubmission executed {executed} new shards"
     print(f"cache: resubmission served {hits} cells from cache, 0 shards executed")
+
+    # Live observability: with heartbeats on, the event stream must carry
+    # an in-flight "progress" record while the sweep is still running —
+    # i.e. an events() poll wakes with done=False before the summary lands.
+    live = ExecutionCell(
+        protocol=ProtocolSpecConfig(name="bfw"),
+        graph=GraphSpec(family="cycle", n=96),
+        seeds=trial_seeds(18, "service-smoke/live/96", 48),
+        graph_rng_key=(18, "service-smoke-live-graph", "cycle", 96),
+    )
+    sweep_id = str(client.submit([live], heartbeat_interval=1)["id"])
+    cursor = 0
+    saw_progress_before_done = False
+    kinds: list = []
+    # Each events() call is a long-poll that wakes on the FIRST new event
+    # past the cursor, so drain in a loop until the done flag flips.
+    for _ in range(600):
+        poll = client.events(sweep_id, cursor=cursor, timeout=15.0)
+        for record in poll["events"]:
+            kinds.append(record["event"])
+            if record["event"] == "progress" and not poll["done"]:
+                saw_progress_before_done = True
+        cursor = int(poll["cursor"])
+        if poll["done"]:
+            break
+    else:
+        raise AssertionError("live sweep never reported done")
+    assert "progress" in kinds, f"no in-flight progress events in {kinds}"
+    assert saw_progress_before_done, (
+        "every progress event arrived only after completion — "
+        "in-flight observability is broken"
+    )
+    assert kinds.index("progress") < kinds.index("summary")
+    beats = kinds.count("progress")
+    print(f"live: {beats} in-flight progress event(s) before completion")
 
     print("service counters:")
     for name in sorted(after):

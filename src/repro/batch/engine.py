@@ -303,6 +303,13 @@ class BatchedEngine:
         succ_secondary = self._succ_secondary_ip
         primary_probability = compiled.primary_probability
 
+        # In-flight heartbeat: looked up once per run; None costs a single
+        # is-not-None check per round, and beats never touch the replica
+        # streams, so records stay byte-identical with heartbeats on or off.
+        from repro.telemetry.heartbeat import current_heartbeat
+
+        heartbeat = current_heartbeat()
+
         # Prefetched uniforms: one Generator call per replica per `depth`
         # rounds instead of one per round (see ReplicaStreams.fill_blocks).
         depth = max(
@@ -406,6 +413,21 @@ class BatchedEngine:
                 active = np.flatnonzero(active_mask)
                 if pipeline is not None:
                     pipeline.notify_retire(retired, round_index)
+            if heartbeat is not None and heartbeat.due(round_index):
+                # Retired rows carry their final round in rounds_executed;
+                # still-active rows have advanced round_index rounds each
+                # but are only written back at loop exit.
+                heartbeat.beat(
+                    engine="batched",
+                    round_index=round_index,
+                    replicas=num_replicas,
+                    active=int(active.size),
+                    converged=int((convergence >= 0).sum()),
+                    leaderless=int((active_counts == 0).sum()),
+                    rounds_advanced=int(
+                        rounds_executed.sum() + active.size * round_index
+                    ),
+                )
 
         if active.size:
             # Replicas still active when the budget ran out (or that never

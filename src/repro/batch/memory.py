@@ -470,6 +470,14 @@ class BatchedMemoryEngine:
                 active_mask[requested] = False
                 pipeline.notify_retire(np.flatnonzero(requested), 0)
         active = np.flatnonzero(active_mask)
+
+        # In-flight heartbeat: looked up once per run; None costs a single
+        # is-not-None check per round, and beats never touch the replica
+        # streams, so records stay byte-identical with heartbeats on or off.
+        from repro.telemetry.heartbeat import current_heartbeat
+
+        heartbeat = current_heartbeat()
+
         round_index = 0
         while round_index < max_rounds and active.size:
             beeping = state.beep_mask(round_index, active)
@@ -510,6 +518,16 @@ class BatchedMemoryEngine:
                 active = np.flatnonzero(active_mask)
                 if pipeline is not None:
                     pipeline.notify_retire(retired, round_index)
+            if heartbeat is not None and heartbeat.due(round_index):
+                heartbeat.beat(
+                    engine="batched-memory",
+                    round_index=round_index,
+                    replicas=num_replicas,
+                    active=int(active.size),
+                    converged=int((convergence >= 0).sum()),
+                    leaderless=int((active_counts == 0).sum()),
+                    rounds_advanced=int(rounds_executed.sum()),
+                )
 
         if pipeline is not None:
             pipeline.finish(rounds_executed.copy())

@@ -335,6 +335,13 @@ class VectorizedEngine:
         convergence_round: Optional[int] = 0 if leader_count == 1 else None
         rounds_executed = 0
 
+        # In-flight heartbeat: looked up once per run; None costs a single
+        # is-not-None check per round and beats never touch `generator`, so
+        # records stay byte-identical with heartbeats on or off.
+        from repro.telemetry.heartbeat import current_heartbeat
+
+        heartbeat = current_heartbeat()
+
         schedule = self._schedule
         if schedule is not None:
             schedule.begin_run()
@@ -376,6 +383,16 @@ class VectorizedEngine:
                 convergence_round = rounds_executed
             elif leader_count != 1:
                 convergence_round = None
+            if heartbeat is not None and heartbeat.due(rounds_executed):
+                heartbeat.beat(
+                    engine="vectorized",
+                    round_index=rounds_executed,
+                    replicas=1,
+                    active=1,
+                    converged=int(leader_count == 1),
+                    leaderless=int(leader_count == 0),
+                    rounds_advanced=rounds_executed,
+                )
 
         self.last_states = states.copy()
         if pipeline is not None:

@@ -380,6 +380,13 @@ class MemorySimulator:
             consecutive_single = 1
         stop_requested = observe(0, mask)
 
+        # In-flight heartbeat: looked up once per run; None costs a single
+        # is-not-None check per round, and beats never touch `generator`, so
+        # records stay byte-identical with heartbeats on or off.
+        from repro.telemetry.heartbeat import current_heartbeat
+
+        heartbeat = current_heartbeat()
+
         for round_index in range(max_rounds):
             if stop_requested:
                 break
@@ -412,6 +419,16 @@ class MemorySimulator:
                 convergence_round = None
                 consecutive_single = 0
             stop_requested = observe(rounds_executed, mask)
+            if heartbeat is not None and heartbeat.due(rounds_executed):
+                heartbeat.beat(
+                    engine="memory",
+                    round_index=rounds_executed,
+                    replicas=1,
+                    active=1,
+                    converged=int(count == 1),
+                    leaderless=int(count == 0),
+                    rounds_advanced=rounds_executed,
+                )
 
             everyone_terminated = all(
                 self._protocol.has_terminated(memory) for memory in memories

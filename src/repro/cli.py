@@ -14,10 +14,13 @@ Every experiment in DESIGN.md can be regenerated from the command line:
     repro ablation --backend batched
     repro dynamic --families cycle --sizes 32 64 --churn-rates 0 1 2 4
     repro wave-demo --n 40
-    repro serve --port 8123 --workers 4 --shard-size auto
+    repro serve --port 8123 --workers 4 --shard-size auto --heartbeat 64
     repro submit --url http://127.0.0.1:8123 --protocol bfw --graph cycle --n 64
     repro status SWEEP_ID --url http://127.0.0.1:8123
     repro tail SWEEP_ID --url http://127.0.0.1:8123 --follow
+    repro top --url http://127.0.0.1:8123
+    repro trace export spans.jsonl --out sweep.trace.json
+    repro trace export SWEEP_ID --url http://127.0.0.1:8123
 
 Every sweep-shaped experiment accepts ``--backend`` (``sequential``,
 ``batched``, ``process[:N]``, ``service:URL``) and ``--workers N``
@@ -79,6 +82,17 @@ def _add_backend_arguments(
             "default: whole cells."
         ),
     )
+    parser.add_argument(
+        "--heartbeat",
+        type=int,
+        default=None,
+        metavar="K",
+        help=(
+            "Stream an in-flight heartbeat every K engine rounds while "
+            "cells execute (watch it with --telemetry + 'repro tail'). "
+            "0 disables; records stay byte-identical either way."
+        ),
+    )
     if legacy_batched:
         parser.add_argument(
             "--batched",
@@ -103,6 +117,16 @@ def _add_progress_arguments(parser: argparse.ArgumentParser) -> None:
             "sweep runs; watch it live with 'repro tail PATH --follow'."
         ),
     )
+    parser.add_argument(
+        "--spans",
+        default=None,
+        metavar="PATH",
+        help=(
+            "Write the sweep's span tree (sweep → cell → shard → attempt, "
+            "JSONL) to PATH when the sweep finishes; convert it with "
+            "'repro trace export PATH' for Perfetto/chrome://tracing."
+        ),
+    )
 
 
 def _progress_reporter_from_args(args: argparse.Namespace):
@@ -113,6 +137,7 @@ def _progress_reporter_from_args(args: argparse.Namespace):
         quiet=getattr(args, "quiet", False),
         telemetry_path=getattr(args, "telemetry", None),
         prefix="  ",
+        spans_path=getattr(args, "spans", None),
     )
 
 
@@ -161,6 +186,14 @@ def _shard_size_from_args(args: argparse.Namespace):
     if value is None:
         return None
     return str(value).strip().lower()
+
+
+def _heartbeat_interval_from_args(args: argparse.Namespace) -> Optional[int]:
+    """The ``--heartbeat`` value (``None`` or ``0`` = heartbeats off)."""
+    value = getattr(args, "heartbeat", None)
+    if value is None or value == 0:
+        return None
+    return int(value)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -411,6 +444,16 @@ def build_parser() -> argparse.ArgumentParser:
             "specify one ('auto' = ceil(replicas / workers) per cell)."
         ),
     )
+    serve_parser.add_argument(
+        "--heartbeat", type=int, default=None, metavar="K",
+        help=(
+            "Default in-flight heartbeat interval (engine rounds between "
+            "beats) for submitted sweeps; enables live per-shard progress "
+            "in GET /sweeps/{id} and makes the --shard-timeout watchdog "
+            "liveness-based (beating shards are never re-queued, only "
+            "silent ones).  0 disables (the default)."
+        ),
+    )
 
     submit_parser = subparsers.add_parser(
         "submit",
@@ -434,6 +477,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="Shard the cell's seed list across the daemon's workers.",
     )
     submit_parser.add_argument(
+        "--heartbeat", type=int, default=None, metavar="K",
+        help=(
+            "Per-sweep in-flight heartbeat interval (engine rounds between "
+            "beats), overriding the daemon's --heartbeat default; 0 = off."
+        ),
+    )
+    submit_parser.add_argument(
         "--follow",
         action="store_true",
         help="Tail the sweep's event stream until it completes.",
@@ -455,6 +505,54 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cancel_parser.add_argument("sweep_id", metavar="SWEEP_ID")
     cancel_parser.add_argument("--url", required=True, metavar="URL")
+
+    top_parser = subparsers.add_parser(
+        "top",
+        help=(
+            "Polled status dashboard for a sweep service: sweeps, live "
+            "per-shard progress, rounds/sec, cache hits, retries."
+        ),
+    )
+    top_parser.add_argument("--url", required=True, metavar="URL")
+    top_parser.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="Refresh interval (default: 2.0).",
+    )
+    top_parser.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="Render N frames then exit (default: until Ctrl-C).",
+    )
+    top_parser.add_argument(
+        "--once", action="store_true",
+        help="Render one frame without clearing the screen, then exit.",
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help=(
+            "Span-trace utilities: export a sweep's span tree as Chrome "
+            "trace-event JSON (loadable in Perfetto / chrome://tracing)."
+        ),
+    )
+    trace_parser.add_argument(
+        "action", choices=("export",),
+        help="'export': convert spans to Chrome trace-event JSON.",
+    )
+    trace_parser.add_argument(
+        "source", metavar="PATH|SWEEP_ID",
+        help=(
+            "A span-JSONL file written by --spans — or, with --url, the id "
+            "of a sweep on that service."
+        ),
+    )
+    trace_parser.add_argument(
+        "--url", default=None, metavar="URL",
+        help="Fetch the span tree from GET /sweeps/{id}/spans on this service.",
+    )
+    trace_parser.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="Output file (default: SOURCE with a .trace.json suffix).",
+    )
 
     return parser
 
@@ -483,6 +581,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "cancel": _cmd_cancel,
+        "top": _cmd_top,
+        "trace": _cmd_trace,
     }[args.command]
     return handler(args)
 
@@ -540,6 +640,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             progress=reporter,
             backend=_backend_spec_from_args(args),
             shard_size=_shard_size_from_args(args),
+            heartbeat_interval=_heartbeat_interval_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -562,6 +663,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         master_seed=args.master_seed,
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
+        heartbeat_interval=_heartbeat_interval_from_args(args),
     )
     print(result.render())
     return 0
@@ -585,6 +687,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         max_rounds=args.max_rounds,
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
+        heartbeat_interval=_heartbeat_interval_from_args(args),
     )
     print(report.render())
     if args.save_json:
@@ -605,6 +708,7 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
         num_seeds=args.seeds,
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
+        heartbeat_interval=_heartbeat_interval_from_args(args),
     )
     print(result.uniform.render())
     print()
@@ -622,6 +726,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         num_seeds=args.seeds,
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
+        heartbeat_interval=_heartbeat_interval_from_args(args),
     )
     print(result.render())
     return 0
@@ -635,6 +740,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         num_seeds=args.seeds,
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
+        heartbeat_interval=_heartbeat_interval_from_args(args),
     )
     print(result.render())
     return 0
@@ -662,6 +768,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
             progress=reporter,
             backend=_backend_spec_from_args(args),
             shard_size=_shard_size_from_args(args),
+            heartbeat_interval=_heartbeat_interval_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -692,6 +799,7 @@ def _cmd_extinction(args: argparse.Namespace) -> int:
             progress=reporter,
             backend=_backend_spec_from_args(args),
             shard_size=_shard_size_from_args(args),
+            heartbeat_interval=_heartbeat_interval_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -751,6 +859,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=args.cache_dir,
         default_shard_size=_shard_size_from_args(args),
         fault_injector=ServiceFaultInjector.from_env(),
+        heartbeat_interval=_heartbeat_interval_from_args(args),
     )
     stop = threading.Event()
 
@@ -817,6 +926,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         receipt = client.submit(
             [_submit_cell_from_args(args)],
             shard_size=_shard_size_from_args(args),
+            heartbeat_interval=_heartbeat_interval_from_args(args),
         )
     except ServiceError as error:
         print(str(error), file=sys.stderr)
@@ -872,6 +982,59 @@ def _cmd_cancel(args: argparse.Namespace) -> int:
         print(str(error), file=sys.stderr)
         return 1
     print(f"sweep {status['id']}: {status['state']}")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.service.dashboard import top
+
+    iterations = args.iterations
+    clear = True
+    if args.once:
+        iterations = 1
+        clear = False
+    try:
+        return top(
+            args.url, interval=args.interval, iterations=iterations, clear=clear
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.errors import ServiceError
+    from repro.telemetry.spans import (
+        load_spans_jsonl,
+        spans_from_records,
+        write_chrome_trace,
+    )
+
+    if args.url is not None:
+        from repro.service.client import ServiceClient
+
+        try:
+            payload = ServiceClient(args.url).spans(args.source)
+        except ServiceError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        spans = spans_from_records(payload.get("spans") or ())
+        default_out = f"{args.source}.trace.json"
+    else:
+        try:
+            spans = load_spans_jsonl(args.source)
+        except FileNotFoundError:
+            print(f"no span file at {args.source}", file=sys.stderr)
+            return 1
+        default_out = f"{args.source.rsplit('.jsonl', 1)[0]}.trace.json"
+    if not spans:
+        print("no spans to export", file=sys.stderr)
+        return 1
+    out = args.out if args.out is not None else default_out
+    write_chrome_trace(spans, out)
+    print(
+        f"wrote {len(spans)} spans to {out} "
+        f"(load it at https://ui.perfetto.dev or chrome://tracing)"
+    )
     return 0
 
 

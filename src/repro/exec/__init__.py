@@ -29,10 +29,23 @@ into sub-cells (:func:`~repro.exec.cells.split_cell`), executed like any
 other unit of work and merged back byte-identically
 (:func:`~repro.exec.cells.merge_cell_outcomes`) — so a single montecarlo
 cell with thousands of replicas saturates every worker.
+
+With a ``heartbeat_interval`` (``--heartbeat``), backends additionally
+stream in-flight :class:`~repro.exec.base.ShardProgress` events — engine
+heartbeats sampled every K rounds — to the same progress hook while cells
+are still executing (the process backend ships them over a shared
+multiprocessing queue).  Heartbeats never consume randomness, so records
+stay byte-identical with them on or off.
 """
 
 from repro.batch.observers import ObserverSpec
-from repro.exec.base import CellCompleted, ExecutionBackend, ProgressHook
+from repro.exec.base import (
+    CellCompleted,
+    ExecutionBackend,
+    ProgressEvent,
+    ProgressHook,
+    ShardProgress,
+)
 from repro.exec.backends import (
     BackendSpec,
     BatchedBackend,
@@ -65,8 +78,10 @@ __all__ = [
     "ExecutionCell",
     "ObserverSpec",
     "ProcessBackend",
+    "ProgressEvent",
     "ProgressHook",
     "SequentialBackend",
+    "ShardProgress",
     "ShardSize",
     "canonical_cell_json",
     "cell_from_spec",

@@ -36,11 +36,18 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_module
+import threading
 import warnings
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.errors import ConfigurationError
-from repro.exec.base import ExecutionBackend, ProgressHook, emit_progress
+from repro.exec.base import (
+    ExecutionBackend,
+    ProgressHook,
+    ShardProgress,
+    emit_progress,
+)
 from repro.exec.cells import (
     CellOutcome,
     ExecutionCell,
@@ -74,16 +81,75 @@ def _validate_shard_size(shard_size: ShardSize) -> ShardSize:
     return resolved
 
 
+def _validate_heartbeat_interval(interval: Optional[int]) -> Optional[int]:
+    """Check a heartbeat interval once at construction time.
+
+    ``None`` keeps heartbeats off (the no-op fast path); anything else
+    must be a positive round count.
+    """
+    if interval is None:
+        return None
+    try:
+        value = int(interval)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"heartbeat interval must be a positive integer or None; "
+            f"got {interval!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"heartbeat interval must be >= 1; got {interval!r}"
+        )
+    return value
+
+
 class _InProcessShardingMixin:
     """Shared sharded run loop for the two in-process backends."""
 
     shard_size: ShardSize = None
+    heartbeat_interval: Optional[int] = None
     #: Worker count used by the ``"auto"`` shard-size rule (in-process
     #: backends execute one unit at a time, so auto never splits for them).
     workers: int = 1
 
     def _execute(self, cell: ExecutionCell) -> CellOutcome:  # pragma: no cover
         raise NotImplementedError
+
+    def _execute_observed(
+        self,
+        shard: ExecutionCell,
+        progress: Optional[ProgressHook],
+        index: int,
+        total: int,
+        shard_index: Optional[int],
+        shard_count: Optional[int],
+    ) -> CellOutcome:
+        """Execute one unit, streaming heartbeats to ``progress`` if enabled.
+
+        The no-op fast path: without an interval (or without a hook to
+        deliver to) this is exactly ``self._execute(shard)`` — no emitter
+        is built and the engines see ``current_heartbeat() is None``.
+        """
+        if self.heartbeat_interval is None or progress is None:
+            return self._execute(shard)
+        from repro.telemetry.heartbeat import HeartbeatEmitter, use_heartbeat
+
+        def ship(beat) -> None:
+            progress(
+                ShardProgress(
+                    index=index,
+                    total=total,
+                    backend=self.name,
+                    cell=shard,
+                    heartbeat=beat,
+                    shard_index=shard_index,
+                    shard_count=shard_count,
+                )
+            )
+
+        emitter = HeartbeatEmitter(self.heartbeat_interval, ship)
+        with use_heartbeat(emitter):
+            return self._execute(shard)
 
     def run_cell_outcomes(
         self,
@@ -99,7 +165,14 @@ class _InProcessShardingMixin:
             shards = split_cell(cell, size)
             shard_outcomes = []
             for shard_index, shard in enumerate(shards):
-                shard_outcome = self._execute(shard)
+                shard_outcome = self._execute_observed(
+                    shard,
+                    progress,
+                    index,
+                    len(cells),
+                    shard_index if len(shards) > 1 else None,
+                    len(shards) if len(shards) > 1 else None,
+                )
                 shard_outcomes.append(shard_outcome)
                 if len(shards) > 1:
                     emit_progress(
@@ -122,8 +195,13 @@ class SequentialBackend(_InProcessShardingMixin, ExecutionBackend):
 
     name = "sequential"
 
-    def __init__(self, shard_size: ShardSize = None):
+    def __init__(
+        self,
+        shard_size: ShardSize = None,
+        heartbeat_interval: Optional[int] = None,
+    ):
         self.shard_size = _validate_shard_size(shard_size)
+        self.heartbeat_interval = _validate_heartbeat_interval(heartbeat_interval)
 
     def _execute(self, cell: ExecutionCell) -> CellOutcome:
         return execute_cell_sequential(cell)
@@ -134,8 +212,13 @@ class BatchedBackend(_InProcessShardingMixin, ExecutionBackend):
 
     name = "batched"
 
-    def __init__(self, shard_size: ShardSize = None):
+    def __init__(
+        self,
+        shard_size: ShardSize = None,
+        heartbeat_interval: Optional[int] = None,
+    ):
         self.shard_size = _validate_shard_size(shard_size)
+        self.heartbeat_interval = _validate_heartbeat_interval(heartbeat_interval)
 
     def _execute(self, cell: ExecutionCell) -> CellOutcome:
         return execute_cell_batched(cell)
@@ -144,6 +227,43 @@ class BatchedBackend(_InProcessShardingMixin, ExecutionBackend):
 def _execute_cell_in_worker(cell: ExecutionCell) -> CellOutcome:
     """Worker entry point: the batched cell path, importable by spawn."""
     return execute_cell_batched(cell)
+
+
+#: Per-worker heartbeat wiring, populated by the pool initializer.  Module
+#: state (not closure state) because spawn workers import this module fresh
+#: and can only receive picklable initargs.
+_WORKER_HEARTBEAT: Dict[str, object] = {"interval": None, "queue": None}
+
+
+def _init_worker_heartbeat(interval: int, beat_queue: object) -> None:
+    """Pool initializer: arm heartbeats inside a spawned worker."""
+    _WORKER_HEARTBEAT["interval"] = interval
+    _WORKER_HEARTBEAT["queue"] = beat_queue
+
+
+def _execute_unit_in_worker(unit: Tuple[int, ExecutionCell]) -> CellOutcome:
+    """Worker entry point with heartbeats: ships beats over the shared queue.
+
+    Beats are tagged with the flat unit index; the parent maps that back to
+    (cell, shard) — the worker knows nothing about sweep structure.  Queue
+    failures drop the beat: heartbeats are best-effort observability and
+    must never fail a shard.
+    """
+    unit_index, cell = unit
+    interval = _WORKER_HEARTBEAT["interval"]
+    beat_queue = _WORKER_HEARTBEAT["queue"]
+    if interval is None or beat_queue is None:
+        return execute_cell_batched(cell)
+    from repro.telemetry.heartbeat import HeartbeatEmitter, use_heartbeat
+
+    def ship(beat) -> None:
+        try:
+            beat_queue.put_nowait((unit_index, beat))  # type: ignore[attr-defined]
+        except Exception:
+            pass
+
+    with use_heartbeat(HeartbeatEmitter(int(interval), ship)):
+        return execute_cell_batched(cell)
 
 
 class ProcessBackend(ExecutionBackend):
@@ -180,6 +300,7 @@ class ProcessBackend(ExecutionBackend):
         workers: Optional[int] = None,
         mp_context: str = "spawn",
         shard_size: ShardSize = None,
+        heartbeat_interval: Optional[int] = None,
     ):
         if workers is None:
             workers = max(1, os.cpu_count() or 1)
@@ -188,6 +309,7 @@ class ProcessBackend(ExecutionBackend):
         self.workers = int(workers)
         self.mp_context = mp_context
         self.shard_size = _validate_shard_size(shard_size)
+        self.heartbeat_interval = _validate_heartbeat_interval(heartbeat_interval)
         self.name = f"process:{self.workers}"
         self.last_pool_size: Optional[int] = None
 
@@ -214,38 +336,116 @@ class ProcessBackend(ExecutionBackend):
         pool_size = min(self.workers, len(units))
         self.last_pool_size = pool_size
         context = multiprocessing.get_context(self.mp_context)
+
+        # In-flight heartbeats: workers ship (unit_index, Heartbeat) pairs
+        # over one shared queue; a parent drain thread maps the unit index
+        # back to (cell, shard) and forwards ShardProgress events.  The
+        # emit lock keeps heartbeat delivery from interleaving with the
+        # ordered CellCompleted emissions of the main result loop.
+        heartbeating = self.heartbeat_interval is not None and progress is not None
+        beat_queue = context.Queue() if heartbeating else None
+        emit_lock = threading.Lock()
+        stop_drain = threading.Event()
+        drain_thread: Optional[threading.Thread] = None
+        if heartbeating:
+
+            def _drain() -> None:
+                while True:
+                    try:
+                        unit_index, beat = beat_queue.get(timeout=0.05)
+                    except queue_module.Empty:
+                        if stop_drain.is_set():
+                            return
+                        continue
+                    except (EOFError, OSError):  # queue torn down under us
+                        return
+                    cell_index, shard_index, shard_count, shard = units[unit_index]
+                    event = ShardProgress(
+                        index=cell_index,
+                        total=len(cells),
+                        backend=self.name,
+                        cell=shard,
+                        heartbeat=beat,
+                        shard_index=shard_index if shard_count > 1 else None,
+                        shard_count=shard_count if shard_count > 1 else None,
+                    )
+                    with emit_lock:
+                        try:
+                            progress(event)
+                        except Exception:
+                            # A raising hook must not kill in-flight
+                            # delivery; completed-event errors still
+                            # propagate through the main loop below.
+                            pass
+
+            drain_thread = threading.Thread(
+                target=_drain, name="repro-heartbeat-drain", daemon=True
+            )
+            drain_thread.start()
+
         outcomes = []
         pending: Dict[int, List[CellOutcome]] = {}
-        with context.Pool(processes=pool_size) as pool:
-            for (cell_index, shard_index, shard_count, _), shard_outcome in zip(
-                units,
-                pool.imap(
-                    _execute_cell_in_worker,
-                    [unit[3] for unit in units],
-                    chunksize=1,
+        try:
+            with context.Pool(
+                processes=pool_size,
+                initializer=_init_worker_heartbeat if heartbeating else None,
+                initargs=(
+                    (self.heartbeat_interval, beat_queue) if heartbeating else ()
                 ),
-            ):
-                if shard_count > 1:
-                    emit_progress(
-                        progress,
-                        cell_index,
-                        len(cells),
-                        shard_outcome,
-                        self.name,
-                        shard_index=shard_index,
-                        shard_count=shard_count,
+            ) as pool:
+                results = (
+                    pool.imap(
+                        _execute_unit_in_worker,
+                        [
+                            (unit_index, unit[3])
+                            for unit_index, unit in enumerate(units)
+                        ],
+                        chunksize=1,
                     )
-                pending.setdefault(cell_index, []).append(shard_outcome)
-                if shard_index == shard_count - 1:
-                    # imap delivers in unit order, so a cell's shards arrive
-                    # consecutively; its last shard completes the cell.
-                    outcome = merge_cell_outcomes(
-                        cells[cell_index], pending.pop(cell_index)
+                    if heartbeating
+                    else pool.imap(
+                        _execute_cell_in_worker,
+                        [unit[3] for unit in units],
+                        chunksize=1,
                     )
-                    outcomes.append(outcome)
-                    emit_progress(
-                        progress, cell_index, len(cells), outcome, self.name
-                    )
+                )
+                for (cell_index, shard_index, shard_count, _), shard_outcome in zip(
+                    units, results
+                ):
+                    if shard_count > 1:
+                        with emit_lock:
+                            emit_progress(
+                                progress,
+                                cell_index,
+                                len(cells),
+                                shard_outcome,
+                                self.name,
+                                shard_index=shard_index,
+                                shard_count=shard_count,
+                            )
+                    pending.setdefault(cell_index, []).append(shard_outcome)
+                    if shard_index == shard_count - 1:
+                        # imap delivers in unit order, so a cell's shards
+                        # arrive consecutively; its last shard completes
+                        # the cell.
+                        outcome = merge_cell_outcomes(
+                            cells[cell_index], pending.pop(cell_index)
+                        )
+                        outcomes.append(outcome)
+                        with emit_lock:
+                            emit_progress(
+                                progress, cell_index, len(cells), outcome, self.name
+                            )
+        finally:
+            if beat_queue is not None:
+                # Workers are done; anything still queued is drained (the
+                # loop only exits on Empty after the stop flag), then the
+                # queue's feeder thread is released.
+                stop_drain.set()
+                if drain_thread is not None:
+                    drain_thread.join(timeout=5.0)
+                beat_queue.close()
+                beat_queue.cancel_join_thread()
         return tuple(outcomes)
 
 
@@ -253,6 +453,7 @@ def resolve_backend(
     spec: BackendSpec = None,
     default: BackendSpec = "sequential",
     shard_size: ShardSize = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> ExecutionBackend:
     """Turn a backend instance or spec string into a backend object.
 
@@ -264,6 +465,9 @@ def resolve_backend(
     ``"auto"`` or ``None`` to leave the backend's own setting alone) is
     applied to the resolved backend — including instances passed in
     directly, so CLI ``--shard-size`` composes with any ``--backend``.
+    ``heartbeat_interval`` (a positive round count, or ``None`` to leave
+    the backend's own setting alone) composes the same way and turns on
+    in-flight :class:`~repro.exec.base.ShardProgress` events.
     """
     if spec is None:
         spec = default
@@ -309,6 +513,10 @@ def resolve_backend(
         )
     if shard_size is not None:
         resolved.shard_size = _validate_shard_size(shard_size)
+    if heartbeat_interval is not None:
+        resolved.heartbeat_interval = _validate_heartbeat_interval(
+            heartbeat_interval
+        )
     return resolved
 
 
@@ -318,6 +526,7 @@ def resolve_backend_with_deprecated_batched(
     default: BackendSpec = "sequential",
     what: str = "batched=",
     shard_size: ShardSize = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> ExecutionBackend:
     """Resolve ``backend=`` while honouring the legacy ``batched=`` kwarg.
 
@@ -337,4 +546,9 @@ def resolve_backend_with_deprecated_batched(
                 "pass either backend= or the deprecated batched=, not both"
             )
         backend = "batched" if batched else "sequential"
-    return resolve_backend(backend, default=default, shard_size=shard_size)
+    return resolve_backend(
+        backend,
+        default=default,
+        shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
+    )

@@ -17,12 +17,13 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple, Union
 
 from repro.exec.cells import CellOutcome, ExecutionCell
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only, avoids a module cycle
     from repro.experiments.results import TrialRecord
+    from repro.telemetry.heartbeat import Heartbeat
 
 
 @dataclass(frozen=True)
@@ -61,8 +62,39 @@ class CellCompleted:
         return self.outcome.cell
 
 
-#: Signature of the backend-mediated progress hook.
-ProgressHook = Callable[[CellCompleted], None]
+@dataclass(frozen=True)
+class ShardProgress:
+    """In-flight progress event: one engine heartbeat from inside a shard.
+
+    Emitted by backends with a ``heartbeat_interval`` set, *while* the cell
+    (or shard) named by ``index``/``shard_index`` is still executing.  The
+    payload is the raw :class:`~repro.telemetry.heartbeat.Heartbeat`
+    sampled every K rounds inside the engine loop.
+
+    Unlike :class:`CellCompleted`, these events carry **no ordering or
+    delivery guarantee**: they are racy in-flight observability (a beat
+    from a process worker can arrive after the cell's completion event),
+    they never appear in results, and records stay byte-identical whether
+    any are emitted or not.  Consumers must treat them as hints.
+    """
+
+    index: int
+    total: int
+    backend: str
+    cell: ExecutionCell
+    heartbeat: "Heartbeat"
+    shard_index: Optional[int] = None
+    shard_count: Optional[int] = None
+    attempt: int = 0
+
+
+#: Either progress event a backend may deliver to the hook.
+ProgressEvent = Union[CellCompleted, ShardProgress]
+
+#: Signature of the backend-mediated progress hook.  Hooks predating
+#: heartbeats keep working: backends only emit :class:`ShardProgress`
+#: when a ``heartbeat_interval`` is configured.
+ProgressHook = Callable[[ProgressEvent], None]
 
 
 class ExecutionBackend(abc.ABC):
@@ -81,6 +113,14 @@ class ExecutionBackend(abc.ABC):
     #: executed shards back byte-identically; ``resolve_backend`` sets this
     #: attribute when given a ``shard_size``.
     shard_size: object = None
+
+    #: In-flight heartbeat interval in engine rounds: ``None`` (off — the
+    #: no-op fast path) or a positive int K.  When set, the backend
+    #: installs a :class:`~repro.telemetry.heartbeat.HeartbeatEmitter`
+    #: around each shard execution and forwards beats to the progress hook
+    #: as :class:`ShardProgress` events; ``resolve_backend`` sets this
+    #: attribute when given a ``heartbeat_interval``.
+    heartbeat_interval: Optional[int] = None
 
     @abc.abstractmethod
     def run_cell_outcomes(

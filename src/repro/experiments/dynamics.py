@@ -195,6 +195,7 @@ def dynamic_experiment(
     progress: Optional[Callable[[str], None]] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> DynamicResult:
     """Sweep churn rate × graph family × size for one protocol (E14).
 
@@ -220,7 +221,12 @@ def dynamic_experiment(
         raise ConfigurationError(
             "dynamic_experiment needs at least one family, size and churn rate"
         )
-    resolved = resolve_backend(backend, default="batched", shard_size=shard_size)
+    resolved = resolve_backend(
+        backend,
+        default="batched",
+        shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
+    )
 
     cells = []
     rates = []

@@ -145,6 +145,7 @@ def leader_extinction_experiment(
     progress: Optional[Callable[[str], None]] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> ExtinctionResult:
     """Measure the leader-extinction rate across churn rate × family × size.
 
@@ -170,7 +171,12 @@ def leader_extinction_experiment(
     ceiling = max_rounds if max_rounds is not None else DEFAULT_DYNAMIC_MAX_ROUNDS
     if ceiling < 1:
         raise ConfigurationError(f"max_rounds must be >= 1; got {ceiling}")
-    resolved = resolve_backend(backend, default="batched", shard_size=shard_size)
+    resolved = resolve_backend(
+        backend,
+        default="batched",
+        shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
+    )
 
     cells = []
     rates = []

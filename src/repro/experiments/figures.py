@@ -116,6 +116,7 @@ def scaling_experiment(
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> ScalingResult:
     """Measure convergence time against the diameter (experiments E2 / E3).
 
@@ -155,6 +156,7 @@ def scaling_experiment(
         default="sequential",
         what="scaling_experiment(batched=...)",
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     cells: List[ExecutionCell] = []
     for diameter in diameters:
@@ -245,6 +247,7 @@ def crossover_experiment(
     master_seed: int = 3,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> CrossoverResult:
     """Run E2 and E3 on the same graphs and report the speed-up factors."""
     uniform = scaling_experiment(
@@ -255,6 +258,7 @@ def crossover_experiment(
         master_seed=master_seed,
         backend=backend,
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     nonuniform = scaling_experiment(
         mode="nonuniform",
@@ -264,6 +268,7 @@ def crossover_experiment(
         master_seed=master_seed + 1,
         backend=backend,
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     speedups = tuple(
         (
@@ -328,6 +333,7 @@ def lower_bound_experiment(
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> LowerBoundResult:
     """Measure how long two diametral leaders coexist on a path (experiment E4).
 
@@ -342,6 +348,7 @@ def lower_bound_experiment(
         default="sequential",
         what="lower_bound_experiment(batched=...)",
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     cells = tuple(
         ExecutionCell(
@@ -459,6 +466,7 @@ def ablation_experiment(
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> AblationResult:
     """Sweep ``p`` and test the structural ablation variants (experiment E8).
 
@@ -473,6 +481,7 @@ def ablation_experiment(
         default="sequential",
         what="ablation_experiment(batched=...)",
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     graph_spec = GraphSpec(family="path", n=diameter + 1)
     budget = int(max_rounds_factor * diameter * diameter) + 1000

@@ -222,6 +222,7 @@ def run_monte_carlo(
     params: Optional[dict] = None,
     backend: "BackendSpec" = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> MonteCarloReport:
     """Run ``replicas`` seeded executions of one configuration and summarise.
 
@@ -252,7 +253,12 @@ def run_monte_carlo(
 
     if replicas < 1:
         raise ConfigurationError(f"replicas must be >= 1; got {replicas}")
-    resolved = resolve_backend(backend, default="batched", shard_size=shard_size)
+    resolved = resolve_backend(
+        backend,
+        default="batched",
+        shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
+    )
     cell = ExecutionCell(
         protocol=ProtocolSpecConfig(name=protocol, params=dict(params or {})),
         graph=GraphSpec(family=graph, n=n),

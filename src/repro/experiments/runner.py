@@ -43,6 +43,7 @@ from repro.exec import (
     CellCompleted,
     ExecutionCell,
     ProgressHook,
+    ShardProgress,
     ShardSize,
     resolve_backend_with_deprecated_batched,
 )
@@ -215,6 +216,15 @@ def cell_progress_adapter(
         return None
 
     def on_cell(event: CellCompleted) -> None:
+        if isinstance(event, ShardProgress):
+            # In-flight heartbeat (backends with --heartbeat only): the
+            # telemetry stream gets a "progress" record; the console stays
+            # quiet — beats can arrive thousands per cell and the per-cell
+            # lines below remain the human-readable summary.
+            record_beat = getattr(progress, "shard_progress", None)
+            if callable(record_beat):
+                record_beat(event)
+            return
         if getattr(event, "shard_index", None) is not None:
             # Per-shard sub-progress (sharding backends only): one short
             # console line, and the telemetry stream gets a "shard" record.
@@ -265,6 +275,7 @@ def run_sweep(
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> Tuple[TrialRecord, ...]:
     """Run every (protocol, graph, seed) combination of a sweep.
 
@@ -287,6 +298,11 @@ def run_sweep(
         ``"auto"`` (``ceil(R / workers)`` per cell).  Lets ``process:N``
         parallelise within a cell; output stays byte-identical.  ``None``
         keeps whole cells.
+    heartbeat_interval:
+        Poll an in-flight heartbeat every K engine rounds (``--heartbeat``)
+        and stream it to ``progress`` as ``ShardProgress`` events /
+        ``"progress"`` telemetry records.  ``None`` keeps heartbeats off;
+        records are byte-identical either way.
     batched:
         Deprecated: ``batched=True`` is a shim for ``backend="batched"``
         and emits a :class:`DeprecationWarning`.
@@ -297,6 +313,7 @@ def run_sweep(
         default="sequential",
         what="run_sweep(batched=...)",
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     return resolved.run_cells(
         sweep_cells(sweep), progress=cell_progress_adapter(progress)

@@ -166,6 +166,7 @@ def generate_table1(
     batched: Optional[bool] = None,
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
+    heartbeat_interval: Optional[int] = None,
 ) -> Table1Result:
     """Run the Table-1 comparison and return the regenerated table.
 
@@ -205,6 +206,7 @@ def generate_table1(
         default="sequential",
         what="generate_table1(batched=...)",
         shard_size=shard_size,
+        heartbeat_interval=heartbeat_interval,
     )
     graph_labels = tuple(graph.label for graph in graphs)
     cells: List[ExecutionCell] = []

@@ -22,8 +22,20 @@ Module map:
 * :mod:`~repro.service.cache` — the content-addressed
   :class:`ResultCache` (hit/miss counters, determinism verification);
 * :mod:`~repro.service.faults` — :class:`ServiceFaultInjector`
-  (``REPRO_SERVICE_FAULTS``) for exercising the retry path;
+  (``REPRO_SERVICE_FAULTS``) for exercising the retry and watchdog paths
+  (``crash``, ``hang-silent``, ``hang-beating``);
+* :mod:`~repro.service.prometheus` — the ``Accept: text/plain`` rendering
+  of ``/metrics`` (Prometheus text exposition);
+* :mod:`~repro.service.dashboard` — ``repro top --url``: a polled
+  terminal dashboard over ``/healthz`` + ``/metrics`` + ``/sweeps``;
 * :mod:`~repro.service.wire` — shared JSON/pickle wire helpers.
+
+With ``heartbeat_interval`` set (``repro serve --heartbeat``, or per
+submission) the daemon's workers emit in-flight heartbeats: ``GET
+/sweeps/{id}`` grows live per-shard progress rows, the event stream
+carries throttled ``"progress"`` records, and the watchdog becomes
+*liveness-based* — a beating shard pushes its deadline forward and is
+never re-queued at ``shard_timeout``; only silent shards are.
 """
 
 from repro.service.cache import ResultCache

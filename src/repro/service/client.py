@@ -27,7 +27,12 @@ import urllib.request
 from typing import IO, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ServiceError
-from repro.exec.base import CellCompleted, ExecutionBackend, ProgressHook
+from repro.exec.base import (
+    CellCompleted,
+    ExecutionBackend,
+    ProgressHook,
+    ShardProgress,
+)
 from repro.exec.cells import CellOutcome, ExecutionCell
 from repro.service.wire import (
     JSON_CONTENT_TYPE,
@@ -35,6 +40,7 @@ from repro.service.wire import (
     decode_outcome,
     dump_json,
 )
+from repro.telemetry.heartbeat import Heartbeat
 from repro.telemetry.progress import render_event
 
 __all__ = ["ServiceBackend", "ServiceClient", "normalise_url", "tail_service"]
@@ -119,17 +125,30 @@ class ServiceClient:
         return self._request("GET", "/metrics")
 
     def submit(
-        self, cells: Sequence[ExecutionCell], shard_size: object = None
+        self,
+        cells: Sequence[ExecutionCell],
+        shard_size: object = None,
+        heartbeat_interval: object = None,
     ) -> Dict[str, object]:
         """``POST /sweeps``; returns the receipt (``{"id": ..., ...}``)."""
-        return self._request(
-            "POST",
-            "/sweeps",
-            {"cells": cells_to_payload(cells), "shard_size": shard_size},
-        )
+        payload: Dict[str, object] = {
+            "cells": cells_to_payload(cells),
+            "shard_size": shard_size,
+        }
+        if heartbeat_interval is not None:
+            payload["heartbeat_interval"] = heartbeat_interval
+        return self._request("POST", "/sweeps", payload)
 
     def status(self, sweep_id: str) -> Dict[str, object]:
         return self._request("GET", f"/sweeps/{sweep_id}")
+
+    def sweeps(self) -> Dict[str, object]:
+        """``GET /sweeps``: every sweep's one-line summary."""
+        return self._request("GET", "/sweeps")
+
+    def spans(self, sweep_id: str) -> Dict[str, object]:
+        """``GET /sweeps/{id}/spans``: the sweep's span tree as records."""
+        return self._request("GET", f"/sweeps/{sweep_id}/spans")
 
     def events(
         self, sweep_id: str, cursor: int = 0, timeout: float = 10.0
@@ -164,6 +183,11 @@ class ServiceBackend(ExecutionBackend):
 
     ``shard_size`` is forwarded with the submission, so the *daemon* shards
     the seed lists across its worker pool — the client stays a thin pipe.
+    So is ``heartbeat_interval`` (``--heartbeat``): the daemon's workers
+    emit in-flight beats, the event stream carries them as ``"progress"``
+    records, and the backend re-materialises them as
+    :class:`~repro.exec.ShardProgress` events for the local progress hook
+    — the same shape every local backend delivers.
     """
 
     def __init__(
@@ -172,12 +196,14 @@ class ServiceBackend(ExecutionBackend):
         shard_size: object = None,
         poll_timeout: float = 10.0,
         timeout: float = 60.0,
+        heartbeat_interval: object = None,
     ) -> None:
         self.client = ServiceClient(url, timeout=timeout)
         self.url = self.client.url
         self.name = f"service:{self.url}"
         self.shard_size = shard_size
         self.poll_timeout = poll_timeout
+        self.heartbeat_interval = heartbeat_interval
 
     def run_cell_outcomes(
         self,
@@ -187,7 +213,11 @@ class ServiceBackend(ExecutionBackend):
         cells = tuple(cells)
         if not cells:
             return ()
-        receipt = self.client.submit(cells, shard_size=self.shard_size)
+        receipt = self.client.submit(
+            cells,
+            shard_size=self.shard_size,
+            heartbeat_interval=self.heartbeat_interval,
+        )
         sweep_id = str(receipt["id"])
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
         next_emit = 0  # progress events must go out in cell order
@@ -198,6 +228,9 @@ class ServiceBackend(ExecutionBackend):
             )
             cursor = int(poll["cursor"])  # type: ignore[arg-type]
             for record in poll.get("events", ()):  # type: ignore[union-attr]
+                if record.get("event") == "progress":
+                    self._emit_progress(progress, record, cells)
+                    continue
                 if record.get("event") != "cell":
                     continue
                 index = int(record["index"])
@@ -223,6 +256,49 @@ class ServiceBackend(ExecutionBackend):
             self._emit(progress, next_emit, len(cells), outcomes)
             next_emit += 1
         return tuple(outcomes)  # type: ignore[return-value]
+
+    def _emit_progress(
+        self,
+        progress: Optional[ProgressHook],
+        record: Dict[str, object],
+        cells: Sequence[ExecutionCell],
+    ) -> None:
+        """Re-materialise a ``"progress"`` event as a ShardProgress.
+
+        In-flight beats carry no determinism contract, so a malformed
+        record is dropped rather than failing the sweep.
+        """
+        if progress is None:
+            return
+        try:
+            index = int(record["index"])  # type: ignore[arg-type]
+            cell = cells[index]
+            heartbeat = Heartbeat(
+                engine=str(record.get("engine", "?")),
+                round_index=int(record.get("round", 0)),  # type: ignore[arg-type]
+                replicas=int(record.get("replicas", 0)),  # type: ignore[arg-type]
+                active=int(record.get("active", 0)),  # type: ignore[arg-type]
+                converged=int(record.get("converged", 0)),  # type: ignore[arg-type]
+                leaderless=int(record.get("leaderless", 0)),  # type: ignore[arg-type]
+                rounds_advanced=int(record.get("rounds_advanced", 0)),  # type: ignore[arg-type]
+                rounds_per_second=float(record.get("rounds_per_second", 0.0)),  # type: ignore[arg-type]
+                elapsed_seconds=0.0,
+            )
+            shard = record.get("shard")
+            shards = record.get("shards")
+            event = ShardProgress(
+                index=index,
+                total=len(cells),
+                backend=self.name,
+                cell=cell,
+                heartbeat=heartbeat,
+                shard_index=None if shard is None else int(shard),  # type: ignore[arg-type]
+                shard_count=None if shards is None else int(shards),  # type: ignore[arg-type]
+                attempt=int(record.get("attempt", 0) or 0),  # type: ignore[arg-type]
+            )
+        except (KeyError, IndexError, TypeError, ValueError):
+            return
+        progress(event)
 
     def _emit(
         self,

@@ -1,0 +1,175 @@
+"""``repro top``: a polled terminal dashboard over a sweep service.
+
+The daemon already exposes everything a status screen needs — ``/healthz``
+(version, uptime, drain state), ``/metrics`` (counters, queue depth, cache
+hit/miss, the shard wall-time histogram) and ``/sweeps`` (+ per-sweep
+status with live per-shard heartbeat rows).  This module polls those
+endpoints every ``interval`` seconds and renders one screenful, in the
+spirit of ``top``/Klipper-style printer consoles: totals up top, one row
+per sweep, and — when heartbeats are on — an indented live line per
+in-flight shard showing its engine round, active replicas, rounds/sec and
+how long ago it last beat.
+
+Rendering is a pure function (:func:`render_top`: payloads in, string
+out), so tests cover the layout without a daemon; :func:`top` owns the
+poll-sleep-clear loop and is what the CLI calls.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import IO, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ServiceError
+from repro.service.client import ServiceClient
+
+__all__ = ["render_top", "top"]
+
+#: ANSI clear-screen + cursor-home, written between refreshes.
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _number(value: object, default: float = 0.0) -> float:
+    try:
+        return float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return default
+
+
+def _shard_line(row: Mapping[str, object]) -> str:
+    """One indented live line per in-flight shard."""
+    parts = [
+        f"  cell {row.get('cell', '?')}",
+        f"shard {row.get('shard', '?')}/{row.get('shards', '?')}",
+        f"attempt {row.get('attempt', 0)}",
+        str(row.get("state", "?")),
+    ]
+    if "round" in row:
+        parts.append(f"round {row['round']}")
+        parts.append(f"active {row.get('active', '?')}/{row.get('replicas', '?')}")
+        rate = _number(row.get("rounds_per_second"))
+        if rate:
+            parts.append(f"{rate:,.0f} rounds/s")
+    age = row.get("beat_age_seconds")
+    if age is not None:
+        parts.append(f"beat {_number(age):.1f}s ago")
+    retries = row.get("retries")
+    if retries:
+        parts.append(f"retries {retries}")
+    return " ".join(parts)
+
+
+def render_top(
+    health: Mapping[str, object],
+    metrics: Mapping[str, object],
+    sweeps: Mapping[str, object],
+    statuses: Optional[Mapping[str, Mapping[str, object]]] = None,
+    url: str = "",
+) -> str:
+    """Render one dashboard frame from the service's JSON payloads.
+
+    ``statuses`` optionally maps sweep ids to their ``GET /sweeps/{id}``
+    payloads — running sweeps then contribute per-shard heartbeat lines.
+    """
+    service = metrics.get("service") or {}
+    counters: Dict[str, object] = dict(service.get("counters") or {})  # type: ignore[union-attr]
+    gauges: Dict[str, object] = dict(service.get("gauges") or {})  # type: ignore[union-attr]
+    lines: List[str] = []
+    uptime = health.get("uptime_seconds")
+    header = [
+        "repro top",
+        url or "?",
+        str(health.get("state", "?")),
+        f"v{health.get('version', '?')}",
+    ]
+    if uptime is not None:
+        header.append(f"up {_number(uptime):.0f}s")
+    lines.append(" — ".join(header))
+    lines.append(
+        "workers {workers:.0f}  queue {queue:.0f}  running shards {running:.0f}  "
+        "heartbeats {beats:.0f}  cache {hits:.0f}/{misses:.0f} hit/miss  "
+        "retries {retries:.0f}".format(
+            workers=_number(gauges.get("service.workers")),
+            queue=_number(gauges.get("service.queue_depth")),
+            running=_number(gauges.get("service.shards_running")),
+            beats=_number(counters.get("service.heartbeats")),
+            hits=_number(counters.get("service.cache_hits")),
+            misses=_number(counters.get("service.cache_misses")),
+            retries=_number(counters.get("service.shards_retried")),
+        )
+    )
+    histogram = metrics.get("shard_wall_seconds")
+    if isinstance(histogram, Mapping) and _number(histogram.get("count")):
+        count = _number(histogram.get("count"))
+        lines.append(
+            f"shards executed {count:.0f}  "
+            f"mean wall {_number(histogram.get('sum')) / count:.3f}s"
+        )
+    rows: Sequence[Mapping[str, object]] = sweeps.get("sweeps") or ()  # type: ignore[assignment]
+    lines.append("")
+    lines.append(
+        f"{'SWEEP':<14} {'STATE':<10} {'CELLS':>7} {'SHARDS':>9} {'RETRIES':>8}"
+    )
+    for row in rows:
+        lines.append(
+            "{id:<14} {state:<10} {cells:>7} {shards:>9} {retries:>8}".format(
+                id=str(row.get("id", "?")),
+                state=str(row.get("state", "?")),
+                cells=f"{row.get('completed_cells', '?')}/{row.get('cells', '?')}",
+                shards=(
+                    f"{row.get('completed_shards', '?')}/{row.get('shards', '?')}"
+                ),
+                retries=str(row.get("retries", 0)),
+            )
+        )
+        status = (statuses or {}).get(str(row.get("id")))
+        if status is not None:
+            for shard_row in status.get("progress") or ():  # type: ignore[union-attr]
+                lines.append(_shard_line(shard_row))  # type: ignore[arg-type]
+    if not rows:
+        lines.append("(no sweeps submitted yet)")
+    return "\n".join(lines) + "\n"
+
+
+def top(
+    url: str,
+    interval: float = 2.0,
+    iterations: Optional[int] = None,
+    out: Optional[IO[str]] = None,
+    clear: bool = True,
+) -> int:
+    """Poll a sweep service and render the dashboard until interrupted.
+
+    ``iterations`` bounds the number of frames (``None`` = until Ctrl-C;
+    the CLI's ``--once`` maps to 1, which also disables screen clearing).
+    Returns a process exit code.
+    """
+    out = out if out is not None else sys.stdout
+    client = ServiceClient(url)
+    frame = 0
+    while True:
+        try:
+            health = client.healthz()
+            metrics = client.metrics()
+            sweeps = client.sweeps()
+            statuses = {
+                str(row.get("id")): client.status(str(row.get("id")))
+                for row in sweeps.get("sweeps") or ()  # type: ignore[union-attr]
+                if row.get("state") == "running"
+            }
+        except ServiceError as error:
+            print(str(error), file=sys.stderr)
+            return 1
+        text = render_top(health, metrics, sweeps, statuses, url=client.url)
+        if clear and iterations != 1:
+            out.write(_CLEAR)
+        out.write(text)
+        out.flush()
+        frame += 1
+        if iterations is not None and frame >= iterations:
+            return 0
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:
+            return 0

@@ -17,8 +17,16 @@ equivalent constructor spec) is::
 
     crash:CELL:SHARD[:COUNT]          # raise on the first COUNT attempts
     hang:CELL:SHARD:SECONDS[:COUNT]   # sleep SECONDS on the first COUNT attempts
+    hang-silent:CELL:SHARD:SECONDS[:COUNT]   # alias for hang: no heartbeats
+    hang-beating:CELL:SHARD:SECONDS[:COUNT]  # sleep SECONDS but keep pulsing
+                                             # the ambient heartbeat emitter
 
-with multiple directives separated by ``;``.  Because determinism makes
+with multiple directives separated by ``;``.  The two ``hang-`` flavours
+exist to pin the watchdog's *liveness* semantics: a ``hang-silent`` shard
+goes quiet and must be re-queued at ``shard_timeout``, while a
+``hang-beating`` shard (slow but alive — it pulses
+:meth:`~repro.telemetry.heartbeat.HeartbeatEmitter.pulse` every 50 ms)
+keeps extending its deadline and must *not* be killed.  Because determinism makes
 retries safe, a test (or the CI smoke step) asserts the faulted sweep's
 records are byte-identical to an unfaulted run — the property that makes
 the whole fault-tolerance story honest.
@@ -33,6 +41,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, ServiceError
+from repro.telemetry.heartbeat import current_heartbeat
 
 __all__ = ["InjectedWorkerCrash", "ServiceFaultInjector"]
 
@@ -55,6 +64,8 @@ class _Fault:
 def _parse_directive(token: str) -> _Fault:
     parts = token.strip().split(":")
     kind = parts[0].strip().lower() if parts else ""
+    if kind == "hang-silent":
+        kind = "hang"  # the historical hang was always silent
     try:
         if kind == "crash" and len(parts) in (3, 4):
             count = int(parts[3]) if len(parts) == 4 else 1
@@ -64,10 +75,10 @@ def _parse_directive(token: str) -> _Fault:
                 shard_index=int(parts[2]),
                 count=count,
             )
-        if kind == "hang" and len(parts) in (4, 5):
+        if kind in ("hang", "hang-beating") and len(parts) in (4, 5):
             count = int(parts[4]) if len(parts) == 5 else 1
             return _Fault(
-                kind="hang",
+                kind=kind,
                 cell_index=int(parts[1]),
                 shard_index=int(parts[2]),
                 count=count,
@@ -77,7 +88,9 @@ def _parse_directive(token: str) -> _Fault:
         pass
     raise ConfigurationError(
         f"invalid fault directive {token!r}; expected "
-        f"'crash:CELL:SHARD[:COUNT]' or 'hang:CELL:SHARD:SECONDS[:COUNT]'"
+        f"'crash:CELL:SHARD[:COUNT]', 'hang:CELL:SHARD:SECONDS[:COUNT]', "
+        f"'hang-silent:CELL:SHARD:SECONDS[:COUNT]' or "
+        f"'hang-beating:CELL:SHARD:SECONDS[:COUNT]'"
     )
 
 
@@ -136,7 +149,29 @@ class ServiceFaultInjector:
                 f"injected worker crash on attempt {attempt} of shard "
                 f"{shard_index} of cell {cell_index}"
             )
+        if fault.kind == "hang-beating":
+            self._hang_beating(fault.seconds)
+            return
         time.sleep(fault.seconds)
+
+    @staticmethod
+    def _hang_beating(seconds: float) -> None:
+        """Sleep ``seconds`` while pulsing the ambient heartbeat emitter.
+
+        Simulates a shard that is slow but alive: a liveness-based
+        watchdog must keep extending its deadline rather than re-queue
+        it.  Without an ambient emitter (heartbeats off) this degrades
+        to a plain silent hang.
+        """
+        emitter = current_heartbeat()
+        deadline = time.monotonic() + seconds
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            time.sleep(min(0.05, remaining))
+            if emitter is not None:
+                emitter.pulse(engine="fault-injector")
 
     def __repr__(self) -> str:
         return f"ServiceFaultInjector({sorted(self._faults)})"

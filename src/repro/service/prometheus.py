@@ -1,0 +1,101 @@
+"""Prometheus text exposition for the sweep service's ``/metrics``.
+
+The service's metrics endpoint is JSON by default (the shape
+:meth:`~repro.service.server.SweepService.metrics_payload` returns);
+a scraper that sends ``Accept: text/plain`` gets the same numbers in
+the Prometheus `text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+instead, rendered by :func:`render_prometheus`:
+
+* every ``service.*`` counter becomes a ``repro_...`` counter,
+* every ``service.*`` gauge becomes a ``repro_...`` gauge,
+* the per-shard wall-time histogram becomes a classic Prometheus
+  histogram (cumulative ``_bucket{le=...}`` series plus ``_sum`` and
+  ``_count``),
+* the daemon's identity is an info-style gauge
+  ``repro_service_info{version="..."} 1`` plus
+  ``repro_service_uptime_seconds``.
+
+Metric names are derived mechanically (dots and other non-identifier
+characters become underscores, prefixed ``repro_``), so a counter added
+anywhere in the service shows up in the scrape without touching this
+module.  Everything here is pure string formatting over the JSON
+payloads — no state, no locks — which keeps it trivially testable.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Optional
+
+__all__ = ["prometheus_name", "render_prometheus"]
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(name: str) -> str:
+    """Mechanical metric-name mangling: ``service.cache_hits`` →
+    ``repro_service_cache_hits``."""
+    return "repro_" + _INVALID.sub("_", str(name))
+
+
+def _format_value(value: object) -> str:
+    try:
+        number = float(value)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return "0"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _histogram_lines(name: str, histogram: Mapping[str, object]) -> List[str]:
+    metric = prometheus_name(name)
+    lines = [f"# TYPE {metric} histogram"]
+    cumulative = 0
+    for bucket in histogram.get("buckets", ()):  # type: ignore[union-attr]
+        le = bucket.get("le")  # type: ignore[union-attr]
+        count = int(bucket.get("count", 0))  # type: ignore[union-attr]
+        cumulative = count  # counts are already cumulative per bucket
+        label = "+Inf" if le is None else _format_value(le)
+        lines.append(f'{metric}_bucket{{le="{label}"}} {cumulative}')
+    lines.append(f"{metric}_sum {_format_value(histogram.get('sum', 0.0))}")
+    lines.append(f"{metric}_count {int(histogram.get('count', 0))}")  # type: ignore[arg-type]
+    return lines
+
+
+def render_prometheus(
+    metrics: Mapping[str, object],
+    health: Optional[Mapping[str, object]] = None,
+) -> str:
+    """Render the JSON ``/metrics`` payload as Prometheus text exposition.
+
+    ``metrics`` is exactly what :meth:`SweepService.metrics_payload`
+    returns; ``health`` (optional) contributes the version/uptime series.
+    The output ends with a newline, as the exposition format requires.
+    """
+    lines: List[str] = []
+    service = metrics.get("service") or {}
+    counters: Dict[str, object] = dict(service.get("counters") or {})  # type: ignore[union-attr]
+    gauges: Dict[str, object] = dict(service.get("gauges") or {})  # type: ignore[union-attr]
+    for name in sorted(counters):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(counters[name])}")
+    for name in sorted(gauges):
+        metric = prometheus_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(gauges[name])}")
+    histogram = metrics.get("shard_wall_seconds")
+    if isinstance(histogram, Mapping):
+        lines.extend(_histogram_lines("service.shard_wall_seconds", histogram))
+    if health is not None:
+        version = health.get("version")
+        if version is not None:
+            lines.append("# TYPE repro_service_info gauge")
+            lines.append(f'repro_service_info{{version="{version}"}} 1')
+        uptime = health.get("uptime_seconds")
+        if uptime is not None:
+            lines.append("# TYPE repro_service_uptime_seconds gauge")
+            lines.append(f"repro_service_uptime_seconds {_format_value(uptime)}")
+    return "\n".join(lines) + "\n"

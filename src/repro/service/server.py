@@ -12,19 +12,30 @@ HTTP API (all JSON, see :mod:`repro.service.wire`):
 
 ===========================================  =====================================
 ``POST /sweeps``                             submit ``{"cells": [...specs...],
-                                             "shard_size": null|int|"auto"}``;
+                                             "shard_size": null|int|"auto",
+                                             "heartbeat_interval": null|int}``;
                                              returns ``{"id": ...}``
-``GET /sweeps/{id}``                         status (+ flattened records once done)
+``GET /sweeps``                              list all sweeps (id, state, progress)
+``GET /sweeps/{id}``                         status incl. live per-shard progress
+                                             rows (+ flattened records once done)
 ``GET /sweeps/{id}/events?cursor=N``         long-poll progress stream; records use
-                                             the telemetry JSONL schema, so
-                                             ``repro tail --url`` renders them with
-                                             the file-mode renderer
+                                             the telemetry JSONL schema (including
+                                             in-flight ``"progress"`` heartbeats),
+                                             so ``repro tail --url`` renders them
+                                             with the file-mode renderer
 ``GET /sweeps/{id}/outcomes?cell=K``         one completed cell's byte-exact
                                              :class:`~repro.exec.CellOutcome`
+``GET /sweeps/{id}/spans``                   the sweep's span tree (sweep → cell →
+                                             shard → attempt), for
+                                             ``repro trace export``
 ``POST /sweeps/{id}/cancel``                 stop scheduling the sweep's shards
-``GET /healthz``                             liveness + drain state
+``GET /healthz``                             liveness + drain state + version +
+                                             uptime
 ``GET /metrics``                             service counters, cache hit/miss,
-                                             merged engine metrics
+                                             merged engine metrics, shard wall-time
+                                             histogram; with ``Accept: text/plain``
+                                             the same numbers in Prometheus text
+                                             exposition format
 ===========================================  =====================================
 
 Three properties carry the design:
@@ -37,7 +48,11 @@ Three properties carry the design:
 * **fault tolerance by re-queue** — a crashed worker attempt (or one that
   exceeds ``shard_timeout``, caught by the watchdog thread) re-queues the
   shard with a fresh attempt token, up to ``max_retries`` times; stale
-  completions from superseded attempts are discarded by token mismatch;
+  completions from superseded attempts are discarded by token mismatch.
+  With heartbeats enabled the watchdog is **liveness-based**: every beat
+  from a shard pushes its deadline forward, so a slow-but-alive shard is
+  never killed at ``shard_timeout`` — only shards that go *silent* for a
+  full timeout window re-queue;
 * **graceful drain** — :meth:`SweepService.stop` refuses new submissions,
   lets in-flight sweeps finish, then joins the workers and closes the
   listener, so a ``SIGTERM`` to ``repro serve`` never loses a sweep.
@@ -55,6 +70,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlsplit
 
+from repro._version import __version__
 from repro.errors import ConfigurationError, ReproError, ServiceError
 from repro.exec.cells import (
     CellOutcome,
@@ -67,6 +83,7 @@ from repro.exec.cells import (
 )
 from repro.service.cache import ResultCache
 from repro.service.faults import ServiceFaultInjector
+from repro.service.prometheus import render_prometheus
 from repro.service.wire import (
     JSON_CONTENT_TYPE,
     cells_from_payload,
@@ -74,7 +91,9 @@ from repro.service.wire import (
     encode_outcome,
     load_json,
 )
+from repro.telemetry.heartbeat import Heartbeat, HeartbeatEmitter, use_heartbeat
 from repro.telemetry.metrics import MetricsRegistry, merge_snapshots
+from repro.telemetry.spans import SpanRecorder
 
 __all__ = ["SweepService"]
 
@@ -83,6 +102,28 @@ _TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
 #: Hard cap on one long-poll wait, whatever the client asks for.
 _MAX_POLL_SECONDS = 30.0
+
+#: Upper edges of the per-shard wall-time histogram (``/metrics``); the
+#: implicit last bucket is +Inf.
+_SHARD_WALL_BUCKETS = (0.01, 0.05, 0.25, 1.0, 5.0, 30.0, 120.0)
+
+
+def _validate_interval(interval: object) -> Optional[int]:
+    """Coerce a heartbeat interval (None passes through, else int >= 1)."""
+    if interval is None:
+        return None
+    try:
+        value = int(interval)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"heartbeat_interval must be a positive integer or null; "
+            f"got {interval!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(
+            f"heartbeat_interval must be >= 1; got {value}"
+        )
+    return value
 
 
 @dataclass
@@ -99,6 +140,11 @@ class _Shard:
     retries: int = 0  # re-queues consumed (crash or timeout)
     deadline: Optional[float] = None
     outcome: Optional[CellOutcome] = None
+    last_heartbeat: Optional[Heartbeat] = None
+    last_beat_monotonic: Optional[float] = None  # liveness clock
+    last_progress_emit: float = 0.0  # event-stream throttle clock
+    span_id: Optional[str] = None  # shard span (opened on first attempt)
+    attempt_span_id: Optional[str] = None  # current attempt's span
 
 
 @dataclass
@@ -114,6 +160,10 @@ class _Sweep:
     error: Optional[str] = None
     events: List[Dict[str, object]] = field(default_factory=list)
     created: float = field(default_factory=time.time)
+    heartbeat_interval: Optional[int] = None
+    spans: SpanRecorder = field(default_factory=SpanRecorder)
+    span_id: Optional[str] = None  # the root sweep span
+    cell_span_ids: List[Optional[str]] = field(default_factory=list)
 
     @property
     def completed_cells(self) -> int:
@@ -144,6 +194,17 @@ class SweepService:
     fault_injector:
         Optional :class:`~repro.service.faults.ServiceFaultInjector`
         consulted at the start of every shard attempt (testing only).
+    heartbeat_interval:
+        Default in-flight heartbeat interval (engine rounds between
+        beats) for submitted sweeps; ``None`` disables heartbeats unless
+        a submission asks for them.  With heartbeats on, each beat
+        extends the beating shard's watchdog deadline (liveness), feeds
+        the per-shard progress rows of ``GET /sweeps/{id}``, and emits
+        throttled ``"progress"`` records on the event stream.
+    progress_throttle:
+        Minimum seconds between ``"progress"`` event-stream records per
+        shard (heartbeats themselves are never throttled — only the
+        event stream is, so a K=1 beat storm cannot flood long-pollers).
     """
 
     def __init__(
@@ -156,6 +217,8 @@ class SweepService:
         cache_dir: Optional[str] = None,
         default_shard_size: object = None,
         fault_injector: Optional[ServiceFaultInjector] = None,
+        heartbeat_interval: Optional[int] = None,
+        progress_throttle: float = 0.25,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"worker count must be >= 1; got {workers}")
@@ -169,6 +232,8 @@ class SweepService:
         self.shard_timeout = shard_timeout
         self.default_shard_size = default_shard_size
         self.fault_injector = fault_injector
+        self.heartbeat_interval = _validate_interval(heartbeat_interval)
+        self.progress_throttle = float(progress_throttle)
         self.cache = ResultCache(cache_dir)
 
         self._requested_port = int(port)
@@ -181,8 +246,15 @@ class SweepService:
         self._stop_event = threading.Event()
         self._draining = False
         self._started = False
+        self._started_monotonic: Optional[float] = None
         self._httpd: Optional[ThreadingHTTPServer] = None
         self._threads: List[threading.Thread] = []
+        # Per-shard wall-time histogram (executed shards only; guarded by
+        # self._lock).  Counts are kept cumulative per bucket, matching
+        # the Prometheus exposition directly.
+        self._shard_wall_sum = 0.0
+        self._shard_wall_count = 0
+        self._shard_wall_counts = [0] * (len(_SHARD_WALL_BUCKETS) + 1)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -206,6 +278,7 @@ class SweepService:
             if self._started:
                 return self
             self._started = True
+            self._started_monotonic = time.monotonic()
         self._httpd = _ServiceHTTPServer(
             (self.host, self._requested_port), _ServiceRequestHandler
         )
@@ -274,19 +347,26 @@ class SweepService:
     # ------------------------------------------------------------------ #
 
     def submit(
-        self, cells: Sequence[ExecutionCell], shard_size: object = None
+        self,
+        cells: Sequence[ExecutionCell],
+        shard_size: object = None,
+        heartbeat_interval: object = None,
     ) -> str:
         """Enqueue a sweep; returns its id.
 
         Per-cell, the result cache is consulted first (an identical earlier
         submission completes the cell instantly); misses are split into
-        shard jobs and handed to the worker pool.
+        shard jobs and handed to the worker pool.  ``heartbeat_interval``
+        overrides the service default for this sweep (``None`` inherits).
         """
         cells = tuple(cells)
         if not cells:
             raise ConfigurationError("a sweep needs at least one cell")
         if shard_size is None:
             shard_size = self.default_shard_size
+        interval = _validate_interval(heartbeat_interval)
+        if interval is None:
+            interval = self.heartbeat_interval
         with self._condition:
             if self._draining:
                 raise ServiceError("service is draining; not accepting sweeps")
@@ -296,7 +376,26 @@ class SweepService:
                 shards=[[] for _ in cells],
                 outcomes=[None for _ in cells],
                 cell_cached=[False for _ in cells],
+                heartbeat_interval=interval,
             )
+            sweep.span_id = sweep.spans.begin(
+                "sweep", f"sweep {sweep.id}", attrs={"cells": len(cells)}
+            )
+            sweep.cell_span_ids = [
+                sweep.spans.begin(
+                    "cell",
+                    f"cell {cell_index}: {cell.protocol.label} on "
+                    f"{cell.graph.label}",
+                    parent_id=sweep.span_id,
+                    attrs={
+                        "cell": cell_index,
+                        "protocol": cell.protocol.label,
+                        "graph": cell.graph.label,
+                        "replicas": cell.num_replicas,
+                    },
+                )
+                for cell_index, cell in enumerate(cells)
+            ]
             self._sweeps[sweep.id] = sweep
             self._metrics.count("service.sweeps_submitted")
             self._metrics.count("service.cells_submitted", len(cells))
@@ -306,6 +405,9 @@ class SweepService:
                 if cached is not None:
                     sweep.outcomes[cell_index] = cached
                     sweep.cell_cached[cell_index] = True
+                    sweep.spans.finish(
+                        sweep.cell_span_ids[cell_index], attrs={"cached": True}
+                    )
                     self._emit_cell_event(sweep, cell_index, cached, cached=True)
                     continue
                 resolved = resolve_shard_size(
@@ -360,23 +462,114 @@ class SweepService:
                 shard.deadline = time.monotonic() + self.shard_timeout
             cell = shard.cell
             signature = shard.signature
+            interval = sweep.heartbeat_interval
+            if shard.span_id is None:
+                shard.span_id = sweep.spans.begin(
+                    "shard",
+                    f"cell {cell_index} shard {shard_index}",
+                    parent_id=sweep.cell_span_ids[cell_index],
+                    attrs={
+                        "cell": cell_index,
+                        "shard": shard_index,
+                        "shards": shard.shard_count,
+                        "replicas": cell.num_replicas,
+                    },
+                )
+            attempt_attrs: Dict[str, object] = {
+                "cell": cell_index,
+                "shard": shard_index,
+                "attempt": attempt,
+            }
+            if shard.attempt_span_id is not None:
+                # Link the retry chain: this attempt supersedes the last.
+                attempt_attrs["retry_of"] = shard.attempt_span_id
+            shard.attempt_span_id = sweep.spans.begin(
+                "attempt",
+                f"cell {cell_index} shard {shard_index} attempt {attempt}",
+                parent_id=shard.span_id,
+                attrs=attempt_attrs,
+            )
+        emitter = None
+        if interval is not None:
+            emitter = HeartbeatEmitter(
+                interval,
+                lambda beat: self._note_heartbeat(
+                    sweep_id, cell_index, shard_index, attempt, beat
+                ),
+            )
         from_cache = False
         try:
-            if self.fault_injector is not None:
-                self.fault_injector.on_attempt(
-                    sweep_id, cell_index, shard_index, attempt
-                )
-            outcome = self.cache.get(signature)
-            if outcome is not None:
-                from_cache = True
-            else:
-                outcome = execute_cell_batched(cell)
+            with use_heartbeat(emitter):
+                if self.fault_injector is not None:
+                    self.fault_injector.on_attempt(
+                        sweep_id, cell_index, shard_index, attempt
+                    )
+                outcome = self.cache.get(signature)
+                if outcome is not None:
+                    from_cache = True
+                else:
+                    outcome = execute_cell_batched(cell)
         except Exception as error:
             self._shard_failed(sweep_id, cell_index, shard_index, attempt, error)
             return
         self._shard_done(
             sweep_id, cell_index, shard_index, attempt, outcome, from_cache
         )
+
+    def _note_heartbeat(
+        self,
+        sweep_id: str,
+        cell_index: int,
+        shard_index: int,
+        attempt: int,
+        beat: Heartbeat,
+    ) -> None:
+        """Absorb one in-flight beat from a worker's engine (sink callback).
+
+        Beats are liveness *and* progress: the shard's watchdog deadline
+        is pushed a full ``shard_timeout`` into the future (a beating
+        shard is alive however slow it is), the latest beat is stored for
+        the status payload, and — throttled per shard — a ``"progress"``
+        record lands on the event stream.
+        """
+        with self._condition:
+            sweep = self._sweeps.get(sweep_id)
+            if sweep is None or sweep.state in _TERMINAL_STATES:
+                return
+            shard = sweep.shards[cell_index][shard_index]
+            if shard.attempt != attempt or shard.state != "running":
+                return  # beat from a superseded or finished attempt
+            now = time.monotonic()
+            shard.last_heartbeat = beat
+            shard.last_beat_monotonic = now
+            if self.shard_timeout is not None:
+                shard.deadline = now + self.shard_timeout
+            self._metrics.count("service.heartbeats")
+            if now - shard.last_progress_emit < self.progress_throttle:
+                return
+            shard.last_progress_emit = now
+            sweep.events.append(
+                {
+                    "event": "progress",
+                    "index": cell_index,
+                    "total": len(sweep.cells),
+                    "shard": shard_index if shard.shard_count > 1 else None,
+                    "shards": shard.shard_count if shard.shard_count > 1 else None,
+                    "attempt": attempt,
+                    "backend": "service",
+                    "protocol": shard.cell.protocol.label,
+                    "graph": shard.cell.graph.label,
+                    "replicas": shard.cell.num_replicas,
+                    "engine": beat.engine,
+                    "round": beat.round_index,
+                    "active": beat.active,
+                    "converged": beat.converged,
+                    "leaderless": beat.leaderless,
+                    "rounds_advanced": beat.rounds_advanced,
+                    "rounds_per_second": beat.rounds_per_second,
+                }
+            )
+            self._condition.notify_all()
 
     def _shard_failed(
         self,
@@ -400,6 +593,11 @@ class SweepService:
         self, sweep: _Sweep, shard: _Shard, reason: str
     ) -> None:
         """Re-queue a lost shard attempt, or fail the sweep (lock held)."""
+        if shard.attempt_span_id is not None:
+            sweep.spans.finish(
+                shard.attempt_span_id, attrs={"outcome": "lost", "reason": reason}
+            )
+        shard.last_beat_monotonic = None
         if shard.retries < self.max_retries:
             shard.retries += 1
             shard.attempt += 1
@@ -415,6 +613,8 @@ class SweepService:
             f"shard {shard.shard_index} of cell {shard.cell_index} failed "
             f"after {shard.retries + 1} attempts: {reason}"
         )
+        if sweep.span_id is not None:
+            sweep.spans.finish(sweep.span_id, attrs={"error": sweep.error})
 
     def _shard_done(
         self,
@@ -451,6 +651,22 @@ class SweepService:
             shard.state = "done"
             shard.outcome = outcome
             shard.deadline = None
+            if shard.attempt_span_id is not None:
+                sweep.spans.finish(
+                    shard.attempt_span_id,
+                    attrs={
+                        "outcome": "done",
+                        "cached": from_cache,
+                        "wall_seconds": outcome.wall_seconds,
+                    },
+                )
+            if shard.span_id is not None:
+                sweep.spans.finish(
+                    shard.span_id,
+                    attrs={"retries": shard.retries, "cached": from_cache},
+                )
+            if not from_cache and outcome.wall_seconds is not None:
+                self._observe_shard_wall(float(outcome.wall_seconds))
             if shard.shard_count > 1:
                 sweep.events.append(
                     {
@@ -478,9 +694,30 @@ class SweepService:
                     # cell hits at submit time without re-merging shards.
                     self.cache.put(cell_signature(cell), cell, merged)
                 sweep.outcomes[cell_index] = merged
+                sweep.spans.finish(
+                    sweep.cell_span_ids[cell_index],
+                    attrs={
+                        "wall_seconds": merged.wall_seconds,
+                        "rounds_advanced": merged.rounds_advanced,
+                        "retries": sum(entry.retries for entry in shards),
+                    },
+                )
                 self._emit_cell_event(sweep, cell_index, merged, cached=False)
             self._finish_if_complete(sweep)
             self._condition.notify_all()
+
+    def _observe_shard_wall(self, seconds: float) -> None:
+        """Fold one executed shard's wall time into the histogram (lock held).
+
+        Bucket counts are cumulative (Prometheus ``le`` semantics): a
+        2 ms shard increments every bucket whose upper edge covers it.
+        """
+        self._shard_wall_sum += seconds
+        self._shard_wall_count += 1
+        for position, edge in enumerate(_SHARD_WALL_BUCKETS):
+            if seconds <= edge:
+                self._shard_wall_counts[position] += 1
+        self._shard_wall_counts[-1] += 1  # the +Inf bucket sees everything
 
     def _emit_cell_event(
         self,
@@ -527,6 +764,10 @@ class SweepService:
         if sweep.state != "running" or sweep.completed_cells < len(sweep.cells):
             return
         sweep.state = "done"
+        if sweep.span_id is not None:
+            sweep.spans.finish(
+                sweep.span_id, attrs={"cells": len(sweep.cells)}
+            )
         wall = [
             outcome.wall_seconds
             for outcome in sweep.outcomes
@@ -608,6 +849,7 @@ class SweepService:
                 "cached_cells": sum(sweep.cell_cached),
                 "error": sweep.error,
                 "created": sweep.created,
+                "progress": self._shard_progress_rows(sweep),
             }
             if sweep.state == "done":
                 payload["records"] = [
@@ -616,6 +858,92 @@ class SweepService:
                     for record in outcome.to_records()  # type: ignore[union-attr]
                 ]
             return payload
+
+    def _shard_progress_rows(self, sweep: _Sweep) -> List[Dict[str, object]]:
+        """Live per-shard progress rows for the status payload (lock held).
+
+        One row per not-yet-done shard; rows carry the latest heartbeat
+        when the sweep runs with heartbeats, and are empty once a sweep
+        reaches a terminal state (there is nothing in flight to show).
+        """
+        if sweep.state in _TERMINAL_STATES:
+            return []
+        now = time.monotonic()
+        rows: List[Dict[str, object]] = []
+        for shards in sweep.shards:
+            for shard in shards:
+                if shard.state == "done":
+                    continue
+                row: Dict[str, object] = {
+                    "cell": shard.cell_index,
+                    "shard": shard.shard_index,
+                    "shards": shard.shard_count,
+                    "state": shard.state,
+                    "attempt": shard.attempt,
+                    "retries": shard.retries,
+                    "replicas": shard.cell.num_replicas,
+                    "protocol": shard.cell.protocol.label,
+                    "graph": shard.cell.graph.label,
+                }
+                beat = shard.last_heartbeat
+                if beat is not None:
+                    row.update(
+                        {
+                            "engine": beat.engine,
+                            "round": beat.round_index,
+                            "active": beat.active,
+                            "converged": beat.converged,
+                            "leaderless": beat.leaderless,
+                            "rounds_advanced": beat.rounds_advanced,
+                            "rounds_per_second": beat.rounds_per_second,
+                        }
+                    )
+                if shard.last_beat_monotonic is not None:
+                    row["beat_age_seconds"] = now - shard.last_beat_monotonic
+                rows.append(row)
+        return rows
+
+    def list_sweeps(self) -> Dict[str, object]:
+        """The ``GET /sweeps`` payload: every sweep's one-line summary."""
+        with self._lock:
+            rows = []
+            for sweep in sorted(
+                self._sweeps.values(), key=lambda entry: entry.created
+            ):
+                shard_total = sum(len(shards) for shards in sweep.shards)
+                rows.append(
+                    {
+                        "id": sweep.id,
+                        "state": sweep.state,
+                        "cells": len(sweep.cells),
+                        "completed_cells": sweep.completed_cells,
+                        "shards": shard_total,
+                        "completed_shards": sum(
+                            1
+                            for shards in sweep.shards
+                            for shard in shards
+                            if shard.state == "done"
+                        ),
+                        "retries": sum(
+                            shard.retries
+                            for shards in sweep.shards
+                            for shard in shards
+                        ),
+                        "created": sweep.created,
+                        "error": sweep.error,
+                    }
+                )
+            return {"sweeps": rows}
+
+    def spans_payload(self, sweep_id: str) -> Dict[str, object]:
+        """The ``GET /sweeps/{id}/spans`` payload: the sweep's span tree."""
+        with self._lock:
+            sweep = self._sweep_or_raise(sweep_id)
+            spans = sweep.spans.spans()
+        return {
+            "id": sweep_id,
+            "spans": [span.to_record() for span in spans],
+        }
 
     def wait_events(
         self, sweep_id: str, cursor: int = 0, timeout: float = 10.0
@@ -694,19 +1022,49 @@ class SweepService:
             snapshot["gauges"]["service.workers"] = self.workers
             snapshot["gauges"]["service.sweeps"] = len(self._sweeps)
             snapshot["gauges"]["service.queue_depth"] = self._queue.qsize()
+            snapshot["gauges"]["service.shards_running"] = sum(
+                1
+                for sweep in self._sweeps.values()
+                for shards in sweep.shards
+                for shard in shards
+                if shard.state == "running"
+            )
+            if self.heartbeat_interval is not None:
+                snapshot["gauges"]["service.heartbeat_interval"] = (
+                    self.heartbeat_interval
+                )
+            buckets: List[Dict[str, object]] = [
+                {"le": edge, "count": self._shard_wall_counts[position]}
+                for position, edge in enumerate(_SHARD_WALL_BUCKETS)
+            ]
+            buckets.append({"le": None, "count": self._shard_wall_counts[-1]})
             return {
                 "service": snapshot,
                 "engine": self._engine_metrics,
+                "shard_wall_seconds": {
+                    "buckets": buckets,
+                    "sum": self._shard_wall_sum,
+                    "count": self._shard_wall_count,
+                },
             }
+
+    def prometheus_text(self) -> str:
+        """The ``/metrics`` body under ``Accept: text/plain``."""
+        return render_prometheus(self.metrics_payload(), self.health_payload())
 
     def health_payload(self) -> Dict[str, object]:
         """The ``GET /healthz`` payload."""
         with self._lock:
+            uptime = None
+            if self._started_monotonic is not None:
+                uptime = time.monotonic() - self._started_monotonic
             return {
                 "status": "ok",
                 "state": "draining" if self._draining else "serving",
                 "sweeps": len(self._sweeps),
                 "workers": self.workers,
+                "version": __version__,
+                "uptime_seconds": uptime,
             }
 
     def submit_payload(self, body: bytes) -> Dict[str, object]:
@@ -714,7 +1072,11 @@ class SweepService:
         payload = load_json(body, "sweep submission")
         cells = cells_from_payload(payload.get("cells"))
         shard_size = payload.get("shard_size")
-        sweep_id = self.submit(cells, shard_size=shard_size)
+        sweep_id = self.submit(
+            cells,
+            shard_size=shard_size,
+            heartbeat_interval=payload.get("heartbeat_interval"),
+        )
         with self._lock:
             sweep = self._sweeps[sweep_id]
             return {
@@ -760,6 +1122,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _respond_text(self, status: int, text: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _error(self, status: int, message: str) -> None:
         self._respond(status, {"error": message})
 
@@ -772,7 +1142,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             if method == "GET" and parts == ["healthz"]:
                 self._respond(200, service.health_payload())
             elif method == "GET" and parts == ["metrics"]:
-                self._respond(200, service.metrics_payload())
+                # Content negotiation: JSON by default, Prometheus text
+                # exposition for scrapers sending Accept: text/plain.
+                accept = self.headers.get("Accept") or ""
+                if "text/plain" in accept:
+                    self._respond_text(200, service.prometheus_text())
+                else:
+                    self._respond(200, service.metrics_payload())
+            elif method == "GET" and parts == ["sweeps"]:
+                self._respond(200, service.list_sweeps())
             elif method == "POST" and parts == ["sweeps"]:
                 length = int(self.headers.get("Content-Length") or 0)
                 body = self.rfile.read(length) if length else b""
@@ -800,6 +1178,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._respond(
                     200, service.cell_outcome_payload(parts[1], cell)
                 )
+            elif (
+                method == "GET"
+                and len(parts) == 3
+                and parts[0] == "sweeps"
+                and parts[2] == "spans"
+            ):
+                self._respond(200, service.spans_payload(parts[1]))
             elif (
                 method == "POST"
                 and len(parts) == 3

@@ -12,7 +12,13 @@ The three halves of the layer (ROADMAP item 3):
 * :mod:`repro.telemetry.metrics` + :mod:`repro.telemetry.progress` — the
   run-metrics registry sampled by every engine and backend, and the
   :class:`ProgressReporter` / ``repro tail`` JSONL stream that surfaces it
-  live.
+  live;
+* :mod:`repro.telemetry.heartbeat` + :mod:`repro.telemetry.spans` — the
+  in-flight half: :class:`HeartbeatEmitter` polled every K rounds from
+  inside the engine loops (surfaced as ``ShardProgress`` events and the
+  service's liveness watchdog), and the sweep → cell → shard → attempt
+  span tree exportable as JSONL or Chrome trace-event JSON
+  (``repro trace export``).
 
 Importing this package is what registers the streaming observer kinds
 (``streaming-*`` and ``spill-trace``) with
@@ -22,6 +28,12 @@ does that import lazily on first sight of an unknown kind, so pure-data
 spawn workers.
 """
 
+from repro.telemetry.heartbeat import (
+    Heartbeat,
+    HeartbeatEmitter,
+    current_heartbeat,
+    use_heartbeat,
+)
 from repro.telemetry.metrics import (
     MetricsRegistry,
     current_metrics,
@@ -43,6 +55,15 @@ from repro.telemetry.reducers import (
     StreamingInvariantSummary,
     StreamingWaveFronts,
 )
+from repro.telemetry.spans import (
+    SPAN_KINDS,
+    Span,
+    SpanRecorder,
+    chrome_trace,
+    load_spans_jsonl,
+    spans_from_records,
+    write_chrome_trace,
+)
 from repro.telemetry.spill import (
     DEFAULT_BYTE_BUDGET,
     SpilledTrace,
@@ -51,9 +72,14 @@ from repro.telemetry.spill import (
 
 __all__ = [
     "DEFAULT_BYTE_BUDGET",
+    "Heartbeat",
+    "HeartbeatEmitter",
     "MetricsRegistry",
     "ProgressReporter",
+    "SPAN_KINDS",
     "STREAMING_KINDS",
+    "Span",
+    "SpanRecorder",
     "SpilledTrace",
     "SpillingTraceRecorder",
     "StreamingBeepTotals",
@@ -62,10 +88,16 @@ __all__ = [
     "StreamingInvariantChecker",
     "StreamingInvariantSummary",
     "StreamingWaveFronts",
+    "chrome_trace",
+    "current_heartbeat",
     "current_metrics",
     "iter_telemetry",
+    "load_spans_jsonl",
     "render_event",
     "sample_engine_run",
+    "spans_from_records",
     "tail_telemetry",
+    "use_heartbeat",
     "use_metrics",
+    "write_chrome_trace",
 ]

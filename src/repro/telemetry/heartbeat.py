@@ -1,0 +1,250 @@
+"""In-flight heartbeats: low-overhead liveness + progress from inside engines.
+
+The telemetry layer (``repro.telemetry.progress``) reports per-cell and
+per-shard events *after* the work finishes.  A million-node cell grinding
+through 20k rounds is a black box until it completes.  This module closes
+the gap with a **heartbeat** hook polled every K rounds from inside the
+engine loops:
+
+* :class:`Heartbeat` — a frozen snapshot of where a run is *right now*
+  (round index, active/converged/leaderless replica counts, cumulative
+  replica-rounds, rounds/sec).  Plain picklable data, safe to ship over
+  a multiprocessing queue or an HTTP event stream.
+* :class:`HeartbeatEmitter` — owns the polling interval and the sink.
+  Engines ask ``emitter.due(round_index)`` (a modulo, nothing more) and
+  call :meth:`HeartbeatEmitter.beat` only on beat rounds, so the
+  per-round cost of an *enabled* heartbeat is one attribute access and
+  one integer modulo; the cost of a *disabled* heartbeat is a single
+  ``is not None`` check per run (the no-op fast path).
+* ``current_heartbeat()`` / ``use_heartbeat(...)`` — the same ambient
+  context-variable pattern as :func:`repro.telemetry.metrics.use_metrics`:
+  execution backends install an emitter around an engine run without
+  threading a parameter through every call site.
+
+Heartbeats are *observability*, not results: they never touch the random
+generator and never alter control flow, so records stay byte-identical
+whether heartbeats are off, every round, or every 10\\ :sup:`6` rounds —
+the parity suite pins this down.  Beats are inherently racy in-flight
+information (a beat can arrive after the cell it describes completed);
+consumers must not order-depend on them.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import time
+from dataclasses import asdict, dataclass, field, replace
+from typing import Callable, Iterator, Optional
+
+__all__ = [
+    "Heartbeat",
+    "HeartbeatEmitter",
+    "HeartbeatSink",
+    "current_heartbeat",
+    "use_heartbeat",
+]
+
+
+@dataclass(frozen=True)
+class Heartbeat:
+    """A point-in-time snapshot of an in-flight engine run.
+
+    ``rounds_advanced`` is cumulative over the emitter's lifetime: an
+    emitter installed around a shard that runs one engine per seed keeps
+    counting across runs, so a consumer watching a shard sees a monotone
+    replica-round counter, not a sawtooth.
+    """
+
+    engine: str
+    round_index: int
+    replicas: int
+    active: int
+    converged: int
+    leaderless: int
+    rounds_advanced: int
+    rounds_per_second: float
+    elapsed_seconds: float
+    timestamp: float = field(default=0.0)
+
+    def to_record(self) -> dict:
+        """Plain-dict form, ready for JSON encoding."""
+
+        return asdict(self)
+
+
+HeartbeatSink = Callable[[Heartbeat], None]
+
+
+class HeartbeatEmitter:
+    """Polls engine progress every ``interval`` rounds and feeds a sink.
+
+    The emitter is intentionally dumb: engines decide *what* the numbers
+    mean (each engine reports its own notion of active/converged
+    replicas), the emitter only decides *when* to sample and derives the
+    rates.  One emitter may outlive many engine runs (the sequential
+    executor runs one engine per seed); cumulative counters fold
+    completed runs into an offset so ``rounds_advanced`` never moves
+    backwards.
+    """
+
+    __slots__ = (
+        "interval",
+        "_sink",
+        "_started",
+        "_last_time",
+        "_last_cumulative",
+        "_offset",
+        "_last_run_rounds",
+        "_last_beat",
+        "beats_emitted",
+    )
+
+    def __init__(self, interval: int, sink: HeartbeatSink) -> None:
+        if int(interval) < 1:
+            raise ValueError(
+                f"heartbeat interval must be a positive integer, got {interval!r}"
+            )
+        self.interval = int(interval)
+        self._sink = sink
+        self._started = time.perf_counter()
+        self._last_time = self._started
+        self._last_cumulative = 0
+        self._offset = 0
+        self._last_run_rounds = 0
+        self._last_beat: Optional[Heartbeat] = None
+        self.beats_emitted = 0
+
+    # -- hot path -------------------------------------------------------
+
+    def due(self, round_index: int) -> bool:
+        """True when ``round_index`` is a beat round.  One modulo, no state."""
+
+        return round_index % self.interval == 0
+
+    # -- beat construction ---------------------------------------------
+
+    def beat(
+        self,
+        *,
+        engine: str,
+        round_index: int,
+        replicas: int,
+        active: int,
+        converged: int,
+        leaderless: int,
+        rounds_advanced: int,
+    ) -> Heartbeat:
+        """Record a beat and feed it to the sink.
+
+        ``rounds_advanced`` is run-local (replica-rounds advanced by the
+        *current* engine run); the emitter folds finished runs into an
+        offset so the emitted counter is cumulative.
+        """
+
+        if rounds_advanced < self._last_run_rounds:
+            # A new engine run started under the same emitter: bank the
+            # previous run's total before the counter resets.
+            self._offset += self._last_run_rounds
+        self._last_run_rounds = rounds_advanced
+        cumulative = self._offset + rounds_advanced
+
+        now = time.perf_counter()
+        window = now - self._last_time
+        if window > 0.0:
+            rate = (cumulative - self._last_cumulative) / window
+        else:  # pragma: no cover - perf_counter is monotonic
+            rate = 0.0
+        self._last_time = now
+        self._last_cumulative = cumulative
+
+        heartbeat = Heartbeat(
+            engine=engine,
+            round_index=int(round_index),
+            replicas=int(replicas),
+            active=int(active),
+            converged=int(converged),
+            leaderless=int(leaderless),
+            rounds_advanced=int(cumulative),
+            rounds_per_second=float(rate),
+            elapsed_seconds=now - self._started,
+            timestamp=time.time(),
+        )
+        self._last_beat = heartbeat
+        self.beats_emitted += 1
+        self._sink(heartbeat)
+        return heartbeat
+
+    def pulse(self, engine: str = "external") -> Heartbeat:
+        """Emit a liveness-only beat without round progress.
+
+        Used by code that is alive but not advancing rounds (e.g. a
+        fault injector simulating a slow-but-healthy shard): the beat
+        re-states the last known counters with a fresh timestamp so a
+        liveness watchdog sees the shard is not silent.
+        """
+
+        now = time.perf_counter()
+        base = self._last_beat
+        if base is None:
+            heartbeat = Heartbeat(
+                engine=engine,
+                round_index=0,
+                replicas=0,
+                active=0,
+                converged=0,
+                leaderless=0,
+                rounds_advanced=self._offset + self._last_run_rounds,
+                rounds_per_second=0.0,
+                elapsed_seconds=now - self._started,
+                timestamp=time.time(),
+            )
+        else:
+            heartbeat = replace(
+                base,
+                rounds_per_second=0.0,
+                elapsed_seconds=now - self._started,
+                timestamp=time.time(),
+            )
+        self._last_time = now
+        self._last_beat = heartbeat
+        self.beats_emitted += 1
+        self._sink(heartbeat)
+        return heartbeat
+
+    @property
+    def last_beat(self) -> Optional[Heartbeat]:
+        return self._last_beat
+
+
+# -- ambient emitter ----------------------------------------------------
+#
+# Mirrors repro.telemetry.metrics: engines look the emitter up once per
+# run via ``current_heartbeat()``; backends install one around each
+# shard execution with ``use_heartbeat``.  The default is None so code
+# that never installs an emitter pays one is-not-None check per run.
+
+_CURRENT: "contextvars.ContextVar[Optional[HeartbeatEmitter]]" = contextvars.ContextVar(
+    "repro_heartbeat_emitter", default=None
+)
+
+
+def current_heartbeat() -> Optional[HeartbeatEmitter]:
+    """The ambient heartbeat emitter, or None when heartbeats are off."""
+
+    return _CURRENT.get()
+
+
+@contextlib.contextmanager
+def use_heartbeat(emitter: Optional[HeartbeatEmitter]) -> Iterator[Optional[HeartbeatEmitter]]:
+    """Install ``emitter`` as the ambient heartbeat for the duration.
+
+    Passing ``None`` explicitly shadows any outer emitter (used by the
+    no-op fast path to guarantee a nested run stays silent).
+    """
+
+    token = _CURRENT.set(emitter)
+    try:
+        yield emitter
+    finally:
+        _CURRENT.reset(token)

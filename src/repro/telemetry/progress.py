@@ -19,10 +19,18 @@ The JSONL schema is deliberately flat: ``{"event": "cell", ...}`` records
 per completed cell (protocol, graph, mean rounds, wall seconds, rounds
 advanced, sampled metrics), ``{"event": "shard", ...}`` sub-progress
 records per finished seed-list shard when a backend shards cells
-(``--shard-size``), and one ``{"event": "summary", ...}`` record when the
-reporter closes.  Shard records are informational sub-progress: the
-summary's cell/wall totals count merged cells only, so a sharded sweep
+(``--shard-size``), ``{"event": "progress", ...}`` in-flight heartbeat
+records when a backend streams them (``--heartbeat``), and one
+``{"event": "summary", ...}`` record when the reporter closes.  Shard and
+progress records are informational sub-progress: the summary's cell/wall
+totals count merged cells only, so a sharded (or heartbeating) sweep
 reports the same totals as an unsharded one.
+
+Given a ``spans_path`` the reporter additionally reconstructs the
+sweep → cell → shard → attempt span tree from the completed events it
+sees (starts are derived from each event's wall time; local backends run
+exactly one attempt per shard) and writes it as span-JSONL on close —
+the file ``repro trace export`` turns into Chrome trace-event JSON.
 """
 
 from __future__ import annotations
@@ -31,7 +39,9 @@ import json
 import logging
 import sys
 import time
-from typing import IO, Dict, Iterator, Optional
+from typing import IO, Dict, Iterator, Optional, Set
+
+from repro.telemetry.spans import SpanRecorder
 
 __all__ = [
     "ProgressReporter",
@@ -57,6 +67,9 @@ class ProgressReporter:
         Append JSONL telemetry records to this file while the sweep runs.
     prefix:
         Prepended to every progress line (the CLI uses ``"  "``).
+    spans_path:
+        Write the reconstructed span tree (JSONL, one span per line) to
+        this file when the reporter closes.
     """
 
     def __init__(
@@ -65,6 +78,7 @@ class ProgressReporter:
         stream: Optional[IO[str]] = None,
         telemetry_path: Optional[str] = None,
         prefix: str = "",
+        spans_path: Optional[str] = None,
     ) -> None:
         self.quiet = quiet
         self.prefix = prefix
@@ -72,6 +86,14 @@ class ProgressReporter:
         self._telemetry_file: Optional[IO[str]] = None
         if telemetry_path is not None:
             self._telemetry_file = open(telemetry_path, "a", encoding="utf-8")
+        self.spans_path = spans_path
+        self._spans: Optional[SpanRecorder] = None
+        self._sweep_span_id: Optional[str] = None
+        self._cell_span_ids: Dict[int, str] = {}
+        self._sharded_cells: Set[int] = set()
+        if spans_path is not None:
+            self._spans = SpanRecorder()
+            self._sweep_span_id = self._spans.begin("sweep", "sweep")
         self._cells = 0
         self._wall_seconds = 0.0
         self._rounds_advanced = 0
@@ -107,6 +129,94 @@ class ProgressReporter:
         self._telemetry_file.write("\n")
         self._telemetry_file.flush()
 
+    def _cell_span(self, event: object, start: float) -> Optional[str]:
+        """Get or lazily open the cell span for an event's cell index."""
+        if self._spans is None:
+            return None
+        index = int(event.index)  # type: ignore[attr-defined]
+        span_id = self._cell_span_ids.get(index)
+        if span_id is None:
+            span_id = self._spans.begin(
+                "cell",
+                f"cell {index}: {event.cell.protocol.label} on "  # type: ignore[attr-defined]
+                f"{event.cell.graph.label}",  # type: ignore[attr-defined]
+                parent_id=self._sweep_span_id,
+                start=start,
+                attrs={
+                    "cell": index,
+                    "protocol": event.cell.protocol.label,  # type: ignore[attr-defined]
+                    "graph": event.cell.graph.label,  # type: ignore[attr-defined]
+                },
+            )
+            self._cell_span_ids[index] = span_id
+        return span_id
+
+    def _record_shard_span(
+        self,
+        event: object,
+        shard_index: int,
+        shard_count: Optional[int],
+        start: float,
+        end: float,
+    ) -> None:
+        """One shard span plus its single attempt child (local backends
+        never retry, so the attempt covers the whole shard interval)."""
+        if self._spans is None:
+            return
+        index = int(event.index)  # type: ignore[attr-defined]
+        cell_span = self._cell_span(event, start)
+        attrs = {
+            "cell": index,
+            "shard": shard_index,
+            "shards": shard_count,
+            "replicas": len(event.cell.seeds),  # type: ignore[attr-defined]
+        }
+        shard_span = self._spans.record(
+            "shard",
+            f"cell {index} shard {shard_index}",
+            start=start,
+            end=end,
+            parent_id=cell_span,
+            attrs=attrs,
+        )
+        self._spans.record(
+            "attempt",
+            f"cell {index} shard {shard_index} attempt 0",
+            start=start,
+            end=end,
+            parent_id=shard_span,
+            attrs={"cell": index, "shard": shard_index, "attempt": 0},
+        )
+
+    def shard_progress(self, event: object) -> None:
+        """Record one in-flight ``ShardProgress`` heartbeat into the stream.
+
+        Progress records are pure observability: they carry the engine's
+        latest heartbeat and never count towards the summary totals.
+        """
+        beat = event.heartbeat  # type: ignore[attr-defined]
+        self.emit(
+            {
+                "event": "progress",
+                "index": event.index,  # type: ignore[attr-defined]
+                "total": event.total,  # type: ignore[attr-defined]
+                "shard": getattr(event, "shard_index", None),
+                "shards": getattr(event, "shard_count", None),
+                "attempt": getattr(event, "attempt", 0),
+                "backend": event.backend,  # type: ignore[attr-defined]
+                "protocol": event.cell.protocol.label,  # type: ignore[attr-defined]
+                "graph": event.cell.graph.label,  # type: ignore[attr-defined]
+                "replicas": len(event.cell.seeds),  # type: ignore[attr-defined]
+                "engine": beat.engine,
+                "round": beat.round_index,
+                "active": beat.active,
+                "converged": beat.converged,
+                "leaderless": beat.leaderless,
+                "rounds_advanced": beat.rounds_advanced,
+                "rounds_per_second": beat.rounds_per_second,
+            }
+        )
+
     def cell_completed(self, event: object, mean_rounds: Optional[float] = None) -> None:
         """Record one backend ``CellCompleted`` event into the stream.
 
@@ -119,6 +229,15 @@ class ProgressReporter:
         outcome = event.outcome  # type: ignore[attr-defined]
         shard_index = getattr(event, "shard_index", None)
         if shard_index is not None:
+            now = time.time()
+            self._sharded_cells.add(int(event.index))  # type: ignore[attr-defined]
+            self._record_shard_span(
+                event,
+                int(shard_index),
+                getattr(event, "shard_count", None),
+                now - float(wall_seconds or 0.0),
+                now,
+            )
             self.emit(
                 {
                     "event": "shard",
@@ -140,6 +259,23 @@ class ProgressReporter:
             self._wall_seconds += wall_seconds
         if rounds_advanced is not None:
             self._rounds_advanced += rounds_advanced
+        if self._spans is not None:
+            now = time.time()
+            start = now - float(wall_seconds or 0.0)
+            index = int(event.index)  # type: ignore[attr-defined]
+            if index not in self._sharded_cells:
+                # Unsharded cells still get one shard/attempt pair so the
+                # tree shape is uniform for consumers.
+                self._record_shard_span(event, 0, 1, start, now)
+            self._spans.finish(
+                self._cell_span(event, start),
+                end=now,
+                attrs={
+                    "wall_seconds": wall_seconds,
+                    "rounds_advanced": rounds_advanced,
+                    "replicas": len(event.cell.seeds),  # type: ignore[attr-defined]
+                },
+            )
         self.emit(
             {
                 "event": "cell",
@@ -160,6 +296,19 @@ class ProgressReporter:
 
     def close(self) -> None:
         """Write the summary record and release the stream and handlers."""
+        if self._spans is not None:
+            if self._sweep_span_id is not None:
+                self._spans.finish(
+                    self._sweep_span_id,
+                    attrs={
+                        "cells": self._cells,
+                        "wall_seconds": self._wall_seconds,
+                        "rounds_advanced": self._rounds_advanced,
+                    },
+                )
+            if self.spans_path is not None:
+                self._spans.write_jsonl(self.spans_path)
+            self._spans = None
         if self._telemetry_file is not None:
             self.emit(
                 {
@@ -244,6 +393,34 @@ def render_event(record: Dict[str, object]) -> str:
         wall_seconds = record.get("wall_seconds")
         if wall_seconds is not None:
             parts.append(f"in {float(wall_seconds):.3f}s")  # type: ignore[arg-type]
+        return " ".join(parts)
+    if event == "progress":
+        index = record.get("index")
+        position = "?" if index is None else str(int(index) + 1)  # type: ignore[arg-type]
+        parts = [f"[{position}/{record.get('total', '?')}]"]
+        shard = record.get("shard")
+        if shard is not None:
+            parts.append(
+                f"shard {int(shard) + 1}/{record.get('shards', '?')}"  # type: ignore[arg-type]
+            )
+        attempt = record.get("attempt")
+        if attempt:
+            parts.append(f"attempt {attempt}")
+        parts.extend(
+            [
+                f"{record.get('protocol', '?')}",
+                "on",
+                f"{record.get('graph', '?')}",
+                f"round {record.get('round', '?')}",
+            ]
+        )
+        active = record.get("active")
+        replicas = record.get("replicas")
+        if active is not None and replicas is not None:
+            parts.append(f"active {active}/{replicas}")
+        rate = record.get("rounds_per_second")
+        if rate:
+            parts.append(f"({float(rate):,.0f} replica-rounds/s)")  # type: ignore[arg-type]
         return " ".join(parts)
     if event == "summary":
         return (

@@ -1,0 +1,268 @@
+"""Structured span trees for sweeps: sweep → cell → shard → attempt.
+
+A *span* is a named interval with an id, a parent, a kind, start/end
+timestamps (epoch seconds) and free-form attributes.  The service and
+the local progress reporter record one span tree per sweep:
+
+* ``sweep`` — the whole submission,
+* ``cell`` — one :class:`~repro.exec.ExecutionCell`,
+* ``shard`` — one seed-range shard of a cell,
+* ``attempt`` — one execution attempt of a shard.  Retried attempts
+  link back to the attempt they supersede via the ``retry_of`` attr.
+
+Spans export two ways:
+
+* **JSONL** (one span per line) — the native on-disk form, written by
+  :meth:`SpanRecorder.write_jsonl` and read back by
+  :func:`load_spans_jsonl`.
+* **Chrome trace-event JSON** — :func:`chrome_trace` emits the
+  ``{"traceEvents": [...]}`` document understood by Perfetto
+  (https://ui.perfetto.dev) and ``chrome://tracing``: complete events
+  (``"ph": "X"``) with microsecond ``ts``/``dur``, one track (``tid``)
+  per cell so shards and attempts nest visually under their cell.
+
+The recorder is thread-safe (the service records spans from worker and
+watchdog threads concurrently) and append-only; span ids are opaque
+hex strings unique within a process.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "Span",
+    "SpanRecorder",
+    "SPAN_KINDS",
+    "chrome_trace",
+    "load_spans_jsonl",
+    "spans_from_records",
+    "write_chrome_trace",
+]
+
+SPAN_KINDS = ("sweep", "cell", "shard", "attempt")
+
+_ids = itertools.count(1)
+
+
+def _new_span_id() -> str:
+    # Monotone counter + pid keeps ids unique within a process and
+    # stable enough across a service's worker threads; uuid would work
+    # too but makes test output noisy.
+    return f"{os.getpid():x}-{next(_ids):06x}"
+
+
+@dataclass
+class Span:
+    """One node of the span tree."""
+
+    span_id: str
+    parent_id: Optional[str]
+    kind: str
+    name: str
+    start: float
+    end: Optional[float] = None
+    attrs: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        if self.end is None:
+            return 0.0
+        return max(0.0, self.end - self.start)
+
+    def to_record(self) -> dict:
+        return {
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "kind": self.kind,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_record(cls, record: dict) -> "Span":
+        return cls(
+            span_id=str(record["span_id"]),
+            parent_id=record.get("parent_id"),
+            kind=str(record["kind"]),
+            name=str(record["name"]),
+            start=float(record["start"]),
+            end=None if record.get("end") is None else float(record["end"]),
+            attrs=dict(record.get("attrs") or {}),
+        )
+
+
+class SpanRecorder:
+    """Thread-safe append-only span store.
+
+    ``begin``/``finish`` bracket live work; ``record`` adds a span whose
+    interval is already known (the local progress reporter reconstructs
+    cell spans from completed events).  ``finish`` on an unknown or
+    already-finished span is a no-op so racy double-finishes (worker vs
+    watchdog) stay harmless.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: Dict[str, Span] = {}
+        self._order: List[str] = []
+
+    def begin(
+        self,
+        kind: str,
+        name: str,
+        *,
+        parent_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+        start: Optional[float] = None,
+    ) -> str:
+        if kind not in SPAN_KINDS:
+            raise ValueError(f"unknown span kind {kind!r}; expected one of {SPAN_KINDS}")
+        span = Span(
+            span_id=_new_span_id(),
+            parent_id=parent_id,
+            kind=kind,
+            name=name,
+            start=time.time() if start is None else float(start),
+            attrs=dict(attrs or {}),
+        )
+        with self._lock:
+            self._spans[span.span_id] = span
+            self._order.append(span.span_id)
+        return span.span_id
+
+    def finish(
+        self,
+        span_id: str,
+        *,
+        end: Optional[float] = None,
+        attrs: Optional[dict] = None,
+    ) -> None:
+        with self._lock:
+            span = self._spans.get(span_id)
+            if span is None or span.end is not None:
+                return
+            span.end = time.time() if end is None else float(end)
+            if attrs:
+                span.attrs.update(attrs)
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        *,
+        start: float,
+        end: float,
+        parent_id: Optional[str] = None,
+        attrs: Optional[dict] = None,
+    ) -> str:
+        span_id = self.begin(kind, name, parent_id=parent_id, attrs=attrs, start=start)
+        self.finish(span_id, end=end)
+        return span_id
+
+    def annotate(self, span_id: str, **attrs: object) -> None:
+        with self._lock:
+            span = self._spans.get(span_id)
+            if span is not None:
+                span.attrs.update(attrs)
+
+    def spans(self) -> List[Span]:
+        """A snapshot copy, in creation order."""
+
+        with self._lock:
+            return [
+                Span(
+                    span_id=span.span_id,
+                    parent_id=span.parent_id,
+                    kind=span.kind,
+                    name=span.name,
+                    start=span.start,
+                    end=span.end,
+                    attrs=dict(span.attrs),
+                )
+                for span in (self._spans[span_id] for span_id in self._order)
+            ]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._order)
+
+    def write_jsonl(self, path: str) -> None:
+        spans = self.spans()
+        with open(path, "w", encoding="utf-8") as handle:
+            for span in spans:
+                json.dump(span.to_record(), handle, default=str)
+                handle.write("\n")
+
+
+def load_spans_jsonl(path: str) -> List[Span]:
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_record(json.loads(line)))
+    return spans
+
+
+def spans_from_records(records: Iterable[dict]) -> List[Span]:
+    """Decode spans shipped as plain dicts (e.g. from the service API)."""
+
+    return [Span.from_record(record) for record in records]
+
+
+def _trace_tid(span: Span) -> int:
+    # One Perfetto track per cell: the sweep span sits on track 0, every
+    # cell/shard/attempt span on track cell_index + 1 so nested work
+    # lines up visually under its cell.
+    if span.kind == "sweep":
+        return 0
+    cell = span.attrs.get("cell")
+    try:
+        return int(cell) + 1  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return 1
+
+
+def chrome_trace(spans: Sequence[Span], *, pid: int = 1) -> dict:
+    """Render spans as a Chrome trace-event JSON document.
+
+    Only finished spans become complete events (``"ph": "X"``);
+    unfinished spans are rendered with zero duration so an exported
+    trace of a still-running sweep still loads.
+    """
+
+    events = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args: Dict[str, object] = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.kind,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": max(0.0, end - span.start) * 1e6,
+                "pid": pid,
+                "tid": _trace_tid(span),
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str, *, pid: int = 1) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(spans, pid=pid), handle, indent=2, default=str)
+        handle.write("\n")

@@ -1,0 +1,142 @@
+"""CLI verbs for live observability: --heartbeat, --spans, top, trace export.
+
+The acceptance-level check lives here: ``repro trace export`` must emit
+valid Chrome trace-event JSON (schema-verified) from both a local
+span-JSONL file and a service sweep id.
+"""
+
+import json
+import re
+
+from repro.cli import main
+from repro.service import ServiceClient
+from repro.telemetry.spans import SPAN_KINDS
+
+from tests.service.conftest import make_cell
+
+
+def _assert_chrome_trace_schema(path):
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    events = document["traceEvents"]
+    assert events
+    for event in events:
+        assert set(event) == {
+            "name", "cat", "ph", "ts", "dur", "pid", "tid", "args"
+        }
+        assert event["ph"] == "X"
+        assert event["cat"] in SPAN_KINDS
+        assert event["dur"] >= 0.0
+        assert event["args"]["span_id"]
+    return events
+
+
+# --------------------------------------------------------------------------- #
+# Local sweeps: --heartbeat and --spans end to end
+# --------------------------------------------------------------------------- #
+
+
+def _dynamic_args(*extra):
+    return [
+        "dynamic", "--sizes", "16", "--churn-rates", "0", "1",
+        "--seeds", "3", "--quiet", *extra,
+    ]
+
+
+def test_heartbeat_and_spans_flags_flow_through_a_local_sweep(tmp_path, capsys):
+    telemetry = tmp_path / "telemetry.jsonl"
+    spans = tmp_path / "spans.jsonl"
+    assert main(_dynamic_args(
+        "--heartbeat", "1",
+        "--telemetry", str(telemetry), "--spans", str(spans),
+    )) == 0
+    capsys.readouterr()
+    records = [
+        json.loads(line)
+        for line in telemetry.read_text(encoding="utf-8").splitlines()
+    ]
+    kinds = [record["event"] for record in records]
+    assert "progress" in kinds
+    assert kinds.index("progress") < kinds.index("summary")
+    progress = next(r for r in records if r["event"] == "progress")
+    assert progress["engine"]
+    assert progress["round"] >= 0
+
+    # The spans file exports to a schema-valid Chrome trace.
+    out = tmp_path / "sweep.trace.json"
+    assert main(["trace", "export", str(spans), "--out", str(out)]) == 0
+    assert "wrote" in capsys.readouterr().out
+    events = _assert_chrome_trace_schema(out)
+    assert sorted({event["cat"] for event in events}) == sorted(SPAN_KINDS)
+
+
+def test_heartbeat_zero_means_off(tmp_path):
+    telemetry = tmp_path / "telemetry.jsonl"
+    assert main(_dynamic_args(
+        "--heartbeat", "0", "--telemetry", str(telemetry),
+    )) == 0
+    kinds = [
+        json.loads(line)["event"]
+        for line in telemetry.read_text(encoding="utf-8").splitlines()
+    ]
+    assert "progress" not in kinds
+
+
+def test_trace_export_default_output_path(tmp_path, capsys, monkeypatch):
+    spans = tmp_path / "sweep.spans.jsonl"
+    assert main(_dynamic_args("--spans", str(spans))) == 0
+    capsys.readouterr()
+    assert main(["trace", "export", str(spans)]) == 0
+    expected = tmp_path / "sweep.spans.trace.json"
+    assert expected.exists()
+    assert str(expected) in capsys.readouterr().out
+
+
+def test_trace_export_missing_file_is_an_error(tmp_path, capsys):
+    assert main(["trace", "export", str(tmp_path / "nope.jsonl")]) == 1
+    assert "no span file" in capsys.readouterr().err
+
+
+def test_trace_export_empty_file_is_an_error(tmp_path, capsys):
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("", encoding="utf-8")
+    assert main(["trace", "export", str(empty)]) == 1
+    assert "no spans" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# Service-side: trace export --url and repro top
+# --------------------------------------------------------------------------- #
+
+
+def test_trace_export_from_a_service_sweep(service, tmp_path, capsys):
+    client = ServiceClient(service.url)
+    sweep_id = str(client.submit([make_cell()])["id"])
+    client.events(sweep_id, timeout=15.0)
+    out = tmp_path / "service.trace.json"
+    assert main([
+        "trace", "export", sweep_id, "--url", service.url, "--out", str(out),
+    ]) == 0
+    events = _assert_chrome_trace_schema(out)
+    assert sorted({event["cat"] for event in events}) == sorted(SPAN_KINDS)
+
+
+def test_trace_export_unknown_sweep_is_an_error(service, capsys):
+    assert main(["trace", "export", "deadbeef", "--url", service.url]) == 1
+    assert "404" in capsys.readouterr().err
+
+
+def test_top_once_renders_a_frame(service, capsys):
+    client = ServiceClient(service.url)
+    sweep_id = str(client.submit([make_cell()])["id"])
+    client.events(sweep_id, timeout=15.0)
+    assert main(["top", "--url", service.url, "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert re.search(r"workers \d", out)
+    assert sweep_id in out
+
+
+def test_top_unreachable_service_is_an_error(capsys):
+    assert main(["top", "--url", "http://127.0.0.1:1", "--once"]) == 1
+    assert capsys.readouterr().err

@@ -35,6 +35,22 @@ def test_from_spec_parses_crash_and_hang():
     injector.on_attempt("sweep", 5, 5, 0)
 
 
+def test_from_spec_parses_liveness_hang_flavours():
+    # `hang-silent` is an explicit alias of the original `hang`;
+    # `hang-beating` is the slow-but-healthy variant the liveness
+    # watchdog must leave alone.  Parsing both must round-trip.
+    assert ServiceFaultInjector.from_spec("hang-silent:0:0:0.5") is not None
+    assert ServiceFaultInjector.from_spec("hang-beating:0:0:0.5:2") is not None
+
+
+@pytest.mark.parametrize("spec", ["hang-beating:0:0", "hang-silent:0:0:slow"])
+def test_malformed_liveness_directives_list_all_grammars(spec):
+    with pytest.raises(ConfigurationError) as excinfo:
+        ServiceFaultInjector.from_spec(spec)
+    message = str(excinfo.value)
+    assert "hang-beating" in message and "hang-silent" in message
+
+
 def test_from_spec_blank_is_none():
     assert ServiceFaultInjector.from_spec(None) is None
     assert ServiceFaultInjector.from_spec("   ") is None

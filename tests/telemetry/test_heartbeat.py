@@ -1,0 +1,186 @@
+"""Unit tests for the in-flight heartbeat emitter and its ambient context.
+
+The heartbeat contract the engines and backends rely on: ``due`` is a pure
+modulo, ``rounds_advanced`` is cumulative and monotone across engine runs
+under one emitter, ``pulse`` restates the last beat with a fresh timestamp
+(the liveness primitive), and ``use_heartbeat(None)`` explicitly silences
+nested runs.
+"""
+
+import pytest
+
+from repro.telemetry.heartbeat import (
+    Heartbeat,
+    HeartbeatEmitter,
+    current_heartbeat,
+    use_heartbeat,
+)
+
+
+def _beat(emitter, round_index=0, rounds_advanced=0, **overrides):
+    kwargs = dict(
+        engine="test",
+        round_index=round_index,
+        replicas=4,
+        active=3,
+        converged=1,
+        leaderless=0,
+        rounds_advanced=rounds_advanced,
+    )
+    kwargs.update(overrides)
+    return emitter.beat(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Construction and the due() hot path
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("interval", [0, -1, -100])
+def test_nonpositive_interval_is_rejected(interval):
+    with pytest.raises(ValueError) as excinfo:
+        HeartbeatEmitter(interval, lambda beat: None)
+    assert "positive" in str(excinfo.value)
+
+
+def test_interval_is_coerced_to_int():
+    emitter = HeartbeatEmitter(7.0, lambda beat: None)
+    assert emitter.interval == 7
+
+
+def test_due_is_a_modulo():
+    emitter = HeartbeatEmitter(5, lambda beat: None)
+    assert [emitter.due(r) for r in range(11)] == [
+        True, False, False, False, False,
+        True, False, False, False, False,
+        True,
+    ]
+    assert HeartbeatEmitter(1, lambda beat: None).due(123) is True
+
+
+# --------------------------------------------------------------------------- #
+# beat(): snapshots, sink delivery, cumulative counters
+# --------------------------------------------------------------------------- #
+
+
+def test_beat_feeds_the_sink_and_snapshots_fields():
+    seen = []
+    emitter = HeartbeatEmitter(3, seen.append)
+    beat = _beat(emitter, round_index=9, rounds_advanced=36)
+    assert seen == [beat]
+    assert beat.engine == "test"
+    assert beat.round_index == 9
+    assert beat.replicas == 4
+    assert beat.active == 3
+    assert beat.converged == 1
+    assert beat.leaderless == 0
+    assert beat.rounds_advanced == 36
+    assert beat.elapsed_seconds >= 0.0
+    assert beat.timestamp > 0.0
+    assert emitter.beats_emitted == 1
+    assert emitter.last_beat is beat
+
+
+def test_rounds_advanced_is_monotone_across_engine_runs():
+    # One emitter outliving several engine runs (the sequential executor
+    # runs one engine per seed): when the run-local counter resets, the
+    # finished run's total is banked into an offset.
+    emitter = HeartbeatEmitter(1, lambda beat: None)
+    assert _beat(emitter, rounds_advanced=10).rounds_advanced == 10
+    assert _beat(emitter, rounds_advanced=25).rounds_advanced == 25
+    # New run: the counter restarts below the previous value.
+    assert _beat(emitter, rounds_advanced=4).rounds_advanced == 29
+    assert _beat(emitter, rounds_advanced=8).rounds_advanced == 33
+    # And a third run keeps accumulating (25 + 8 banked, plus 2 live).
+    assert _beat(emitter, rounds_advanced=2).rounds_advanced == 35
+
+
+def test_rate_is_derived_from_the_cumulative_counter():
+    emitter = HeartbeatEmitter(1, lambda beat: None)
+    _beat(emitter, rounds_advanced=100)
+    beat = _beat(emitter, rounds_advanced=300)
+    # perf_counter moved forward between beats, so the rate is finite and
+    # positive (200 replica-rounds over a tiny window).
+    assert beat.rounds_per_second > 0.0
+
+
+def test_to_record_is_json_ready():
+    emitter = HeartbeatEmitter(2, lambda beat: None)
+    record = _beat(emitter, round_index=4, rounds_advanced=16).to_record()
+    assert record["engine"] == "test"
+    assert record["round_index"] == 4
+    assert record["rounds_advanced"] == 16
+    assert set(record) == {
+        "engine", "round_index", "replicas", "active", "converged",
+        "leaderless", "rounds_advanced", "rounds_per_second",
+        "elapsed_seconds", "timestamp",
+    }
+
+
+# --------------------------------------------------------------------------- #
+# pulse(): the liveness-only beat
+# --------------------------------------------------------------------------- #
+
+
+def test_pulse_before_any_beat_emits_zero_counters():
+    seen = []
+    emitter = HeartbeatEmitter(1, seen.append)
+    pulse = emitter.pulse(engine="fault-injector")
+    assert pulse.engine == "fault-injector"
+    assert pulse.round_index == 0
+    assert pulse.rounds_advanced == 0
+    assert pulse.rounds_per_second == 0.0
+    assert seen == [pulse]
+    assert emitter.beats_emitted == 1
+
+
+def test_pulse_restates_the_last_beat_with_fresh_timestamp():
+    emitter = HeartbeatEmitter(1, lambda beat: None)
+    beat = _beat(emitter, round_index=50, rounds_advanced=200)
+    pulse = emitter.pulse()
+    # Counters are restated, progress rate is explicitly zero (alive but
+    # not advancing), and the timestamp is at least as fresh.
+    assert pulse.engine == beat.engine
+    assert pulse.round_index == beat.round_index
+    assert pulse.rounds_advanced == beat.rounds_advanced
+    assert pulse.rounds_per_second == 0.0
+    assert pulse.timestamp >= beat.timestamp
+    assert pulse.elapsed_seconds >= beat.elapsed_seconds
+    assert emitter.beats_emitted == 2
+
+
+# --------------------------------------------------------------------------- #
+# Ambient context: current_heartbeat / use_heartbeat
+# --------------------------------------------------------------------------- #
+
+
+def test_ambient_default_is_none():
+    assert current_heartbeat() is None
+
+
+def test_use_heartbeat_installs_and_restores():
+    emitter = HeartbeatEmitter(1, lambda beat: None)
+    with use_heartbeat(emitter) as installed:
+        assert installed is emitter
+        assert current_heartbeat() is emitter
+    assert current_heartbeat() is None
+
+
+def test_use_heartbeat_none_shadows_an_outer_emitter():
+    # The no-op fast path installs None explicitly so a nested run stays
+    # silent even inside an emitting scope.
+    outer = HeartbeatEmitter(1, lambda beat: None)
+    with use_heartbeat(outer):
+        with use_heartbeat(None):
+            assert current_heartbeat() is None
+        assert current_heartbeat() is outer
+
+
+def test_heartbeat_is_frozen():
+    beat = Heartbeat(
+        engine="x", round_index=0, replicas=1, active=1, converged=0,
+        leaderless=0, rounds_advanced=0, rounds_per_second=0.0,
+        elapsed_seconds=0.0,
+    )
+    with pytest.raises(AttributeError):
+        beat.round_index = 5

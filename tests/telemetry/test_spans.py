@@ -1,0 +1,188 @@
+"""Unit tests for the span recorder and its two export formats.
+
+The acceptance-level property pinned here: ``chrome_trace`` emits the
+Chrome trace-event JSON document Perfetto loads — complete events
+(``"ph": "X"``) with microsecond ``ts``/``dur``, one track per cell.
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry.spans import (
+    SPAN_KINDS,
+    Span,
+    SpanRecorder,
+    chrome_trace,
+    load_spans_jsonl,
+    spans_from_records,
+    write_chrome_trace,
+)
+
+
+def _tree(recorder=None):
+    """A finished sweep → cell → shard → attempt tree with known times."""
+    recorder = recorder or SpanRecorder()
+    sweep = recorder.begin("sweep", "sweep s1", start=100.0, attrs={"cells": 1})
+    cell = recorder.begin(
+        "cell", "cell 0", parent_id=sweep, start=100.5, attrs={"cell": 0}
+    )
+    shard = recorder.begin(
+        "shard", "cell 0 shard 0", parent_id=cell, start=101.0,
+        attrs={"cell": 0, "shard": 0},
+    )
+    attempt = recorder.begin(
+        "attempt", "cell 0 shard 0 attempt 0", parent_id=shard, start=101.0,
+        attrs={"cell": 0, "shard": 0, "attempt": 0},
+    )
+    recorder.finish(attempt, end=102.0, attrs={"outcome": "done"})
+    recorder.finish(shard, end=102.0)
+    recorder.finish(cell, end=102.5)
+    recorder.finish(sweep, end=103.0)
+    return recorder
+
+
+# --------------------------------------------------------------------------- #
+# Recorder lifecycle
+# --------------------------------------------------------------------------- #
+
+
+def test_begin_finish_builds_a_linked_tree():
+    recorder = _tree()
+    spans = recorder.spans()
+    assert len(recorder) == 4
+    assert [span.kind for span in spans] == list(SPAN_KINDS)
+    by_id = {span.span_id: span for span in spans}
+    for span in spans:
+        if span.kind == "sweep":
+            assert span.parent_id is None
+        else:
+            assert span.parent_id in by_id
+    attempt = spans[-1]
+    assert attempt.attrs["outcome"] == "done"  # finish() merged attrs
+    assert attempt.duration == pytest.approx(1.0)
+
+
+def test_unknown_kind_is_rejected():
+    with pytest.raises(ValueError) as excinfo:
+        SpanRecorder().begin("phase", "nope")
+    assert "phase" in str(excinfo.value)
+    for kind in SPAN_KINDS:
+        assert kind in str(excinfo.value)
+
+
+def test_finish_is_idempotent_and_tolerates_unknown_ids():
+    recorder = SpanRecorder()
+    span_id = recorder.begin("sweep", "s", start=10.0)
+    recorder.finish(span_id, end=11.0)
+    # A racy double-finish (worker vs watchdog) keeps the first end.
+    recorder.finish(span_id, end=99.0, attrs={"late": True})
+    (span,) = recorder.spans()
+    assert span.end == 11.0
+    assert "late" not in span.attrs
+    recorder.finish("no-such-span")  # no-op, no raise
+
+
+def test_record_is_begin_plus_finish():
+    recorder = SpanRecorder()
+    span_id = recorder.record("cell", "c", start=5.0, end=7.5, attrs={"cell": 2})
+    (span,) = recorder.spans()
+    assert span.span_id == span_id
+    assert (span.start, span.end) == (5.0, 7.5)
+    assert span.duration == pytest.approx(2.5)
+
+
+def test_annotate_merges_attrs():
+    recorder = SpanRecorder()
+    span_id = recorder.begin("shard", "s", start=0.0, attrs={"cell": 0})
+    recorder.annotate(span_id, retries=2)
+    recorder.annotate("unknown", retries=9)  # no-op
+    (span,) = recorder.spans()
+    assert span.attrs == {"cell": 0, "retries": 2}
+
+
+def test_spans_returns_a_snapshot_copy():
+    recorder = _tree()
+    snapshot = recorder.spans()
+    snapshot[0].attrs["mutated"] = True
+    assert "mutated" not in recorder.spans()[0].attrs
+
+
+def test_unfinished_span_has_zero_duration():
+    recorder = SpanRecorder()
+    recorder.begin("sweep", "live", start=1.0)
+    (span,) = recorder.spans()
+    assert span.end is None
+    assert span.duration == 0.0
+
+
+# --------------------------------------------------------------------------- #
+# JSONL round trip
+# --------------------------------------------------------------------------- #
+
+
+def test_jsonl_round_trip(tmp_path):
+    recorder = _tree()
+    path = tmp_path / "spans.jsonl"
+    recorder.write_jsonl(str(path))
+    loaded = load_spans_jsonl(str(path))
+    assert [span.to_record() for span in loaded] == [
+        span.to_record() for span in recorder.spans()
+    ]
+
+
+def test_spans_from_records_decodes_service_payloads():
+    records = [span.to_record() for span in _tree().spans()]
+    spans = spans_from_records(records)
+    assert all(isinstance(span, Span) for span in spans)
+    assert [span.to_record() for span in spans] == records
+
+
+# --------------------------------------------------------------------------- #
+# Chrome trace-event export (the acceptance schema check)
+# --------------------------------------------------------------------------- #
+
+
+def test_chrome_trace_schema():
+    document = chrome_trace(_tree().spans())
+    assert set(document) == {"traceEvents", "displayTimeUnit"}
+    assert document["displayTimeUnit"] == "ms"
+    events = document["traceEvents"]
+    assert len(events) == 4
+    for event in events:
+        # Every complete event carries the full trace-event schema.
+        assert set(event) == {
+            "name", "cat", "ph", "ts", "dur", "pid", "tid", "args"
+        }
+        assert event["ph"] == "X"
+        assert isinstance(event["ts"], float)
+        assert event["dur"] >= 0.0
+        assert event["args"]["span_id"]
+    assert sorted(event["cat"] for event in events) == sorted(SPAN_KINDS)
+    sweep = next(event for event in events if event["cat"] == "sweep")
+    attempt = next(event for event in events if event["cat"] == "attempt")
+    # Microsecond timestamps and durations.
+    assert sweep["ts"] == pytest.approx(100.0 * 1e6)
+    assert sweep["dur"] == pytest.approx(3.0 * 1e6)
+    assert attempt["dur"] == pytest.approx(1.0 * 1e6)
+    # Track mapping: the sweep sits on track 0, cell work on cell + 1.
+    assert sweep["tid"] == 0
+    assert attempt["tid"] == 1
+    assert "parent_id" not in sweep["args"]
+    assert attempt["args"]["parent_id"]
+
+
+def test_chrome_trace_renders_unfinished_spans_with_zero_duration():
+    recorder = SpanRecorder()
+    recorder.begin("sweep", "still running", start=42.0)
+    (event,) = chrome_trace(recorder.spans())["traceEvents"]
+    assert event["dur"] == 0.0
+    assert event["ts"] == pytest.approx(42.0 * 1e6)
+
+
+def test_write_chrome_trace_emits_loadable_json(tmp_path):
+    path = tmp_path / "sweep.trace.json"
+    write_chrome_trace(_tree().spans(), str(path))
+    document = json.loads(path.read_text(encoding="utf-8"))
+    assert len(document["traceEvents"]) == 4
+    assert all(event["ph"] == "X" for event in document["traceEvents"])
