@@ -54,6 +54,16 @@ replica-for-replica identical to the loop:
   best-of-N).  Writes ``BENCH_observability.json`` (override with
   ``REPRO_BENCH_OBSERVABILITY_JSON``).
 
+* fused round kernels (E19): the interpreted numpy round loop against the
+  fused kernel of :mod:`repro.batch.kernels` (numba-compiled when numba is
+  importable, the same kernel body interpreted otherwise) on the two shapes
+  ROADMAP item 2 names — a million-node cycle at small R and R = 4096 on a
+  small cycle — asserting byte-identical batches first, then comparing
+  replica-rounds/sec.  The ≥ 2× gate on the million-node shape is enforced
+  only when numba is importable (the CI ``kernels`` job); without numba the
+  pure-Python kernel is probed at reduced size, informationally.  Writes
+  ``BENCH_kernel.json`` (override with ``REPRO_BENCH_KERNEL_JSON``).
+
 Setting ``REPRO_BENCH_FAST=1`` shrinks every workload (small R and n) and
 skips the speed-up assertions; CI uses it as a smoke mode so these scripts
 cannot silently rot without turning CI red on timing noise.
@@ -110,6 +120,9 @@ BENCH_SHARD_JSON = os.environ.get("REPRO_BENCH_SHARD_JSON", "BENCH_shard.json")
 BENCH_OBSERVABILITY_JSON = os.environ.get(
     "REPRO_BENCH_OBSERVABILITY_JSON", "BENCH_observability.json"
 )
+
+#: Where the fused-kernel case writes its machine-readable results.
+BENCH_KERNEL_JSON = os.environ.get("REPRO_BENCH_KERNEL_JSON", "BENCH_kernel.json")
 
 #: Workers used by the process-backend sweep case.
 PROCESS_WORKERS = 2
@@ -984,6 +997,134 @@ def test_observability_overhead(report, tmp_path):
         assert spans_overhead <= 1.15, (
             f"the full reporter (telemetry + spans) must stay within 1.15x "
             f"of the silent run; measured {spans_overhead:.3f}x"
+        )
+
+
+@pytest.mark.experiment("E19")
+def test_fused_kernel_rounds_per_sec(report):
+    """Fused round kernels: the compiled loop vs the interpreted numpy loop.
+
+    Two workload shapes, both BFW on a cycle over a fixed round horizon (no
+    early stopping, so both kernels simulate exactly the same work):
+
+    * ``wide`` — a million-node cycle at small R: the per-round cost is all
+      array traffic, the regime where fusing the ~10 interpreter-dispatched
+      ops per round into one native pass pays in memory locality;
+    * ``tall`` — R = 4096 on a small cycle: the regime sweeps actually run,
+      where the interpreter dispatch is amortised over many replicas and
+      the fused kernel must still not lose.
+
+    Batches must be byte-identical before any timing counts — the fused
+    kernel consumes the same prefetched uniforms in the same order as the
+    interpreted loop, and this case is where that claim meets a
+    million-node CSR for real.  The ≥ 2× gate on the wide shape runs only
+    when numba is importable (the CI ``kernels`` job installs the
+    ``repro[kernels]`` extra); on numba-free machines the same kernel body
+    runs interpreted at probe size, so the path cannot rot, but a
+    pure-Python per-node loop at n = 10⁶ would measure nothing except
+    interpreter overhead.
+    """
+    import numpy as np
+
+    from repro.batch.kernels import numba_available
+
+    fused_kernel = "numba" if numba_available() else "python"
+    if FAST:
+        workloads = [("wide", 2000, 2, 6), ("tall", 24, 32, 20)]
+    elif numba_available():
+        workloads = [("wide", 1_000_000, 4, 16), ("tall", 200, 4096, 256)]
+    else:
+        # Probe sizes: large enough to exercise the CSR path and the block
+        # refill boundary, small enough for the interpreted kernel body.
+        workloads = [("wide", 20_000, 4, 16), ("tall", 200, 256, 64)]
+
+    compile_seconds = None
+    results = []
+    for shape, n, replicas, horizon in workloads:
+        topology = cycle_graph(n)
+        protocol = BFWProtocol()
+        seeds = list(range(replicas))
+        run_kwargs = dict(
+            max_rounds=horizon,
+            stop_at_single_leader=False,
+            record_leader_counts=False,
+        )
+
+        numpy_engine = BatchedEngine(topology, protocol, kernel="numpy")
+        start = time.perf_counter()
+        reference = numpy_engine.run(seeds, **run_kwargs)
+        numpy_seconds = time.perf_counter() - start
+
+        fused_engine = BatchedEngine(topology, protocol, kernel=fused_kernel)
+        fused_engine.run(seeds[:1], max_rounds=1)  # warmup: compile + caches
+        start = time.perf_counter()
+        fused = fused_engine.run(seeds, **run_kwargs)
+        fused_seconds = time.perf_counter() - start
+
+        # byte-identical batches first — a fast divergent kernel is worthless
+        assert fused_engine.last_kernel["active"] == fused_kernel
+        np.testing.assert_array_equal(fused.converged, reference.converged)
+        np.testing.assert_array_equal(
+            fused.rounds_executed, reference.rounds_executed
+        )
+        np.testing.assert_array_equal(
+            fused.final_states, reference.final_states
+        )
+        compile_seconds = fused_engine.last_kernel["compile_seconds"]
+
+        replica_rounds = int(reference.total_replica_rounds)
+        results.append(
+            {
+                "shape": shape,
+                "graph": f"cycle({n})",
+                "replicas": replicas,
+                "rounds": horizon,
+                "replica_rounds": replica_rounds,
+                "numpy_wall_seconds": numpy_seconds,
+                "fused_wall_seconds": fused_seconds,
+                "numpy_replica_rounds_per_sec": replica_rounds
+                / max(numpy_seconds, 1e-9),
+                "fused_replica_rounds_per_sec": replica_rounds
+                / max(fused_seconds, 1e-9),
+                "speedup_fused_vs_numpy": numpy_seconds
+                / max(fused_seconds, 1e-9),
+            }
+        )
+
+    payload = {
+        "benchmark": "fused-round-kernels",
+        "fast_mode": FAST,
+        "strict": STRICT,
+        "numba_available": numba_available(),
+        "fused_kernel": fused_kernel,
+        "compile_seconds": compile_seconds,
+        "results": results,
+    }
+    with open(BENCH_KERNEL_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+    lines = [
+        f"{entry['shape']:5s} {entry['graph']:16s} R={entry['replicas']:<5d} "
+        f"numpy {entry['numpy_replica_rounds_per_sec']:14,.0f} rr/s  "
+        f"{fused_kernel} {entry['fused_replica_rounds_per_sec']:14,.0f} rr/s  "
+        f"-> {entry['speedup_fused_vs_numpy']:.2f}x"
+        for entry in results
+    ]
+    if compile_seconds is not None:
+        lines.append(f"compile: {compile_seconds:.2f}s (once per process)")
+    lines.append(f"json:    {BENCH_KERNEL_JSON}")
+    report(
+        f"E19 — fused round kernels (kernel={fused_kernel}, "
+        f"numba={'yes' if numba_available() else 'no'})",
+        "\n".join(lines),
+    )
+    if not FAST and STRICT and numba_available():
+        wide = results[0]
+        assert wide["speedup_fused_vs_numpy"] >= 2.0, (
+            f"the compiled kernel must be >= 2x the interpreted numpy loop "
+            f"on the million-node cycle; measured "
+            f"{wide['speedup_fused_vs_numpy']:.2f}x"
         )
 
 

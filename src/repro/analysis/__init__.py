@@ -35,10 +35,14 @@ from repro.analysis.convergence import (
 from repro.analysis.flow import (
     ConservationViolation,
     check_flow_conservation,
+    check_flow_conservation_batch,
     edge_flow,
     flow_history,
+    flow_history_batch,
     max_flow_bound_holds,
+    max_flow_bound_holds_batch,
     path_flow,
+    path_flow_batch,
     validate_path,
 )
 from repro.analysis.invariants import (
@@ -61,6 +65,7 @@ from repro.analysis.ohm import (
     OhmViolation,
     check_distance_bound,
     check_ohms_law,
+    check_ohms_law_batch,
     check_ohms_law_on_random_paths,
     sample_random_path,
 )
@@ -95,6 +100,7 @@ __all__ = [
     "check_distance_bound",
     "check_distance_bound_all_rounds",
     "check_flow_conservation",
+    "check_flow_conservation_batch",
     "check_leader_always_exists",
     "check_leader_always_exists_batch",
     "check_leader_count_nonincreasing",
@@ -102,6 +108,7 @@ __all__ = [
     "check_max_beep_count_is_leader",
     "check_max_beep_count_is_leader_batch",
     "check_ohms_law",
+    "check_ohms_law_batch",
     "check_ohms_law_on_random_paths",
     "check_wave_propagation",
     "convergence_round_from_counts",
@@ -111,12 +118,15 @@ __all__ = [
     "first_beep_round",
     "first_beep_round_batch",
     "flow_history",
+    "flow_history_batch",
     "half_life_round",
     "leader_beep_counts",
     "max_beep_count_nodes",
     "max_flow_bound_holds",
+    "max_flow_bound_holds_batch",
     "pairwise_beep_difference_bounds",
     "path_flow",
+    "path_flow_batch",
     "path_meeting_points",
     "require_convergence",
     "sample_random_path",

@@ -22,6 +22,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
+from repro.batch.trace import BatchTrace
 from repro.beeping.trace import ExecutionTrace
 from repro.core.states import State
 from repro.errors import InvariantViolation, TraceError
@@ -158,3 +161,92 @@ def max_flow_bound_holds(trace: ExecutionTrace, path: VertexPath) -> bool:
         abs(path_flow(trace, path, round_index)) <= k
         for round_index in trace.rounds()
     )
+
+
+# --------------------------------------------------------------------------- #
+# Batch entry points: all replicas of a BatchTrace in one vectorised pass
+# --------------------------------------------------------------------------- #
+
+
+def flow_history_batch(trace: BatchTrace, path: VertexPath) -> np.ndarray:
+    """``ν_t(ω)`` for every round and replica: array of shape ``(T + 1, R)``.
+
+    The batch entry point of :func:`flow_history`: one pass over the shared
+    ``(T + 1, R, n)`` state array instead of ``R`` per-replica Python loops.
+    Rows past a replica's retirement repeat the flow of its frozen final
+    configuration; slicing row ``0 .. rounds_executed[r]`` of column ``r``
+    reproduces ``flow_history(trace.replica(r), path)`` exactly.
+
+    State behaviour is read off the BFW value convention (``value % 3``:
+    Waiting / Beeping / Frozen), matching :class:`~repro.core.states.State`.
+    """
+    flows = np.zeros(trace.states.shape[:2], dtype=np.int64)
+    if len(path) < 2:
+        return flows
+    behaviour = trace.states % 3
+    for u, v in zip(path, path[1:]):
+        behaviour_u = behaviour[:, :, u]
+        behaviour_v = behaviour[:, :, v]
+        flows += ((behaviour_u == 1) & (behaviour_v == 0)).astype(np.int64)
+        flows -= ((behaviour_u == 0) & (behaviour_v == 1)).astype(np.int64)
+    return flows
+
+
+def path_flow_batch(
+    trace: BatchTrace, path: VertexPath, round_index: int
+) -> np.ndarray:
+    """``ν_t(ω)`` for every replica at one round: array of shape ``(R,)``."""
+    return flow_history_batch(trace, path)[round_index]
+
+
+def check_flow_conservation_batch(
+    trace: BatchTrace,
+    path: VertexPath,
+    raise_on_violation: bool = True,
+) -> Tuple[List[ConservationViolation], ...]:
+    """Verify Lemma 7 on every replica of a batch at once.
+
+    The batch entry point of :func:`check_flow_conservation`: flows and
+    endpoint beep indicators are reduced over the shared state array, and
+    only rounds a replica actually executed are checked (rows past
+    retirement repeat the frozen configuration, where the round-to-round
+    law does not apply).  Per replica, the returned violation list is
+    exactly what ``check_flow_conservation(trace.replica(r), path,
+    raise_on_violation=False)`` produces.
+    """
+    violations: Tuple[List[ConservationViolation], ...] = tuple(
+        [] for _ in range(trace.num_replicas)
+    )
+    if len(path) < 2:
+        return violations
+    flows = flow_history_batch(trace, path)
+    start, end = path[0], path[-1]
+    start_beeps = (trace.states[:, :, start] % 3 == 1).astype(np.int64)
+    end_beeps = (trace.states[:, :, end] % 3 == 1).astype(np.int64)
+    expected = flows[:-1] + start_beeps[1:] - end_beeps[1:]
+    mismatch = flows[1:] != expected
+    mismatch &= trace.valid_mask()[1:]
+    for t, r in zip(*np.nonzero(mismatch)):
+        violation = ConservationViolation(
+            round_index=int(t) + 1,
+            path=tuple(path),
+            observed_flow=int(flows[t + 1, r]),
+            expected_flow=int(expected[t, r]),
+        )
+        if raise_on_violation:
+            raise InvariantViolation(
+                f"replica {int(r)}: {violation.message()}"
+            )
+        violations[int(r)].append(violation)
+    return violations
+
+
+def max_flow_bound_holds_batch(trace: BatchTrace, path: VertexPath) -> np.ndarray:
+    """Eq. (1) per replica: boolean array of shape ``(R,)``.
+
+    Entry ``r`` equals ``max_flow_bound_holds(trace.replica(r), path)``;
+    frozen rows repeat an executed round's flow, so they never change the
+    per-replica maximum and need no masking.
+    """
+    k = max(0, len(path) - 1)
+    return np.abs(flow_history_batch(trace, path)).max(axis=0) <= k

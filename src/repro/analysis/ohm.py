@@ -16,8 +16,9 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.beep_counts import beep_count_matrix
-from repro.analysis.flow import path_flow, validate_path
+from repro.analysis.beep_counts import beep_count_matrix, beep_count_matrix_batch
+from repro.analysis.flow import flow_history_batch, path_flow, validate_path
+from repro.batch.trace import BatchTrace
 from repro.beeping.trace import ExecutionTrace
 from repro.core.rng import RngLike, as_rng
 from repro.errors import InvariantViolation
@@ -81,6 +82,52 @@ def check_ohms_law(
             if raise_on_violation:
                 raise InvariantViolation(violation.message())
             violations.append(violation)
+    return violations
+
+
+def check_ohms_law_batch(
+    trace: BatchTrace,
+    path: Sequence[int],
+    topology: Optional[Topology] = None,
+    raise_on_violation: bool = True,
+) -> Tuple[List[OhmViolation], ...]:
+    """Verify Corollary 8 on every replica of a batch at once.
+
+    The batch entry point of :func:`check_ohms_law`: flows come from
+    :func:`~repro.analysis.flow.flow_history_batch` and beep counts from
+    :func:`~repro.analysis.beep_counts.beep_count_matrix_batch`, both one
+    vectorised pass over the shared ``(T + 1, R, n)`` state array.  Only
+    rounds a replica actually executed are checked (rows past retirement
+    repeat the frozen configuration while the cumulative counts keep
+    growing, so the law is not meaningful there).  Per replica, the
+    returned violation list is exactly what
+    ``check_ohms_law(trace.replica(r), path, raise_on_violation=False)``
+    produces.
+    """
+    if topology is not None:
+        validate_path(topology, path)
+    violations: Tuple[List[OhmViolation], ...] = tuple(
+        [] for _ in range(trace.num_replicas)
+    )
+    if len(path) < 2:
+        return violations
+    flows = flow_history_batch(trace, path)
+    counts = beep_count_matrix_batch(trace)
+    start, end = path[0], path[-1]
+    differences = counts[:, :, start] - counts[:, :, end]
+    mismatch = (flows != differences) & trace.valid_mask()
+    for t, r in zip(*np.nonzero(mismatch)):
+        violation = OhmViolation(
+            round_index=int(t),
+            path=tuple(path),
+            flow=int(flows[t, r]),
+            beep_difference=int(differences[t, r]),
+        )
+        if raise_on_violation:
+            raise InvariantViolation(
+                f"replica {int(r)}: {violation.message()}"
+            )
+        violations[int(r)].append(violation)
     return violations
 
 

@@ -1,12 +1,16 @@
 """Batched Monte-Carlo engines: all replicas of a sweep in one state array.
 
-The subsystem has six layers:
+The subsystem has seven layers:
 
 * :mod:`repro.batch.streams` — per-replica random streams that keep every
   replica bit-for-bit identical to its standalone run;
 * :mod:`repro.batch.engine` — :class:`BatchedEngine`, which advances the
   ``(R, n)`` batch state of a constant-state protocol and retires converged
   replicas in place;
+* :mod:`repro.batch.kernels` — pluggable round kernels for that engine:
+  the fused loop (numba-compiled when available, plain Python otherwise)
+  and the array-namespace path, selected by :class:`KernelPolicy` and all
+  byte-identical to the interpreted numpy rounds;
 * :mod:`repro.batch.memory` — :class:`BatchedMemoryEngine`, the same idea
   for the Table-1 memory baselines (identifier bits, knockout flags and
   epoch coins as ``(R, n)`` arrays, replica-for-replica identical to
@@ -37,6 +41,15 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from repro.batch.engine import BatchedEngine, run_batch
+    from repro.batch.kernels import (
+        KERNEL_SPECS,
+        KernelPolicy,
+        fused_round_block,
+        kernel_compile_seconds,
+        numba_available,
+        resolve_kernel,
+        validate_kernel,
+    )
     from repro.batch.memory import (
         BatchedMemoryEngine,
         MemoryBatchState,
@@ -76,6 +89,13 @@ _EXPORTS = {
     "register_memory_batch_compiler": "repro.batch.memory",
     "run_batch": "repro.batch.engine",
     "supports_batched_memory": "repro.batch.memory",
+    "KERNEL_SPECS": "repro.batch.kernels",
+    "KernelPolicy": "repro.batch.kernels",
+    "fused_round_block": "repro.batch.kernels",
+    "kernel_compile_seconds": "repro.batch.kernels",
+    "numba_available": "repro.batch.kernels",
+    "resolve_kernel": "repro.batch.kernels",
+    "validate_kernel": "repro.batch.kernels",
     "BatchBeepCountTracker": "repro.batch.observers",
     "BatchLeaderCountTracker": "repro.batch.observers",
     "BatchObserver": "repro.batch.observers",

@@ -35,19 +35,57 @@ from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.batch.kernels import (
+    KernelPolicy,
+    compiled_fused_kernel,
+    fused_round_block,
+    resolve_kernel,
+    resolve_namespace,
+    run_xp_rounds,
+)
 from repro.batch.observers import (
     BatchObserver,
     BatchRunInfo,
     ObserverPipeline,
 )
 from repro.batch.results import BatchResult
-from repro.batch.streams import ReplicaStreams, SeedLike
+from repro.batch.streams import (
+    DEFAULT_RNG_BUFFER_BYTES,
+    ReplicaStreams,
+    SeedLike,
+    prefetch_depth,
+)
 from repro.beeping.engine import CompiledProtocol, check_schedule, compile_protocol
 from repro.beeping.simulator import default_round_budget
 from repro.core.protocol import BeepingProtocol
 from repro.dynamics.schedules import TopologySchedule
 from repro.errors import ConfigurationError, SimulationError
 from repro.graphs.topology import Topology
+
+
+def dense_adjacency_preferred(
+    n: int, nnz: int, byte_budget: int = 4 << 20
+) -> bool:
+    """Whether a graph's hear-mask should use a dense float32 adjacency.
+
+    The explicit crossover rule behind ``_adjacency_for``:
+
+    * **byte budget** — a dense float32 copy costing at most
+      ``byte_budget`` bytes (default 4 MiB, i.e. every graph up to 1024
+      nodes) is always worth it: one BLAS matmul replaces ~25 µs of scipy
+      dispatch per round, which dominates once the batch tail is thin;
+    * **density rule** — above the budget, densify only when the dense
+      copy is no larger than the CSR form it replaces (float64 data +
+      int32 indices per edge slot, int32 row pointers), i.e. when the
+      graph is so dense that CSR stops saving memory — near-clique graphs
+      stay matmul-friendly at any size, while a million-node cycle stays
+      CSR.
+    """
+    dense_bytes = 4 * n * n
+    if dense_bytes <= byte_budget:
+        return True
+    csr_bytes = 12 * nnz + 4 * (n + 1)
+    return dense_bytes <= csr_bytes
 
 
 class BatchedEngine:
@@ -70,14 +108,32 @@ class BatchedEngine:
         schedules (whose graphs depend on the replica's states) are only
         accepted for single-replica batches, because all replicas of a batch
         share one adjacency per round by construction.
+    kernel:
+        Round-kernel spec resolved through
+        :func:`repro.batch.kernels.resolve_kernel`: ``"auto"`` (default,
+        numba-compiled fused kernel when numba is importable, interpreted
+        numpy path otherwise), ``"numba"`` (demand the compiled kernel),
+        ``"numpy"`` (force the interpreted path), ``"python"`` (the fused
+        kernel uncompiled — parity testing without numba), or
+        ``"xp:<namespace>"`` (the array-namespace variant, e.g.
+        ``"xp:numpy"``/``"xp:cupy"``).  Runs that need per-round Python
+        callbacks (observers, schedules, heartbeats) fall back to the
+        interpreted path with identical records; ``last_kernel`` records
+        what each run actually used.
     """
 
-    #: Graphs up to this many nodes use a dense float32 adjacency so the
-    #: hear-mask is one BLAS matmul instead of a scipy dispatch per round.
-    DENSE_ADJACENCY_MAX_NODES = 1024
+    #: Byte budget for an always-densified adjacency (the crossover
+    #: heuristic's first rule; 4 MiB keeps every graph up to 1024 nodes
+    #: dense, the historical behaviour).  Above it, a graph densifies
+    #: only when the dense copy beats CSR on bytes — see
+    #: :func:`dense_adjacency_preferred`.
+    DENSE_ADJACENCY_BYTES = 4 << 20
 
-    #: Memory cap (bytes) for the prefetched per-replica uniform blocks.
-    RNG_BUFFER_BYTES = 8 << 20
+    #: Memory cap (bytes) for the prefetched per-replica uniform blocks
+    #: (the block depth itself comes from
+    #: :func:`repro.batch.streams.prefetch_depth`, the single source of
+    #: truth shared with the fused kernels).
+    RNG_BUFFER_BYTES = DEFAULT_RNG_BUFFER_BYTES
 
     #: Maximum number of schedule graphs whose compiled (sparse, dense)
     #: adjacencies are kept alive.  Schedules deduplicate revisited edge
@@ -88,8 +144,8 @@ class BatchedEngine:
     SWAP_CACHE_LIMIT = 64
 
     #: Byte budget for the cached dense adjacencies; on dense-eligible
-    #: graphs near ``DENSE_ADJACENCY_MAX_NODES`` (4 MB per float32 copy)
-    #: this, not the entry count, is the binding bound.
+    #: graphs near the ``DENSE_ADJACENCY_BYTES`` budget (4 MB per float32
+    #: copy) this, not the entry count, is the binding bound.
     SWAP_CACHE_BYTES = 64 << 20
 
     def __init__(
@@ -97,10 +153,17 @@ class BatchedEngine:
         topology: Topology,
         protocol: BeepingProtocol,
         schedule: Optional[TopologySchedule] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         self._topology = topology
         self._protocol = protocol
         self._compiled = compile_protocol(protocol)
+        # Resolved once per engine: an explicit kernel="numba" without
+        # numba (or an unimportable xp namespace) fails here, not
+        # mid-sweep.  Per-run observer/schedule/heartbeat fallbacks are
+        # decided in run() — see KernelPolicy.fallback_reason.
+        self._kernel_policy: KernelPolicy = resolve_kernel(kernel)
+        self.last_kernel: Optional[dict] = None
         self._adjacency = topology.sparse_adjacency()
         schedule = check_schedule(topology, schedule)
         if schedule is not None and schedule.is_static:
@@ -114,10 +177,20 @@ class BatchedEngine:
         # below 2**24); on small graphs it avoids ~25 µs of scipy dispatch
         # overhead per round, which dominates once the batch tail is thin.
         self._dense_adjacency: Optional[np.ndarray] = None
-        if topology.n <= self.DENSE_ADJACENCY_MAX_NODES:
+        # Plain-int adjacency-representation counters: how many distinct
+        # graphs this engine compiled to each form (sampled as the
+        # engine.adjacency_dense gauge once per run).
+        self._adjacency_dense_builds = 0
+        self._adjacency_csr_builds = 0
+        if dense_adjacency_preferred(
+            topology.n, self._adjacency.nnz, self.DENSE_ADJACENCY_BYTES
+        ):
             self._dense_adjacency = (
                 self._adjacency.toarray().astype(np.float32)
             )
+            self._adjacency_dense_builds += 1
+        else:
+            self._adjacency_csr_builds += 1
         # Batch-local table copies tuned for the hot loop: intp-typed
         # successor tables make every gather conversion-free (numpy converts
         # non-intp index arrays on each fancy-indexing call), and a float32
@@ -151,8 +224,13 @@ class BatchedEngine:
             self._swap_cache_misses += 1
             sparse_adjacency = topology.sparse_adjacency()
             dense = None
-            if topology.n <= self.DENSE_ADJACENCY_MAX_NODES:
+            if dense_adjacency_preferred(
+                topology.n, sparse_adjacency.nnz, self.DENSE_ADJACENCY_BYTES
+            ):
                 dense = sparse_adjacency.toarray().astype(np.float32)
+                self._adjacency_dense_builds += 1
+            else:
+                self._adjacency_csr_builds += 1
             entry = (topology, sparse_adjacency, dense)
             self._swap_cache[id(topology)] = entry
             if len(self._swap_cache) > self._swap_cache_limit:
@@ -166,6 +244,8 @@ class BatchedEngine:
         stats = {
             "swap_cache_hits": self._swap_cache_hits,
             "swap_cache_misses": self._swap_cache_misses,
+            "adjacency_dense_builds": self._adjacency_dense_builds,
+            "adjacency_csr_builds": self._adjacency_csr_builds,
         }
         if self._schedule is not None:
             stats.update(self._schedule.cache_stats())
@@ -312,13 +392,100 @@ class BatchedEngine:
 
         # Prefetched uniforms: one Generator call per replica per `depth`
         # rounds instead of one per round (see ReplicaStreams.fill_blocks).
-        depth = max(
-            1, min(128, self.RNG_BUFFER_BYTES // max(1, 8 * num_replicas * n))
+        # The depth formula lives in streams.prefetch_depth so the fused
+        # kernels and this loop can never drift on buffer geometry.
+        depth = prefetch_depth(num_replicas, n, self.RNG_BUFFER_BYTES)
+
+        # Kernel selection, once per run: fused and xp kernels execute a
+        # whole RNG block per call, so any run needing per-round Python
+        # callbacks falls back to this interpreted path — consuming the
+        # exact same uniform blocks, so records are identical either way.
+        policy = self._kernel_policy
+        fallback = policy.fallback_reason(
+            observers=pipeline is not None,
+            schedule=schedule is not None,
+            heartbeat=heartbeat is not None,
+            needs_dense=dense is None,
         )
+        kernel_label = "numpy" if fallback is not None else policy.resolved
+        compile_seconds: Optional[float] = None
+
+        round_index = 0
+        if kernel_label in ("numba", "python"):
+            if kernel_label == "numba":
+                kernel_fn, compile_seconds = compiled_fused_kernel()
+            else:
+                kernel_fn = fused_round_block
+            # Initial states may be a read-only broadcast view; the kernel
+            # transitions rows in place, so materialise a contiguous batch
+            # (the interpreted loop rebinds `states` instead — same values).
+            if not states.flags.writeable or not states.flags.c_contiguous:
+                states = np.ascontiguousarray(states)
+            indptr = np.ascontiguousarray(sparse_adjacency.indptr)
+            indices = np.ascontiguousarray(sparse_adjacency.indices)
+            record = count_rows is not None
+            count_block = np.zeros(
+                (depth if record else 0, num_replicas), dtype=np.int64
+            )
+            rng_buffer = np.empty((depth, num_replicas, n), dtype=np.float64)
+            while round_index < max_rounds and active.size:
+                # Fill the whole block for every active replica — exactly
+                # the generator consumption of the interpreted loop, even
+                # when fewer rounds than `depth` remain in the budget.
+                streams.fill_blocks(active, rng_buffer)
+                budget = min(depth, max_rounds - round_index)
+                consumed = int(
+                    kernel_fn(
+                        states,
+                        active_mask,
+                        counts,
+                        convergence,
+                        rounds_executed,
+                        indptr,
+                        indices,
+                        compiled.is_beeping,
+                        is_leader,
+                        succ_primary,
+                        succ_secondary,
+                        primary_probability,
+                        rng_buffer,
+                        round_index,
+                        budget,
+                        stop_at_single_leader,
+                        record,
+                        count_block,
+                    )
+                )
+                if record:
+                    for offset in range(consumed):
+                        count_rows.append(count_block[offset].copy())
+                round_index += consumed
+                active = np.flatnonzero(active_mask)
+        elif policy.xp_namespace is not None and fallback is None:
+            states, round_index = run_xp_rounds(
+                resolve_namespace(policy.xp_namespace),
+                np.ascontiguousarray(states),
+                active_mask,
+                counts,
+                convergence,
+                rounds_executed,
+                dense,
+                beep_f32,
+                is_leader,
+                succ_primary,
+                succ_secondary,
+                primary_probability,
+                streams.fill_blocks,
+                depth,
+                max_rounds,
+                stop_at_single_leader,
+                count_rows,
+            )
+            active = np.flatnonzero(active_mask)
+
         rng_buffer = np.empty((depth, num_replicas, n), dtype=np.float64)
         rng_position = depth
 
-        round_index = 0
         while round_index < max_rounds and active.size:
             round_index += 1
             full = active.size == num_replicas
@@ -427,6 +594,7 @@ class BatchedEngine:
                     rounds_advanced=int(
                         rounds_executed.sum() + active.size * round_index
                     ),
+                    kernel=kernel_label,
                 )
 
         if active.size:
@@ -467,11 +635,35 @@ class BatchedEngine:
             topology_name=self._topology.name,
         )
 
+        # What actually ran, for callers and telemetry: the resolved
+        # kernel, the per-run fallback (if any), the compile cost, and
+        # the parity gate the kernel is held to ("bitwise" everywhere the
+        # host RNG feeds the kernel; "distributional" on device xp
+        # namespaces, per ROADMAP).
+        self.last_kernel = {
+            "requested": policy.requested,
+            "resolved": policy.resolved,
+            "active": kernel_label,
+            "fallback": fallback,
+            "compile_seconds": compile_seconds,
+            "parity": "bitwise" if kernel_label == "numpy" else policy.parity,
+        }
+
         # One telemetry sample per run (a no-op unless a MetricsRegistry is
         # installed); imported lazily to keep the engine importable without
         # pulling the telemetry stack.
         from repro.telemetry.metrics import sample_engine_run
 
+        gauges = {
+            "engine.adjacency_dense": (
+                1.0 if self._dense_adjacency is not None else 0.0
+            ),
+            "engine.kernel_parity_bitwise": (
+                1.0 if self.last_kernel["parity"] == "bitwise" else 0.0
+            ),
+        }
+        if compile_seconds is not None:
+            gauges["engine.kernel_compile_seconds"] = float(compile_seconds)
         sample_engine_run(
             "batched",
             rounds_advanced=int(rounds_executed.sum()),
@@ -480,6 +672,8 @@ class BatchedEngine:
             replicas_converged=int(converged.sum()),
             replicas_leaderless=int((counts == 0).sum()),
             cache_stats=self._cache_stats(),
+            kernel=kernel_label,
+            gauges=gauges,
         )
         return result
 
@@ -514,6 +708,7 @@ def run_batch(
     protocol: Optional[BeepingProtocol] = None,
     seeds: Sequence[SeedLike] = (0,),
     max_rounds: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> BatchResult:
     """Convenience wrapper: run a batch of BFW (or a given protocol) replicas.
 
@@ -528,5 +723,5 @@ def run_batch(
     """
     from repro.core.bfw import BFWProtocol
 
-    engine = BatchedEngine(topology, protocol or BFWProtocol())
+    engine = BatchedEngine(topology, protocol or BFWProtocol(), kernel=kernel)
     return engine.run(list(seeds), max_rounds=max_rounds)

@@ -1,0 +1,537 @@
+"""Fused round kernels: leave the Python interpreter off the hot loop.
+
+The interpreted round loop in :class:`~repro.batch.engine.BatchedEngine`
+dispatches ~10 numpy array operations per round (gathers, a matmul, a
+``where``, the leader reduction, retire bookkeeping).  On small graphs the
+Python dispatch overhead dominates; on million-node graphs every temporary
+is a full ``(R, n)`` array.  This module fuses **one whole RNG prefetch
+block** — up to :func:`~repro.batch.streams.prefetch_depth` rounds of the
+beep→hear→transition→retire loop — into a single native call:
+
+* :func:`fused_round_block` is written in nopython-compatible Python
+  (explicit loops over the ``(R, n)`` state array and the CSR adjacency)
+  and is compiled with ``numba.njit(cache=True)`` when numba is importable.
+  It consumes the *same prefetched uniforms in the same order* as the
+  interpreted loop, so records stay byte-identical — the kernel parity
+  suite pins ``kernel="numba"`` vs ``kernel="numpy"`` vs the sequential
+  reference across every registered protocol.
+* ``kernel="python"`` runs the identical function uncompiled, so the
+  kernel's *logic* is parity-testable (and covered by the tier-1 suite)
+  on machines without numba; only the speed differs.
+* :func:`run_xp_rounds` is an array-namespace-agnostic variant of the
+  interpreted numpy path (``array_api_compat``-style ``xp`` dispatch):
+  the same vectorized round ops run on any NumPy-like namespace (NumPy,
+  CuPy, or an ``array_api_compat`` wrapper).  Uniforms are still drawn
+  from the host-side per-replica generators, so ``kernel="xp:numpy"`` is
+  byte-identical to the interpreted loop; on device namespaces the
+  results are *gated on distributional equivalence* (recorded as the
+  ``parity`` gate in :attr:`KernelPolicy` and the run metrics) because a
+  future device-resident RNG cannot preserve bit-level stream parity.
+
+:class:`KernelPolicy` is the seam :class:`~repro.batch.engine.BatchedEngine`
+resolves a ``kernel=`` spec through: ``"auto"`` picks numba when it is
+importable and falls back to the interpreted numpy path whenever a run
+needs per-round Python callbacks (observers, topology schedules, or an
+ambient heartbeat emitter) — without breaking the RNG stream, since both
+paths consume identical uniform blocks.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "KERNEL_SPECS",
+    "KernelPolicy",
+    "fused_round_block",
+    "kernel_compile_seconds",
+    "numba_available",
+    "resolve_kernel",
+    "resolve_namespace",
+    "run_xp_rounds",
+    "validate_kernel",
+]
+
+#: The non-namespace kernel spec values ``validate_kernel`` accepts
+#: (``"xp:<namespace>"`` strings are accepted on top of these).
+KERNEL_SPECS = ("auto", "numba", "numpy", "python")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover - the tier-1 environment has no numba
+    _numba = None
+
+
+def numba_available() -> bool:
+    """Whether the numba JIT compiler is importable in this process."""
+    return _numba is not None
+
+
+def validate_kernel(kernel: Optional[str]) -> Optional[str]:
+    """Normalise and validate a kernel spec once, at construction time.
+
+    ``None`` passes through (the caller's default applies); otherwise the
+    spec must be one of :data:`KERNEL_SPECS` or ``"xp:<namespace>"``.
+    Availability is *not* checked here — a cell stamped ``kernel="numba"``
+    must validate on a submitting client that has no numba, because the
+    worker that executes it may.  :func:`resolve_kernel` (called in the
+    executing process) enforces importability.
+    """
+    if kernel is None:
+        return None
+    if not isinstance(kernel, str):
+        raise ConfigurationError(
+            f"kernel must be a string or None; got {type(kernel).__name__}"
+        )
+    text = kernel.strip().lower()
+    if text in KERNEL_SPECS:
+        return text
+    if text.startswith("xp:") and text[3:].strip():
+        return "xp:" + text[3:].strip()
+    raise ConfigurationError(
+        f"unknown kernel {kernel!r}; expected one of "
+        f"{', '.join(repr(s) for s in KERNEL_SPECS)} or 'xp:<namespace>' "
+        f"(e.g. 'xp:numpy', 'xp:cupy')"
+    )
+
+
+@dataclass(frozen=True)
+class KernelPolicy:
+    """A resolved kernel choice for one :class:`BatchedEngine` instance.
+
+    Attributes
+    ----------
+    requested:
+        The spec the caller asked for (``"auto"`` when unspecified).
+    resolved:
+        What the spec resolved to in this process: ``"numba"``,
+        ``"python"``, ``"numpy"``, or ``"xp:<namespace>"``.  Runs that
+        need per-round Python callbacks still fall back to ``"numpy"``
+        per run (see :meth:`fallback_reason`).
+    reason:
+        One line explaining the resolution (what ``auto`` saw).
+    parity:
+        The equivalence gate the resolved kernel is held to:
+        ``"bitwise"`` for every host-RNG path, ``"distributional"`` for
+        non-NumPy ``xp`` namespaces (device execution may not preserve
+        bit-level float semantics; records are validated statistically).
+    """
+
+    requested: str
+    resolved: str
+    reason: str
+    parity: str = "bitwise"
+
+    @property
+    def wants_fused(self) -> bool:
+        """True when the resolved kernel is the fused scalar block kernel."""
+        return self.resolved in ("numba", "python")
+
+    @property
+    def xp_namespace(self) -> Optional[str]:
+        """The array-namespace name for ``"xp:..."`` kernels, else None."""
+        if self.resolved.startswith("xp:"):
+            return self.resolved[3:]
+        return None
+
+    def fallback_reason(
+        self,
+        observers: bool = False,
+        schedule: bool = False,
+        heartbeat: bool = False,
+        needs_dense: bool = False,
+    ) -> Optional[str]:
+        """Why this run must use the interpreted numpy path, or ``None``.
+
+        Fused and ``xp`` kernels execute a whole RNG block per native
+        call, so anything that needs a per-round Python callback —
+        observers, per-round topology swaps, heartbeat polling — sends
+        the run down the interpreted path.  Both paths consume identical
+        uniform blocks, so the fallback never perturbs the RNG stream.
+        """
+        if self.resolved == "numpy":
+            return None
+        if observers:
+            return "observers need per-round Python callbacks"
+        if schedule:
+            return "topology schedules swap the adjacency every round"
+        if heartbeat:
+            return "an ambient heartbeat emitter polls every round"
+        if needs_dense and self.xp_namespace is not None:
+            return "xp kernels need a dense-representable adjacency"
+        return None
+
+
+def resolve_kernel(kernel: Optional[str]) -> KernelPolicy:
+    """Resolve a kernel spec in the executing process.
+
+    ``"auto"`` (and ``None``) picks numba when importable and the
+    interpreted numpy path otherwise; ``"numba"`` demands numba and
+    raises :class:`~repro.errors.ConfigurationError` when it is absent
+    (an explicit request must not silently degrade); ``"python"`` runs
+    the fused kernel uncompiled; ``"xp:<name>"`` resolves the array
+    namespace eagerly so a missing backend fails at construction, not
+    mid-sweep.
+    """
+    spec = validate_kernel(kernel) or "auto"
+    if spec == "auto":
+        if numba_available():
+            return KernelPolicy(
+                requested=spec,
+                resolved="numba",
+                reason="auto: numba importable, fused kernel compiled per worker",
+            )
+        return KernelPolicy(
+            requested=spec,
+            resolved="numpy",
+            reason="auto: numba not importable, interpreted numpy path",
+        )
+    if spec == "numba":
+        if not numba_available():
+            raise ConfigurationError(
+                "kernel='numba' was requested but numba is not importable "
+                "in this process; install the 'kernels' extra "
+                "(pip install repro[kernels]) or use kernel='auto'"
+            )
+        return KernelPolicy(
+            requested=spec, resolved="numba", reason="explicit numba request"
+        )
+    if spec == "python":
+        return KernelPolicy(
+            requested=spec,
+            resolved="python",
+            reason="explicit request: fused kernel, uncompiled",
+        )
+    if spec == "numpy":
+        return KernelPolicy(
+            requested=spec,
+            resolved="numpy",
+            reason="explicit request: interpreted numpy path",
+        )
+    namespace = spec[3:]
+    resolve_namespace(namespace)  # fail fast on missing backends
+    return KernelPolicy(
+        requested=spec,
+        resolved=spec,
+        reason=f"explicit request: array-namespace path on {namespace!r}",
+        parity="bitwise" if namespace == "numpy" else "distributional",
+    )
+
+
+def resolve_namespace(name: str):
+    """Import the NumPy-like array namespace behind an ``"xp:<name>"`` spec.
+
+    ``"numpy"`` always resolves; anything else (``"cupy"``, an
+    ``array_api_compat``-wrapped namespace published under its own module
+    name) is imported on demand and must expose the NumPy-style API the
+    round loop uses (``asarray``/``where``/``matmul`` and integer fancy
+    indexing).  Missing backends raise
+    :class:`~repro.errors.ConfigurationError` naming the namespace.
+    """
+    name = name.strip().lower()
+    if name == "numpy":
+        return np
+    import importlib
+
+    try:
+        return importlib.import_module(name)
+    except ImportError:
+        raise ConfigurationError(
+            f"array namespace {name!r} for kernel='xp:{name}' is not "
+            f"importable in this process"
+        ) from None
+
+
+def as_numpy(array) -> np.ndarray:
+    """Copy an ``xp`` array back to host numpy, whatever the namespace."""
+    if isinstance(array, np.ndarray):
+        return array
+    get = getattr(array, "get", None)  # cupy
+    if callable(get):
+        return np.asarray(get())
+    cpu = getattr(array, "cpu", None)  # torch-style
+    if callable(cpu):
+        return np.asarray(cpu())
+    return np.asarray(array)
+
+
+# --------------------------------------------------------------------- #
+# The fused scalar kernel (numba-compilable)
+# --------------------------------------------------------------------- #
+
+
+def _fused_round_block(
+    states,  # (R, n) intp, mutated in place
+    active_mask,  # (R,) bool, mutated in place
+    counts,  # (R,) int64, mutated in place
+    convergence,  # (R,) int64, mutated in place
+    rounds_executed,  # (R,) int64, mutated in place
+    indptr,  # CSR row pointers of the adjacency
+    indices,  # CSR column indices of the adjacency
+    is_beeping,  # (S,) bool
+    is_leader,  # (S,) bool
+    succ_primary,  # (S, 2) intp
+    succ_secondary,  # (S, 2) intp
+    primary_probability,  # (S, 2) float64
+    rng_block,  # (depth, R, n) float64 prefetched uniforms
+    start_round,  # rounds already executed before this block
+    budget,  # rounds to execute from this block (<= depth)
+    stop_at_single_leader,  # bool
+    record_counts,  # bool: write per-round leader counts into count_block
+    count_block,  # (depth, R) int64 out, or (0, R) when record_counts off
+):
+    """Execute up to ``budget`` rounds of the batch loop over one RNG block.
+
+    Semantically identical to ``budget`` iterations of the interpreted
+    loop in :meth:`BatchedEngine.run` with no observers, schedule or
+    heartbeat: per active replica, compute the beep mask, OR it over the
+    CSR neighbourhoods (the same truth value the matmul path computes),
+    gather the successor tables by (state, heard), resolve the
+    probabilistic transition against ``rng_block[k, r, u]`` — the exact
+    uniform the interpreted loop would consume — and apply the
+    single-leader retire / convergence-streak bookkeeping in place.
+    Returns the number of rounds consumed (less than ``budget`` only
+    when every replica retired inside the block).
+    """
+    num_replicas, n = states.shape
+    beeping = np.empty(n, np.bool_)
+    consumed = 0
+    for k in range(budget):
+        any_active = False
+        for r in range(num_replicas):
+            if active_mask[r]:
+                any_active = True
+                break
+        if not any_active:
+            break
+        round_index = start_round + k + 1
+        for r in range(num_replicas):
+            if not active_mask[r]:
+                continue
+            row = states[r]
+            uniforms = rng_block[k, r]
+            any_beep = False
+            for u in range(n):
+                b = is_beeping[row[u]]
+                beeping[u] = b
+                if b:
+                    any_beep = True
+            leader_count = 0
+            for u in range(n):
+                heard = 0
+                if any_beep:
+                    if beeping[u]:
+                        heard = 1
+                    else:
+                        for j in range(indptr[u], indptr[u + 1]):
+                            if beeping[indices[j]]:
+                                heard = 1
+                                break
+                state = row[u]
+                if uniforms[u] < primary_probability[state, heard]:
+                    new_state = succ_primary[state, heard]
+                else:
+                    new_state = succ_secondary[state, heard]
+                row[u] = new_state
+                if is_leader[new_state]:
+                    leader_count += 1
+            if stop_at_single_leader:
+                hit = leader_count == 1
+                if record_counts or hit:
+                    counts[r] = leader_count
+                if hit:
+                    convergence[r] = round_index
+                    rounds_executed[r] = round_index
+                    active_mask[r] = False
+            else:
+                counts[r] = leader_count
+                if leader_count == 1:
+                    if convergence[r] == -1:
+                        convergence[r] = round_index
+                else:
+                    convergence[r] = -1
+        if record_counts:
+            # Retired rows keep their frozen counts — the row snapshot
+            # matches the interpreted loop's counts.copy() per round.
+            for r in range(num_replicas):
+                count_block[k, r] = counts[r]
+        consumed += 1
+    return consumed
+
+
+#: The uncompiled fused kernel (``kernel="python"``): the same function
+#: object numba compiles, so its logic is testable without numba.
+fused_round_block = _fused_round_block
+
+_COMPILED_KERNEL = None
+_COMPILE_SECONDS: Optional[float] = None
+
+
+def kernel_compile_seconds() -> Optional[float]:
+    """Wall seconds the numba kernel took to compile in this process.
+
+    ``None`` until the first ``kernel="numba"`` run compiles it (workers
+    compile once per process; ``cache=True`` makes later processes load
+    the on-disk artifact, so this also measures the cache-hit cost).
+    """
+    return _COMPILE_SECONDS
+
+
+def compiled_fused_kernel():
+    """The ``njit``-compiled fused kernel, compiling on first use.
+
+    Returns ``(kernel, compile_seconds)``.  Compilation happens at most
+    once per process and is timed through a warm-up call on a minimal
+    batch, so engines can report the compile cost via the metrics
+    registry without paying it on the hot path.
+    """
+    global _COMPILED_KERNEL, _COMPILE_SECONDS
+    if _COMPILED_KERNEL is not None:
+        return _COMPILED_KERNEL, _COMPILE_SECONDS
+    if _numba is None:  # pragma: no cover - guarded by resolve_kernel
+        raise ConfigurationError(
+            "numba is not importable; cannot compile the fused kernel"
+        )
+    started = time.perf_counter()
+    kernel = _numba.njit(cache=True)(_fused_round_block)
+    # Warm up on a one-node, one-replica, already-retired batch: triggers
+    # (or loads) the compilation for the exact argument types the engine
+    # passes, without consuming any randomness.
+    kernel(
+        np.zeros((1, 1), dtype=np.intp),
+        np.zeros(1, dtype=np.bool_),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(1, dtype=np.int64),
+        np.zeros(2, dtype=np.int32),
+        np.zeros(0, dtype=np.int32),
+        np.zeros(1, dtype=np.bool_),
+        np.zeros(1, dtype=np.bool_),
+        np.zeros((1, 2), dtype=np.intp),
+        np.zeros((1, 2), dtype=np.intp),
+        np.zeros((1, 2), dtype=np.float64),
+        np.zeros((1, 1, 1), dtype=np.float64),
+        0,
+        1,
+        True,
+        False,
+        np.zeros((0, 1), dtype=np.int64),
+    )
+    _COMPILE_SECONDS = time.perf_counter() - started
+    _COMPILED_KERNEL = kernel
+    return _COMPILED_KERNEL, _COMPILE_SECONDS
+
+
+# --------------------------------------------------------------------- #
+# The array-namespace (xp) variant of the interpreted path
+# --------------------------------------------------------------------- #
+
+
+def run_xp_rounds(
+    xp,
+    states: np.ndarray,
+    active_mask: np.ndarray,
+    counts: np.ndarray,
+    convergence: np.ndarray,
+    rounds_executed: np.ndarray,
+    dense: np.ndarray,
+    beep_f32: np.ndarray,
+    is_leader: np.ndarray,
+    succ_primary: np.ndarray,
+    succ_secondary: np.ndarray,
+    primary_probability: np.ndarray,
+    fill_blocks: Callable[[np.ndarray, np.ndarray], None],
+    depth: int,
+    max_rounds: int,
+    stop_at_single_leader: bool,
+    count_rows: Optional[List[np.ndarray]],
+) -> Tuple[np.ndarray, int]:
+    """The interpreted round loop, dispatched through an ``xp`` namespace.
+
+    Runs the exact per-round vector ops of :meth:`BatchedEngine.run` —
+    beep gather, dense matmul hear-mask, successor gathers, ``where``
+    transition — on ``xp`` arrays, while the host keeps the per-replica
+    generators (``fill_blocks``) and the retire bookkeeping.  With
+    ``xp=numpy`` every operation is the interpreted loop's own, so the
+    result is byte-identical; device namespaces are held to the
+    distributional gate recorded on the :class:`KernelPolicy`.
+
+    Returns ``(states, rounds_executed_in_loop)`` with ``states`` back on
+    the host as the engine's intp batch array.
+    """
+    num_replicas, n = states.shape
+    dense_xp = xp.asarray(dense)
+    beep_xp = xp.asarray(beep_f32)
+    leader_xp = xp.asarray(is_leader)
+    succ_primary_xp = xp.asarray(succ_primary)
+    succ_secondary_xp = xp.asarray(succ_secondary)
+    probability_xp = xp.asarray(primary_probability)
+    states_xp = xp.asarray(states)
+
+    rng_buffer = np.empty((depth, num_replicas, n), dtype=np.float64)
+    rng_position = depth
+    active = np.flatnonzero(active_mask)
+    round_index = 0
+    while round_index < max_rounds and active.size:
+        round_index += 1
+        full = active.size == num_replicas
+        sub = states_xp if full else states_xp[xp.asarray(active)]
+        beeping = beep_xp[sub]
+        if bool(as_numpy(beeping.any())):
+            heard = (beeping + xp.matmul(beeping, dense_xp)) > 0
+        else:
+            heard = beeping > 0
+        heard_index = heard.astype(sub.dtype)
+
+        primary = succ_primary_xp[sub, heard_index]
+        secondary = succ_secondary_xp[sub, heard_index]
+        probability = probability_xp[sub, heard_index]
+        if rng_position == depth:
+            fill_blocks(active, rng_buffer)
+            rng_position = 0
+        uniforms_host = (
+            rng_buffer[rng_position]
+            if full
+            else rng_buffer[rng_position, active]
+        )
+        rng_position += 1
+        uniforms = xp.asarray(uniforms_host)
+        new_states = xp.where(uniforms < probability, primary, secondary)
+        if full:
+            states_xp = new_states
+        else:
+            states_xp[xp.asarray(active)] = new_states
+
+        active_counts = as_numpy(leader_xp[new_states].sum(axis=1)).astype(
+            np.int64
+        )
+        hit = active_counts == 1
+        if stop_at_single_leader:
+            if count_rows is not None:
+                counts[active] = active_counts
+                count_rows.append(counts.copy())
+            retire = hit
+        else:
+            counts[active] = active_counts
+            if count_rows is not None:
+                count_rows.append(counts.copy())
+            previous = convergence[active]
+            convergence[active] = np.where(
+                hit, np.where(previous == -1, round_index, previous), -1
+            )
+            retire = np.zeros(active.size, dtype=bool)
+        if retire.any():
+            retired = active[retire]
+            convergence[retired] = np.where(hit[retire], round_index, -1)
+            counts[retired] = active_counts[retire]
+            rounds_executed[retired] = round_index
+            active_mask[retired] = False
+            active = np.flatnonzero(active_mask)
+
+    return as_numpy(states_xp).astype(np.intp, copy=False), round_index

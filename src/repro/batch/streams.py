@@ -26,6 +26,33 @@ from repro.errors import ConfigurationError
 
 SeedLike = Union[int, np.random.Generator, None]
 
+#: Default memory cap (bytes) for the prefetched per-replica uniform blocks.
+DEFAULT_RNG_BUFFER_BYTES = 8 << 20
+
+#: Prefetching more than this many rounds ahead stops paying for itself.
+MAX_PREFETCH_DEPTH = 128
+
+
+def prefetch_depth(
+    num_replicas: int,
+    n: int,
+    buffer_bytes: int = DEFAULT_RNG_BUFFER_BYTES,
+    max_depth: int = MAX_PREFETCH_DEPTH,
+) -> int:
+    """Rounds of uniforms to prefetch per :meth:`ReplicaStreams.fill_blocks`.
+
+    The single source of truth for the RNG-buffer geometry shared by the
+    interpreted round loop and the fused kernels: both consume blocks of
+    exactly this many ``(R, n)`` float64 uniform rounds, so the two paths
+    cannot drift in how far they advance the per-replica generators (the
+    buffer's *depth*, not just its contents, is part of the byte-parity
+    contract — a replica's stream is advanced in whole blocks).
+    """
+    itemsize = np.dtype(np.float64).itemsize
+    return max(
+        1, min(max_depth, buffer_bytes // max(1, itemsize * num_replicas * n))
+    )
+
 
 class ReplicaStreams:
     """One independent ``numpy`` generator per replica of a batch.

@@ -93,6 +93,17 @@ def _add_backend_arguments(
             "0 disables; records stay byte-identical either way."
         ),
     )
+    parser.add_argument(
+        "--kernel",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "Round kernel for the batched engine: 'auto' (numba when "
+            "importable), 'numba', 'numpy', 'python' or 'xp:<namespace>'. "
+            "Records are byte-identical on every kernel; only the "
+            "wall-clock changes."
+        ),
+    )
     if legacy_batched:
         parser.add_argument(
             "--batched",
@@ -194,6 +205,19 @@ def _heartbeat_interval_from_args(args: argparse.Namespace) -> Optional[int]:
     if value is None or value == 0:
         return None
     return int(value)
+
+
+def _kernel_from_args(args: argparse.Namespace) -> Optional[str]:
+    """The ``--kernel`` spec (``None`` keeps the engine's ``"auto"``).
+
+    Validation happens when the backend resolves
+    (:func:`repro.batch.kernels.validate_kernel`), so unknown specs fail
+    with the same :class:`~repro.errors.ConfigurationError` everywhere.
+    """
+    value = getattr(args, "kernel", None)
+    if value is None:
+        return None
+    return str(value).strip().lower()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -454,6 +478,14 @@ def build_parser() -> argparse.ArgumentParser:
             "silent ones).  0 disables (the default)."
         ),
     )
+    serve_parser.add_argument(
+        "--kernel", default=None, metavar="SPEC",
+        help=(
+            "Default round kernel (repro.batch.kernels spec) stamped onto "
+            "submitted cells that do not choose their own; resolved on the "
+            "executing workers."
+        ),
+    )
 
     submit_parser = subparsers.add_parser(
         "submit",
@@ -481,6 +513,13 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "Per-sweep in-flight heartbeat interval (engine rounds between "
             "beats), overriding the daemon's --heartbeat default; 0 = off."
+        ),
+    )
+    submit_parser.add_argument(
+        "--kernel", default=None, metavar="SPEC",
+        help=(
+            "Round kernel (repro.batch.kernels spec) for this sweep's "
+            "cells, overriding the daemon's --kernel default."
         ),
     )
     submit_parser.add_argument(
@@ -641,6 +680,7 @@ def _cmd_table1(args: argparse.Namespace) -> int:
             backend=_backend_spec_from_args(args),
             shard_size=_shard_size_from_args(args),
             heartbeat_interval=_heartbeat_interval_from_args(args),
+            kernel=_kernel_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -664,6 +704,7 @@ def _cmd_scaling(args: argparse.Namespace) -> int:
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
         heartbeat_interval=_heartbeat_interval_from_args(args),
+        kernel=_kernel_from_args(args),
     )
     print(result.render())
     return 0
@@ -688,6 +729,7 @@ def _cmd_montecarlo(args: argparse.Namespace) -> int:
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
         heartbeat_interval=_heartbeat_interval_from_args(args),
+        kernel=_kernel_from_args(args),
     )
     print(report.render())
     if args.save_json:
@@ -709,6 +751,7 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
         heartbeat_interval=_heartbeat_interval_from_args(args),
+        kernel=_kernel_from_args(args),
     )
     print(result.uniform.render())
     print()
@@ -727,6 +770,7 @@ def _cmd_lower_bound(args: argparse.Namespace) -> int:
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
         heartbeat_interval=_heartbeat_interval_from_args(args),
+        kernel=_kernel_from_args(args),
     )
     print(result.render())
     return 0
@@ -741,6 +785,7 @@ def _cmd_ablation(args: argparse.Namespace) -> int:
         backend=_backend_spec_from_args(args),
         shard_size=_shard_size_from_args(args),
         heartbeat_interval=_heartbeat_interval_from_args(args),
+        kernel=_kernel_from_args(args),
     )
     print(result.render())
     return 0
@@ -769,6 +814,7 @@ def _cmd_dynamic(args: argparse.Namespace) -> int:
             backend=_backend_spec_from_args(args),
             shard_size=_shard_size_from_args(args),
             heartbeat_interval=_heartbeat_interval_from_args(args),
+            kernel=_kernel_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -800,6 +846,7 @@ def _cmd_extinction(args: argparse.Namespace) -> int:
             backend=_backend_spec_from_args(args),
             shard_size=_shard_size_from_args(args),
             heartbeat_interval=_heartbeat_interval_from_args(args),
+            kernel=_kernel_from_args(args),
         )
     print(result.render())
     if args.save_json:
@@ -860,6 +907,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_shard_size=_shard_size_from_args(args),
         fault_injector=ServiceFaultInjector.from_env(),
         heartbeat_interval=_heartbeat_interval_from_args(args),
+        kernel=_kernel_from_args(args),
     )
     stop = threading.Event()
 
@@ -927,6 +975,7 @@ def _cmd_submit(args: argparse.Namespace) -> int:
             [_submit_cell_from_args(args)],
             shard_size=_shard_size_from_args(args),
             heartbeat_interval=_heartbeat_interval_from_args(args),
+            kernel=_kernel_from_args(args),
         )
     except ServiceError as error:
         print(str(error), file=sys.stderr)

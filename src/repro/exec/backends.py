@@ -39,8 +39,10 @@ import os
 import queue as queue_module
 import threading
 import warnings
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.batch.kernels import validate_kernel
 from repro.errors import ConfigurationError
 from repro.exec.base import (
     ExecutionBackend,
@@ -103,11 +105,38 @@ def _validate_heartbeat_interval(interval: Optional[int]) -> Optional[int]:
     return value
 
 
+def _validate_kernel(kernel: Optional[str]) -> Optional[str]:
+    """Check a backend-level kernel default once at construction time.
+
+    ``None`` leaves cells untouched (engines resolve their own
+    ``"auto"``); anything else must be a valid kernel spec.  Like the
+    cell field, availability is checked in the executing process, not
+    here — a client without numba may still target numba workers.
+    """
+    return validate_kernel(kernel)
+
+
+def _stamp_kernel(
+    cell: ExecutionCell, kernel: Optional[str]
+) -> ExecutionCell:
+    """Apply a backend's kernel default to a cell that does not set one.
+
+    A cell's own ``kernel`` always wins (it was chosen when the cell was
+    built and travels with it through sharding and the service wire); the
+    backend default only fills the gap, so ``resolve_backend(kernel=...)``
+    composes with per-cell overrides the same way ``shard_size`` does.
+    """
+    if kernel is None or cell.kernel is not None:
+        return cell
+    return replace(cell, kernel=kernel)
+
+
 class _InProcessShardingMixin:
     """Shared sharded run loop for the two in-process backends."""
 
     shard_size: ShardSize = None
     heartbeat_interval: Optional[int] = None
+    kernel: Optional[str] = None
     #: Worker count used by the ``"auto"`` shard-size rule (in-process
     #: backends execute one unit at a time, so auto never splits for them).
     workers: int = 1
@@ -159,6 +188,7 @@ class _InProcessShardingMixin:
         cells = tuple(cells)
         outcomes = []
         for index, cell in enumerate(cells):
+            cell = _stamp_kernel(cell, self.kernel)
             size = resolve_shard_size(
                 self.shard_size, cell.num_replicas, self.workers
             )
@@ -199,9 +229,14 @@ class SequentialBackend(_InProcessShardingMixin, ExecutionBackend):
         self,
         shard_size: ShardSize = None,
         heartbeat_interval: Optional[int] = None,
+        kernel: Optional[str] = None,
     ):
         self.shard_size = _validate_shard_size(shard_size)
         self.heartbeat_interval = _validate_heartbeat_interval(heartbeat_interval)
+        # Kept for spec-threading symmetry: the sequential executor is the
+        # kernel-independent reference, so the setting only rides along on
+        # cells (engines it runs have no kernel seam).
+        self.kernel = _validate_kernel(kernel)
 
     def _execute(self, cell: ExecutionCell) -> CellOutcome:
         return execute_cell_sequential(cell)
@@ -216,9 +251,11 @@ class BatchedBackend(_InProcessShardingMixin, ExecutionBackend):
         self,
         shard_size: ShardSize = None,
         heartbeat_interval: Optional[int] = None,
+        kernel: Optional[str] = None,
     ):
         self.shard_size = _validate_shard_size(shard_size)
         self.heartbeat_interval = _validate_heartbeat_interval(heartbeat_interval)
+        self.kernel = _validate_kernel(kernel)
 
     def _execute(self, cell: ExecutionCell) -> CellOutcome:
         return execute_cell_batched(cell)
@@ -301,6 +338,7 @@ class ProcessBackend(ExecutionBackend):
         mp_context: str = "spawn",
         shard_size: ShardSize = None,
         heartbeat_interval: Optional[int] = None,
+        kernel: Optional[str] = None,
     ):
         if workers is None:
             workers = max(1, os.cpu_count() or 1)
@@ -310,6 +348,11 @@ class ProcessBackend(ExecutionBackend):
         self.mp_context = mp_context
         self.shard_size = _validate_shard_size(shard_size)
         self.heartbeat_interval = _validate_heartbeat_interval(heartbeat_interval)
+        # Cells are stamped with this default before they ship to the
+        # pool, so each spawn worker resolves (and JIT-compiles) its
+        # kernel once per process — numba's cache=True makes the second
+        # and later workers load the on-disk artifact instead.
+        self.kernel = _validate_kernel(kernel)
         self.name = f"process:{self.workers}"
         self.last_pool_size: Optional[int] = None
 
@@ -326,7 +369,8 @@ class ProcessBackend(ExecutionBackend):
         # cells and the shards of large ones interleave in one list, so the
         # pool drains them without idling on a long tail.
         units: List[Tuple[int, int, int, ExecutionCell]] = []
-        for cell_index, cell in enumerate(cells):
+        stamped = tuple(_stamp_kernel(cell, self.kernel) for cell in cells)
+        for cell_index, cell in enumerate(stamped):
             size = resolve_shard_size(
                 self.shard_size, cell.num_replicas, self.workers
             )
@@ -429,7 +473,7 @@ class ProcessBackend(ExecutionBackend):
                         # arrive consecutively; its last shard completes
                         # the cell.
                         outcome = merge_cell_outcomes(
-                            cells[cell_index], pending.pop(cell_index)
+                            stamped[cell_index], pending.pop(cell_index)
                         )
                         outcomes.append(outcome)
                         with emit_lock:
@@ -454,6 +498,7 @@ def resolve_backend(
     default: BackendSpec = "sequential",
     shard_size: ShardSize = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ExecutionBackend:
     """Turn a backend instance or spec string into a backend object.
 
@@ -467,7 +512,11 @@ def resolve_backend(
     directly, so CLI ``--shard-size`` composes with any ``--backend``.
     ``heartbeat_interval`` (a positive round count, or ``None`` to leave
     the backend's own setting alone) composes the same way and turns on
-    in-flight :class:`~repro.exec.base.ShardProgress` events.
+    in-flight :class:`~repro.exec.base.ShardProgress` events.  ``kernel``
+    (a :mod:`repro.batch.kernels` spec, or ``None`` to leave the
+    backend's own setting alone) sets the backend's default round kernel,
+    stamped onto cells that do not choose their own — what CLI
+    ``--kernel`` resolves through.
     """
     if spec is None:
         spec = default
@@ -517,6 +566,8 @@ def resolve_backend(
         resolved.heartbeat_interval = _validate_heartbeat_interval(
             heartbeat_interval
         )
+    if kernel is not None:
+        resolved.kernel = _validate_kernel(kernel)
     return resolved
 
 
@@ -527,6 +578,7 @@ def resolve_backend_with_deprecated_batched(
     what: str = "batched=",
     shard_size: ShardSize = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ExecutionBackend:
     """Resolve ``backend=`` while honouring the legacy ``batched=`` kwarg.
 
@@ -551,4 +603,5 @@ def resolve_backend_with_deprecated_batched(
         default=default,
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )

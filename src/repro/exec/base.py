@@ -122,6 +122,14 @@ class ExecutionBackend(abc.ABC):
     #: attribute when given a ``heartbeat_interval``.
     heartbeat_interval: Optional[int] = None
 
+    #: Default round kernel (:mod:`repro.batch.kernels` spec) stamped
+    #: onto cells that do not choose their own: ``None`` (cells keep
+    #: their engine's ``"auto"``), ``"numba"``, ``"numpy"``, ``"python"``
+    #: or ``"xp:<namespace>"``.  Records are kernel-invariant, so this
+    #: only changes how fast they arrive; ``resolve_backend`` sets this
+    #: attribute when given a ``kernel``.
+    kernel: Optional[str] = None
+
     @abc.abstractmethod
     def run_cell_outcomes(
         self,

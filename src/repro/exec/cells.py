@@ -53,6 +53,7 @@ from typing import (
     Union,
 )
 
+from repro.batch.kernels import validate_kernel
 from repro.batch.observers import (
     ObserverSpec,
     build_observers,
@@ -117,6 +118,16 @@ class ExecutionCell:
         runs one ``R = 1`` observer per replica and merges).  Standalone
         runners (e.g. pipelined-ids) have no observation hooks and reject
         observed cells.
+    kernel:
+        Optional round-kernel spec for the batched engine
+        (:func:`repro.batch.kernels.validate_kernel`: ``"auto"``,
+        ``"numba"``, ``"numpy"``, ``"python"`` or ``"xp:<namespace>"``).
+        Pure data like every other field, so the setting travels to spawn
+        workers and over the service wire.  Records are kernel-invariant
+        (the parity suite pins every kernel byte-identical to the
+        sequential loop), so the kernel is **excluded from the cell
+        signature** — cached outcomes are shared across kernel choices.
+        ``None`` defers to the executing backend's default.
     """
 
     protocol: ProtocolSpecConfig
@@ -127,8 +138,10 @@ class ExecutionCell:
     graph_rng_key: Optional[RngKey] = None
     schedule: Optional[ScheduleSpec] = None
     observers: Tuple[ObserverSpec, ...] = ()
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "kernel", validate_kernel(self.kernel))
         object.__setattr__(self, "seeds", tuple(int(seed) for seed in self.seeds))
         if not self.seeds:
             raise ConfigurationError(
@@ -220,6 +233,7 @@ def cell_to_spec(cell: ExecutionCell) -> Dict[str, object]:
             {"kind": spec.kind, "params": dict(spec.params)}
             for spec in cell.observers
         ],
+        "kernel": cell.kernel,
     }
 
 
@@ -301,6 +315,7 @@ def cell_from_spec(spec: Mapping[str, object]) -> ExecutionCell:
         graph_rng_key=None if graph_rng_key is None else tuple(graph_rng_key),
         schedule=schedule,
         observers=tuple(observers),
+        kernel=None if spec.get("kernel") is None else str(spec["kernel"]),
     )
 
 
@@ -313,10 +328,16 @@ def canonical_cell_json(cell: ExecutionCell) -> str:
     budget, planted leaders, graph RNG key, schedule spec, observer specs —
     is equal.  Non-JSON parameter values fall back to ``str`` so exotic
     params still hash deterministically.
+
+    The ``kernel`` field is **stripped** before hashing: every kernel is
+    parity-pinned byte-identical to the sequential loop, so a cell's
+    records do not depend on it — the same cached outcome serves a
+    resubmission under any kernel, and signatures minted before the
+    kernel seam existed stay valid.
     """
-    return json.dumps(
-        cell_to_spec(cell), sort_keys=True, separators=(",", ":"), default=str
-    )
+    spec = cell_to_spec(cell)
+    spec.pop("kernel", None)
+    return json.dumps(spec, sort_keys=True, separators=(",", ":"), default=str)
 
 
 def cell_signature(cell: ExecutionCell) -> str:
@@ -721,6 +742,7 @@ def execute_cell_batched(cell: ExecutionCell) -> CellOutcome:
             initial_states=initial_states,
             schedule=schedule,
             observers=observers,
+            kernel=cell.kernel,
         )
         observations: Optional[Tuple[object, ...]] = None
         if observers:

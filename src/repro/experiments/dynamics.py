@@ -196,6 +196,7 @@ def dynamic_experiment(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> DynamicResult:
     """Sweep churn rate × graph family × size for one protocol (E14).
 
@@ -226,6 +227,7 @@ def dynamic_experiment(
         default="batched",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
 
     cells = []

@@ -146,6 +146,7 @@ def leader_extinction_experiment(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ExtinctionResult:
     """Measure the leader-extinction rate across churn rate × family × size.
 
@@ -176,6 +177,7 @@ def leader_extinction_experiment(
         default="batched",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
 
     cells = []

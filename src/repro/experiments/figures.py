@@ -117,6 +117,7 @@ def scaling_experiment(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> ScalingResult:
     """Measure convergence time against the diameter (experiments E2 / E3).
 
@@ -157,6 +158,7 @@ def scaling_experiment(
         what="scaling_experiment(batched=...)",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     cells: List[ExecutionCell] = []
     for diameter in diameters:
@@ -248,6 +250,7 @@ def crossover_experiment(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> CrossoverResult:
     """Run E2 and E3 on the same graphs and report the speed-up factors."""
     uniform = scaling_experiment(
@@ -259,6 +262,7 @@ def crossover_experiment(
         backend=backend,
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     nonuniform = scaling_experiment(
         mode="nonuniform",
@@ -269,6 +273,7 @@ def crossover_experiment(
         backend=backend,
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     speedups = tuple(
         (
@@ -334,6 +339,7 @@ def lower_bound_experiment(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> LowerBoundResult:
     """Measure how long two diametral leaders coexist on a path (experiment E4).
 
@@ -349,6 +355,7 @@ def lower_bound_experiment(
         what="lower_bound_experiment(batched=...)",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     cells = tuple(
         ExecutionCell(
@@ -467,6 +474,7 @@ def ablation_experiment(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> AblationResult:
     """Sweep ``p`` and test the structural ablation variants (experiment E8).
 
@@ -482,6 +490,7 @@ def ablation_experiment(
         what="ablation_experiment(batched=...)",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     graph_spec = GraphSpec(family="path", n=diameter + 1)
     budget = int(max_rounds_factor * diameter * diameter) + 1000

@@ -74,6 +74,7 @@ class MonteCarloRunner:
         initial_states: Optional[np.ndarray] = None,
         schedule: Optional["TopologySchedule"] = None,
         observers: Sequence["BatchObserver"] = (),
+        kernel: Optional[str] = None,
     ) -> BatchResult:
         """Run one replica per seed and return the batch outcome.
 
@@ -86,13 +87,19 @@ class MonteCarloRunner:
         constant-state protocols.  ``observers``
         (:class:`~repro.batch.observers.BatchObserver` instances) are
         attached to whichever batched engine runs the replicas; the per-seed
-        fallback has no observation hooks and rejects them.
+        fallback has no observation hooks and rejects them.  ``kernel``
+        selects the batched engine's round kernel
+        (:mod:`repro.batch.kernels`); engines without a kernel seam — the
+        memory baselines and standalone runners — ignore it, since their
+        records are kernel-invariant by definition.
         """
         if len(seeds) == 0:
             raise ConfigurationError("a Monte-Carlo run needs at least one seed")
         budget = max_rounds if max_rounds is not None else self.max_rounds
         if isinstance(protocol, BeepingProtocol):
-            engine = BatchedEngine(topology, protocol, schedule=schedule)
+            engine = BatchedEngine(
+                topology, protocol, schedule=schedule, kernel=kernel
+            )
             return engine.run(
                 list(seeds),
                 max_rounds=budget,
@@ -223,6 +230,7 @@ def run_monte_carlo(
     backend: "BackendSpec" = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> MonteCarloReport:
     """Run ``replicas`` seeded executions of one configuration and summarise.
 
@@ -258,6 +266,7 @@ def run_monte_carlo(
         default="batched",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     cell = ExecutionCell(
         protocol=ProtocolSpecConfig(name=protocol, params=dict(params or {})),

@@ -276,6 +276,7 @@ def run_sweep(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Tuple[TrialRecord, ...]:
     """Run every (protocol, graph, seed) combination of a sweep.
 
@@ -303,6 +304,11 @@ def run_sweep(
         and stream it to ``progress`` as ``ShardProgress`` events /
         ``"progress"`` telemetry records.  ``None`` keeps heartbeats off;
         records are byte-identical either way.
+    kernel:
+        Default round kernel for the batched engine (``--kernel``): a
+        :mod:`repro.batch.kernels` spec stamped onto cells that do not
+        choose their own.  Records are byte-identical on every kernel;
+        only the wall-clock changes.
     batched:
         Deprecated: ``batched=True`` is a shim for ``backend="batched"``
         and emits a :class:`DeprecationWarning`.
@@ -314,6 +320,7 @@ def run_sweep(
         what="run_sweep(batched=...)",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     return resolved.run_cells(
         sweep_cells(sweep), progress=cell_progress_adapter(progress)

@@ -167,6 +167,7 @@ def generate_table1(
     backend: BackendSpec = None,
     shard_size: "ShardSize" = None,
     heartbeat_interval: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> Table1Result:
     """Run the Table-1 comparison and return the regenerated table.
 
@@ -207,6 +208,7 @@ def generate_table1(
         what="generate_table1(batched=...)",
         shard_size=shard_size,
         heartbeat_interval=heartbeat_interval,
+        kernel=kernel,
     )
     graph_labels = tuple(graph.label for graph in graphs)
     cells: List[ExecutionCell] = []

@@ -129,6 +129,7 @@ class ServiceClient:
         cells: Sequence[ExecutionCell],
         shard_size: object = None,
         heartbeat_interval: object = None,
+        kernel: object = None,
     ) -> Dict[str, object]:
         """``POST /sweeps``; returns the receipt (``{"id": ..., ...}``)."""
         payload: Dict[str, object] = {
@@ -137,6 +138,8 @@ class ServiceClient:
         }
         if heartbeat_interval is not None:
             payload["heartbeat_interval"] = heartbeat_interval
+        if kernel is not None:
+            payload["kernel"] = kernel
         return self._request("POST", "/sweeps", payload)
 
     def status(self, sweep_id: str) -> Dict[str, object]:
@@ -187,7 +190,9 @@ class ServiceBackend(ExecutionBackend):
     emit in-flight beats, the event stream carries them as ``"progress"``
     records, and the backend re-materialises them as
     :class:`~repro.exec.ShardProgress` events for the local progress hook
-    — the same shape every local backend delivers.
+    — the same shape every local backend delivers.  And so is ``kernel``
+    (``--kernel``): the spec rides the submission and resolves on the
+    daemon's workers, where the engines actually run.
     """
 
     def __init__(
@@ -197,6 +202,7 @@ class ServiceBackend(ExecutionBackend):
         poll_timeout: float = 10.0,
         timeout: float = 60.0,
         heartbeat_interval: object = None,
+        kernel: object = None,
     ) -> None:
         self.client = ServiceClient(url, timeout=timeout)
         self.url = self.client.url
@@ -204,6 +210,7 @@ class ServiceBackend(ExecutionBackend):
         self.shard_size = shard_size
         self.poll_timeout = poll_timeout
         self.heartbeat_interval = heartbeat_interval
+        self.kernel = kernel
 
     def run_cell_outcomes(
         self,
@@ -217,6 +224,7 @@ class ServiceBackend(ExecutionBackend):
             cells,
             shard_size=self.shard_size,
             heartbeat_interval=self.heartbeat_interval,
+            kernel=self.kernel,
         )
         sweep_id = str(receipt["id"])
         outcomes: List[Optional[CellOutcome]] = [None] * len(cells)
@@ -273,8 +281,10 @@ class ServiceBackend(ExecutionBackend):
         try:
             index = int(record["index"])  # type: ignore[arg-type]
             cell = cells[index]
+            kernel = record.get("kernel")
             heartbeat = Heartbeat(
                 engine=str(record.get("engine", "?")),
+                kernel=None if kernel is None else str(kernel),
                 round_index=int(record.get("round", 0)),  # type: ignore[arg-type]
                 replicas=int(record.get("replicas", 0)),  # type: ignore[arg-type]
                 active=int(record.get("active", 0)),  # type: ignore[arg-type]

@@ -51,6 +51,8 @@ def _shard_line(row: Mapping[str, object]) -> str:
         rate = _number(row.get("rounds_per_second"))
         if rate:
             parts.append(f"{rate:,.0f} rounds/s")
+    if row.get("kernel"):
+        parts.append(f"kernel {row['kernel']}")
     age = row.get("beat_age_seconds")
     if age is not None:
         parts.append(f"beat {_number(age):.1f}s ago")

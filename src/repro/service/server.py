@@ -65,12 +65,13 @@ import threading
 import time
 import traceback
 import uuid
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Dict, List, Optional, Sequence, Tuple
 from urllib.parse import parse_qs, urlsplit
 
 from repro._version import __version__
+from repro.batch.kernels import validate_kernel
 from repro.errors import ConfigurationError, ReproError, ServiceError
 from repro.exec.cells import (
     CellOutcome,
@@ -205,6 +206,12 @@ class SweepService:
         Minimum seconds between ``"progress"`` event-stream records per
         shard (heartbeats themselves are never throttled — only the
         event stream is, so a K=1 beat storm cannot flood long-pollers).
+    kernel:
+        Default round kernel (:mod:`repro.batch.kernels` spec) stamped
+        onto submitted cells that do not choose their own; resolved on
+        the executing workers, so an explicit ``"numba"`` only needs
+        numba importable where shards actually run.  Records are
+        kernel-invariant, so the cache keys ignore it.
     """
 
     def __init__(
@@ -219,6 +226,7 @@ class SweepService:
         fault_injector: Optional[ServiceFaultInjector] = None,
         heartbeat_interval: Optional[int] = None,
         progress_throttle: float = 0.25,
+        kernel: Optional[str] = None,
     ) -> None:
         if workers < 1:
             raise ConfigurationError(f"worker count must be >= 1; got {workers}")
@@ -234,6 +242,7 @@ class SweepService:
         self.fault_injector = fault_injector
         self.heartbeat_interval = _validate_interval(heartbeat_interval)
         self.progress_throttle = float(progress_throttle)
+        self.kernel = validate_kernel(kernel)
         self.cache = ResultCache(cache_dir)
 
         self._requested_port = int(port)
@@ -351,13 +360,17 @@ class SweepService:
         cells: Sequence[ExecutionCell],
         shard_size: object = None,
         heartbeat_interval: object = None,
+        kernel: object = None,
     ) -> str:
         """Enqueue a sweep; returns its id.
 
         Per-cell, the result cache is consulted first (an identical earlier
         submission completes the cell instantly); misses are split into
         shard jobs and handed to the worker pool.  ``heartbeat_interval``
-        overrides the service default for this sweep (``None`` inherits).
+        overrides the service default for this sweep (``None`` inherits);
+        ``kernel`` likewise, stamped onto cells without their own (a
+        cell's explicit kernel always wins, and cache signatures ignore
+        the kernel either way).
         """
         cells = tuple(cells)
         if not cells:
@@ -367,6 +380,17 @@ class SweepService:
         interval = _validate_interval(heartbeat_interval)
         if interval is None:
             interval = self.heartbeat_interval
+        sweep_kernel = validate_kernel(
+            None if kernel is None else str(kernel)
+        )
+        if sweep_kernel is None:
+            sweep_kernel = self.kernel
+        if sweep_kernel is not None:
+            cells = tuple(
+                cell if cell.kernel is not None
+                else replace(cell, kernel=sweep_kernel)
+                for cell in cells
+            )
         with self._condition:
             if self._draining:
                 raise ServiceError("service is draining; not accepting sweeps")
@@ -561,6 +585,7 @@ class SweepService:
                     "graph": shard.cell.graph.label,
                     "replicas": shard.cell.num_replicas,
                     "engine": beat.engine,
+                    "kernel": beat.kernel,
                     "round": beat.round_index,
                     "active": beat.active,
                     "converged": beat.converged,
@@ -890,6 +915,7 @@ class SweepService:
                     row.update(
                         {
                             "engine": beat.engine,
+                            "kernel": beat.kernel,
                             "round": beat.round_index,
                             "active": beat.active,
                             "converged": beat.converged,
@@ -1063,6 +1089,7 @@ class SweepService:
                 "state": "draining" if self._draining else "serving",
                 "sweeps": len(self._sweeps),
                 "workers": self.workers,
+                "kernel": self.kernel,
                 "version": __version__,
                 "uptime_seconds": uptime,
             }
@@ -1076,6 +1103,7 @@ class SweepService:
             cells,
             shard_size=shard_size,
             heartbeat_interval=payload.get("heartbeat_interval"),
+            kernel=payload.get("kernel"),
         )
         with self._lock:
             sweep = self._sweeps[sweep_id]

@@ -66,6 +66,9 @@ class Heartbeat:
     rounds_per_second: float
     elapsed_seconds: float
     timestamp: float = field(default=0.0)
+    #: Round kernel the emitting engine run is using (``"numpy"``,
+    #: ``"numba"``, ...), or ``None`` for engines without a kernel seam.
+    kernel: Optional[str] = field(default=None)
 
     def to_record(self) -> dict:
         """Plain-dict form, ready for JSON encoding."""
@@ -134,6 +137,7 @@ class HeartbeatEmitter:
         converged: int,
         leaderless: int,
         rounds_advanced: int,
+        kernel: Optional[str] = None,
     ) -> Heartbeat:
         """Record a beat and feed it to the sink.
 
@@ -169,6 +173,7 @@ class HeartbeatEmitter:
             rounds_per_second=float(rate),
             elapsed_seconds=now - self._started,
             timestamp=time.time(),
+            kernel=kernel,
         )
         self._last_beat = heartbeat
         self.beats_emitted += 1

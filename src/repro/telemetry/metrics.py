@@ -163,6 +163,8 @@ def sample_engine_run(
     replicas_converged: Optional[int] = None,
     replicas_leaderless: Optional[int] = None,
     cache_stats: Optional[Mapping[str, float]] = None,
+    kernel: Optional[str] = None,
+    gauges: Optional[Mapping[str, float]] = None,
 ) -> None:
     """Sample one finished engine run into the ambient registry (if any).
 
@@ -170,12 +172,20 @@ def sample_engine_run(
     engine-side telemetry touch point, so the per-round hot path stays
     untouched.  ``cache_stats`` carries the engine's plain-int cache
     counters (swap-cache hits/misses, topology-pool and round-memo rates
-    from :mod:`repro.dynamics`).
+    from :mod:`repro.dynamics`).  ``kernel`` names the round kernel the
+    run actually used (counted as ``engine.kernel.<name>`` so fallbacks
+    are visible per run); ``gauges`` carries engine-chosen point-in-time
+    values (adjacency representation, kernel compile seconds) verbatim.
     """
     registry = current_metrics()
     if registry is None:
         return
     registry.count("engine.runs", 1)
+    if kernel is not None:
+        registry.count(f"engine.kernel.{kernel}", 1)
+    if gauges:
+        for name, value in gauges.items():
+            registry.gauge(name, float(value))
     registry.count("engine.rounds_advanced", rounds_advanced)
     registry.count("engine.replicas", replicas)
     registry.add_time(f"engine.{engine}.wall_seconds", wall_seconds)

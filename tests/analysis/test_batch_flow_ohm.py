@@ -1,0 +1,194 @@
+"""Batch flow/Ohm entry points: parity with the single-trace functions.
+
+Every ``*_batch`` function must agree, replica for replica, with its
+single-trace counterpart applied to ``trace.replica(r)`` — including
+replicas that retire early (rows past retirement repeat the frozen
+configuration and must not produce phantom violations).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    check_flow_conservation,
+    check_flow_conservation_batch,
+    check_ohms_law,
+    check_ohms_law_batch,
+    flow_history,
+    flow_history_batch,
+    max_flow_bound_holds,
+    max_flow_bound_holds_batch,
+    path_flow,
+    path_flow_batch,
+)
+from repro.batch.engine import BatchedEngine
+from repro.batch.observers import BatchTraceRecorder
+from repro.batch.trace import BatchTrace
+from repro.core.registry import create_protocol
+from repro.core.states import State
+from repro.errors import InvariantViolation, TraceError
+from repro.graphs.generators import cycle_graph, erdos_renyi_graph, make_graph
+
+SEEDS = tuple(range(1, 9))
+
+BEEPING = (int(State.B_LEADER), int(State.B_FOLLOWER))
+LEADERS = (int(State.W_LEADER), int(State.B_LEADER), int(State.F_LEADER))
+
+
+def _recorded_batch(family="cycle", n=16):
+    topology = make_graph(family, n, rng=5)
+    protocol = create_protocol("bfw", diameter=topology.diameter(), n=topology.n)
+    recorder = BatchTraceRecorder()
+    BatchedEngine(topology, protocol).run(list(SEEDS), observers=[recorder])
+    return topology, recorder.trace()
+
+
+@pytest.fixture(scope="module")
+def cycle_batch():
+    return _recorded_batch("cycle", 16)
+
+
+@pytest.fixture(scope="module")
+def er_batch():
+    return _recorded_batch("erdos-renyi", 18)
+
+
+PATHS = {"cycle": (0, 1, 2, 3, 4), "erdos-renyi": None}
+
+
+def _walk(topology):
+    # A short deterministic walk: follow the first neighbour repeatedly.
+    walk = [0]
+    for _ in range(4):
+        walk.append(int(topology.neighbors(walk[-1])[0]))
+    return tuple(walk)
+
+
+@pytest.fixture(params=["cycle", "erdos-renyi"])
+def batch_and_path(request, cycle_batch, er_batch):
+    topology, trace = cycle_batch if request.param == "cycle" else er_batch
+    path = PATHS[request.param] or _walk(topology)
+    return topology, trace, path
+
+
+def test_flow_history_batch_parity(batch_and_path):
+    _, trace, path = batch_and_path
+    history = flow_history_batch(trace, path)
+    assert history.shape == (trace.num_rounds + 1, trace.num_replicas)
+    for r in range(trace.num_replicas):
+        last = int(trace.rounds_executed[r])
+        assert tuple(history[: last + 1, r]) == flow_history(
+            trace.replica(r), path
+        )
+
+
+def test_path_flow_batch_parity(batch_and_path):
+    _, trace, path = batch_and_path
+    for round_index in (0, 1, trace.num_rounds):
+        flows = path_flow_batch(trace, path, round_index)
+        for r in range(trace.num_replicas):
+            if round_index <= int(trace.rounds_executed[r]):
+                assert int(flows[r]) == path_flow(
+                    trace.replica(r), path, round_index
+                )
+
+
+def test_conservation_batch_parity(batch_and_path):
+    _, trace, path = batch_and_path
+    per_replica = check_flow_conservation_batch(
+        trace, path, raise_on_violation=False
+    )
+    assert len(per_replica) == trace.num_replicas
+    for r in range(trace.num_replicas):
+        assert per_replica[r] == check_flow_conservation(
+            trace.replica(r), path, raise_on_violation=False
+        )
+    # The law holds on real executions, so the raising form passes too.
+    assert check_flow_conservation_batch(trace, path) == per_replica
+
+
+def test_ohms_law_batch_parity(batch_and_path):
+    topology, trace, path = batch_and_path
+    per_replica = check_ohms_law_batch(
+        trace, path, topology=topology, raise_on_violation=False
+    )
+    for r in range(trace.num_replicas):
+        assert per_replica[r] == check_ohms_law(
+            trace.replica(r), path, raise_on_violation=False
+        )
+    assert check_ohms_law_batch(trace, path) == per_replica
+
+
+def test_max_flow_bound_batch_parity(batch_and_path):
+    _, trace, path = batch_and_path
+    bounds = max_flow_bound_holds_batch(trace, path)
+    for r in range(trace.num_replicas):
+        assert bool(bounds[r]) == max_flow_bound_holds(trace.replica(r), path)
+
+
+def test_short_paths_are_trivial(cycle_batch):
+    _, trace = cycle_batch
+    assert not flow_history_batch(trace, (0,)).any()
+    assert check_flow_conservation_batch(trace, (0,)) == tuple(
+        [] for _ in range(trace.num_replicas)
+    )
+    assert check_ohms_law_batch(trace, (0,)) == tuple(
+        [] for _ in range(trace.num_replicas)
+    )
+
+
+def test_ohms_batch_validates_path(cycle_batch):
+    topology, trace = cycle_batch
+    with pytest.raises(TraceError):
+        check_ohms_law_batch(trace, (0, 5), topology=topology)
+
+
+def test_corrupted_batch_raises_with_replica_context():
+    # Hand-build a two-replica trace where replica 1 violates conservation:
+    # node 0 starts beeping and node 1 flips to beeping with no beep heard
+    # anywhere near it — impossible under the flow law.
+    states = np.zeros((2, 2, 3), dtype=np.int8)
+    states[:, :, :] = int(State.W_FOLLOWER)
+    states[0, 1, 0] = int(State.B_FOLLOWER)
+    states[1, 1, 2] = int(State.B_FOLLOWER)
+    trace = BatchTrace(
+        states=states,
+        rounds_executed=np.array([1, 1]),
+        beeping_values=BEEPING,
+        leader_values=LEADERS,
+    )
+    path = (0, 1, 2)
+    with pytest.raises(InvariantViolation, match="replica 1"):
+        check_flow_conservation_batch(trace, path)
+    per_replica = check_flow_conservation_batch(
+        trace, path, raise_on_violation=False
+    )
+    assert per_replica[0] == []
+    assert len(per_replica[1]) == 1
+    # Identical to the single-trace verdicts.
+    for r in range(2):
+        assert per_replica[r] == check_flow_conservation(
+            trace.replica(r), path, raise_on_violation=False
+        )
+
+
+def test_frozen_rows_produce_no_phantom_violations():
+    # Replica 0 retires after round 1 with a beeping endpoint frozen in
+    # its final row; the repeated rows would violate the round-to-round
+    # law if the valid mask did not exclude them.
+    states = np.zeros((3, 2, 3), dtype=np.int8)
+    states[:, :, :] = int(State.W_FOLLOWER)
+    states[1:, 0, 0] = int(State.B_FOLLOWER)
+    states[1, 1, 0] = int(State.B_FOLLOWER)
+    trace = BatchTrace(
+        states=states,
+        rounds_executed=np.array([1, 2]),
+        beeping_values=BEEPING,
+        leader_values=LEADERS,
+    )
+    per_replica = check_flow_conservation_batch(
+        trace, (0, 1), raise_on_violation=False
+    )
+    assert per_replica[0] == check_flow_conservation(
+        trace.replica(0), (0, 1), raise_on_violation=False
+    )

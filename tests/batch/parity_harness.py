@@ -344,6 +344,81 @@ def assert_backend_record_parity(backends, cells=None):
     return reference
 
 
+def kernel_parity_cells(
+    protocols=None,
+    graphs=(
+        GraphSpec(family="cycle", n=16),
+        GraphSpec(family="erdos-renyi", n=18, seed=5),
+    ),
+    schedules=(
+        None,
+        ScheduleSpec(
+            "edge-churn", {"add_per_round": 1, "remove_per_round": 1, "seed": 7}
+        ),
+    ),
+    num_seeds=3,
+    master_seed=53,
+    max_rounds=4000,
+):
+    """Cells every round kernel must execute byte-identically.
+
+    Crosses **every registered constant-state protocol** (the engines the
+    fused kernels replace) with a static and a dynamic schedule; the
+    kernel parity tests run these cells with ``kernel="numba"`` /
+    ``"numpy"`` / ``"python"`` stamped via the backend and against the
+    :class:`~repro.exec.SequentialBackend` reference, at shard sizes 1 and
+    ``"auto"``.  Cells carry no kernel of their own, so the same tuple
+    serves every kernel variant.
+    """
+    from repro.core.registry import available_protocols
+
+    if protocols is None:
+        protocols = available_protocols()
+    cells = []
+    for protocol in protocols:
+        for graph in graphs:
+            for spec in schedules:
+                label = "static" if spec is None else spec.label
+                cells.append(
+                    ExecutionCell(
+                        protocol=ProtocolSpecConfig(name=protocol),
+                        graph=graph,
+                        seeds=trial_seeds(
+                            master_seed,
+                            f"kernel-parity/{protocol}/{graph.label}/{label}",
+                            num_seeds,
+                        ),
+                        max_rounds=max_rounds,
+                        schedule=spec,
+                    )
+                )
+    return tuple(cells)
+
+
+def assert_kernel_record_parity(kernels, cells=None, shard_sizes=(None, 1, "auto")):
+    """Assert every kernel produces the sequential loop's records exactly.
+
+    The reference is the :class:`~repro.exec.SequentialBackend` (no kernel
+    seam at all — the per-trial loop).  Each kernel in ``kernels`` then
+    runs the same cells on a fresh ``"batched"`` backend with the kernel
+    stamped as the backend default, at every entry of ``shard_sizes``.
+    """
+    if cells is None:
+        cells = kernel_parity_cells()
+    cells = tuple(cells)
+    reference = resolve_backend("sequential").run_cells(cells)
+    for kernel in kernels:
+        for shard_size in shard_sizes:
+            backend = resolve_backend(
+                "batched", shard_size=shard_size, kernel=kernel
+            )
+            assert backend.run_cells(cells) == reference, (
+                f"kernel={kernel!r} shard_size={shard_size!r} records "
+                f"differ from the sequential loop"
+            )
+    return reference
+
+
 def assert_same_batch(reference, batch):
     """Byte-identical :class:`BatchResult` equality, array for array."""
     np.testing.assert_array_equal(batch.converged, reference.converged)

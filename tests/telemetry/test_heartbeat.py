@@ -110,10 +110,11 @@ def test_to_record_is_json_ready():
     assert record["engine"] == "test"
     assert record["round_index"] == 4
     assert record["rounds_advanced"] == 16
+    assert record["kernel"] is None  # engines stamp the active kernel
     assert set(record) == {
         "engine", "round_index", "replicas", "active", "converged",
         "leaderless", "rounds_advanced", "rounds_per_second",
-        "elapsed_seconds", "timestamp",
+        "elapsed_seconds", "timestamp", "kernel",
     }
 
 
